@@ -1,0 +1,26 @@
+//! One benchmark per paper figure: each figure's cache configuration driven
+//! at a reduced reference budget. Timing regressions here flag slowdowns in
+//! exactly the code paths the reproduction exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynex_experiments::{figures, Workloads};
+
+const REFS: usize = 25_000;
+
+fn figure_configs(c: &mut Criterion) {
+    let workloads = Workloads::generate(REFS);
+    let mut group = c.benchmark_group("figure_configs");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for id in figures::ALL_IDS {
+        group.bench_function(id.to_string(), |b| {
+            b.iter(|| figures::run(id, &workloads).expect("known id"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure_configs);
+criterion_main!(benches);

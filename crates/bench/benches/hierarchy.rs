@@ -1,0 +1,44 @@
+//! Two-level hierarchy throughput: the three hit-last strategies vs the
+//! conventional hierarchy (Figures 7–9 inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dynex::{DeHierarchy, HitLastStrategy};
+use dynex_bench::instr_fixture;
+use dynex_cache::{run_addrs, CacheConfig, DirectMapped, TwoLevel};
+
+const REFS: usize = 100_000;
+
+fn hierarchy(c: &mut Criterion) {
+    let addrs = instr_fixture("spice", REFS);
+    let l1 = CacheConfig::direct_mapped(32 * 1024, 4).unwrap();
+    let l2 = CacheConfig::direct_mapped(128 * 1024, 4).unwrap();
+
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("conventional_dm_dm", |b| {
+        b.iter(|| {
+            let mut h = TwoLevel::new(DirectMapped::new(l1), DirectMapped::new(l2));
+            run_addrs(&mut h, addrs.iter().copied())
+        })
+    });
+    for (label, strategy) in [
+        ("de_hashed4", HitLastStrategy::Hashed { bits_per_line: 4 }),
+        ("de_assume_hit", HitLastStrategy::AssumeHit),
+        ("de_assume_miss", HitLastStrategy::AssumeMiss),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut h = DeHierarchy::new(l1, l2, strategy).expect("valid hierarchy");
+                run_addrs(&mut h, addrs.iter().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hierarchy);
+criterion_main!(benches);

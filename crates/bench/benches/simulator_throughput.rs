@@ -1,0 +1,84 @@
+//! Raw simulator throughput: references per second for each cache model on
+//! a fixed synthetic `gcc` instruction stream.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dynex::{DeCache, HashedStore, LastLineDeCache, MultiStickyDeCache, OptimalDirectMapped};
+use dynex_bench::instr_fixture;
+use dynex_cache::{
+    run_addrs, CacheConfig, DirectMapped, Replacement, SetAssociative, StreamBuffer, VictimCache,
+};
+
+const REFS: usize = 100_000;
+
+fn throughput(c: &mut Criterion) {
+    let addrs = instr_fixture("gcc", REFS);
+    let config = CacheConfig::direct_mapped(32 * 1024, 4).unwrap();
+    let wide = CacheConfig::new(32 * 1024, 4, 4).unwrap();
+
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+
+    group.bench_function("direct_mapped", |b| {
+        b.iter(|| {
+            let mut cache = DirectMapped::new(config);
+            run_addrs(&mut cache, addrs.iter().copied())
+        })
+    });
+    group.bench_function("dynamic_exclusion_perfect", |b| {
+        b.iter(|| {
+            let mut cache = DeCache::new(config);
+            run_addrs(&mut cache, addrs.iter().copied())
+        })
+    });
+    group.bench_function("dynamic_exclusion_hashed4", |b| {
+        b.iter(|| {
+            let mut cache = DeCache::with_store(config, HashedStore::new(config, 4));
+            run_addrs(&mut cache, addrs.iter().copied())
+        })
+    });
+    group.bench_function("dynamic_exclusion_lastline_16b", |b| {
+        let cfg16 = CacheConfig::direct_mapped(32 * 1024, 16).unwrap();
+        b.iter(|| {
+            let mut cache = LastLineDeCache::new(cfg16);
+            run_addrs(&mut cache, addrs.iter().copied())
+        })
+    });
+    group.bench_function("multi_sticky_2", |b| {
+        b.iter(|| {
+            let mut cache = MultiStickyDeCache::new(config, 2);
+            run_addrs(&mut cache, addrs.iter().copied())
+        })
+    });
+    group.bench_function("optimal_direct_mapped", |b| {
+        b.iter(|| OptimalDirectMapped::simulate(config, addrs.iter().copied()))
+    });
+    group.bench_function("set_associative_4way_lru", |b| {
+        b.iter(|| {
+            let mut cache = SetAssociative::new(wide, Replacement::Lru);
+            run_addrs(&mut cache, addrs.iter().copied())
+        })
+    });
+    group.bench_function("victim_cache_4", |b| {
+        b.iter(|| {
+            let mut cache = VictimCache::new(config, 4);
+            run_addrs(&mut cache, addrs.iter().copied())
+        })
+    });
+    group.bench_function("stream_buffer_4", |b| {
+        b.iter(|| {
+            let mut cache = StreamBuffer::new(config, 4);
+            run_addrs(&mut cache, addrs.iter().copied())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Trace-generation throughput for each synthetic SPEC'89 profile.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dynex_workload::spec;
+
+const REFS: usize = 100_000;
+
+fn generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.throughput(Throughput::Elements(REFS as u64));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for name in spec::NAMES {
+        let profile = spec::profile(name).expect("built-in profile");
+        group.bench_function(name, |b| b.iter(|| profile.trace(REFS)));
+    }
+    // Program construction alone (layout + validation).
+    group.bench_function("build_all_programs", |b| b.iter(spec::all));
+    group.finish();
+}
+
+criterion_group!(benches, generation);
+criterion_main!(benches);

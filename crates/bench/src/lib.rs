@@ -1,0 +1,39 @@
+//! Shared fixtures for the `dynex` Criterion benchmarks.
+//!
+//! Benchmarks answer two kinds of question:
+//!
+//! * **simulator cost** — how many references per second each cache model
+//!   processes (`simulator_throughput`, `hierarchy`), i.e. how expensive the
+//!   reproduction infrastructure itself is;
+//! * **figure configurations** — the per-figure cache setups at reduced
+//!   reference budgets (`figure_configs`), so regressions in any simulated
+//!   path show up as timing changes;
+//! * **trace generation** (`workload_generation`).
+
+#![forbid(unsafe_code)]
+
+use dynex_trace::filter;
+use dynex_workload::spec;
+
+/// Instruction addresses of a profile, for bench fixtures.
+pub fn instr_fixture(name: &str, refs: usize) -> Vec<u32> {
+    let profile = spec::profile(name).expect("built-in profile");
+    filter::instructions(profile.trace(refs).iter()).map(|a| a.addr()).collect()
+}
+
+/// Data addresses of a profile, for bench fixtures.
+pub fn data_fixture(name: &str, refs: usize) -> Vec<u32> {
+    let profile = spec::profile(name).expect("built-in profile");
+    filter::data(profile.trace(refs).iter()).map(|a| a.addr()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_produce_addresses() {
+        assert!(!instr_fixture("gcc", 1_000).is_empty());
+        assert!(!data_fixture("mat300", 1_000).is_empty());
+    }
+}

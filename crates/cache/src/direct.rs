@@ -1,0 +1,170 @@
+//! The conventional direct-mapped cache — the paper's baseline.
+
+use crate::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry};
+
+/// Sentinel line-address value meaning "invalid line". Real line addresses
+/// occupy at most 30 bits, so this cannot collide.
+pub(crate) const INVALID_LINE: u32 = u32::MAX;
+
+/// A conventional direct-mapped cache: every miss loads the referenced block,
+/// replacing whatever occupied its line.
+///
+/// This is the baseline of every figure in the paper ("direct mapped").
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{CacheConfig, CacheSim, DirectMapped};
+///
+/// let mut cache = DirectMapped::new(CacheConfig::direct_mapped(64, 4)?);
+/// assert!(cache.access(0x0).is_miss());
+/// assert!(cache.access(0x0).is_hit());
+/// assert!(cache.access(0x40).is_miss()); // conflicts with 0x0 in a 64B cache
+/// assert!(cache.access(0x0).is_miss());  // knocked out
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectMapped {
+    config: CacheConfig,
+    geometry: Geometry,
+    lines: Vec<u32>,
+    stats: CacheStats,
+}
+
+impl DirectMapped {
+    /// Creates an empty cache.
+    ///
+    /// A direct-mapped cache is requested by convention with
+    /// `associativity == 1`, but any [`CacheConfig`] whose associativity is 1
+    /// is accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.associativity() != 1`; use [`crate::SetAssociative`]
+    /// for wider organizations.
+    pub fn new(config: CacheConfig) -> DirectMapped {
+        assert_eq!(config.associativity(), 1, "DirectMapped requires associativity 1");
+        DirectMapped {
+            config,
+            geometry: config.geometry(),
+            lines: vec![INVALID_LINE; config.n_sets() as usize],
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Whether the block containing `addr` is currently resident (no state
+    /// change, no statistics).
+    pub fn contains(&self, addr: u32) -> bool {
+        let line = self.geometry.line_addr(addr);
+        self.lines[self.geometry.set_of_line(line) as usize] == line
+    }
+
+    /// Probes and updates contents for a *line address* (used by hierarchies
+    /// that operate above the offset bits).
+    pub(crate) fn access_line(&mut self, line: u32) -> AccessOutcome {
+        let set = self.geometry.set_of_line(line) as usize;
+        let outcome = if self.lines[set] == line {
+            AccessOutcome::Hit
+        } else {
+            self.lines[set] = line;
+            AccessOutcome::Miss
+        };
+        self.stats.record(outcome);
+        outcome
+    }
+}
+
+impl CacheSim for DirectMapped {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        let line = self.geometry.line_addr(addr);
+        self.access_line(line)
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn label(&self) -> String {
+        format!("{} (conventional)", self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_addrs;
+
+    fn cache(size: u32, line: u32) -> DirectMapped {
+        DirectMapped::new(CacheConfig::direct_mapped(size, line).unwrap())
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cache(1024, 4);
+        assert!(c.access(0x100).is_miss());
+        assert!(c.access(0x100).is_hit());
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().hits(), 1);
+    }
+
+    #[test]
+    fn spatial_locality_within_line() {
+        let mut c = cache(1024, 16);
+        assert!(c.access(0x200).is_miss());
+        for offset in [4, 8, 12] {
+            assert!(c.access(0x200 + offset).is_hit());
+        }
+        assert!(c.access(0x210).is_miss());
+    }
+
+    #[test]
+    fn conflicting_blocks_thrash() {
+        // Two addresses one cache-size apart alternate: 100% misses.
+        let mut c = cache(256, 4);
+        let stats = run_addrs(&mut c, (0..20).map(|i| if i % 2 == 0 { 0u32 } else { 256 }));
+        assert_eq!(stats.misses(), 20);
+    }
+
+    #[test]
+    fn non_conflicting_blocks_coexist() {
+        let mut c = cache(256, 4);
+        let stats = run_addrs(&mut c, (0..20).map(|i| if i % 2 == 0 { 0u32 } else { 4 }));
+        assert_eq!(stats.misses(), 2); // cold only
+    }
+
+    #[test]
+    fn contains_reflects_state_without_counting() {
+        let mut c = cache(256, 4);
+        assert!(!c.contains(0x10));
+        c.access(0x10);
+        assert!(c.contains(0x10));
+        assert!(!c.contains(0x10 + 256));
+        assert_eq!(c.stats().accesses(), 1, "contains() must not count");
+    }
+
+    #[test]
+    fn working_set_equal_to_capacity_fits() {
+        let mut c = cache(128, 4); // 32 lines
+        let addrs: Vec<u32> = (0..32).map(|i| i * 4).collect();
+        // Two sweeps: first is all cold misses, second all hits.
+        let stats = run_addrs(&mut c, addrs.iter().copied().chain(addrs.iter().copied()));
+        assert_eq!(stats.misses(), 32);
+        assert_eq!(stats.hits(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity 1")]
+    fn rejects_associative_config() {
+        DirectMapped::new(CacheConfig::new(1024, 4, 2).unwrap());
+    }
+
+    #[test]
+    fn label_mentions_organization() {
+        assert!(cache(32 * 1024, 16).label().contains("32KB direct-mapped"));
+    }
+}

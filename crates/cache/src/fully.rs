@@ -1,0 +1,116 @@
+//! Fully-associative cache: a single set spanning the whole capacity.
+
+use crate::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Replacement, SetAssociative};
+
+/// A fully-associative cache (one set, LRU by default).
+///
+/// Used as the conflict-free reference point: any extra misses a
+/// direct-mapped cache of the same capacity takes are conflict misses, the
+/// quantity dynamic exclusion attacks.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{CacheSim, FullyAssociative, Replacement};
+///
+/// let mut cache = FullyAssociative::new(64, 4, Replacement::Lru)?;
+/// cache.access(0x0);
+/// cache.access(0x4000); // would conflict in a direct-mapped cache
+/// assert!(cache.access(0x0).is_hit());
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullyAssociative {
+    inner: SetAssociative,
+}
+
+impl FullyAssociative {
+    /// Creates an empty fully-associative cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::ConfigError`] for invalid size/line parameters.
+    pub fn new(
+        size_bytes: u32,
+        line_bytes: u32,
+        policy: Replacement,
+    ) -> Result<FullyAssociative, crate::ConfigError> {
+        let config = CacheConfig::fully_associative(size_bytes, line_bytes)?;
+        Ok(FullyAssociative { inner: SetAssociative::new(config, policy) })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> CacheConfig {
+        self.inner.config()
+    }
+
+    /// Whether the block containing `addr` is resident (no state change).
+    pub fn contains(&self, addr: u32) -> bool {
+        self.inner.contains(addr)
+    }
+}
+
+impl CacheSim for FullyAssociative {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        self.inner.access(addr)
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{}KB fully-associative, {}B lines ({})",
+            self.config().size_bytes() / 1024,
+            self.config().line_bytes(),
+            match self.inner.policy() {
+                Replacement::Lru => "LRU",
+                Replacement::Fifo => "FIFO",
+                Replacement::Random => "random",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_addrs;
+
+    #[test]
+    fn no_conflict_misses() {
+        // 16 lines; 8 distinct blocks that all map to one DM set coexist here.
+        let mut c = FullyAssociative::new(64, 4, Replacement::Lru).unwrap();
+        let addrs: Vec<u32> = (0..8).map(|i| i * 64).collect();
+        let stats =
+            run_addrs(&mut c, addrs.iter().copied().chain(addrs.iter().copied()));
+        assert_eq!(stats.misses(), 8); // cold only
+    }
+
+    #[test]
+    fn capacity_misses_still_occur() {
+        // 4 lines, 5-block cyclic working set under LRU: always misses.
+        let mut c = FullyAssociative::new(16, 4, Replacement::Lru).unwrap();
+        let stats = run_addrs(&mut c, (0..25).map(|i| (i % 5) * 16));
+        assert_eq!(stats.misses(), 25);
+    }
+
+    #[test]
+    fn single_set_geometry() {
+        let c = FullyAssociative::new(128, 8, Replacement::Lru).unwrap();
+        assert_eq!(c.config().n_sets(), 1);
+        assert_eq!(c.config().associativity(), 16);
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(FullyAssociative::new(100, 4, Replacement::Lru).is_err());
+    }
+
+    #[test]
+    fn label_is_descriptive() {
+        let c = FullyAssociative::new(1024, 16, Replacement::Lru).unwrap();
+        assert!(c.label().contains("fully-associative"));
+    }
+}

@@ -1,0 +1,149 @@
+//! A generic two-level cache hierarchy.
+//!
+//! The dynamic-exclusion-specific hierarchy (hit-last bits stored in L2,
+//! inclusive/exclusive content management) lives in `dynex-core`; this type
+//! provides the conventional L1+L2 baseline those experiments compare
+//! against.
+
+use crate::{AccessOutcome, CacheSim, CacheStats};
+
+/// Combined statistics of a two-level hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchyStats {
+    /// First-level statistics (all references).
+    pub l1: CacheStats,
+    /// Second-level statistics (references that missed in L1).
+    pub l2: CacheStats,
+}
+
+impl HierarchyStats {
+    /// L2 misses divided by *all* references (the "global" L2 miss rate).
+    pub fn global_l2_miss_rate(&self) -> f64 {
+        if self.l1.accesses() == 0 {
+            0.0
+        } else {
+            self.l2.misses() as f64 / self.l1.accesses() as f64
+        }
+    }
+}
+
+/// Two stacked simulators: every L1 miss is presented to L2.
+///
+/// The overall [`AccessOutcome`] is the L1 outcome (an L1 miss counts as a
+/// miss whether or not L2 holds the block), matching the paper's L1
+/// miss-rate accounting; L2 behaviour is read from [`TwoLevel::hierarchy_stats`].
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{CacheConfig, CacheSim, DirectMapped, TwoLevel};
+///
+/// let l1 = DirectMapped::new(CacheConfig::direct_mapped(64, 4)?);
+/// let l2 = DirectMapped::new(CacheConfig::direct_mapped(256, 4)?);
+/// let mut h = TwoLevel::new(l1, l2);
+/// h.access(0x0);
+/// let stats = h.hierarchy_stats();
+/// assert_eq!(stats.l1.misses(), 1);
+/// assert_eq!(stats.l2.accesses(), 1);
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLevel<L1, L2> {
+    l1: L1,
+    l2: L2,
+}
+
+impl<L1: CacheSim, L2: CacheSim> TwoLevel<L1, L2> {
+    /// Stacks `l1` over `l2`.
+    pub fn new(l1: L1, l2: L2) -> TwoLevel<L1, L2> {
+        TwoLevel { l1, l2 }
+    }
+
+    /// The first-level simulator.
+    pub fn l1(&self) -> &L1 {
+        &self.l1
+    }
+
+    /// The second-level simulator.
+    pub fn l2(&self) -> &L2 {
+        &self.l2
+    }
+
+    /// Statistics for both levels.
+    pub fn hierarchy_stats(&self) -> HierarchyStats {
+        HierarchyStats { l1: self.l1.stats(), l2: self.l2.stats() }
+    }
+}
+
+impl<L1: CacheSim, L2: CacheSim> CacheSim for TwoLevel<L1, L2> {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        let outcome = self.l1.access(addr);
+        if outcome.is_miss() {
+            self.l2.access(addr);
+        }
+        outcome
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    fn label(&self) -> String {
+        format!("L1[{}] + L2[{}]", self.l1.label(), self.l2.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_addrs, CacheConfig, DirectMapped};
+
+    fn hierarchy(l1_size: u32, l2_size: u32) -> TwoLevel<DirectMapped, DirectMapped> {
+        TwoLevel::new(
+            DirectMapped::new(CacheConfig::direct_mapped(l1_size, 4).unwrap()),
+            DirectMapped::new(CacheConfig::direct_mapped(l2_size, 4).unwrap()),
+        )
+    }
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let mut h = hierarchy(64, 256);
+        run_addrs(&mut h, [0u32, 0, 0, 4, 4]);
+        let s = h.hierarchy_stats();
+        assert_eq!(s.l1.accesses(), 5);
+        assert_eq!(s.l1.misses(), 2);
+        assert_eq!(s.l2.accesses(), 2);
+    }
+
+    #[test]
+    fn larger_l2_absorbs_l1_conflicts() {
+        // a/b conflict in a 64B L1 but coexist in a 256B L2.
+        let mut h = hierarchy(64, 256);
+        let stats = run_addrs(&mut h, (0..20).map(|i| if i % 2 == 0 { 0u32 } else { 64 }));
+        assert_eq!(stats.misses(), 20); // L1 thrashes
+        let s = h.hierarchy_stats();
+        assert_eq!(s.l2.misses(), 2); // but L2 holds both
+        assert!((s.global_l2_miss_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overall_outcome_is_l1_outcome() {
+        let mut h = hierarchy(64, 256);
+        h.access(0x0);
+        h.access(0x40); // L1 conflict
+        assert!(h.access(0x0).is_miss()); // L2 hit, still an L1 miss
+    }
+
+    #[test]
+    fn empty_hierarchy_global_rate_zero() {
+        let h = hierarchy(64, 256);
+        assert_eq!(h.hierarchy_stats().global_l2_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn label_names_both_levels() {
+        let h = hierarchy(64, 256);
+        assert!(h.label().contains("L1["));
+        assert!(h.label().contains("L2["));
+    }
+}

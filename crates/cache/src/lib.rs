@@ -1,0 +1,63 @@
+//! Trace-driven cache simulation substrate for the `dynex` workspace.
+//!
+//! This crate provides everything McFarling's ISCA '92 dynamic-exclusion
+//! study needs *underneath* the contribution itself:
+//!
+//! * [`CacheConfig`] / [`Geometry`] — size/line/associativity parameters and
+//!   the derived index/tag arithmetic,
+//! * [`DirectMapped`] — the baseline cache of the paper,
+//! * [`SetAssociative`] and [`FullyAssociative`] — comparison organizations
+//!   with pluggable [`Replacement`] policies,
+//! * [`VictimCache`] and [`StreamBuffer`] — the related-work hardware from
+//!   Jouppi \[Jou90\] that Section 2 compares against,
+//! * [`TwoLevel`] — a generic two-level hierarchy,
+//! * the [`CacheSim`] trait and [`run`] driver shared by every simulator in
+//!   the workspace (including the dynamic-exclusion caches in `dynex-core`).
+//!
+//! All simulators are miss-rate models: they track contents and replacement
+//! state, not timing, exactly like the paper's trace-driven evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynex_cache::{run, CacheConfig, CacheSim, DirectMapped};
+//! use dynex_trace::Access;
+//!
+//! let config = CacheConfig::direct_mapped(1024, 4)?;
+//! let mut cache = DirectMapped::new(config);
+//! let stats = run(&mut cache, [Access::fetch(0x0), Access::fetch(0x0), Access::fetch(0x400)]);
+//! assert_eq!(stats.hits(), 1);
+//! assert_eq!(stats.misses(), 2);
+//! # Ok::<(), dynex_cache::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod config;
+mod direct;
+mod fully;
+mod hierarchy;
+mod min;
+mod rng;
+mod setassoc;
+mod sim;
+mod stats;
+mod stream_buffer;
+mod victim;
+mod write;
+
+pub use classify::{classify_direct_mapped, classify_direct_mapped_optimal, MissClassification};
+pub use config::{CacheConfig, ConfigError, Geometry};
+pub use direct::DirectMapped;
+pub use fully::FullyAssociative;
+pub use hierarchy::{HierarchyStats, TwoLevel};
+pub use min::OptimalFullyAssociative;
+pub use rng::SplitMix64;
+pub use setassoc::{Replacement, SetAssociative};
+pub use sim::{run, run_addrs, AccessOutcome, CacheSim};
+pub use stats::CacheStats;
+pub use stream_buffer::{StreamBuffer, StreamBufferStats};
+pub use victim::VictimCache;
+pub use write::{MemoryTraffic, WriteMode, WritebackCache};

@@ -1,0 +1,147 @@
+//! The simulator interface shared by every cache model in the workspace.
+
+use dynex_trace::Access;
+
+use crate::CacheStats;
+
+/// Result of presenting one address to a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// The block was found in the cache (or an attached buffer).
+    Hit,
+    /// The block was not present and had to be fetched.
+    Miss,
+}
+
+impl AccessOutcome {
+    /// `true` for [`AccessOutcome::Miss`].
+    pub fn is_miss(self) -> bool {
+        matches!(self, AccessOutcome::Miss)
+    }
+
+    /// `true` for [`AccessOutcome::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// A trace-driven cache simulator.
+///
+/// Simulators are presented raw byte addresses; callers choose which
+/// reference kinds reach which simulator (instruction cache, data cache,
+/// combined) using the filters in [`dynex_trace::filter`].
+///
+/// Implementations must update their own [`CacheStats`] on every
+/// [`CacheSim::access`] call so that [`run`] and manual driving agree.
+pub trait CacheSim {
+    /// Presents one byte address; returns whether it hit.
+    fn access(&mut self, addr: u32) -> AccessOutcome;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> CacheStats;
+
+    /// A short human-readable description (used in experiment tables).
+    fn label(&self) -> String;
+}
+
+/// Drives `sim` over a stream of accesses and returns the final statistics.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{run, CacheConfig, DirectMapped};
+/// use dynex_trace::Access;
+///
+/// let mut dm = DirectMapped::new(CacheConfig::direct_mapped(64, 4)?);
+/// let stats = run(&mut dm, [Access::fetch(0), Access::fetch(0)]);
+/// assert_eq!(stats.misses(), 1);
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+pub fn run<S, I>(sim: &mut S, accesses: I) -> CacheStats
+where
+    S: CacheSim + ?Sized,
+    I: IntoIterator<Item = Access>,
+{
+    for access in accesses {
+        sim.access(access.addr());
+    }
+    sim.stats()
+}
+
+/// Drives `sim` over raw byte addresses.
+pub fn run_addrs<S, I>(sim: &mut S, addrs: I) -> CacheStats
+where
+    S: CacheSim + ?Sized,
+    I: IntoIterator<Item = u32>,
+{
+    for addr in addrs {
+        sim.access(addr);
+    }
+    sim.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(AccessOutcome::Miss.is_miss());
+        assert!(!AccessOutcome::Miss.is_hit());
+        assert!(AccessOutcome::Hit.is_hit());
+        assert!(!AccessOutcome::Hit.is_miss());
+    }
+
+    /// A trivial simulator: hits iff the address was seen before (infinite cache).
+    struct Infinite {
+        seen: std::collections::HashSet<u32>,
+        stats: CacheStats,
+    }
+
+    impl CacheSim for Infinite {
+        fn access(&mut self, addr: u32) -> AccessOutcome {
+            let outcome =
+                if self.seen.insert(addr) { AccessOutcome::Miss } else { AccessOutcome::Hit };
+            self.stats.record(outcome);
+            outcome
+        }
+
+        fn stats(&self) -> CacheStats {
+            self.stats
+        }
+
+        fn label(&self) -> String {
+            "infinite".to_owned()
+        }
+    }
+
+    #[test]
+    fn run_drives_all_accesses() {
+        let mut sim = Infinite { seen: Default::default(), stats: CacheStats::new() };
+        let stats = run(
+            &mut sim,
+            [Access::fetch(0), Access::fetch(4), Access::fetch(0), Access::read(4)],
+        );
+        assert_eq!(stats.accesses(), 4);
+        assert_eq!(stats.misses(), 2); // cold misses only
+    }
+
+    #[test]
+    fn run_addrs_equivalent() {
+        let mut a = Infinite { seen: Default::default(), stats: CacheStats::new() };
+        let mut b = Infinite { seen: Default::default(), stats: CacheStats::new() };
+        let addrs = [0u32, 4, 0, 8, 4];
+        run(&mut a, addrs.iter().map(|&x| Access::fetch(x)));
+        run_addrs(&mut b, addrs);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut sim = Infinite { seen: Default::default(), stats: CacheStats::new() };
+        let dyn_sim: &mut dyn CacheSim = &mut sim;
+        let stats = run_addrs(dyn_sim, [0, 0]);
+        assert_eq!(stats.hits(), 1);
+        assert_eq!(dyn_sim.label(), "infinite");
+    }
+}

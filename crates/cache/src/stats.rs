@@ -1,0 +1,164 @@
+//! Hit/miss accounting shared by all simulators.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use crate::AccessOutcome;
+
+/// Hit/miss counters and derived miss-rate metrics.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{AccessOutcome, CacheStats};
+///
+/// let mut stats = CacheStats::new();
+/// stats.record(AccessOutcome::Miss);
+/// stats.record(AccessOutcome::Hit);
+/// assert_eq!(stats.miss_rate(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    accesses: u64,
+    misses: u64,
+}
+
+impl CacheStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> CacheStats {
+        CacheStats::default()
+    }
+
+    /// Records one access outcome.
+    pub fn record(&mut self, outcome: AccessOutcome) {
+        self.accesses += 1;
+        if outcome.is_miss() {
+            self.misses += 1;
+        }
+    }
+
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Accesses that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Accesses that hit.
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; 0 for an empty run.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss rate as a percentage, the unit the paper's figures use.
+    pub fn miss_rate_percent(&self) -> f64 {
+        self.miss_rate() * 100.0
+    }
+
+    /// Percentage reduction of this miss rate relative to `baseline`
+    /// (positive = fewer misses than the baseline), the metric of the paper's
+    /// Figures 5, 9 and 12.
+    ///
+    /// Returns 0 when the baseline had no misses.
+    pub fn percent_reduction_vs(&self, baseline: &CacheStats) -> f64 {
+        let base = baseline.miss_rate();
+        if base == 0.0 {
+            0.0
+        } else {
+            (base - self.miss_rate()) / base * 100.0
+        }
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats { accesses: self.accesses + rhs.accesses, misses: self.misses + rhs.misses }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%)",
+            self.accesses,
+            self.misses,
+            self.miss_rate_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(hits: u64, misses: u64) -> CacheStats {
+        let mut s = CacheStats::new();
+        for _ in 0..hits {
+            s.record(AccessOutcome::Hit);
+        }
+        for _ in 0..misses {
+            s.record(AccessOutcome::Miss);
+        }
+        s
+    }
+
+    #[test]
+    fn counting() {
+        let s = stats(3, 1);
+        assert_eq!(s.accesses(), 4);
+        assert_eq!(s.hits(), 3);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.miss_rate(), 0.25);
+        assert_eq!(s.miss_rate_percent(), 25.0);
+    }
+
+    #[test]
+    fn empty_run_has_zero_miss_rate() {
+        assert_eq!(CacheStats::new().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn percent_reduction() {
+        let baseline = stats(80, 20); // 20%
+        let improved = stats(90, 10); // 10%
+        assert!((improved.percent_reduction_vs(&baseline) - 50.0).abs() < 1e-9);
+        // Worse than baseline gives a negative reduction.
+        let worse = stats(60, 40);
+        assert!(worse.percent_reduction_vs(&baseline) < 0.0);
+        // Perfect baseline: reduction defined as 0.
+        assert_eq!(stats(1, 1).percent_reduction_vs(&stats(5, 0)), 0.0);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let mut a = stats(2, 1);
+        a += stats(3, 4);
+        assert_eq!(a, stats(5, 5));
+        assert_eq!((stats(1, 0) + stats(0, 1)).accesses(), 2);
+    }
+
+    #[test]
+    fn display_shows_percentage() {
+        assert_eq!(stats(1, 1).to_string(), "2 accesses, 1 misses (50.00%)");
+    }
+}

@@ -1,0 +1,201 @@
+//! Stream buffer \[Jou90\]: sequential prefetch FIFO in front of memory.
+//!
+//! Section 2 of the dynamic-exclusion paper notes that stream buffers reduce
+//! the *penalty* of sequential instruction misses but do not change the
+//! number of conflict misses, making them complementary to dynamic
+//! exclusion. The `streambuf` experiment demonstrates exactly that.
+
+use crate::direct::INVALID_LINE;
+use crate::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry};
+
+/// Extra accounting for a [`StreamBuffer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamBufferStats {
+    /// Demand accesses served by the buffer head instead of memory.
+    pub stream_hits: u64,
+    /// Buffer flushes caused by non-sequential misses.
+    pub flushes: u64,
+}
+
+/// A direct-mapped cache fronted by a `depth`-entry sequential stream buffer.
+///
+/// On a cache miss the buffer head is probed: a match promotes the line into
+/// the cache (no memory access, counted as a hit) and the buffer prefetches
+/// the next sequential line; a mismatch flushes and restarts the buffer at
+/// the miss address.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{CacheConfig, CacheSim, StreamBuffer};
+///
+/// let config = CacheConfig::direct_mapped(64, 4)?;
+/// let mut cache = StreamBuffer::new(config, 4);
+/// cache.access(0x100);                 // miss, buffer starts at 0x104
+/// assert!(cache.access(0x104).is_hit()); // served by the buffer
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamBuffer {
+    config: CacheConfig,
+    geometry: Geometry,
+    lines: Vec<u32>,
+    /// Prefetched line addresses, head first; `buffer[i] = next_line + i`.
+    buffer: Vec<u32>,
+    depth: usize,
+    extra: StreamBufferStats,
+    stats: CacheStats,
+}
+
+impl StreamBuffer {
+    /// Creates an empty cache with a `depth`-line stream buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is not direct-mapped or `depth == 0`.
+    pub fn new(config: CacheConfig, depth: usize) -> StreamBuffer {
+        assert_eq!(config.associativity(), 1, "stream buffers extend a direct-mapped cache");
+        assert!(depth > 0, "stream buffer must hold at least one line");
+        StreamBuffer {
+            config,
+            geometry: config.geometry(),
+            lines: vec![INVALID_LINE; config.n_sets() as usize],
+            buffer: Vec::with_capacity(depth),
+            depth,
+            extra: StreamBufferStats::default(),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The primary cache configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Stream-buffer specific counters.
+    pub fn stream_stats(&self) -> StreamBufferStats {
+        self.extra
+    }
+
+    fn refill_from(&mut self, line: u32) {
+        self.buffer.clear();
+        for i in 1..=self.depth as u32 {
+            self.buffer.push(line.wrapping_add(i));
+        }
+    }
+}
+
+impl CacheSim for StreamBuffer {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        let line = self.geometry.line_addr(addr);
+        let set = self.geometry.set_of_line(line) as usize;
+        let outcome = if self.lines[set] == line {
+            AccessOutcome::Hit
+        } else if self.buffer.first() == Some(&line) {
+            // Promote from the buffer: no memory access for the demand line.
+            self.buffer.remove(0);
+            let next = self.buffer.last().map_or(line + 1, |&l| l + 1);
+            self.buffer.push(next);
+            self.lines[set] = line;
+            self.extra.stream_hits += 1;
+            AccessOutcome::Hit
+        } else {
+            if !self.buffer.is_empty() {
+                self.extra.flushes += 1;
+            }
+            self.refill_from(line);
+            self.lines[set] = line;
+            AccessOutcome::Miss
+        };
+        self.stats.record(outcome);
+        outcome
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn label(&self) -> String {
+        format!("{} + {}-deep stream buffer", self.config, self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_addrs, DirectMapped};
+
+    fn cache(depth: usize) -> StreamBuffer {
+        StreamBuffer::new(CacheConfig::direct_mapped(64, 4).unwrap(), depth)
+    }
+
+    #[test]
+    fn sequential_run_costs_one_memory_miss() {
+        // A long cold sequential sweep: only the first access reaches memory;
+        // the buffer strides along in front of the rest.
+        let mut c = cache(4);
+        let stats = run_addrs(&mut c, (0..32u32).map(|i| 0x1000 + i * 4));
+        assert_eq!(stats.misses(), 1);
+        assert_eq!(c.stream_stats().stream_hits, 31);
+    }
+
+    #[test]
+    fn nonsequential_miss_flushes() {
+        let mut c = cache(4);
+        c.access(0x100); // buffer: 0x104..
+        c.access(0x900); // non-sequential: flush + restart
+        assert_eq!(c.stream_stats().flushes, 1);
+        assert!(c.access(0x904).is_hit()); // new stream
+    }
+
+    #[test]
+    fn conflict_misses_unchanged() {
+        // Two conflicting blocks alternating: the buffer never helps, exactly
+        // the paper's point that stream buffers are orthogonal to conflicts.
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let mut plain = DirectMapped::new(config);
+        let mut sb = StreamBuffer::new(config, 4);
+        let addrs: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { 0u32 } else { 64 }).collect();
+        assert_eq!(
+            run_addrs(&mut plain, addrs.iter().copied()).misses(),
+            run_addrs(&mut sb, addrs).misses()
+        );
+    }
+
+    #[test]
+    fn never_more_memory_fetches_than_plain() {
+        let config = CacheConfig::direct_mapped(128, 4).unwrap();
+        let mut plain = DirectMapped::new(config);
+        let mut sb = StreamBuffer::new(config, 4);
+        let mut rng = crate::SplitMix64::new(77);
+        // Mix of sequential runs and jumps.
+        let mut addrs = Vec::new();
+        let mut pc = 0u32;
+        for _ in 0..2000 {
+            if rng.chance(0.2) {
+                pc = (rng.below(4096) as u32) & !3;
+            } else {
+                pc += 4;
+            }
+            addrs.push(pc);
+        }
+        let plain_stats = run_addrs(&mut plain, addrs.iter().copied());
+        let sb_stats = run_addrs(&mut sb, addrs);
+        assert!(sb_stats.misses() <= plain_stats.misses());
+    }
+
+    #[test]
+    fn hit_in_cache_leaves_buffer_alone() {
+        let mut c = cache(2);
+        c.access(0x0);
+        c.access(0x0);
+        assert_eq!(c.stream_stats().flushes, 0);
+        assert_eq!(c.stream_stats().stream_hits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_depth_rejected() {
+        cache(0);
+    }
+}

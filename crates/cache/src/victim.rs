@@ -1,0 +1,190 @@
+//! Victim cache \[Jou90\]: a direct-mapped cache backed by a small
+//! fully-associative buffer of recently evicted lines.
+//!
+//! Section 2 of the dynamic-exclusion paper positions victim caches as the
+//! competing hardware fix for direct-mapped conflicts, noting they work well
+//! for data (few conflicting blocks) but poorly for instructions (many). The
+//! `victim` experiment reproduces that comparison.
+
+use crate::direct::INVALID_LINE;
+use crate::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry};
+
+/// A direct-mapped cache with a victim buffer.
+///
+/// On a primary miss the victim buffer is probed; a buffer hit swaps the
+/// victim back into the primary cache (counted as a hit, since no memory
+/// access occurs, matching Jouppi's accounting). On a full miss the displaced
+/// primary line enters the buffer, evicting its least recently used entry.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{CacheConfig, CacheSim, VictimCache};
+///
+/// let config = CacheConfig::direct_mapped(256, 4)?;
+/// let mut cache = VictimCache::new(config, 4);
+/// cache.access(0x0);
+/// cache.access(0x100); // evicts 0x0 into the victim buffer
+/// assert!(cache.access(0x0).is_hit()); // rescued from the buffer
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VictimCache {
+    config: CacheConfig,
+    geometry: Geometry,
+    lines: Vec<u32>,
+    /// Victim lines, most recently inserted first.
+    victims: Vec<u32>,
+    victim_entries: usize,
+    victim_hits: u64,
+    stats: CacheStats,
+}
+
+impl VictimCache {
+    /// Creates an empty cache with a `victim_entries`-line buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is not direct-mapped or `victim_entries == 0`.
+    pub fn new(config: CacheConfig, victim_entries: usize) -> VictimCache {
+        assert_eq!(config.associativity(), 1, "victim caches extend a direct-mapped cache");
+        assert!(victim_entries > 0, "victim buffer must hold at least one line");
+        VictimCache {
+            config,
+            geometry: config.geometry(),
+            lines: vec![INVALID_LINE; config.n_sets() as usize],
+            victims: Vec::with_capacity(victim_entries),
+            victim_entries,
+            victim_hits: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The primary cache configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Number of entries in the victim buffer.
+    pub fn victim_entries(&self) -> usize {
+        self.victim_entries
+    }
+
+    /// How many accesses were rescued by the victim buffer.
+    pub fn victim_hits(&self) -> u64 {
+        self.victim_hits
+    }
+
+    fn push_victim(&mut self, line: u32) {
+        if line == INVALID_LINE {
+            return;
+        }
+        if self.victims.len() == self.victim_entries {
+            self.victims.pop();
+        }
+        self.victims.insert(0, line);
+    }
+}
+
+impl CacheSim for VictimCache {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        let line = self.geometry.line_addr(addr);
+        let set = self.geometry.set_of_line(line) as usize;
+        let outcome = if self.lines[set] == line {
+            AccessOutcome::Hit
+        } else if let Some(pos) = self.victims.iter().position(|&v| v == line) {
+            // Swap: rescued victim returns to the primary cache; the
+            // displaced primary line takes its place in the buffer.
+            self.victims.remove(pos);
+            let displaced = self.lines[set];
+            self.lines[set] = line;
+            self.push_victim(displaced);
+            self.victim_hits += 1;
+            AccessOutcome::Hit
+        } else {
+            let displaced = self.lines[set];
+            self.lines[set] = line;
+            self.push_victim(displaced);
+            AccessOutcome::Miss
+        };
+        self.stats.record(outcome);
+        outcome
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn label(&self) -> String {
+        format!("{} + {}-entry victim buffer", self.config, self.victim_entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_addrs, DirectMapped};
+
+    fn cache(entries: usize) -> VictimCache {
+        VictimCache::new(CacheConfig::direct_mapped(256, 4).unwrap(), entries)
+    }
+
+    #[test]
+    fn pairwise_thrash_is_absorbed() {
+        // a/b alternating on one line: a victim buffer turns this into 2 cold
+        // misses — the pathological case Jouppi built the buffer for.
+        let mut c = cache(1);
+        let stats = run_addrs(&mut c, (0..20).map(|i| if i % 2 == 0 { 0u32 } else { 256 }));
+        assert_eq!(stats.misses(), 2);
+        assert_eq!(c.victim_hits(), 18);
+    }
+
+    #[test]
+    fn many_way_conflict_overwhelms_small_buffer() {
+        // 6 blocks cycling through one line with a 4-entry buffer... the
+        // rotation distance (5 intervening victims + displaced line) exceeds
+        // the buffer, so every access misses — the instruction-stream failure
+        // mode the paper describes.
+        let mut c = cache(4);
+        let stats = run_addrs(&mut c, (0..60).map(|i| (i % 6) * 256));
+        assert_eq!(stats.misses(), 60);
+    }
+
+    #[test]
+    fn never_worse_than_plain_direct_mapped() {
+        let config = CacheConfig::direct_mapped(128, 4).unwrap();
+        let mut plain = DirectMapped::new(config);
+        let mut vc = VictimCache::new(config, 2);
+        let mut rng = crate::SplitMix64::new(21);
+        let addrs: Vec<u32> = (0..5000).map(|_| (rng.below(2048) as u32) & !3).collect();
+        let plain_stats = run_addrs(&mut plain, addrs.iter().copied());
+        let vc_stats = run_addrs(&mut vc, addrs);
+        assert!(vc_stats.misses() <= plain_stats.misses());
+    }
+
+    #[test]
+    fn swap_restores_displaced_line() {
+        let mut c = cache(2);
+        c.access(0x0); // resident
+        c.access(0x100); // 0x0 -> buffer
+        c.access(0x0); // swap back; 0x100 -> buffer
+        assert!(c.access(0x100).is_hit()); // still rescuable
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_entry_buffer_rejected() {
+        cache(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "direct-mapped")]
+    fn associative_primary_rejected() {
+        VictimCache::new(CacheConfig::new(256, 4, 2).unwrap(), 2);
+    }
+
+    #[test]
+    fn label_mentions_buffer() {
+        assert!(cache(4).label().contains("4-entry victim buffer"));
+    }
+}

@@ -1,0 +1,236 @@
+//! The single-level dynamic-exclusion cache (Sections 4–5 of the paper).
+
+use dynex_cache::{AccessOutcome, CacheConfig, CacheSim, CacheStats};
+
+use crate::{DeEvent, DeLines, HitLastStore, PerfectStore};
+
+/// Dynamic-exclusion-specific counters, beyond hit/miss accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeStats {
+    /// Misses that installed the referenced block.
+    pub loads: u64,
+    /// Misses that bypassed the cache (block passed straight to the CPU).
+    pub bypasses: u64,
+}
+
+/// A direct-mapped cache governed by the dynamic-exclusion FSM.
+///
+/// This is the cache of the paper's Figures 3–5 (instruction streams),
+/// Figure 14 (data streams), and Figure 15 (combined streams): one-word
+/// lines, sticky bit per line, and a [`HitLastStore`] for the hit-last bits
+/// of non-resident blocks ([`PerfectStore`] by default — the "in principle"
+/// store; use [`crate::HashedStore`] for the bounded one, or
+/// [`crate::DeHierarchy`] for the L2-backed strategies).
+///
+/// For line sizes above one word, wrap the reference stream semantics with
+/// [`crate::LastLineDeCache`] instead: a bare `DeCache` updates FSM state on
+/// every reference, which destroys the loop patterns the FSM recognizes —
+/// exactly the problem Section 6 of the paper describes.
+///
+/// # Examples
+///
+/// ```
+/// use dynex::DeCache;
+/// use dynex_cache::{run_addrs, CacheConfig, CacheSim};
+///
+/// // The loop-level pattern (a^4 b)^3: b only interrupts, so b is excluded.
+/// let mut de = DeCache::new(CacheConfig::direct_mapped(64, 4)?);
+/// let mut refs = Vec::new();
+/// for _ in 0..3 {
+///     refs.extend([0u32; 4]); // a
+///     refs.push(64);          // b, conflicting
+/// }
+/// let stats = run_addrs(&mut de, refs);
+/// assert_eq!(stats.misses(), 4); // a once + b three times; a is never evicted
+/// assert_eq!(de.de_stats().bypasses, 3);
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeCache<S = PerfectStore> {
+    config: CacheConfig,
+    lines: DeLines,
+    store: S,
+    stats: CacheStats,
+    de_stats: DeStats,
+}
+
+impl DeCache<PerfectStore> {
+    /// Creates a DE cache with an unbounded ("in principle") hit-last store.
+    pub fn new(config: CacheConfig) -> DeCache<PerfectStore> {
+        DeCache::with_store(config, PerfectStore::new())
+    }
+}
+
+impl<S: HitLastStore> DeCache<S> {
+    /// Creates a DE cache over a caller-provided hit-last store.
+    pub fn with_store(config: CacheConfig, store: S) -> DeCache<S> {
+        DeCache {
+            config,
+            lines: DeLines::new(config),
+            store,
+            stats: CacheStats::new(),
+            de_stats: DeStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Dynamic-exclusion-specific counters.
+    pub fn de_stats(&self) -> DeStats {
+        self.de_stats
+    }
+
+    /// The hit-last store (for inspection in tests and experiments).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Whether the block containing `addr` is resident (no state change).
+    pub fn contains(&self, addr: u32) -> bool {
+        self.lines.contains_line(self.lines.geometry().line_addr(addr))
+    }
+
+    /// Presents a *line address* (shared with [`crate::LastLineDeCache`]).
+    pub(crate) fn access_line(&mut self, line: u32) -> AccessOutcome {
+        let h_pred = self.store.get(line);
+        let event = self.lines.access_line(line, h_pred);
+        let outcome = match event {
+            DeEvent::Hit => AccessOutcome::Hit,
+            DeEvent::Loaded { victim } => {
+                self.de_stats.loads += 1;
+                if let Some((victim_line, victim_h)) = victim {
+                    self.store.set(victim_line, victim_h);
+                }
+                AccessOutcome::Miss
+            }
+            DeEvent::Bypassed => {
+                self.de_stats.bypasses += 1;
+                AccessOutcome::Miss
+            }
+        };
+        self.stats.record(outcome);
+        outcome
+    }
+}
+
+impl<S: HitLastStore> CacheSim for DeCache<S> {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        let line = self.lines.geometry().line_addr(addr);
+        self.access_line(line)
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn label(&self) -> String {
+        format!("{} (dynamic exclusion)", self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HashedStore;
+    use dynex_cache::{run_addrs, DirectMapped};
+
+    fn config(size: u32) -> CacheConfig {
+        CacheConfig::direct_mapped(size, 4).unwrap()
+    }
+
+    /// Addresses for two conflicting blocks in a 64B cache.
+    const A: u32 = 0;
+    const B: u32 = 64;
+
+    #[test]
+    fn within_loop_pattern_halves_misses() {
+        // (a b)^10: DM misses all 20; DE settles to a-hits/b-bypasses.
+        let mut de = DeCache::new(config(64));
+        let addrs: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { A } else { B }).collect();
+        let stats = run_addrs(&mut de, addrs);
+        assert_eq!(stats.misses(), 11); // cold a + 10 b misses
+        assert_eq!(de.de_stats().bypasses, 10);
+        assert_eq!(de.de_stats().loads, 1);
+    }
+
+    #[test]
+    fn conflict_between_loops_matches_optimal_after_training() {
+        // (a^10 b^10)^10: optimal misses 20; DE within 2.
+        let mut de = DeCache::new(config(64));
+        let mut addrs = Vec::new();
+        for _ in 0..10 {
+            addrs.extend(std::iter::repeat(A).take(10));
+            addrs.extend(std::iter::repeat(B).take(10));
+        }
+        let stats = run_addrs(&mut de, addrs);
+        assert!((20..=22).contains(&stats.misses()), "got {}", stats.misses());
+    }
+
+    #[test]
+    fn no_conflicts_behaves_like_conventional() {
+        // Disjoint working set fitting the cache: DE must not add misses
+        // beyond cold start.
+        let cfg = config(256);
+        let addrs: Vec<u32> = (0..64u32)
+            .map(|i| (i % 16) * 4)
+            .collect();
+        let mut de = DeCache::new(cfg);
+        let mut dm = DirectMapped::new(cfg);
+        let de_stats = run_addrs(&mut de, addrs.iter().copied());
+        let dm_stats = run_addrs(&mut dm, addrs);
+        assert_eq!(de_stats.misses(), dm_stats.misses());
+        assert_eq!(de.de_stats().bypasses, 0);
+    }
+
+    #[test]
+    fn victim_hit_last_written_back_to_store() {
+        let mut de = DeCache::new(config(64));
+        // Load a, let it hit, then force it out via b (h[b] trained).
+        run_addrs(&mut de, [A, A, B, B, A]);
+        // Timeline: a load (h_copy=1), a hit, b bypass (s->0), b load
+        // (victim a written back with h=1), a: sticky miss with h[a]=1 ->
+        // load (victim b written back with h_copy=1).
+        assert!(de.contains(A));
+        assert!(!de.contains(B));
+        assert!(de.store().get(B >> 2), "b's hit-last copy written back on displacement");
+        assert!(de.store().get(A >> 2), "a's bit from its first displacement");
+        assert_eq!(de.stats().misses(), 4);
+    }
+
+    #[test]
+    fn hashed_store_variant_runs() {
+        let cfg = config(64);
+        let mut de = DeCache::with_store(cfg, HashedStore::new(cfg, 4));
+        let addrs: Vec<u32> = (0..40).map(|i| if i % 2 == 0 { A } else { B }).collect();
+        let stats = run_addrs(&mut de, addrs);
+        // Only two blocks: no aliasing pressure, must match the perfect
+        // store's behaviour.
+        assert_eq!(stats.misses(), 21);
+    }
+
+    #[test]
+    fn bypasses_plus_loads_equal_misses() {
+        let mut de = DeCache::new(config(64));
+        let mut rng = dynex_cache::SplitMix64::new(3);
+        let addrs: Vec<u32> = (0..1000).map(|_| (rng.below(64) as u32) * 4).collect();
+        let stats = run_addrs(&mut de, addrs);
+        assert_eq!(de.de_stats().loads + de.de_stats().bypasses, stats.misses());
+    }
+
+    #[test]
+    fn contains_tracks_residency_not_bypass() {
+        let mut de = DeCache::new(config(64));
+        de.access(A);
+        de.access(B); // bypassed
+        assert!(de.contains(A));
+        assert!(!de.contains(B));
+    }
+
+    #[test]
+    fn label_mentions_dynamic_exclusion() {
+        assert!(DeCache::new(config(64)).label().contains("dynamic exclusion"));
+    }
+}

@@ -1,0 +1,286 @@
+//! The dynamic-exclusion finite-state machine (Figure 1 of the paper).
+//!
+//! The FSM is presented here as a pure transition function over three input
+//! bits so it can be tested exhaustively and reused by every cache variant:
+//!
+//! * `hit` — the referenced block is the line's resident block,
+//! * `sticky` — the line's sticky bit,
+//! * `hit_last` — the referenced block's hit-last bit (`h[x]`), consulted
+//!   only on a miss.
+//!
+//! The transition table (see `DESIGN.md` for the derivation from the paper's
+//! narrative):
+//!
+//! | condition                   | action  | sticky' | h\[x\]'      |
+//! |-----------------------------|---------|---------|--------------|
+//! | hit                         | hit     | 1       | 1            |
+//! | miss, `!sticky`             | load    | 1       | 1 (anomaly)  |
+//! | miss, `sticky`, `h[x]`      | load    | 1       | 0 (consumed) |
+//! | miss, `sticky`, `!h[x]`     | bypass  | 0       | unchanged    |
+//!
+//! The "anomaly" row is the transition the paper calls out explicitly
+//! (`A,!s -> B,s` sets `h[b]` although `b` did not hit); it lets random
+//! references enter the cache sooner. The "consumed" row gives a block loaded
+//! on the strength of its hit-last bit exactly one residency to prove itself,
+//! which is what converges the loop-level pattern `(a^n b)^m` to permanently
+//! excluding `b`.
+
+/// What the cache should do with the referenced block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeAction {
+    /// The block is resident: serve it from the cache.
+    Hit,
+    /// Miss: fetch the block and store it, replacing the resident block.
+    Load,
+    /// Miss: fetch the block and pass it to the CPU *without* storing it.
+    Bypass,
+}
+
+impl DeAction {
+    /// `true` unless the reference hit.
+    pub fn is_miss(self) -> bool {
+        !matches!(self, DeAction::Hit)
+    }
+
+    /// `true` if the block ends up resident after the reference.
+    pub fn installs(self) -> bool {
+        matches!(self, DeAction::Load)
+    }
+}
+
+/// Complete result of one FSM step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transition {
+    /// What to do with the referenced block.
+    pub action: DeAction,
+    /// New value of the line's sticky bit.
+    pub sticky_after: bool,
+    /// New value of the referenced block's hit-last bit, or `None` if it is
+    /// left unchanged.
+    pub hit_last_after: Option<bool>,
+}
+
+/// One step of the dynamic-exclusion FSM.
+///
+/// # Examples
+///
+/// ```
+/// use dynex::fsm::{step, DeAction};
+///
+/// // Sticky line defends its resident against a block that did not hit last
+/// // time — the block is bypassed and the line's inertia is spent.
+/// let t = step(false, true, false);
+/// assert_eq!(t.action, DeAction::Bypass);
+/// assert!(!t.sticky_after);
+/// assert_eq!(t.hit_last_after, None);
+/// ```
+pub fn step(hit: bool, sticky: bool, hit_last: bool) -> Transition {
+    if hit {
+        Transition { action: DeAction::Hit, sticky_after: true, hit_last_after: Some(true) }
+    } else if !sticky {
+        Transition { action: DeAction::Load, sticky_after: true, hit_last_after: Some(true) }
+    } else if hit_last {
+        Transition { action: DeAction::Load, sticky_after: true, hit_last_after: Some(false) }
+    } else {
+        Transition { action: DeAction::Bypass, sticky_after: false, hit_last_after: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exhaustive_table() {
+        // All eight input combinations, pinned.
+        for hit_last in [false, true] {
+            // Hits ignore hit_last and always re-arm the line.
+            let t = step(true, false, hit_last);
+            assert_eq!(t.action, DeAction::Hit);
+            assert!(t.sticky_after);
+            assert_eq!(t.hit_last_after, Some(true));
+            let t = step(true, true, hit_last);
+            assert_eq!(t.action, DeAction::Hit);
+            assert!(t.sticky_after);
+            assert_eq!(t.hit_last_after, Some(true));
+        }
+        // Unsticky miss loads unconditionally (the h-setting anomaly).
+        for hit_last in [false, true] {
+            let t = step(false, false, hit_last);
+            assert_eq!(t.action, DeAction::Load);
+            assert!(t.sticky_after);
+            assert_eq!(t.hit_last_after, Some(true));
+        }
+        // Sticky miss: arbitrated by hit-last.
+        let t = step(false, true, true);
+        assert_eq!(t.action, DeAction::Load);
+        assert!(t.sticky_after);
+        assert_eq!(t.hit_last_after, Some(false));
+        let t = step(false, true, false);
+        assert_eq!(t.action, DeAction::Bypass);
+        assert!(!t.sticky_after);
+        assert_eq!(t.hit_last_after, None);
+    }
+
+    /// A tiny reference interpreter: one cache line, symbolic blocks.
+    /// Returns the per-reference actions.
+    fn run_line(refs: &[char], init_hit_last: &[(char, bool)]) -> Vec<DeAction> {
+        let mut resident: Option<char> = None;
+        let mut sticky = false;
+        let mut h: HashMap<char, bool> = init_hit_last.iter().copied().collect();
+        let mut actions = Vec::new();
+        for &x in refs {
+            let hit = resident == Some(x);
+            let t = step(hit, sticky, *h.get(&x).unwrap_or(&false));
+            sticky = t.sticky_after;
+            if let Some(v) = t.hit_last_after {
+                h.insert(x, v);
+            }
+            if t.action == DeAction::Load {
+                resident = Some(x);
+            }
+            actions.push(t.action);
+        }
+        actions
+    }
+
+    fn misses(actions: &[DeAction]) -> usize {
+        actions.iter().filter(|a| a.is_miss()).count()
+    }
+
+    /// Section 3.1, conflict between loops: (a^10 b^10)^10.
+    /// Conventional DM: 10% misses (20/200). Optimal DM: 10%.
+    /// DE must be within 2 misses of optimal from any initial state.
+    #[test]
+    fn pattern_conflict_between_loops() {
+        let mut refs = Vec::new();
+        for _ in 0..10 {
+            refs.extend(std::iter::repeat('a').take(10));
+            refs.extend(std::iter::repeat('b').take(10));
+        }
+        for ha in [false, true] {
+            for hb in [false, true] {
+                let actions = run_line(&refs, &[('a', ha), ('b', hb)]);
+                let m = misses(&actions);
+                assert!(
+                    (20..=22).contains(&m),
+                    "expected 20..=22 misses (optimal 20 + <=2 startup), got {m} \
+                     with h[a]={ha}, h[b]={hb}"
+                );
+            }
+        }
+    }
+
+    /// Section 3.2, conflict between loop levels: (a^10 b)^10.
+    /// Conventional DM: 18% (b knocks a out every iteration -> ~2 misses per
+    /// b). Optimal DM: 10% (11/110: a once, b always). DE: optimal + <=2.
+    #[test]
+    fn pattern_conflict_between_loop_levels() {
+        let mut refs = Vec::new();
+        for _ in 0..10 {
+            refs.extend(std::iter::repeat('a').take(10));
+            refs.push('b');
+        }
+        for ha in [false, true] {
+            for hb in [false, true] {
+                let actions = run_line(&refs, &[('a', ha), ('b', hb)]);
+                let m = misses(&actions);
+                assert!(
+                    (11..=13).contains(&m),
+                    "expected 11..=13 misses, got {m} with h[a]={ha}, h[b]={hb}"
+                );
+            }
+        }
+    }
+
+    /// After training, b must never be loaded again in (a^10 b)^m: the
+    /// sticky bit plus the consumed hit-last bit permanently exclude it.
+    #[test]
+    fn loop_level_pattern_excludes_b_permanently() {
+        let mut refs = Vec::new();
+        for _ in 0..10 {
+            refs.extend(std::iter::repeat('a').take(10));
+            refs.push('b');
+        }
+        // Worst case for b: h[b] initially set, so b gets one residency.
+        let actions = run_line(&refs, &[('a', false), ('b', true)]);
+        // Find loads of b: positions 10, 21, 32... are b's references.
+        let b_positions: Vec<usize> = (0..10).map(|k| 10 + k * 11).collect();
+        let b_loads = b_positions
+            .iter()
+            .filter(|&&p| actions[p] == DeAction::Load)
+            .count();
+        assert!(b_loads <= 1, "b must be loaded at most once, got {b_loads}");
+    }
+
+    /// Section 3.3, conflict within a loop: (a b)^10.
+    /// Conventional DM: 100%. Optimal DM: 55% (11/20). DE: 55% + <=2 misses.
+    #[test]
+    fn pattern_conflict_within_loop() {
+        let refs: Vec<char> = (0..20).map(|i| if i % 2 == 0 { 'a' } else { 'b' }).collect();
+        for ha in [false, true] {
+            for hb in [false, true] {
+                let actions = run_line(&refs, &[('a', ha), ('b', hb)]);
+                let m = misses(&actions);
+                assert!(
+                    (11..=13).contains(&m),
+                    "expected 11..=13 misses, got {m} with h[a]={ha}, h[b]={hb}"
+                );
+            }
+        }
+    }
+
+    /// In the within-loop pattern the FSM settles into the A,s <-> A,!s cycle
+    /// the paper describes: one block hits forever, the other bypasses.
+    #[test]
+    fn within_loop_settles_into_two_state_cycle() {
+        let refs: Vec<char> = (0..40).map(|i| if i % 2 == 0 { 'a' } else { 'b' }).collect();
+        let actions = run_line(&refs, &[]);
+        // Steady state (second half): alternating Hit / Bypass.
+        for (i, &action) in actions.iter().enumerate().skip(20) {
+            if i % 2 == 0 {
+                assert_eq!(action, DeAction::Hit, "a should hit at {i}");
+            } else {
+                assert_eq!(action, DeAction::Bypass, "b should bypass at {i}");
+            }
+        }
+    }
+
+    /// The three-way loop (a b c)^10 defeats the single sticky bit: the FSM
+    /// paper notes both DM and single-bit DE miss on every reference.
+    #[test]
+    fn three_way_loop_defeats_single_sticky_bit() {
+        let refs: Vec<char> = (0..30)
+            .map(|i| match i % 3 {
+                0 => 'a',
+                1 => 'b',
+                _ => 'c',
+            })
+            .collect();
+        let actions = run_line(&refs, &[]);
+        assert_eq!(misses(&actions), 30, "single-bit DE misses every (abc)^n reference");
+    }
+
+    /// A solo block (no conflicts) behaves exactly like a conventional cache:
+    /// one cold miss then hits.
+    #[test]
+    fn no_conflict_is_unaffected() {
+        let refs = vec!['a'; 50];
+        let actions = run_line(&refs, &[]);
+        assert_eq!(misses(&actions), 1);
+        assert!(actions[1..].iter().all(|&a| a == DeAction::Hit));
+    }
+
+    /// Bypass never installs; load always installs; hit never changes the
+    /// resident. (Guards the `installs` helper contract.)
+    #[test]
+    fn action_predicates() {
+        assert!(DeAction::Load.installs());
+        assert!(!DeAction::Bypass.installs());
+        assert!(!DeAction::Hit.installs());
+        assert!(DeAction::Load.is_miss());
+        assert!(DeAction::Bypass.is_miss());
+        assert!(!DeAction::Hit.is_miss());
+    }
+}

@@ -1,0 +1,486 @@
+//! Two-level hierarchies with dynamic exclusion at L1 (Section 5, Figure 6).
+//!
+//! The hit-last bit of a non-resident block "naturally" lives in the next
+//! level of the memory hierarchy, but the L2 cannot catch every L1 miss, so
+//! the paper studies three responses to an L2 miss:
+//!
+//! * **hashed** — forget the L2: keep a tagless table of hit-last bits in L1
+//!   (four per line suffice). Structurally simplest; the L2 need not even
+//!   know L1 uses dynamic exclusion.
+//! * **assume-hit** — store the bit with the L2 line; on an L2 miss assume
+//!   the block *would* have hit. Slightly fewer L1 misses, but the L2 must
+//!   stay inclusive, so it gains nothing itself.
+//! * **assume-miss** — as above but assume *not* hit on an L2 miss. Blocks
+//!   resident in L1 need not be stored in L2 at all (exclusion), which is
+//!   what lowers the L2 miss rate in Figures 8–9.
+//!
+//! The hashed strategy also manages L1/L2 contents exclusively (nothing
+//! forces inclusion), so it shares the L2 benefit.
+
+use std::error::Error;
+use std::fmt;
+
+use dynex_cache::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry};
+
+use crate::cache::DeStats;
+use crate::{DeEvent, DeLines, HashedStore, HitLastStore};
+
+const INVALID_LINE: u32 = u32::MAX;
+
+/// How the hierarchy answers "what is `h[x]`?" when the L2 cache misses —
+/// and, consequently, how L1/L2 contents are managed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLastStrategy {
+    /// Hit-last bits live in a tagless L1-side table
+    /// ([`HashedStore`]); L1/L2 contents are exclusive.
+    Hashed {
+        /// Table entries per L1 cache line (the paper finds 4 sufficient).
+        bits_per_line: u32,
+    },
+    /// Bits live with L2 lines; an L2 miss predicts "would hit". L2 is
+    /// inclusive (every L1 block also occupies L2).
+    AssumeHit,
+    /// Bits live with L2 lines; an L2 miss predicts "would not hit". L1/L2
+    /// contents are exclusive.
+    AssumeMiss,
+}
+
+impl HitLastStrategy {
+    /// `true` for the strategies that keep L1 contents out of L2.
+    pub fn is_exclusive(self) -> bool {
+        !matches!(self, HitLastStrategy::AssumeHit)
+    }
+
+    fn name(self) -> String {
+        match self {
+            HitLastStrategy::Hashed { bits_per_line } => format!("hashed/{bits_per_line}"),
+            HitLastStrategy::AssumeHit => "assume-hit".to_owned(),
+            HitLastStrategy::AssumeMiss => "assume-miss".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for HitLastStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Configuration failure constructing a [`DeHierarchy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// L1 and L2 must use the same line size.
+    LineMismatch,
+    /// L2 must be at least as large as L1.
+    L2SmallerThanL1,
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::LineMismatch => write!(f, "L1 and L2 line sizes must match"),
+            HierarchyError::L2SmallerThanL1 => write!(f, "L2 must be at least as large as L1"),
+        }
+    }
+}
+
+impl Error for HierarchyError {}
+
+/// Statistics of a [`DeHierarchy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeHierarchyStats {
+    /// L1 accounting (all references).
+    pub l1: CacheStats,
+    /// L2 accounting (references that missed in L1).
+    pub l2: CacheStats,
+    /// L1 dynamic-exclusion counters.
+    pub de: DeStats,
+}
+
+/// A dynamic-exclusion L1 over a direct-mapped L2, wired per
+/// [`HitLastStrategy`].
+///
+/// This is the organization of the paper's Figures 7–9: L1 miss rate as a
+/// function of the L2/L1 size ratio and L2 miss rate as a function of L2
+/// size, per strategy.
+///
+/// # Examples
+///
+/// ```
+/// use dynex::{DeHierarchy, HitLastStrategy};
+/// use dynex_cache::{run_addrs, CacheConfig, CacheSim};
+///
+/// let l1 = CacheConfig::direct_mapped(64, 4)?;
+/// let l2 = CacheConfig::direct_mapped(256, 4)?;
+/// let mut h = DeHierarchy::new(l1, l2, HitLastStrategy::AssumeMiss)?;
+/// run_addrs(&mut h, [0u32, 64, 0, 64, 0, 64]);
+/// assert!(h.hierarchy_stats().l1.misses() < 6); // exclusion beats thrashing
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeHierarchy {
+    l1_config: CacheConfig,
+    l2_config: CacheConfig,
+    strategy: HitLastStrategy,
+    l1: DeLines,
+    hashed: Option<HashedStore>,
+    l2_geometry: Geometry,
+    l2_lines: Vec<u32>,
+    l2_hbits: Vec<bool>,
+    l1_stats: CacheStats,
+    l2_stats: CacheStats,
+    de_stats: DeStats,
+}
+
+impl DeHierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HierarchyError`] if the line sizes differ or L2 is smaller
+    /// than L1.
+    pub fn new(
+        l1: CacheConfig,
+        l2: CacheConfig,
+        strategy: HitLastStrategy,
+    ) -> Result<DeHierarchy, HierarchyError> {
+        if l1.line_bytes() != l2.line_bytes() {
+            return Err(HierarchyError::LineMismatch);
+        }
+        if l2.size_bytes() < l1.size_bytes() {
+            return Err(HierarchyError::L2SmallerThanL1);
+        }
+        let hashed = match strategy {
+            HitLastStrategy::Hashed { bits_per_line } => Some(HashedStore::new(l1, bits_per_line)),
+            _ => None,
+        };
+        Ok(DeHierarchy {
+            l1_config: l1,
+            l2_config: l2,
+            strategy,
+            l1: DeLines::new(l1),
+            hashed,
+            l2_geometry: l2.geometry(),
+            l2_lines: vec![INVALID_LINE; l2.n_sets() as usize],
+            l2_hbits: vec![false; l2.n_sets() as usize],
+            l1_stats: CacheStats::new(),
+            l2_stats: CacheStats::new(),
+            de_stats: DeStats::default(),
+        })
+    }
+
+    /// The L1 configuration.
+    pub fn l1_config(&self) -> CacheConfig {
+        self.l1_config
+    }
+
+    /// The L2 configuration.
+    pub fn l2_config(&self) -> CacheConfig {
+        self.l2_config
+    }
+
+    /// The hit-last strategy in use.
+    pub fn strategy(&self) -> HitLastStrategy {
+        self.strategy
+    }
+
+    /// Statistics for both levels.
+    pub fn hierarchy_stats(&self) -> DeHierarchyStats {
+        DeHierarchyStats { l1: self.l1_stats, l2: self.l2_stats, de: self.de_stats }
+    }
+
+    /// Whether `addr`'s block is resident in L1 (no state change).
+    pub fn l1_contains(&self, addr: u32) -> bool {
+        self.l1.contains_line(self.l1.geometry().line_addr(addr))
+    }
+
+    /// Whether `addr`'s block is resident in L2 (no state change).
+    pub fn l2_contains(&self, addr: u32) -> bool {
+        let line = self.l1.geometry().line_addr(addr);
+        self.l2_lines[self.l2_geometry.set_of_line(line) as usize] == line
+    }
+
+    fn l2_set(&self, line: u32) -> usize {
+        self.l2_geometry.set_of_line(line) as usize
+    }
+
+    /// Installs `line` in L2 (displacing silently), recording its h bit.
+    fn l2_allocate(&mut self, line: u32, h: bool) {
+        let set = self.l2_set(line);
+        self.l2_lines[set] = line;
+        self.l2_hbits[set] = h;
+    }
+}
+
+impl CacheSim for DeHierarchy {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        let line = self.l1.geometry().line_addr(addr);
+
+        // L1 hit: no L2 involvement, FSM re-arms the line.
+        if self.l1.contains_line(line) {
+            let event = self.l1.access_line(line, false);
+            debug_assert_eq!(event, DeEvent::Hit);
+            self.l1_stats.record(AccessOutcome::Hit);
+            return AccessOutcome::Hit;
+        }
+
+        // L1 miss: the block is fetched via L2.
+        let l2_set = self.l2_set(line);
+        let l2_hit = self.l2_lines[l2_set] == line;
+        self.l2_stats.record(if l2_hit { AccessOutcome::Hit } else { AccessOutcome::Miss });
+
+        let h_pred = match self.strategy {
+            HitLastStrategy::Hashed { .. } => {
+                self.hashed.as_ref().expect("hashed strategy carries a store").get(line)
+            }
+            HitLastStrategy::AssumeHit => {
+                if l2_hit {
+                    self.l2_hbits[l2_set]
+                } else {
+                    true
+                }
+            }
+            HitLastStrategy::AssumeMiss => {
+                if l2_hit {
+                    self.l2_hbits[l2_set]
+                } else {
+                    false
+                }
+            }
+        };
+
+        let event = self.l1.access_line(line, h_pred);
+        match event {
+            DeEvent::Hit => unreachable!("contains_line was false"),
+            DeEvent::Loaded { victim } => {
+                self.de_stats.loads += 1;
+                // Victim write-back: its hit-last copy returns to wherever
+                // non-resident bits live (Figure 6's transfer-on-replacement).
+                if let Some((victim_line, victim_h)) = victim {
+                    match self.strategy {
+                        HitLastStrategy::Hashed { .. } => {
+                            self.hashed
+                                .as_mut()
+                                .expect("hashed strategy carries a store")
+                                .set(victim_line, victim_h);
+                            // Exclusive contents: the eviction fills L2.
+                            self.l2_allocate(victim_line, victim_h);
+                        }
+                        HitLastStrategy::AssumeMiss => {
+                            self.l2_allocate(victim_line, victim_h);
+                        }
+                        HitLastStrategy::AssumeHit => {
+                            // Inclusive: update the bit if the copy is still
+                            // there; a lost copy is simply dropped.
+                            let vset = self.l2_set(victim_line);
+                            if self.l2_lines[vset] == victim_line {
+                                self.l2_hbits[vset] = victim_h;
+                            }
+                        }
+                    }
+                }
+                // Content management for the loaded block.
+                if self.strategy.is_exclusive() {
+                    // Promoted to L1: leaves L2.
+                    let set = self.l2_set(line);
+                    if self.l2_lines[set] == line {
+                        self.l2_lines[set] = INVALID_LINE;
+                    }
+                } else if !l2_hit {
+                    // Inclusive: the memory fetch fills L2 too.
+                    self.l2_allocate(line, true);
+                }
+            }
+            DeEvent::Bypassed => {
+                self.de_stats.bypasses += 1;
+                // The block lives in L2 only (it is not in L1).
+                if !l2_hit {
+                    self.l2_allocate(line, false);
+                }
+            }
+        }
+        self.l1_stats.record(AccessOutcome::Miss);
+        AccessOutcome::Miss
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.l1_stats
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "L1 {} DE({}) + L2 {}",
+            self.l1_config,
+            self.strategy,
+            self.l2_config
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynex_cache::run_addrs;
+
+    fn hierarchy(l1: u32, l2: u32, strategy: HitLastStrategy) -> DeHierarchy {
+        DeHierarchy::new(
+            CacheConfig::direct_mapped(l1, 4).unwrap(),
+            CacheConfig::direct_mapped(l2, 4).unwrap(),
+            strategy,
+        )
+        .unwrap()
+    }
+
+    /// (a b)^n addresses conflicting in a 64B L1.
+    fn within_loop(n: usize) -> Vec<u32> {
+        (0..2 * n).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect()
+    }
+
+    #[test]
+    fn construction_validation() {
+        let l1 = CacheConfig::direct_mapped(64, 4).unwrap();
+        let bad_line = CacheConfig::direct_mapped(256, 16).unwrap();
+        assert_eq!(
+            DeHierarchy::new(l1, bad_line, HitLastStrategy::AssumeHit).unwrap_err(),
+            HierarchyError::LineMismatch
+        );
+        let small = CacheConfig::direct_mapped(32, 4).unwrap();
+        assert_eq!(
+            DeHierarchy::new(l1, small, HitLastStrategy::AssumeHit).unwrap_err(),
+            HierarchyError::L2SmallerThanL1
+        );
+    }
+
+    #[test]
+    fn assume_miss_excludes_and_halves_thrash() {
+        let mut h = hierarchy(64, 256, HitLastStrategy::AssumeMiss);
+        let stats = run_addrs(&mut h, within_loop(10));
+        // Same steady state as the single-level DE cache: a hits, b bypasses.
+        assert_eq!(stats.misses(), 11);
+        let hs = h.hierarchy_stats();
+        assert_eq!(hs.l2.accesses(), 11);
+    }
+
+    #[test]
+    fn exclusive_strategies_never_hold_block_in_both_levels() {
+        for strategy in
+            [HitLastStrategy::AssumeMiss, HitLastStrategy::Hashed { bits_per_line: 4 }]
+        {
+            let mut h = hierarchy(64, 256, strategy);
+            let mut rng = dynex_cache::SplitMix64::new(31);
+            for _ in 0..3000 {
+                let a = (rng.below(128) as u32) * 4;
+                h.access(a);
+                assert!(
+                    !(h.l1_contains(a) && h.l2_contains(a)),
+                    "{strategy}: block in both levels"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assume_hit_keeps_l2_inclusive_of_loads() {
+        let mut h = hierarchy(64, 1024, HitLastStrategy::AssumeHit);
+        // Small working set, no L2 conflicts: inclusion must hold exactly.
+        let mut rng = dynex_cache::SplitMix64::new(32);
+        for _ in 0..2000 {
+            let a = (rng.below(64) as u32) * 4;
+            h.access(a);
+            if h.l1_contains(a) {
+                assert!(h.l2_contains(a), "inclusive hierarchy lost a resident block");
+            }
+        }
+    }
+
+    #[test]
+    fn assume_hit_with_equal_l2_degenerates_to_conventional() {
+        // Paper: "if the L2 cache is the same size as the L1 cache, the
+        // assume-hit option gives no improvement since the cache degenerates
+        // to conventional direct-mapped behavior."
+        let mut h = hierarchy(64, 64, HitLastStrategy::AssumeHit);
+        let stats = run_addrs(&mut h, within_loop(10));
+        assert_eq!(stats.misses(), 20, "every (ab)^10 reference must miss");
+    }
+
+    #[test]
+    fn assume_miss_lowers_l2_misses_vs_assume_hit() {
+        // Working set larger than L2: exclusion gives L2 extra effective
+        // capacity. Cyclic sweep over 96 blocks with 64B L1 / 256B L2.
+        let addrs: Vec<u32> = (0..20_000).map(|i| ((i % 96) as u32) * 4).collect();
+        let mut inclusive = hierarchy(64, 256, HitLastStrategy::AssumeHit);
+        let mut exclusive = hierarchy(64, 256, HitLastStrategy::AssumeMiss);
+        run_addrs(&mut inclusive, addrs.iter().copied());
+        run_addrs(&mut exclusive, addrs.iter().copied());
+        let inc = inclusive.hierarchy_stats();
+        let exc = exclusive.hierarchy_stats();
+        assert!(
+            exc.l2.misses() < inc.l2.misses(),
+            "exclusion should reduce L2 misses: {} vs {}",
+            exc.l2.misses(),
+            inc.l2.misses()
+        );
+    }
+
+    #[test]
+    fn large_l2_approaches_perfect_store_behaviour() {
+        // With an L2 far larger than the working set, assume-miss behaves
+        // like a single-level DE cache with a perfect store.
+        let addrs = within_loop(50);
+        let mut h = hierarchy(64, 4096, HitLastStrategy::AssumeMiss);
+        let h_stats = run_addrs(&mut h, addrs.iter().copied());
+        let mut single = crate::DeCache::new(CacheConfig::direct_mapped(64, 4).unwrap());
+        let s_stats = run_addrs(&mut single, addrs.iter().copied());
+        assert_eq!(h_stats.misses(), s_stats.misses());
+    }
+
+    #[test]
+    fn hashed_l1_behaviour_independent_of_l2_size() {
+        let strategy = HitLastStrategy::Hashed { bits_per_line: 4 };
+        let addrs = within_loop(50);
+        let mut small = hierarchy(64, 64, strategy);
+        let mut big = hierarchy(64, 4096, strategy);
+        let s = run_addrs(&mut small, addrs.iter().copied());
+        let b = run_addrs(&mut big, addrs.iter().copied());
+        assert_eq!(s.misses(), b.misses(), "hashed bits live in L1, not L2");
+    }
+
+    #[test]
+    fn l2_accesses_equal_l1_misses() {
+        for strategy in [
+            HitLastStrategy::AssumeHit,
+            HitLastStrategy::AssumeMiss,
+            HitLastStrategy::Hashed { bits_per_line: 4 },
+        ] {
+            let mut h = hierarchy(64, 512, strategy);
+            let mut rng = dynex_cache::SplitMix64::new(7);
+            let addrs: Vec<u32> = (0..5000).map(|_| (rng.below(256) as u32) * 4).collect();
+            run_addrs(&mut h, addrs);
+            let s = h.hierarchy_stats();
+            assert_eq!(s.l2.accesses(), s.l1.misses(), "{strategy}");
+            assert_eq!(s.de.loads + s.de.bypasses, s.l1.misses(), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn strategy_display_and_exclusivity() {
+        assert_eq!(HitLastStrategy::AssumeHit.to_string(), "assume-hit");
+        assert_eq!(HitLastStrategy::AssumeMiss.to_string(), "assume-miss");
+        assert_eq!(HitLastStrategy::Hashed { bits_per_line: 4 }.to_string(), "hashed/4");
+        assert!(!HitLastStrategy::AssumeHit.is_exclusive());
+        assert!(HitLastStrategy::AssumeMiss.is_exclusive());
+        assert!(HitLastStrategy::Hashed { bits_per_line: 2 }.is_exclusive());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(HierarchyError::LineMismatch.to_string().contains("line"));
+        assert!(HierarchyError::L2SmallerThanL1.to_string().contains("L2"));
+    }
+
+    #[test]
+    fn label_names_strategy() {
+        let h = hierarchy(64, 256, HitLastStrategy::AssumeMiss);
+        assert!(h.label().contains("assume-miss"));
+    }
+}

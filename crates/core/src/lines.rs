@@ -1,0 +1,216 @@
+//! The per-line state arrays shared by every dynamic-exclusion cache.
+
+use dynex_cache::{CacheConfig, Geometry};
+
+use crate::fsm::{self, DeAction};
+
+/// Sentinel line address meaning "invalid line" (line addresses fit in 30
+/// bits, so no collision is possible).
+const INVALID_LINE: u32 = u32::MAX;
+
+/// What happened to the cache contents on one reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeEvent {
+    /// The block was resident.
+    Hit,
+    /// The block was installed.
+    Loaded {
+        /// The displaced block and its hit-last copy, if a valid block was
+        /// displaced. The caller is responsible for writing the copy back to
+        /// its hit-last store — this is the Figure 6 "transfer on
+        /// replacement" path.
+        victim: Option<(u32, bool)>,
+    },
+    /// The block was passed to the CPU without being stored.
+    Bypassed,
+}
+
+impl DeEvent {
+    /// `true` unless the reference hit.
+    pub fn is_miss(self) -> bool {
+        !matches!(self, DeEvent::Hit)
+    }
+
+    /// `true` if the reference was bypassed.
+    pub fn is_bypass(self) -> bool {
+        matches!(self, DeEvent::Bypassed)
+    }
+}
+
+/// The direct-mapped content, sticky bits, and resident hit-last copies of a
+/// dynamic-exclusion cache, operating on *line addresses*.
+///
+/// This type owns the mechanics every DE variant shares — [`DeCache`],
+/// [`LastLineDeCache`], and [`DeHierarchy`] differ only in where the
+/// hit-last bits of non-resident blocks live and in what surrounds the
+/// per-line FSM. Each resident block's hit-last bit is kept *in* the line
+/// (`h_copy`), as the paper's Figure 6 prescribes, and handed back to the
+/// caller when the block is displaced.
+///
+/// [`DeCache`]: crate::DeCache
+/// [`LastLineDeCache`]: crate::LastLineDeCache
+/// [`DeHierarchy`]: crate::DeHierarchy
+#[derive(Debug, Clone)]
+pub struct DeLines {
+    geometry: Geometry,
+    lines: Vec<u32>,
+    sticky: Vec<bool>,
+    h_copy: Vec<bool>,
+}
+
+impl DeLines {
+    /// Creates cold (all-invalid, non-sticky) line state for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.associativity() != 1`: dynamic exclusion is a
+    /// direct-mapped technique.
+    pub fn new(config: CacheConfig) -> DeLines {
+        assert_eq!(config.associativity(), 1, "dynamic exclusion applies to direct-mapped caches");
+        let n = config.n_sets() as usize;
+        DeLines {
+            geometry: config.geometry(),
+            lines: vec![INVALID_LINE; n],
+            sticky: vec![false; n],
+            h_copy: vec![false; n],
+        }
+    }
+
+    /// The address arithmetic in use.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Whether `line` is currently resident (no state change).
+    pub fn contains_line(&self, line: u32) -> bool {
+        self.lines[self.geometry.set_of_line(line) as usize] == line
+    }
+
+    /// Whether `line`'s set currently has its sticky bit set.
+    pub fn is_sticky(&self, line: u32) -> bool {
+        self.sticky[self.geometry.set_of_line(line) as usize]
+    }
+
+    /// The resident block's hit-last copy, if `line` is resident.
+    pub fn resident_hit_last(&self, line: u32) -> Option<bool> {
+        let set = self.geometry.set_of_line(line) as usize;
+        (self.lines[set] == line).then_some(self.h_copy[set])
+    }
+
+    /// Presents `line` to its cache line, with `h_pred` as the referenced
+    /// block's hit-last bit (consulted only on a miss; callers obtain it from
+    /// their [`crate::HitLastStore`] or next cache level *before* calling).
+    ///
+    /// Applies the FSM transition to the sticky bit and the resident block's
+    /// hit-last copy, installs or bypasses the block, and reports what
+    /// happened. On [`DeEvent::Loaded`] the caller must write the returned
+    /// victim's hit-last copy back to wherever non-resident bits live.
+    pub fn access_line(&mut self, line: u32, h_pred: bool) -> DeEvent {
+        let set = self.geometry.set_of_line(line) as usize;
+        let hit = self.lines[set] == line;
+        let transition = fsm::step(hit, self.sticky[set], h_pred);
+        self.sticky[set] = transition.sticky_after;
+        match transition.action {
+            DeAction::Hit => {
+                // hit_last_after is Some(true) by construction.
+                self.h_copy[set] = true;
+                DeEvent::Hit
+            }
+            DeAction::Load => {
+                let victim = (self.lines[set] != INVALID_LINE)
+                    .then(|| (self.lines[set], self.h_copy[set]));
+                self.lines[set] = line;
+                self.h_copy[set] =
+                    transition.hit_last_after.expect("loads always update hit-last");
+                DeEvent::Loaded { victim }
+            }
+            DeAction::Bypass => DeEvent::Bypassed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines() -> DeLines {
+        // 4 sets, 4B lines.
+        DeLines::new(CacheConfig::direct_mapped(16, 4).unwrap())
+    }
+
+    #[test]
+    fn cold_load_then_hit() {
+        let mut l = lines();
+        assert_eq!(l.access_line(0, false), DeEvent::Loaded { victim: None });
+        assert_eq!(l.access_line(0, false), DeEvent::Hit);
+        assert!(l.contains_line(0));
+        assert!(l.is_sticky(0));
+        assert_eq!(l.resident_hit_last(0), Some(true));
+    }
+
+    #[test]
+    fn sticky_line_bypasses_unproven_block() {
+        let mut l = lines();
+        l.access_line(0, false); // resident, sticky
+        let e = l.access_line(4, false); // conflicting line, h=0
+        assert_eq!(e, DeEvent::Bypassed);
+        assert!(l.contains_line(0), "resident survives");
+        assert!(!l.is_sticky(0), "inertia spent");
+    }
+
+    #[test]
+    fn unsticky_line_is_replaced_and_victim_reported() {
+        let mut l = lines();
+        l.access_line(0, false);
+        l.access_line(4, false); // bypass, clears sticky
+        let e = l.access_line(4, false); // now loads
+        assert_eq!(e, DeEvent::Loaded { victim: Some((0, true)) });
+        assert!(l.contains_line(4));
+        assert!(!l.contains_line(0));
+    }
+
+    #[test]
+    fn hit_last_block_loads_through_sticky_with_consumed_bit() {
+        let mut l = lines();
+        l.access_line(0, false); // resident 0, sticky
+        let e = l.access_line(4, true); // h[4]=1: loads despite sticky
+        assert_eq!(e, DeEvent::Loaded { victim: Some((0, true)) });
+        assert_eq!(l.resident_hit_last(4), Some(false), "hit-last consumed on load");
+        assert!(l.is_sticky(4), "sticky stays set");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut l = lines();
+        l.access_line(0, false);
+        l.access_line(1, false); // different set
+        assert!(l.contains_line(0));
+        assert!(l.contains_line(1));
+        // Bypass on set 0 does not touch set 1's sticky bit.
+        l.access_line(4, false);
+        assert!(!l.is_sticky(0));
+        assert!(l.is_sticky(1));
+    }
+
+    #[test]
+    fn resident_hit_last_none_for_absent_line() {
+        let mut l = lines();
+        l.access_line(0, false);
+        assert_eq!(l.resident_hit_last(4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "direct-mapped")]
+    fn rejects_associative_config() {
+        DeLines::new(CacheConfig::new(16, 4, 2).unwrap());
+    }
+
+    #[test]
+    fn event_predicates() {
+        assert!(DeEvent::Bypassed.is_miss());
+        assert!(DeEvent::Bypassed.is_bypass());
+        assert!(DeEvent::Loaded { victim: None }.is_miss());
+        assert!(!DeEvent::Loaded { victim: None }.is_bypass());
+        assert!(!DeEvent::Hit.is_miss());
+    }
+}

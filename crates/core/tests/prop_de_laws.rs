@@ -1,0 +1,169 @@
+//! Property tests: the inequalities and equivalences the paper's analysis
+//! rests on, checked over random traces.
+
+use dynex::{
+    DeCache, DeHierarchy, HashedStore, HitLastStrategy, LastLineDeCache, MultiStickyDeCache,
+    OptimalDirectMapped, PerfectStore,
+};
+use dynex_cache::{run_addrs, CacheConfig, CacheSim, DirectMapped};
+use proptest::prelude::*;
+
+/// Word-aligned addresses in a small region over a small cache, so conflicts
+/// and sticky dynamics are exercised heavily.
+fn arb_trace() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec((0u32..256).prop_map(|w| w * 4), 1..400)
+}
+
+/// Loop-structured traces: nests of repeated block sequences, the patterns
+/// DE is designed around.
+fn arb_loopy_trace() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0u32..64, 1..5), // loop body blocks
+            1u32..12,                                  // trip count
+        ),
+        1..20,
+    )
+    .prop_map(|loops| {
+        let mut trace = Vec::new();
+        for (body, trips) in loops {
+            for _ in 0..trips {
+                trace.extend(body.iter().map(|&b| b * 4));
+            }
+        }
+        trace
+    })
+}
+
+fn small_config() -> CacheConfig {
+    CacheConfig::direct_mapped(128, 4).unwrap()
+}
+
+proptest! {
+    /// The optimal direct-mapped cache is a lower bound for the conventional
+    /// one and for dynamic exclusion with any store.
+    #[test]
+    fn optimal_is_a_lower_bound(addrs in arb_trace()) {
+        let cfg = small_config();
+        let opt = OptimalDirectMapped::simulate(cfg, addrs.iter().copied()).misses();
+
+        let mut dm = DirectMapped::new(cfg);
+        prop_assert!(opt <= run_addrs(&mut dm, addrs.iter().copied()).misses());
+
+        let mut de = DeCache::new(cfg);
+        prop_assert!(opt <= run_addrs(&mut de, addrs.iter().copied()).misses());
+
+        let mut hashed = DeCache::with_store(cfg, HashedStore::new(cfg, 4));
+        prop_assert!(opt <= run_addrs(&mut hashed, addrs.iter().copied()).misses());
+    }
+
+    /// Same bound on loop-structured traces (where DE actually wins).
+    #[test]
+    fn optimal_is_a_lower_bound_on_loops(addrs in arb_loopy_trace()) {
+        let cfg = small_config();
+        let opt = OptimalDirectMapped::simulate(cfg, addrs.iter().copied()).misses();
+        let mut de = DeCache::new(cfg);
+        prop_assert!(opt <= run_addrs(&mut de, addrs.iter().copied()).misses());
+    }
+
+    /// Every simulator agrees on the access count, and DE's loads + bypasses
+    /// partition its misses.
+    #[test]
+    fn accounting_identities(addrs in arb_trace()) {
+        let cfg = small_config();
+        let mut de = DeCache::new(cfg);
+        let stats = run_addrs(&mut de, addrs.iter().copied());
+        prop_assert_eq!(stats.accesses(), addrs.len() as u64);
+        prop_assert_eq!(de.de_stats().loads + de.de_stats().bypasses, stats.misses());
+    }
+
+    /// The hierarchy's L1 with a huge L2 under assume-miss matches the
+    /// single-level DE cache with a perfect store (both implement "exact bit
+    /// for every block ever seen, default false").
+    #[test]
+    fn huge_l2_assume_miss_equals_perfect_store(addrs in arb_loopy_trace()) {
+        let cfg = small_config();
+        let l2 = CacheConfig::direct_mapped(1 << 20, 4).unwrap();
+        let mut h = DeHierarchy::new(cfg, l2, HitLastStrategy::AssumeMiss).unwrap();
+        let mut single = DeCache::with_store(cfg, PerfectStore::new());
+        for &a in &addrs {
+            prop_assert_eq!(h.access(a), single.access(a));
+        }
+    }
+
+    /// MultiSticky with depth 1 is the single-bit FSM.
+    #[test]
+    fn multisticky_depth_one_is_base_fsm(addrs in arb_trace()) {
+        let cfg = small_config();
+        let mut multi = MultiStickyDeCache::new(cfg, 1);
+        let mut single = DeCache::new(cfg);
+        for &a in &addrs {
+            prop_assert_eq!(multi.access(a), single.access(a));
+        }
+    }
+
+    /// With no two consecutive references to the same line, the last-line
+    /// buffer is never consulted, so the wrapper and the bare DE cache are
+    /// reference-for-reference identical. (On traces *with* intra-line runs
+    /// they intentionally diverge: the buffer makes the FSM see one event per
+    /// run — Section 6's whole point — which can move misses either way.)
+    #[test]
+    fn lastline_transparent_without_runs(addrs in arb_trace()) {
+        let cfg = CacheConfig::direct_mapped(128, 16).unwrap();
+        let geometry = cfg.geometry();
+        // Drop consecutive same-line references.
+        let mut filtered: Vec<u32> = Vec::new();
+        for a in addrs {
+            if filtered.last().map(|&p| geometry.line_addr(p)) != Some(geometry.line_addr(a)) {
+                filtered.push(a);
+            }
+        }
+        let mut bare = DeCache::new(cfg);
+        let mut buffered = LastLineDeCache::new(cfg);
+        for &a in &filtered {
+            prop_assert_eq!(bare.access(a), buffered.access(a));
+        }
+    }
+
+    /// Dynamic exclusion's whole premise: on traces made of loops it never
+    /// does much worse than conventional (bounded startup cost per
+    /// conflicting block pair), and the optimal cache confirms whatever it
+    /// saves was real.
+    #[test]
+    fn de_bounded_regression_vs_dm(addrs in arb_loopy_trace()) {
+        let cfg = small_config();
+        let mut dm = DirectMapped::new(cfg);
+        let mut de = DeCache::new(cfg);
+        let dm_misses = run_addrs(&mut dm, addrs.iter().copied()).misses();
+        let de_misses = run_addrs(&mut de, addrs.iter().copied()).misses();
+        // DE pays at most ~2 extra misses per distinct block (training) —
+        // bound it loosely by 2x distinct blocks + dm misses.
+        let distinct = {
+            let mut set: Vec<u32> = addrs.clone();
+            set.sort_unstable();
+            set.dedup();
+            set.len() as u64
+        };
+        prop_assert!(
+            de_misses <= dm_misses + 2 * distinct,
+            "de {de_misses} vs dm {dm_misses} with {distinct} blocks"
+        );
+    }
+
+    /// Exclusive hierarchies never hold a block at both levels.
+    #[test]
+    fn exclusion_invariant(addrs in arb_trace(), hashed in any::<bool>()) {
+        let strategy = if hashed {
+            HitLastStrategy::Hashed { bits_per_line: 4 }
+        } else {
+            HitLastStrategy::AssumeMiss
+        };
+        let l1 = small_config();
+        let l2 = CacheConfig::direct_mapped(512, 4).unwrap();
+        let mut h = DeHierarchy::new(l1, l2, strategy).unwrap();
+        for &a in &addrs {
+            h.access(a);
+            prop_assert!(!(h.l1_contains(a) && h.l2_contains(a)));
+        }
+    }
+}

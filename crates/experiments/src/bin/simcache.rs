@@ -1,0 +1,178 @@
+//! `simcache` — run any cache organization over a trace file.
+//!
+//! ```text
+//! simcache <trace.dxt|trace.txt> --size 32K --line 4 \
+//!          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data]
+//! ```
+//!
+//! Reads a `dynex-trace` file (binary `.dxt` or the text format, detected by
+//! the magic), simulates, and prints hit/miss statistics.
+
+use std::process::ExitCode;
+
+use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped};
+use dynex_cache::{
+    run, CacheConfig, CacheSim, DirectMapped, Replacement, SetAssociative, StreamBuffer,
+    VictimCache,
+};
+use dynex_trace::{io as trace_io, Trace};
+
+fn parse_size(text: &str) -> Option<u32> {
+    let text = text.trim();
+    if let Some(kb) = text.strip_suffix(['K', 'k']) {
+        kb.parse::<u32>().ok().map(|v| v * 1024)
+    } else if let Some(mb) = text.strip_suffix(['M', 'm']) {
+        mb.parse::<u32>().ok().map(|v| v * 1024 * 1024)
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.starts_with(&trace_io::BINARY_MAGIC) {
+        trace_io::read_binary(&bytes[..]).map_err(|e| e.to_string())
+    } else {
+        trace_io::read_text(&bytes[..]).map_err(|e| e.to_string())
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: simcache <trace-file> --size <bytes|NK|NM> [--line N] \
+         [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data]"
+    );
+}
+
+fn main() -> ExitCode {
+    let mut path = None;
+    let mut size = None;
+    let mut line = 4u32;
+    let mut org = "dm".to_owned();
+    let mut kinds = "all".to_owned();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--size" => size = it.next().as_deref().and_then(parse_size),
+            "--line" => {
+                line = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("error: --line needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--org" => org = it.next().unwrap_or_default(),
+            "--kinds" => kinds = it.next().unwrap_or_default(),
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let Some(size) = size else {
+        eprintln!("error: --size is required (e.g. --size 32K)");
+        return ExitCode::FAILURE;
+    };
+
+    let trace = match load_trace(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let accesses: Vec<dynex_trace::Access> = match kinds.as_str() {
+        "all" => trace.iter().collect(),
+        "instr" => dynex_trace::filter::instructions(trace.iter()).collect(),
+        "data" => dynex_trace::filter::data(trace.iter()).collect(),
+        other => {
+            eprintln!("error: bad --kinds {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("{} references selected from {}", accesses.len(), path);
+
+    let report = |label: String, stats: dynex_cache::CacheStats| {
+        println!(
+            "{label}: {} accesses, {} misses, miss rate {:.4}%",
+            stats.accesses(),
+            stats.misses(),
+            stats.miss_rate_percent()
+        );
+    };
+
+    let dm_config = match CacheConfig::direct_mapped(size, line) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match org.as_str() {
+        "dm" => {
+            let mut cache = DirectMapped::new(dm_config);
+            let stats = run(&mut cache, accesses.iter().copied());
+            report(cache.label(), stats);
+        }
+        "de" => {
+            let mut cache = DeCache::new(dm_config);
+            let stats = run(&mut cache, accesses.iter().copied());
+            report(cache.label(), stats);
+            println!(
+                "  loads {} bypasses {}",
+                cache.de_stats().loads,
+                cache.de_stats().bypasses
+            );
+        }
+        "de-lastline" => {
+            let mut cache = LastLineDeCache::new(dm_config);
+            let stats = run(&mut cache, accesses.iter().copied());
+            report(cache.label(), stats);
+        }
+        "opt" => {
+            let stats =
+                OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()));
+            report("optimal direct-mapped".to_owned(), stats);
+        }
+        "2way" | "4way" => {
+            let ways = if org == "2way" { 2 } else { 4 };
+            let config = match CacheConfig::new(size, line, ways) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut cache = SetAssociative::new(config, Replacement::Lru);
+            let stats = run(&mut cache, accesses.iter().copied());
+            report(cache.label(), stats);
+        }
+        "victim" => {
+            let mut cache = VictimCache::new(dm_config, 4);
+            let stats = run(&mut cache, accesses.iter().copied());
+            report(cache.label(), stats);
+        }
+        "stream" => {
+            let mut cache = StreamBuffer::new(dm_config, 4);
+            let stats = run(&mut cache, accesses.iter().copied());
+            report(cache.label(), stats);
+        }
+        other => {
+            eprintln!("error: unknown --org {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

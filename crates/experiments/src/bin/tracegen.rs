@@ -1,0 +1,124 @@
+//! `tracegen` — dump synthetic SPEC'89 traces to files.
+//!
+//! ```text
+//! tracegen <profile> [--refs N] [--format binary|text] [--kinds all|instr|data] <output>
+//! tracegen list
+//! ```
+//!
+//! Binary output is the `dynex-trace` `.dxt` format (`DXT1` magic, packed
+//! 4-byte references); text is one `<F|R|W> 0x<addr>` per line.
+
+use std::process::ExitCode;
+
+use dynex_trace::{io as trace_io, Trace};
+use dynex_workload::spec;
+
+enum Format {
+    Binary,
+    Text,
+}
+
+enum Kinds {
+    All,
+    Instr,
+    Data,
+}
+
+fn usage() {
+    eprintln!(
+        "usage: tracegen <profile> [--refs N] [--format binary|text] \
+         [--kinds all|instr|data] <output>\n       tracegen list"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "list") {
+        for name in spec::NAMES {
+            let p = spec::profile(name).expect("built-in");
+            println!("{name:<10} {}", p.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut profile_name = None;
+    let mut output = None;
+    let mut refs = 1_000_000usize;
+    let mut format = Format::Binary;
+    let mut kinds = Kinds::All;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--refs" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --refs needs a number");
+                    return ExitCode::FAILURE;
+                };
+                refs = v;
+            }
+            "--format" => match it.next().as_deref() {
+                Some("binary") => format = Format::Binary,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!("error: bad --format {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--kinds" => match it.next().as_deref() {
+                Some("all") => kinds = Kinds::All,
+                Some("instr") => kinds = Kinds::Instr,
+                Some("data") => kinds = Kinds::Data,
+                other => {
+                    eprintln!("error: bad --kinds {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if profile_name.is_none() => profile_name = Some(other.to_owned()),
+            other if output.is_none() => output = Some(other.to_owned()),
+            other => {
+                eprintln!("error: unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (Some(profile_name), Some(output)) = (profile_name, output) else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let Some(profile) = spec::profile(&profile_name) else {
+        eprintln!("error: unknown profile {profile_name:?} (try `tracegen list`)");
+        return ExitCode::FAILURE;
+    };
+
+    eprintln!("generating {refs} references of {profile_name}...");
+    let full = profile.trace(refs);
+    let trace: Trace = match kinds {
+        Kinds::All => full,
+        Kinds::Instr => dynex_trace::filter::instructions(full.iter()).collect(),
+        Kinds::Data => dynex_trace::filter::data(full.iter()).collect(),
+    };
+
+    let file = match std::fs::File::create(&output) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot create {output}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let writer = std::io::BufWriter::new(file);
+    let result = match format {
+        Format::Binary => trace_io::write_binary(writer, &trace),
+        Format::Text => trace_io::write_text(writer, &trace),
+    };
+    if let Err(e) = result {
+        eprintln!("error: writing {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {} references to {output}", trace.len());
+    ExitCode::SUCCESS
+}

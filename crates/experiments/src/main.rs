@@ -1,0 +1,124 @@
+//! `experiments` — regenerate the tables and figures of McFarling's ISCA '92
+//! dynamic-exclusion paper.
+//!
+//! ```text
+//! experiments [--refs N] [--out DIR] <id>... | all | list
+//! ```
+//!
+//! `--refs` sets the per-benchmark reference budget (default 4,000,000, or
+//! the `DYNEX_REFS` environment variable); `--out` writes one CSV per
+//! experiment into the directory. Ids: see `experiments list`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dynex_experiments::{figures, Workloads};
+
+struct Options {
+    refs: usize,
+    out: Option<PathBuf>,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut refs = std::env::var("DYNEX_REFS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000_000usize);
+    let mut out = None;
+    let mut ids = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--refs" => {
+                let value = args.next().ok_or("--refs needs a value")?;
+                refs = value.parse().map_err(|_| format!("bad --refs value {value:?}"))?;
+            }
+            "--out" => {
+                let value = args.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                ids.push("help".to_owned());
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("help".to_owned());
+    }
+    Ok(Options { refs, out, ids })
+}
+
+fn print_help() {
+    println!("usage: experiments [--refs N] [--out DIR] <id>... | all | list");
+    println!();
+    println!("experiment ids:");
+    for id in figures::ALL_IDS {
+        println!("  {id}");
+    }
+    println!();
+    println!("see DESIGN.md for the paper artifact each id reproduces.");
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if options.ids.iter().any(|i| i == "help") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    if options.ids.iter().any(|i| i == "list") {
+        for id in figures::ALL_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<String> = if options.ids.iter().any(|i| i == "all") {
+        figures::ALL_IDS.iter().map(|&s| s.to_owned()).collect()
+    } else {
+        options.ids.clone()
+    };
+
+    for id in &ids {
+        if !figures::ALL_IDS.contains(&id.as_str()) {
+            eprintln!("error: unknown experiment {id:?} (try `experiments list`)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("generating {} references per benchmark...", options.refs);
+    let started = Instant::now();
+    let workloads = Workloads::generate(options.refs);
+    eprintln!("workloads ready in {:.1}s\n", started.elapsed().as_secs_f64());
+
+    if let Some(dir) = &options.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for id in &ids {
+        let started = Instant::now();
+        let table = figures::run(id, &workloads).expect("ids validated above");
+        println!("{table}");
+        eprintln!("[{id} in {:.1}s]\n", started.elapsed().as_secs_f64());
+        if let Some(dir) = &options.out {
+            let path = dir.join(format!("{id}.csv"));
+            if let Err(e) = table.save_csv(&path) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

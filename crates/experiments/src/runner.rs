@@ -1,0 +1,116 @@
+//! Shared simulation drivers: the DM / DE / OPT comparison the paper's
+//! figures are built from.
+
+use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped};
+use dynex_cache::{run_addrs, CacheConfig, CacheStats};
+
+/// Results of one workload under the three caches the paper compares
+/// throughout: conventional direct-mapped, dynamic exclusion, and optimal
+/// direct-mapped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triple {
+    /// Conventional direct-mapped.
+    pub dm: CacheStats,
+    /// Dynamic exclusion (perfect hit-last store).
+    pub de: CacheStats,
+    /// Optimal direct-mapped with bypass.
+    pub opt: CacheStats,
+}
+
+impl Triple {
+    /// DE's percentage miss reduction vs the conventional cache.
+    pub fn de_reduction(&self) -> f64 {
+        self.de.percent_reduction_vs(&self.dm)
+    }
+
+    /// OPT's percentage miss reduction vs the conventional cache.
+    pub fn opt_reduction(&self) -> f64 {
+        self.opt.percent_reduction_vs(&self.dm)
+    }
+}
+
+/// Runs the three-way comparison at word-line granularity (`b = 4`).
+pub fn triple(config: CacheConfig, addrs: &[u32]) -> Triple {
+    let mut dm = dynex_cache::DirectMapped::new(config);
+    let dm_stats = run_addrs(&mut dm, addrs.iter().copied());
+    let mut de = DeCache::new(config);
+    let de_stats = run_addrs(&mut de, addrs.iter().copied());
+    let opt = OptimalDirectMapped::simulate(config, addrs.iter().copied());
+    Triple { dm: dm_stats, de: de_stats, opt }
+}
+
+/// Runs the three-way comparison for multi-word lines: DE and OPT both get
+/// the Section 6 last-line buffer; the conventional cache stays bare.
+pub fn triple_lastline(config: CacheConfig, addrs: &[u32]) -> Triple {
+    let mut dm = dynex_cache::DirectMapped::new(config);
+    let dm_stats = run_addrs(&mut dm, addrs.iter().copied());
+    let mut de = LastLineDeCache::new(config);
+    let de_stats = run_addrs(&mut de, addrs.iter().copied());
+    let opt = OptimalDirectMapped::simulate_with_lastline(config, addrs.iter().copied());
+    Triple { dm: dm_stats, de: de_stats, opt }
+}
+
+/// Averages miss-rate percentages across per-benchmark triples (the paper's
+/// "average across the SPEC benchmarks").
+pub fn average_rates(triples: &[Triple]) -> (f64, f64, f64) {
+    let n = triples.len().max(1) as f64;
+    let dm = triples.iter().map(|t| t.dm.miss_rate_percent()).sum::<f64>() / n;
+    let de = triples.iter().map(|t| t.de.miss_rate_percent()).sum::<f64>() / n;
+    let opt = triples.iter().map(|t| t.opt.miss_rate_percent()).sum::<f64>() / n;
+    (dm, de, opt)
+}
+
+/// Percentage reduction of `new` vs `base` miss-rate percentages.
+pub fn reduction(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (base - new) / base * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thrash() -> Vec<u32> {
+        (0..40).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect()
+    }
+
+    #[test]
+    fn triple_orders_correctly() {
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let t = triple(config, &thrash());
+        assert!(t.opt.misses() <= t.de.misses());
+        assert!(t.de.misses() < t.dm.misses());
+        assert!(t.de_reduction() > 0.0);
+        assert!(t.opt_reduction() >= t.de_reduction());
+    }
+
+    #[test]
+    fn lastline_triple_runs() {
+        let config = CacheConfig::direct_mapped(64, 16).unwrap();
+        let addrs: Vec<u32> = (0..200).map(|i| if (i / 4) % 2 == 0 { (i % 4) * 4 } else { 64 + (i % 4) * 4 }).collect();
+        let t = triple_lastline(config, &addrs);
+        assert!(t.opt.misses() <= t.de.misses());
+        assert!(t.de.misses() <= t.dm.misses());
+    }
+
+    #[test]
+    fn averaging() {
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let t = triple(config, &thrash());
+        let (dm, de, opt) = average_rates(&[t, t]);
+        assert_eq!(dm, t.dm.miss_rate_percent());
+        assert_eq!(de, t.de.miss_rate_percent());
+        assert_eq!(opt, t.opt.miss_rate_percent());
+        assert_eq!(average_rates(&[]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn reduction_math() {
+        assert_eq!(reduction(10.0, 5.0), 50.0);
+        assert_eq!(reduction(0.0, 5.0), 0.0);
+        assert!(reduction(5.0, 10.0) < 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Result tables: aligned text rendering and CSV output.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A titled table of string cells — the output unit of every experiment.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_experiments::Table;
+///
+/// let mut t = Table::new("demo", vec!["benchmark", "miss rate"]);
+/// t.push_row(vec!["gcc".to_owned(), "4.95%".to_owned()]);
+/// assert_eq!(t.n_rows(), 1);
+/// println!("{t}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, headers: Vec<&str>) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Cell at (`row`, `col`), if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+
+    /// Finds the first row whose first cell equals `key`.
+    pub fn row_by_key(&self, key: &str) -> Option<&[String]> {
+        self.rows.iter().find(|r| r.first().map(String::as_str) == Some(key)).map(Vec::as_slice)
+    }
+
+    /// Writes the table as CSV (headers first).
+    ///
+    /// # Errors
+    ///
+    /// Any IO failure from the underlying writer.
+    pub fn write_csv<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writeln!(writer, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(writer, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Writes the table as a CSV file.
+    ///
+    /// # Errors
+    ///
+    /// Any IO failure creating or writing the file.
+    pub fn save_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_csv(io::BufWriter::new(file))
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .enumerate()
+                .map(|(i, (c, w))| {
+                    if i == 0 {
+                        format!("{c:<w$}")
+                    } else {
+                        format!("{c:>w$}")
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", line.join("  "))
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", vec!["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["bb".into(), "22".into()]);
+        t
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.title(), "t");
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.cell(1, 1), Some("22"));
+        assert_eq!(t.cell(5, 0), None);
+        assert_eq!(t.row_by_key("bb").unwrap()[1], "22");
+        assert!(t.row_by_key("zz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn bad_row_width() {
+        sample().push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn display_aligns() {
+        let text = sample().to_string();
+        assert!(text.contains("== t =="));
+        assert!(text.contains("name"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut buf = Vec::new();
+        sample().write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "name,value\na,1\nbb,22\n");
+    }
+}

@@ -1,0 +1,129 @@
+//! The shared workload bundle: one generated trace per SPEC'89 profile.
+
+use dynex_trace::{Trace, TraceStats};
+use dynex_workload::spec::{self, Profile};
+
+/// The ten benchmark traces, generated once and shared by every experiment
+/// (the paper simulates many cache configurations over the same reference
+/// streams).
+#[derive(Debug)]
+pub struct Workloads {
+    refs: usize,
+    entries: Vec<(Profile, Trace)>,
+}
+
+impl Workloads {
+    /// Generates the first `refs` references of every profile.
+    pub fn generate(refs: usize) -> Workloads {
+        let entries = spec::all()
+            .into_iter()
+            .map(|p| {
+                let trace = p.trace(refs);
+                (p, trace)
+            })
+            .collect();
+        Workloads { refs, entries }
+    }
+
+    /// The reference budget per benchmark.
+    pub fn refs(&self) -> usize {
+        self.refs
+    }
+
+    /// Number of benchmarks (always 10).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the bundle is empty (never, for generated bundles).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, trace)` pairs in the paper's benchmark order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Trace)> {
+        self.entries.iter().map(|(p, t)| (p.name(), t))
+    }
+
+    /// The profile objects (for descriptions).
+    pub fn profiles(&self) -> impl Iterator<Item = &Profile> {
+        self.entries.iter().map(|(p, _)| p)
+    }
+
+    /// Instruction-fetch byte addresses of benchmark `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the ten profiles.
+    pub fn instr_addrs(&self, name: &str) -> Vec<u32> {
+        dynex_trace::filter::instructions(self.trace(name).iter()).map(|a| a.addr()).collect()
+    }
+
+    /// Data-reference byte addresses of benchmark `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the ten profiles.
+    pub fn data_addrs(&self, name: &str) -> Vec<u32> {
+        dynex_trace::filter::data(self.trace(name).iter()).map(|a| a.addr()).collect()
+    }
+
+    /// All reference byte addresses (instruction + data) of benchmark `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the ten profiles.
+    pub fn all_addrs(&self, name: &str) -> Vec<u32> {
+        self.trace(name).iter().map(|a| a.addr()).collect()
+    }
+
+    /// Stream statistics of benchmark `name` (for the Figure 2 table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the ten profiles.
+    pub fn stats(&self, name: &str) -> TraceStats {
+        TraceStats::from_accesses(self.trace(name).iter())
+    }
+
+    fn trace(&self, name: &str) -> &Trace {
+        &self
+            .entries
+            .iter()
+            .find(|(p, _)| p.name() == name)
+            .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_ten() {
+        let w = Workloads::generate(2_000);
+        assert_eq!(w.len(), 10);
+        assert!(!w.is_empty());
+        assert_eq!(w.refs(), 2_000);
+        assert_eq!(w.iter().count(), 10);
+    }
+
+    #[test]
+    fn slices_partition() {
+        let w = Workloads::generate(5_000);
+        for (name, _) in w.iter().collect::<Vec<_>>() {
+            let i = w.instr_addrs(name).len();
+            let d = w.data_addrs(name).len();
+            let all = w.all_addrs(name).len();
+            assert_eq!(i + d, all, "{name}");
+            assert_eq!(all, 5_000, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        Workloads::generate(100).instr_addrs("quake");
+    }
+}

@@ -1,0 +1,196 @@
+//! The basic unit of a trace: one memory reference.
+
+use std::fmt;
+
+/// The kind of memory reference.
+///
+/// Cache experiments in the dynamic-exclusion paper distinguish instruction
+/// streams (Figures 3–13), data streams (Figure 14), and combined streams
+/// (Figure 15); the kind tag is what the [`crate::filter`] adapters select on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// An instruction fetch.
+    Fetch,
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+}
+
+impl AccessKind {
+    /// All kinds, in packed-encoding order.
+    pub const ALL: [AccessKind; 3] = [AccessKind::Fetch, AccessKind::Read, AccessKind::Write];
+
+    /// Returns `true` for instruction fetches.
+    ///
+    /// ```
+    /// use dynex_trace::AccessKind;
+    /// assert!(AccessKind::Fetch.is_instruction());
+    /// assert!(!AccessKind::Write.is_instruction());
+    /// ```
+    pub fn is_instruction(self) -> bool {
+        matches!(self, AccessKind::Fetch)
+    }
+
+    /// Returns `true` for data reads and writes.
+    pub fn is_data(self) -> bool {
+        !self.is_instruction()
+    }
+
+    /// One-letter mnemonic used by the text trace format (`F`, `R`, `W`).
+    pub fn mnemonic(self) -> char {
+        match self {
+            AccessKind::Fetch => 'F',
+            AccessKind::Read => 'R',
+            AccessKind::Write => 'W',
+        }
+    }
+
+    /// Parses a one-letter mnemonic produced by [`AccessKind::mnemonic`].
+    ///
+    /// Returns `None` for any other character.
+    pub fn from_mnemonic(c: char) -> Option<AccessKind> {
+        match c {
+            'F' => Some(AccessKind::Fetch),
+            'R' => Some(AccessKind::Read),
+            'W' => Some(AccessKind::Write),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AccessKind::Fetch => "fetch",
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A single memory reference: a 32-bit byte address plus a kind.
+///
+/// Addresses are word-granular: the low two bits carry no information for the
+/// 4-byte-instruction machines the paper models, and the packed trace format
+/// ([`crate::PackedAccess`]) discards them. Constructors therefore accept any
+/// byte address but simulation treats `addr & !3` as the reference.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_trace::{Access, AccessKind};
+///
+/// let a = Access::fetch(0x0040_1000);
+/// assert_eq!(a.kind(), AccessKind::Fetch);
+/// assert_eq!(a.addr(), 0x0040_1000);
+/// assert_eq!(a.word_addr(), 0x0040_1000 >> 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    addr: u32,
+    kind: AccessKind,
+}
+
+impl Access {
+    /// Creates a reference of the given kind at the given byte address.
+    pub fn new(addr: u32, kind: AccessKind) -> Access {
+        Access { addr, kind }
+    }
+
+    /// Creates an instruction fetch at `addr`.
+    pub fn fetch(addr: u32) -> Access {
+        Access::new(addr, AccessKind::Fetch)
+    }
+
+    /// Creates a data read at `addr`.
+    pub fn read(addr: u32) -> Access {
+        Access::new(addr, AccessKind::Read)
+    }
+
+    /// Creates a data write at `addr`.
+    pub fn write(addr: u32) -> Access {
+        Access::new(addr, AccessKind::Write)
+    }
+
+    /// The byte address of the reference.
+    pub fn addr(self) -> u32 {
+        self.addr
+    }
+
+    /// The word (4-byte) address: `addr >> 2`.
+    pub fn word_addr(self) -> u32 {
+        self.addr >> 2
+    }
+
+    /// The kind of the reference.
+    pub fn kind(self) -> AccessKind {
+        self.kind
+    }
+
+    /// Returns `true` if this is an instruction fetch.
+    pub fn is_instruction(self) -> bool {
+        self.kind.is_instruction()
+    }
+
+    /// Returns `true` if this is a data read or write.
+    pub fn is_data(self) -> bool {
+        self.kind.is_data()
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#010x}", self.kind.mnemonic(), self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Fetch.is_instruction());
+        assert!(!AccessKind::Fetch.is_data());
+        assert!(AccessKind::Read.is_data());
+        assert!(AccessKind::Write.is_data());
+        assert!(!AccessKind::Read.is_instruction());
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for kind in AccessKind::ALL {
+            assert_eq!(AccessKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+        assert_eq!(AccessKind::from_mnemonic('x'), None);
+        assert_eq!(AccessKind::from_mnemonic('f'), None, "mnemonics are upper-case only");
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Access::fetch(16).kind(), AccessKind::Fetch);
+        assert_eq!(Access::read(16).kind(), AccessKind::Read);
+        assert_eq!(Access::write(16).kind(), AccessKind::Write);
+    }
+
+    #[test]
+    fn word_addr_drops_low_bits() {
+        assert_eq!(Access::fetch(0x1003).word_addr(), 0x400);
+        assert_eq!(Access::fetch(0x1004).word_addr(), 0x401);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Access::fetch(0x1000).to_string(), "F 0x00001000");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+    }
+
+    #[test]
+    fn kind_ordering_is_stable() {
+        // The packed format relies on this order.
+        assert!(AccessKind::Fetch < AccessKind::Read);
+        assert!(AccessKind::Read < AccessKind::Write);
+    }
+}

@@ -1,0 +1,315 @@
+//! Reading and writing traces.
+//!
+//! Two formats are supported:
+//!
+//! * **Binary** (`.dxt`): a 4-byte magic `DXT1`, a little-endian `u64`
+//!   reference count, then one little-endian `u32` [`PackedAccess`] per
+//!   reference. Compact and fast; the native interchange format.
+//! * **Text**: one reference per line, `<mnemonic> <hex addr>` (e.g.
+//!   `F 0x00401000`), `#`-prefixed comment lines ignored. Human-readable,
+//!   handy for fixtures and debugging.
+//!
+//! Readers and writers are generic over [`std::io::Read`] / [`std::io::Write`]
+//! by value; pass `&mut reader` to keep using the underlying stream afterward.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::{Access, AccessKind, PackedAccess, Trace};
+
+/// Magic bytes identifying the binary trace format, version 1.
+pub const BINARY_MAGIC: [u8; 4] = *b"DXT1";
+
+/// Error produced while reading or writing a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// An underlying IO failure.
+    Io(io::Error),
+    /// The binary magic did not match [`BINARY_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The stream ended before the declared reference count was read.
+    Truncated {
+        /// References the header promised.
+        expected: u64,
+        /// References actually present.
+        actual: u64,
+    },
+    /// A packed word used the reserved kind encoding.
+    CorruptAccess {
+        /// Position (in references) of the corrupt word.
+        index: u64,
+    },
+    /// A text line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: u64,
+        /// The offending line content.
+        content: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io failure: {e}"),
+            TraceIoError::BadMagic(m) => write!(f, "bad trace magic {m:?}, expected \"DXT1\""),
+            TraceIoError::Truncated { expected, actual } => {
+                write!(f, "truncated trace: header declared {expected} references, found {actual}")
+            }
+            TraceIoError::CorruptAccess { index } => {
+                write!(f, "corrupt packed access at reference {index}")
+            }
+            TraceIoError::BadLine { line, content } => {
+                write!(f, "unparsable trace line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> TraceIoError {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes `trace` in the binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on any underlying write failure.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use dynex_trace::{io::{read_binary, write_binary}, Access, Trace};
+///
+/// let trace: Trace = [Access::fetch(0x40)].into_iter().collect();
+/// let mut buf = Vec::new();
+/// write_binary(&mut buf, &trace)?;
+/// let back = read_binary(&buf[..])?;
+/// assert_eq!(back, trace);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_binary<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    writer.write_all(&BINARY_MAGIC)?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(4 * 1024);
+    for chunk in trace.as_packed().chunks(1024) {
+        buf.clear();
+        for p in chunk {
+            buf.extend_from_slice(&p.to_raw().to_le_bytes());
+        }
+        writer.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadMagic`] for foreign data,
+/// [`TraceIoError::Truncated`] if the stream ends early,
+/// [`TraceIoError::CorruptAccess`] for reserved kind bits, and
+/// [`TraceIoError::Io`] for underlying failures.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != BINARY_MAGIC {
+        return Err(TraceIoError::BadMagic(magic));
+    }
+    let mut count_bytes = [0u8; 8];
+    reader.read_exact(&mut count_bytes)?;
+    let expected = u64::from_le_bytes(count_bytes);
+
+    let mut trace = Trace::with_capacity(expected.min(1 << 28) as usize);
+    let mut word = [0u8; 4];
+    for index in 0..expected {
+        if let Err(e) = reader.read_exact(&mut word) {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                return Err(TraceIoError::Truncated { expected, actual: index });
+            }
+            return Err(e.into());
+        }
+        let raw = u32::from_le_bytes(word);
+        let packed =
+            PackedAccess::from_raw(raw).ok_or(TraceIoError::CorruptAccess { index })?;
+        trace.push(packed.unpack());
+    }
+    Ok(trace)
+}
+
+/// Writes `trace` in the one-reference-per-line text format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on any underlying write failure.
+pub fn write_text<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    for access in trace.iter() {
+        writeln!(writer, "{} {:#010x}", access.kind().mnemonic(), access.addr())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format. Blank lines and lines starting with `#`
+/// are ignored.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadLine`] with the offending line number for any
+/// line that is not `<F|R|W> <address>` (address decimal or `0x`-hex), and
+/// [`TraceIoError::Io`] for underlying failures.
+pub fn read_text<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
+    let mut trace = Trace::new();
+    let buffered = BufReader::new(reader);
+    for (i, line) in buffered.lines().enumerate() {
+        let line = line?;
+        let lineno = i as u64 + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let access = parse_text_line(trimmed).ok_or_else(|| TraceIoError::BadLine {
+            line: lineno,
+            content: trimmed.to_owned(),
+        })?;
+        trace.push(access);
+    }
+    Ok(trace)
+}
+
+fn parse_text_line(line: &str) -> Option<Access> {
+    let mut parts = line.split_whitespace();
+    let kind_token = parts.next()?;
+    let addr_token = parts.next()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    let mut kind_chars = kind_token.chars();
+    let kind = AccessKind::from_mnemonic(kind_chars.next()?)?;
+    if kind_chars.next().is_some() {
+        return None;
+    }
+    let addr = if let Some(hex) = addr_token.strip_prefix("0x").or_else(|| addr_token.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        addr_token.parse().ok()?
+    };
+    Some(Access::new(addr, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        [
+            Access::fetch(0x1000),
+            Access::read(0x8000),
+            Access::write(0x8004),
+            Access::fetch(0x1004),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_roundtrip_empty() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic(_)));
+    }
+
+    #[test]
+    fn binary_detects_truncation() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_binary(&buf[..]).unwrap_err();
+        match err {
+            TraceIoError::Truncated { expected: 4, actual: 3 } => {}
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn binary_detects_corrupt_kind() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        // Overwrite the first access with reserved kind bits.
+        let bad = (3u32 << 30).to_le_bytes();
+        buf[12..16].copy_from_slice(&bad);
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::CorruptAccess { index: 0 }));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &t).unwrap();
+        assert_eq!(read_text(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn text_accepts_comments_blanks_and_decimal() {
+        let src = "# a comment\n\nF 0x100\nR 256\n";
+        let t = read_text(src.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0), Some(Access::fetch(0x100)));
+        assert_eq!(t.get(1), Some(Access::read(256)));
+    }
+
+    #[test]
+    fn text_rejects_garbage_with_line_number() {
+        let err = read_text("F 0x100\nnot a line\n".as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::BadLine { line: 2, content } => assert_eq!(content, "not a line"),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn text_rejects_extra_tokens_and_bad_kind() {
+        assert!(read_text("F 0x100 extra\n".as_bytes()).is_err());
+        assert!(read_text("Q 0x100\n".as_bytes()).is_err());
+        assert!(read_text("FF 0x100\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let io_err: TraceIoError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(io_err.to_string().contains("boom"));
+        assert!(io_err.source().is_some());
+        assert!(TraceIoError::BadMagic(*b"ABCD").source().is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! Memory reference traces for the `dynex` cache simulator.
+//!
+//! This crate defines the trace model shared by every other crate in the
+//! workspace: a reference is an [`Access`] (a byte address plus an
+//! [`AccessKind`]), traces are stored compactly as [`PackedAccess`] words
+//! inside a [`Trace`], and streams can be summarized with [`TraceStats`],
+//! filtered with the adapters in [`filter`], and round-tripped through the
+//! binary/text formats in [`io`].
+//!
+//! The model matches the tracing setup of McFarling's ISCA '92 dynamic
+//! exclusion paper: word-granular (4-byte) references from a 32-bit address
+//! space, tagged as instruction fetches, data reads, or data writes.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynex_trace::{Access, Trace, TraceStats};
+//!
+//! let trace: Trace = [Access::fetch(0x1000), Access::read(0x8000), Access::fetch(0x1004)]
+//!     .into_iter()
+//!     .collect();
+//! let stats = TraceStats::from_accesses(trace.iter());
+//! assert_eq!(stats.total(), 3);
+//! assert_eq!(stats.fetches(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+pub mod filter;
+pub mod io;
+mod packed;
+mod stats;
+mod trace;
+
+pub use access::{Access, AccessKind};
+pub use packed::{AddressRangeError, PackedAccess, MAX_ADDR};
+pub use stats::TraceStats;
+pub use trace::Trace;

@@ -1,0 +1,216 @@
+//! Summary statistics over a reference stream.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::{Access, AccessKind};
+
+/// Aggregate statistics of a reference stream: counts per kind, footprint
+/// (distinct words touched), and address range.
+///
+/// Used by the `fig2` experiment to report the benchmark characterization
+/// table and by tests to validate generated workloads.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_trace::{Access, TraceStats};
+///
+/// let stats = TraceStats::from_accesses(
+///     [Access::fetch(0x100), Access::fetch(0x100), Access::read(0x900)].into_iter(),
+/// );
+/// assert_eq!(stats.total(), 3);
+/// assert_eq!(stats.footprint_words(), 2);
+/// assert_eq!(stats.instruction_footprint_words(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    fetches: u64,
+    reads: u64,
+    writes: u64,
+    instr_words: u64,
+    data_words: u64,
+    min_addr: Option<u32>,
+    max_addr: Option<u32>,
+}
+
+impl TraceStats {
+    /// Computes statistics by consuming a stream of accesses.
+    pub fn from_accesses<I: IntoIterator<Item = Access>>(accesses: I) -> TraceStats {
+        let mut stats = TraceStats::default();
+        let mut instr_words: HashSet<u32> = HashSet::new();
+        let mut data_words: HashSet<u32> = HashSet::new();
+        for a in accesses {
+            match a.kind() {
+                AccessKind::Fetch => {
+                    stats.fetches += 1;
+                    instr_words.insert(a.word_addr());
+                }
+                AccessKind::Read => {
+                    stats.reads += 1;
+                    data_words.insert(a.word_addr());
+                }
+                AccessKind::Write => {
+                    stats.writes += 1;
+                    data_words.insert(a.word_addr());
+                }
+            }
+            stats.min_addr = Some(stats.min_addr.map_or(a.addr(), |m| m.min(a.addr())));
+            stats.max_addr = Some(stats.max_addr.map_or(a.addr(), |m| m.max(a.addr())));
+        }
+        stats.instr_words = instr_words.len() as u64;
+        // A word can be both fetched and read (constants in code); count data
+        // footprint as distinct data words regardless of overlap.
+        stats.data_words = data_words.len() as u64;
+        stats
+    }
+
+    /// Total number of references.
+    pub fn total(&self) -> u64 {
+        self.fetches + self.reads + self.writes
+    }
+
+    /// Number of instruction fetches.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Number of data reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of data writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of data references (reads + writes).
+    pub fn data_refs(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Distinct words fetched as instructions.
+    pub fn instruction_footprint_words(&self) -> u64 {
+        self.instr_words
+    }
+
+    /// Distinct words referenced as data.
+    pub fn data_footprint_words(&self) -> u64 {
+        self.data_words
+    }
+
+    /// Distinct words touched by any reference kind.
+    ///
+    /// Instruction and data footprints rarely overlap in generated workloads,
+    /// so this is reported as their sum; it is an upper bound when they do.
+    pub fn footprint_words(&self) -> u64 {
+        self.instr_words + self.data_words
+    }
+
+    /// Instruction footprint in bytes.
+    pub fn instruction_footprint_bytes(&self) -> u64 {
+        self.instr_words * 4
+    }
+
+    /// Data footprint in bytes.
+    pub fn data_footprint_bytes(&self) -> u64 {
+        self.data_words * 4
+    }
+
+    /// Fraction of references that are instruction fetches, in [0, 1].
+    ///
+    /// Returns 0 for an empty stream.
+    pub fn instruction_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.fetches as f64 / self.total() as f64
+        }
+    }
+
+    /// Lowest byte address referenced, if the stream was non-empty.
+    pub fn min_addr(&self) -> Option<u32> {
+        self.min_addr
+    }
+
+    /// Highest byte address referenced, if the stream was non-empty.
+    pub fn max_addr(&self) -> Option<u32> {
+        self.max_addr
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} refs ({} fetch / {} read / {} write), I-footprint {} KB, D-footprint {} KB",
+            self.total(),
+            self.fetches,
+            self.reads,
+            self.writes,
+            self.instruction_footprint_bytes() / 1024,
+            self.data_footprint_bytes() / 1024,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream() {
+        let s = TraceStats::from_accesses(std::iter::empty());
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.footprint_words(), 0);
+        assert_eq!(s.min_addr(), None);
+        assert_eq!(s.max_addr(), None);
+        assert_eq!(s.instruction_fraction(), 0.0);
+    }
+
+    #[test]
+    fn counts_and_footprints() {
+        let s = TraceStats::from_accesses([
+            Access::fetch(0x100),
+            Access::fetch(0x104),
+            Access::fetch(0x100),
+            Access::read(0x2000),
+            Access::write(0x2000),
+            Access::write(0x2004),
+        ]);
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.fetches(), 3);
+        assert_eq!(s.reads(), 1);
+        assert_eq!(s.writes(), 2);
+        assert_eq!(s.data_refs(), 3);
+        assert_eq!(s.instruction_footprint_words(), 2);
+        assert_eq!(s.data_footprint_words(), 2);
+        assert_eq!(s.footprint_words(), 4);
+        assert_eq!(s.instruction_footprint_bytes(), 8);
+    }
+
+    #[test]
+    fn address_range() {
+        let s = TraceStats::from_accesses([Access::read(0x40), Access::fetch(0x9000)]);
+        assert_eq!(s.min_addr(), Some(0x40));
+        assert_eq!(s.max_addr(), Some(0x9000));
+    }
+
+    #[test]
+    fn instruction_fraction() {
+        let s = TraceStats::from_accesses([
+            Access::fetch(0),
+            Access::fetch(4),
+            Access::fetch(8),
+            Access::read(0x100),
+        ]);
+        assert!((s.instruction_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = TraceStats::from_accesses([Access::fetch(0)]);
+        assert!(s.to_string().contains("1 refs"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: trace packing and IO round-trips.
+
+use dynex_trace::io::{read_binary, read_text, write_binary, write_text};
+use dynex_trace::{Access, AccessKind, PackedAccess, Trace, TraceStats};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::Fetch),
+        Just(AccessKind::Read),
+        Just(AccessKind::Write),
+    ]
+}
+
+fn arb_access() -> impl Strategy<Value = Access> {
+    // Word-aligned addresses: packing is lossless for these.
+    (0u32..=(u32::MAX >> 2), arb_kind()).prop_map(|(word, kind)| Access::new(word << 2, kind))
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(arb_access(), 0..200).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn packed_roundtrip(access in arb_access()) {
+        let packed = PackedAccess::pack(access);
+        prop_assert_eq!(packed.unpack(), access);
+        prop_assert_eq!(PackedAccess::from_raw(packed.to_raw()), Some(packed));
+    }
+
+    #[test]
+    fn packing_is_word_granular(addr in any::<u32>(), kind in arb_kind()) {
+        let access = Access::new(addr, kind);
+        let unpacked = PackedAccess::pack(access).unpack();
+        prop_assert_eq!(unpacked.addr(), addr & !3);
+        prop_assert_eq!(unpacked.kind(), kind);
+    }
+
+    #[test]
+    fn binary_io_roundtrip(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &trace).unwrap();
+        prop_assert_eq!(read_binary(&buf[..]).unwrap(), trace);
+    }
+
+    #[test]
+    fn text_io_roundtrip(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        write_text(&mut buf, &trace).unwrap();
+        prop_assert_eq!(read_text(&buf[..]).unwrap(), trace);
+    }
+
+    #[test]
+    fn stats_counts_are_consistent(trace in arb_trace()) {
+        let stats = TraceStats::from_accesses(trace.iter());
+        prop_assert_eq!(stats.total(), trace.len() as u64);
+        prop_assert_eq!(
+            stats.fetches(),
+            trace.count_kind(AccessKind::Fetch) as u64
+        );
+        prop_assert_eq!(stats.data_refs(), stats.reads() + stats.writes());
+        prop_assert!(stats.instruction_footprint_words() <= stats.fetches());
+        prop_assert!(stats.data_footprint_words() <= stats.data_refs());
+        if !trace.is_empty() {
+            prop_assert!(stats.min_addr().unwrap() <= stats.max_addr().unwrap());
+        }
+    }
+
+    #[test]
+    fn filters_partition_the_stream(trace in arb_trace()) {
+        let i = dynex_trace::filter::instructions(trace.iter()).count();
+        let d = dynex_trace::filter::data(trace.iter()).count();
+        prop_assert_eq!(i + d, trace.len());
+    }
+}

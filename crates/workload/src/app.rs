@@ -1,0 +1,287 @@
+//! A parameterized "phased application" generator.
+//!
+//! Most of the SPEC'89 integer/mixed benchmarks share one dynamic shape:
+//! execution is dominated by a rotation of *phases*, each a hot inner loop
+//! with a small, stable body and one or two fixed callees, plus occasional
+//! excursions into a pool of rarely used helper procedures. That shape is
+//! exactly what produces the paper's three conflict patterns:
+//!
+//! * hot body vs. its fixed callees — *conflict within a loop* `(a b)^n`,
+//! * hot loop vs. rare helpers — *conflict between loop levels* `(a^n b)`,
+//! * one phase's hot code vs. another's — *conflict between loops*
+//!   `(a^n b^n)^m`.
+//!
+//! [`AppParams`] exposes the knobs (footprint, phase count, rare-call
+//! probability, block sizes) that the per-benchmark profiles in
+//! [`crate::spec`] tune to match each program's published characterization.
+
+use dynex_cache::SplitMix64;
+
+use crate::data::DataPattern;
+use crate::program::{ProcId, Program, Stmt};
+use crate::ProgramBuilder;
+
+/// Knobs for the phased application generator.
+///
+/// Use [`AppParams::new`] for defaults, adjust fields, then
+/// [`AppParams::build`].
+#[derive(Debug, Clone)]
+pub struct AppParams {
+    /// PRNG seed for structure, layout, and data.
+    pub seed: u64,
+    /// Number of phases in the main rotation.
+    pub phases: usize,
+    /// Inner-loop trip range per phase visit.
+    pub inner_trips: (u32, u32),
+    /// Instruction words in the hot inner-loop body (split around calls).
+    pub body_words: (u32, u32),
+    /// Fixed hot callees per phase, called every iteration.
+    pub hot_helpers_per_phase: usize,
+    /// Size range of hot callees, in words.
+    pub hot_helper_words: (u32, u32),
+    /// Rarely-called helper procedures per phase.
+    pub rare_helpers_per_phase: usize,
+    /// Size range of rare helpers, in words.
+    pub rare_helper_words: (u32, u32),
+    /// Probability an inner iteration takes a rare-helper excursion.
+    pub rare_call_prob: f64,
+    /// Stack frame words for procedures (0 disables stack traffic).
+    pub frame_words: u32,
+    /// Data patterns available to the program (registered in order). Their
+    /// bases are relocated onto a sequential, irregularly padded layout at
+    /// build time, like a real allocator would place them.
+    pub data_patterns: Vec<DataPattern>,
+    /// Data references per inner iteration as `(pattern index, count,
+    /// write fraction)` triples.
+    pub body_data: Vec<(usize, u32, f64)>,
+    /// Maximum random padding between procedures, in words.
+    pub layout_padding: u32,
+    /// Scatter procedures across the text segment (see
+    /// [`crate::ProgramBuilder::shuffle_layout`]); on by default — phased
+    /// applications model large multi-module programs.
+    pub shuffle_layout: bool,
+}
+
+impl AppParams {
+    /// Reasonable defaults for a mid-size integer application.
+    pub fn new(seed: u64) -> AppParams {
+        AppParams {
+            seed,
+            phases: 8,
+            inner_trips: (10, 40),
+            body_words: (10, 30),
+            hot_helpers_per_phase: 2,
+            hot_helper_words: (30, 120),
+            rare_helpers_per_phase: 12,
+            rare_helper_words: (60, 250),
+            rare_call_prob: 0.1,
+            frame_words: 3,
+            data_patterns: Vec::new(),
+            body_data: Vec::new(),
+            layout_padding: 8,
+            shuffle_layout: true,
+        }
+    }
+
+    /// Builds the program: a main loop rotating over the phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters violate program-construction invariants
+    /// (e.g. probabilities outside `[0, 1]`); all built-in profiles are
+    /// valid by construction.
+    pub fn build(&self) -> Program {
+        let mut b = ProgramBuilder::new(self.seed);
+        b.max_padding(self.layout_padding);
+        b.shuffle_layout(self.shuffle_layout);
+        let mut rng = SplitMix64::new(self.seed ^ 0xa99);
+
+        // Relocate data regions sequentially with irregular padding: round
+        // power-of-two spacing between regions would make them alias at
+        // *every* cache size in a sweep, an artifact no real allocator
+        // produces.
+        let mut data_cursor: u32 = 0x1000_0000;
+        let pattern_ids: Vec<usize> = self
+            .data_patterns
+            .iter()
+            .map(|p| {
+                let relocated = relocate(p, &mut data_cursor, &mut rng);
+                b.add_pattern(relocated)
+            })
+            .collect();
+
+        let mut phase_procs = Vec::with_capacity(self.phases);
+        for _ in 0..self.phases {
+            // Rare helper pool for this phase.
+            let rare: Vec<ProcId> = (0..self.rare_helpers_per_phase)
+                .map(|_| {
+                    let len = draw(&mut rng, self.rare_helper_words);
+                    b.add_procedure_with_frame(
+                        vec![Stmt::straight(len)],
+                        self.frame_words,
+                    )
+                })
+                .collect();
+            // Fixed hot callees.
+            let hot: Vec<ProcId> = (0..self.hot_helpers_per_phase)
+                .map(|_| {
+                    let len = draw(&mut rng, self.hot_helper_words);
+                    b.add_procedure_with_frame(vec![Stmt::straight(len)], self.frame_words)
+                })
+                .collect();
+
+            // Inner loop body: straight runs around the hot calls, data
+            // references, and a low-probability excursion into the rare pool.
+            let mut body = Vec::new();
+            body.push(Stmt::straight(draw(&mut rng, self.body_words)));
+            for (k, &h) in hot.iter().enumerate() {
+                body.push(Stmt::call(h));
+                if k + 1 < hot.len() {
+                    body.push(Stmt::straight(draw(&mut rng, self.body_words) / 2 + 1));
+                }
+            }
+            for &(pattern, count, wf) in &self.body_data {
+                body.push(Stmt::data(pattern_ids[pattern], count, wf));
+            }
+            if !rare.is_empty() && self.rare_call_prob > 0.0 {
+                body.push(Stmt::IfElse {
+                    prob_then: self.rare_call_prob,
+                    then_branch: dispatch_tree(&rare),
+                    else_branch: vec![Stmt::straight(2)],
+                });
+            }
+            body.push(Stmt::straight(draw(&mut rng, self.body_words) / 2 + 1));
+
+            let phase = b.add_procedure_with_frame(
+                vec![Stmt::Loop {
+                    trips: crate::Trips::Uniform(self.inner_trips.0, self.inner_trips.1),
+                    body,
+                }],
+                self.frame_words,
+            );
+            phase_procs.push(phase);
+        }
+
+        let mut rotation = vec![Stmt::straight(10)];
+        rotation.extend(phase_procs.iter().map(|&p| Stmt::call(p)));
+        let main = b.add_procedure(vec![Stmt::loop_n(1_000_000, rotation)]);
+        b.build(main).expect("AppParams produce valid programs")
+    }
+}
+
+/// Re-bases `pattern` at the cursor and advances it by the region size plus
+/// an irregular pad (word-aligned, never a neat power of two).
+fn relocate(pattern: &DataPattern, cursor: &mut u32, rng: &mut SplitMix64) -> DataPattern {
+    let base = *cursor;
+    let mut relocated = pattern.clone();
+    let len_words = match &mut relocated {
+        DataPattern::Stride { base: b, len_words, .. }
+        | DataPattern::RandomIn { base: b, len_words }
+        | DataPattern::Chase { base: b, len_words, .. }
+        | DataPattern::Hot { base: b, len_words } => {
+            *b = base;
+            *len_words
+        }
+    };
+    let pad_words = 64 + rng.below(4096) as u32;
+    *cursor = base + (len_words + pad_words) * 4;
+    relocated
+}
+
+fn draw(rng: &mut SplitMix64, (lo, hi): (u32, u32)) -> u32 {
+    if hi <= lo {
+        lo
+    } else {
+        lo + rng.below((hi - lo + 1) as u64) as u32
+    }
+}
+
+/// A balanced branch tree dispatching to exactly one of `targets`.
+pub(crate) fn dispatch_tree(targets: &[ProcId]) -> Vec<Stmt> {
+    match targets.len() {
+        0 => vec![],
+        1 => vec![Stmt::call(targets[0])],
+        n => {
+            let mid = n / 2;
+            vec![Stmt::IfElse {
+                prob_then: mid as f64 / n as f64,
+                then_branch: dispatch_tree(&targets[..mid]),
+                else_branch: dispatch_tree(&targets[mid..]),
+            }]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_generates() {
+        let app = AppParams::new(1).build();
+        let t = app.trace(10_000);
+        assert_eq!(t.len(), 10_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = AppParams::new(2).build().trace(5_000);
+        let b = AppParams::new(2).build().trace(5_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn footprint_scales_with_pool_sizes() {
+        let small = AppParams::new(3).build().code_bytes();
+        let mut params = AppParams::new(3);
+        params.rare_helpers_per_phase = 40;
+        params.phases = 16;
+        let big = params.build().code_bytes();
+        assert!(big > 2 * small, "{big} vs {small}");
+    }
+
+    #[test]
+    fn data_patterns_emit_data_refs() {
+        let mut params = AppParams::new(4);
+        params.data_patterns =
+            vec![DataPattern::Stride { base: 0x1000_0000, len_words: 1000, stride_words: 1 }];
+        params.body_data = vec![(0, 2, 0.5)];
+        let t = params.build().trace(20_000);
+        let data = t.iter().filter(|a| a.is_data()).count();
+        assert!(data > 1000, "expected data traffic, got {data}");
+    }
+
+    #[test]
+    fn rare_prob_zero_emits_no_branchy_excursions() {
+        let mut params = AppParams::new(5);
+        params.rare_call_prob = 0.0;
+        // Still builds and runs.
+        let t = params.build().trace(2_000);
+        assert_eq!(t.len(), 2_000);
+    }
+
+    #[test]
+    fn hot_loops_dominate_the_stream() {
+        // The defining property: the stream must be loopy, i.e. a large
+        // fraction of instruction fetches are re-fetches of recently seen
+        // addresses. Measure re-reference rate within a 4K-word window.
+        let app = AppParams::new(6).build();
+        let t = app.trace(100_000);
+        let mut seen = std::collections::HashMap::new();
+        let mut rerefs = 0usize;
+        let mut total = 0usize;
+        for (i, a) in t.iter().enumerate() {
+            if a.is_instruction() {
+                total += 1;
+                if let Some(&j) = seen.get(&a.word_addr()) {
+                    if i - j < 50_000 {
+                        rerefs += 1;
+                    }
+                }
+                seen.insert(a.word_addr(), i);
+            }
+        }
+        let rate = rerefs as f64 / total as f64;
+        assert!(rate > 0.8, "stream should be dominated by loops, re-ref rate {rate}");
+    }
+}

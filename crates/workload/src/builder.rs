@@ -1,0 +1,384 @@
+//! Constructing and laying out programs.
+
+use std::error::Error;
+use std::fmt;
+
+use dynex_cache::SplitMix64;
+
+use crate::data::DataPattern;
+use crate::program::{body_len_words, ProcId, Procedure, Program, Stmt};
+
+/// Default first instruction address (MIPS-style text segment).
+pub const DEFAULT_CODE_BASE: u32 = 0x0040_0000;
+
+/// Validation failure from [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// A `Call` names a procedure that was never added.
+    UnknownProc {
+        /// The dangling callee.
+        callee: ProcId,
+    },
+    /// The call graph contains a cycle (the executor does not model true
+    /// recursion).
+    RecursiveCall {
+        /// A procedure on the cycle.
+        on_cycle: ProcId,
+    },
+    /// A `Data` statement names a pattern that was never added.
+    UnknownPattern {
+        /// The dangling pattern index.
+        index: usize,
+    },
+    /// A probability outside `[0, 1]`.
+    BadProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// The builder holds no procedures.
+    Empty,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownProc { callee } => write!(f, "call to unknown {callee}"),
+            BuildError::RecursiveCall { on_cycle } => {
+                write!(f, "recursive call cycle through {on_cycle}")
+            }
+            BuildError::UnknownPattern { index } => {
+                write!(f, "data statement uses unknown pattern {index}")
+            }
+            BuildError::BadProbability { value } => {
+                write!(f, "branch probability {value} outside [0, 1]")
+            }
+            BuildError::Empty => write!(f, "program has no procedures"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Incrementally builds a [`Program`]: add data patterns and procedures,
+/// then [`ProgramBuilder::build`] lays the code out and validates it.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_workload::{ProgramBuilder, Stmt};
+///
+/// let mut b = ProgramBuilder::new(42);
+/// let leaf = b.add_procedure(vec![Stmt::straight(8)]);
+/// let main = b.add_procedure(vec![Stmt::loop_n(10, vec![
+///     Stmt::straight(4),
+///     Stmt::call(leaf),
+/// ])]);
+/// let program = b.build(main)?;
+/// let trace = program.trace(1_000);
+/// assert_eq!(trace.len(), 1_000);
+/// # Ok::<(), dynex_workload::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    procs: Vec<(Vec<Stmt>, u32)>,
+    patterns: Vec<DataPattern>,
+    seed: u64,
+    code_base: u32,
+    max_pad_words: u32,
+    shuffle: bool,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder; `seed` drives layout padding, loop trip
+    /// draws, and random data patterns of the built program.
+    pub fn new(seed: u64) -> ProgramBuilder {
+        ProgramBuilder {
+            procs: Vec::new(),
+            patterns: Vec::new(),
+            seed,
+            code_base: DEFAULT_CODE_BASE,
+            max_pad_words: 8,
+            shuffle: false,
+        }
+    }
+
+    /// Scatters procedures across the text segment (deterministically) in
+    /// place of creation-order layout.
+    ///
+    /// Real linkers separate callers from their callees — library code, other
+    /// compilation units — which is what makes loop bodies conflict with the
+    /// procedures they call. Creation-order layout places helpers right next
+    /// to the loops that use them, so those conflicts never arise; profiles
+    /// that model large multi-module applications enable shuffling.
+    pub fn shuffle_layout(&mut self, shuffle: bool) -> &mut ProgramBuilder {
+        self.shuffle = shuffle;
+        self
+    }
+
+    /// Sets the first instruction address (default [`DEFAULT_CODE_BASE`]).
+    pub fn code_base(&mut self, addr: u32) -> &mut ProgramBuilder {
+        self.code_base = addr & !3;
+        self
+    }
+
+    /// Sets the maximum random padding between procedures, in words
+    /// (default 8; 0 packs procedures back to back).
+    pub fn max_padding(&mut self, words: u32) -> &mut ProgramBuilder {
+        self.max_pad_words = words;
+        self
+    }
+
+    /// Registers a data pattern, returning its index for [`Stmt::Data`].
+    pub fn add_pattern(&mut self, pattern: DataPattern) -> usize {
+        self.patterns.push(pattern);
+        self.patterns.len() - 1
+    }
+
+    /// Adds a leaf-frame procedure (no stack traffic on call).
+    pub fn add_procedure(&mut self, body: Vec<Stmt>) -> ProcId {
+        self.add_procedure_with_frame(body, 0)
+    }
+
+    /// Adds a procedure that pushes `frame_words` of stack on entry and pops
+    /// them on return (emitting stack writes/reads).
+    pub fn add_procedure_with_frame(&mut self, body: Vec<Stmt>, frame_words: u32) -> ProcId {
+        self.procs.push((body, frame_words));
+        ProcId(self.procs.len() - 1)
+    }
+
+    /// Lays out and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for dangling calls or patterns, recursive
+    /// call cycles, invalid probabilities, or an empty program.
+    pub fn build(&self, entry: ProcId) -> Result<Program, BuildError> {
+        if self.procs.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        if entry.0 >= self.procs.len() {
+            return Err(BuildError::UnknownProc { callee: entry });
+        }
+        for (body, _) in &self.procs {
+            self.validate_body(body)?;
+        }
+        self.check_acyclic()?;
+
+        // Layout: procedures from the code base with deterministic random
+        // padding so conflict alignment varies; optionally in shuffled order.
+        let mut rng = SplitMix64::new(self.seed ^ 0x1a_0u64);
+        let mut order: Vec<usize> = (0..self.procs.len()).collect();
+        if self.shuffle {
+            // Fisher–Yates with the builder seed.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.below_usize(i + 1));
+            }
+        }
+        let mut bases = vec![0u32; self.procs.len()];
+        let mut cursor = self.code_base;
+        for &index in &order {
+            let (body, _) = &self.procs[index];
+            let len_words = body_len_words(body) + 1; // + return instruction
+            bases[index] = cursor;
+            let pad = if self.max_pad_words == 0 {
+                0
+            } else {
+                rng.below(self.max_pad_words as u64 + 1) as u32
+            };
+            cursor += (len_words + pad) * 4;
+        }
+        let procs: Vec<Procedure> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(index, (body, frame_words))| Procedure {
+                body: body.clone(),
+                base_addr: bases[index],
+                len_words: body_len_words(body) + 1,
+                frame_words: *frame_words,
+            })
+            .collect();
+
+        Ok(Program { procs, patterns: self.patterns.clone(), entry, seed: self.seed })
+    }
+
+    fn validate_body(&self, body: &[Stmt]) -> Result<(), BuildError> {
+        for stmt in body {
+            match stmt {
+                Stmt::Straight(_) => {}
+                Stmt::Loop { body, .. } => self.validate_body(body)?,
+                Stmt::Call(callee) => {
+                    if callee.0 >= self.procs.len() {
+                        return Err(BuildError::UnknownProc { callee: *callee });
+                    }
+                }
+                Stmt::IfElse { prob_then, then_branch, else_branch } => {
+                    if !(0.0..=1.0).contains(prob_then) {
+                        return Err(BuildError::BadProbability { value: *prob_then });
+                    }
+                    self.validate_body(then_branch)?;
+                    self.validate_body(else_branch)?;
+                }
+                Stmt::Data { pattern, write_fraction, .. } => {
+                    if *pattern >= self.patterns.len() {
+                        return Err(BuildError::UnknownPattern { index: *pattern });
+                    }
+                    if !(0.0..=1.0).contains(write_fraction) {
+                        return Err(BuildError::BadProbability { value: *write_fraction });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_acyclic(&self) -> Result<(), BuildError> {
+        // DFS with colors over the static call graph.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        fn callees(body: &[Stmt], out: &mut Vec<usize>) {
+            for stmt in body {
+                match stmt {
+                    Stmt::Call(p) => out.push(p.0),
+                    Stmt::Loop { body, .. } => callees(body, out),
+                    Stmt::IfElse { then_branch, else_branch, .. } => {
+                        callees(then_branch, out);
+                        callees(else_branch, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        fn visit(
+            procs: &[(Vec<Stmt>, u32)],
+            colors: &mut [Color],
+            node: usize,
+        ) -> Result<(), BuildError> {
+            colors[node] = Color::Gray;
+            let mut next = Vec::new();
+            callees(&procs[node].0, &mut next);
+            for callee in next {
+                match colors[callee] {
+                    Color::Gray => {
+                        return Err(BuildError::RecursiveCall { on_cycle: ProcId(callee) })
+                    }
+                    Color::White => visit(procs, colors, callee)?,
+                    Color::Black => {}
+                }
+            }
+            colors[node] = Color::Black;
+            Ok(())
+        }
+        let mut colors = vec![Color::White; self.procs.len()];
+        for node in 0..self.procs.len() {
+            if colors[node] == Color::White {
+                visit(&self.procs, &mut colors, node)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_lays_out_in_order() {
+        let mut b = ProgramBuilder::new(1);
+        b.max_padding(0);
+        let p0 = b.add_procedure(vec![Stmt::straight(7)]); // 8 words with ret
+        let p1 = b.add_procedure(vec![Stmt::straight(3)]);
+        let prog = b.build(p1).unwrap();
+        assert_eq!(prog.procedure(p0).base_addr(), DEFAULT_CODE_BASE);
+        assert_eq!(prog.procedure(p1).base_addr(), DEFAULT_CODE_BASE + 8 * 4);
+        assert_eq!(prog.procedure(p0).size_bytes(), 32);
+        assert_eq!(prog.code_bytes(), 32 + 16);
+    }
+
+    #[test]
+    fn padding_is_deterministic() {
+        let build = || {
+            let mut b = ProgramBuilder::new(5);
+            let p0 = b.add_procedure(vec![Stmt::straight(4)]);
+            let _p1 = b.add_procedure(vec![Stmt::straight(4)]);
+            b.build(p0).unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(ProgramBuilder::new(0).build(ProcId(0)), Err(BuildError::Empty));
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let mut b = ProgramBuilder::new(0);
+        let p = b.add_procedure(vec![Stmt::call(ProcId(9))]);
+        assert_eq!(b.build(p), Err(BuildError::UnknownProc { callee: ProcId(9) }));
+    }
+
+    #[test]
+    fn rejects_unknown_entry() {
+        let mut b = ProgramBuilder::new(0);
+        b.add_procedure(vec![Stmt::straight(1)]);
+        assert!(matches!(b.build(ProcId(7)), Err(BuildError::UnknownProc { .. })));
+    }
+
+    #[test]
+    fn rejects_direct_recursion() {
+        let mut b = ProgramBuilder::new(0);
+        // Self-call: id equals the procedure's own (next) index.
+        let p = b.add_procedure(vec![Stmt::call(ProcId(0))]);
+        assert_eq!(b.build(p), Err(BuildError::RecursiveCall { on_cycle: ProcId(0) }));
+    }
+
+    #[test]
+    fn rejects_mutual_recursion() {
+        let mut b = ProgramBuilder::new(0);
+        let _p0 = b.add_procedure(vec![Stmt::call(ProcId(1))]);
+        let p1 = b.add_procedure(vec![Stmt::call(ProcId(0))]);
+        assert!(matches!(b.build(p1), Err(BuildError::RecursiveCall { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_pattern_and_probability() {
+        let mut b = ProgramBuilder::new(0);
+        let p = b.add_procedure(vec![Stmt::reads(0, 4)]);
+        assert_eq!(b.build(p), Err(BuildError::UnknownPattern { index: 0 }));
+
+        let mut b = ProgramBuilder::new(0);
+        let p = b.add_procedure(vec![Stmt::IfElse {
+            prob_then: 1.5,
+            then_branch: vec![],
+            else_branch: vec![],
+        }]);
+        assert_eq!(b.build(p), Err(BuildError::BadProbability { value: 1.5 }));
+    }
+
+    #[test]
+    fn nested_call_in_loop_is_found_by_validation() {
+        let mut b = ProgramBuilder::new(0);
+        let p = b.add_procedure(vec![Stmt::loop_n(3, vec![Stmt::call(ProcId(5))])]);
+        assert!(matches!(b.build(p), Err(BuildError::UnknownProc { .. })));
+    }
+
+    #[test]
+    fn code_base_is_word_aligned() {
+        let mut b = ProgramBuilder::new(0);
+        b.code_base(0x1003);
+        let p = b.add_procedure(vec![Stmt::straight(1)]);
+        assert_eq!(b.build(p).unwrap().procedure(p).base_addr(), 0x1000);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BuildError::Empty.to_string().contains("no procedures"));
+        assert!(BuildError::UnknownProc { callee: ProcId(2) }.to_string().contains("proc#2"));
+    }
+}

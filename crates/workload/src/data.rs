@@ -1,0 +1,227 @@
+//! Data reference patterns.
+//!
+//! Each [`DataPattern`] owns a region of the data segment and a generation
+//! rule; the per-execution cursor state lives in [`DataSpace`] so a
+//! [`crate::Program`] stays immutable and shareable.
+
+use dynex_cache::SplitMix64;
+
+/// A data access pattern over a region of the address space.
+///
+/// All addresses are byte addresses (word aligned); lengths are in words
+/// (4 bytes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataPattern {
+    /// Strided sequential walk: cursor advances by `stride_words`, wrapping
+    /// at the region end — array sweeps (eqntott), matrix column walks
+    /// (mat300, tomcatv), vector kernels (nasa7).
+    Stride {
+        /// First byte address of the region (word aligned).
+        base: u32,
+        /// Region length in words.
+        len_words: u32,
+        /// Cursor advance per reference, in words.
+        stride_words: u32,
+    },
+    /// Uniformly random references within the region — hash tables and
+    /// scattered heap accesses (gcc, spice).
+    RandomIn {
+        /// First byte address of the region (word aligned).
+        base: u32,
+        /// Region length in words.
+        len_words: u32,
+    },
+    /// Pointer chasing: a fixed affine permutation walk over the region —
+    /// list and tree traversal (li, espresso). Poor spatial locality,
+    /// perfect temporal periodicity.
+    Chase {
+        /// First byte address of the region (word aligned).
+        base: u32,
+        /// Region length in words.
+        len_words: u32,
+        /// Seed fixing the permutation.
+        perm_seed: u64,
+    },
+    /// A small constantly reused region — locals, temporaries, globals.
+    Hot {
+        /// First byte address of the region (word aligned).
+        base: u32,
+        /// Region length in words.
+        len_words: u32,
+    },
+}
+
+impl DataPattern {
+    fn len_words(&self) -> u32 {
+        match self {
+            DataPattern::Stride { len_words, .. }
+            | DataPattern::RandomIn { len_words, .. }
+            | DataPattern::Chase { len_words, .. }
+            | DataPattern::Hot { len_words, .. } => *len_words,
+        }
+    }
+
+    fn base(&self) -> u32 {
+        match self {
+            DataPattern::Stride { base, .. }
+            | DataPattern::RandomIn { base, .. }
+            | DataPattern::Chase { base, .. }
+            | DataPattern::Hot { base, .. } => *base,
+        }
+    }
+
+    /// Region size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.len_words() as u64 * 4
+    }
+}
+
+/// Per-execution cursor state for a program's data patterns.
+///
+/// Created by [`crate::Executor`]; cursors persist across program restarts so
+/// long traces keep walking their arrays instead of replaying the first pass.
+#[derive(Debug, Clone)]
+pub struct DataSpace {
+    cursors: Vec<u32>,
+    /// Precomputed `(multiplier, offset)` for `Chase` patterns.
+    chase_params: Vec<Option<(u32, u32)>>,
+    rng: SplitMix64,
+}
+
+impl DataSpace {
+    /// Fresh cursors for `patterns`, with `seed` driving the random
+    /// patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern region is empty.
+    pub fn new(patterns: &[DataPattern], seed: u64) -> DataSpace {
+        let chase_params = patterns
+            .iter()
+            .map(|p| match p {
+                DataPattern::Chase { perm_seed, len_words, .. } => {
+                    assert!(*len_words > 0, "data pattern region must be nonempty");
+                    let mut mix = SplitMix64::new(*perm_seed);
+                    // Odd multiplier for a full-period-ish affine walk.
+                    let a = (((mix.next_u64() as u32) | 1) % (*len_words).max(2)) | 1;
+                    let c = (mix.next_u64() as u32) % len_words;
+                    Some((a, c))
+                }
+                other => {
+                    assert!(other.len_words() > 0, "data pattern region must be nonempty");
+                    None
+                }
+            })
+            .collect();
+        DataSpace { cursors: vec![0; patterns.len()], chase_params, rng: SplitMix64::new(seed) }
+    }
+
+    /// Next byte address from pattern `index` of `patterns`.
+    ///
+    /// `patterns` must be the list this space was created for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn next_addr(&mut self, patterns: &[DataPattern], index: usize) -> u32 {
+        let pattern = &patterns[index];
+        let len = pattern.len_words();
+        let word = match pattern {
+            DataPattern::Stride { stride_words, .. } => {
+                let w = self.cursors[index];
+                self.cursors[index] = (w + *stride_words) % len;
+                w
+            }
+            DataPattern::RandomIn { .. } => self.rng.below(len as u64) as u32,
+            DataPattern::Chase { .. } => {
+                let w = self.cursors[index];
+                let (a, c) = self.chase_params[index].expect("chase params precomputed");
+                self.cursors[index] = (a.wrapping_mul(w).wrapping_add(c)) % len;
+                w
+            }
+            DataPattern::Hot { .. } => self.rng.below(len as u64) as u32,
+        };
+        pattern.base() + word * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_walks_and_wraps() {
+        let patterns =
+            vec![DataPattern::Stride { base: 0x1000, len_words: 4, stride_words: 1 }];
+        let mut space = DataSpace::new(&patterns, 0);
+        let addrs: Vec<u32> = (0..6).map(|_| space.next_addr(&patterns, 0)).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1004, 0x1008, 0x100c, 0x1000, 0x1004]);
+    }
+
+    #[test]
+    fn strided_columns() {
+        let patterns =
+            vec![DataPattern::Stride { base: 0, len_words: 100, stride_words: 10 }];
+        let mut space = DataSpace::new(&patterns, 0);
+        let addrs: Vec<u32> = (0..11).map(|_| space.next_addr(&patterns, 0)).collect();
+        assert_eq!(addrs[0], 0);
+        assert_eq!(addrs[1], 40);
+        assert_eq!(addrs[10], 0, "wraps after covering the region");
+    }
+
+    #[test]
+    fn random_stays_in_region() {
+        let patterns = vec![DataPattern::RandomIn { base: 0x2000, len_words: 16 }];
+        let mut space = DataSpace::new(&patterns, 7);
+        for _ in 0..500 {
+            let a = space.next_addr(&patterns, 0);
+            assert!((0x2000..0x2000 + 64).contains(&a));
+            assert_eq!(a % 4, 0);
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let patterns = vec![DataPattern::RandomIn { base: 0, len_words: 64 }];
+        let mut a = DataSpace::new(&patterns, 9);
+        let mut b = DataSpace::new(&patterns, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_addr(&patterns, 0), b.next_addr(&patterns, 0));
+        }
+    }
+
+    #[test]
+    fn chase_visits_many_distinct_words() {
+        let patterns = vec![DataPattern::Chase { base: 0, len_words: 64, perm_seed: 3 }];
+        let mut space = DataSpace::new(&patterns, 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(space.next_addr(&patterns, 0));
+        }
+        assert!(seen.len() > 8, "chase should wander, visited {}", seen.len());
+    }
+
+    #[test]
+    fn independent_cursors_per_pattern() {
+        let patterns = vec![
+            DataPattern::Stride { base: 0, len_words: 8, stride_words: 1 },
+            DataPattern::Stride { base: 0x100, len_words: 8, stride_words: 1 },
+        ];
+        let mut space = DataSpace::new(&patterns, 0);
+        assert_eq!(space.next_addr(&patterns, 0), 0);
+        assert_eq!(space.next_addr(&patterns, 1), 0x100);
+        assert_eq!(space.next_addr(&patterns, 0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_region_rejected() {
+        DataSpace::new(&[DataPattern::Hot { base: 0, len_words: 0 }], 0);
+    }
+
+    #[test]
+    fn size_bytes() {
+        let p = DataPattern::Hot { base: 0, len_words: 32 };
+        assert_eq!(p.size_bytes(), 128);
+    }
+}

@@ -1,0 +1,349 @@
+//! The interpreter: walks a [`Program`] and emits its reference stream.
+
+use dynex_cache::SplitMix64;
+use dynex_trace::Access;
+
+use crate::data::DataSpace;
+use crate::program::{body_len_words, ProcId, Program, Stmt};
+
+/// Base of the descending stack segment.
+const STACK_BASE: u32 = 0x7fff_f000;
+
+/// How many stack words a call actually touches (caps huge declared frames
+/// so call-heavy programs are not drowned in stack traffic).
+const FRAME_TOUCH_CAP: u32 = 4;
+
+/// Executes a [`Program`], emitting instruction fetches and data references
+/// in program order.
+///
+/// The executor restarts the program from its entry point whenever it
+/// finishes, preserving data cursors, so traces of any length can be drawn.
+/// All randomness (trip counts, branch directions, random data patterns)
+/// derives from the program's seed: generation is fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_workload::{Executor, ProgramBuilder, Stmt};
+///
+/// let mut b = ProgramBuilder::new(7);
+/// let main = b.add_procedure(vec![Stmt::loop_n(4, vec![Stmt::straight(2)])]);
+/// let program = b.build(main)?;
+/// let mut refs = Vec::new();
+/// Executor::new(&program).generate_into(10, |a| refs.push(a));
+/// assert_eq!(refs.len(), 10);
+/// assert!(refs.iter().all(|a| a.is_instruction()));
+/// # Ok::<(), dynex_workload::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct Executor<'p> {
+    program: &'p Program,
+    rng: SplitMix64,
+    data: DataSpace,
+    stack_ptr: u32,
+    remaining: usize,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor positioned at the program entry.
+    pub fn new(program: &'p Program) -> Executor<'p> {
+        Executor {
+            program,
+            rng: SplitMix64::new(program.seed ^ 0xe0ec),
+            data: DataSpace::new(&program.patterns, program.seed ^ 0xda7a),
+            stack_ptr: STACK_BASE,
+            remaining: 0,
+        }
+    }
+
+    /// Emits exactly `n_refs` references into `sink` (restarting the program
+    /// as needed). Subsequent calls continue where the previous stopped in
+    /// terms of data cursors, but restart control flow from the entry.
+    pub fn generate_into<F: FnMut(Access)>(&mut self, n_refs: usize, mut sink: F) {
+        self.remaining = n_refs;
+        while self.remaining > 0 {
+            self.stack_ptr = STACK_BASE;
+            self.exec_proc(self.program.entry, 0, &mut sink);
+        }
+    }
+
+    fn emit<F: FnMut(Access)>(&mut self, access: Access, sink: &mut F) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        sink(access);
+        self.remaining -= 1;
+        self.remaining > 0
+    }
+
+    fn exec_proc<F: FnMut(Access)>(&mut self, id: ProcId, depth: u32, sink: &mut F) -> bool {
+        assert!(depth < 64, "call depth exceeded (builder guarantees an acyclic call graph)");
+        let (base, len_words, frame_words, body) = {
+            let p = self.program.procedure(id);
+            (p.base_addr, p.len_words, p.frame_words, &p.body)
+        };
+        // Prologue: push the frame.
+        let touched = frame_words.min(FRAME_TOUCH_CAP);
+        if frame_words > 0 {
+            self.stack_ptr = self.stack_ptr.wrapping_sub(frame_words * 4);
+            for w in 0..touched {
+                if !self.emit(Access::write(self.stack_ptr + w * 4), sink) {
+                    return false;
+                }
+            }
+        }
+        let alive = self.exec_body(body, base, depth, sink)
+            && self.emit(Access::fetch(base + (len_words - 1) * 4), sink); // return instr
+        // Epilogue: pop the frame (restore registers).
+        let alive = alive && {
+            let mut ok = true;
+            for w in 0..touched {
+                if !self.emit(Access::read(self.stack_ptr + w * 4), sink) {
+                    ok = false;
+                    break;
+                }
+            }
+            ok
+        };
+        if frame_words > 0 {
+            self.stack_ptr = self.stack_ptr.wrapping_add(frame_words * 4);
+        }
+        alive
+    }
+
+    /// Executes `body` laid out starting at byte address `pc`. Returns
+    /// `false` when the reference budget ran out.
+    fn exec_body<F: FnMut(Access)>(
+        &mut self,
+        body: &[Stmt],
+        mut pc: u32,
+        depth: u32,
+        sink: &mut F,
+    ) -> bool {
+        for stmt in body {
+            let stmt_len = stmt.len_words();
+            match stmt {
+                Stmt::Straight(n) => {
+                    for w in 0..*n {
+                        if !self.emit(Access::fetch(pc + w * 4), sink) {
+                            return false;
+                        }
+                    }
+                }
+                Stmt::Loop { trips, body } => {
+                    let header = pc;
+                    let body_base = pc + 4;
+                    let backedge = pc + 4 + body_len_words(body) * 4;
+                    let t = trips.draw(&mut self.rng);
+                    if t == 0 {
+                        // The test still executes once and falls through.
+                        if !self.emit(Access::fetch(header), sink) {
+                            return false;
+                        }
+                    }
+                    for _ in 0..t {
+                        if !self.emit(Access::fetch(header), sink) {
+                            return false;
+                        }
+                        if !self.exec_body(body, body_base, depth, sink) {
+                            return false;
+                        }
+                        if !self.emit(Access::fetch(backedge), sink) {
+                            return false;
+                        }
+                    }
+                }
+                Stmt::Call(callee) => {
+                    if !self.emit(Access::fetch(pc), sink) {
+                        return false;
+                    }
+                    if !self.exec_proc(*callee, depth + 1, sink) {
+                        return false;
+                    }
+                }
+                Stmt::IfElse { prob_then, then_branch, else_branch } => {
+                    let branch_word = pc;
+                    let then_base = pc + 4;
+                    let else_base = then_base + body_len_words(then_branch) * 4;
+                    let join_word = else_base + body_len_words(else_branch) * 4;
+                    if !self.emit(Access::fetch(branch_word), sink) {
+                        return false;
+                    }
+                    let taken = self.rng.chance(*prob_then);
+                    let ok = if taken {
+                        self.exec_body(then_branch, then_base, depth, sink)
+                    } else {
+                        self.exec_body(else_branch, else_base, depth, sink)
+                    };
+                    if !ok {
+                        return false;
+                    }
+                    if !self.emit(Access::fetch(join_word), sink) {
+                        return false;
+                    }
+                }
+                Stmt::Data { pattern, count, write_fraction } => {
+                    for w in 0..*count {
+                        if !self.emit(Access::fetch(pc + w * 4), sink) {
+                            return false;
+                        }
+                        let addr = self.data.next_addr(&self.program.patterns, *pattern);
+                        let access = if self.rng.chance(*write_fraction) {
+                            Access::write(addr)
+                        } else {
+                            Access::read(addr)
+                        };
+                        if !self.emit(access, sink) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            pc += stmt_len * 4;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataPattern, ProgramBuilder};
+
+    fn collect(program: &Program, n: usize) -> Vec<Access> {
+        let mut v = Vec::new();
+        Executor::new(program).generate_into(n, |a| v.push(a));
+        v
+    }
+
+    #[test]
+    fn straight_line_is_sequential() {
+        let mut b = ProgramBuilder::new(0);
+        b.max_padding(0);
+        let p = b.add_procedure(vec![Stmt::straight(3)]);
+        let prog = b.build(p).unwrap();
+        let refs = collect(&prog, 4);
+        let base = prog.procedure(p).base_addr();
+        // 3 straight words + return word.
+        let expected: Vec<u32> = (0..4).map(|w| base + w * 4).collect();
+        assert_eq!(refs.iter().map(|a| a.addr()).collect::<Vec<_>>(), expected);
+        assert!(refs.iter().all(|a| a.is_instruction()));
+    }
+
+    #[test]
+    fn loop_refetches_header_and_backedge() {
+        let mut b = ProgramBuilder::new(0);
+        b.max_padding(0);
+        let p = b.add_procedure(vec![Stmt::loop_n(3, vec![Stmt::straight(1)])]);
+        let prog = b.build(p).unwrap();
+        let base = prog.procedure(p).base_addr();
+        let refs = collect(&prog, 9);
+        let addrs: Vec<u32> = refs.iter().map(|a| a.addr()).collect();
+        // header, body, backedge x3
+        let (h, body, be) = (base, base + 4, base + 8);
+        assert_eq!(addrs, vec![h, body, be, h, body, be, h, body, be]);
+    }
+
+    #[test]
+    fn calls_descend_and_return() {
+        let mut b = ProgramBuilder::new(0);
+        b.max_padding(0);
+        let leaf = b.add_procedure(vec![Stmt::straight(1)]);
+        let main = b.add_procedure(vec![Stmt::call(leaf), Stmt::straight(1)]);
+        let prog = b.build(main).unwrap();
+        let leaf_base = prog.procedure(leaf).base_addr();
+        let main_base = prog.procedure(main).base_addr();
+        let refs = collect(&prog, 5);
+        let addrs: Vec<u32> = refs.iter().map(|a| a.addr()).collect();
+        // call word, leaf body, leaf ret, continue, main ret.
+        assert_eq!(
+            addrs,
+            vec![main_base, leaf_base, leaf_base + 4, main_base + 4, main_base + 8]
+        );
+    }
+
+    #[test]
+    fn frames_emit_stack_traffic() {
+        let mut b = ProgramBuilder::new(0);
+        let leaf = b.add_procedure_with_frame(vec![Stmt::straight(1)], 2);
+        let main = b.add_procedure(vec![Stmt::call(leaf)]);
+        let prog = b.build(main).unwrap();
+        let refs = collect(&prog, 8);
+        let writes = refs.iter().filter(|a| a.kind() == dynex_trace::AccessKind::Write).count();
+        let reads = refs.iter().filter(|a| a.kind() == dynex_trace::AccessKind::Read).count();
+        assert_eq!(writes, 2, "frame push");
+        assert_eq!(reads, 2, "frame pop");
+        // Stack addresses live in the stack segment.
+        assert!(refs
+            .iter()
+            .filter(|a| a.is_data())
+            .all(|a| a.addr() >= STACK_BASE - 64));
+    }
+
+    #[test]
+    fn data_statements_interleave_fetch_and_data() {
+        let mut b = ProgramBuilder::new(0);
+        let arr = b.add_pattern(DataPattern::Stride { base: 0x1000_0000, len_words: 8, stride_words: 1 });
+        let p = b.add_procedure(vec![Stmt::reads(arr, 3)]);
+        let prog = b.build(p).unwrap();
+        let refs = collect(&prog, 6);
+        assert!(refs[0].is_instruction());
+        assert_eq!(refs[1], Access::read(0x1000_0000));
+        assert!(refs[2].is_instruction());
+        assert_eq!(refs[3], Access::read(0x1000_0004));
+    }
+
+    #[test]
+    fn program_restarts_to_fill_budget() {
+        let mut b = ProgramBuilder::new(0);
+        let p = b.add_procedure(vec![Stmt::straight(2)]);
+        let prog = b.build(p).unwrap();
+        // Program is 3 refs long (2 + ret); ask for 10.
+        let refs = collect(&prog, 10);
+        assert_eq!(refs.len(), 10);
+        assert_eq!(refs[0].addr(), refs[3].addr(), "restarted from entry");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut b = ProgramBuilder::new(0xfeed);
+        let arr = b.add_pattern(DataPattern::RandomIn { base: 0x2000_0000, len_words: 256 });
+        let leaf = b.add_procedure(vec![Stmt::reads(arr, 2)]);
+        let p = b.add_procedure(vec![Stmt::loop_range(2, 9, vec![
+            Stmt::call(leaf),
+            Stmt::IfElse {
+                prob_then: 0.3,
+                then_branch: vec![Stmt::straight(2)],
+                else_branch: vec![Stmt::straight(5)],
+            },
+        ])]);
+        let prog = b.build(p).unwrap();
+        assert_eq!(prog.trace(5_000), prog.trace(5_000));
+    }
+
+    #[test]
+    fn zero_trip_loop_fetches_test_once() {
+        let mut b = ProgramBuilder::new(0);
+        b.max_padding(0);
+        let p = b.add_procedure(vec![
+            Stmt::Loop { trips: crate::Trips::Fixed(0), body: vec![Stmt::straight(1)] },
+            Stmt::straight(1),
+        ]);
+        let prog = b.build(p).unwrap();
+        let base = prog.procedure(p).base_addr();
+        let refs = collect(&prog, 3);
+        let addrs: Vec<u32> = refs.iter().map(|a| a.addr()).collect();
+        // loop header (test fails), then the following straight word, ret.
+        assert_eq!(addrs, vec![base, base + 12, base + 16]);
+    }
+
+    #[test]
+    fn exact_budget_cutoff() {
+        let mut b = ProgramBuilder::new(0);
+        let p = b.add_procedure(vec![Stmt::straight(100)]);
+        let prog = b.build(p).unwrap();
+        for n in [1usize, 7, 99, 100, 101] {
+            assert_eq!(collect(&prog, n).len(), n);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Synthetic SPEC'89-style workloads for the `dynex` cache experiments.
+//!
+//! McFarling's ISCA '92 evaluation used pixie traces of the SPEC'89
+//! benchmarks on a DECstation 3100. Those traces are not reproducible today,
+//! so this crate substitutes a *program model*: procedures made of straight
+//! runs, nested loops, calls, and branches are laid out in a 32-bit address
+//! space and interpreted to emit instruction and data references. Dynamic
+//! exclusion cares only about the *reference patterns* — loop-vs-loop,
+//! loop-level, and within-loop conflicts — which the model produces the same
+//! way real compiled loop nests do.
+//!
+//! The ten profiles in [`spec`] are named after and structurally modelled on
+//! the SPEC'89 programs the paper used (Figure 2): code footprint, loop
+//! structure, call density, and data access style are matched to each
+//! benchmark's published characterization. Absolute miss rates differ from
+//! the paper's; the shapes of the curves are what the generator is
+//! calibrated to preserve.
+//!
+//! Everything is deterministic: the same profile and reference budget always
+//! produce the identical trace, via the workspace's `SplitMix64` PRNG.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynex_workload::spec;
+//!
+//! let profile = spec::profile("gcc").expect("gcc is a known profile");
+//! let trace = profile.trace(10_000);
+//! assert_eq!(trace.len(), 10_000);
+//! // Deterministic: a second generation is identical.
+//! assert_eq!(profile.trace(10_000), trace);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod builder;
+mod data;
+mod exec;
+pub mod patterns;
+mod program;
+pub mod spec;
+
+pub use app::AppParams;
+pub use builder::{BuildError, ProgramBuilder, DEFAULT_CODE_BASE};
+pub use data::{DataPattern, DataSpace};
+pub use exec::Executor;
+pub use program::{ProcId, Program, Stmt, Trips};
+pub use spec::Profile;
+
+/// Re-export of the deterministic PRNG used throughout trace generation.
+pub use dynex_cache::SplitMix64;

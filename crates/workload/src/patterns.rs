@@ -1,0 +1,117 @@
+//! The Section 3 micro-patterns, as address sequences.
+//!
+//! These generators produce the exact conflict patterns the paper analyses:
+//! two blocks `a` and `b` that map to the same line of a direct-mapped cache
+//! of a given size. They drive the `patterns` experiment and many tests.
+
+use dynex_trace::{Access, Trace};
+
+/// Two word addresses guaranteed to conflict in every direct-mapped cache of
+/// `cache_bytes` capacity or less (same index, different tags).
+pub fn conflicting_pair(cache_bytes: u32) -> (u32, u32) {
+    (0, cache_bytes)
+}
+
+/// Section 3.1, conflict between loops: `(a^inner b^inner)^outer`.
+///
+/// Conventional and optimal direct-mapped caches both miss `2 * outer` times
+/// (10% for `inner = outer = 10`).
+pub fn conflict_between_loops(a: u32, b: u32, inner: u32, outer: u32) -> Trace {
+    let mut trace = Trace::with_capacity((2 * inner * outer) as usize);
+    for _ in 0..outer {
+        for _ in 0..inner {
+            trace.push(Access::fetch(a));
+        }
+        for _ in 0..inner {
+            trace.push(Access::fetch(b));
+        }
+    }
+    trace
+}
+
+/// Section 3.2, conflict between loop levels: `(a^inner b)^outer`.
+///
+/// A conventional direct-mapped cache takes ~2 misses per `b` (18% for
+/// `inner = outer = 10`); the optimal cache keeps `a` and misses only on `b`
+/// (10%).
+pub fn conflict_between_loop_levels(a: u32, b: u32, inner: u32, outer: u32) -> Trace {
+    let mut trace = Trace::with_capacity(((inner + 1) * outer) as usize);
+    for _ in 0..outer {
+        for _ in 0..inner {
+            trace.push(Access::fetch(a));
+        }
+        trace.push(Access::fetch(b));
+    }
+    trace
+}
+
+/// Section 3.3, conflict within a loop: `(a b)^trips`.
+///
+/// A conventional direct-mapped cache misses on every reference (100%); the
+/// optimal cache keeps one block (55% for `trips = 10`).
+pub fn conflict_within_loop(a: u32, b: u32, trips: u32) -> Trace {
+    let mut trace = Trace::with_capacity((2 * trips) as usize);
+    for _ in 0..trips {
+        trace.push(Access::fetch(a));
+        trace.push(Access::fetch(b));
+    }
+    trace
+}
+
+/// The three-way loop `(a b c)^trips` that defeats a single sticky bit
+/// (Section 4's discussion of additional sticky bits).
+pub fn three_way_loop(a: u32, b: u32, c: u32, trips: u32) -> Trace {
+    let mut trace = Trace::with_capacity((3 * trips) as usize);
+    for _ in 0..trips {
+        trace.push(Access::fetch(a));
+        trace.push(Access::fetch(b));
+        trace.push(Access::fetch(c));
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_conflicts_by_construction() {
+        let (a, b) = conflicting_pair(1024);
+        assert_ne!(a, b);
+        assert_eq!(a % 1024, b % 1024);
+    }
+
+    #[test]
+    fn between_loops_shape() {
+        let t = conflict_between_loops(0, 64, 10, 10);
+        assert_eq!(t.len(), 200);
+        assert_eq!(t.get(0), Some(Access::fetch(0)));
+        assert_eq!(t.get(9), Some(Access::fetch(0)));
+        assert_eq!(t.get(10), Some(Access::fetch(64)));
+        assert_eq!(t.get(19), Some(Access::fetch(64)));
+        assert_eq!(t.get(20), Some(Access::fetch(0)));
+    }
+
+    #[test]
+    fn loop_levels_shape() {
+        let t = conflict_between_loop_levels(0, 64, 10, 10);
+        assert_eq!(t.len(), 110);
+        assert_eq!(t.get(10), Some(Access::fetch(64)));
+        assert_eq!(t.get(11), Some(Access::fetch(0)));
+    }
+
+    #[test]
+    fn within_loop_shape() {
+        let t = conflict_within_loop(0, 64, 10);
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.get(0), Some(Access::fetch(0)));
+        assert_eq!(t.get(1), Some(Access::fetch(64)));
+    }
+
+    #[test]
+    fn three_way_shape() {
+        let t = three_way_loop(0, 64, 128, 10);
+        assert_eq!(t.len(), 30);
+        assert_eq!(t.get(2), Some(Access::fetch(128)));
+    }
+}

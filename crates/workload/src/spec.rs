@@ -1,0 +1,410 @@
+//! Ten synthetic profiles modelled on the SPEC'89 benchmarks of the paper's
+//! Figure 2.
+//!
+//! Each profile is a [`Program`] whose *structure* — code footprint, loop
+//! nesting, call density, basic-block size, and data access style — follows
+//! the published characterization of the benchmark it is named after:
+//!
+//! | profile   | description (paper)                | model highlights |
+//! |-----------|------------------------------------|------------------|
+//! | `doduc`   | Monte Carlo simulation             | ~90KB numeric code, mid-size blocks, branchy phase loops |
+//! | `eqntott` | equation to truth table conversion | tiny hot compare/sort loops, large strided bit-vector data |
+//! | `espresso`| boolean function minimization      | ~45KB cube-loop phases, pointer-chased cover data |
+//! | `fpppp`   | quantum chemistry                  | enormous straight-line blocks re-executed per iteration |
+//! | `gcc`     | GNU C compiler                     | ~250KB over hundreds of procs, pass phases + rare helpers |
+//! | `li`      | lisp interpreter                   | small dispatch-loop interpreter, stack + cons-cell chasing |
+//! | `mat300`  | matrix multiplication              | ~1KB triple loop, row- and column-strided matrices |
+//! | `nasa7`   | NASA Ames FORTRAN kernels          | seven small vector kernels in rotation |
+//! | `spice`   | circuit simulation                 | ~170KB device-model phases, sparse scattered data |
+//! | `tomcatv` | vectorized mesh generation         | few small loops over mesh-sized strided arrays |
+//!
+//! The integer/mixed programs are instances of the phased-application
+//! generator ([`crate::AppParams`]); the numeric kernels are bespoke loop
+//! nests. Knob values were calibrated so the miss-rate *shapes* of the
+//! paper's figures hold (see `EXPERIMENTS.md`).
+
+use dynex_trace::Trace;
+
+use crate::app::AppParams;
+use crate::data::DataPattern;
+use crate::program::{Program, Stmt};
+use crate::ProgramBuilder;
+
+/// Data segment base.
+const DATA_BASE: u32 = 0x1000_0000;
+
+/// A named synthetic benchmark.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    name: &'static str,
+    description: &'static str,
+    program: Program,
+}
+
+impl Profile {
+    /// Short name (matches the paper's Figure 2).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description (paraphrasing Figure 2).
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Generates the first `n_refs` references of this profile.
+    pub fn trace(&self, n_refs: usize) -> Trace {
+        self.program.trace(n_refs)
+    }
+}
+
+/// Names of all ten profiles, in the paper's order.
+pub const NAMES: [&str; 10] = [
+    "doduc", "eqntott", "espresso", "fpppp", "gcc", "li", "mat300", "nasa7", "spice", "tomcatv",
+];
+
+/// Builds every profile.
+pub fn all() -> Vec<Profile> {
+    NAMES.iter().map(|n| profile(n).expect("NAMES are all buildable")).collect()
+}
+
+/// Builds one profile by name.
+pub fn profile(name: &str) -> Option<Profile> {
+    let (description, program) = match name {
+        "doduc" => ("Monte Carlo simulation", doduc()),
+        "eqntott" => ("conversion from equation to truth table", eqntott()),
+        "espresso" => ("minimization of boolean functions", espresso()),
+        "fpppp" => ("quantum chemistry calculations", fpppp()),
+        "gcc" => ("GNU C compiler", gcc()),
+        "li" => ("lisp interpreter", li()),
+        "mat300" => ("matrix multiplication", mat300()),
+        "nasa7" => ("NASA Ames FORTRAN Kernels", nasa7()),
+        "spice" => ("circuit simulation", spice()),
+        "tomcatv" => ("vectorized mesh generation", tomcatv()),
+        _ => return None,
+    };
+    Some(Profile { name: NAMES.iter().find(|&&n| n == name)?, description, program })
+}
+
+/// `gcc`: many compilation passes over a very large text segment; each pass
+/// is a hot walk loop with rare excursions into pass-specific helpers.
+fn gcc() -> Program {
+    let mut p = AppParams::new(0x9cc);
+    p.phases = 18;
+    p.inner_trips = (15, 60);
+    p.body_words = (15, 40);
+    p.hot_helpers_per_phase = 2;
+    p.hot_helper_words = (60, 200);
+    p.rare_helpers_per_phase = 13;
+    p.rare_helper_words = (80, 240);
+    p.rare_call_prob = 0.06;
+    p.frame_words = 3;
+    p.data_patterns = vec![
+        DataPattern::Chase { base: DATA_BASE, len_words: 2_500, perm_seed: 11 },
+        DataPattern::Hot { base: DATA_BASE + 0x100000, len_words: 512 },
+    ];
+    p.body_data = vec![(0, 1, 0.25), (1, 2, 0.4)];
+    p.build()
+}
+
+/// `spice`: device-model evaluation phases plus a sparse solve, over a large
+/// text segment; scattered matrix data.
+fn spice() -> Program {
+    let mut p = AppParams::new(0x591c);
+    p.phases = 12;
+    p.inner_trips = (20, 80);
+    p.body_words = (15, 45);
+    p.hot_helpers_per_phase = 2;
+    p.hot_helper_words = (80, 260);
+    p.rare_helpers_per_phase = 12;
+    p.rare_helper_words = (60, 220);
+    p.rare_call_prob = 0.06;
+    p.frame_words = 4;
+    p.data_patterns = vec![
+        DataPattern::Chase { base: DATA_BASE, len_words: 3_000, perm_seed: 17 },
+        DataPattern::RandomIn { base: DATA_BASE + 0x100000, len_words: 14_000 },
+    ];
+    p.body_data = vec![(0, 2, 0.4), (1, 1, 0.2)];
+    p.build()
+}
+
+/// `doduc`: Monte Carlo physics phases with mid-size numeric blocks and
+/// table lookups.
+fn doduc() -> Program {
+    let mut p = AppParams::new(0xd0d0c);
+    p.phases = 10;
+    p.inner_trips = (10, 45);
+    p.body_words = (25, 70);
+    p.hot_helpers_per_phase = 3;
+    p.hot_helper_words = (100, 300);
+    p.rare_helpers_per_phase = 8;
+    p.rare_helper_words = (60, 180);
+    p.rare_call_prob = 0.05;
+    p.frame_words = 4;
+    p.data_patterns = vec![
+        DataPattern::RandomIn { base: DATA_BASE, len_words: 4_000 },
+        DataPattern::Hot { base: DATA_BASE + 0x40000, len_words: 512 },
+    ];
+    p.body_data = vec![(0, 1, 0.2), (1, 2, 0.45)];
+    p.build()
+}
+
+/// `espresso`: cube-iteration phases over moderate code, pointer-chased set
+/// representations.
+fn espresso() -> Program {
+    let mut p = AppParams::new(0xe59e);
+    p.phases = 8;
+    p.inner_trips = (15, 60);
+    p.body_words = (10, 30);
+    p.hot_helpers_per_phase = 2;
+    p.hot_helper_words = (60, 180);
+    p.rare_helpers_per_phase = 8;
+    p.rare_helper_words = (50, 150);
+    p.rare_call_prob = 0.05;
+    p.frame_words = 2;
+    p.data_patterns = vec![
+        DataPattern::Chase { base: DATA_BASE, len_words: 2_000, perm_seed: 5 },
+        DataPattern::Stride { base: DATA_BASE + 0x80000, len_words: 10_000, stride_words: 3 },
+    ];
+    p.body_data = vec![(0, 1, 0.3), (1, 1, 0.1)];
+    p.build()
+}
+
+/// `li`: a small interpreter: one dominant dispatch phase over a compact
+/// handler set, heavy stack traffic and heap chasing.
+fn li() -> Program {
+    let mut p = AppParams::new(0x11);
+    p.phases = 5;
+    p.inner_trips = (30, 120);
+    p.body_words = (15, 25);
+    p.hot_helpers_per_phase = 2;
+    p.hot_helper_words = (40, 140);
+    p.rare_helpers_per_phase = 8;
+    p.rare_helper_words = (40, 120);
+    p.rare_call_prob = 0.05;
+    p.frame_words = 3;
+    p.data_patterns = vec![
+        DataPattern::Chase { base: DATA_BASE, len_words: 3_000, perm_seed: 13 },
+        DataPattern::Hot { base: DATA_BASE + 0x100000, len_words: 256 },
+    ];
+    p.body_data = vec![(0, 2, 0.35), (1, 1, 0.3)];
+    p.build()
+}
+
+/// `eqntott`: a tiny hot sort/compare kernel streaming through large bit
+/// vectors; almost no cold code.
+fn eqntott() -> Program {
+    let mut p = AppParams::new(0xe960);
+    p.phases = 3;
+    p.inner_trips = (40, 160);
+    p.body_words = (8, 20);
+    p.hot_helpers_per_phase = 1;
+    p.hot_helper_words = (15, 50);
+    p.rare_helpers_per_phase = 4;
+    p.rare_helper_words = (30, 100);
+    p.rare_call_prob = 0.05;
+    p.frame_words = 2;
+    p.data_patterns = vec![
+        DataPattern::Stride { base: DATA_BASE, len_words: 12_000, stride_words: 1 },
+        DataPattern::RandomIn { base: DATA_BASE + 0x100000, len_words: 4_000 },
+    ];
+    p.body_data = vec![(0, 2, 0.1), (1, 1, 0.4)];
+    p.build()
+}
+
+/// `fpppp`: enormous straight-line integral blocks re-executed every
+/// iteration — at cache sizes below the block footprint, every pass through
+/// a block alternates its lines with the other blocks' aliased lines, the
+/// within-loop pattern at whole-program scale.
+fn fpppp() -> Program {
+    let mut b = ProgramBuilder::new(0xf999);
+    let integrals =
+        b.add_pattern(DataPattern::Stride { base: DATA_BASE, len_words: 20_000, stride_words: 2 });
+    let scratch =
+        b.add_pattern(DataPattern::Hot { base: DATA_BASE + 20_000 * 4 + 0x1a4, len_words: 1024 });
+    let giant1 = b.add_procedure(vec![
+        Stmt::straight(1800),
+        Stmt::data(scratch, 40, 0.45),
+        Stmt::straight(1800),
+        Stmt::reads(integrals, 50),
+        Stmt::straight(1300),
+    ]);
+    let giant2 = b.add_procedure(vec![
+        Stmt::straight(1400),
+        Stmt::data(scratch, 30, 0.45),
+        Stmt::straight(1400),
+        Stmt::reads(integrals, 40),
+    ]);
+    let giant3 = b.add_procedure(vec![
+        Stmt::straight(1100),
+        Stmt::reads(integrals, 30),
+        Stmt::straight(900),
+    ]);
+    let small = b.add_procedure(vec![Stmt::straight(80), Stmt::data(scratch, 10, 0.3)]);
+    let main = b.add_procedure(vec![Stmt::loop_n(1_000_000, vec![
+        Stmt::straight(40),
+        Stmt::call(giant1),
+        Stmt::call(small),
+        Stmt::call(giant2),
+        Stmt::loop_n(2, vec![Stmt::call(giant3), Stmt::call(small)]),
+    ])]);
+    b.build(main).expect("fpppp profile is valid")
+}
+
+/// `mat300`: 300x300 matrix multiply — a ~1KB triple loop; the column-walked
+/// operand provides the strided data misses, instruction misses are
+/// essentially cold-start only.
+fn mat300() -> Program {
+    let mut b = ProgramBuilder::new(0x300);
+    let n = 320u32;
+    let a_row =
+        b.add_pattern(DataPattern::Stride { base: DATA_BASE, len_words: n * n, stride_words: 1 });
+    let b_col = b.add_pattern(DataPattern::Stride {
+        base: DATA_BASE + 4 * n * n,
+        len_words: n * n,
+        stride_words: n,
+    });
+    let c_cell = b.add_pattern(DataPattern::Hot { base: DATA_BASE + 8 * n * n, len_words: 64 });
+    let inner = vec![
+        Stmt::straight(4),
+        Stmt::reads(a_row, 1),
+        Stmt::reads(b_col, 1),
+        Stmt::data(c_cell, 1, 0.5),
+        Stmt::straight(3),
+    ];
+    let main = b.add_procedure(vec![Stmt::loop_n(1_000_000, vec![
+        Stmt::straight(6),
+        Stmt::loop_n(30, vec![Stmt::straight(3), Stmt::loop_n(30, inner.clone())]),
+    ])]);
+    b.build(main).expect("mat300 profile is valid")
+}
+
+/// `nasa7`: seven small FORTRAN kernels (FFT, Cholesky, block tridiagonal,
+/// ...) run in rotation — each a tiny loop nest over large strided arrays.
+fn nasa7() -> Program {
+    let mut b = ProgramBuilder::new(0xa5a7);
+    let mut kernels = Vec::new();
+    for k in 0..7u32 {
+        // Sequential bases with irregular pads: round offsets would alias
+        // at every cache size.
+        let array = b.add_pattern(DataPattern::Stride {
+            base: DATA_BASE + k * (16_000 * 4 + 0x2e4),
+            len_words: 16_000,
+            stride_words: [1, 7, 1, 16, 1, 64, 2][k as usize],
+        });
+        let inner = vec![Stmt::straight(5 + k % 3), Stmt::data(array, 2, 0.35), Stmt::straight(3)];
+        kernels.push(b.add_procedure_with_frame(
+            vec![Stmt::loop_n(10, vec![Stmt::straight(4), Stmt::loop_n(25, inner)])],
+            2,
+        ));
+    }
+    let mut rotation = vec![Stmt::straight(10)];
+    rotation.extend(kernels.iter().map(|&k| Stmt::call(k)));
+    let main = b.add_procedure(vec![Stmt::loop_n(1_000_000, rotation)]);
+    b.build(main).expect("nasa7 profile is valid")
+}
+
+/// `tomcatv`: vectorized mesh generation — a handful of small loop nests
+/// sweeping large mesh arrays with row and column strides.
+fn tomcatv() -> Program {
+    let mut b = ProgramBuilder::new(0x70ca);
+    let n = 300u32;
+    let mesh_x =
+        b.add_pattern(DataPattern::Stride { base: DATA_BASE, len_words: n * n, stride_words: 1 });
+    let mesh_y = b.add_pattern(DataPattern::Stride {
+        base: DATA_BASE + 4 * n * n,
+        len_words: n * n,
+        stride_words: n,
+    });
+    let residual = b.add_pattern(DataPattern::Hot { base: DATA_BASE + 8 * n * n, len_words: 128 });
+    let sweep1 = b.add_procedure(vec![Stmt::loop_n(40, vec![
+        Stmt::straight(6),
+        Stmt::reads(mesh_x, 3),
+        Stmt::reads(mesh_y, 2),
+        Stmt::data(residual, 1, 0.5),
+    ])]);
+    let sweep2 = b.add_procedure(vec![Stmt::loop_n(40, vec![
+        Stmt::straight(8),
+        Stmt::reads(mesh_y, 3),
+        Stmt::data(mesh_x, 2, 0.6),
+    ])]);
+    let relax = b.add_procedure(vec![Stmt::loop_n(20, vec![
+        Stmt::straight(5),
+        Stmt::data(residual, 2, 0.5),
+        Stmt::reads(mesh_x, 1),
+    ])]);
+    let main = b.add_procedure(vec![Stmt::loop_n(1_000_000, vec![
+        Stmt::straight(10),
+        Stmt::call(sweep1),
+        Stmt::call(sweep2),
+        Stmt::call(relax),
+    ])]);
+    b.build(main).expect("tomcatv profile is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynex_trace::TraceStats;
+
+    #[test]
+    fn all_profiles_build_and_generate() {
+        for p in all() {
+            let trace = p.trace(5_000);
+            assert_eq!(trace.len(), 5_000, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        for name in NAMES {
+            let a = profile(name).unwrap().trace(3_000);
+            let b = profile(name).unwrap().trace(3_000);
+            assert_eq!(a, b, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_profile_is_none() {
+        assert!(profile("quake").is_none());
+    }
+
+    #[test]
+    fn footprints_are_distinctive() {
+        let code_kb = |n: &str| profile(n).unwrap().program().code_bytes() / 1024;
+        assert!(code_kb("gcc") > 100, "gcc code {}KB", code_kb("gcc"));
+        assert!(code_kb("spice") > 60, "spice code {}KB", code_kb("spice"));
+        assert!(code_kb("mat300") < 4, "mat300 code {}KB", code_kb("mat300"));
+        assert!(code_kb("tomcatv") < 8, "tomcatv code {}KB", code_kb("tomcatv"));
+        assert!(code_kb("fpppp") > 30, "fpppp code {}KB", code_kb("fpppp"));
+        assert!(code_kb("eqntott") < 16, "eqntott code {}KB", code_kb("eqntott"));
+    }
+
+    #[test]
+    fn streams_mix_instructions_and_data() {
+        for name in ["gcc", "li", "mat300", "eqntott", "fpppp"] {
+            let stats = TraceStats::from_accesses(profile(name).unwrap().trace(50_000).iter());
+            let frac = stats.instruction_fraction();
+            assert!(
+                (0.5..1.0).contains(&frac),
+                "{name}: instruction fraction {frac}"
+            );
+            assert!(stats.data_refs() > 0, "{name} has data refs");
+        }
+    }
+
+    #[test]
+    fn descriptions_match_figure_2() {
+        assert_eq!(profile("gcc").unwrap().description(), "GNU C compiler");
+        assert_eq!(profile("li").unwrap().description(), "lisp interpreter");
+        assert_eq!(
+            profile("tomcatv").unwrap().description(),
+            "vectorized mesh generation"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Section 7 of the paper: the same FSM applied to instruction, data, and
+//! combined streams. Instruction reference patterns are what dynamic
+//! exclusion recognizes; data patterns benefit far less.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p dynex-experiments --example data_vs_instr
+//! ```
+
+use dynex::DeCache;
+use dynex_cache::{run_addrs, CacheConfig, DirectMapped};
+use dynex_trace::filter;
+use dynex_workload::spec;
+
+fn compare(tag: &str, addrs: &[u32], size_kb: u32) -> (f64, f64) {
+    let config = CacheConfig::direct_mapped(size_kb * 1024, 4).expect("valid config");
+    let mut dm = DirectMapped::new(config);
+    let dm_stats = run_addrs(&mut dm, addrs.iter().copied());
+    let mut de = DeCache::new(config);
+    let de_stats = run_addrs(&mut de, addrs.iter().copied());
+    println!(
+        "  {tag:<12} {size_kb:>4}KB  DM {:>7.3}%  DE {:>7.3}%  ({:+.1}% misses)",
+        dm_stats.miss_rate_percent(),
+        de_stats.miss_rate_percent(),
+        -de_stats.percent_reduction_vs(&dm_stats),
+    );
+    (dm_stats.miss_rate_percent(), de_stats.miss_rate_percent())
+}
+
+fn main() {
+    let refs: usize = std::env::var("DYNEX_REFS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+
+    for name in ["gcc", "doduc", "mat300"] {
+        println!("\n=== {name} ===");
+        let profile = spec::profile(name).expect("built-in profile");
+        let trace = profile.trace(refs);
+        let instr: Vec<u32> = filter::instructions(trace.iter()).map(|a| a.addr()).collect();
+        let data: Vec<u32> = filter::data(trace.iter()).map(|a| a.addr()).collect();
+        let all: Vec<u32> = trace.iter().map(|a| a.addr()).collect();
+
+        for kb in [8u32, 32] {
+            compare("instruction", &instr, kb);
+            compare("data", &data, kb);
+            compare("combined", &all, kb);
+            println!();
+        }
+    }
+
+    println!("expected (paper, Section 7): instruction streams benefit most; data");
+    println!("streams barely move (a conventional DM cache is close to optimal for");
+    println!("them); combined caches sit in between, tracking whichever reference");
+    println!("kind dominates the misses at that size.");
+}

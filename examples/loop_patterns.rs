@@ -1,0 +1,73 @@
+//! The paper's Section 3 patterns, end to end: build the exact reference
+//! sequences, run the three caches, and watch the FSM decisions.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p dynex-experiments --example loop_patterns
+//! ```
+
+use dynex::{DeCache, OptimalDirectMapped};
+use dynex_cache::{run, CacheConfig, DirectMapped};
+use dynex_trace::Trace;
+use dynex_workload::patterns;
+
+fn show(name: &str, trace: &Trace, config: CacheConfig) {
+    let mut dm = DirectMapped::new(config);
+    let dm_stats = run(&mut dm, trace.iter());
+    let mut de = DeCache::new(config);
+    let de_stats = run(&mut de, trace.iter());
+    let opt = OptimalDirectMapped::simulate(config, trace.iter().map(|a| a.addr()));
+
+    println!("{name}  ({} references)", trace.len());
+    println!(
+        "  conventional DM  : {:>3} misses ({:>5.1}%)",
+        dm_stats.misses(),
+        dm_stats.miss_rate_percent()
+    );
+    println!(
+        "  dynamic exclusion: {:>3} misses ({:>5.1}%)  [{} loads, {} bypasses]",
+        de_stats.misses(),
+        de_stats.miss_rate_percent(),
+        de.de_stats().loads,
+        de.de_stats().bypasses,
+    );
+    println!(
+        "  optimal DM       : {:>3} misses ({:>5.1}%)",
+        opt.misses(),
+        opt.miss_rate_percent()
+    );
+    println!();
+}
+
+fn main() {
+    // Any direct-mapped cache where a and b share a line; the paper's
+    // Section 3 uses single-instruction lines.
+    let config = CacheConfig::direct_mapped(64, 4).expect("valid config");
+    let (a, b) = patterns::conflicting_pair(64);
+
+    println!("Section 3 of McFarling'92, reproduced.\n");
+    show(
+        "conflict between loops       (a^10 b^10)^10",
+        &patterns::conflict_between_loops(a, b, 10, 10),
+        config,
+    );
+    show(
+        "conflict between loop levels (a^10 b)^10",
+        &patterns::conflict_between_loop_levels(a, b, 10, 10),
+        config,
+    );
+    show(
+        "conflict within a loop       (a b)^10",
+        &patterns::conflict_within_loop(a, b, 10),
+        config,
+    );
+    show(
+        "three-way loop               (a b c)^10  [defeats one sticky bit]",
+        &patterns::three_way_loop(a, b, b + 64, 10),
+        config,
+    );
+
+    println!("paper's analytic table: DM 10/18/100%, OPT 10/10/55% — DE lands");
+    println!("within two misses of optimal on each two-way pattern.");
+}

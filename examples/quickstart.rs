@@ -1,0 +1,65 @@
+//! Quickstart: compare a conventional direct-mapped instruction cache, the
+//! same cache with dynamic exclusion, and the optimal direct-mapped cache on
+//! a synthetic `doduc` workload — the paper's headline configuration
+//! (32KB instruction cache). Set `DYNEX_REFS` to change the budget; short
+//! budgets are cold-start dominated and understate the effect.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p dynex-experiments --example quickstart
+//! ```
+
+use dynex::{DeCache, OptimalDirectMapped};
+use dynex_cache::{run, CacheConfig, CacheSim, DirectMapped};
+use dynex_trace::filter;
+use dynex_workload::spec;
+
+fn main() {
+    let refs: usize = std::env::var("DYNEX_REFS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000_000);
+
+    println!("generating {refs} references of the synthetic `doduc` workload...");
+    let profile = spec::profile("doduc").expect("doduc is a built-in profile");
+    let trace = profile.trace(refs);
+    let instr_addrs: Vec<u32> =
+        filter::instructions(trace.iter()).map(|a| a.addr()).collect();
+    println!("{} instruction fetches\n", instr_addrs.len());
+
+    println!("{:<44} {:>10} {:>10}", "cache", "misses", "miss rate");
+    for size_kb in [8u32, 16, 32, 64] {
+        let config = CacheConfig::direct_mapped(size_kb * 1024, 4).expect("valid config");
+
+        let mut dm = DirectMapped::new(config);
+        let dm_stats = run(&mut dm, instr_addrs.iter().map(|&a| dynex_trace::Access::fetch(a)));
+
+        let mut de = DeCache::new(config);
+        let de_stats = run(&mut de, instr_addrs.iter().map(|&a| dynex_trace::Access::fetch(a)));
+
+        let opt_stats = OptimalDirectMapped::simulate(config, instr_addrs.iter().copied());
+
+        println!(
+            "{:<44} {:>10} {:>9.3}%",
+            dm.label(),
+            dm_stats.misses(),
+            dm_stats.miss_rate_percent()
+        );
+        println!(
+            "{:<44} {:>10} {:>9.3}%  ({:.1}% fewer misses than DM)",
+            de.label(),
+            de_stats.misses(),
+            de_stats.miss_rate_percent(),
+            de_stats.percent_reduction_vs(&dm_stats),
+        );
+        println!(
+            "{:<44} {:>10} {:>9.3}%  ({:.1}% fewer misses than DM)",
+            "optimal direct-mapped",
+            opt_stats.misses(),
+            opt_stats.miss_rate_percent(),
+            opt_stats.percent_reduction_vs(&dm_stats),
+        );
+        println!();
+    }
+}

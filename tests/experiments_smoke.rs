@@ -1,0 +1,69 @@
+//! Integration: every experiment runs end to end on a reduced budget and
+//! produces a structurally sane table (the full-budget numbers are recorded
+//! in EXPERIMENTS.md).
+
+use dynex_experiments::{figures, Workloads};
+
+fn workloads() -> Workloads {
+    // Small but non-trivial: enough for warm loops on the small benchmarks.
+    Workloads::generate(30_000)
+}
+
+#[test]
+fn every_experiment_produces_a_table() {
+    let w = workloads();
+    for id in figures::ALL_IDS {
+        let table = figures::run(id, &w).unwrap_or_else(|| panic!("{id} missing"));
+        assert!(table.n_rows() > 0, "{id}: empty table");
+        assert!(!table.title().is_empty(), "{id}: missing title");
+    }
+}
+
+#[test]
+fn csv_files_are_written() {
+    let w = workloads();
+    let dir = std::env::temp_dir().join("dynex_smoke_csv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let table = figures::run("fig3", &w).unwrap();
+    let path = dir.join("fig3.csv");
+    table.save_csv(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.lines().count() == table.n_rows() + 1);
+    assert!(text.starts_with("benchmark,"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn section3_table_is_budget_independent() {
+    // The pattern experiment uses exact sequences, not the workload bundle:
+    // identical at any budget.
+    let a = figures::patterns();
+    let b = figures::run("patterns", &workloads()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn numeric_cells_parse() {
+    let w = workloads();
+    for id in ["fig4", "fig11", "fig14"] {
+        let table = figures::run(id, &w).unwrap();
+        for row in 0..table.n_rows() {
+            for col in 1..table.headers().len() {
+                let cell = table.cell(row, col).unwrap();
+                assert!(
+                    cell.parse::<f64>().is_ok(),
+                    "{id} cell ({row},{col}) not numeric: {cell:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig2_reports_the_requested_budget() {
+    let w = Workloads::generate(12_345);
+    let table = figures::run("fig2", &w).unwrap();
+    for row in 0..table.n_rows() {
+        assert_eq!(table.cell(row, 2), Some("12345"));
+    }
+}

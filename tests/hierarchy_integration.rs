@@ -1,0 +1,115 @@
+//! Integration: Section 5's two-level findings on real (synthetic) workload
+//! streams rather than micro-patterns.
+
+use dynex::{DeCache, DeHierarchy, HitLastStrategy};
+use dynex_cache::{run_addrs, CacheConfig, CacheSim, DirectMapped, TwoLevel};
+use dynex_trace::filter;
+use dynex_workload::spec;
+
+const REFS: usize = 1_500_000;
+
+fn instr_addrs(name: &str) -> Vec<u32> {
+    let p = spec::profile(name).expect("built-in profile");
+    filter::instructions(p.trace(REFS).iter()).map(|a| a.addr()).collect()
+}
+
+fn l1() -> CacheConfig {
+    CacheConfig::direct_mapped(32 * 1024, 4).unwrap()
+}
+
+fn l2(ratio: u32) -> CacheConfig {
+    CacheConfig::direct_mapped(32 * 1024 * ratio, 4).unwrap()
+}
+
+/// "If the L2 cache is the same size as the L1 cache, the assume-hit option
+/// gives no improvement since the cache degenerates to conventional
+/// direct-mapped behavior."
+#[test]
+fn assume_hit_at_ratio_one_equals_conventional() {
+    for name in ["gcc", "doduc"] {
+        let addrs = instr_addrs(name);
+        let mut conventional = DirectMapped::new(l1());
+        let dm = run_addrs(&mut conventional, addrs.iter().copied());
+        let mut h = DeHierarchy::new(l1(), l2(1), HitLastStrategy::AssumeHit).unwrap();
+        let de = run_addrs(&mut h, addrs.iter().copied());
+        assert_eq!(dm.misses(), de.misses(), "{name}");
+    }
+}
+
+/// "With all three schemes, most of the performance is achieved as long as
+/// the L2 cache is at least 4 times as large as the L1 cache."
+#[test]
+fn four_x_l2_captures_most_of_the_benefit() {
+    for strategy in [HitLastStrategy::AssumeHit, HitLastStrategy::AssumeMiss] {
+        let mut at_4x = 0.0;
+        let mut at_64x = 0.0;
+        let mut dm_rate = 0.0;
+        for name in ["gcc", "doduc", "spice", "fpppp"] {
+            let addrs = instr_addrs(name);
+            let mut conventional = DirectMapped::new(l1());
+            dm_rate += run_addrs(&mut conventional, addrs.iter().copied()).miss_rate_percent();
+            let mut small = DeHierarchy::new(l1(), l2(4), strategy).unwrap();
+            at_4x += run_addrs(&mut small, addrs.iter().copied()).miss_rate_percent();
+            let mut big = DeHierarchy::new(l1(), l2(64), strategy).unwrap();
+            at_64x += run_addrs(&mut big, addrs.iter().copied()).miss_rate_percent();
+        }
+        let benefit_4x = dm_rate - at_4x;
+        let benefit_64x = dm_rate - at_64x;
+        assert!(benefit_64x > 0.0, "{strategy}: 64x L2 must help");
+        assert!(
+            benefit_4x >= 0.75 * benefit_64x,
+            "{strategy}: 4x L2 should capture most of the 64x benefit \
+             ({benefit_4x:.2} vs {benefit_64x:.2} miss-rate points)"
+        );
+    }
+}
+
+/// Exclusive strategies reduce L2 misses relative to the conventional
+/// hierarchy; the inclusive one does not (Figures 8–9).
+#[test]
+fn exclusion_lowers_l2_misses() {
+    let mut conventional_l2 = 0u64;
+    let mut assume_hit_l2 = 0u64;
+    let mut assume_miss_l2 = 0u64;
+    let mut hashed_l2 = 0u64;
+    for name in ["gcc", "spice", "doduc"] {
+        let addrs = instr_addrs(name);
+        let mut base = TwoLevel::new(DirectMapped::new(l1()), DirectMapped::new(l2(2)));
+        run_addrs(&mut base, addrs.iter().copied());
+        conventional_l2 += base.hierarchy_stats().l2.misses();
+
+        for (strategy, counter) in [
+            (HitLastStrategy::AssumeHit, &mut assume_hit_l2),
+            (HitLastStrategy::AssumeMiss, &mut assume_miss_l2),
+            (HitLastStrategy::Hashed { bits_per_line: 4 }, &mut hashed_l2),
+        ] {
+            let mut h = DeHierarchy::new(l1(), l2(2), strategy).unwrap();
+            run_addrs(&mut h, addrs.iter().copied());
+            *counter += h.hierarchy_stats().l2.misses();
+        }
+    }
+    assert!(
+        assume_miss_l2 < conventional_l2,
+        "assume-miss must lower L2 misses: {assume_miss_l2} vs {conventional_l2}"
+    );
+    assert!(
+        hashed_l2 < conventional_l2,
+        "hashed must lower L2 misses: {hashed_l2} vs {conventional_l2}"
+    );
+    // Inclusive assume-hit tracks the conventional hierarchy closely.
+    let drift = (assume_hit_l2 as f64 - conventional_l2 as f64).abs()
+        / conventional_l2.max(1) as f64;
+    assert!(drift < 0.25, "assume-hit should track conventional L2 misses, drift {drift:.2}");
+}
+
+/// A huge L2 under assume-miss reproduces the single-level DE cache with a
+/// perfect hit-last store, reference for reference.
+#[test]
+fn huge_l2_assume_miss_matches_single_level_de() {
+    let addrs = instr_addrs("espresso");
+    let mut h = DeHierarchy::new(l1(), l2(64), HitLastStrategy::AssumeMiss).unwrap();
+    let mut single = DeCache::new(l1());
+    for &a in &addrs {
+        assert_eq!(h.access(a), single.access(a));
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration: the Section 3 analytic results hold end to end, from the
+//! pattern generators in `dynex-workload` through the simulators in
+//! `dynex-core`, at every cache size where the blocks conflict.
+
+use dynex::{DeCache, OptimalDirectMapped};
+use dynex_cache::{run, CacheConfig, CacheSim, DirectMapped};
+use dynex_workload::patterns;
+
+fn misses<C: CacheSim>(mut cache: C, trace: &dynex_trace::Trace) -> u64 {
+    run(&mut cache, trace.iter()).misses()
+}
+
+#[test]
+fn conflict_between_loops_is_already_optimal_for_dm() {
+    // (a^10 b^10)^10: conventional and optimal both 10%.
+    for size in [64u32, 1024, 32 * 1024] {
+        let config = CacheConfig::direct_mapped(size, 4).unwrap();
+        let (a, b) = patterns::conflicting_pair(size);
+        let trace = patterns::conflict_between_loops(a, b, 10, 10);
+        assert_eq!(misses(DirectMapped::new(config), &trace), 20, "size {size}");
+        assert_eq!(
+            OptimalDirectMapped::simulate(config, trace.iter().map(|x| x.addr())).misses(),
+            20
+        );
+        // DE: within two misses of optimal from cold state.
+        let de = misses(DeCache::new(config), &trace);
+        assert!((20..=22).contains(&de), "size {size}: de {de}");
+    }
+}
+
+#[test]
+fn loop_level_conflict_de_excludes_the_interrupting_block() {
+    // (a^10 b)^10: DM 18%, OPT 10%, DE = OPT from cold state.
+    let config = CacheConfig::direct_mapped(1024, 4).unwrap();
+    let (a, b) = patterns::conflicting_pair(1024);
+    let trace = patterns::conflict_between_loop_levels(a, b, 10, 10);
+    assert_eq!(misses(DirectMapped::new(config), &trace), 20); // 18.2%
+    assert_eq!(
+        OptimalDirectMapped::simulate(config, trace.iter().map(|x| x.addr())).misses(),
+        11
+    );
+    assert_eq!(misses(DeCache::new(config), &trace), 11);
+}
+
+#[test]
+fn within_loop_conflict_de_halves_misses() {
+    // (a b)^50: DM 100%, OPT/DE keep one block.
+    let config = CacheConfig::direct_mapped(4096, 4).unwrap();
+    let (a, b) = patterns::conflicting_pair(4096);
+    let trace = patterns::conflict_within_loop(a, b, 50);
+    assert_eq!(misses(DirectMapped::new(config), &trace), 100);
+    assert_eq!(
+        OptimalDirectMapped::simulate(config, trace.iter().map(|x| x.addr())).misses(),
+        51
+    );
+    assert_eq!(misses(DeCache::new(config), &trace), 51);
+}
+
+#[test]
+fn three_way_loop_needs_multiple_sticky_levels() {
+    let config = CacheConfig::direct_mapped(64, 4).unwrap();
+    let (a, b) = patterns::conflicting_pair(64);
+    let trace = patterns::three_way_loop(a, b, b + 64, 50);
+    // Single bit: misses everything, like the conventional cache.
+    assert_eq!(misses(DirectMapped::new(config), &trace), 150);
+    assert_eq!(misses(DeCache::new(config), &trace), 150);
+    // Two levels lock one block in.
+    let de2 = misses(dynex::MultiStickyDeCache::new(config, 2), &trace);
+    assert_eq!(de2, 3 + 49 * 2, "a hits every round after warmup");
+    // And the optimal cache is at least as good.
+    let opt = OptimalDirectMapped::simulate(config, trace.iter().map(|x| x.addr())).misses();
+    assert!(opt <= de2);
+}
+
+#[test]
+fn patterns_respect_the_conflict_guarantee() {
+    // conflicting_pair must conflict at the size it was built for and all
+    // smaller sizes (b's address is a multiple of every smaller power of
+    // two).
+    for size in [64u32, 256, 4096, 32 * 1024] {
+        let (a, b) = patterns::conflicting_pair(size);
+        for smaller in [size, size / 2, size / 4] {
+            let geometry = CacheConfig::direct_mapped(smaller.max(64), 4).unwrap().geometry();
+            assert_eq!(
+                geometry.set_of_addr(a),
+                geometry.set_of_addr(b),
+                "pair for {size} must conflict at {smaller}"
+            );
+        }
+    }
+}
