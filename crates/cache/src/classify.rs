@@ -269,7 +269,12 @@ mod tests {
         let addrs: Vec<u32> = (0..1700).map(|i| (i % 17) * 4).collect();
         let lru = classify_direct_mapped(config(64), addrs.iter().copied());
         let opt = classify_direct_mapped_optimal(config(64), &addrs);
-        assert!(opt.conflict > lru.conflict, "{} vs {}", opt.conflict, lru.conflict);
+        assert!(
+            opt.conflict > lru.conflict,
+            "{} vs {}",
+            opt.conflict,
+            lru.conflict
+        );
         assert!(opt.capacity < lru.capacity);
         assert_eq!(opt.total_misses(), lru.total_misses());
     }

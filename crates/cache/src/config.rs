@@ -30,7 +30,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "cache parameter {value} is not a power of two")
             }
             ConfigError::LineTooSmall { line_bytes } => {
-                write!(f, "line size {line_bytes} is below the 4-byte word granularity")
+                write!(
+                    f,
+                    "line size {line_bytes} is below the 4-byte word granularity"
+                )
             }
             ConfigError::TooAssociative => {
                 write!(f, "associativity times line size exceeds the cache size")
@@ -72,13 +75,19 @@ impl CacheConfig {
     /// Returns a [`ConfigError`] if any parameter is zero or not a power of
     /// two, if the line is smaller than a word, or if `associativity *
     /// line_bytes > size_bytes`.
-    pub fn new(size_bytes: u32, line_bytes: u32, associativity: u32) -> Result<CacheConfig, ConfigError> {
+    pub fn new(
+        size_bytes: u32,
+        line_bytes: u32,
+        associativity: u32,
+    ) -> Result<CacheConfig, ConfigError> {
         if size_bytes == 0 || line_bytes == 0 || associativity == 0 {
             return Err(ConfigError::Zero);
         }
         for value in [size_bytes, line_bytes, associativity] {
             if !value.is_power_of_two() {
-                return Err(ConfigError::NotPowerOfTwo { value: value as u64 });
+                return Err(ConfigError::NotPowerOfTwo {
+                    value: value as u64,
+                });
             }
         }
         if line_bytes < 4 {
@@ -87,7 +96,11 @@ impl CacheConfig {
         if (associativity as u64) * (line_bytes as u64) > size_bytes as u64 {
             return Err(ConfigError::TooAssociative);
         }
-        Ok(CacheConfig { size_bytes, line_bytes, associativity })
+        Ok(CacheConfig {
+            size_bytes,
+            line_bytes,
+            associativity,
+        })
     }
 
     /// Direct-mapped configuration (`associativity == 1`).
@@ -148,7 +161,12 @@ impl CacheConfig {
 impl fmt::Display for CacheConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.associativity == 1 {
-            write!(f, "{}KB direct-mapped, {}B lines", self.size_bytes / 1024, self.line_bytes)
+            write!(
+                f,
+                "{}KB direct-mapped, {}B lines",
+                self.size_bytes / 1024,
+                self.line_bytes
+            )
         } else {
             write!(
                 f,
@@ -221,8 +239,14 @@ mod tests {
             CacheConfig::new(1024, 12, 1),
             Err(ConfigError::NotPowerOfTwo { value: 12 })
         );
-        assert_eq!(CacheConfig::new(1024, 2, 1), Err(ConfigError::LineTooSmall { line_bytes: 2 }));
-        assert_eq!(CacheConfig::new(64, 16, 8), Err(ConfigError::TooAssociative));
+        assert_eq!(
+            CacheConfig::new(1024, 2, 1),
+            Err(ConfigError::LineTooSmall { line_bytes: 2 })
+        );
+        assert_eq!(
+            CacheConfig::new(64, 16, 8),
+            Err(ConfigError::TooAssociative)
+        );
     }
 
     #[test]
@@ -278,7 +302,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ConfigError::TooAssociative.to_string().contains("associativity"));
+        assert!(ConfigError::TooAssociative
+            .to_string()
+            .contains("associativity"));
         assert!(ConfigError::Zero.to_string().contains("nonzero"));
     }
 }

@@ -1,5 +1,7 @@
 //! The conventional direct-mapped cache — the paper's baseline.
 
+use dynex_obs::{Cause, Event, NoopProbe, Outcome, Probe};
+
 use crate::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry};
 
 /// Sentinel line-address value meaning "invalid line". Real line addresses
@@ -10,6 +12,11 @@ pub(crate) const INVALID_LINE: u32 = u32::MAX;
 /// replacing whatever occupied its line.
 ///
 /// This is the baseline of every figure in the paper ("direct mapped").
+///
+/// The cache is generic over an observability [`Probe`]; the default
+/// [`NoopProbe`] is a zero-sized type whose emissions compile away, so an
+/// uninstrumented `DirectMapped` behaves and performs exactly as before.
+/// Build an instrumented one with [`DirectMapped::with_probe`].
 ///
 /// # Examples
 ///
@@ -24,15 +31,16 @@ pub(crate) const INVALID_LINE: u32 = u32::MAX;
 /// # Ok::<(), dynex_cache::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct DirectMapped {
+pub struct DirectMapped<P: Probe = NoopProbe> {
     config: CacheConfig,
     geometry: Geometry,
     lines: Vec<u32>,
     stats: CacheStats,
+    probe: P,
 }
 
 impl DirectMapped {
-    /// Creates an empty cache.
+    /// Creates an empty, unobserved cache.
     ///
     /// A direct-mapped cache is requested by convention with
     /// `associativity == 1`, but any [`CacheConfig`] whose associativity is 1
@@ -43,18 +51,44 @@ impl DirectMapped {
     /// Panics if `config.associativity() != 1`; use [`crate::SetAssociative`]
     /// for wider organizations.
     pub fn new(config: CacheConfig) -> DirectMapped {
-        assert_eq!(config.associativity(), 1, "DirectMapped requires associativity 1");
+        DirectMapped::with_probe(config, NoopProbe)
+    }
+}
+
+impl<P: Probe> DirectMapped<P> {
+    /// Creates an empty cache emitting events into `probe`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`DirectMapped::new`].
+    pub fn with_probe(config: CacheConfig, probe: P) -> DirectMapped<P> {
+        assert_eq!(
+            config.associativity(),
+            1,
+            "DirectMapped requires associativity 1"
+        );
         DirectMapped {
             config,
             geometry: config.geometry(),
             lines: vec![INVALID_LINE; config.n_sets() as usize],
             stats: CacheStats::new(),
+            probe,
         }
     }
 
     /// The configuration this cache was built with.
     pub fn config(&self) -> CacheConfig {
         self.config
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the cache, returning the attached probe.
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// Whether the block containing `addr` is currently resident (no state
@@ -64,14 +98,35 @@ impl DirectMapped {
         self.lines[self.geometry.set_of_line(line) as usize] == line
     }
 
-    /// Probes and updates contents for a *line address* (used by hierarchies
-    /// that operate above the offset bits).
-    pub(crate) fn access_line(&mut self, line: u32) -> AccessOutcome {
+    fn access_inner(&mut self, line: u32, addr: u32) -> AccessOutcome {
         let set = self.geometry.set_of_line(line) as usize;
-        let outcome = if self.lines[set] == line {
+        let resident = self.lines[set];
+        let outcome = if resident == line {
+            self.probe.emit(Event::Access {
+                addr,
+                set: set as u32,
+                outcome: Outcome::Hit,
+                cause: Cause::Resident,
+            });
             AccessOutcome::Hit
         } else {
+            let cause = if resident == INVALID_LINE {
+                Cause::Cold
+            } else {
+                self.probe.emit(Event::Eviction {
+                    set: set as u32,
+                    victim: resident,
+                    replacement: line,
+                });
+                Cause::Replace
+            };
             self.lines[set] = line;
+            self.probe.emit(Event::Access {
+                addr,
+                set: set as u32,
+                outcome: Outcome::Miss,
+                cause,
+            });
             AccessOutcome::Miss
         };
         self.stats.record(outcome);
@@ -79,10 +134,10 @@ impl DirectMapped {
     }
 }
 
-impl CacheSim for DirectMapped {
+impl<P: Probe> CacheSim for DirectMapped<P> {
     fn access(&mut self, addr: u32) -> AccessOutcome {
         let line = self.geometry.line_addr(addr);
-        self.access_line(line)
+        self.access_inner(line, addr)
     }
 
     fn stats(&self) -> CacheStats {
@@ -98,6 +153,7 @@ impl CacheSim for DirectMapped {
 mod tests {
     use super::*;
     use crate::run_addrs;
+    use dynex_obs::CountingProbe;
 
     fn cache(size: u32, line: u32) -> DirectMapped {
         DirectMapped::new(CacheConfig::direct_mapped(size, line).unwrap())
@@ -166,5 +222,42 @@ mod tests {
     #[test]
     fn label_mentions_organization() {
         assert!(cache(32 * 1024, 16).label().contains("32KB direct-mapped"));
+    }
+
+    #[test]
+    fn probe_sees_cold_conflict_and_eviction_events() {
+        let config = CacheConfig::direct_mapped(256, 4).unwrap();
+        let mut c = DirectMapped::with_probe(config, CountingProbe::new());
+        run_addrs(&mut c, [0u32, 0, 256, 0]); // cold, hit, conflict, conflict
+        let counts = c.probe().counts();
+        assert_eq!(counts.accesses, 4);
+        assert_eq!(counts.hits, 1);
+        assert_eq!(counts.misses, 3);
+        assert_eq!(counts.evictions, 2, "cold fill is not an eviction");
+        let counts2 = c.into_probe().counts();
+        assert_eq!(counts, counts2);
+    }
+
+    #[test]
+    fn probed_and_bare_stats_agree() {
+        let config = CacheConfig::direct_mapped(128, 4).unwrap();
+        let mut bare = DirectMapped::new(config);
+        let mut probed = DirectMapped::with_probe(config, CountingProbe::new());
+        let mut rng = crate::SplitMix64::new(11);
+        for _ in 0..2000 {
+            let a = (rng.below(1024) as u32) & !3;
+            assert_eq!(bare.access(a), probed.access(a));
+        }
+        assert_eq!(bare.stats(), probed.stats());
+        assert_eq!(probed.stats().accesses(), probed.probe().counts().accesses);
+    }
+
+    #[test]
+    fn noop_probe_is_free_of_size_overhead() {
+        assert_eq!(
+            std::mem::size_of::<DirectMapped<NoopProbe>>(),
+            std::mem::size_of::<DirectMapped>(),
+        );
+        assert_eq!(std::mem::size_of::<NoopProbe>(), 0);
     }
 }

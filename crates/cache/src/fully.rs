@@ -36,7 +36,9 @@ impl FullyAssociative {
         policy: Replacement,
     ) -> Result<FullyAssociative, crate::ConfigError> {
         let config = CacheConfig::fully_associative(size_bytes, line_bytes)?;
-        Ok(FullyAssociative { inner: SetAssociative::new(config, policy) })
+        Ok(FullyAssociative {
+            inner: SetAssociative::new(config, policy),
+        })
     }
 
     /// The configuration in use.
@@ -83,8 +85,7 @@ mod tests {
         // 16 lines; 8 distinct blocks that all map to one DM set coexist here.
         let mut c = FullyAssociative::new(64, 4, Replacement::Lru).unwrap();
         let addrs: Vec<u32> = (0..8).map(|i| i * 64).collect();
-        let stats =
-            run_addrs(&mut c, addrs.iter().copied().chain(addrs.iter().copied()));
+        let stats = run_addrs(&mut c, addrs.iter().copied().chain(addrs.iter().copied()));
         assert_eq!(stats.misses(), 8); // cold only
     }
 

@@ -71,7 +71,10 @@ impl<L1: CacheSim, L2: CacheSim> TwoLevel<L1, L2> {
 
     /// Statistics for both levels.
     pub fn hierarchy_stats(&self) -> HierarchyStats {
-        HierarchyStats { l1: self.l1.stats(), l2: self.l2.stats() }
+        HierarchyStats {
+            l1: self.l1.stats(),
+            l2: self.l2.stats(),
+        }
     }
 }
 

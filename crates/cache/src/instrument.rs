@@ -1,0 +1,148 @@
+//! [`Instrumented`]: observe any [`CacheSim`] from the outside.
+//!
+//! The simulators in this workspace emit rich internal events when built
+//! `with_probe`, but that requires choosing the probe at construction time.
+//! `Instrumented` instead wraps an *already built* simulator — including ones
+//! whose internals are not probe-aware — and derives [`Event::Access`] events
+//! from the [`CacheSim::access`] return value. Internal events (evictions,
+//! sticky flips, …) are not visible from outside, so the access cause is
+//! always [`Cause::Unattributed`]; when you need causes, construct the
+//! simulator with its own probe instead.
+
+use dynex_obs::{Cause, Event, Probe};
+
+use crate::{AccessOutcome, CacheSim, CacheStats, Geometry};
+
+/// A [`CacheSim`] adapter that emits an [`Event::Access`] per access.
+///
+/// The wrapper is transparent: it forwards every access to the inner
+/// simulator and returns its outcome unchanged, so statistics are
+/// byte-identical to an unwrapped run (the differential tests in
+/// `dynex-experiments` assert exactly this).
+///
+/// A [`Geometry`] maps each address to its cache set so probes downstream
+/// (e.g. [`dynex_obs::Collector`]) can aggregate per-set behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{CacheConfig, CacheSim, DirectMapped, Instrumented};
+/// use dynex_obs::CountingProbe;
+///
+/// let config = CacheConfig::direct_mapped(256, 4)?;
+/// let inner = DirectMapped::new(config);
+/// let mut sim = Instrumented::new(inner, config.geometry(), CountingProbe::new());
+/// sim.access(0x0);
+/// sim.access(0x0);
+/// assert_eq!(sim.probe().counts().hits, 1);
+/// assert_eq!(sim.probe().counts().misses, 1);
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Instrumented<S: CacheSim, P: Probe> {
+    inner: S,
+    geometry: Geometry,
+    probe: P,
+}
+
+impl<S: CacheSim, P: Probe> Instrumented<S, P> {
+    /// Wraps `inner`, attributing each address to a set via `geometry`.
+    ///
+    /// `geometry` should come from the same [`crate::CacheConfig`] the inner
+    /// simulator was built with, so the emitted `set` matches the set the
+    /// simulator actually indexed.
+    pub fn new(inner: S, geometry: Geometry, probe: P) -> Instrumented<S, P> {
+        Instrumented {
+            inner,
+            geometry,
+            probe,
+        }
+    }
+
+    /// The wrapped simulator.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the wrapper, returning the simulator and the probe.
+    pub fn into_parts(self) -> (S, P) {
+        (self.inner, self.probe)
+    }
+}
+
+impl<S: CacheSim, P: Probe> CacheSim for Instrumented<S, P> {
+    fn access(&mut self, addr: u32) -> AccessOutcome {
+        let outcome = self.inner.access(addr);
+        self.probe.emit(Event::Access {
+            addr,
+            set: self.geometry.set_of_addr(addr),
+            outcome: outcome.into(),
+            cause: Cause::Unattributed,
+        });
+        outcome
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_addrs, CacheConfig, DirectMapped, Replacement, SetAssociative, SplitMix64};
+    use dynex_obs::{CountingProbe, EventLog, Outcome};
+
+    #[test]
+    fn wrapper_is_transparent() {
+        let config = CacheConfig::new(512, 4, 2).unwrap();
+        let mut bare = SetAssociative::new(config, Replacement::Lru);
+        let mut wrapped = Instrumented::new(
+            SetAssociative::new(config, Replacement::Lru),
+            config.geometry(),
+            CountingProbe::new(),
+        );
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..2000 {
+            let a = (rng.below(4096) as u32) & !3;
+            assert_eq!(bare.access(a), wrapped.access(a));
+        }
+        assert_eq!(bare.stats(), wrapped.stats());
+        assert_eq!(bare.label(), wrapped.label());
+        let counts = wrapped.probe().counts();
+        assert_eq!(counts.accesses, wrapped.stats().accesses());
+        assert_eq!(counts.misses, wrapped.stats().misses());
+    }
+
+    #[test]
+    fn emitted_sets_match_geometry() {
+        let config = CacheConfig::direct_mapped(256, 4).unwrap();
+        let geometry = config.geometry();
+        let mut sim = Instrumented::new(DirectMapped::new(config), geometry, EventLog::new());
+        run_addrs(&mut sim, [0u32, 4, 64, 260]);
+        let (_, log) = sim.into_parts();
+        for event in log.events() {
+            match *event {
+                Event::Access { addr, set, .. } => {
+                    assert_eq!(set, geometry.set_of_addr(addr));
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn outcomes_convert_faithfully() {
+        assert_eq!(Outcome::from(AccessOutcome::Hit), Outcome::Hit);
+        assert_eq!(Outcome::from(AccessOutcome::Miss), Outcome::Miss);
+    }
+}

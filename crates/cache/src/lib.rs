@@ -11,6 +11,9 @@
 //! * [`VictimCache`] and [`StreamBuffer`] — the related-work hardware from
 //!   Jouppi \[Jou90\] that Section 2 compares against,
 //! * [`TwoLevel`] — a generic two-level hierarchy,
+//! * [`Instrumented`] — wraps any [`CacheSim`] to emit `dynex-obs` access
+//!   events; the simulators above also accept a probe directly (see each
+//!   type's `with_probe` constructor) for cause-attributed events,
 //! * the [`CacheSim`] trait and [`run`] driver shared by every simulator in
 //!   the workspace (including the dynamic-exclusion caches in `dynex-core`).
 //!
@@ -39,6 +42,7 @@ mod config;
 mod direct;
 mod fully;
 mod hierarchy;
+mod instrument;
 mod min;
 mod rng;
 mod setassoc;
@@ -53,6 +57,7 @@ pub use config::{CacheConfig, ConfigError, Geometry};
 pub use direct::DirectMapped;
 pub use fully::FullyAssociative;
 pub use hierarchy::{HierarchyStats, TwoLevel};
+pub use instrument::Instrumented;
 pub use min::OptimalFullyAssociative;
 pub use rng::SplitMix64;
 pub use setassoc::{Replacement, SetAssociative};

@@ -154,17 +154,19 @@ mod tests {
         let mut lru = FullyAssociative::new(16, 4, Replacement::Lru).unwrap();
         let lru_stats = run_addrs(&mut lru, addrs.iter().copied());
         assert_eq!(lru_stats.misses(), 50, "LRU thrashes");
-        assert!(min.misses() < 20, "MIN keeps most of the cycle: {}", min.misses());
+        assert!(
+            min.misses() < 20,
+            "MIN keeps most of the cycle: {}",
+            min.misses()
+        );
     }
 
     #[test]
     fn min_bounds_lru_everywhere() {
         let mut rng = SplitMix64::new(61);
         for trial in 0..20 {
-            let addrs: Vec<u32> =
-                (0..500).map(|_| (rng.below(64) as u32) * 4).collect();
-            let min =
-                OptimalFullyAssociative::simulate(8, 4, addrs.iter().copied()).unwrap();
+            let addrs: Vec<u32> = (0..500).map(|_| (rng.below(64) as u32) * 4).collect();
+            let min = OptimalFullyAssociative::simulate(8, 4, addrs.iter().copied()).unwrap();
             let mut lru = FullyAssociative::new(32, 4, Replacement::Lru).unwrap();
             let lru_stats = run_addrs(&mut lru, addrs.iter().copied());
             assert!(min.misses() <= lru_stats.misses(), "trial {trial}");
@@ -176,12 +178,9 @@ mod tests {
         // Placement freedom can only help: FA-MIN <= DM on any stream.
         let mut rng = SplitMix64::new(62);
         for trial in 0..20 {
-            let addrs: Vec<u32> =
-                (0..500).map(|_| (rng.below(128) as u32) * 4).collect();
-            let min =
-                OptimalFullyAssociative::simulate(16, 4, addrs.iter().copied()).unwrap();
-            let mut dm =
-                crate::DirectMapped::new(CacheConfig::direct_mapped(64, 4).unwrap());
+            let addrs: Vec<u32> = (0..500).map(|_| (rng.below(128) as u32) * 4).collect();
+            let min = OptimalFullyAssociative::simulate(16, 4, addrs.iter().copied()).unwrap();
+            let mut dm = crate::DirectMapped::new(CacheConfig::direct_mapped(64, 4).unwrap());
             let dm_stats = run_addrs(&mut dm, addrs.iter().copied());
             assert!(min.misses() <= dm_stats.misses(), "trial {trial}");
         }
@@ -240,11 +239,14 @@ mod tests {
             let capacity = 1 + rng.below_usize(2);
             let lines: Vec<u32> = (0..len).map(|_| rng.below(blocks as u64) as u32).collect();
             let addrs: Vec<u32> = lines.iter().map(|&l| l * 4).collect();
-            let greedy =
-                OptimalFullyAssociative::simulate(capacity, 4, addrs).unwrap().misses();
-            let best =
-                min_misses(&lines, 0, &mut Vec::new(), capacity, &mut Map::new());
-            assert_eq!(greedy, best, "trial {trial}: lines {lines:?} capacity {capacity}");
+            let greedy = OptimalFullyAssociative::simulate(capacity, 4, addrs)
+                .unwrap()
+                .misses();
+            let best = min_misses(&lines, 0, &mut Vec::new(), capacity, &mut Map::new());
+            assert_eq!(
+                greedy, best,
+                "trial {trial}: lines {lines:?} capacity {capacity}"
+            );
         }
     }
 
@@ -257,8 +259,7 @@ mod tests {
 
     #[test]
     fn empty_trace() {
-        let stats =
-            OptimalFullyAssociative::simulate(4, 4, std::iter::empty()).unwrap();
+        let stats = OptimalFullyAssociative::simulate(4, 4, std::iter::empty()).unwrap();
         assert_eq!(stats.accesses(), 0);
     }
 }

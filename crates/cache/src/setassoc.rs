@@ -1,5 +1,7 @@
 //! Set-associative caches with pluggable replacement.
 
+use dynex_obs::{Cause, Event, NoopProbe, Outcome, Probe};
+
 use crate::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry, SplitMix64};
 
 /// Replacement policy for [`SetAssociative`] caches.
@@ -35,6 +37,10 @@ impl Replacement {
 /// direct-mapped caches trade away for access time; this type provides that
 /// comparison point.
 ///
+/// Like every simulator in this crate it is generic over an observability
+/// [`Probe`] (default [`NoopProbe`], which compiles to nothing); see
+/// [`SetAssociative::with_probe`].
+///
 /// # Examples
 ///
 /// ```
@@ -48,7 +54,7 @@ impl Replacement {
 /// # Ok::<(), dynex_cache::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct SetAssociative {
+pub struct SetAssociative<P: Probe = NoopProbe> {
     config: CacheConfig,
     geometry: Geometry,
     policy: Replacement,
@@ -58,6 +64,7 @@ pub struct SetAssociative {
     sets: Vec<Vec<u32>>,
     rng: SplitMix64,
     stats: CacheStats,
+    probe: P,
 }
 
 impl SetAssociative {
@@ -68,6 +75,23 @@ impl SetAssociative {
 
     /// Creates an empty cache seeding the random replacement policy.
     pub fn with_seed(config: CacheConfig, policy: Replacement, seed: u64) -> SetAssociative {
+        SetAssociative::with_seed_and_probe(config, policy, seed, NoopProbe)
+    }
+}
+
+impl<P: Probe> SetAssociative<P> {
+    /// Creates an empty cache emitting events into `probe`.
+    pub fn with_probe(config: CacheConfig, policy: Replacement, probe: P) -> SetAssociative<P> {
+        SetAssociative::with_seed_and_probe(config, policy, 0x5eed_cafe, probe)
+    }
+
+    /// Creates an empty cache with both an RNG seed and a probe.
+    pub fn with_seed_and_probe(
+        config: CacheConfig,
+        policy: Replacement,
+        seed: u64,
+        probe: P,
+    ) -> SetAssociative<P> {
         SetAssociative {
             config,
             geometry: config.geometry(),
@@ -75,6 +99,7 @@ impl SetAssociative {
             sets: vec![Vec::new(); config.n_sets() as usize],
             rng: SplitMix64::new(seed),
             stats: CacheStats::new(),
+            probe,
         }
     }
 
@@ -88,6 +113,16 @@ impl SetAssociative {
         self.policy
     }
 
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the cache, returning the attached probe.
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
     /// Whether the block containing `addr` is resident (no state change).
     pub fn contains(&self, addr: u32) -> bool {
         let line = self.geometry.line_addr(addr);
@@ -95,7 +130,7 @@ impl SetAssociative {
     }
 }
 
-impl CacheSim for SetAssociative {
+impl<P: Probe> CacheSim for SetAssociative<P> {
     fn access(&mut self, addr: u32) -> AccessOutcome {
         let line = self.geometry.line_addr(addr);
         let set = self.geometry.set_of_line(line) as usize;
@@ -107,23 +142,41 @@ impl CacheSim for SetAssociative {
                     let hit = ways.remove(pos);
                     ways.insert(0, hit);
                 }
+                self.probe.emit(Event::Access {
+                    addr,
+                    set: set as u32,
+                    outcome: Outcome::Hit,
+                    cause: Cause::Resident,
+                });
                 AccessOutcome::Hit
             }
             None => {
-                if ways.len() == self.config.associativity() as usize {
-                    match self.policy {
+                let cause = if ways.len() == self.config.associativity() as usize {
+                    let victim = match self.policy {
                         // LRU & FIFO both evict the back (LRU keeps recency
                         // order, FIFO keeps insertion order).
-                        Replacement::Lru | Replacement::Fifo => {
-                            ways.pop();
-                        }
+                        Replacement::Lru | Replacement::Fifo => ways.pop().expect("set is full"),
                         Replacement::Random => {
                             let victim = self.rng.below_usize(ways.len());
-                            ways.remove(victim);
+                            ways.remove(victim)
                         }
-                    }
-                }
+                    };
+                    self.probe.emit(Event::Eviction {
+                        set: set as u32,
+                        victim,
+                        replacement: line,
+                    });
+                    Cause::Replace
+                } else {
+                    Cause::Cold
+                };
                 ways.insert(0, line);
+                self.probe.emit(Event::Access {
+                    addr,
+                    set: set as u32,
+                    outcome: Outcome::Miss,
+                    cause,
+                });
                 AccessOutcome::Miss
             }
         };
@@ -173,8 +226,7 @@ mod tests {
 
     #[test]
     fn fifo_evicts_oldest_resident() {
-        let mut c =
-            SetAssociative::new(CacheConfig::new(256, 4, 2).unwrap(), Replacement::Fifo);
+        let mut c = SetAssociative::new(CacheConfig::new(256, 4, 2).unwrap(), Replacement::Fifo);
         let (a, b, x) = (0u32, 256u32, 512u32);
         c.access(a);
         c.access(b);
@@ -191,7 +243,10 @@ mod tests {
         let addrs: Vec<u32> = (0..200).map(|i| (i % 5) * 256).collect();
         let mut a = SetAssociative::with_seed(config, Replacement::Random, 1);
         let mut b = SetAssociative::with_seed(config, Replacement::Random, 1);
-        assert_eq!(run_addrs(&mut a, addrs.iter().copied()), run_addrs(&mut b, addrs));
+        assert_eq!(
+            run_addrs(&mut a, addrs.iter().copied()),
+            run_addrs(&mut b, addrs)
+        );
     }
 
     #[test]
@@ -225,5 +280,39 @@ mod tests {
         assert!(two_way(256).label().contains("LRU"));
         let r = SetAssociative::new(CacheConfig::new(256, 4, 2).unwrap(), Replacement::Random);
         assert!(r.label().contains("random"));
+    }
+
+    #[test]
+    fn probe_distinguishes_cold_fills_from_evictions() {
+        use dynex_obs::CountingProbe;
+        let config = CacheConfig::new(256, 4, 2).unwrap();
+        let mut c = SetAssociative::with_probe(config, Replacement::Lru, CountingProbe::new());
+        // Fill one set (2 cold misses), hit, then overflow it (1 eviction).
+        run_addrs(&mut c, [0u32, 256, 0, 512]);
+        let counts = c.probe().counts();
+        assert_eq!(counts.accesses, 4);
+        assert_eq!(counts.hits, 1);
+        assert_eq!(counts.misses, 3);
+        assert_eq!(counts.evictions, 1);
+    }
+
+    #[test]
+    fn probed_and_bare_stats_agree_for_each_policy() {
+        use dynex_obs::CountingProbe;
+        let config = CacheConfig::new(512, 4, 4).unwrap();
+        for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+            let mut bare = SetAssociative::new(config, policy);
+            let mut probed = SetAssociative::with_probe(config, policy, CountingProbe::new());
+            let mut rng = SplitMix64::new(7);
+            for _ in 0..3000 {
+                let a = (rng.below(8192) as u32) & !3;
+                assert_eq!(bare.access(a), probed.access(a));
+            }
+            assert_eq!(bare.stats(), probed.stats());
+            let counts = probed.probe().counts();
+            assert_eq!(counts.accesses, probed.stats().accesses());
+            assert_eq!(counts.misses, probed.stats().misses());
+            assert!(counts.evictions <= counts.misses);
+        }
     }
 }

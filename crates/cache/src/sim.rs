@@ -25,6 +25,15 @@ impl AccessOutcome {
     }
 }
 
+impl From<AccessOutcome> for dynex_obs::Outcome {
+    fn from(outcome: AccessOutcome) -> dynex_obs::Outcome {
+        match outcome {
+            AccessOutcome::Hit => dynex_obs::Outcome::Hit,
+            AccessOutcome::Miss => dynex_obs::Outcome::Miss,
+        }
+    }
+}
+
 /// A trace-driven cache simulator.
 ///
 /// Simulators are presented raw byte addresses; callers choose which
@@ -100,8 +109,11 @@ mod tests {
 
     impl CacheSim for Infinite {
         fn access(&mut self, addr: u32) -> AccessOutcome {
-            let outcome =
-                if self.seen.insert(addr) { AccessOutcome::Miss } else { AccessOutcome::Hit };
+            let outcome = if self.seen.insert(addr) {
+                AccessOutcome::Miss
+            } else {
+                AccessOutcome::Hit
+            };
             self.stats.record(outcome);
             outcome
         }
@@ -117,10 +129,18 @@ mod tests {
 
     #[test]
     fn run_drives_all_accesses() {
-        let mut sim = Infinite { seen: Default::default(), stats: CacheStats::new() };
+        let mut sim = Infinite {
+            seen: Default::default(),
+            stats: CacheStats::new(),
+        };
         let stats = run(
             &mut sim,
-            [Access::fetch(0), Access::fetch(4), Access::fetch(0), Access::read(4)],
+            [
+                Access::fetch(0),
+                Access::fetch(4),
+                Access::fetch(0),
+                Access::read(4),
+            ],
         );
         assert_eq!(stats.accesses(), 4);
         assert_eq!(stats.misses(), 2); // cold misses only
@@ -128,8 +148,14 @@ mod tests {
 
     #[test]
     fn run_addrs_equivalent() {
-        let mut a = Infinite { seen: Default::default(), stats: CacheStats::new() };
-        let mut b = Infinite { seen: Default::default(), stats: CacheStats::new() };
+        let mut a = Infinite {
+            seen: Default::default(),
+            stats: CacheStats::new(),
+        };
+        let mut b = Infinite {
+            seen: Default::default(),
+            stats: CacheStats::new(),
+        };
         let addrs = [0u32, 4, 0, 8, 4];
         run(&mut a, addrs.iter().map(|&x| Access::fetch(x)));
         run_addrs(&mut b, addrs);
@@ -138,7 +164,10 @@ mod tests {
 
     #[test]
     fn trait_object_usable() {
-        let mut sim = Infinite { seen: Default::default(), stats: CacheStats::new() };
+        let mut sim = Infinite {
+            seen: Default::default(),
+            stats: CacheStats::new(),
+        };
         let dyn_sim: &mut dyn CacheSim = &mut sim;
         let stats = run_addrs(dyn_sim, [0, 0]);
         assert_eq!(stats.hits(), 1);

@@ -85,7 +85,10 @@ impl Add for CacheStats {
     type Output = CacheStats;
 
     fn add(self, rhs: CacheStats) -> CacheStats {
-        CacheStats { accesses: self.accesses + rhs.accesses, misses: self.misses + rhs.misses }
+        CacheStats {
+            accesses: self.accesses + rhs.accesses,
+            misses: self.misses + rhs.misses,
+        }
     }
 }
 

@@ -5,6 +5,8 @@
 //! number of conflict misses, making them complementary to dynamic
 //! exclusion. The `streambuf` experiment demonstrates exactly that.
 
+use dynex_obs::{Cause, Event, NoopProbe, Outcome, Probe};
+
 use crate::direct::INVALID_LINE;
 use crate::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry};
 
@@ -36,7 +38,7 @@ pub struct StreamBufferStats {
 /// # Ok::<(), dynex_cache::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct StreamBuffer {
+pub struct StreamBuffer<P: Probe = NoopProbe> {
     config: CacheConfig,
     geometry: Geometry,
     lines: Vec<u32>,
@@ -45,6 +47,7 @@ pub struct StreamBuffer {
     depth: usize,
     extra: StreamBufferStats,
     stats: CacheStats,
+    probe: P,
 }
 
 impl StreamBuffer {
@@ -54,7 +57,24 @@ impl StreamBuffer {
     ///
     /// Panics if `config` is not direct-mapped or `depth == 0`.
     pub fn new(config: CacheConfig, depth: usize) -> StreamBuffer {
-        assert_eq!(config.associativity(), 1, "stream buffers extend a direct-mapped cache");
+        StreamBuffer::with_probe(config, depth, NoopProbe)
+    }
+}
+
+impl<P: Probe> StreamBuffer<P> {
+    /// Creates an empty cache emitting events into `probe`.
+    ///
+    /// Buffer promotions surface as hits with [`Cause::StreamBuffer`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`StreamBuffer::new`].
+    pub fn with_probe(config: CacheConfig, depth: usize, probe: P) -> StreamBuffer<P> {
+        assert_eq!(
+            config.associativity(),
+            1,
+            "stream buffers extend a direct-mapped cache"
+        );
         assert!(depth > 0, "stream buffer must hold at least one line");
         StreamBuffer {
             config,
@@ -64,6 +84,7 @@ impl StreamBuffer {
             depth,
             extra: StreamBufferStats::default(),
             stats: CacheStats::new(),
+            probe,
         }
     }
 
@@ -77,6 +98,16 @@ impl StreamBuffer {
         self.extra
     }
 
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the cache, returning the attached probe.
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
     fn refill_from(&mut self, line: u32) {
         self.buffer.clear();
         for i in 1..=self.depth as u32 {
@@ -85,26 +116,63 @@ impl StreamBuffer {
     }
 }
 
-impl CacheSim for StreamBuffer {
+impl<P: Probe> CacheSim for StreamBuffer<P> {
     fn access(&mut self, addr: u32) -> AccessOutcome {
         let line = self.geometry.line_addr(addr);
         let set = self.geometry.set_of_line(line) as usize;
         let outcome = if self.lines[set] == line {
+            self.probe.emit(Event::Access {
+                addr,
+                set: set as u32,
+                outcome: Outcome::Hit,
+                cause: Cause::Resident,
+            });
             AccessOutcome::Hit
         } else if self.buffer.first() == Some(&line) {
             // Promote from the buffer: no memory access for the demand line.
             self.buffer.remove(0);
             let next = self.buffer.last().map_or(line + 1, |&l| l + 1);
             self.buffer.push(next);
+            let displaced = self.lines[set];
+            if displaced != INVALID_LINE {
+                self.probe.emit(Event::Eviction {
+                    set: set as u32,
+                    victim: displaced,
+                    replacement: line,
+                });
+            }
             self.lines[set] = line;
             self.extra.stream_hits += 1;
+            self.probe.emit(Event::Access {
+                addr,
+                set: set as u32,
+                outcome: Outcome::Hit,
+                cause: Cause::StreamBuffer,
+            });
             AccessOutcome::Hit
         } else {
             if !self.buffer.is_empty() {
                 self.extra.flushes += 1;
             }
             self.refill_from(line);
+            let displaced = self.lines[set];
+            let cause = if displaced == INVALID_LINE {
+                Cause::Cold
+            } else {
+                self.probe.emit(Event::Eviction {
+                    set: set as u32,
+                    victim: displaced,
+                    replacement: line,
+                });
+                Cause::Replace
+            };
             self.lines[set] = line;
+            self.probe.emit(Event::Access {
+                addr,
+                set: set as u32,
+                outcome: Outcome::Miss,
+                cause,
+            });
             AccessOutcome::Miss
         };
         self.stats.record(outcome);
@@ -155,7 +223,9 @@ mod tests {
         let config = CacheConfig::direct_mapped(64, 4).unwrap();
         let mut plain = DirectMapped::new(config);
         let mut sb = StreamBuffer::new(config, 4);
-        let addrs: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { 0u32 } else { 64 }).collect();
+        let addrs: Vec<u32> = (0..20)
+            .map(|i| if i % 2 == 0 { 0u32 } else { 64 })
+            .collect();
         assert_eq!(
             run_addrs(&mut plain, addrs.iter().copied()).misses(),
             run_addrs(&mut sb, addrs).misses()
@@ -197,5 +267,48 @@ mod tests {
     #[should_panic(expected = "at least one line")]
     fn zero_depth_rejected() {
         cache(0);
+    }
+
+    #[test]
+    fn probe_attributes_promotions_to_the_stream_buffer() {
+        use dynex_obs::{Cause, Event, EventLog, Outcome};
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let mut c = StreamBuffer::with_probe(config, 4, EventLog::new());
+        run_addrs(&mut c, (0..8u32).map(|i| 0x1000 + i * 4));
+        let events = c.into_probe().into_events();
+        let promoted = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Access {
+                        outcome: Outcome::Hit,
+                        cause: Cause::StreamBuffer,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(promoted, 7, "all but the first access stream in");
+    }
+
+    #[test]
+    fn probed_and_bare_stats_agree() {
+        use dynex_obs::CountingProbe;
+        let config = CacheConfig::direct_mapped(128, 4).unwrap();
+        let mut bare = StreamBuffer::new(config, 4);
+        let mut probed = StreamBuffer::with_probe(config, 4, CountingProbe::new());
+        let mut rng = crate::SplitMix64::new(41);
+        let mut pc = 0u32;
+        for _ in 0..3000 {
+            if rng.chance(0.2) {
+                pc = (rng.below(4096) as u32) & !3;
+            } else {
+                pc += 4;
+            }
+            assert_eq!(bare.access(pc), probed.access(pc));
+        }
+        assert_eq!(bare.stats(), probed.stats());
+        assert_eq!(probed.probe().counts().accesses, probed.stats().accesses());
     }
 }

@@ -6,6 +6,8 @@
 //! for data (few conflicting blocks) but poorly for instructions (many). The
 //! `victim` experiment reproduces that comparison.
 
+use dynex_obs::{Cause, Event, NoopProbe, Outcome, Probe};
+
 use crate::direct::INVALID_LINE;
 use crate::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry};
 
@@ -29,7 +31,7 @@ use crate::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry};
 /// # Ok::<(), dynex_cache::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct VictimCache {
+pub struct VictimCache<P: Probe = NoopProbe> {
     config: CacheConfig,
     geometry: Geometry,
     lines: Vec<u32>,
@@ -38,6 +40,7 @@ pub struct VictimCache {
     victim_entries: usize,
     victim_hits: u64,
     stats: CacheStats,
+    probe: P,
 }
 
 impl VictimCache {
@@ -47,8 +50,28 @@ impl VictimCache {
     ///
     /// Panics if `config` is not direct-mapped or `victim_entries == 0`.
     pub fn new(config: CacheConfig, victim_entries: usize) -> VictimCache {
-        assert_eq!(config.associativity(), 1, "victim caches extend a direct-mapped cache");
-        assert!(victim_entries > 0, "victim buffer must hold at least one line");
+        VictimCache::with_probe(config, victim_entries, NoopProbe)
+    }
+}
+
+impl<P: Probe> VictimCache<P> {
+    /// Creates an empty cache emitting events into `probe`.
+    ///
+    /// Buffer rescues surface as hits with [`Cause::VictimBuffer`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`VictimCache::new`].
+    pub fn with_probe(config: CacheConfig, victim_entries: usize, probe: P) -> VictimCache<P> {
+        assert_eq!(
+            config.associativity(),
+            1,
+            "victim caches extend a direct-mapped cache"
+        );
+        assert!(
+            victim_entries > 0,
+            "victim buffer must hold at least one line"
+        );
         VictimCache {
             config,
             geometry: config.geometry(),
@@ -57,12 +80,23 @@ impl VictimCache {
             victim_entries,
             victim_hits: 0,
             stats: CacheStats::new(),
+            probe,
         }
     }
 
     /// The primary cache configuration.
     pub fn config(&self) -> CacheConfig {
         self.config
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the cache, returning the attached probe.
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// Number of entries in the victim buffer.
@@ -86,11 +120,17 @@ impl VictimCache {
     }
 }
 
-impl CacheSim for VictimCache {
+impl<P: Probe> CacheSim for VictimCache<P> {
     fn access(&mut self, addr: u32) -> AccessOutcome {
         let line = self.geometry.line_addr(addr);
         let set = self.geometry.set_of_line(line) as usize;
         let outcome = if self.lines[set] == line {
+            self.probe.emit(Event::Access {
+                addr,
+                set: set as u32,
+                outcome: Outcome::Hit,
+                cause: Cause::Resident,
+            });
             AccessOutcome::Hit
         } else if let Some(pos) = self.victims.iter().position(|&v| v == line) {
             // Swap: rescued victim returns to the primary cache; the
@@ -100,11 +140,33 @@ impl CacheSim for VictimCache {
             self.lines[set] = line;
             self.push_victim(displaced);
             self.victim_hits += 1;
+            self.probe.emit(Event::Access {
+                addr,
+                set: set as u32,
+                outcome: Outcome::Hit,
+                cause: Cause::VictimBuffer,
+            });
             AccessOutcome::Hit
         } else {
             let displaced = self.lines[set];
             self.lines[set] = line;
             self.push_victim(displaced);
+            let cause = if displaced == INVALID_LINE {
+                Cause::Cold
+            } else {
+                self.probe.emit(Event::Eviction {
+                    set: set as u32,
+                    victim: displaced,
+                    replacement: line,
+                });
+                Cause::Replace
+            };
+            self.probe.emit(Event::Access {
+                addr,
+                set: set as u32,
+                outcome: Outcome::Miss,
+                cause,
+            });
             AccessOutcome::Miss
         };
         self.stats.record(outcome);
@@ -116,7 +178,10 @@ impl CacheSim for VictimCache {
     }
 
     fn label(&self) -> String {
-        format!("{} + {}-entry victim buffer", self.config, self.victim_entries)
+        format!(
+            "{} + {}-entry victim buffer",
+            self.config, self.victim_entries
+        )
     }
 }
 
@@ -186,5 +251,43 @@ mod tests {
     #[test]
     fn label_mentions_buffer() {
         assert!(cache(4).label().contains("4-entry victim buffer"));
+    }
+
+    #[test]
+    fn probe_attributes_rescues_to_the_victim_buffer() {
+        use dynex_obs::{Cause, Event, EventLog, Outcome};
+        let config = CacheConfig::direct_mapped(256, 4).unwrap();
+        let mut c = VictimCache::with_probe(config, 1, EventLog::new());
+        run_addrs(&mut c, [0u32, 256, 0]); // cold, conflict, rescue
+        let events = c.into_probe().into_events();
+        let rescues: Vec<&Event> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Access {
+                        outcome: Outcome::Hit,
+                        cause: Cause::VictimBuffer,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(rescues.len(), 1);
+    }
+
+    #[test]
+    fn probed_and_bare_stats_agree() {
+        use dynex_obs::CountingProbe;
+        let config = CacheConfig::direct_mapped(128, 4).unwrap();
+        let mut bare = VictimCache::new(config, 4);
+        let mut probed = VictimCache::with_probe(config, 4, CountingProbe::new());
+        let mut rng = crate::SplitMix64::new(31);
+        for _ in 0..4000 {
+            let a = (rng.below(2048) as u32) & !3;
+            assert_eq!(bare.access(a), probed.access(a));
+        }
+        assert_eq!(bare.stats(), probed.stats());
+        assert_eq!(probed.probe().counts().accesses, probed.stats().accesses());
     }
 }

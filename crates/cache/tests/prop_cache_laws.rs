@@ -1,5 +1,9 @@
 //! Property tests: structural laws every cache organization must obey.
 
+// Gated: requires the `proptest` feature (and the proptest dev-dependency,
+// unavailable in hermetic builds) to compile.
+#![cfg(feature = "proptest")]
+
 use dynex_cache::{
     classify_direct_mapped, classify_direct_mapped_optimal, run_addrs, CacheConfig, CacheSim,
     DirectMapped, FullyAssociative, OptimalFullyAssociative, Replacement, SetAssociative,

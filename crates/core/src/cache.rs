@@ -1,6 +1,7 @@
 //! The single-level dynamic-exclusion cache (Sections 4–5 of the paper).
 
 use dynex_cache::{AccessOutcome, CacheConfig, CacheSim, CacheStats};
+use dynex_obs::{Cause, Event, NoopProbe, Probe};
 
 use crate::{DeEvent, DeLines, HitLastStore, PerfectStore};
 
@@ -46,12 +47,13 @@ pub struct DeStats {
 /// # Ok::<(), dynex_cache::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct DeCache<S = PerfectStore> {
+pub struct DeCache<S = PerfectStore, P: Probe = NoopProbe> {
     config: CacheConfig,
     lines: DeLines,
     store: S,
     stats: CacheStats,
     de_stats: DeStats,
+    probe: P,
 }
 
 impl DeCache<PerfectStore> {
@@ -61,15 +63,37 @@ impl DeCache<PerfectStore> {
     }
 }
 
+impl<P: Probe> DeCache<PerfectStore, P> {
+    /// Creates a DE cache with an unbounded store, emitting events into
+    /// `probe`.
+    pub fn with_probe(config: CacheConfig, probe: P) -> DeCache<PerfectStore, P> {
+        DeCache::with_store_and_probe(config, PerfectStore::new(), probe)
+    }
+}
+
 impl<S: HitLastStore> DeCache<S> {
     /// Creates a DE cache over a caller-provided hit-last store.
     pub fn with_store(config: CacheConfig, store: S) -> DeCache<S> {
+        DeCache::with_store_and_probe(config, store, NoopProbe)
+    }
+}
+
+impl<S: HitLastStore, P: Probe> DeCache<S, P> {
+    /// Creates a DE cache over a caller-provided hit-last store, emitting
+    /// events into `probe`.
+    ///
+    /// Emitted events: [`Event::Access`] per reference (cause
+    /// [`Cause::Bypass`] for bypassed misses), plus the FSM and eviction
+    /// events of [`crate::fsm::step_probed`] and
+    /// [`DeLines::access_line_probed`].
+    pub fn with_store_and_probe(config: CacheConfig, store: S, probe: P) -> DeCache<S, P> {
         DeCache {
             config,
             lines: DeLines::new(config),
             store,
             stats: CacheStats::new(),
             de_stats: DeStats::default(),
+            probe,
         }
     }
 
@@ -88,38 +112,76 @@ impl<S: HitLastStore> DeCache<S> {
         &self.store
     }
 
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the probe (wrappers such as
+    /// [`crate::LastLineDeCache`] emit their own events through it).
+    pub(crate) fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the cache, returning the attached probe.
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
     /// Whether the block containing `addr` is resident (no state change).
     pub fn contains(&self, addr: u32) -> bool {
-        self.lines.contains_line(self.lines.geometry().line_addr(addr))
+        self.lines
+            .contains_line(self.lines.geometry().line_addr(addr))
+    }
+
+    /// The set index `line` maps to (used by wrappers to label events).
+    pub(crate) fn set_of_line(&self, line: u32) -> u32 {
+        self.lines.geometry().set_of_line(line)
     }
 
     /// Presents a *line address* (shared with [`crate::LastLineDeCache`]).
     pub(crate) fn access_line(&mut self, line: u32) -> AccessOutcome {
+        let addr = line << self.lines.geometry().offset_bits();
+        self.access_inner(line, addr)
+    }
+
+    fn access_inner(&mut self, line: u32, addr: u32) -> AccessOutcome {
         let h_pred = self.store.get(line);
-        let event = self.lines.access_line(line, h_pred);
-        let outcome = match event {
-            DeEvent::Hit => AccessOutcome::Hit,
+        let event = self.lines.access_line_probed(line, h_pred, &mut self.probe);
+        let set = self.lines.geometry().set_of_line(line);
+        let (outcome, cause) = match event {
+            DeEvent::Hit => (AccessOutcome::Hit, Cause::Resident),
             DeEvent::Loaded { victim } => {
                 self.de_stats.loads += 1;
-                if let Some((victim_line, victim_h)) = victim {
-                    self.store.set(victim_line, victim_h);
-                }
-                AccessOutcome::Miss
+                let cause = match victim {
+                    Some((victim_line, victim_h)) => {
+                        self.store.set(victim_line, victim_h);
+                        Cause::Replace
+                    }
+                    None => Cause::Cold,
+                };
+                (AccessOutcome::Miss, cause)
             }
             DeEvent::Bypassed => {
                 self.de_stats.bypasses += 1;
-                AccessOutcome::Miss
+                (AccessOutcome::Miss, Cause::Bypass)
             }
         };
+        self.probe.emit(Event::Access {
+            addr,
+            set,
+            outcome: outcome.into(),
+            cause,
+        });
         self.stats.record(outcome);
         outcome
     }
 }
 
-impl<S: HitLastStore> CacheSim for DeCache<S> {
+impl<S: HitLastStore, P: Probe> CacheSim for DeCache<S, P> {
     fn access(&mut self, addr: u32) -> AccessOutcome {
         let line = self.lines.geometry().line_addr(addr);
-        self.access_line(line)
+        self.access_inner(line, addr)
     }
 
     fn stats(&self) -> CacheStats {
@@ -162,11 +224,15 @@ mod tests {
         let mut de = DeCache::new(config(64));
         let mut addrs = Vec::new();
         for _ in 0..10 {
-            addrs.extend(std::iter::repeat(A).take(10));
-            addrs.extend(std::iter::repeat(B).take(10));
+            addrs.extend(std::iter::repeat_n(A, 10));
+            addrs.extend(std::iter::repeat_n(B, 10));
         }
         let stats = run_addrs(&mut de, addrs);
-        assert!((20..=22).contains(&stats.misses()), "got {}", stats.misses());
+        assert!(
+            (20..=22).contains(&stats.misses()),
+            "got {}",
+            stats.misses()
+        );
     }
 
     #[test]
@@ -174,9 +240,7 @@ mod tests {
         // Disjoint working set fitting the cache: DE must not add misses
         // beyond cold start.
         let cfg = config(256);
-        let addrs: Vec<u32> = (0..64u32)
-            .map(|i| (i % 16) * 4)
-            .collect();
+        let addrs: Vec<u32> = (0..64u32).map(|i| (i % 16) * 4).collect();
         let mut de = DeCache::new(cfg);
         let mut dm = DirectMapped::new(cfg);
         let de_stats = run_addrs(&mut de, addrs.iter().copied());
@@ -195,8 +259,14 @@ mod tests {
         // load (victim b written back with h_copy=1).
         assert!(de.contains(A));
         assert!(!de.contains(B));
-        assert!(de.store().get(B >> 2), "b's hit-last copy written back on displacement");
-        assert!(de.store().get(A >> 2), "a's bit from its first displacement");
+        assert!(
+            de.store().get(B >> 2),
+            "b's hit-last copy written back on displacement"
+        );
+        assert!(
+            de.store().get(A >> 2),
+            "a's bit from its first displacement"
+        );
         assert_eq!(de.stats().misses(), 4);
     }
 
@@ -231,6 +301,61 @@ mod tests {
 
     #[test]
     fn label_mentions_dynamic_exclusion() {
-        assert!(DeCache::new(config(64)).label().contains("dynamic exclusion"));
+        assert!(DeCache::new(config(64))
+            .label()
+            .contains("dynamic exclusion"));
+    }
+
+    #[test]
+    fn probe_counts_match_de_stats() {
+        use dynex_obs::CountingProbe;
+        let mut de = DeCache::with_probe(config(64), CountingProbe::new());
+        let mut rng = dynex_cache::SplitMix64::new(9);
+        let addrs: Vec<u32> = (0..2000).map(|_| (rng.below(64) as u32) * 4).collect();
+        let stats = run_addrs(&mut de, addrs);
+        let counts = de.probe().counts();
+        assert_eq!(counts.accesses, stats.accesses());
+        assert_eq!(counts.hits, stats.hits());
+        assert_eq!(counts.misses, stats.misses());
+        assert_eq!(counts.exclusion_loads, de.de_stats().loads);
+        assert_eq!(counts.exclusion_bypasses, de.de_stats().bypasses);
+        assert!(counts.evictions <= counts.exclusion_loads);
+    }
+
+    #[test]
+    fn probe_attributes_bypasses() {
+        use dynex_obs::{Cause, Event, EventLog, Outcome};
+        let mut de = DeCache::with_probe(config(64), EventLog::new());
+        run_addrs(&mut de, [A, B]); // cold load, bypass
+        let events = de.into_probe().into_events();
+        let bypassed = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Access {
+                        outcome: Outcome::Miss,
+                        cause: Cause::Bypass,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(bypassed, 1);
+    }
+
+    #[test]
+    fn probed_and_bare_runs_are_identical() {
+        use dynex_obs::CountingProbe;
+        let cfg = config(64);
+        let mut bare = DeCache::new(cfg);
+        let mut probed = DeCache::with_probe(cfg, CountingProbe::new());
+        let mut rng = dynex_cache::SplitMix64::new(13);
+        for _ in 0..3000 {
+            let a = (rng.below(96) as u32) * 4;
+            assert_eq!(bare.access(a), probed.access(a));
+        }
+        assert_eq!(bare.stats(), probed.stats());
+        assert_eq!(bare.de_stats(), probed.de_stats());
     }
 }

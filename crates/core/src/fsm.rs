@@ -76,14 +76,78 @@ pub struct Transition {
 /// ```
 pub fn step(hit: bool, sticky: bool, hit_last: bool) -> Transition {
     if hit {
-        Transition { action: DeAction::Hit, sticky_after: true, hit_last_after: Some(true) }
+        Transition {
+            action: DeAction::Hit,
+            sticky_after: true,
+            hit_last_after: Some(true),
+        }
     } else if !sticky {
-        Transition { action: DeAction::Load, sticky_after: true, hit_last_after: Some(true) }
+        Transition {
+            action: DeAction::Load,
+            sticky_after: true,
+            hit_last_after: Some(true),
+        }
     } else if hit_last {
-        Transition { action: DeAction::Load, sticky_after: true, hit_last_after: Some(false) }
+        Transition {
+            action: DeAction::Load,
+            sticky_after: true,
+            hit_last_after: Some(false),
+        }
     } else {
-        Transition { action: DeAction::Bypass, sticky_after: false, hit_last_after: None }
+        Transition {
+            action: DeAction::Bypass,
+            sticky_after: false,
+            hit_last_after: None,
+        }
     }
+}
+
+/// [`step`] plus event emission: the observable FSM.
+///
+/// `set` is the cache line index and `line` the referenced block's line
+/// address, both only used to label the events. Emits, in order:
+///
+/// * [`Event::ExclusionDecision`] on every miss (`loaded` true for loads,
+///   false for bypasses), so exclusion loads + bypasses always equal misses;
+/// * [`Event::StickyFlip`] whenever the sticky bit changes value;
+/// * [`Event::HitLastUpdate`] whenever the referenced block's hit-last bit is
+///   written (`hit_last_after` is `Some`).
+///
+/// With [`dynex_obs::NoopProbe`] this monomorphizes back to exactly [`step`].
+///
+/// [`Event::ExclusionDecision`]: dynex_obs::Event::ExclusionDecision
+/// [`Event::StickyFlip`]: dynex_obs::Event::StickyFlip
+/// [`Event::HitLastUpdate`]: dynex_obs::Event::HitLastUpdate
+pub fn step_probed<P: dynex_obs::Probe>(
+    hit: bool,
+    sticky: bool,
+    hit_last: bool,
+    set: u32,
+    line: u32,
+    probe: &mut P,
+) -> Transition {
+    use dynex_obs::Event;
+    let transition = step(hit, sticky, hit_last);
+    if !hit {
+        probe.emit(Event::ExclusionDecision {
+            set,
+            line,
+            loaded: transition.action.installs(),
+        });
+    }
+    if transition.sticky_after != sticky {
+        probe.emit(Event::StickyFlip {
+            set,
+            sticky: transition.sticky_after,
+        });
+    }
+    if let Some(value) = transition.hit_last_after {
+        probe.emit(Event::HitLastUpdate {
+            line,
+            hit_last: value,
+        });
+    }
+    transition
 }
 
 #[cfg(test)]
@@ -156,8 +220,8 @@ mod tests {
     fn pattern_conflict_between_loops() {
         let mut refs = Vec::new();
         for _ in 0..10 {
-            refs.extend(std::iter::repeat('a').take(10));
-            refs.extend(std::iter::repeat('b').take(10));
+            refs.extend(std::iter::repeat_n('a', 10));
+            refs.extend(std::iter::repeat_n('b', 10));
         }
         for ha in [false, true] {
             for hb in [false, true] {
@@ -179,7 +243,7 @@ mod tests {
     fn pattern_conflict_between_loop_levels() {
         let mut refs = Vec::new();
         for _ in 0..10 {
-            refs.extend(std::iter::repeat('a').take(10));
+            refs.extend(std::iter::repeat_n('a', 10));
             refs.push('b');
         }
         for ha in [false, true] {
@@ -200,7 +264,7 @@ mod tests {
     fn loop_level_pattern_excludes_b_permanently() {
         let mut refs = Vec::new();
         for _ in 0..10 {
-            refs.extend(std::iter::repeat('a').take(10));
+            refs.extend(std::iter::repeat_n('a', 10));
             refs.push('b');
         }
         // Worst case for b: h[b] initially set, so b gets one residency.
@@ -218,7 +282,9 @@ mod tests {
     /// Conventional DM: 100%. Optimal DM: 55% (11/20). DE: 55% + <=2 misses.
     #[test]
     fn pattern_conflict_within_loop() {
-        let refs: Vec<char> = (0..20).map(|i| if i % 2 == 0 { 'a' } else { 'b' }).collect();
+        let refs: Vec<char> = (0..20)
+            .map(|i| if i % 2 == 0 { 'a' } else { 'b' })
+            .collect();
         for ha in [false, true] {
             for hb in [false, true] {
                 let actions = run_line(&refs, &[('a', ha), ('b', hb)]);
@@ -235,7 +301,9 @@ mod tests {
     /// the paper describes: one block hits forever, the other bypasses.
     #[test]
     fn within_loop_settles_into_two_state_cycle() {
-        let refs: Vec<char> = (0..40).map(|i| if i % 2 == 0 { 'a' } else { 'b' }).collect();
+        let refs: Vec<char> = (0..40)
+            .map(|i| if i % 2 == 0 { 'a' } else { 'b' })
+            .collect();
         let actions = run_line(&refs, &[]);
         // Steady state (second half): alternating Hit / Bypass.
         for (i, &action) in actions.iter().enumerate().skip(20) {
@@ -259,7 +327,11 @@ mod tests {
             })
             .collect();
         let actions = run_line(&refs, &[]);
-        assert_eq!(misses(&actions), 30, "single-bit DE misses every (abc)^n reference");
+        assert_eq!(
+            misses(&actions),
+            30,
+            "single-bit DE misses every (abc)^n reference"
+        );
     }
 
     /// A solo block (no conflicts) behaves exactly like a conventional cache:
@@ -270,6 +342,31 @@ mod tests {
         let actions = run_line(&refs, &[]);
         assert_eq!(misses(&actions), 1);
         assert!(actions[1..].iter().all(|&a| a == DeAction::Hit));
+    }
+
+    /// `step_probed` must be behaviourally identical to `step` and emit the
+    /// documented events for each of the eight input combinations.
+    #[test]
+    fn probed_step_matches_pure_step_and_emits() {
+        use dynex_obs::{CountingProbe, NoopProbe};
+        for hit in [false, true] {
+            for sticky in [false, true] {
+                for hit_last in [false, true] {
+                    let pure = step(hit, sticky, hit_last);
+                    assert_eq!(
+                        pure,
+                        step_probed(hit, sticky, hit_last, 0, 1, &mut NoopProbe)
+                    );
+                    let mut probe = CountingProbe::new();
+                    step_probed(hit, sticky, hit_last, 0, 1, &mut probe);
+                    let c = probe.counts();
+                    let decided = u64::from(!hit);
+                    assert_eq!(c.exclusion_loads + c.exclusion_bypasses, decided);
+                    assert_eq!(c.sticky_flips, u64::from(pure.sticky_after != sticky));
+                    assert_eq!(c.hit_last_updates, u64::from(pure.hit_last_after.is_some()));
+                }
+            }
+        }
     }
 
     /// Bypass never installs; load always installs; hit never changes the

@@ -21,6 +21,7 @@ use std::error::Error;
 use std::fmt;
 
 use dynex_cache::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry};
+use dynex_obs::{Cause, Event, NoopProbe, Outcome, Probe};
 
 use crate::cache::DeStats;
 use crate::{DeEvent, DeLines, HashedStore, HitLastStore};
@@ -118,7 +119,7 @@ pub struct DeHierarchyStats {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct DeHierarchy {
+pub struct DeHierarchy<P: Probe = NoopProbe> {
     l1_config: CacheConfig,
     l2_config: CacheConfig,
     strategy: HitLastStrategy,
@@ -130,6 +131,7 @@ pub struct DeHierarchy {
     l1_stats: CacheStats,
     l2_stats: CacheStats,
     de_stats: DeStats,
+    probe: P,
 }
 
 impl DeHierarchy {
@@ -144,6 +146,28 @@ impl DeHierarchy {
         l2: CacheConfig,
         strategy: HitLastStrategy,
     ) -> Result<DeHierarchy, HierarchyError> {
+        DeHierarchy::with_probe(l1, l2, strategy, NoopProbe)
+    }
+}
+
+impl<P: Probe> DeHierarchy<P> {
+    /// Builds the hierarchy with an attached probe.
+    ///
+    /// Events describe the L1 (the DE cache): per-reference
+    /// [`Event::Access`], the FSM events of [`crate::fsm::step_probed`],
+    /// L1 [`Event::Eviction`]s, and an [`Event::HitLastUpdate`] for every
+    /// hit-last bit physically written back on displacement (the Figure 6
+    /// transfer path, regardless of which strategy stores it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DeHierarchy::new`].
+    pub fn with_probe(
+        l1: CacheConfig,
+        l2: CacheConfig,
+        strategy: HitLastStrategy,
+        probe: P,
+    ) -> Result<DeHierarchy<P>, HierarchyError> {
         if l1.line_bytes() != l2.line_bytes() {
             return Err(HierarchyError::LineMismatch);
         }
@@ -166,7 +190,18 @@ impl DeHierarchy {
             l1_stats: CacheStats::new(),
             l2_stats: CacheStats::new(),
             de_stats: DeStats::default(),
+            probe,
         })
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the hierarchy, returning the attached probe.
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// The L1 configuration.
@@ -186,7 +221,11 @@ impl DeHierarchy {
 
     /// Statistics for both levels.
     pub fn hierarchy_stats(&self) -> DeHierarchyStats {
-        DeHierarchyStats { l1: self.l1_stats, l2: self.l2_stats, de: self.de_stats }
+        DeHierarchyStats {
+            l1: self.l1_stats,
+            l2: self.l2_stats,
+            de: self.de_stats,
+        }
     }
 
     /// Whether `addr`'s block is resident in L1 (no state change).
@@ -212,14 +251,21 @@ impl DeHierarchy {
     }
 }
 
-impl CacheSim for DeHierarchy {
+impl<P: Probe> CacheSim for DeHierarchy<P> {
     fn access(&mut self, addr: u32) -> AccessOutcome {
         let line = self.l1.geometry().line_addr(addr);
+        let l1_set = self.l1.geometry().set_of_line(line);
 
         // L1 hit: no L2 involvement, FSM re-arms the line.
         if self.l1.contains_line(line) {
-            let event = self.l1.access_line(line, false);
+            let event = self.l1.access_line_probed(line, false, &mut self.probe);
             debug_assert_eq!(event, DeEvent::Hit);
+            self.probe.emit(Event::Access {
+                addr,
+                set: l1_set,
+                outcome: Outcome::Hit,
+                cause: Cause::Resident,
+            });
             self.l1_stats.record(AccessOutcome::Hit);
             return AccessOutcome::Hit;
         }
@@ -227,12 +273,18 @@ impl CacheSim for DeHierarchy {
         // L1 miss: the block is fetched via L2.
         let l2_set = self.l2_set(line);
         let l2_hit = self.l2_lines[l2_set] == line;
-        self.l2_stats.record(if l2_hit { AccessOutcome::Hit } else { AccessOutcome::Miss });
+        self.l2_stats.record(if l2_hit {
+            AccessOutcome::Hit
+        } else {
+            AccessOutcome::Miss
+        });
 
         let h_pred = match self.strategy {
-            HitLastStrategy::Hashed { .. } => {
-                self.hashed.as_ref().expect("hashed strategy carries a store").get(line)
-            }
+            HitLastStrategy::Hashed { .. } => self
+                .hashed
+                .as_ref()
+                .expect("hashed strategy carries a store")
+                .get(line),
             HitLastStrategy::AssumeHit => {
                 if l2_hit {
                     self.l2_hbits[l2_set]
@@ -249,8 +301,8 @@ impl CacheSim for DeHierarchy {
             }
         };
 
-        let event = self.l1.access_line(line, h_pred);
-        match event {
+        let event = self.l1.access_line_probed(line, h_pred, &mut self.probe);
+        let cause = match event {
             DeEvent::Hit => unreachable!("contains_line was false"),
             DeEvent::Loaded { victim } => {
                 self.de_stats.loads += 1;
@@ -263,11 +315,19 @@ impl CacheSim for DeHierarchy {
                                 .as_mut()
                                 .expect("hashed strategy carries a store")
                                 .set(victim_line, victim_h);
+                            self.probe.emit(Event::HitLastUpdate {
+                                line: victim_line,
+                                hit_last: victim_h,
+                            });
                             // Exclusive contents: the eviction fills L2.
                             self.l2_allocate(victim_line, victim_h);
                         }
                         HitLastStrategy::AssumeMiss => {
                             self.l2_allocate(victim_line, victim_h);
+                            self.probe.emit(Event::HitLastUpdate {
+                                line: victim_line,
+                                hit_last: victim_h,
+                            });
                         }
                         HitLastStrategy::AssumeHit => {
                             // Inclusive: update the bit if the copy is still
@@ -275,6 +335,10 @@ impl CacheSim for DeHierarchy {
                             let vset = self.l2_set(victim_line);
                             if self.l2_lines[vset] == victim_line {
                                 self.l2_hbits[vset] = victim_h;
+                                self.probe.emit(Event::HitLastUpdate {
+                                    line: victim_line,
+                                    hit_last: victim_h,
+                                });
                             }
                         }
                     }
@@ -290,6 +354,11 @@ impl CacheSim for DeHierarchy {
                     // Inclusive: the memory fetch fills L2 too.
                     self.l2_allocate(line, true);
                 }
+                if victim.is_some() {
+                    Cause::Replace
+                } else {
+                    Cause::Cold
+                }
             }
             DeEvent::Bypassed => {
                 self.de_stats.bypasses += 1;
@@ -297,8 +366,15 @@ impl CacheSim for DeHierarchy {
                 if !l2_hit {
                     self.l2_allocate(line, false);
                 }
+                Cause::Bypass
             }
-        }
+        };
+        self.probe.emit(Event::Access {
+            addr,
+            set: l1_set,
+            outcome: Outcome::Miss,
+            cause,
+        });
         self.l1_stats.record(AccessOutcome::Miss);
         AccessOutcome::Miss
     }
@@ -310,9 +386,7 @@ impl CacheSim for DeHierarchy {
     fn label(&self) -> String {
         format!(
             "L1 {} DE({}) + L2 {}",
-            self.l1_config,
-            self.strategy,
-            self.l2_config
+            self.l1_config, self.strategy, self.l2_config
         )
     }
 }
@@ -333,7 +407,9 @@ mod tests {
 
     /// (a b)^n addresses conflicting in a 64B L1.
     fn within_loop(n: usize) -> Vec<u32> {
-        (0..2 * n).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect()
+        (0..2 * n)
+            .map(|i| if i % 2 == 0 { 0 } else { 64 })
+            .collect()
     }
 
     #[test]
@@ -363,9 +439,10 @@ mod tests {
 
     #[test]
     fn exclusive_strategies_never_hold_block_in_both_levels() {
-        for strategy in
-            [HitLastStrategy::AssumeMiss, HitLastStrategy::Hashed { bits_per_line: 4 }]
-        {
+        for strategy in [
+            HitLastStrategy::AssumeMiss,
+            HitLastStrategy::Hashed { bits_per_line: 4 },
+        ] {
             let mut h = hierarchy(64, 256, strategy);
             let mut rng = dynex_cache::SplitMix64::new(31);
             for _ in 0..3000 {
@@ -388,7 +465,10 @@ mod tests {
             let a = (rng.below(64) as u32) * 4;
             h.access(a);
             if h.l1_contains(a) {
-                assert!(h.l2_contains(a), "inclusive hierarchy lost a resident block");
+                assert!(
+                    h.l2_contains(a),
+                    "inclusive hierarchy lost a resident block"
+                );
             }
         }
     }
@@ -466,7 +546,10 @@ mod tests {
     fn strategy_display_and_exclusivity() {
         assert_eq!(HitLastStrategy::AssumeHit.to_string(), "assume-hit");
         assert_eq!(HitLastStrategy::AssumeMiss.to_string(), "assume-miss");
-        assert_eq!(HitLastStrategy::Hashed { bits_per_line: 4 }.to_string(), "hashed/4");
+        assert_eq!(
+            HitLastStrategy::Hashed { bits_per_line: 4 }.to_string(),
+            "hashed/4"
+        );
         assert!(!HitLastStrategy::AssumeHit.is_exclusive());
         assert!(HitLastStrategy::AssumeMiss.is_exclusive());
         assert!(HitLastStrategy::Hashed { bits_per_line: 2 }.is_exclusive());
@@ -482,5 +565,37 @@ mod tests {
     fn label_names_strategy() {
         let h = hierarchy(64, 256, HitLastStrategy::AssumeMiss);
         assert!(h.label().contains("assume-miss"));
+    }
+
+    #[test]
+    fn probed_and_bare_runs_are_identical_per_strategy() {
+        use dynex_obs::CountingProbe;
+        for strategy in [
+            HitLastStrategy::AssumeHit,
+            HitLastStrategy::AssumeMiss,
+            HitLastStrategy::Hashed { bits_per_line: 4 },
+        ] {
+            let l1 = CacheConfig::direct_mapped(64, 4).unwrap();
+            let l2 = CacheConfig::direct_mapped(512, 4).unwrap();
+            let mut bare = DeHierarchy::new(l1, l2, strategy).unwrap();
+            let mut probed =
+                DeHierarchy::with_probe(l1, l2, strategy, CountingProbe::new()).unwrap();
+            let mut rng = dynex_cache::SplitMix64::new(43);
+            for _ in 0..4000 {
+                let a = (rng.below(256) as u32) * 4;
+                assert_eq!(bare.access(a), probed.access(a), "{strategy}");
+            }
+            assert_eq!(
+                bare.hierarchy_stats(),
+                probed.hierarchy_stats(),
+                "{strategy}"
+            );
+            let c = probed.probe().counts();
+            let stats = probed.hierarchy_stats();
+            assert_eq!(c.accesses, stats.l1.accesses(), "{strategy}");
+            assert_eq!(c.misses, stats.l1.misses(), "{strategy}");
+            assert_eq!(c.exclusion_loads, stats.de.loads, "{strategy}");
+            assert_eq!(c.exclusion_bypasses, stats.de.bypasses, "{strategy}");
+        }
     }
 }

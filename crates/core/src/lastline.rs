@@ -10,6 +10,7 @@
 //! lines still enjoy spatial locality.
 
 use dynex_cache::{AccessOutcome, CacheConfig, CacheSim, CacheStats};
+use dynex_obs::{Cause, Event, NoopProbe, Outcome, Probe};
 
 use crate::{DeCache, DeStats, HitLastStore, PerfectStore};
 
@@ -35,8 +36,8 @@ use crate::{DeCache, DeStats, HitLastStore, PerfectStore};
 /// # Ok::<(), dynex_cache::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct LastLineDeCache<S = PerfectStore> {
-    inner: DeCache<S>,
+pub struct LastLineDeCache<S = PerfectStore, P: Probe = NoopProbe> {
+    inner: DeCache<S, P>,
     last_tag: Option<u32>,
     buffer_hits: u64,
     stats: CacheStats,
@@ -52,12 +53,34 @@ impl LastLineDeCache<PerfectStore> {
 impl<S: HitLastStore> LastLineDeCache<S> {
     /// Creates a last-line DE cache over a caller-provided hit-last store.
     pub fn with_store(config: CacheConfig, store: S) -> LastLineDeCache<S> {
+        LastLineDeCache::with_store_and_probe(config, store, NoopProbe)
+    }
+}
+
+impl<S: HitLastStore, P: Probe> LastLineDeCache<S, P> {
+    /// Creates a last-line DE cache over a caller-provided hit-last store,
+    /// emitting events into `probe`.
+    ///
+    /// Buffer hits surface as [`Event::Access`] with
+    /// [`Cause::LineBuffer`]; everything else comes from the inner
+    /// [`DeCache`].
+    pub fn with_store_and_probe(config: CacheConfig, store: S, probe: P) -> LastLineDeCache<S, P> {
         LastLineDeCache {
-            inner: DeCache::with_store(config, store),
+            inner: DeCache::with_store_and_probe(config, store, probe),
             last_tag: None,
             buffer_hits: 0,
             stats: CacheStats::new(),
         }
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        self.inner.probe()
+    }
+
+    /// Consumes the cache, returning the attached probe.
+    pub fn into_probe(self) -> P {
+        self.inner.into_probe()
     }
 
     /// The configuration in use.
@@ -88,11 +111,18 @@ impl<S: HitLastStore> LastLineDeCache<S> {
     }
 }
 
-impl<S: HitLastStore> CacheSim for LastLineDeCache<S> {
+impl<S: HitLastStore, P: Probe> CacheSim for LastLineDeCache<S, P> {
     fn access(&mut self, addr: u32) -> AccessOutcome {
         let line = self.inner.config().geometry().line_addr(addr);
         let outcome = if self.last_tag == Some(line) {
             self.buffer_hits += 1;
+            let set = self.inner.set_of_line(line);
+            self.inner.probe_mut().emit(Event::Access {
+                addr,
+                set,
+                outcome: Outcome::Hit,
+                cause: Cause::LineBuffer,
+            });
             AccessOutcome::Hit
         } else {
             self.last_tag = Some(line);
@@ -201,5 +231,52 @@ mod tests {
     fn label_mentions_last_line() {
         let cfg = CacheConfig::direct_mapped(64, 16).unwrap();
         assert!(LastLineDeCache::new(cfg).label().contains("last-line"));
+    }
+
+    #[test]
+    fn probe_attributes_buffer_hits_to_the_line_buffer() {
+        use dynex_obs::{EventLog, Outcome};
+        let cfg = CacheConfig::direct_mapped(64, 16).unwrap();
+        let mut de =
+            LastLineDeCache::with_store_and_probe(cfg, PerfectStore::new(), EventLog::new());
+        run_addrs(&mut de, [0u32, 4, 8, 64]); // load, 2 buffer hits, bypass
+        let events = de.into_probe().into_events();
+        let buffered = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Access {
+                        outcome: Outcome::Hit,
+                        cause: Cause::LineBuffer,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(buffered, 2);
+        // Access events cover every reference exactly once.
+        let accesses = events
+            .iter()
+            .filter(|e| matches!(e, Event::Access { .. }))
+            .count();
+        assert_eq!(accesses, 4);
+    }
+
+    #[test]
+    fn probed_and_bare_runs_are_identical() {
+        use dynex_obs::CountingProbe;
+        let cfg = CacheConfig::direct_mapped(64, 16).unwrap();
+        let mut bare = LastLineDeCache::new(cfg);
+        let mut probed =
+            LastLineDeCache::with_store_and_probe(cfg, PerfectStore::new(), CountingProbe::new());
+        let mut rng = dynex_cache::SplitMix64::new(27);
+        for _ in 0..3000 {
+            let a = (rng.below(256) as u32) & !3;
+            assert_eq!(bare.access(a), probed.access(a));
+        }
+        assert_eq!(bare.stats(), probed.stats());
+        assert_eq!(bare.buffer_hits(), probed.buffer_hits());
+        assert_eq!(probed.probe().counts().accesses, probed.stats().accesses());
     }
 }

@@ -61,7 +61,7 @@ mod sticky;
 
 pub use cache::{DeCache, DeStats};
 pub use hierarchy::{DeHierarchy, DeHierarchyStats, HierarchyError, HitLastStrategy};
-pub use hitlast::{HashedStore, HitLastStore, PerfectStore};
+pub use hitlast::{HashedStore, HitLastStore, PerfectStore, ProbedStore};
 pub use lastline::LastLineDeCache;
 pub use linebuf::{DeStreamBuffer, InstrRegisterDeCache};
 pub use lines::{DeEvent, DeLines};

@@ -108,7 +108,10 @@ impl<S: HitLastStore> CacheSim for InstrRegisterDeCache<S> {
     }
 
     fn label(&self) -> String {
-        format!("{} (dynamic exclusion + instruction register)", self.inner.config())
+        format!(
+            "{} (dynamic exclusion + instruction register)",
+            self.inner.config()
+        )
     }
 }
 
@@ -306,7 +309,10 @@ mod tests {
         let mut c = DeStreamBuffer::new(config(), 4);
         let stats = run_addrs(&mut c, alternating_runs(10));
         assert_eq!(stats.misses(), 2);
-        assert!(c.de_stats().bypasses > 0, "the conflicting line was excluded");
+        assert!(
+            c.de_stats().bypasses > 0,
+            "the conflicting line was excluded"
+        );
     }
 
     #[test]
@@ -344,7 +350,12 @@ mod tests {
         let mut sb = DeStreamBuffer::new(config(), 4);
         let l = run_addrs(&mut ll, addrs.iter().copied());
         let s = run_addrs(&mut sb, addrs.iter().copied());
-        assert!(s.misses() <= l.misses(), "sb {} vs ll {}", s.misses(), l.misses());
+        assert!(
+            s.misses() <= l.misses(),
+            "sb {} vs ll {}",
+            s.misses(),
+            l.misses()
+        );
     }
 
     #[test]
@@ -355,7 +366,11 @@ mod tests {
 
     #[test]
     fn labels_name_the_structures() {
-        assert!(InstrRegisterDeCache::new(config()).label().contains("instruction register"));
-        assert!(DeStreamBuffer::new(config(), 4).label().contains("stream buffer"));
+        assert!(InstrRegisterDeCache::new(config())
+            .label()
+            .contains("instruction register"));
+        assert!(DeStreamBuffer::new(config(), 4)
+            .label()
+            .contains("stream buffer"));
     }
 }

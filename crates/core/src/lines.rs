@@ -1,6 +1,7 @@
 //! The per-line state arrays shared by every dynamic-exclusion cache.
 
 use dynex_cache::{CacheConfig, Geometry};
+use dynex_obs::{Event, NoopProbe, Probe};
 
 use crate::fsm::{self, DeAction};
 
@@ -66,7 +67,11 @@ impl DeLines {
     /// Panics if `config.associativity() != 1`: dynamic exclusion is a
     /// direct-mapped technique.
     pub fn new(config: CacheConfig) -> DeLines {
-        assert_eq!(config.associativity(), 1, "dynamic exclusion applies to direct-mapped caches");
+        assert_eq!(
+            config.associativity(),
+            1,
+            "dynamic exclusion applies to direct-mapped caches"
+        );
         let n = config.n_sets() as usize;
         DeLines {
             geometry: config.geometry(),
@@ -106,9 +111,22 @@ impl DeLines {
     /// happened. On [`DeEvent::Loaded`] the caller must write the returned
     /// victim's hit-last copy back to wherever non-resident bits live.
     pub fn access_line(&mut self, line: u32, h_pred: bool) -> DeEvent {
-        let set = self.geometry.set_of_line(line) as usize;
+        self.access_line_probed(line, h_pred, &mut NoopProbe)
+    }
+
+    /// [`DeLines::access_line`] with event emission: the FSM events come from
+    /// [`fsm::step_probed`] and a displacement additionally emits
+    /// [`Event::Eviction`].
+    pub fn access_line_probed<P: Probe>(
+        &mut self,
+        line: u32,
+        h_pred: bool,
+        probe: &mut P,
+    ) -> DeEvent {
+        let set_index = self.geometry.set_of_line(line);
+        let set = set_index as usize;
         let hit = self.lines[set] == line;
-        let transition = fsm::step(hit, self.sticky[set], h_pred);
+        let transition = fsm::step_probed(hit, self.sticky[set], h_pred, set_index, line, probe);
         self.sticky[set] = transition.sticky_after;
         match transition.action {
             DeAction::Hit => {
@@ -117,11 +135,19 @@ impl DeLines {
                 DeEvent::Hit
             }
             DeAction::Load => {
-                let victim = (self.lines[set] != INVALID_LINE)
-                    .then(|| (self.lines[set], self.h_copy[set]));
+                let victim =
+                    (self.lines[set] != INVALID_LINE).then(|| (self.lines[set], self.h_copy[set]));
+                if let Some((victim_line, _)) = victim {
+                    probe.emit(Event::Eviction {
+                        set: set_index,
+                        victim: victim_line,
+                        replacement: line,
+                    });
+                }
                 self.lines[set] = line;
-                self.h_copy[set] =
-                    transition.hit_last_after.expect("loads always update hit-last");
+                self.h_copy[set] = transition
+                    .hit_last_after
+                    .expect("loads always update hit-last");
                 DeEvent::Loaded { victim }
             }
             DeAction::Bypass => DeEvent::Bypassed,
@@ -164,7 +190,12 @@ mod tests {
         l.access_line(0, false);
         l.access_line(4, false); // bypass, clears sticky
         let e = l.access_line(4, false); // now loads
-        assert_eq!(e, DeEvent::Loaded { victim: Some((0, true)) });
+        assert_eq!(
+            e,
+            DeEvent::Loaded {
+                victim: Some((0, true))
+            }
+        );
         assert!(l.contains_line(4));
         assert!(!l.contains_line(0));
     }
@@ -174,8 +205,17 @@ mod tests {
         let mut l = lines();
         l.access_line(0, false); // resident 0, sticky
         let e = l.access_line(4, true); // h[4]=1: loads despite sticky
-        assert_eq!(e, DeEvent::Loaded { victim: Some((0, true)) });
-        assert_eq!(l.resident_hit_last(4), Some(false), "hit-last consumed on load");
+        assert_eq!(
+            e,
+            DeEvent::Loaded {
+                victim: Some((0, true))
+            }
+        );
+        assert_eq!(
+            l.resident_hit_last(4),
+            Some(false),
+            "hit-last consumed on load"
+        );
         assert!(l.is_sticky(4), "sticky stays set");
     }
 
@@ -203,6 +243,34 @@ mod tests {
     #[should_panic(expected = "direct-mapped")]
     fn rejects_associative_config() {
         DeLines::new(CacheConfig::new(16, 4, 2).unwrap());
+    }
+
+    #[test]
+    fn probed_access_emits_eviction_on_displacement_only() {
+        use dynex_obs::CountingProbe;
+        let mut l = lines();
+        let mut probe = CountingProbe::new();
+        l.access_line_probed(0, false, &mut probe); // cold load: no eviction
+        assert_eq!(probe.counts().evictions, 0);
+        l.access_line_probed(4, false, &mut probe); // bypass: no eviction
+        assert_eq!(probe.counts().evictions, 0);
+        l.access_line_probed(4, false, &mut probe); // load displacing 0
+        assert_eq!(probe.counts().evictions, 1);
+        assert_eq!(probe.counts().exclusion_loads, 2);
+        assert_eq!(probe.counts().exclusion_bypasses, 1);
+    }
+
+    #[test]
+    fn probed_and_plain_access_agree() {
+        use dynex_obs::NoopProbe;
+        let mut a = lines();
+        let mut b = lines();
+        for (line, h) in [(0u32, false), (4, true), (0, false), (8, false), (8, true)] {
+            assert_eq!(
+                a.access_line(line, h),
+                b.access_line_probed(line, h, &mut NoopProbe)
+            );
+        }
     }
 
     #[test]

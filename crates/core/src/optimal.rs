@@ -161,8 +161,8 @@ mod tests {
         // (a^10 b^10)^10 => 20 misses / 200 refs.
         let mut addrs = Vec::new();
         for _ in 0..10 {
-            addrs.extend(std::iter::repeat(0u32).take(10));
-            addrs.extend(std::iter::repeat(64u32).take(10));
+            addrs.extend(std::iter::repeat_n(0u32, 10));
+            addrs.extend(std::iter::repeat_n(64u32, 10));
         }
         let stats = OptimalDirectMapped::simulate(config(64, 4), addrs);
         assert_eq!(stats.misses(), 20);
@@ -174,7 +174,7 @@ mod tests {
         // (a^10 b)^10 => a_m b_m (a_h^10 b_m)^9: 11 misses / 110 refs.
         let mut addrs = Vec::new();
         for _ in 0..10 {
-            addrs.extend(std::iter::repeat(0u32).take(10));
+            addrs.extend(std::iter::repeat_n(0u32, 10));
             addrs.push(64);
         }
         let stats = OptimalDirectMapped::simulate(config(64, 4), addrs);

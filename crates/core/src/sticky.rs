@@ -11,6 +11,7 @@
 //! experiment quantifies that trade-off.
 
 use dynex_cache::{AccessOutcome, CacheConfig, CacheSim, CacheStats, Geometry};
+use dynex_obs::{Cause, Event, NoopProbe, Outcome, Probe};
 
 use crate::cache::DeStats;
 use crate::{HitLastStore, PerfectStore};
@@ -43,7 +44,7 @@ const INVALID_LINE: u32 = u32::MAX;
 /// # Ok::<(), dynex_cache::ConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct MultiStickyDeCache<S = PerfectStore> {
+pub struct MultiStickyDeCache<S = PerfectStore, P: Probe = NoopProbe> {
     config: CacheConfig,
     geometry: Geometry,
     max_sticky: u8,
@@ -53,6 +54,7 @@ pub struct MultiStickyDeCache<S = PerfectStore> {
     store: S,
     stats: CacheStats,
     de_stats: DeStats,
+    probe: P,
 }
 
 impl MultiStickyDeCache<PerfectStore> {
@@ -75,8 +77,33 @@ impl<S: HitLastStore> MultiStickyDeCache<S> {
     ///
     /// Same as [`MultiStickyDeCache::new`].
     pub fn with_store(config: CacheConfig, max_sticky: u8, store: S) -> MultiStickyDeCache<S> {
+        MultiStickyDeCache::with_store_and_probe(config, max_sticky, store, NoopProbe)
+    }
+}
+
+impl<S: HitLastStore, P: Probe> MultiStickyDeCache<S, P> {
+    /// Creates a multi-sticky DE cache over a caller-provided store, emitting
+    /// events into `probe`.
+    ///
+    /// [`Event::StickyFlip`] fires when a line's inertia changes between
+    /// "none" and "some" (counter crossing zero), matching the single-bit
+    /// FSM's flips when `max_sticky == 1`.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`MultiStickyDeCache::new`].
+    pub fn with_store_and_probe(
+        config: CacheConfig,
+        max_sticky: u8,
+        store: S,
+        probe: P,
+    ) -> MultiStickyDeCache<S, P> {
         assert!(max_sticky >= 1, "max_sticky must be at least 1");
-        assert_eq!(config.associativity(), 1, "dynamic exclusion applies to direct-mapped caches");
+        assert_eq!(
+            config.associativity(),
+            1,
+            "dynamic exclusion applies to direct-mapped caches"
+        );
         let n = config.n_sets() as usize;
         MultiStickyDeCache {
             config,
@@ -88,6 +115,7 @@ impl<S: HitLastStore> MultiStickyDeCache<S> {
             store,
             stats: CacheStats::new(),
             de_stats: DeStats::default(),
+            probe,
         }
     }
 
@@ -106,43 +134,120 @@ impl<S: HitLastStore> MultiStickyDeCache<S> {
         self.de_stats
     }
 
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the cache, returning the attached probe.
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
     /// Whether `addr`'s block is resident (no state change).
     pub fn contains(&self, addr: u32) -> bool {
         let line = self.geometry.line_addr(addr);
         self.lines[self.geometry.set_of_line(line) as usize] == line
     }
+
+    /// Emits a sticky flip when the counter's truthiness changed.
+    fn emit_sticky(&mut self, set: u32, before: u8, after: u8) {
+        if (before > 0) != (after > 0) {
+            self.probe.emit(Event::StickyFlip {
+                set,
+                sticky: after > 0,
+            });
+        }
+    }
 }
 
-impl<S: HitLastStore> CacheSim for MultiStickyDeCache<S> {
+impl<S: HitLastStore, P: Probe> CacheSim for MultiStickyDeCache<S, P> {
     fn access(&mut self, addr: u32) -> AccessOutcome {
         let line = self.geometry.line_addr(addr);
-        let set = self.geometry.set_of_line(line) as usize;
-        let outcome = if self.lines[set] == line {
+        let set_index = self.geometry.set_of_line(line);
+        let set = set_index as usize;
+        let counter_before = self.counter[set];
+        let (outcome, cause) = if self.lines[set] == line {
             self.counter[set] = self.max_sticky;
             self.h_copy[set] = true;
-            AccessOutcome::Hit
+            self.emit_sticky(set_index, counter_before, self.max_sticky);
+            self.probe.emit(Event::HitLastUpdate {
+                line,
+                hit_last: true,
+            });
+            (AccessOutcome::Hit, Cause::Resident)
         } else if self.counter[set] == 0 {
-            if self.lines[set] != INVALID_LINE {
+            self.probe.emit(Event::ExclusionDecision {
+                set: set_index,
+                line,
+                loaded: true,
+            });
+            let cause = if self.lines[set] != INVALID_LINE {
                 self.store.set(self.lines[set], self.h_copy[set]);
-            }
+                self.probe.emit(Event::Eviction {
+                    set: set_index,
+                    victim: self.lines[set],
+                    replacement: line,
+                });
+                Cause::Replace
+            } else {
+                Cause::Cold
+            };
             self.lines[set] = line;
             self.counter[set] = self.max_sticky;
             self.h_copy[set] = true;
+            self.emit_sticky(set_index, counter_before, self.max_sticky);
+            self.probe.emit(Event::HitLastUpdate {
+                line,
+                hit_last: true,
+            });
             self.de_stats.loads += 1;
-            AccessOutcome::Miss
+            (AccessOutcome::Miss, cause)
         } else if self.store.get(line) {
-            if self.lines[set] != INVALID_LINE {
+            self.probe.emit(Event::ExclusionDecision {
+                set: set_index,
+                line,
+                loaded: true,
+            });
+            let cause = if self.lines[set] != INVALID_LINE {
                 self.store.set(self.lines[set], self.h_copy[set]);
-            }
+                self.probe.emit(Event::Eviction {
+                    set: set_index,
+                    victim: self.lines[set],
+                    replacement: line,
+                });
+                Cause::Replace
+            } else {
+                Cause::Cold
+            };
             self.lines[set] = line;
             self.h_copy[set] = false; // consumed, as in the single-bit FSM
+            self.probe.emit(Event::HitLastUpdate {
+                line,
+                hit_last: false,
+            });
             self.de_stats.loads += 1;
-            AccessOutcome::Miss
+            (AccessOutcome::Miss, cause)
         } else {
+            self.probe.emit(Event::ExclusionDecision {
+                set: set_index,
+                line,
+                loaded: false,
+            });
             self.counter[set] -= 1;
+            self.emit_sticky(set_index, counter_before, self.counter[set]);
             self.de_stats.bypasses += 1;
-            AccessOutcome::Miss
+            (AccessOutcome::Miss, Cause::Bypass)
         };
+        self.probe.emit(Event::Access {
+            addr,
+            set: set_index,
+            outcome: match outcome {
+                AccessOutcome::Hit => Outcome::Hit,
+                AccessOutcome::Miss => Outcome::Miss,
+            },
+            cause,
+        });
         self.stats.record(outcome);
         outcome
     }
@@ -152,7 +257,10 @@ impl<S: HitLastStore> CacheSim for MultiStickyDeCache<S> {
     }
 
     fn label(&self) -> String {
-        format!("{} (dynamic exclusion, sticky={})", self.config, self.max_sticky)
+        format!(
+            "{} (dynamic exclusion, sticky={})",
+            self.config, self.max_sticky
+        )
     }
 }
 
@@ -201,13 +309,16 @@ mod tests {
         fn misses_in_phase2(max_sticky: u8) -> u64 {
             let mut de = MultiStickyDeCache::new(config(), max_sticky);
             let mut refs: Vec<u32> = vec![0; 10]; // train a, counter saturated
-            refs.extend(std::iter::repeat(64).take(10)); // phase change
+            refs.extend(std::iter::repeat_n(64, 10)); // phase change
             let total = run_addrs(&mut de, refs).misses();
             total - 1 // subtract a's cold miss
         }
         let shallow = misses_in_phase2(1);
         let deep = misses_in_phase2(4);
-        assert!(deep > shallow, "deeper sticky must adapt slower: {deep} vs {shallow}");
+        assert!(
+            deep > shallow,
+            "deeper sticky must adapt slower: {deep} vs {shallow}"
+        );
     }
 
     #[test]
@@ -234,6 +345,55 @@ mod tests {
 
     #[test]
     fn label_mentions_sticky_depth() {
-        assert!(MultiStickyDeCache::new(config(), 2).label().contains("sticky=2"));
+        assert!(MultiStickyDeCache::new(config(), 2)
+            .label()
+            .contains("sticky=2"));
+    }
+
+    #[test]
+    fn probed_level_one_events_match_single_bit_de_cache() {
+        use dynex_obs::CountingProbe;
+        let mut multi = MultiStickyDeCache::with_store_and_probe(
+            config(),
+            1,
+            PerfectStore::new(),
+            CountingProbe::new(),
+        );
+        let mut single = DeCache::with_probe(config(), CountingProbe::new());
+        let mut rng = dynex_cache::SplitMix64::new(19);
+        for _ in 0..4000 {
+            let a = (rng.below(48) as u32) * 4;
+            assert_eq!(multi.access(a), single.access(a));
+        }
+        let m = multi.probe().counts();
+        let s = single.probe().counts();
+        assert_eq!(m.accesses, s.accesses);
+        assert_eq!(m.misses, s.misses);
+        assert_eq!(m.evictions, s.evictions);
+        assert_eq!(m.exclusion_loads, s.exclusion_loads);
+        assert_eq!(m.exclusion_bypasses, s.exclusion_bypasses);
+        assert_eq!(m.sticky_flips, s.sticky_flips);
+    }
+
+    #[test]
+    fn probed_and_bare_runs_are_identical() {
+        use dynex_obs::CountingProbe;
+        let mut bare = MultiStickyDeCache::new(config(), 3);
+        let mut probed = MultiStickyDeCache::with_store_and_probe(
+            config(),
+            3,
+            PerfectStore::new(),
+            CountingProbe::new(),
+        );
+        let mut rng = dynex_cache::SplitMix64::new(29);
+        for _ in 0..4000 {
+            let a = (rng.below(64) as u32) * 4;
+            assert_eq!(bare.access(a), probed.access(a));
+        }
+        assert_eq!(bare.stats(), probed.stats());
+        assert_eq!(bare.de_stats(), probed.de_stats());
+        let c = probed.probe().counts();
+        assert_eq!(c.exclusion_loads, probed.de_stats().loads);
+        assert_eq!(c.exclusion_bypasses, probed.de_stats().bypasses);
     }
 }

@@ -1,6 +1,10 @@
 //! Property tests: the inequalities and equivalences the paper's analysis
 //! rests on, checked over random traces.
 
+// Gated: requires the `proptest` feature (and the proptest dev-dependency,
+// unavailable in hermetic builds) to compile.
+#![cfg(feature = "proptest")]
+
 use dynex::{
     DeCache, DeHierarchy, HashedStore, HitLastStrategy, LastLineDeCache, MultiStickyDeCache,
     OptimalDirectMapped, PerfectStore,

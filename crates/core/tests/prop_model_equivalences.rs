@@ -3,6 +3,10 @@
 //! agree reference-for-reference — a strong guard against drift in any one
 //! implementation.
 
+// Gated: requires the `proptest` feature (and the proptest dev-dependency,
+// unavailable in hermetic builds) to compile.
+#![cfg(feature = "proptest")]
+
 use dynex::{DeCache, DeHierarchy, HashedStore, HitLastStrategy, MultiStickyDeCache};
 use dynex_cache::{CacheConfig, CacheSim};
 use proptest::prelude::*;

@@ -2,19 +2,30 @@
 //!
 //! ```text
 //! simcache <trace.dxt|trace.txt> --size 32K --line 4 \
-//!          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data]
+//!          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
+//!          [--events-out e.jsonl] [--metrics-out m.json] \
+//!          [--intervals-out i.csv] [--interval N]
 //! ```
 //!
 //! Reads a `dynex-trace` file (binary `.dxt` or the text format, detected by
 //! the magic), simulates, and prints hit/miss statistics.
+//!
+//! Any of the `--*-out` flags attaches a probe to the simulated cache:
+//! `--events-out` streams every [`dynex_obs::Event`] as JSONL,
+//! `--metrics-out` writes the aggregated counter/histogram registry (plus
+//! the interval series) as JSON, and `--intervals-out` writes the per-window
+//! miss rates as CSV. `--interval` sets the window size in accesses
+//! (default 1000). Without these flags the run is completely
+//! uninstrumented — the probe type monomorphizes to a no-op.
 
 use std::process::ExitCode;
 
-use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped};
+use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped, PerfectStore};
 use dynex_cache::{
     run, CacheConfig, CacheSim, DirectMapped, Replacement, SetAssociative, StreamBuffer,
     VictimCache,
 };
+use dynex_obs::{export, Collector, EventLog};
 use dynex_trace::{io as trace_io, Trace};
 
 fn parse_size(text: &str) -> Option<u32> {
@@ -40,8 +51,53 @@ fn load_trace(path: &str) -> Result<Trace, String> {
 fn usage() {
     eprintln!(
         "usage: simcache <trace-file> --size <bytes|NK|NM> [--line N] \
-         [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data]"
+         [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
+         [--events-out <file.jsonl>] [--metrics-out <file.json>] \
+         [--intervals-out <file.csv>] [--interval <N>]"
     );
+}
+
+/// Where (and whether) to write observability outputs.
+struct ObsConfig {
+    events_out: Option<String>,
+    metrics_out: Option<String>,
+    intervals_out: Option<String>,
+    window: u64,
+}
+
+impl ObsConfig {
+    fn active(&self) -> bool {
+        self.events_out.is_some() || self.metrics_out.is_some() || self.intervals_out.is_some()
+    }
+
+    fn probe(&self) -> (Collector, EventLog) {
+        (Collector::new(self.window), EventLog::new())
+    }
+
+    fn write(&self, collector: &Collector, log: &EventLog) -> Result<(), String> {
+        if let Some(path) = &self.events_out {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            export::write_events_jsonl(std::io::BufWriter::new(file), log.events())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} events to {path}", log.events().len());
+        }
+        if let Some(path) = &self.metrics_out {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            export::write_metrics_json(file, &collector.registry(), Some(collector.intervals()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        if let Some(path) = &self.intervals_out {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            export::write_intervals_csv(file, collector.intervals())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote intervals to {path}");
+        }
+        Ok(())
+    }
 }
 
 fn main() -> ExitCode {
@@ -50,6 +106,12 @@ fn main() -> ExitCode {
     let mut line = 4u32;
     let mut org = "dm".to_owned();
     let mut kinds = "all".to_owned();
+    let mut obs = ObsConfig {
+        events_out: None,
+        metrics_out: None,
+        intervals_out: None,
+        window: 1000,
+    };
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -66,6 +128,26 @@ fn main() -> ExitCode {
             }
             "--org" => org = it.next().unwrap_or_default(),
             "--kinds" => kinds = it.next().unwrap_or_default(),
+            "--events-out" | "--metrics-out" | "--intervals-out" => {
+                let Some(value) = it.next() else {
+                    eprintln!("error: {arg} needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                match arg.as_str() {
+                    "--events-out" => obs.events_out = Some(value),
+                    "--metrics-out" => obs.metrics_out = Some(value),
+                    _ => obs.intervals_out = Some(value),
+                }
+            }
+            "--interval" => {
+                obs.window = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => v,
+                    _ => {
+                        eprintln!("error: --interval needs a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -120,30 +202,74 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Runs a probed cache, reports its stats, then extracts the
+    // `(Collector, EventLog)` probe via `into_probe` and writes the
+    // requested output files.
+    macro_rules! simulate_observed {
+        ($cache:expr) => {{
+            let mut cache = $cache;
+            let stats = run(&mut cache, accesses.iter().copied());
+            report(cache.label(), stats);
+            let (collector, log) = cache.into_probe();
+            if let Err(e) = obs.write(&collector, &log) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }};
+    }
+
     match org.as_str() {
         "dm" => {
-            let mut cache = DirectMapped::new(dm_config);
-            let stats = run(&mut cache, accesses.iter().copied());
-            report(cache.label(), stats);
+            if obs.active() {
+                simulate_observed!(DirectMapped::with_probe(dm_config, obs.probe()));
+            } else {
+                let mut cache = DirectMapped::new(dm_config);
+                let stats = run(&mut cache, accesses.iter().copied());
+                report(cache.label(), stats);
+            }
         }
         "de" => {
-            let mut cache = DeCache::new(dm_config);
-            let stats = run(&mut cache, accesses.iter().copied());
-            report(cache.label(), stats);
-            println!(
-                "  loads {} bypasses {}",
-                cache.de_stats().loads,
-                cache.de_stats().bypasses
-            );
+            let de_stats = if obs.active() {
+                let mut cache = DeCache::with_probe(dm_config, obs.probe());
+                let stats = run(&mut cache, accesses.iter().copied());
+                report(cache.label(), stats);
+                let de_stats = cache.de_stats();
+                let (collector, log) = cache.into_probe();
+                if let Err(e) = obs.write(&collector, &log) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                de_stats
+            } else {
+                let mut cache = DeCache::new(dm_config);
+                let stats = run(&mut cache, accesses.iter().copied());
+                report(cache.label(), stats);
+                cache.de_stats()
+            };
+            println!("  loads {} bypasses {}", de_stats.loads, de_stats.bypasses);
         }
         "de-lastline" => {
-            let mut cache = LastLineDeCache::new(dm_config);
-            let stats = run(&mut cache, accesses.iter().copied());
-            report(cache.label(), stats);
+            if obs.active() {
+                simulate_observed!(LastLineDeCache::with_store_and_probe(
+                    dm_config,
+                    PerfectStore::new(),
+                    obs.probe()
+                ));
+            } else {
+                let mut cache = LastLineDeCache::new(dm_config);
+                let stats = run(&mut cache, accesses.iter().copied());
+                report(cache.label(), stats);
+            }
         }
         "opt" => {
-            let stats =
-                OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()));
+            if obs.active() {
+                eprintln!(
+                    "note: --org opt is a two-pass oracle without a probed hot path; \
+                     observability outputs are not written"
+                );
+            }
+            let stats = OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()));
             report("optimal direct-mapped".to_owned(), stats);
         }
         "2way" | "4way" => {
@@ -155,19 +281,35 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let mut cache = SetAssociative::new(config, Replacement::Lru);
-            let stats = run(&mut cache, accesses.iter().copied());
-            report(cache.label(), stats);
+            if obs.active() {
+                simulate_observed!(SetAssociative::with_probe(
+                    config,
+                    Replacement::Lru,
+                    obs.probe()
+                ));
+            } else {
+                let mut cache = SetAssociative::new(config, Replacement::Lru);
+                let stats = run(&mut cache, accesses.iter().copied());
+                report(cache.label(), stats);
+            }
         }
         "victim" => {
-            let mut cache = VictimCache::new(dm_config, 4);
-            let stats = run(&mut cache, accesses.iter().copied());
-            report(cache.label(), stats);
+            if obs.active() {
+                simulate_observed!(VictimCache::with_probe(dm_config, 4, obs.probe()));
+            } else {
+                let mut cache = VictimCache::new(dm_config, 4);
+                let stats = run(&mut cache, accesses.iter().copied());
+                report(cache.label(), stats);
+            }
         }
         "stream" => {
-            let mut cache = StreamBuffer::new(dm_config, 4);
-            let stats = run(&mut cache, accesses.iter().copied());
-            report(cache.label(), stats);
+            if obs.active() {
+                simulate_observed!(StreamBuffer::with_probe(dm_config, 4, obs.probe()));
+            } else {
+                let mut cache = StreamBuffer::new(dm_config, 4);
+                let stats = run(&mut cache, accesses.iter().copied());
+                report(cache.label(), stats);
+            }
         }
         other => {
             eprintln!("error: unknown --org {other:?}");

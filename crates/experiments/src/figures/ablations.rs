@@ -21,7 +21,11 @@ pub fn ablate_sticky(workloads: &Workloads) -> Table {
 
     let mut table = Table::new(
         "Ablation: sticky counter depth (b=4B)",
-        vec!["sticky levels", "(abc)^200 miss %", "avg SPEC I-miss % @32KB"],
+        vec![
+            "sticky levels",
+            "(abc)^200 miss %",
+            "avg SPEC I-miss % @32KB",
+        ],
     );
     for depth in 1u8..=4 {
         let mut pattern_cache = MultiStickyDeCache::new(small, depth);
@@ -123,7 +127,14 @@ pub fn streambuf(workloads: &Workloads) -> Table {
     let config = CacheConfig::direct_mapped(HEADLINE_SIZE, 4).expect("valid config");
     let mut table = Table::new(
         "Related work: stream buffer vs dynamic exclusion (I-cache, S=32KB, b=4B)",
-        vec!["benchmark", "DM %", "DM+stream(4) %", "DE %", "stream hits", "DE bypasses"],
+        vec![
+            "benchmark",
+            "DM %",
+            "DM+stream(4) %",
+            "DE %",
+            "stream hits",
+            "DE bypasses",
+        ],
     );
     for (name, _) in workloads.iter() {
         let addrs = workloads.instr_addrs(name);

@@ -5,7 +5,10 @@ use dynex_cache::CacheConfig;
 use crate::runner::{average_rates, reduction, triple, Triple};
 use crate::{Table, Workloads, SIZE_SWEEP_KB};
 
-fn sweep(workloads: &Workloads, select: impl Fn(&Workloads, &str) -> Vec<u32>) -> Vec<(u32, f64, f64, f64)> {
+fn sweep(
+    workloads: &Workloads,
+    select: impl Fn(&Workloads, &str) -> Vec<u32>,
+) -> Vec<(u32, f64, f64, f64)> {
     SIZE_SWEEP_KB
         .iter()
         .map(|&kb| {
@@ -23,7 +26,13 @@ fn sweep(workloads: &Workloads, select: impl Fn(&Workloads, &str) -> Vec<u32>) -
 fn render(title: &str, points: Vec<(u32, f64, f64, f64)>) -> Table {
     let mut table = Table::new(
         title,
-        vec!["size KB", "direct-mapped %", "dynamic exclusion %", "optimal DM %", "DE red. %"],
+        vec![
+            "size KB",
+            "direct-mapped %",
+            "dynamic exclusion %",
+            "optimal DM %",
+            "DE red. %",
+        ],
     );
     for (kb, dm, de, opt) in points {
         table.push_row(vec![

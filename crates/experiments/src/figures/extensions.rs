@@ -58,7 +58,14 @@ pub fn conflicts(workloads: &Workloads) -> Table {
 pub fn assoc(workloads: &Workloads) -> Table {
     let mut table = Table::new(
         "Extension: DE vs set-associativity (avg I-miss %, b=4B)",
-        vec!["size KB", "DM", "DM+DE", "2-way LRU", "4-way LRU", "DE closes gap %"],
+        vec![
+            "size KB",
+            "DM",
+            "DM+DE",
+            "2-way LRU",
+            "4-way LRU",
+            "DE closes gap %",
+        ],
     );
     for kb in [8u32, 16, 32, 64] {
         let dm_cfg = CacheConfig::direct_mapped(kb * 1024, 4).expect("valid config");
@@ -81,7 +88,11 @@ pub fn assoc(workloads: &Workloads) -> Table {
         // How much of the DM -> 2-way gap DE closes (can exceed 100% if DE
         // beats 2-way).
         let gap = dm_a - a2;
-        let closed = if gap.abs() < 1e-12 { 0.0 } else { (dm_a - de_a) / gap * 100.0 };
+        let closed = if gap.abs() < 1e-12 {
+            0.0
+        } else {
+            (dm_a - de_a) / gap * 100.0
+        };
         table.push_row(vec![
             kb.to_string(),
             format!("{dm_a:.3}"),
@@ -102,7 +113,12 @@ pub fn coldstart(workloads: &Workloads) -> Table {
     let config = CacheConfig::direct_mapped(HEADLINE_SIZE, 4).expect("valid config");
     let mut table = Table::new(
         "Extension: DE training cost at S=32KB, b=4B (misses, DE - DM)",
-        vec!["benchmark", "delta first 10%", "delta rest", "steady-state red. %"],
+        vec![
+            "benchmark",
+            "delta first 10%",
+            "delta rest",
+            "steady-state red. %",
+        ],
     );
     for (name, _) in workloads.iter() {
         let addrs = workloads.instr_addrs(name);
@@ -144,7 +160,14 @@ pub fn coldstart(workloads: &Workloads) -> Table {
 pub fn ablate_linebuf(workloads: &Workloads) -> Table {
     let mut table = Table::new(
         "Ablation: Section 6 line-buffer alternatives (avg I-miss %, b=16B)",
-        vec!["size KB", "DM", "instr register", "last-line", "DE+stream(4)", "stream red. %"],
+        vec![
+            "size KB",
+            "DM",
+            "instr register",
+            "last-line",
+            "DE+stream(4)",
+            "stream red. %",
+        ],
     );
     for kb in [8u32, 16, 32, 64] {
         let config = CacheConfig::direct_mapped(kb * 1024, 16).expect("valid config");

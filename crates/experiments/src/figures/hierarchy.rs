@@ -53,8 +53,7 @@ pub fn l2_sweep(workloads: &Workloads) -> Vec<L2Point> {
                     run_addrs(&mut h, addrs.iter().copied());
                     let s = h.hierarchy_stats();
                     de[k].0 += s.l1.miss_rate_percent();
-                    de[k].1 +=
-                        s.l2.misses() as f64 / s.l1.accesses().max(1) as f64 * 100.0;
+                    de[k].1 += s.l2.misses() as f64 / s.l1.accesses().max(1) as f64 * 100.0;
                 }
             }
             dm_l1 /= n;
@@ -63,7 +62,12 @@ pub fn l2_sweep(workloads: &Workloads) -> Vec<L2Point> {
                 entry.0 /= n;
                 entry.1 /= n;
             }
-            L2Point { ratio, dm_l1, dm_l2, de }
+            L2Point {
+                ratio,
+                dm_l1,
+                dm_l2,
+                de,
+            }
         })
         .collect()
 }

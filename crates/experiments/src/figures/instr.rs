@@ -18,7 +18,13 @@ fn pct1(v: f64) -> String {
 pub fn fig3(workloads: &Workloads) -> Table {
     let mut table = Table::new(
         "Figure 3: I-cache miss rates, S=32KB, b=4B (%)",
-        vec!["benchmark", "direct-mapped", "dynamic exclusion", "optimal DM", "DE reduction %"],
+        vec![
+            "benchmark",
+            "direct-mapped",
+            "dynamic exclusion",
+            "optimal DM",
+            "DE reduction %",
+        ],
     );
     let config = CacheConfig::direct_mapped(HEADLINE_SIZE, 4).expect("valid config");
     for (name, _) in workloads.iter() {
@@ -56,7 +62,12 @@ pub fn size_sweep(workloads: &Workloads) -> Vec<(u32, f64, f64, f64)> {
 pub fn fig4(workloads: &Workloads) -> Table {
     let mut table = Table::new(
         "Figure 4: average I-cache miss rate vs size, b=4B (%)",
-        vec!["size KB", "direct-mapped", "dynamic exclusion", "optimal DM"],
+        vec![
+            "size KB",
+            "direct-mapped",
+            "dynamic exclusion",
+            "optimal DM",
+        ],
     );
     for (kb, dm, de, opt) in size_sweep(workloads) {
         table.push_row(vec![kb.to_string(), pct(dm), pct(de), pct(opt)]);

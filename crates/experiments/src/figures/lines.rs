@@ -13,7 +13,13 @@ use crate::{Table, Workloads, HEADLINE_SIZE, LINE_SWEEP_BYTES, SIZE_SWEEP_KB};
 pub fn fig11(workloads: &Workloads) -> Table {
     let mut table = Table::new(
         "Figure 11: average I-cache miss rate vs line size, S=32KB",
-        vec!["line B", "direct-mapped %", "dynamic exclusion %", "optimal DM %", "DE red. %"],
+        vec![
+            "line B",
+            "direct-mapped %",
+            "dynamic exclusion %",
+            "optimal DM %",
+            "DE red. %",
+        ],
     );
     for &line in &LINE_SWEEP_BYTES {
         let config = CacheConfig::direct_mapped(HEADLINE_SIZE, line).expect("valid config");
@@ -39,7 +45,13 @@ pub fn fig11(workloads: &Workloads) -> Table {
 pub fn fig12(workloads: &Workloads) -> Table {
     let mut table = Table::new(
         "Figure 12: average I-cache miss rate vs size, b=16B",
-        vec!["size KB", "direct-mapped %", "dynamic exclusion %", "optimal DM %", "DE red. %"],
+        vec![
+            "size KB",
+            "direct-mapped %",
+            "dynamic exclusion %",
+            "optimal DM %",
+            "DE red. %",
+        ],
     );
     for &kb in &SIZE_SWEEP_KB {
         let config = CacheConfig::direct_mapped(kb * 1024, 16).expect("valid config");
@@ -97,7 +109,13 @@ pub fn fig13(workloads: &Workloads) -> Table {
 
     let mut table = Table::new(
         "Figure 13: dynamic exclusion efficiency (b=16B)",
-        vec!["design", "miss rate %", "dSize %", "dMissRate %", "dMiss/dSize"],
+        vec![
+            "design",
+            "miss rate %",
+            "dSize %",
+            "dMissRate %",
+            "dMiss/dSize",
+        ],
     );
     table.push_row(vec![
         "8KB DM (baseline)".to_owned(),
@@ -155,7 +173,10 @@ mod tests {
         let t = fig13(&w);
         assert_eq!(t.n_rows(), 3);
         let de_size: f64 = t.cell(1, 2).unwrap().parse().unwrap();
-        assert!(de_size < 10.0, "DE overhead should be a few percent, got {de_size}");
+        assert!(
+            de_size < 10.0,
+            "DE overhead should be a few percent, got {de_size}"
+        );
         let dbl: f64 = t.cell(2, 2).unwrap().parse().unwrap();
         assert_eq!(dbl, 100.0);
     }

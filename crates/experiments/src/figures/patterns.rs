@@ -21,8 +21,18 @@ pub fn patterns() -> Table {
     let config = CacheConfig::direct_mapped(64, 4).expect("valid config");
     let (a, b) = pat::conflicting_pair(64);
     let cases: [(&str, Trace, f64, f64); 3] = [
-        ("(a^10 b^10)^10", pat::conflict_between_loops(a, b, 10, 10), 10.0, 10.0),
-        ("(a^10 b)^10", pat::conflict_between_loop_levels(a, b, 10, 10), 18.0, 10.0),
+        (
+            "(a^10 b^10)^10",
+            pat::conflict_between_loops(a, b, 10, 10),
+            10.0,
+            10.0,
+        ),
+        (
+            "(a^10 b)^10",
+            pat::conflict_between_loop_levels(a, b, 10, 10),
+            18.0,
+            10.0,
+        ),
         ("(a b)^10", pat::conflict_within_loop(a, b, 10), 100.0, 55.0),
     ];
     let mut table = Table::new(
@@ -94,7 +104,10 @@ mod tests {
         for row in 0..3 {
             let paper: f64 = t.cell(row, 1).unwrap().parse().unwrap();
             let measured: f64 = t.cell(row, 2).unwrap().parse().unwrap();
-            assert!((paper - measured).abs() < 0.51, "row {row}: {paper} vs {measured}");
+            assert!(
+                (paper - measured).abs() < 0.51,
+                "row {row}: {paper} vs {measured}"
+            );
             let paper_opt: f64 = t.cell(row, 3).unwrap().parse().unwrap();
             let measured_opt: f64 = t.cell(row, 4).unwrap().parse().unwrap();
             assert!((paper_opt - measured_opt).abs() < 0.51, "row {row} opt");

@@ -27,7 +27,7 @@ mod runner;
 mod table;
 mod workloads;
 
-pub use runner::{triple, triple_lastline, Triple};
+pub use runner::{triple, triple_lastline, triple_observed, ObservedTriple, Triple};
 pub use table::Table;
 pub use workloads::Workloads;
 

@@ -33,7 +33,9 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--refs" => {
                 let value = args.next().ok_or("--refs needs a value")?;
-                refs = value.parse().map_err(|_| format!("bad --refs value {value:?}"))?;
+                refs = value
+                    .parse()
+                    .map_err(|_| format!("bad --refs value {value:?}"))?;
             }
             "--out" => {
                 let value = args.next().ok_or("--out needs a directory")?;
@@ -98,7 +100,10 @@ fn main() -> ExitCode {
     eprintln!("generating {} references per benchmark...", options.refs);
     let started = Instant::now();
     let workloads = Workloads::generate(options.refs);
-    eprintln!("workloads ready in {:.1}s\n", started.elapsed().as_secs_f64());
+    eprintln!(
+        "workloads ready in {:.1}s\n",
+        started.elapsed().as_secs_f64()
+    );
 
     if let Some(dir) = &options.out {
         if let Err(e) = std::fs::create_dir_all(dir) {

@@ -3,6 +3,7 @@
 
 use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped};
 use dynex_cache::{run_addrs, CacheConfig, CacheStats};
+use dynex_obs::{CountingProbe, EventCounts};
 
 /// Results of one workload under the three caches the paper compares
 /// throughout: conventional direct-mapped, dynamic exclusion, and optimal
@@ -36,7 +37,48 @@ pub fn triple(config: CacheConfig, addrs: &[u32]) -> Triple {
     let mut de = DeCache::new(config);
     let de_stats = run_addrs(&mut de, addrs.iter().copied());
     let opt = OptimalDirectMapped::simulate(config, addrs.iter().copied());
-    Triple { dm: dm_stats, de: de_stats, opt }
+    Triple {
+        dm: dm_stats,
+        de: de_stats,
+        opt,
+    }
+}
+
+/// A [`Triple`] augmented with per-simulator event tallies from the
+/// observability layer.
+///
+/// The DM and DE runs carry a [`CountingProbe`]; OPT is a two-pass oracle
+/// without a probed hot path, so only its stats appear. The embedded
+/// `Triple` is byte-identical to what [`triple`] returns for the same
+/// inputs — instrumentation never perturbs simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedTriple {
+    /// The plain three-way statistics.
+    pub triple: Triple,
+    /// Event tallies from the conventional direct-mapped run.
+    pub dm_events: EventCounts,
+    /// Event tallies from the dynamic-exclusion run (includes sticky flips,
+    /// hit-last updates, and exclusion decisions).
+    pub de_events: EventCounts,
+}
+
+/// Runs the three-way comparison with counting probes attached to the DM and
+/// DE caches.
+pub fn triple_observed(config: CacheConfig, addrs: &[u32]) -> ObservedTriple {
+    let mut dm = dynex_cache::DirectMapped::with_probe(config, CountingProbe::new());
+    let dm_stats = run_addrs(&mut dm, addrs.iter().copied());
+    let mut de = DeCache::with_probe(config, CountingProbe::new());
+    let de_stats = run_addrs(&mut de, addrs.iter().copied());
+    let opt = OptimalDirectMapped::simulate(config, addrs.iter().copied());
+    ObservedTriple {
+        triple: Triple {
+            dm: dm_stats,
+            de: de_stats,
+            opt,
+        },
+        dm_events: dm.into_probe().counts(),
+        de_events: de.into_probe().counts(),
+    }
 }
 
 /// Runs the three-way comparison for multi-word lines: DE and OPT both get
@@ -47,16 +89,32 @@ pub fn triple_lastline(config: CacheConfig, addrs: &[u32]) -> Triple {
     let mut de = LastLineDeCache::new(config);
     let de_stats = run_addrs(&mut de, addrs.iter().copied());
     let opt = OptimalDirectMapped::simulate_with_lastline(config, addrs.iter().copied());
-    Triple { dm: dm_stats, de: de_stats, opt }
+    Triple {
+        dm: dm_stats,
+        de: de_stats,
+        opt,
+    }
 }
 
 /// Averages miss-rate percentages across per-benchmark triples (the paper's
 /// "average across the SPEC benchmarks").
 pub fn average_rates(triples: &[Triple]) -> (f64, f64, f64) {
     let n = triples.len().max(1) as f64;
-    let dm = triples.iter().map(|t| t.dm.miss_rate_percent()).sum::<f64>() / n;
-    let de = triples.iter().map(|t| t.de.miss_rate_percent()).sum::<f64>() / n;
-    let opt = triples.iter().map(|t| t.opt.miss_rate_percent()).sum::<f64>() / n;
+    let dm = triples
+        .iter()
+        .map(|t| t.dm.miss_rate_percent())
+        .sum::<f64>()
+        / n;
+    let de = triples
+        .iter()
+        .map(|t| t.de.miss_rate_percent())
+        .sum::<f64>()
+        / n;
+    let opt = triples
+        .iter()
+        .map(|t| t.opt.miss_rate_percent())
+        .sum::<f64>()
+        / n;
     (dm, de, opt)
 }
 
@@ -90,7 +148,15 @@ mod tests {
     #[test]
     fn lastline_triple_runs() {
         let config = CacheConfig::direct_mapped(64, 16).unwrap();
-        let addrs: Vec<u32> = (0..200).map(|i| if (i / 4) % 2 == 0 { (i % 4) * 4 } else { 64 + (i % 4) * 4 }).collect();
+        let addrs: Vec<u32> = (0..200)
+            .map(|i| {
+                if (i / 4) % 2 == 0 {
+                    (i % 4) * 4
+                } else {
+                    64 + (i % 4) * 4
+                }
+            })
+            .collect();
         let t = triple_lastline(config, &addrs);
         assert!(t.opt.misses() <= t.de.misses());
         assert!(t.de.misses() <= t.dm.misses());
@@ -105,6 +171,30 @@ mod tests {
         assert_eq!(de, t.de.miss_rate_percent());
         assert_eq!(opt, t.opt.miss_rate_percent());
         assert_eq!(average_rates(&[]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn observed_triple_matches_bare_triple_and_stats() {
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let addrs = thrash();
+        let bare = triple(config, &addrs);
+        let observed = triple_observed(config, &addrs);
+        assert_eq!(observed.triple, bare);
+        // Event tallies must agree with the statistics they mirror.
+        assert_eq!(observed.dm_events.accesses, bare.dm.accesses());
+        assert_eq!(observed.dm_events.misses, bare.dm.misses());
+        assert_eq!(observed.de_events.accesses, bare.de.accesses());
+        assert_eq!(observed.de_events.misses, bare.de.misses());
+        // Every DE miss carries an exclusion decision.
+        assert_eq!(
+            observed.de_events.exclusion_loads + observed.de_events.exclusion_bypasses,
+            bare.de.misses()
+        );
+        // The thrash trace bypasses: DE must report some excluded loads.
+        assert!(observed.de_events.exclusion_bypasses > 0);
+        // A conventional cache makes no exclusion decisions.
+        assert_eq!(observed.dm_events.exclusion_loads, 0);
+        assert_eq!(observed.dm_events.exclusion_bypasses, 0);
     }
 
     #[test]

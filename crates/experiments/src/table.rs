@@ -39,7 +39,11 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(row);
     }
 
@@ -60,12 +64,18 @@ impl Table {
 
     /// Cell at (`row`, `col`), if present.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 
     /// Finds the first row whose first cell equals `key`.
     pub fn row_by_key(&self, key: &str) -> Option<&[String]> {
-        self.rows.iter().find(|r| r.first().map(String::as_str) == Some(key)).map(Vec::as_slice)
+        self.rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(key))
+            .map(Vec::as_slice)
     }
 
     /// Writes the table as CSV (headers first).

@@ -56,7 +56,9 @@ impl Workloads {
     ///
     /// Panics if `name` is not one of the ten profiles.
     pub fn instr_addrs(&self, name: &str) -> Vec<u32> {
-        dynex_trace::filter::instructions(self.trace(name).iter()).map(|a| a.addr()).collect()
+        dynex_trace::filter::instructions(self.trace(name).iter())
+            .map(|a| a.addr())
+            .collect()
     }
 
     /// Data-reference byte addresses of benchmark `name`.
@@ -65,7 +67,9 @@ impl Workloads {
     ///
     /// Panics if `name` is not one of the ten profiles.
     pub fn data_addrs(&self, name: &str) -> Vec<u32> {
-        dynex_trace::filter::data(self.trace(name).iter()).map(|a| a.addr()).collect()
+        dynex_trace::filter::data(self.trace(name).iter())
+            .map(|a| a.addr())
+            .collect()
     }
 
     /// All reference byte addresses (instruction + data) of benchmark `name`.

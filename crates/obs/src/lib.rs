@@ -1,0 +1,53 @@
+//! Zero-cost observability for the dynex cache simulators.
+//!
+//! The dynamic-exclusion paper's whole argument is about *why* misses happen
+//! — conflict thrashing that the sticky/hit-last FSM learns to exclude.
+//! Aggregate hit/miss counts cannot show that; this crate provides the
+//! instrumentation layer that can:
+//!
+//! * [`Probe`] + [`Event`] — a typed event stream ([`Event::Access`],
+//!   [`Event::Eviction`], [`Event::StickyFlip`], [`Event::HitLastUpdate`],
+//!   [`Event::ExclusionDecision`]) emitted from the simulators' hot paths.
+//!   Simulators are generic over the probe with a [`NoopProbe`] default, so
+//!   an uninstrumented run monomorphizes every emission away: **zero cost
+//!   unless you ask**.
+//! * [`MetricsRegistry`] — named `u64` counters and fixed-bucket
+//!   [`Histogram`]s (reuse distance, per-set conflict heatmaps).
+//! * [`IntervalSeries`] — miss rate per N-access window, for phase-behaviour
+//!   plots.
+//! * [`export`] — hand-rolled JSONL/JSON/CSV writers (this crate is
+//!   dependency-free by design: hermetic builds cannot reach a registry) and
+//!   a matching minimal [`json`] parser used by round-trip tests.
+//!
+//! Ready-made probes: [`CountingProbe`] (per-kind tallies), [`EventLog`]
+//! (full ordered log), [`Collector`] (counters + histograms + heatmap +
+//! intervals in one sink). Probes compose as tuples: `(a, b)` fans every
+//! event out to both.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dynex_obs::{Cause, Collector, Event, Outcome, Probe};
+//!
+//! let mut probe = Collector::new(1000);
+//! // A simulator emits events like this from its access path:
+//! probe.emit(Event::Access { addr: 0x40, set: 0, outcome: Outcome::Miss, cause: Cause::Cold });
+//! assert_eq!(probe.registry().counter("misses"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod event;
+pub mod export;
+mod interval;
+pub mod json;
+mod probe;
+mod registry;
+
+pub use collector::Collector;
+pub use event::{Cause, Event, Outcome};
+pub use interval::{IntervalPoint, IntervalSeries};
+pub use probe::{CountingProbe, EventCounts, EventLog, NoopProbe, Probe};
+pub use registry::{Histogram, MetricsRegistry};

@@ -1,0 +1,272 @@
+//! Named counters and fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+
+/// A histogram over fixed, caller-chosen bucket upper bounds.
+///
+/// A value `v` lands in the first bucket whose inclusive upper bound is
+/// `>= v`; values above the last bound land in an implicit overflow bucket,
+/// so `counts()` has `bounds().len() + 1` entries.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_obs::Histogram;
+///
+/// let mut h = Histogram::new(vec![1, 4, 16]);
+/// h.record(1);
+/// h.record(3);
+/// h.record(100); // overflow
+/// assert_eq!(h.counts(), &[1, 1, 0, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over inclusive upper `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: Vec<u64>) -> Histogram {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Histogram { bounds, counts }
+    }
+
+    /// Power-of-two bounds `1, 2, 4, … , 2^max_exp` — the shape used for
+    /// reuse-distance histograms.
+    pub fn pow2(max_exp: u32) -> Histogram {
+        Histogram::new((0..=max_exp).map(|e| 1u64 << e).collect())
+    }
+
+    /// Builds a histogram from precomputed bucket counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same bound conditions as [`Histogram::new`] or if
+    /// `counts.len() != bounds.len() + 1`.
+    pub fn from_parts(bounds: Vec<u64>, counts: Vec<u64>) -> Histogram {
+        let mut h = Histogram::new(bounds);
+        assert_eq!(counts.len(), h.counts.len(), "need bounds.len() + 1 counts");
+        h.counts = counts;
+        h
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+    }
+
+    /// The inclusive bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Serializes as a JSON object `{"bounds":[…],"counts":[…]}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"bounds":[{}],"counts":[{}]}}"#,
+            join_u64(&self.bounds),
+            join_u64(&self.counts)
+        )
+    }
+}
+
+fn join_u64(values: &[u64]) -> String {
+    let mut out = String::new();
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+/// A registry of named `u64` counters and [`Histogram`]s.
+///
+/// Names are free-form; the dynex probes use `kebab-case` (`"accesses"`,
+/// `"exclusion-bypasses"`, `"reuse-distance"`). `BTreeMap` keeps exports
+/// deterministically ordered.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_obs::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.add("accesses", 2);
+/// m.add("misses", 1);
+/// assert_eq!(m.counter("accesses"), 2);
+/// assert!(m.to_json().contains(r#""misses":1"#));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets the named counter to an absolute value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Reads a counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Inserts (or replaces) a histogram under `name`.
+    pub fn put_histogram(&mut self, name: &str, histogram: Histogram) {
+        self.histograms.insert(name.to_owned(), histogram);
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serializes the registry as one JSON object:
+    /// `{"counters":{…},"histograms":{…}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from(r#"{"counters":{"#);
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(r#""{}":{}"#, crate::json::escape(name), value));
+        }
+        out.push_str(r#"},"histograms":{"#);
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                r#""{}":{}"#,
+                crate::json::escape(name),
+                h.to_json()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Serializes the counters as two-column CSV (`name,value`).
+    pub fn counters_to_csv(&self) -> String {
+        let mut out = String::from("counter,value\n");
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{},{}\n", crate::export::csv_field(name), value));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(vec![2, 8]);
+        for v in [0, 1, 2, 3, 8, 9, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[3, 2, 2]); // <=2, <=8, overflow
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.to_json(), r#"{"bounds":[2,8],"counts":[3,2,2]}"#);
+    }
+
+    #[test]
+    fn pow2_bounds() {
+        let h = Histogram::pow2(3);
+        assert_eq!(h.bounds(), &[1, 2, 4, 8]);
+        assert_eq!(h.counts().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(vec![4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_bounds_rejected() {
+        Histogram::new(Vec::new());
+    }
+
+    #[test]
+    fn registry_counters() {
+        let mut m = MetricsRegistry::new();
+        m.add("a", 1);
+        m.add("a", 2);
+        m.set("b", 7);
+        assert_eq!(m.counter("a"), 3);
+        assert_eq!(m.counter("b"), 7);
+        assert_eq!(m.counter("absent"), 0);
+        assert_eq!(m.counters().count(), 2);
+    }
+
+    #[test]
+    fn registry_json_is_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.add("z", 1);
+        m.add("a", 2);
+        m.put_histogram("h", Histogram::new(vec![1]));
+        assert_eq!(
+            m.to_json(),
+            r#"{"counters":{"a":2,"z":1},"histograms":{"h":{"bounds":[1],"counts":[0,0]}}}"#
+        );
+    }
+
+    #[test]
+    fn counters_csv() {
+        let mut m = MetricsRegistry::new();
+        m.add("accesses", 4);
+        assert_eq!(m.counters_to_csv(), "counter,value\naccesses,4\n");
+    }
+}

@@ -165,7 +165,11 @@ mod tests {
             assert_eq!(AccessKind::from_mnemonic(kind.mnemonic()), Some(kind));
         }
         assert_eq!(AccessKind::from_mnemonic('x'), None);
-        assert_eq!(AccessKind::from_mnemonic('f'), None, "mnemonics are upper-case only");
+        assert_eq!(
+            AccessKind::from_mnemonic('f'),
+            None,
+            "mnemonics are upper-case only"
+        );
     }
 
     #[test]

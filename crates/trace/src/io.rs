@@ -55,7 +55,10 @@ impl fmt::Display for TraceIoError {
             TraceIoError::Io(e) => write!(f, "trace io failure: {e}"),
             TraceIoError::BadMagic(m) => write!(f, "bad trace magic {m:?}, expected \"DXT1\""),
             TraceIoError::Truncated { expected, actual } => {
-                write!(f, "truncated trace: header declared {expected} references, found {actual}")
+                write!(
+                    f,
+                    "truncated trace: header declared {expected} references, found {actual}"
+                )
             }
             TraceIoError::CorruptAccess { index } => {
                 write!(f, "corrupt packed access at reference {index}")
@@ -140,13 +143,15 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
     for index in 0..expected {
         if let Err(e) = reader.read_exact(&mut word) {
             if e.kind() == io::ErrorKind::UnexpectedEof {
-                return Err(TraceIoError::Truncated { expected, actual: index });
+                return Err(TraceIoError::Truncated {
+                    expected,
+                    actual: index,
+                });
             }
             return Err(e.into());
         }
         let raw = u32::from_le_bytes(word);
-        let packed =
-            PackedAccess::from_raw(raw).ok_or(TraceIoError::CorruptAccess { index })?;
+        let packed = PackedAccess::from_raw(raw).ok_or(TraceIoError::CorruptAccess { index })?;
         trace.push(packed.unpack());
     }
     Ok(trace)
@@ -159,7 +164,12 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
 /// Returns [`TraceIoError::Io`] on any underlying write failure.
 pub fn write_text<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
     for access in trace.iter() {
-        writeln!(writer, "{} {:#010x}", access.kind().mnemonic(), access.addr())?;
+        writeln!(
+            writer,
+            "{} {:#010x}",
+            access.kind().mnemonic(),
+            access.addr()
+        )?;
     }
     Ok(())
 }
@@ -203,7 +213,10 @@ fn parse_text_line(line: &str) -> Option<Access> {
     if kind_chars.next().is_some() {
         return None;
     }
-    let addr = if let Some(hex) = addr_token.strip_prefix("0x").or_else(|| addr_token.strip_prefix("0X")) {
+    let addr = if let Some(hex) = addr_token
+        .strip_prefix("0x")
+        .or_else(|| addr_token.strip_prefix("0X"))
+    {
         u32::from_str_radix(hex, 16).ok()?
     } else {
         addr_token.parse().ok()?
@@ -256,7 +269,10 @@ mod tests {
         buf.truncate(buf.len() - 3);
         let err = read_binary(&buf[..]).unwrap_err();
         match err {
-            TraceIoError::Truncated { expected: 4, actual: 3 } => {}
+            TraceIoError::Truncated {
+                expected: 4,
+                actual: 3,
+            } => {}
             other => panic!("unexpected error: {other}"),
         }
     }
@@ -307,7 +323,7 @@ mod tests {
 
     #[test]
     fn error_display_and_source() {
-        let io_err: TraceIoError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let io_err: TraceIoError = io::Error::other("boom").into();
         assert!(io_err.to_string().contains("boom"));
         assert!(io_err.source().is_some());
         assert!(TraceIoError::BadMagic(*b"ABCD").source().is_none());

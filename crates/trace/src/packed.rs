@@ -32,7 +32,11 @@ impl AddressRangeError {
 
 impl fmt::Display for AddressRangeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "address {:#x} exceeds the packed trace address range", self.addr)
+        write!(
+            f,
+            "address {:#x} exceeds the packed trace address range",
+            self.addr
+        )
     }
 }
 

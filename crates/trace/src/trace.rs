@@ -36,7 +36,9 @@ impl Trace {
 
     /// Creates an empty trace with room for `capacity` references.
     pub fn with_capacity(capacity: usize) -> Trace {
-        Trace { accesses: Vec::with_capacity(capacity) }
+        Trace {
+            accesses: Vec::with_capacity(capacity),
+        }
     }
 
     /// Appends a reference.
@@ -61,7 +63,9 @@ impl Trace {
 
     /// Iterates over the references in order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { inner: self.accesses.iter() }
+        Iter {
+            inner: self.accesses.iter(),
+        }
     }
 
     /// The packed representation, for bulk IO.
@@ -85,19 +89,24 @@ impl Trace {
 
 impl FromIterator<Access> for Trace {
     fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Trace {
-        Trace { accesses: iter.into_iter().map(PackedAccess::pack).collect() }
+        Trace {
+            accesses: iter.into_iter().map(PackedAccess::pack).collect(),
+        }
     }
 }
 
 impl Extend<Access> for Trace {
     fn extend<I: IntoIterator<Item = Access>>(&mut self, iter: I) {
-        self.accesses.extend(iter.into_iter().map(PackedAccess::pack));
+        self.accesses
+            .extend(iter.into_iter().map(PackedAccess::pack));
     }
 }
 
 impl FromIterator<PackedAccess> for Trace {
     fn from_iter<I: IntoIterator<Item = PackedAccess>>(iter: I) -> Trace {
-        Trace { accesses: iter.into_iter().collect() }
+        Trace {
+            accesses: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -1,5 +1,9 @@
 //! Property tests: trace packing and IO round-trips.
 
+// Gated: requires the `proptest` feature (and the proptest dev-dependency,
+// unavailable in hermetic builds) to compile.
+#![cfg(feature = "proptest")]
+
 use dynex_trace::io::{read_binary, read_text, write_binary, write_text};
 use dynex_trace::{Access, AccessKind, PackedAccess, Trace, TraceStats};
 use proptest::prelude::*;

@@ -116,10 +116,7 @@ impl AppParams {
             let rare: Vec<ProcId> = (0..self.rare_helpers_per_phase)
                 .map(|_| {
                     let len = draw(&mut rng, self.rare_helper_words);
-                    b.add_procedure_with_frame(
-                        vec![Stmt::straight(len)],
-                        self.frame_words,
-                    )
+                    b.add_procedure_with_frame(vec![Stmt::straight(len)], self.frame_words)
                 })
                 .collect();
             // Fixed hot callees.
@@ -175,9 +172,13 @@ fn relocate(pattern: &DataPattern, cursor: &mut u32, rng: &mut SplitMix64) -> Da
     let base = *cursor;
     let mut relocated = pattern.clone();
     let len_words = match &mut relocated {
-        DataPattern::Stride { base: b, len_words, .. }
+        DataPattern::Stride {
+            base: b, len_words, ..
+        }
         | DataPattern::RandomIn { base: b, len_words }
-        | DataPattern::Chase { base: b, len_words, .. }
+        | DataPattern::Chase {
+            base: b, len_words, ..
+        }
         | DataPattern::Hot { base: b, len_words } => {
             *b = base;
             *len_words
@@ -243,8 +244,11 @@ mod tests {
     #[test]
     fn data_patterns_emit_data_refs() {
         let mut params = AppParams::new(4);
-        params.data_patterns =
-            vec![DataPattern::Stride { base: 0x1000_0000, len_words: 1000, stride_words: 1 }];
+        params.data_patterns = vec![DataPattern::Stride {
+            base: 0x1000_0000,
+            len_words: 1000,
+            stride_words: 1,
+        }];
         params.body_data = vec![(0, 2, 0.5)];
         let t = params.build().trace(20_000);
         let data = t.iter().filter(|a| a.is_data()).count();
@@ -282,6 +286,9 @@ mod tests {
             }
         }
         let rate = rerefs as f64 / total as f64;
-        assert!(rate > 0.8, "stream should be dominated by loops, re-ref rate {rate}");
+        assert!(
+            rate > 0.8,
+            "stream should be dominated by loops, re-ref rate {rate}"
+        );
     }
 }

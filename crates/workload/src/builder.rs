@@ -166,7 +166,7 @@ impl ProgramBuilder {
 
         // Layout: procedures from the code base with deterministic random
         // padding so conflict alignment varies; optionally in shuffled order.
-        let mut rng = SplitMix64::new(self.seed ^ 0x1a_0u64);
+        let mut rng = SplitMix64::new(self.seed ^ 0x01a0_u64);
         let mut order: Vec<usize> = (0..self.procs.len()).collect();
         if self.shuffle {
             // Fisher–Yates with the builder seed.
@@ -199,7 +199,12 @@ impl ProgramBuilder {
             })
             .collect();
 
-        Ok(Program { procs, patterns: self.patterns.clone(), entry, seed: self.seed })
+        Ok(Program {
+            procs,
+            patterns: self.patterns.clone(),
+            entry,
+            seed: self.seed,
+        })
     }
 
     fn validate_body(&self, body: &[Stmt]) -> Result<(), BuildError> {
@@ -212,19 +217,29 @@ impl ProgramBuilder {
                         return Err(BuildError::UnknownProc { callee: *callee });
                     }
                 }
-                Stmt::IfElse { prob_then, then_branch, else_branch } => {
+                Stmt::IfElse {
+                    prob_then,
+                    then_branch,
+                    else_branch,
+                } => {
                     if !(0.0..=1.0).contains(prob_then) {
                         return Err(BuildError::BadProbability { value: *prob_then });
                     }
                     self.validate_body(then_branch)?;
                     self.validate_body(else_branch)?;
                 }
-                Stmt::Data { pattern, write_fraction, .. } => {
+                Stmt::Data {
+                    pattern,
+                    write_fraction,
+                    ..
+                } => {
                     if *pattern >= self.patterns.len() {
                         return Err(BuildError::UnknownPattern { index: *pattern });
                     }
                     if !(0.0..=1.0).contains(write_fraction) {
-                        return Err(BuildError::BadProbability { value: *write_fraction });
+                        return Err(BuildError::BadProbability {
+                            value: *write_fraction,
+                        });
                     }
                 }
             }
@@ -245,7 +260,11 @@ impl ProgramBuilder {
                 match stmt {
                     Stmt::Call(p) => out.push(p.0),
                     Stmt::Loop { body, .. } => callees(body, out),
-                    Stmt::IfElse { then_branch, else_branch, .. } => {
+                    Stmt::IfElse {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
                         callees(then_branch, out);
                         callees(else_branch, out);
                     }
@@ -264,7 +283,9 @@ impl ProgramBuilder {
             for callee in next {
                 match colors[callee] {
                     Color::Gray => {
-                        return Err(BuildError::RecursiveCall { on_cycle: ProcId(callee) })
+                        return Err(BuildError::RecursiveCall {
+                            on_cycle: ProcId(callee),
+                        })
                     }
                     Color::White => visit(procs, colors, callee)?,
                     Color::Black => {}
@@ -313,21 +334,30 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(ProgramBuilder::new(0).build(ProcId(0)), Err(BuildError::Empty));
+        assert_eq!(
+            ProgramBuilder::new(0).build(ProcId(0)),
+            Err(BuildError::Empty)
+        );
     }
 
     #[test]
     fn rejects_unknown_callee() {
         let mut b = ProgramBuilder::new(0);
         let p = b.add_procedure(vec![Stmt::call(ProcId(9))]);
-        assert_eq!(b.build(p), Err(BuildError::UnknownProc { callee: ProcId(9) }));
+        assert_eq!(
+            b.build(p),
+            Err(BuildError::UnknownProc { callee: ProcId(9) })
+        );
     }
 
     #[test]
     fn rejects_unknown_entry() {
         let mut b = ProgramBuilder::new(0);
         b.add_procedure(vec![Stmt::straight(1)]);
-        assert!(matches!(b.build(ProcId(7)), Err(BuildError::UnknownProc { .. })));
+        assert!(matches!(
+            b.build(ProcId(7)),
+            Err(BuildError::UnknownProc { .. })
+        ));
     }
 
     #[test]
@@ -335,7 +365,12 @@ mod tests {
         let mut b = ProgramBuilder::new(0);
         // Self-call: id equals the procedure's own (next) index.
         let p = b.add_procedure(vec![Stmt::call(ProcId(0))]);
-        assert_eq!(b.build(p), Err(BuildError::RecursiveCall { on_cycle: ProcId(0) }));
+        assert_eq!(
+            b.build(p),
+            Err(BuildError::RecursiveCall {
+                on_cycle: ProcId(0)
+            })
+        );
     }
 
     #[test]
@@ -379,6 +414,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(BuildError::Empty.to_string().contains("no procedures"));
-        assert!(BuildError::UnknownProc { callee: ProcId(2) }.to_string().contains("proc#2"));
+        assert!(BuildError::UnknownProc { callee: ProcId(2) }
+            .to_string()
+            .contains("proc#2"));
     }
 }

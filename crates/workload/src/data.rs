@@ -99,7 +99,11 @@ impl DataSpace {
         let chase_params = patterns
             .iter()
             .map(|p| match p {
-                DataPattern::Chase { perm_seed, len_words, .. } => {
+                DataPattern::Chase {
+                    perm_seed,
+                    len_words,
+                    ..
+                } => {
                     assert!(*len_words > 0, "data pattern region must be nonempty");
                     let mut mix = SplitMix64::new(*perm_seed);
                     // Odd multiplier for a full-period-ish affine walk.
@@ -108,12 +112,19 @@ impl DataSpace {
                     Some((a, c))
                 }
                 other => {
-                    assert!(other.len_words() > 0, "data pattern region must be nonempty");
+                    assert!(
+                        other.len_words() > 0,
+                        "data pattern region must be nonempty"
+                    );
                     None
                 }
             })
             .collect();
-        DataSpace { cursors: vec![0; patterns.len()], chase_params, rng: SplitMix64::new(seed) }
+        DataSpace {
+            cursors: vec![0; patterns.len()],
+            chase_params,
+            rng: SplitMix64::new(seed),
+        }
     }
 
     /// Next byte address from pattern `index` of `patterns`.
@@ -151,8 +162,11 @@ mod tests {
 
     #[test]
     fn stride_walks_and_wraps() {
-        let patterns =
-            vec![DataPattern::Stride { base: 0x1000, len_words: 4, stride_words: 1 }];
+        let patterns = vec![DataPattern::Stride {
+            base: 0x1000,
+            len_words: 4,
+            stride_words: 1,
+        }];
         let mut space = DataSpace::new(&patterns, 0);
         let addrs: Vec<u32> = (0..6).map(|_| space.next_addr(&patterns, 0)).collect();
         assert_eq!(addrs, vec![0x1000, 0x1004, 0x1008, 0x100c, 0x1000, 0x1004]);
@@ -160,8 +174,11 @@ mod tests {
 
     #[test]
     fn strided_columns() {
-        let patterns =
-            vec![DataPattern::Stride { base: 0, len_words: 100, stride_words: 10 }];
+        let patterns = vec![DataPattern::Stride {
+            base: 0,
+            len_words: 100,
+            stride_words: 10,
+        }];
         let mut space = DataSpace::new(&patterns, 0);
         let addrs: Vec<u32> = (0..11).map(|_| space.next_addr(&patterns, 0)).collect();
         assert_eq!(addrs[0], 0);
@@ -171,7 +188,10 @@ mod tests {
 
     #[test]
     fn random_stays_in_region() {
-        let patterns = vec![DataPattern::RandomIn { base: 0x2000, len_words: 16 }];
+        let patterns = vec![DataPattern::RandomIn {
+            base: 0x2000,
+            len_words: 16,
+        }];
         let mut space = DataSpace::new(&patterns, 7);
         for _ in 0..500 {
             let a = space.next_addr(&patterns, 0);
@@ -182,7 +202,10 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_per_seed() {
-        let patterns = vec![DataPattern::RandomIn { base: 0, len_words: 64 }];
+        let patterns = vec![DataPattern::RandomIn {
+            base: 0,
+            len_words: 64,
+        }];
         let mut a = DataSpace::new(&patterns, 9);
         let mut b = DataSpace::new(&patterns, 9);
         for _ in 0..100 {
@@ -192,20 +215,36 @@ mod tests {
 
     #[test]
     fn chase_visits_many_distinct_words() {
-        let patterns = vec![DataPattern::Chase { base: 0, len_words: 64, perm_seed: 3 }];
+        let patterns = vec![DataPattern::Chase {
+            base: 0,
+            len_words: 64,
+            perm_seed: 3,
+        }];
         let mut space = DataSpace::new(&patterns, 0);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..64 {
             seen.insert(space.next_addr(&patterns, 0));
         }
-        assert!(seen.len() > 8, "chase should wander, visited {}", seen.len());
+        assert!(
+            seen.len() > 8,
+            "chase should wander, visited {}",
+            seen.len()
+        );
     }
 
     #[test]
     fn independent_cursors_per_pattern() {
         let patterns = vec![
-            DataPattern::Stride { base: 0, len_words: 8, stride_words: 1 },
-            DataPattern::Stride { base: 0x100, len_words: 8, stride_words: 1 },
+            DataPattern::Stride {
+                base: 0,
+                len_words: 8,
+                stride_words: 1,
+            },
+            DataPattern::Stride {
+                base: 0x100,
+                len_words: 8,
+                stride_words: 1,
+            },
         ];
         let mut space = DataSpace::new(&patterns, 0);
         assert_eq!(space.next_addr(&patterns, 0), 0);
@@ -216,12 +255,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "nonempty")]
     fn empty_region_rejected() {
-        DataSpace::new(&[DataPattern::Hot { base: 0, len_words: 0 }], 0);
+        DataSpace::new(
+            &[DataPattern::Hot {
+                base: 0,
+                len_words: 0,
+            }],
+            0,
+        );
     }
 
     #[test]
     fn size_bytes() {
-        let p = DataPattern::Hot { base: 0, len_words: 32 };
+        let p = DataPattern::Hot {
+            base: 0,
+            len_words: 32,
+        };
         assert_eq!(p.size_bytes(), 128);
     }
 }

@@ -77,7 +77,10 @@ impl<'p> Executor<'p> {
     }
 
     fn exec_proc<F: FnMut(Access)>(&mut self, id: ProcId, depth: u32, sink: &mut F) -> bool {
-        assert!(depth < 64, "call depth exceeded (builder guarantees an acyclic call graph)");
+        assert!(
+            depth < 64,
+            "call depth exceeded (builder guarantees an acyclic call graph)"
+        );
         let (base, len_words, frame_words, body) = {
             let p = self.program.procedure(id);
             (p.base_addr, p.len_words, p.frame_words, &p.body)
@@ -94,7 +97,7 @@ impl<'p> Executor<'p> {
         }
         let alive = self.exec_body(body, base, depth, sink)
             && self.emit(Access::fetch(base + (len_words - 1) * 4), sink); // return instr
-        // Epilogue: pop the frame (restore registers).
+                                                                           // Epilogue: pop the frame (restore registers).
         let alive = alive && {
             let mut ok = true;
             for w in 0..touched {
@@ -161,7 +164,11 @@ impl<'p> Executor<'p> {
                         return false;
                     }
                 }
-                Stmt::IfElse { prob_then, then_branch, else_branch } => {
+                Stmt::IfElse {
+                    prob_then,
+                    then_branch,
+                    else_branch,
+                } => {
                     let branch_word = pc;
                     let then_base = pc + 4;
                     let else_base = then_base + body_len_words(then_branch) * 4;
@@ -182,7 +189,11 @@ impl<'p> Executor<'p> {
                         return false;
                     }
                 }
-                Stmt::Data { pattern, count, write_fraction } => {
+                Stmt::Data {
+                    pattern,
+                    count,
+                    write_fraction,
+                } => {
                     for w in 0..*count {
                         if !self.emit(Access::fetch(pc + w * 4), sink) {
                             return false;
@@ -258,7 +269,13 @@ mod tests {
         // call word, leaf body, leaf ret, continue, main ret.
         assert_eq!(
             addrs,
-            vec![main_base, leaf_base, leaf_base + 4, main_base + 4, main_base + 8]
+            vec![
+                main_base,
+                leaf_base,
+                leaf_base + 4,
+                main_base + 4,
+                main_base + 8
+            ]
         );
     }
 
@@ -269,8 +286,14 @@ mod tests {
         let main = b.add_procedure(vec![Stmt::call(leaf)]);
         let prog = b.build(main).unwrap();
         let refs = collect(&prog, 8);
-        let writes = refs.iter().filter(|a| a.kind() == dynex_trace::AccessKind::Write).count();
-        let reads = refs.iter().filter(|a| a.kind() == dynex_trace::AccessKind::Read).count();
+        let writes = refs
+            .iter()
+            .filter(|a| a.kind() == dynex_trace::AccessKind::Write)
+            .count();
+        let reads = refs
+            .iter()
+            .filter(|a| a.kind() == dynex_trace::AccessKind::Read)
+            .count();
         assert_eq!(writes, 2, "frame push");
         assert_eq!(reads, 2, "frame pop");
         // Stack addresses live in the stack segment.
@@ -283,7 +306,11 @@ mod tests {
     #[test]
     fn data_statements_interleave_fetch_and_data() {
         let mut b = ProgramBuilder::new(0);
-        let arr = b.add_pattern(DataPattern::Stride { base: 0x1000_0000, len_words: 8, stride_words: 1 });
+        let arr = b.add_pattern(DataPattern::Stride {
+            base: 0x1000_0000,
+            len_words: 8,
+            stride_words: 1,
+        });
         let p = b.add_procedure(vec![Stmt::reads(arr, 3)]);
         let prog = b.build(p).unwrap();
         let refs = collect(&prog, 6);
@@ -307,16 +334,23 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let mut b = ProgramBuilder::new(0xfeed);
-        let arr = b.add_pattern(DataPattern::RandomIn { base: 0x2000_0000, len_words: 256 });
+        let arr = b.add_pattern(DataPattern::RandomIn {
+            base: 0x2000_0000,
+            len_words: 256,
+        });
         let leaf = b.add_procedure(vec![Stmt::reads(arr, 2)]);
-        let p = b.add_procedure(vec![Stmt::loop_range(2, 9, vec![
-            Stmt::call(leaf),
-            Stmt::IfElse {
-                prob_then: 0.3,
-                then_branch: vec![Stmt::straight(2)],
-                else_branch: vec![Stmt::straight(5)],
-            },
-        ])]);
+        let p = b.add_procedure(vec![Stmt::loop_range(
+            2,
+            9,
+            vec![
+                Stmt::call(leaf),
+                Stmt::IfElse {
+                    prob_then: 0.3,
+                    then_branch: vec![Stmt::straight(2)],
+                    else_branch: vec![Stmt::straight(5)],
+                },
+            ],
+        )]);
         let prog = b.build(p).unwrap();
         assert_eq!(prog.trace(5_000), prog.trace(5_000));
     }
@@ -326,7 +360,10 @@ mod tests {
         let mut b = ProgramBuilder::new(0);
         b.max_padding(0);
         let p = b.add_procedure(vec![
-            Stmt::Loop { trips: crate::Trips::Fixed(0), body: vec![Stmt::straight(1)] },
+            Stmt::Loop {
+                trips: crate::Trips::Fixed(0),
+                body: vec![Stmt::straight(1)],
+            },
             Stmt::straight(1),
         ]);
         let prog = b.build(p).unwrap();

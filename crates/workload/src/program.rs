@@ -89,12 +89,18 @@ impl Stmt {
 
     /// A fixed-trip loop.
     pub fn loop_n(trips: u32, body: Vec<Stmt>) -> Stmt {
-        Stmt::Loop { trips: Trips::Fixed(trips), body }
+        Stmt::Loop {
+            trips: Trips::Fixed(trips),
+            body,
+        }
     }
 
     /// A variable-trip loop.
     pub fn loop_range(lo: u32, hi: u32, body: Vec<Stmt>) -> Stmt {
-        Stmt::Loop { trips: Trips::Uniform(lo, hi), body }
+        Stmt::Loop {
+            trips: Trips::Uniform(lo, hi),
+            body,
+        }
     }
 
     /// A call statement.
@@ -104,12 +110,20 @@ impl Stmt {
 
     /// `count` reads from data pattern `pattern`.
     pub fn reads(pattern: usize, count: u32) -> Stmt {
-        Stmt::Data { pattern, count, write_fraction: 0.0 }
+        Stmt::Data {
+            pattern,
+            count,
+            write_fraction: 0.0,
+        }
     }
 
     /// `count` mixed reads/writes from data pattern `pattern`.
     pub fn data(pattern: usize, count: u32, write_fraction: f64) -> Stmt {
-        Stmt::Data { pattern, count, write_fraction }
+        Stmt::Data {
+            pattern,
+            count,
+            write_fraction,
+        }
     }
 
     /// Instruction words this statement occupies (not counting callees).
@@ -119,7 +133,11 @@ impl Stmt {
             // One header word (re-fetched each iteration) + body + back-edge.
             Stmt::Loop { body, .. } => 2 + body_len_words(body),
             Stmt::Call(_) => 1,
-            Stmt::IfElse { then_branch, else_branch, .. } => {
+            Stmt::IfElse {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 // Branch word + both arms laid out sequentially + join word.
                 2 + body_len_words(then_branch) + body_len_words(else_branch)
             }
@@ -240,7 +258,11 @@ mod tests {
             assert!((3..=6).contains(&t));
         }
         assert_eq!(Trips::Uniform(5, 5).draw(&mut rng), 5);
-        assert_eq!(Trips::Uniform(7, 2).draw(&mut rng), 7, "degenerate range clamps to lo");
+        assert_eq!(
+            Trips::Uniform(7, 2).draw(&mut rng),
+            7,
+            "degenerate range clamps to lo"
+        );
     }
 
     #[test]

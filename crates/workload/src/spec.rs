@@ -70,7 +70,10 @@ pub const NAMES: [&str; 10] = [
 
 /// Builds every profile.
 pub fn all() -> Vec<Profile> {
-    NAMES.iter().map(|n| profile(n).expect("NAMES are all buildable")).collect()
+    NAMES
+        .iter()
+        .map(|n| profile(n).expect("NAMES are all buildable"))
+        .collect()
 }
 
 /// Builds one profile by name.
@@ -88,7 +91,11 @@ pub fn profile(name: &str) -> Option<Profile> {
         "tomcatv" => ("vectorized mesh generation", tomcatv()),
         _ => return None,
     };
-    Some(Profile { name: NAMES.iter().find(|&&n| n == name)?, description, program })
+    Some(Profile {
+        name: NAMES.iter().find(|&&n| n == name)?,
+        description,
+        program,
+    })
 }
 
 /// `gcc`: many compilation passes over a very large text segment; each pass
@@ -105,8 +112,15 @@ fn gcc() -> Program {
     p.rare_call_prob = 0.06;
     p.frame_words = 3;
     p.data_patterns = vec![
-        DataPattern::Chase { base: DATA_BASE, len_words: 2_500, perm_seed: 11 },
-        DataPattern::Hot { base: DATA_BASE + 0x100000, len_words: 512 },
+        DataPattern::Chase {
+            base: DATA_BASE,
+            len_words: 2_500,
+            perm_seed: 11,
+        },
+        DataPattern::Hot {
+            base: DATA_BASE + 0x100000,
+            len_words: 512,
+        },
     ];
     p.body_data = vec![(0, 1, 0.25), (1, 2, 0.4)];
     p.build()
@@ -126,8 +140,15 @@ fn spice() -> Program {
     p.rare_call_prob = 0.06;
     p.frame_words = 4;
     p.data_patterns = vec![
-        DataPattern::Chase { base: DATA_BASE, len_words: 3_000, perm_seed: 17 },
-        DataPattern::RandomIn { base: DATA_BASE + 0x100000, len_words: 14_000 },
+        DataPattern::Chase {
+            base: DATA_BASE,
+            len_words: 3_000,
+            perm_seed: 17,
+        },
+        DataPattern::RandomIn {
+            base: DATA_BASE + 0x100000,
+            len_words: 14_000,
+        },
     ];
     p.body_data = vec![(0, 2, 0.4), (1, 1, 0.2)];
     p.build()
@@ -147,8 +168,14 @@ fn doduc() -> Program {
     p.rare_call_prob = 0.05;
     p.frame_words = 4;
     p.data_patterns = vec![
-        DataPattern::RandomIn { base: DATA_BASE, len_words: 4_000 },
-        DataPattern::Hot { base: DATA_BASE + 0x40000, len_words: 512 },
+        DataPattern::RandomIn {
+            base: DATA_BASE,
+            len_words: 4_000,
+        },
+        DataPattern::Hot {
+            base: DATA_BASE + 0x40000,
+            len_words: 512,
+        },
     ];
     p.body_data = vec![(0, 1, 0.2), (1, 2, 0.45)];
     p.build()
@@ -168,8 +195,16 @@ fn espresso() -> Program {
     p.rare_call_prob = 0.05;
     p.frame_words = 2;
     p.data_patterns = vec![
-        DataPattern::Chase { base: DATA_BASE, len_words: 2_000, perm_seed: 5 },
-        DataPattern::Stride { base: DATA_BASE + 0x80000, len_words: 10_000, stride_words: 3 },
+        DataPattern::Chase {
+            base: DATA_BASE,
+            len_words: 2_000,
+            perm_seed: 5,
+        },
+        DataPattern::Stride {
+            base: DATA_BASE + 0x80000,
+            len_words: 10_000,
+            stride_words: 3,
+        },
     ];
     p.body_data = vec![(0, 1, 0.3), (1, 1, 0.1)];
     p.build()
@@ -189,8 +224,15 @@ fn li() -> Program {
     p.rare_call_prob = 0.05;
     p.frame_words = 3;
     p.data_patterns = vec![
-        DataPattern::Chase { base: DATA_BASE, len_words: 3_000, perm_seed: 13 },
-        DataPattern::Hot { base: DATA_BASE + 0x100000, len_words: 256 },
+        DataPattern::Chase {
+            base: DATA_BASE,
+            len_words: 3_000,
+            perm_seed: 13,
+        },
+        DataPattern::Hot {
+            base: DATA_BASE + 0x100000,
+            len_words: 256,
+        },
     ];
     p.body_data = vec![(0, 2, 0.35), (1, 1, 0.3)];
     p.build()
@@ -210,8 +252,15 @@ fn eqntott() -> Program {
     p.rare_call_prob = 0.05;
     p.frame_words = 2;
     p.data_patterns = vec![
-        DataPattern::Stride { base: DATA_BASE, len_words: 12_000, stride_words: 1 },
-        DataPattern::RandomIn { base: DATA_BASE + 0x100000, len_words: 4_000 },
+        DataPattern::Stride {
+            base: DATA_BASE,
+            len_words: 12_000,
+            stride_words: 1,
+        },
+        DataPattern::RandomIn {
+            base: DATA_BASE + 0x100000,
+            len_words: 4_000,
+        },
     ];
     p.body_data = vec![(0, 2, 0.1), (1, 1, 0.4)];
     p.build()
@@ -223,10 +272,15 @@ fn eqntott() -> Program {
 /// within-loop pattern at whole-program scale.
 fn fpppp() -> Program {
     let mut b = ProgramBuilder::new(0xf999);
-    let integrals =
-        b.add_pattern(DataPattern::Stride { base: DATA_BASE, len_words: 20_000, stride_words: 2 });
-    let scratch =
-        b.add_pattern(DataPattern::Hot { base: DATA_BASE + 20_000 * 4 + 0x1a4, len_words: 1024 });
+    let integrals = b.add_pattern(DataPattern::Stride {
+        base: DATA_BASE,
+        len_words: 20_000,
+        stride_words: 2,
+    });
+    let scratch = b.add_pattern(DataPattern::Hot {
+        base: DATA_BASE + 20_000 * 4 + 0x1a4,
+        len_words: 1024,
+    });
     let giant1 = b.add_procedure(vec![
         Stmt::straight(1800),
         Stmt::data(scratch, 40, 0.45),
@@ -246,13 +300,16 @@ fn fpppp() -> Program {
         Stmt::straight(900),
     ]);
     let small = b.add_procedure(vec![Stmt::straight(80), Stmt::data(scratch, 10, 0.3)]);
-    let main = b.add_procedure(vec![Stmt::loop_n(1_000_000, vec![
-        Stmt::straight(40),
-        Stmt::call(giant1),
-        Stmt::call(small),
-        Stmt::call(giant2),
-        Stmt::loop_n(2, vec![Stmt::call(giant3), Stmt::call(small)]),
-    ])]);
+    let main = b.add_procedure(vec![Stmt::loop_n(
+        1_000_000,
+        vec![
+            Stmt::straight(40),
+            Stmt::call(giant1),
+            Stmt::call(small),
+            Stmt::call(giant2),
+            Stmt::loop_n(2, vec![Stmt::call(giant3), Stmt::call(small)]),
+        ],
+    )]);
     b.build(main).expect("fpppp profile is valid")
 }
 
@@ -262,14 +319,20 @@ fn fpppp() -> Program {
 fn mat300() -> Program {
     let mut b = ProgramBuilder::new(0x300);
     let n = 320u32;
-    let a_row =
-        b.add_pattern(DataPattern::Stride { base: DATA_BASE, len_words: n * n, stride_words: 1 });
+    let a_row = b.add_pattern(DataPattern::Stride {
+        base: DATA_BASE,
+        len_words: n * n,
+        stride_words: 1,
+    });
     let b_col = b.add_pattern(DataPattern::Stride {
         base: DATA_BASE + 4 * n * n,
         len_words: n * n,
         stride_words: n,
     });
-    let c_cell = b.add_pattern(DataPattern::Hot { base: DATA_BASE + 8 * n * n, len_words: 64 });
+    let c_cell = b.add_pattern(DataPattern::Hot {
+        base: DATA_BASE + 8 * n * n,
+        len_words: 64,
+    });
     let inner = vec![
         Stmt::straight(4),
         Stmt::reads(a_row, 1),
@@ -277,10 +340,13 @@ fn mat300() -> Program {
         Stmt::data(c_cell, 1, 0.5),
         Stmt::straight(3),
     ];
-    let main = b.add_procedure(vec![Stmt::loop_n(1_000_000, vec![
-        Stmt::straight(6),
-        Stmt::loop_n(30, vec![Stmt::straight(3), Stmt::loop_n(30, inner.clone())]),
-    ])]);
+    let main = b.add_procedure(vec![Stmt::loop_n(
+        1_000_000,
+        vec![
+            Stmt::straight(6),
+            Stmt::loop_n(30, vec![Stmt::straight(3), Stmt::loop_n(30, inner.clone())]),
+        ],
+    )]);
     b.build(main).expect("mat300 profile is valid")
 }
 
@@ -297,9 +363,16 @@ fn nasa7() -> Program {
             len_words: 16_000,
             stride_words: [1, 7, 1, 16, 1, 64, 2][k as usize],
         });
-        let inner = vec![Stmt::straight(5 + k % 3), Stmt::data(array, 2, 0.35), Stmt::straight(3)];
+        let inner = vec![
+            Stmt::straight(5 + k % 3),
+            Stmt::data(array, 2, 0.35),
+            Stmt::straight(3),
+        ];
         kernels.push(b.add_procedure_with_frame(
-            vec![Stmt::loop_n(10, vec![Stmt::straight(4), Stmt::loop_n(25, inner)])],
+            vec![Stmt::loop_n(
+                10,
+                vec![Stmt::straight(4), Stmt::loop_n(25, inner)],
+            )],
             2,
         ));
     }
@@ -314,36 +387,54 @@ fn nasa7() -> Program {
 fn tomcatv() -> Program {
     let mut b = ProgramBuilder::new(0x70ca);
     let n = 300u32;
-    let mesh_x =
-        b.add_pattern(DataPattern::Stride { base: DATA_BASE, len_words: n * n, stride_words: 1 });
+    let mesh_x = b.add_pattern(DataPattern::Stride {
+        base: DATA_BASE,
+        len_words: n * n,
+        stride_words: 1,
+    });
     let mesh_y = b.add_pattern(DataPattern::Stride {
         base: DATA_BASE + 4 * n * n,
         len_words: n * n,
         stride_words: n,
     });
-    let residual = b.add_pattern(DataPattern::Hot { base: DATA_BASE + 8 * n * n, len_words: 128 });
-    let sweep1 = b.add_procedure(vec![Stmt::loop_n(40, vec![
-        Stmt::straight(6),
-        Stmt::reads(mesh_x, 3),
-        Stmt::reads(mesh_y, 2),
-        Stmt::data(residual, 1, 0.5),
-    ])]);
-    let sweep2 = b.add_procedure(vec![Stmt::loop_n(40, vec![
-        Stmt::straight(8),
-        Stmt::reads(mesh_y, 3),
-        Stmt::data(mesh_x, 2, 0.6),
-    ])]);
-    let relax = b.add_procedure(vec![Stmt::loop_n(20, vec![
-        Stmt::straight(5),
-        Stmt::data(residual, 2, 0.5),
-        Stmt::reads(mesh_x, 1),
-    ])]);
-    let main = b.add_procedure(vec![Stmt::loop_n(1_000_000, vec![
-        Stmt::straight(10),
-        Stmt::call(sweep1),
-        Stmt::call(sweep2),
-        Stmt::call(relax),
-    ])]);
+    let residual = b.add_pattern(DataPattern::Hot {
+        base: DATA_BASE + 8 * n * n,
+        len_words: 128,
+    });
+    let sweep1 = b.add_procedure(vec![Stmt::loop_n(
+        40,
+        vec![
+            Stmt::straight(6),
+            Stmt::reads(mesh_x, 3),
+            Stmt::reads(mesh_y, 2),
+            Stmt::data(residual, 1, 0.5),
+        ],
+    )]);
+    let sweep2 = b.add_procedure(vec![Stmt::loop_n(
+        40,
+        vec![
+            Stmt::straight(8),
+            Stmt::reads(mesh_y, 3),
+            Stmt::data(mesh_x, 2, 0.6),
+        ],
+    )]);
+    let relax = b.add_procedure(vec![Stmt::loop_n(
+        20,
+        vec![
+            Stmt::straight(5),
+            Stmt::data(residual, 2, 0.5),
+            Stmt::reads(mesh_x, 1),
+        ],
+    )]);
+    let main = b.add_procedure(vec![Stmt::loop_n(
+        1_000_000,
+        vec![
+            Stmt::straight(10),
+            Stmt::call(sweep1),
+            Stmt::call(sweep2),
+            Stmt::call(relax),
+        ],
+    )]);
     b.build(main).expect("tomcatv profile is valid")
 }
 
@@ -380,9 +471,17 @@ mod tests {
         assert!(code_kb("gcc") > 100, "gcc code {}KB", code_kb("gcc"));
         assert!(code_kb("spice") > 60, "spice code {}KB", code_kb("spice"));
         assert!(code_kb("mat300") < 4, "mat300 code {}KB", code_kb("mat300"));
-        assert!(code_kb("tomcatv") < 8, "tomcatv code {}KB", code_kb("tomcatv"));
+        assert!(
+            code_kb("tomcatv") < 8,
+            "tomcatv code {}KB",
+            code_kb("tomcatv")
+        );
         assert!(code_kb("fpppp") > 30, "fpppp code {}KB", code_kb("fpppp"));
-        assert!(code_kb("eqntott") < 16, "eqntott code {}KB", code_kb("eqntott"));
+        assert!(
+            code_kb("eqntott") < 16,
+            "eqntott code {}KB",
+            code_kb("eqntott")
+        );
     }
 
     #[test]

@@ -2,37 +2,50 @@
 //! streams for arbitrary (valid) parameter settings, not just the ten
 //! calibrated profiles.
 
+// Gated: requires the `proptest` feature (and the proptest dev-dependency,
+// unavailable in hermetic builds) to compile.
+#![cfg(feature = "proptest")]
+
 use dynex_trace::TraceStats;
 use dynex_workload::{AppParams, DataPattern, ProgramBuilder, Stmt};
 use proptest::prelude::*;
 
 fn arb_app() -> impl Strategy<Value = AppParams> {
     (
-        any::<u64>(),           // seed
-        1usize..6,              // phases
-        1u32..20,               // body lo
-        1usize..3,              // hot helpers
-        0usize..6,              // rare helpers
-        0.0f64..0.3,            // rare prob
-        0u32..5,                // frame words
-        prop::bool::ANY,        // shuffle
+        any::<u64>(),    // seed
+        1usize..6,       // phases
+        1u32..20,        // body lo
+        1usize..3,       // hot helpers
+        0usize..6,       // rare helpers
+        0.0f64..0.3,     // rare prob
+        0u32..5,         // frame words
+        prop::bool::ANY, // shuffle
     )
-        .prop_map(|(seed, phases, body_lo, hot, rare, rare_prob, frame, shuffle)| {
-            let mut p = AppParams::new(seed);
-            p.phases = phases;
-            p.body_words = (body_lo, body_lo + 10);
-            p.hot_helpers_per_phase = hot;
-            p.rare_helpers_per_phase = rare;
-            p.rare_call_prob = rare_prob;
-            p.frame_words = frame;
-            p.shuffle_layout = shuffle;
-            p.data_patterns = vec![
-                DataPattern::Stride { base: 0, len_words: 1000, stride_words: 3 },
-                DataPattern::Hot { base: 0, len_words: 64 },
-            ];
-            p.body_data = vec![(0, 1, 0.3), (1, 1, 0.5)];
-            p
-        })
+        .prop_map(
+            |(seed, phases, body_lo, hot, rare, rare_prob, frame, shuffle)| {
+                let mut p = AppParams::new(seed);
+                p.phases = phases;
+                p.body_words = (body_lo, body_lo + 10);
+                p.hot_helpers_per_phase = hot;
+                p.rare_helpers_per_phase = rare;
+                p.rare_call_prob = rare_prob;
+                p.frame_words = frame;
+                p.shuffle_layout = shuffle;
+                p.data_patterns = vec![
+                    DataPattern::Stride {
+                        base: 0,
+                        len_words: 1000,
+                        stride_words: 3,
+                    },
+                    DataPattern::Hot {
+                        base: 0,
+                        len_words: 64,
+                    },
+                ];
+                p.body_data = vec![(0, 1, 0.3), (1, 1, 0.5)];
+                p
+            },
+        )
 }
 
 proptest! {
@@ -111,17 +124,24 @@ const GOLDEN_HASH: u64 = 0x93c9_5d39_0132_0e7c;
 #[test]
 fn golden_trace_is_stable() {
     let mut b = ProgramBuilder::new(0xfeed_beef);
-    let arr = b.add_pattern(DataPattern::Stride { base: 0x1000_0000, len_words: 97, stride_words: 5 });
+    let arr = b.add_pattern(DataPattern::Stride {
+        base: 0x1000_0000,
+        len_words: 97,
+        stride_words: 5,
+    });
     let leaf = b.add_procedure_with_frame(vec![Stmt::straight(7), Stmt::reads(arr, 2)], 2);
-    let main = b.add_procedure(vec![Stmt::loop_n(50, vec![
-        Stmt::straight(3),
-        Stmt::call(leaf),
-        Stmt::IfElse {
-            prob_then: 0.4,
-            then_branch: vec![Stmt::straight(2)],
-            else_branch: vec![Stmt::straight(5)],
-        },
-    ])]);
+    let main = b.add_procedure(vec![Stmt::loop_n(
+        50,
+        vec![
+            Stmt::straight(3),
+            Stmt::call(leaf),
+            Stmt::IfElse {
+                prob_then: 0.4,
+                then_branch: vec![Stmt::straight(2)],
+                else_branch: vec![Stmt::straight(5)],
+            },
+        ],
+    )]);
     let program = b.build(main).unwrap();
     let trace = program.trace(2_000);
 

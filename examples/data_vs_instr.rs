@@ -38,7 +38,9 @@ fn main() {
         println!("\n=== {name} ===");
         let profile = spec::profile(name).expect("built-in profile");
         let trace = profile.trace(refs);
-        let instr: Vec<u32> = filter::instructions(trace.iter()).map(|a| a.addr()).collect();
+        let instr: Vec<u32> = filter::instructions(trace.iter())
+            .map(|a| a.addr())
+            .collect();
         let data: Vec<u32> = filter::data(trace.iter()).map(|a| a.addr()).collect();
         let all: Vec<u32> = trace.iter().map(|a| a.addr()).collect();
 

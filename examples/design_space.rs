@@ -13,8 +13,7 @@
 
 use dynex::{HashedStore, LastLineDeCache, OptimalDirectMapped};
 use dynex_cache::{
-    run_addrs, CacheConfig, DirectMapped, Replacement, SetAssociative, StreamBuffer,
-    VictimCache,
+    run_addrs, CacheConfig, DirectMapped, Replacement, SetAssociative, StreamBuffer, VictimCache,
 };
 use dynex_trace::filter;
 use dynex_workload::spec;
@@ -31,7 +30,9 @@ fn main() {
         .iter()
         .map(|n| {
             let p = spec::profile(n).expect("built-in profile");
-            filter::instructions(p.trace(refs).iter()).map(|a| a.addr()).collect()
+            filter::instructions(p.trace(refs).iter())
+                .map(|a| a.addr())
+                .collect()
         })
         .collect();
 
@@ -44,34 +45,55 @@ fn main() {
     };
 
     let rows: Vec<(&str, f64)> = vec![
-        ("8KB direct-mapped (baseline)", avg(&mut |t| {
-            let mut c = DirectMapped::new(base);
-            run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
-        })),
-        ("8KB + dynamic exclusion (4 hashed bits)", avg(&mut |t| {
-            let mut c = LastLineDeCache::with_store(base, HashedStore::new(base, 4));
-            run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
-        })),
-        ("8KB + 4-entry victim cache", avg(&mut |t| {
-            let mut c = VictimCache::new(base, 4);
-            run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
-        })),
-        ("8KB + 4-deep stream buffer", avg(&mut |t| {
-            let mut c = StreamBuffer::new(base, 4);
-            run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
-        })),
-        ("16KB direct-mapped (double the RAM)", avg(&mut |t| {
-            let mut c = DirectMapped::new(double);
-            run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
-        })),
-        ("8KB 2-way LRU (slower access path)", avg(&mut |t| {
-            let mut c = SetAssociative::new(two_way, Replacement::Lru);
-            run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
-        })),
-        ("8KB optimal DM w/ bypass (bound)", avg(&mut |t| {
-            OptimalDirectMapped::simulate_with_lastline(base, t.iter().copied())
-                .miss_rate_percent()
-        })),
+        (
+            "8KB direct-mapped (baseline)",
+            avg(&mut |t| {
+                let mut c = DirectMapped::new(base);
+                run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
+            }),
+        ),
+        (
+            "8KB + dynamic exclusion (4 hashed bits)",
+            avg(&mut |t| {
+                let mut c = LastLineDeCache::with_store(base, HashedStore::new(base, 4));
+                run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
+            }),
+        ),
+        (
+            "8KB + 4-entry victim cache",
+            avg(&mut |t| {
+                let mut c = VictimCache::new(base, 4);
+                run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
+            }),
+        ),
+        (
+            "8KB + 4-deep stream buffer",
+            avg(&mut |t| {
+                let mut c = StreamBuffer::new(base, 4);
+                run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
+            }),
+        ),
+        (
+            "16KB direct-mapped (double the RAM)",
+            avg(&mut |t| {
+                let mut c = DirectMapped::new(double);
+                run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
+            }),
+        ),
+        (
+            "8KB 2-way LRU (slower access path)",
+            avg(&mut |t| {
+                let mut c = SetAssociative::new(two_way, Replacement::Lru);
+                run_addrs(&mut c, t.iter().copied()).miss_rate_percent()
+            }),
+        ),
+        (
+            "8KB optimal DM w/ bypass (bound)",
+            avg(&mut |t| {
+                OptimalDirectMapped::simulate_with_lastline(base, t.iter().copied())
+                    .miss_rate_percent()
+            }),
+        ),
     ];
 
     let baseline = rows[0].1;
@@ -81,7 +103,11 @@ fn main() {
             "{:<42} {:>9.3}% {:>+11.1}%",
             name,
             rate,
-            if baseline > 0.0 { (baseline - rate) / baseline * 100.0 } else { 0.0 }
+            if baseline > 0.0 {
+                (baseline - rate) / baseline * 100.0
+            } else {
+                0.0
+            }
         );
     }
     println!(

@@ -22,7 +22,9 @@ fn main() {
     println!("generating a {refs}-reference synthetic `spice` instruction stream...");
     let profile = spec::profile("spice").expect("spice is a built-in profile");
     let trace = profile.trace(refs);
-    let addrs: Vec<u32> = filter::instructions(trace.iter()).map(|a| a.addr()).collect();
+    let addrs: Vec<u32> = filter::instructions(trace.iter())
+        .map(|a| a.addr())
+        .collect();
 
     let l1 = CacheConfig::direct_mapped(32 * 1024, 4).expect("valid config");
     let strategies = [

@@ -10,9 +10,7 @@
 //! ```
 
 use dynex::{DeCache, OptimalDirectMapped};
-use dynex_cache::{
-    classify_direct_mapped, run_addrs, CacheConfig, WriteMode, WritebackCache,
-};
+use dynex_cache::{classify_direct_mapped, run_addrs, CacheConfig, WriteMode, WritebackCache};
 use dynex_trace::filter;
 use dynex_workload::spec;
 
@@ -31,14 +29,14 @@ fn main() {
     );
     for name in ["doduc", "espresso", "fpppp", "gcc", "spice"] {
         let profile = spec::profile(name).expect("built-in profile");
-        let addrs: Vec<u32> =
-            filter::instructions(profile.trace(refs).iter()).map(|a| a.addr()).collect();
+        let addrs: Vec<u32> = filter::instructions(profile.trace(refs).iter())
+            .map(|a| a.addr())
+            .collect();
         let classes = classify_direct_mapped(config, addrs.iter().copied());
         let total = classes.total_misses().max(1) as f64;
         let mut de = DeCache::new(config);
         let de_misses = run_addrs(&mut de, addrs.iter().copied()).misses();
-        let opt_misses =
-            OptimalDirectMapped::simulate(config, addrs.iter().copied()).misses();
+        let opt_misses = OptimalDirectMapped::simulate(config, addrs.iter().copied()).misses();
         println!(
             "{:<10} {:>7.3}% {:>10.1}% {:>8.1}% {:>8.1}% {:>7.1}% {:>7.1}%",
             name,
@@ -59,12 +57,13 @@ fn main() {
 
     // Write traffic on the data side of one benchmark.
     let profile = spec::profile("tomcatv").expect("built-in profile");
-    let data: Vec<dynex_trace::Access> =
-        filter::data(profile.trace(refs).iter()).collect();
+    let data: Vec<dynex_trace::Access> = filter::data(profile.trace(refs).iter()).collect();
     println!("tomcatv data-side traffic through an 8KB write-allocate cache:");
     for mode in [WriteMode::WriteBack, WriteMode::WriteThrough] {
-        let mut cache =
-            WritebackCache::new(CacheConfig::direct_mapped(8 * 1024, 4).expect("valid"), mode);
+        let mut cache = WritebackCache::new(
+            CacheConfig::direct_mapped(8 * 1024, 4).expect("valid"),
+            mode,
+        );
         for &a in &data {
             cache.access(a);
         }

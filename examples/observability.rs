@@ -1,0 +1,143 @@
+//! Watching dynamic exclusion learn: probes on the Figure-3 workload.
+//!
+//! Attaches a [`dynex_obs::Collector`] to a conventional direct-mapped cache
+//! and to a dynamic-exclusion cache running the same synthetic SPEC
+//! instruction trace, then prints what aggregate miss rates cannot show:
+//!
+//! * a per-set conflict heatmap (evictions per set) — DE's bypasses drain
+//!   the hot sets a conventional cache keeps thrashing,
+//! * the FSM's own activity (sticky flips, exclusion load/bypass decisions),
+//! * the miss rate per interval window — the learning curve.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p dynex-experiments --example observability
+//! ```
+
+use dynex::DeCache;
+use dynex_cache::{run_addrs, CacheConfig, DirectMapped};
+use dynex_experiments::Workloads;
+use dynex_obs::Collector;
+
+/// Sets per heatmap row; each row aggregates this many consecutive sets.
+const SETS_PER_ROW: usize = 8;
+/// Characters available for the heatmap bar.
+const BAR_WIDTH: usize = 50;
+
+fn bar(count: u64, max: u64) -> String {
+    let len = if max == 0 {
+        0
+    } else {
+        (count as usize * BAR_WIDTH) / max as usize
+    };
+    "#".repeat(len)
+}
+
+fn main() {
+    let refs: usize = std::env::var("DYNEX_REFS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let window = (refs / 20).max(1) as u64;
+
+    // A small cache makes the conflicts of the Figure 3 loop workload
+    // visible set by set; the paper's headline 32KB would need a plot.
+    let config = CacheConfig::direct_mapped(1024, 4).expect("valid config");
+    let n_sets = config.n_sets() as usize;
+    let workloads = Workloads::generate(refs);
+    let addrs = workloads.instr_addrs("spice");
+
+    let mut dm = DirectMapped::with_probe(config, Collector::new(window));
+    let dm_stats = run_addrs(&mut dm, addrs.iter().copied());
+    let dm_obs = dm.into_probe();
+
+    let mut de = DeCache::with_probe(config, Collector::new(window));
+    let de_stats = run_addrs(&mut de, addrs.iter().copied());
+    let de_obs = de.into_probe();
+
+    println!(
+        "spice instruction trace, {} references, {config}:\n",
+        addrs.len()
+    );
+    println!(
+        "  direct-mapped:     miss rate {:.3}%",
+        dm_stats.miss_rate_percent()
+    );
+    println!(
+        "  dynamic exclusion: miss rate {:.3}%",
+        de_stats.miss_rate_percent()
+    );
+
+    let m = de_obs.registry();
+    println!("\nFSM activity under dynamic exclusion:");
+    println!(
+        "  exclusion decisions: {} loads, {} bypasses",
+        m.counter("exclusion-loads"),
+        m.counter("exclusion-bypasses")
+    );
+    println!("  sticky flips: {}", m.counter("sticky-flips"));
+    println!("  hit-last updates: {}", m.counter("hit-last-updates"));
+    println!(
+        "  evictions: {} (DM suffered {})",
+        m.counter("evictions"),
+        dm_obs.registry().counter("evictions")
+    );
+
+    // Per-set conflict heatmap, aggregated into rows of SETS_PER_ROW sets.
+    let row_of = |per_set: &[u64]| -> Vec<u64> {
+        (0..n_sets.div_ceil(SETS_PER_ROW))
+            .map(|row| {
+                (row * SETS_PER_ROW..((row + 1) * SETS_PER_ROW).min(n_sets))
+                    .map(|s| per_set.get(s).copied().unwrap_or(0))
+                    .sum()
+            })
+            .collect()
+    };
+    let dm_rows = row_of(dm_obs.conflicts_by_set());
+    let de_rows = row_of(de_obs.conflicts_by_set());
+    let max = dm_rows
+        .iter()
+        .chain(de_rows.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+
+    println!(
+        "\nConflict heatmap: evictions per {SETS_PER_ROW}-set group (# = {} evictions)",
+        (max / BAR_WIDTH as u64).max(1)
+    );
+    println!(
+        "{:>9}  {:>8}  {:<BAR_WIDTH$}  {:>8}  bar",
+        "sets", "DM", "DM bar", "DE"
+    );
+    for (row, (dm_count, de_count)) in dm_rows.iter().zip(&de_rows).enumerate() {
+        println!(
+            "{:>4}-{:<4}  {:>8}  {:<BAR_WIDTH$}  {:>8}  {}",
+            row * SETS_PER_ROW,
+            (row + 1) * SETS_PER_ROW - 1,
+            dm_count,
+            bar(*dm_count, max),
+            de_count,
+            bar(*de_count, max),
+        );
+    }
+
+    println!("\nMiss rate per {window}-access window (the learning curve):");
+    println!("{:>8}  {:>8}  {:>8}", "window", "DM %", "DE %");
+    for (dm_point, de_point) in dm_obs
+        .intervals()
+        .points()
+        .iter()
+        .zip(de_obs.intervals().points())
+    {
+        println!(
+            "{:>8}  {:>8.3}  {:>8.3}",
+            dm_point.index,
+            dm_point.miss_rate() * 100.0,
+            de_point.miss_rate() * 100.0
+        );
+    }
+    println!("\nExport the same data from any trace with:");
+    println!("  simcache trace.txt --size 1K --org de --events-out e.jsonl --metrics-out m.json --intervals-out i.csv --interval {window}");
+}

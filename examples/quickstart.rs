@@ -24,8 +24,9 @@ fn main() {
     println!("generating {refs} references of the synthetic `doduc` workload...");
     let profile = spec::profile("doduc").expect("doduc is a built-in profile");
     let trace = profile.trace(refs);
-    let instr_addrs: Vec<u32> =
-        filter::instructions(trace.iter()).map(|a| a.addr()).collect();
+    let instr_addrs: Vec<u32> = filter::instructions(trace.iter())
+        .map(|a| a.addr())
+        .collect();
     println!("{} instruction fetches\n", instr_addrs.len());
 
     println!("{:<44} {:>10} {:>10}", "cache", "misses", "miss rate");
@@ -33,10 +34,16 @@ fn main() {
         let config = CacheConfig::direct_mapped(size_kb * 1024, 4).expect("valid config");
 
         let mut dm = DirectMapped::new(config);
-        let dm_stats = run(&mut dm, instr_addrs.iter().map(|&a| dynex_trace::Access::fetch(a)));
+        let dm_stats = run(
+            &mut dm,
+            instr_addrs.iter().map(|&a| dynex_trace::Access::fetch(a)),
+        );
 
         let mut de = DeCache::new(config);
-        let de_stats = run(&mut de, instr_addrs.iter().map(|&a| dynex_trace::Access::fetch(a)));
+        let de_stats = run(
+            &mut de,
+            instr_addrs.iter().map(|&a| dynex_trace::Access::fetch(a)),
+        );
 
         let opt_stats = OptimalDirectMapped::simulate(config, instr_addrs.iter().copied());
 

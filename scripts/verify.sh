@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Local verification gate: exactly what CI runs.
+#
+#   scripts/verify.sh          # fmt + clippy + release build + tests
+#   scripts/verify.sh --quick  # skip the release build
+#
+# The workspace is hermetic (no registry access needed); property tests and
+# the Criterion benches are opt-in and NOT covered here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo build --release"
+    cargo build --release --workspace
+fi
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "verify: OK"

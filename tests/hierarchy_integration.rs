@@ -10,7 +10,9 @@ const REFS: usize = 1_500_000;
 
 fn instr_addrs(name: &str) -> Vec<u32> {
     let p = spec::profile(name).expect("built-in profile");
-    filter::instructions(p.trace(REFS).iter()).map(|a| a.addr()).collect()
+    filter::instructions(p.trace(REFS).iter())
+        .map(|a| a.addr())
+        .collect()
 }
 
 fn l1() -> CacheConfig {
@@ -97,9 +99,12 @@ fn exclusion_lowers_l2_misses() {
         "hashed must lower L2 misses: {hashed_l2} vs {conventional_l2}"
     );
     // Inclusive assume-hit tracks the conventional hierarchy closely.
-    let drift = (assume_hit_l2 as f64 - conventional_l2 as f64).abs()
-        / conventional_l2.max(1) as f64;
-    assert!(drift < 0.25, "assume-hit should track conventional L2 misses, drift {drift:.2}");
+    let drift =
+        (assume_hit_l2 as f64 - conventional_l2 as f64).abs() / conventional_l2.max(1) as f64;
+    assert!(
+        drift < 0.25,
+        "assume-hit should track conventional L2 misses, drift {drift:.2}"
+    );
 }
 
 /// A huge L2 under assume-miss reproduces the single-level DE cache with a

@@ -14,7 +14,9 @@ const REFS: usize = 2_000_000;
 
 fn instr_addrs(name: &str) -> Vec<u32> {
     let p = spec::profile(name).expect("built-in profile");
-    filter::instructions(p.trace(REFS).iter()).map(|a| a.addr()).collect()
+    filter::instructions(p.trace(REFS).iter())
+        .map(|a| a.addr())
+        .collect()
 }
 
 fn avg_rates(size: u32, line: u32) -> (f64, f64, f64) {
@@ -60,7 +62,10 @@ fn headline_reduction_at_32kb_16b_lines() {
 fn improvement_peaks_mid_size_and_vanishes_when_programs_fit() {
     let (dm32, de32, _) = avg_rates(32 * 1024, 4);
     let red32 = (dm32 - de32) / dm32 * 100.0;
-    assert!(red32 > 25.0, "expected near-peak reduction at 32KB, got {red32:.1}%");
+    assert!(
+        red32 > 25.0,
+        "expected near-peak reduction at 32KB, got {red32:.1}%"
+    );
 
     let (dm128, de128, _) = avg_rates(128 * 1024, 4);
     let red128 = (dm128 - de128) / dm128 * 100.0;
@@ -85,7 +90,10 @@ fn high_miss_benchmarks_improve_low_miss_ones_unaffected() {
         let de_stats = run_addrs(&mut de, addrs.iter().copied());
         if dm_stats.miss_rate_percent() > 5.0 {
             let red = de_stats.percent_reduction_vs(&dm_stats);
-            assert!(red > 10.0, "{name}: high-miss benchmark should improve, got {red:.1}%");
+            assert!(
+                red > 10.0,
+                "{name}: high-miss benchmark should improve, got {red:.1}%"
+            );
             improved += 1;
         }
         if dm_stats.miss_rate_percent() < 0.05 {

@@ -80,7 +80,9 @@ fn patterns_respect_the_conflict_guarantee() {
     for size in [64u32, 256, 4096, 32 * 1024] {
         let (a, b) = patterns::conflicting_pair(size);
         for smaller in [size, size / 2, size / 4] {
-            let geometry = CacheConfig::direct_mapped(smaller.max(64), 4).unwrap().geometry();
+            let geometry = CacheConfig::direct_mapped(smaller.max(64), 4)
+                .unwrap()
+                .geometry();
             assert_eq!(
                 geometry.set_of_addr(a),
                 geometry.set_of_addr(b),

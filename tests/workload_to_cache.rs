@@ -21,7 +21,10 @@ fn instruction_fractions_look_like_1992_risc_code() {
     for name in spec::NAMES {
         let stats = TraceStats::from_accesses(spec::profile(name).unwrap().trace(100_000).iter());
         let frac = stats.instruction_fraction();
-        assert!((0.55..=0.995).contains(&frac), "{name}: instruction fraction {frac:.2}");
+        assert!(
+            (0.55..=0.995).contains(&frac),
+            "{name}: instruction fraction {frac:.2}"
+        );
     }
 }
 
@@ -44,8 +47,7 @@ fn loops_dominate_conflicts_are_real() {
     // conflict heavily.
     for name in ["gcc", "spice", "doduc"] {
         let trace = spec::profile(name).unwrap().trace(500_000);
-        let instr: Vec<_> =
-            dynex_trace::filter::instructions(trace.iter()).collect();
+        let instr: Vec<_> = dynex_trace::filter::instructions(trace.iter()).collect();
 
         let huge = CacheConfig::direct_mapped(1 << 21, 4).unwrap();
         let mut big_cache = DirectMapped::new(huge);
@@ -73,12 +75,16 @@ fn fixable_conflict_misses_exist_at_mid_sizes() {
     // direct-mapped misses are removable by a better per-line replacement
     // decision — exactly what the optimal DM cache measures.
     let trace = spec::profile("doduc").unwrap().trace(1_000_000);
-    let instr: Vec<u32> =
-        dynex_trace::filter::instructions(trace.iter()).map(|a| a.addr()).collect();
+    let instr: Vec<u32> = dynex_trace::filter::instructions(trace.iter())
+        .map(|a| a.addr())
+        .collect();
 
     let config = CacheConfig::direct_mapped(32 * 1024, 4).unwrap();
     let mut dm = DirectMapped::new(config);
-    let dm_stats = run(&mut dm, instr.iter().map(|&a| dynex_trace::Access::fetch(a)));
+    let dm_stats = run(
+        &mut dm,
+        instr.iter().map(|&a| dynex_trace::Access::fetch(a)),
+    );
     let opt = dynex::OptimalDirectMapped::simulate(config, instr.iter().copied());
 
     assert!(
