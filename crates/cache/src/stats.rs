@@ -66,6 +66,16 @@ impl CacheStats {
         self.miss_rate() * 100.0
     }
 
+    /// Folds another counter set into this one (shard/job merging).
+    ///
+    /// Equivalent to `*self += other`; provided as a named method so that
+    /// every mergeable result type across the workspace (`CacheStats`,
+    /// `EventCounts`, `MetricsRegistry`, `IntervalSeries`) exposes the same
+    /// verb for the sweep engine to call.
+    pub fn merge(&mut self, other: &CacheStats) {
+        *self += *other;
+    }
+
     /// Percentage reduction of this miss rate relative to `baseline`
     /// (positive = fewer misses than the baseline), the metric of the paper's
     /// Figures 5, 9 and 12.
@@ -158,6 +168,17 @@ mod tests {
         a += stats(3, 4);
         assert_eq!(a, stats(5, 5));
         assert_eq!((stats(1, 0) + stats(0, 1)).accesses(), 2);
+    }
+
+    #[test]
+    fn merge_matches_add_assign() {
+        let mut a = stats(2, 1);
+        a.merge(&stats(3, 4));
+        assert_eq!(a, stats(5, 5));
+        // Merging a zero value is the identity.
+        let before = a;
+        a.merge(&CacheStats::new());
+        assert_eq!(a, before);
     }
 
     #[test]

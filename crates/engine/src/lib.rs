@@ -1,0 +1,54 @@
+//! Deterministic parallel sweep engine for the `dynex` workspace.
+//!
+//! The experiment harness evaluates many (cache config × trace × policy)
+//! points; each point is an independent pure function of its inputs. This
+//! crate turns those serial loops into a parallel engine without giving up
+//! reproducibility:
+//!
+//! * [`execute`] / [`SweepPlan`] — a worker pool over scoped `std::thread`s
+//!   with a channel-based work queue. Results are tagged with their plan
+//!   index and reassembled in plan order, so the output is **bit-identical
+//!   regardless of the worker count** — `--jobs 8` and `--jobs 1` produce
+//!   the same bytes.
+//! * [`Job`] / [`Policy`] — the sweep-point vocabulary: a cache
+//!   configuration under one of the paper's policies (direct-mapped,
+//!   dynamic exclusion, optimal, and their last-line variants).
+//! * [`shard_by_set`] / [`sharded_policy_stats`] — set-partitioned
+//!   parallelism *within* one long trace: for policies whose per-set state
+//!   is independent (DM, DE, OPT) the trace is split by set index, shards
+//!   are simulated concurrently, and their [`CacheStats`] merged exactly
+//!   (debug builds assert equality with the serial run).
+//!
+//! Like the rest of the workspace the crate has no third-party
+//! dependencies: the pool is `std::thread::scope` + `std::sync::mpsc`, so
+//! hermetic builds never touch the registry.
+//!
+//! # Examples
+//!
+//! ```
+//! use dynex_cache::CacheConfig;
+//! use dynex_engine::{Job, Policy, SweepPlan};
+//!
+//! let trace: Vec<u32> = (0..100).map(|i| (i % 40) * 4).collect();
+//! let mut plan = SweepPlan::new();
+//! for size in [64, 128, 256] {
+//!     let config = CacheConfig::direct_mapped(size, 4)?;
+//!     plan.push(Job::new(config, Policy::DynamicExclusion));
+//! }
+//! let stats = plan.run(4, |job| job.run(&trace));
+//! assert_eq!(stats.len(), 3);
+//! assert!(stats[2].misses() <= stats[0].misses(), "bigger cache, fewer misses");
+//! # Ok::<(), dynex_cache::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+mod shard;
+mod sweep;
+
+pub use dynex_cache::CacheStats;
+pub use pool::{available_jobs, default_jobs, execute, set_default_jobs};
+pub use shard::{shard_by_set, sharded_policy_stats, simulate_sharded};
+pub use sweep::{Job, Policy, SweepPlan};

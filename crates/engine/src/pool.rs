@@ -1,0 +1,176 @@
+//! The deterministic worker pool: a channel-based work queue over scoped
+//! `std::thread`s, with results reassembled in plan order.
+//!
+//! Determinism contract: [`execute`] returns exactly the vector a serial
+//! `items.iter().map(f).collect()` would return, for every worker count.
+//! Workers race only over *which* item they pull next; each result is tagged
+//! with its plan index and reassembled in order, so scheduling never leaks
+//! into the output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Session-wide default worker count override; 0 means "auto".
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sets the session-wide default worker count used by [`default_jobs`]
+/// (`0` restores auto-detection). Drivers call this once after argument
+/// parsing so deep call chains (figure sweeps) need no plumbing.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count used when a caller does not specify one: the
+/// [`set_default_jobs`] override if set, else the `DYNEX_JOBS` environment
+/// variable if parseable and nonzero, else [`available_jobs`].
+pub fn default_jobs() -> usize {
+    let explicit = DEFAULT_JOBS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(env) = std::env::var("DYNEX_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+    {
+        return env;
+    }
+    available_jobs()
+}
+
+/// Runs `f` over every item on `jobs` worker threads and returns the results
+/// **in item order**, bit-identical to a serial map regardless of `jobs`.
+///
+/// `jobs` is clamped to the item count; `jobs <= 1` runs serially on the
+/// calling thread with no pool at all.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the pool shuts down and the first worker
+/// panic is re-raised).
+///
+/// # Examples
+///
+/// ```
+/// let squares = dynex_engine::execute(&[1u64, 2, 3, 4], 3, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn execute<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Work queue: every plan index is enqueued up front; workers drain it
+    // through a shared receiver. mpsc receivers are not Sync, so the
+    // receiving end is serialized behind a mutex — the critical section is
+    // one `recv`, which is negligible next to a simulation job.
+    let (index_tx, index_rx) = mpsc::channel::<usize>();
+    for index in 0..items.len() {
+        index_tx.send(index).expect("queue receiver alive");
+    }
+    drop(index_tx); // workers see Err(..) when the queue drains
+    let queue = Mutex::new(index_rx);
+
+    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let queue = &queue;
+            let f = &f;
+            let result_tx = result_tx.clone();
+            scope.spawn(move || loop {
+                // Take the lock only for the dequeue, never while running f.
+                let index = match queue.lock().expect("queue lock").recv() {
+                    Ok(index) => index,
+                    Err(_) => break, // queue drained
+                };
+                let result = f(&items[index]);
+                if result_tx.send((index, result)).is_err() {
+                    break; // collector gone: shutting down
+                }
+            });
+        }
+        drop(result_tx); // collector stops when every worker is done
+
+        // Reassemble in plan order while workers run.
+        while let Ok((index, result)) = result_rx.recv() {
+            results[index] = Some(result);
+        }
+        // Scope joins workers here; a worker panic propagates below.
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("worker completed every claimed job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results_for_every_worker_count() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 4, 8, 64] {
+            let parallel = execute(&items, jobs, |&x| x * 3 + 1);
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_plans() {
+        let empty: Vec<u32> = execute(&[], 4, |x: &u32| *x);
+        assert!(empty.is_empty());
+        assert_eq!(execute(&[7u32], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_job_durations_do_not_reorder() {
+        // Early items sleep longest, so with >1 worker the *completion*
+        // order is roughly reversed — the output order must not be.
+        let items: Vec<u64> = (0..12).collect();
+        let out = execute(&items, 4, |&x| {
+            std::thread::sleep(std::time::Duration::from_millis(12 - x));
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            execute(&[1u32, 2, 3], 2, |&x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn default_jobs_override_and_reset() {
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert!(default_jobs() >= 1);
+    }
+}

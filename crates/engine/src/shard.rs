@@ -1,0 +1,203 @@
+//! Set-partitioned single-trace parallelism.
+//!
+//! In a direct-mapped cache — conventional, dynamic-exclusion, or optimal —
+//! all per-set state is independent across sets: the resident tag, the
+//! sticky bit (one per line, and lines are sets), and the hit-last bits of
+//! the blocks mapping to that set (a block maps to exactly one set, and the
+//! perfect hit-last store is keyed by line address). A reference only ever
+//! reads or writes the state of the set its address maps to, and the
+//! aggregate statistics are order-independent sums over references. So a
+//! long trace can be split by `set_index(addr) % n_shards`, each shard
+//! simulated concurrently against its own cache instance, and the per-shard
+//! [`CacheStats`] merged exactly — bit-identical to the serial run.
+//!
+//! This does **not** hold for the last-line-buffer variants
+//! ([`Policy::DeLastLine`], [`Policy::OptimalDmLastLine`]): the buffer holds
+//! the single most recently referenced line *globally*, so deleting other
+//! sets' references from a shard changes which references the buffer
+//! absorbs. [`Policy::supports_set_sharding`] encodes exactly this.
+
+use dynex_cache::{CacheConfig, CacheStats, Geometry};
+
+use crate::pool::execute;
+use crate::sweep::Policy;
+
+/// Splits a byte-address trace into `n_shards` subsequences by set index
+/// (`set % n_shards`), preserving the relative order of references within
+/// each shard.
+///
+/// The shards partition the trace: every reference appears in exactly one
+/// shard, and references to the same *set* always share a shard.
+///
+/// # Panics
+///
+/// Panics if `n_shards == 0`.
+pub fn shard_by_set(geometry: Geometry, addrs: &[u32], n_shards: usize) -> Vec<Vec<u32>> {
+    assert!(n_shards > 0, "need at least one shard");
+    let mut shards: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+    // Pre-size: shards are near-uniform for realistic traces.
+    let hint = addrs.len() / n_shards + 1;
+    for shard in &mut shards {
+        shard.reserve(hint);
+    }
+    for &addr in addrs {
+        let set = geometry.set_of_addr(addr) as usize;
+        shards[set % n_shards].push(addr);
+    }
+    shards
+}
+
+/// Simulates `addrs` as `n_shards` set-partitioned shards on `jobs` workers
+/// and returns the merged statistics.
+///
+/// `sim` must be a simulation whose per-set state is independent across sets
+/// (see the module docs); under that contract the result is bit-identical to
+/// `sim(addrs)`. Each worker invocation receives one shard.
+pub fn simulate_sharded<F>(
+    geometry: Geometry,
+    addrs: &[u32],
+    n_shards: usize,
+    jobs: usize,
+    sim: F,
+) -> CacheStats
+where
+    F: Fn(&[u32]) -> CacheStats + Sync,
+{
+    let shards = shard_by_set(geometry, addrs, n_shards);
+    let per_shard = execute(&shards, jobs, |shard| sim(shard));
+    let mut merged = CacheStats::new();
+    for stats in &per_shard {
+        merged.merge(stats);
+    }
+    merged
+}
+
+/// Simulates one `policy` over `addrs` with set-partitioned parallelism:
+/// `n_shards` shards on `jobs` workers, statistics merged exactly.
+///
+/// In debug builds the merged result is asserted equal to the serial run —
+/// the executable form of the module's exactness argument.
+///
+/// # Panics
+///
+/// Panics if `policy` does not support set sharding
+/// ([`Policy::supports_set_sharding`]).
+pub fn sharded_policy_stats(
+    config: CacheConfig,
+    policy: Policy,
+    addrs: &[u32],
+    n_shards: usize,
+    jobs: usize,
+) -> CacheStats {
+    assert!(
+        policy.supports_set_sharding(),
+        "policy {} has cross-set state and cannot be set-sharded",
+        policy.name()
+    );
+    let merged = simulate_sharded(config.geometry(), addrs, n_shards, jobs, |shard| {
+        policy.simulate(config, shard)
+    });
+    debug_assert_eq!(
+        merged,
+        policy.simulate(config, addrs),
+        "set-sharded statistics diverged from the serial run ({} shards, {})",
+        n_shards,
+        policy.name()
+    );
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynex_cache::SplitMix64;
+
+    fn config() -> CacheConfig {
+        CacheConfig::direct_mapped(256, 4).unwrap()
+    }
+
+    fn random_trace(seed: u64, len: usize, span: u64) -> Vec<u32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..len).map(|_| (rng.below(span) as u32) * 4).collect()
+    }
+
+    #[test]
+    fn shards_partition_and_preserve_order() {
+        let cfg = config();
+        let addrs = random_trace(1, 500, 256);
+        let shards = shard_by_set(cfg.geometry(), &addrs, 4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), addrs.len());
+        // Within each shard, references appear in trace order.
+        for (s, shard) in shards.iter().enumerate() {
+            let expected: Vec<u32> = addrs
+                .iter()
+                .copied()
+                .filter(|&a| cfg.geometry().set_of_addr(a) as usize % 4 == s)
+                .collect();
+            assert_eq!(shard, &expected, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn same_set_references_share_a_shard() {
+        let cfg = config(); // 64 sets
+        let g = cfg.geometry();
+        let addrs: Vec<u32> = vec![0, 256, 512, 4, 260];
+        for n in [1, 2, 3, 7] {
+            let shards = shard_by_set(g, &addrs, n);
+            // 0, 256 and 512 all map to set 0 => one shard holds all three.
+            let home = shards
+                .iter()
+                .find(|s| s.contains(&0))
+                .expect("set 0 shard exists");
+            assert!(home.contains(&256) && home.contains(&512), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sharded_equals_serial_for_every_exact_policy() {
+        let cfg = config();
+        let addrs = random_trace(7, 4_000, 512);
+        for policy in [
+            Policy::DirectMapped,
+            Policy::DynamicExclusion,
+            Policy::OptimalDm,
+        ] {
+            let serial = policy.simulate(cfg, &addrs);
+            for shards in [1, 2, 4, 8, 64] {
+                for jobs in [1, 2, 4] {
+                    let sharded = sharded_policy_stats(cfg, policy, &addrs, shards, jobs);
+                    assert_eq!(
+                        sharded,
+                        serial,
+                        "{} with {shards} shards, {jobs} jobs",
+                        policy.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_sets_is_harmless() {
+        let cfg = CacheConfig::direct_mapped(16, 4).unwrap(); // 4 sets
+        let addrs = random_trace(3, 300, 64);
+        let serial = Policy::DirectMapped.simulate(cfg, &addrs);
+        let sharded = sharded_policy_stats(cfg, Policy::DirectMapped, &addrs, 16, 4);
+        assert_eq!(sharded, serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be set-sharded")]
+    fn lastline_policy_rejected() {
+        let cfg = CacheConfig::direct_mapped(64, 16).unwrap();
+        sharded_policy_stats(cfg, Policy::DeLastLine, &[0, 4, 8], 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        shard_by_set(config().geometry(), &[0], 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Sweep plans: (cache config × trace × policy) points executed on the pool.
+
+use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped};
+use dynex_cache::{run_addrs, CacheConfig, CacheStats, DirectMapped};
+
+use crate::pool::execute;
+
+/// The replacement/bypass policy a [`Job`] simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Conventional direct-mapped (the paper's baseline).
+    DirectMapped,
+    /// Dynamic exclusion with a perfect hit-last store.
+    DynamicExclusion,
+    /// Dynamic exclusion with the Section 6 last-line buffer (multi-word
+    /// lines).
+    DeLastLine,
+    /// The future-knowing optimal direct-mapped cache.
+    OptimalDm,
+    /// Optimal direct-mapped with a last-line buffer.
+    OptimalDmLastLine,
+}
+
+impl Policy {
+    /// Stable lowercase name (used in labels and exported reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::DirectMapped => "dm",
+            Policy::DynamicExclusion => "de",
+            Policy::DeLastLine => "de-lastline",
+            Policy::OptimalDm => "opt",
+            Policy::OptimalDmLastLine => "opt-lastline",
+        }
+    }
+
+    /// Whether a single trace under this policy may be split by set index
+    /// and simulated shard-by-shard with exact results (see
+    /// [`crate::shard`]).
+    ///
+    /// True for the plain direct-mapped, DE, and optimal caches, whose
+    /// per-set state is fully independent. False for the last-line variants:
+    /// their buffer holds the single most recent line *globally*, so
+    /// removing other sets' references from a shard changes which references
+    /// the buffer absorbs.
+    pub fn supports_set_sharding(self) -> bool {
+        matches!(
+            self,
+            Policy::DirectMapped | Policy::DynamicExclusion | Policy::OptimalDm
+        )
+    }
+
+    /// Simulates this policy over a byte-address trace.
+    pub fn simulate(self, config: CacheConfig, addrs: &[u32]) -> CacheStats {
+        match self {
+            Policy::DirectMapped => {
+                let mut sim = DirectMapped::new(config);
+                run_addrs(&mut sim, addrs.iter().copied())
+            }
+            Policy::DynamicExclusion => {
+                let mut sim = DeCache::new(config);
+                run_addrs(&mut sim, addrs.iter().copied())
+            }
+            Policy::DeLastLine => {
+                let mut sim = LastLineDeCache::new(config);
+                run_addrs(&mut sim, addrs.iter().copied())
+            }
+            Policy::OptimalDm => OptimalDirectMapped::simulate(config, addrs.iter().copied()),
+            Policy::OptimalDmLastLine => {
+                OptimalDirectMapped::simulate_with_lastline(config, addrs.iter().copied())
+            }
+        }
+    }
+}
+
+/// One sweep point: a cache configuration under a policy.
+///
+/// A job is pure data; running it against a trace is side-effect-free, which
+/// is what lets the pool execute jobs in any order and still produce
+/// plan-ordered, bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Job {
+    /// The cache geometry to simulate.
+    pub config: CacheConfig,
+    /// The replacement/bypass policy.
+    pub policy: Policy,
+}
+
+impl Job {
+    /// Creates a job.
+    pub fn new(config: CacheConfig, policy: Policy) -> Job {
+        Job { config, policy }
+    }
+
+    /// Simulates the job over a byte-address trace.
+    pub fn run(&self, addrs: &[u32]) -> CacheStats {
+        self.policy.simulate(self.config, addrs)
+    }
+
+    /// `<policy>@<config>`, e.g. `de@32KB direct-mapped, 4B lines`.
+    pub fn label(&self) -> String {
+        format!("{}@{}", self.policy.name(), self.config)
+    }
+}
+
+/// An ordered list of sweep points, executed deterministically on the pool.
+///
+/// The plan is generic over the point type: the experiment harness uses
+/// `(CacheConfig, &[u32])` pairs, `simcache` uses [`Job`]s, tests use
+/// whatever they need. Results always come back in push order.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::CacheConfig;
+/// use dynex_engine::{Job, Policy, SweepPlan};
+///
+/// let config = CacheConfig::direct_mapped(64, 4)?;
+/// let trace: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect();
+/// let mut plan = SweepPlan::new();
+/// plan.push(Job::new(config, Policy::DirectMapped));
+/// plan.push(Job::new(config, Policy::DynamicExclusion));
+/// plan.push(Job::new(config, Policy::OptimalDm));
+/// let stats = plan.run(4, |job| job.run(&trace));
+/// assert_eq!(stats[0].misses(), 20); // DM thrashes
+/// assert!(stats[2].misses() <= stats[1].misses()); // OPT bounds DE
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlan<T> {
+    points: Vec<T>,
+}
+
+impl<T: Sync> SweepPlan<T> {
+    /// An empty plan.
+    pub fn new() -> SweepPlan<T> {
+        SweepPlan { points: Vec::new() }
+    }
+
+    /// Builds a plan from an iterator of points.
+    pub fn from_points<I: IntoIterator<Item = T>>(points: I) -> SweepPlan<T> {
+        SweepPlan {
+            points: points.into_iter().collect(),
+        }
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, point: T) {
+        self.points.push(point);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the plan has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points, in plan order.
+    pub fn points(&self) -> &[T] {
+        &self.points
+    }
+
+    /// Executes `f` over every point on `jobs` workers; results are in plan
+    /// order and bit-identical for every `jobs` value.
+    pub fn run<R, F>(&self, jobs: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        execute(&self.points, jobs, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thrash() -> Vec<u32> {
+        (0..40).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect()
+    }
+
+    #[test]
+    fn policy_names_and_sharding_support() {
+        assert_eq!(Policy::DirectMapped.name(), "dm");
+        assert_eq!(Policy::OptimalDmLastLine.name(), "opt-lastline");
+        assert!(Policy::DynamicExclusion.supports_set_sharding());
+        assert!(!Policy::DeLastLine.supports_set_sharding());
+        assert!(!Policy::OptimalDmLastLine.supports_set_sharding());
+    }
+
+    #[test]
+    fn job_matches_direct_simulation() {
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let addrs = thrash();
+        let mut dm = DirectMapped::new(config);
+        let expected = run_addrs(&mut dm, addrs.iter().copied());
+        let job = Job::new(config, Policy::DirectMapped);
+        assert_eq!(job.run(&addrs), expected);
+        assert!(job.label().starts_with("dm@"));
+    }
+
+    #[test]
+    fn plan_results_are_plan_ordered_for_any_job_count() {
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let addrs = thrash();
+        let plan = SweepPlan::from_points([
+            Job::new(config, Policy::DirectMapped),
+            Job::new(config, Policy::DynamicExclusion),
+            Job::new(config, Policy::OptimalDm),
+        ]);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        let serial = plan.run(1, |job| job.run(&addrs));
+        for jobs in [2, 4, 8] {
+            assert_eq!(plan.run(jobs, |job| job.run(&addrs)), serial);
+        }
+        // The familiar ordering: OPT <= DE < DM on a thrash trace.
+        assert!(serial[2].misses() <= serial[1].misses());
+        assert!(serial[1].misses() < serial[0].misses());
+    }
+
+    #[test]
+    fn lastline_policies_simulate() {
+        let config = CacheConfig::direct_mapped(64, 16).unwrap();
+        let addrs: Vec<u32> = (0..200).map(|i| (i % 32) * 4).collect();
+        let de = Policy::DeLastLine.simulate(config, &addrs);
+        let opt = Policy::OptimalDmLastLine.simulate(config, &addrs);
+        assert_eq!(de.accesses(), 200);
+        assert!(opt.misses() <= de.misses());
+    }
+}

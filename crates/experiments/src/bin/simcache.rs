@@ -3,12 +3,23 @@
 //! ```text
 //! simcache <trace.dxt|trace.txt> --size 32K --line 4 \
 //!          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
+//!          [--jobs N] [--shard-sets] \
 //!          [--events-out e.jsonl] [--metrics-out m.json] \
 //!          [--intervals-out i.csv] [--interval N]
 //! ```
 //!
 //! Reads a `dynex-trace` file (binary `.dxt` or the text format, detected by
 //! the magic), simulates, and prints hit/miss statistics.
+//!
+//! `--shard-sets` splits the trace by cache-set index and simulates the
+//! shards concurrently on `--jobs` workers (default: `DYNEX_JOBS` or all
+//! cores). This is exact — per-set state is independent — and therefore only
+//! supported for `--org dm|de|opt`; the other organizations have cross-set
+//! state (last-line buffers, victim/stream buffers, hashed stores) that
+//! sharding would perturb. Statistics and observability outputs are merged
+//! deterministically: counters and histograms sum, and the events JSONL is
+//! the concatenation of the shard logs in shard order (not interleaved by
+//! global access order).
 //!
 //! Any of the `--*-out` flags attaches a probe to the simulated cache:
 //! `--events-out` streams every [`dynex_obs::Event`] as JSONL,
@@ -22,10 +33,11 @@ use std::process::ExitCode;
 
 use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped, PerfectStore};
 use dynex_cache::{
-    run, CacheConfig, CacheSim, DirectMapped, Replacement, SetAssociative, StreamBuffer,
-    VictimCache,
+    run, run_addrs, CacheConfig, CacheSim, CacheStats, DirectMapped, Replacement, SetAssociative,
+    StreamBuffer, VictimCache,
 };
-use dynex_obs::{export, Collector, EventLog};
+use dynex_engine::{execute, shard_by_set, sharded_policy_stats, Policy};
+use dynex_obs::{export, Collector, Event, EventLog};
 use dynex_trace::{io as trace_io, Trace};
 
 fn parse_size(text: &str) -> Option<u32> {
@@ -52,6 +64,7 @@ fn usage() {
     eprintln!(
         "usage: simcache <trace-file> --size <bytes|NK|NM> [--line N] \
          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
+         [--jobs N] [--shard-sets] \
          [--events-out <file.jsonl>] [--metrics-out <file.json>] \
          [--intervals-out <file.csv>] [--interval <N>]"
     );
@@ -74,13 +87,13 @@ impl ObsConfig {
         (Collector::new(self.window), EventLog::new())
     }
 
-    fn write(&self, collector: &Collector, log: &EventLog) -> Result<(), String> {
+    fn write(&self, collector: &Collector, events: &[Event]) -> Result<(), String> {
         if let Some(path) = &self.events_out {
             let file =
                 std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-            export::write_events_jsonl(std::io::BufWriter::new(file), log.events())
+            export::write_events_jsonl(std::io::BufWriter::new(file), events)
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
-            eprintln!("wrote {} events to {path}", log.events().len());
+            eprintln!("wrote {} events to {path}", events.len());
         }
         if let Some(path) = &self.metrics_out {
             let file =
@@ -100,12 +113,133 @@ impl ObsConfig {
     }
 }
 
+/// Reports merged statistics for a set-sharded run.
+fn report_sharded(policy: Policy, config: CacheConfig, n_shards: usize, stats: CacheStats) {
+    println!(
+        "{} [set-sharded x{n_shards}] {config}: {} accesses, {} misses, miss rate {:.4}%",
+        policy.name(),
+        stats.accesses(),
+        stats.misses(),
+        stats.miss_rate_percent()
+    );
+}
+
+/// `--shard-sets`: split the trace by set index, simulate the shards on the
+/// engine's worker pool, and merge statistics (and probes) exactly.
+///
+/// Only `dm`, `de`, and `opt` are accepted — every other organization has
+/// cross-set state that set partitioning would perturb.
+fn run_sharded(
+    org: &str,
+    config: CacheConfig,
+    addrs: &[u32],
+    jobs: usize,
+    obs: &ObsConfig,
+) -> ExitCode {
+    let policy = match org {
+        "dm" => Policy::DirectMapped,
+        "de" => Policy::DynamicExclusion,
+        "opt" => Policy::OptimalDm,
+        other => {
+            eprintln!(
+                "error: --shard-sets supports --org dm|de|opt only (got {other:?}; \
+                 its cross-set state cannot be partitioned exactly)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let n_shards = jobs;
+    eprintln!("set-sharded run: {n_shards} shard(s) on {jobs} worker(s)");
+
+    // OPT is a two-pass oracle without a probed hot path (same as serially).
+    if policy == Policy::OptimalDm {
+        if obs.active() {
+            eprintln!(
+                "note: --org opt is a two-pass oracle without a probed hot path; \
+                 observability outputs are not written"
+            );
+        }
+        let stats = sharded_policy_stats(config, policy, addrs, n_shards, jobs);
+        report_sharded(policy, config, n_shards, stats);
+        return ExitCode::SUCCESS;
+    }
+
+    if !obs.active() {
+        let stats = sharded_policy_stats(config, policy, addrs, n_shards, jobs);
+        report_sharded(policy, config, n_shards, stats);
+        if policy == Policy::DynamicExclusion {
+            let shards = shard_by_set(config.geometry(), addrs, n_shards);
+            let per_shard = execute(&shards, jobs, |shard| {
+                let mut cache = DeCache::new(config);
+                run_addrs(&mut cache, shard.iter().copied());
+                cache.de_stats()
+            });
+            let (loads, bypasses) = per_shard
+                .iter()
+                .fold((0, 0), |(l, b), s| (l + s.loads, b + s.bypasses));
+            println!("  loads {loads} bypasses {bypasses}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Probed shards: one collector + event log per shard, merged in shard
+    // order (counters and histograms sum; the event stream is the
+    // concatenation of the shard logs, not a global-order interleave).
+    let shards = shard_by_set(config.geometry(), addrs, n_shards);
+    let outputs = execute(&shards, jobs, |shard| match policy {
+        Policy::DirectMapped => {
+            let mut cache = DirectMapped::with_probe(config, obs.probe());
+            let stats = run_addrs(&mut cache, shard.iter().copied());
+            let (collector, log) = cache.into_probe();
+            (stats, None, collector, log)
+        }
+        _ => {
+            let mut cache = DeCache::with_probe(config, obs.probe());
+            let stats = run_addrs(&mut cache, shard.iter().copied());
+            let de_stats = cache.de_stats();
+            let (collector, log) = cache.into_probe();
+            (stats, Some(de_stats), collector, log)
+        }
+    });
+
+    let mut outputs = outputs.into_iter();
+    let (mut stats, mut de_stats, mut collector, first_log) =
+        outputs.next().expect("at least one shard");
+    let mut events: Vec<Event> = first_log.into_events();
+    for (s, d, c, log) in outputs {
+        stats.merge(&s);
+        if let (Some(acc), Some(d)) = (de_stats.as_mut(), d) {
+            acc.loads += d.loads;
+            acc.bypasses += d.bypasses;
+        }
+        collector.merge(&c);
+        events.extend(log.into_events());
+    }
+    debug_assert_eq!(
+        stats,
+        policy.simulate(config, addrs),
+        "set-sharded statistics diverged from the serial run"
+    );
+
+    report_sharded(policy, config, n_shards, stats);
+    if let Some(de_stats) = de_stats {
+        println!("  loads {} bypasses {}", de_stats.loads, de_stats.bypasses);
+    }
+    if let Err(e) = obs.write(&collector, &events) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut path = None;
     let mut size = None;
     let mut line = 4u32;
     let mut org = "dm".to_owned();
     let mut kinds = "all".to_owned();
+    let mut jobs = 0usize; // 0 = auto (DYNEX_JOBS or available cores)
+    let mut shard_sets = false;
     let mut obs = ObsConfig {
         events_out: None,
         metrics_out: None,
@@ -128,6 +262,16 @@ fn main() -> ExitCode {
             }
             "--org" => org = it.next().unwrap_or_default(),
             "--kinds" => kinds = it.next().unwrap_or_default(),
+            "--jobs" => {
+                jobs = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => v,
+                    _ => {
+                        eprintln!("error: --jobs needs a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--shard-sets" => shard_sets = true,
             "--events-out" | "--metrics-out" | "--intervals-out" => {
                 let Some(value) = it.next() else {
                     eprintln!("error: {arg} needs a file path");
@@ -203,6 +347,16 @@ fn main() -> ExitCode {
         }
     };
 
+    let jobs = if jobs > 0 {
+        jobs
+    } else {
+        dynex_engine::default_jobs()
+    };
+    if shard_sets {
+        let addrs: Vec<u32> = accesses.iter().map(|a| a.addr()).collect();
+        return run_sharded(&org, dm_config, &addrs, jobs, &obs);
+    }
+
     // Runs a probed cache, reports its stats, then extracts the
     // `(Collector, EventLog)` probe via `into_probe` and writes the
     // requested output files.
@@ -212,7 +366,7 @@ fn main() -> ExitCode {
             let stats = run(&mut cache, accesses.iter().copied());
             report(cache.label(), stats);
             let (collector, log) = cache.into_probe();
-            if let Err(e) = obs.write(&collector, &log) {
+            if let Err(e) = obs.write(&collector, log.events()) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
@@ -236,7 +390,7 @@ fn main() -> ExitCode {
                 report(cache.label(), stats);
                 let de_stats = cache.de_stats();
                 let (collector, log) = cache.into_probe();
-                if let Err(e) = obs.write(&collector, &log) {
+                if let Err(e) = obs.write(&collector, log.events()) {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
                 }

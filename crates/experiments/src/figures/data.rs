@@ -2,22 +2,30 @@
 
 use dynex_cache::CacheConfig;
 
-use crate::runner::{average_rates, reduction, triple, Triple};
+use crate::runner::{average_rates, reduction, triples};
 use crate::{Table, Workloads, SIZE_SWEEP_KB};
 
 fn sweep(
     workloads: &Workloads,
     select: impl Fn(&Workloads, &str) -> Vec<u32>,
 ) -> Vec<(u32, f64, f64, f64)> {
+    // Materialize each benchmark's stream once, then run every
+    // (size, benchmark) point on the engine's worker pool.
+    let traces: Vec<Vec<u32>> = workloads
+        .iter()
+        .map(|(name, _)| select(workloads, name))
+        .collect();
+    let mut points: Vec<(CacheConfig, &[u32])> = Vec::new();
+    for &kb in &SIZE_SWEEP_KB {
+        let config = CacheConfig::direct_mapped(kb * 1024, 4).expect("valid config");
+        points.extend(traces.iter().map(|t| (config, t.as_slice())));
+    }
+    let results = triples(&points);
     SIZE_SWEEP_KB
         .iter()
-        .map(|&kb| {
-            let config = CacheConfig::direct_mapped(kb * 1024, 4).expect("valid config");
-            let triples: Vec<Triple> = workloads
-                .iter()
-                .map(|(name, _)| triple(config, &select(workloads, name)))
-                .collect();
-            let (dm, de, opt) = average_rates(&triples);
+        .zip(results.chunks(traces.len()))
+        .map(|(&kb, per_bench)| {
+            let (dm, de, opt) = average_rates(per_bench);
             (kb, dm, de, opt)
         })
         .collect()

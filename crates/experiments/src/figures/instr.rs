@@ -2,7 +2,7 @@
 
 use dynex_cache::CacheConfig;
 
-use crate::runner::{average_rates, reduction, triple, Triple};
+use crate::runner::{average_rates, reduction, triples};
 use crate::{Table, Workloads, HEADLINE_SIZE, SIZE_SWEEP_KB};
 
 fn pct(v: f64) -> String {
@@ -27,11 +27,13 @@ pub fn fig3(workloads: &Workloads) -> Table {
         ],
     );
     let config = CacheConfig::direct_mapped(HEADLINE_SIZE, 4).expect("valid config");
-    for (name, _) in workloads.iter() {
-        let addrs = workloads.instr_addrs(name);
-        let t = triple(config, &addrs);
+    let names: Vec<&str> = workloads.iter().map(|(name, _)| name).collect();
+    let traces: Vec<Vec<u32>> = names.iter().map(|n| workloads.instr_addrs(n)).collect();
+    let points: Vec<(CacheConfig, &[u32])> =
+        traces.iter().map(|t| (config, t.as_slice())).collect();
+    for (name, t) in names.iter().zip(triples(&points)) {
         table.push_row(vec![
-            name.to_owned(),
+            (*name).to_owned(),
             pct(t.dm.miss_rate_percent()),
             pct(t.de.miss_rate_percent()),
             pct(t.opt.miss_rate_percent()),
@@ -44,15 +46,23 @@ pub fn fig3(workloads: &Workloads) -> Table {
 /// The size sweep shared by Figures 4 and 5: average miss-rate percentages
 /// `(size KB, dm, de, opt)` across the ten benchmarks, 4-byte lines.
 pub fn size_sweep(workloads: &Workloads) -> Vec<(u32, f64, f64, f64)> {
+    // Materialize each benchmark's instruction stream once, then fan every
+    // (size, benchmark) point out over the engine's worker pool.
+    let traces: Vec<Vec<u32>> = workloads
+        .iter()
+        .map(|(name, _)| workloads.instr_addrs(name))
+        .collect();
+    let mut points: Vec<(CacheConfig, &[u32])> = Vec::new();
+    for &kb in &SIZE_SWEEP_KB {
+        let config = CacheConfig::direct_mapped(kb * 1024, 4).expect("valid config");
+        points.extend(traces.iter().map(|t| (config, t.as_slice())));
+    }
+    let results = triples(&points);
     SIZE_SWEEP_KB
         .iter()
-        .map(|&kb| {
-            let config = CacheConfig::direct_mapped(kb * 1024, 4).expect("valid config");
-            let triples: Vec<Triple> = workloads
-                .iter()
-                .map(|(name, _)| triple(config, &workloads.instr_addrs(name)))
-                .collect();
-            let (dm, de, opt) = average_rates(&triples);
+        .zip(results.chunks(traces.len()))
+        .map(|(&kb, per_bench)| {
+            let (dm, de, opt) = average_rates(per_bench);
             (kb, dm, de, opt)
         })
         .collect()

@@ -2,9 +2,25 @@
 
 use dynex::{HashedStore, LastLineDeCache};
 use dynex_cache::{run_addrs, CacheConfig, DirectMapped};
+use dynex_engine::{default_jobs, execute};
 
-use crate::runner::{average_rates, reduction, triple_lastline, Triple};
+use crate::runner::{average_rates, reduction, triples_lastline};
 use crate::{Table, Workloads, HEADLINE_SIZE, LINE_SWEEP_BYTES, SIZE_SWEEP_KB};
+
+/// The lastline sweep shared by Figures 11 and 12: every (config, benchmark)
+/// point on the engine's pool, averaged per config in plan order.
+fn lastline_sweep(workloads: &Workloads, configs: &[CacheConfig]) -> Vec<(f64, f64, f64)> {
+    let traces: Vec<Vec<u32>> = workloads
+        .iter()
+        .map(|(name, _)| workloads.instr_addrs(name))
+        .collect();
+    let mut points: Vec<(CacheConfig, &[u32])> = Vec::new();
+    for &config in configs {
+        points.extend(traces.iter().map(|t| (config, t.as_slice())));
+    }
+    let results = triples_lastline(&points);
+    results.chunks(traces.len()).map(average_rates).collect()
+}
 
 /// Figure 11: average I-cache performance vs line size at 32KB. DE and OPT
 /// carry the Section 6 last-line buffer. The paper's improvement declines
@@ -21,13 +37,14 @@ pub fn fig11(workloads: &Workloads) -> Table {
             "DE red. %",
         ],
     );
-    for &line in &LINE_SWEEP_BYTES {
-        let config = CacheConfig::direct_mapped(HEADLINE_SIZE, line).expect("valid config");
-        let triples: Vec<Triple> = workloads
-            .iter()
-            .map(|(name, _)| triple_lastline(config, &workloads.instr_addrs(name)))
-            .collect();
-        let (dm, de, opt) = average_rates(&triples);
+    let configs: Vec<CacheConfig> = LINE_SWEEP_BYTES
+        .iter()
+        .map(|&line| CacheConfig::direct_mapped(HEADLINE_SIZE, line).expect("valid config"))
+        .collect();
+    for (&line, (dm, de, opt)) in LINE_SWEEP_BYTES
+        .iter()
+        .zip(lastline_sweep(workloads, &configs))
+    {
         table.push_row(vec![
             line.to_string(),
             format!("{dm:.3}"),
@@ -53,13 +70,14 @@ pub fn fig12(workloads: &Workloads) -> Table {
             "DE red. %",
         ],
     );
-    for &kb in &SIZE_SWEEP_KB {
-        let config = CacheConfig::direct_mapped(kb * 1024, 16).expect("valid config");
-        let triples: Vec<Triple> = workloads
-            .iter()
-            .map(|(name, _)| triple_lastline(config, &workloads.instr_addrs(name)))
-            .collect();
-        let (dm, de, opt) = average_rates(&triples);
+    let configs: Vec<CacheConfig> = SIZE_SWEEP_KB
+        .iter()
+        .map(|&kb| CacheConfig::direct_mapped(kb * 1024, 16).expect("valid config"))
+        .collect();
+    for (&kb, (dm, de, opt)) in SIZE_SWEEP_KB
+        .iter()
+        .zip(lastline_sweep(workloads, &configs))
+    {
         table.push_row(vec![
             kb.to_string(),
             format!("{dm:.3}"),
@@ -83,15 +101,26 @@ pub fn fig13(workloads: &Workloads) -> Table {
     let dm16 = CacheConfig::direct_mapped(16 * 1024, 16).expect("valid config");
 
     let n = workloads.len() as f64;
-    let (mut dm8_rate, mut de8_rate, mut dm16_rate) = (0.0, 0.0, 0.0);
-    for (name, _) in workloads.iter() {
-        let addrs = workloads.instr_addrs(name);
+    let traces: Vec<Vec<u32>> = workloads
+        .iter()
+        .map(|(name, _)| workloads.instr_addrs(name))
+        .collect();
+    // One pool job per benchmark; summing in plan order keeps the float
+    // accumulation identical to the serial loop.
+    let per_bench = execute(&traces, default_jobs(), |addrs| {
         let mut dm8 = DirectMapped::new(base8);
-        dm8_rate += run_addrs(&mut dm8, addrs.iter().copied()).miss_rate_percent();
+        let dm8_rate = run_addrs(&mut dm8, addrs.iter().copied()).miss_rate_percent();
         let mut de8 = LastLineDeCache::with_store(base8, HashedStore::new(base8, 4));
-        de8_rate += run_addrs(&mut de8, addrs.iter().copied()).miss_rate_percent();
+        let de8_rate = run_addrs(&mut de8, addrs.iter().copied()).miss_rate_percent();
         let mut dm16_cache = DirectMapped::new(dm16);
-        dm16_rate += run_addrs(&mut dm16_cache, addrs.iter().copied()).miss_rate_percent();
+        let dm16_rate = run_addrs(&mut dm16_cache, addrs.iter().copied()).miss_rate_percent();
+        (dm8_rate, de8_rate, dm16_rate)
+    });
+    let (mut dm8_rate, mut de8_rate, mut dm16_rate) = (0.0, 0.0, 0.0);
+    for (a, b, c) in per_bench {
+        dm8_rate += a;
+        de8_rate += b;
+        dm16_rate += c;
     }
     dm8_rate /= n;
     de8_rate /= n;

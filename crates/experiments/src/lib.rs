@@ -27,7 +27,10 @@ mod runner;
 mod table;
 mod workloads;
 
-pub use runner::{triple, triple_lastline, triple_observed, ObservedTriple, Triple};
+pub use runner::{
+    triple, triple_lastline, triple_observed, triple_to_json, triples, triples_lastline,
+    triples_to_jsonl, ObservedTriple, Triple,
+};
 pub use table::Table;
 pub use workloads::Workloads;
 

@@ -2,12 +2,15 @@
 //! dynamic-exclusion paper.
 //!
 //! ```text
-//! experiments [--refs N] [--out DIR] <id>... | all | list
+//! experiments [--refs N] [--jobs N] [--out DIR] <id>... | all | list
 //! ```
 //!
 //! `--refs` sets the per-benchmark reference budget (default 4,000,000, or
-//! the `DYNEX_REFS` environment variable); `--out` writes one CSV per
-//! experiment into the directory. Ids: see `experiments list`.
+//! the `DYNEX_REFS` environment variable); `--jobs` sets the worker count
+//! for the sweep engine (default: the `DYNEX_JOBS` environment variable, or
+//! all available cores — results are bit-identical for any value); `--out`
+//! writes one CSV per experiment into the directory. Ids: see
+//! `experiments list`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,6 +20,7 @@ use dynex_experiments::{figures, Workloads};
 
 struct Options {
     refs: usize,
+    jobs: usize,
     out: Option<PathBuf>,
     ids: Vec<String>,
 }
@@ -26,6 +30,7 @@ fn parse_args() -> Result<Options, String> {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(4_000_000usize);
+    let mut jobs = 0; // 0 = auto (DYNEX_JOBS or available cores)
     let mut out = None;
     let mut ids = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -36,6 +41,14 @@ fn parse_args() -> Result<Options, String> {
                 refs = value
                     .parse()
                     .map_err(|_| format!("bad --refs value {value:?}"))?;
+            }
+            "--jobs" => {
+                let value = args.next().ok_or("--jobs needs a value")?;
+                jobs = value
+                    .parse()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or(format!("bad --jobs value {value:?}"))?;
             }
             "--out" => {
                 let value = args.next().ok_or("--out needs a directory")?;
@@ -50,11 +63,16 @@ fn parse_args() -> Result<Options, String> {
     if ids.is_empty() {
         ids.push("help".to_owned());
     }
-    Ok(Options { refs, out, ids })
+    Ok(Options {
+        refs,
+        jobs,
+        out,
+        ids,
+    })
 }
 
 fn print_help() {
-    println!("usage: experiments [--refs N] [--out DIR] <id>... | all | list");
+    println!("usage: experiments [--refs N] [--jobs N] [--out DIR] <id>... | all | list");
     println!();
     println!("experiment ids:");
     for id in figures::ALL_IDS {
@@ -96,6 +114,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    // 0 keeps auto-detection (DYNEX_JOBS or available cores); the sweep
+    // engine's results are bit-identical for every worker count.
+    dynex_engine::set_default_jobs(options.jobs);
+    eprintln!("sweep engine: {} worker(s)", dynex_engine::default_jobs());
 
     eprintln!("generating {} references per benchmark...", options.refs);
     let started = Instant::now();

@@ -1,8 +1,16 @@
 //! Shared simulation drivers: the DM / DE / OPT comparison the paper's
 //! figures are built from.
+//!
+//! Since PR 2 the drivers sit on `dynex-engine`: the single-point entry
+//! points ([`triple`], [`triple_lastline`]) dispatch through
+//! [`dynex_engine::Policy`], and the sweep entry points ([`triples`],
+//! [`triples_lastline`]) fan the points out over the engine's deterministic
+//! worker pool. Results are in plan order and bit-identical for every worker
+//! count, so figures built on these functions never depend on `--jobs`.
 
-use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped};
+use dynex::{DeCache, OptimalDirectMapped};
 use dynex_cache::{run_addrs, CacheConfig, CacheStats};
+use dynex_engine::{default_jobs, execute, Policy};
 use dynex_obs::{CountingProbe, EventCounts};
 
 /// Results of one workload under the three caches the paper compares
@@ -32,16 +40,67 @@ impl Triple {
 
 /// Runs the three-way comparison at word-line granularity (`b = 4`).
 pub fn triple(config: CacheConfig, addrs: &[u32]) -> Triple {
-    let mut dm = dynex_cache::DirectMapped::new(config);
-    let dm_stats = run_addrs(&mut dm, addrs.iter().copied());
-    let mut de = DeCache::new(config);
-    let de_stats = run_addrs(&mut de, addrs.iter().copied());
-    let opt = OptimalDirectMapped::simulate(config, addrs.iter().copied());
     Triple {
-        dm: dm_stats,
-        de: de_stats,
-        opt,
+        dm: Policy::DirectMapped.simulate(config, addrs),
+        de: Policy::DynamicExclusion.simulate(config, addrs),
+        opt: Policy::OptimalDm.simulate(config, addrs),
     }
+}
+
+/// Runs [`triple`] over many `(config, trace)` sweep points on the engine's
+/// worker pool ([`dynex_engine::default_jobs`] workers).
+///
+/// Results are in point order and bit-identical for every worker count.
+pub fn triples(points: &[(CacheConfig, &[u32])]) -> Vec<Triple> {
+    execute(points, default_jobs(), |&(config, addrs)| {
+        triple(config, addrs)
+    })
+}
+
+/// Runs [`triple_lastline`] over many `(config, trace)` sweep points on the
+/// engine's worker pool, like [`triples`].
+pub fn triples_lastline(points: &[(CacheConfig, &[u32])]) -> Vec<Triple> {
+    execute(points, default_jobs(), |&(config, addrs)| {
+        triple_lastline(config, addrs)
+    })
+}
+
+/// One labelled triple as a JSON object (a JSONL line, without the newline).
+///
+/// The miss-rate and reduction fields use Rust's shortest-roundtrip float
+/// formatting, so the text is a pure function of the statistics — exporting
+/// a parallel sweep yields the same bytes as a serial one.
+pub fn triple_to_json(label: &str, t: &Triple) -> String {
+    let quoted = label.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        r#"{{"label":"{}","dm":{{"accesses":{},"misses":{},"rate":{}}},"de":{{"accesses":{},"misses":{},"rate":{}}},"opt":{{"accesses":{},"misses":{},"rate":{}}},"de_reduction":{},"opt_reduction":{}}}"#,
+        quoted,
+        t.dm.accesses(),
+        t.dm.misses(),
+        t.dm.miss_rate_percent(),
+        t.de.accesses(),
+        t.de.misses(),
+        t.de.miss_rate_percent(),
+        t.opt.accesses(),
+        t.opt.misses(),
+        t.opt.miss_rate_percent(),
+        t.de_reduction(),
+        t.opt_reduction(),
+    )
+}
+
+/// Serializes labelled triples as JSONL (one [`triple_to_json`] object per
+/// line), in slice order.
+pub fn triples_to_jsonl<'a, I>(rows: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a Triple)>,
+{
+    let mut out = String::new();
+    for (label, t) in rows {
+        out.push_str(&triple_to_json(label, t));
+        out.push('\n');
+    }
+    out
 }
 
 /// A [`Triple`] augmented with per-simulator event tallies from the
@@ -84,15 +143,10 @@ pub fn triple_observed(config: CacheConfig, addrs: &[u32]) -> ObservedTriple {
 /// Runs the three-way comparison for multi-word lines: DE and OPT both get
 /// the Section 6 last-line buffer; the conventional cache stays bare.
 pub fn triple_lastline(config: CacheConfig, addrs: &[u32]) -> Triple {
-    let mut dm = dynex_cache::DirectMapped::new(config);
-    let dm_stats = run_addrs(&mut dm, addrs.iter().copied());
-    let mut de = LastLineDeCache::new(config);
-    let de_stats = run_addrs(&mut de, addrs.iter().copied());
-    let opt = OptimalDirectMapped::simulate_with_lastline(config, addrs.iter().copied());
     Triple {
-        dm: dm_stats,
-        de: de_stats,
-        opt,
+        dm: Policy::DirectMapped.simulate(config, addrs),
+        de: Policy::DeLastLine.simulate(config, addrs),
+        opt: Policy::OptimalDmLastLine.simulate(config, addrs),
     }
 }
 
@@ -195,6 +249,35 @@ mod tests {
         // A conventional cache makes no exclusion decisions.
         assert_eq!(observed.dm_events.exclusion_loads, 0);
         assert_eq!(observed.dm_events.exclusion_bypasses, 0);
+    }
+
+    #[test]
+    fn parallel_triples_match_pointwise_runs() {
+        let small = CacheConfig::direct_mapped(64, 4).unwrap();
+        let large = CacheConfig::direct_mapped(256, 4).unwrap();
+        let addrs = thrash();
+        let points: Vec<(CacheConfig, &[u32])> = vec![(small, &addrs), (large, &addrs)];
+        let parallel = triples(&points);
+        assert_eq!(parallel.len(), 2);
+        assert_eq!(parallel[0], triple(small, &addrs));
+        assert_eq!(parallel[1], triple(large, &addrs));
+        let lastline = triples_lastline(&points);
+        assert_eq!(lastline[0], triple_lastline(small, &addrs));
+        assert_eq!(lastline[1], triple_lastline(large, &addrs));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_row_in_order() {
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let addrs = thrash();
+        let t = triple(config, &addrs);
+        let jsonl = triples_to_jsonl([("first", &t), ("with \"quotes\"", &t)]);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"label":"first","dm":{"accesses":40"#));
+        assert!(lines[1].starts_with(r#"{"label":"with \"quotes\"","#));
+        assert!(lines[0].contains(r#""de_reduction":"#));
+        assert_eq!(jsonl, format!("{}\n{}\n", lines[0], lines[1]));
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! zero cost, which the differential tests in `tests/observability.rs`
 //! verify behaviourally (byte-identical `CacheStats`).
 
+use std::ops::{Add, AddAssign};
+
 use crate::event::{Event, Outcome};
 
 /// A sink for simulator [`Event`]s.
@@ -66,6 +68,39 @@ pub struct EventCounts {
     pub exclusion_loads: u64,
     /// `Event::ExclusionDecision` with `loaded == false` (bypasses).
     pub exclusion_bypasses: u64,
+}
+
+impl EventCounts {
+    /// Folds another tally into this one (shard/job merging).
+    ///
+    /// Exact for counts collected from disjoint partitions of a run: every
+    /// field is a plain sum.
+    pub fn merge(&mut self, other: &EventCounts) {
+        *self += *other;
+    }
+}
+
+impl Add for EventCounts {
+    type Output = EventCounts;
+
+    fn add(self, rhs: EventCounts) -> EventCounts {
+        EventCounts {
+            accesses: self.accesses + rhs.accesses,
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+            sticky_flips: self.sticky_flips + rhs.sticky_flips,
+            hit_last_updates: self.hit_last_updates + rhs.hit_last_updates,
+            exclusion_loads: self.exclusion_loads + rhs.exclusion_loads,
+            exclusion_bypasses: self.exclusion_bypasses + rhs.exclusion_bypasses,
+        }
+    }
+}
+
+impl AddAssign for EventCounts {
+    fn add_assign(&mut self, rhs: EventCounts) {
+        *self = *self + rhs;
+    }
 }
 
 /// A probe that tallies events by kind — the cheapest useful probe, used by
@@ -226,6 +261,77 @@ mod tests {
         assert_eq!(c.hit_last_updates, 1);
         assert_eq!(c.exclusion_loads, 1);
         assert_eq!(c.exclusion_bypasses, 1);
+    }
+
+    #[test]
+    fn event_counts_merge_sums_every_field() {
+        let mut a = EventCounts {
+            accesses: 2,
+            hits: 1,
+            misses: 1,
+            evictions: 1,
+            sticky_flips: 0,
+            hit_last_updates: 3,
+            exclusion_loads: 1,
+            exclusion_bypasses: 0,
+        };
+        let b = EventCounts {
+            accesses: 5,
+            hits: 2,
+            misses: 3,
+            evictions: 0,
+            sticky_flips: 4,
+            hit_last_updates: 1,
+            exclusion_loads: 2,
+            exclusion_bypasses: 6,
+        };
+        let sum = a + b;
+        a.merge(&b);
+        assert_eq!(a, sum);
+        assert_eq!(a.accesses, 7);
+        assert_eq!(a.hits, 3);
+        assert_eq!(a.misses, 4);
+        assert_eq!(a.evictions, 1);
+        assert_eq!(a.sticky_flips, 4);
+        assert_eq!(a.hit_last_updates, 4);
+        assert_eq!(a.exclusion_loads, 3);
+        assert_eq!(a.exclusion_bypasses, 6);
+        // Zero is the identity.
+        a += EventCounts::default();
+        assert_eq!(a, sum);
+    }
+
+    #[test]
+    fn merged_probe_counts_equal_single_probe_over_concatenation() {
+        // Two probes over disjoint halves of an event stream merge to the
+        // same totals as one probe over the whole stream.
+        let events = [
+            access(Outcome::Miss),
+            access(Outcome::Hit),
+            Event::ExclusionDecision {
+                set: 0,
+                line: 0,
+                loaded: false,
+            },
+            access(Outcome::Hit),
+            Event::StickyFlip {
+                set: 1,
+                sticky: true,
+            },
+        ];
+        let mut whole = CountingProbe::new();
+        let (mut left, mut right) = (CountingProbe::new(), CountingProbe::new());
+        for (i, e) in events.iter().enumerate() {
+            whole.emit(*e);
+            if i < 2 {
+                left.emit(*e);
+            } else {
+                right.emit(*e);
+            }
+        }
+        let mut merged = left.counts();
+        merged.merge(&right.counts());
+        assert_eq!(merged, whole.counts());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Named counters and fixed-bucket histograms.
 
 use std::collections::BTreeMap;
+use std::ops::AddAssign;
 
 /// A histogram over fixed, caller-chosen bucket upper bounds.
 ///
@@ -85,6 +86,25 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
+    /// Folds another histogram's buckets into this one (shard/job merging).
+    ///
+    /// Exact when the two histograms were recorded over disjoint partitions
+    /// of a run: bucket counts are plain sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ — merging histograms over
+    /// different bucketings has no well-defined result.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+    }
+
     /// Serializes as a JSON object `{"bounds":[…],"counts":[…]}`.
     pub fn to_json(&self) -> String {
         format!(
@@ -92,6 +112,19 @@ impl Histogram {
             join_u64(&self.bounds),
             join_u64(&self.counts)
         )
+    }
+}
+
+impl AddAssign<&Histogram> for Histogram {
+    /// `h += &other` is [`Histogram::merge`].
+    fn add_assign(&mut self, rhs: &Histogram) {
+        self.merge(rhs);
+    }
+}
+
+impl AddAssign for Histogram {
+    fn add_assign(&mut self, rhs: Histogram) {
+        self.merge(&rhs);
     }
 }
 
@@ -170,6 +203,28 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Folds another registry into this one (shard/job merging): counters
+    /// are summed; histograms present in both are bucket-merged, histograms
+    /// only in `other` are cloned in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram present in both registries has different bucket
+    /// bounds (see [`Histogram::merge`]).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &value) in &other.counters {
+            self.add(name, value);
+        }
+        for (name, histogram) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(existing) => existing.merge(histogram),
+                None => {
+                    self.histograms.insert(name.clone(), histogram.clone());
+                }
+            }
+        }
+    }
+
     /// Serializes the registry as one JSON object:
     /// `{"counters":{…},"histograms":{…}}`.
     pub fn to_json(&self) -> String {
@@ -205,6 +260,19 @@ impl MetricsRegistry {
     }
 }
 
+impl AddAssign<&MetricsRegistry> for MetricsRegistry {
+    /// `m += &other` is [`MetricsRegistry::merge`].
+    fn add_assign(&mut self, rhs: &MetricsRegistry) {
+        self.merge(rhs);
+    }
+}
+
+impl AddAssign for MetricsRegistry {
+    fn add_assign(&mut self, rhs: MetricsRegistry) {
+        self.merge(&rhs);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +305,71 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_bounds_rejected() {
         Histogram::new(Vec::new());
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets() {
+        // Merging two histograms over disjoint value sets equals one
+        // histogram over the union.
+        let mut whole = Histogram::new(vec![2, 8]);
+        let mut left = Histogram::new(vec![2, 8]);
+        let mut right = Histogram::new(vec![2, 8]);
+        for v in [1u64, 2, 5] {
+            whole.record(v);
+            left.record(v);
+        }
+        for v in [3u64, 9, 100] {
+            whole.record(v);
+            right.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        assert_eq!(left.counts(), &[2, 2, 2]);
+        // AddAssign forms agree.
+        let mut a = Histogram::new(vec![2, 8]);
+        a.record(1);
+        let mut b = a.clone();
+        a += &right;
+        b += right.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(vec![1, 2]);
+        a.merge(&Histogram::new(vec![1, 4]));
+    }
+
+    #[test]
+    fn registry_merge_sums_counters_and_unions_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.add("accesses", 3);
+        a.add("misses", 1);
+        let mut h = Histogram::new(vec![4]);
+        h.record(2);
+        a.put_histogram("reuse-distance", h);
+
+        let mut b = MetricsRegistry::new();
+        b.add("accesses", 5);
+        b.add("evictions", 2);
+        let mut h2 = Histogram::new(vec![4]);
+        h2.record(9);
+        b.put_histogram("reuse-distance", h2);
+        b.put_histogram("only-in-b", Histogram::new(vec![1]));
+
+        a.merge(&b);
+        assert_eq!(a.counter("accesses"), 8);
+        assert_eq!(a.counter("misses"), 1);
+        assert_eq!(a.counter("evictions"), 2);
+        let merged = a.histogram("reuse-distance").unwrap();
+        assert_eq!(merged.counts(), &[1, 1]);
+        assert!(a.histogram("only-in-b").is_some());
+        // AddAssign form agrees with a fresh merge.
+        let mut c = MetricsRegistry::new();
+        c.add("accesses", 3);
+        c += &b;
+        assert_eq!(c.counter("accesses"), 8);
     }
 
     #[test]

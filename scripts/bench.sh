@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Engine scaling benchmark: times the two parallel paths dynex-engine adds
+# (sweep-level fan-out and set-sharded single-trace simulation) at jobs=1 vs
+# jobs=N and writes accesses/second to results/BENCH_PR2.json.
+#
+#   scripts/bench.sh            # N = all cores (or 4 on a 1-core machine,
+#                               #     to still exercise the parallel path)
+#   DYNEX_BENCH_JOBS=8 scripts/bench.sh
+#
+# Both paths are exact — results are bit-identical at any worker count — so
+# this script measures wall clock only. Numbers are recorded honestly: on a
+# single-core machine expect ~1x (threading overhead included), not a
+# speedup. See EXPERIMENTS.md "Engine scaling".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CORES=$(nproc 2>/dev/null || echo 1)
+JOBS_N=${DYNEX_BENCH_JOBS:-$CORES}
+# On a 1-core machine jobs=N would equal jobs=1; use 4 workers so the
+# parallel machinery (queue, shard merge) is actually on the measured path.
+[ "$JOBS_N" -le 1 ] && JOBS_N=4
+
+SWEEP_REFS=${DYNEX_BENCH_SWEEP_REFS:-2000000}
+TRACE_REFS=${DYNEX_BENCH_TRACE_REFS:-10000000}
+OUT=results/BENCH_PR2.json
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "==> cargo build --release"
+cargo build --release --workspace -q
+
+EXPERIMENTS=target/release/experiments
+TRACEGEN=target/release/tracegen
+SIMCACHE=target/release/simcache
+
+now() { date +%s.%N; }
+elapsed() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", b - a }'; }
+
+# --- 1. figure sweep (fig5: size sweep x 10 benchmarks x 3 policies) -------
+echo "==> figure sweep (fig5, $SWEEP_REFS refs) at jobs=1 vs jobs=$JOBS_N"
+t0=$(now); "$EXPERIMENTS" --jobs 1 --refs "$SWEEP_REFS" fig5 >"$TMP/sweep1.txt"; t1=$(now)
+SWEEP_S1=$(elapsed "$t0" "$t1")
+t0=$(now); "$EXPERIMENTS" --jobs "$JOBS_N" --refs "$SWEEP_REFS" fig5 >"$TMP/sweepN.txt"; t1=$(now)
+SWEEP_SN=$(elapsed "$t0" "$t1")
+# Determinism spot check: the table must be identical at any worker count.
+diff "$TMP/sweep1.txt" "$TMP/sweepN.txt" >/dev/null \
+    || { echo "bench: sweep output differs between jobs=1 and jobs=$JOBS_N" >&2; exit 1; }
+
+# --- 2. single trace, set-sharded (10M-access gcc trace, 32KB DE) ----------
+echo "==> single trace ($TRACE_REFS refs, 32K de) serial vs --shard-sets --jobs $JOBS_N"
+"$TRACEGEN" gcc --refs "$TRACE_REFS" "$TMP/gcc.dxt" >/dev/null
+t0=$(now); "$SIMCACHE" "$TMP/gcc.dxt" --size 32K --org de --jobs 1 >"$TMP/trace1.txt"; t1=$(now)
+TRACE_S1=$(elapsed "$t0" "$t1")
+t0=$(now); "$SIMCACHE" "$TMP/gcc.dxt" --size 32K --org de --shard-sets --jobs "$JOBS_N" >"$TMP/traceN.txt"; t1=$(now)
+TRACE_SN=$(elapsed "$t0" "$t1")
+
+rate() { awk -v refs="$1" -v s="$2" 'BEGIN { printf "%.0f", refs / s }'; }
+ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
+
+mkdir -p results
+cat >"$OUT" <<EOF
+{
+  "bench": "dynex-engine scaling (PR 2)",
+  "machine": { "cores": $CORES, "jobs_n": $JOBS_N },
+  "figure_sweep": {
+    "experiment": "fig5",
+    "refs_per_benchmark": $SWEEP_REFS,
+    "seconds_jobs_1": $SWEEP_S1,
+    "seconds_jobs_n": $SWEEP_SN,
+    "speedup": $(ratio "$SWEEP_S1" "$SWEEP_SN")
+  },
+  "single_trace_set_sharded": {
+    "trace": "gcc",
+    "accesses": $TRACE_REFS,
+    "config": "32K de",
+    "seconds_serial": $TRACE_S1,
+    "seconds_sharded_jobs_n": $TRACE_SN,
+    "accesses_per_second_serial": $(rate "$TRACE_REFS" "$TRACE_S1"),
+    "accesses_per_second_sharded": $(rate "$TRACE_REFS" "$TRACE_SN"),
+    "speedup": $(ratio "$TRACE_S1" "$TRACE_SN")
+  }
+}
+EOF
+
+echo "bench: wrote $OUT"
+cat "$OUT"

@@ -1,0 +1,150 @@
+//! Integration: the sweep engine's two parallelism axes are deterministic.
+//!
+//! * Plan-level parallelism: a figure-style sweep produces bit-identical
+//!   `Triple`s — and byte-identical exported JSONL — for every worker count.
+//! * Set-level parallelism: sharding one trace by set index and merging the
+//!   shard statistics reproduces the serial run exactly, on the paper's
+//!   Section 3 loop patterns and on random traces, for DM, DE, and OPT.
+
+use dynex_cache::{CacheConfig, CacheStats, SplitMix64};
+use dynex_engine::{execute, shard_by_set, sharded_policy_stats, Job, Policy, SweepPlan};
+use dynex_experiments::{triple, triples_to_jsonl, Triple, Workloads};
+use dynex_workload::patterns;
+
+const JOB_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn random_trace(seed: u64, len: usize, span: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| (rng.below(span) as u32) * 4).collect()
+}
+
+#[test]
+fn figure_sweep_triples_identical_for_every_worker_count() {
+    let workloads = Workloads::generate(4_000);
+    let traces: Vec<Vec<u32>> = workloads
+        .iter()
+        .map(|(name, _)| workloads.instr_addrs(name))
+        .collect();
+    let mut points: Vec<(CacheConfig, &[u32])> = Vec::new();
+    for kb in [1u32, 4, 16] {
+        let config = CacheConfig::direct_mapped(kb * 1024, 4).unwrap();
+        points.extend(traces.iter().map(|t| (config, t.as_slice())));
+    }
+
+    let serial: Vec<Triple> = points.iter().map(|&(c, a)| triple(c, a)).collect();
+    for jobs in JOB_COUNTS {
+        let parallel = execute(&points, jobs, |&(c, a)| triple(c, a));
+        assert_eq!(parallel, serial, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn exported_jsonl_is_byte_identical_for_every_worker_count() {
+    let workloads = Workloads::generate(3_000);
+    let config = CacheConfig::direct_mapped(8 * 1024, 4).unwrap();
+    let names: Vec<&str> = workloads.iter().map(|(name, _)| name).collect();
+    let traces: Vec<Vec<u32>> = names.iter().map(|n| workloads.instr_addrs(n)).collect();
+
+    let jsonl_at = |jobs: usize| {
+        let results = execute(&traces, jobs, |t| triple(config, t));
+        triples_to_jsonl(names.iter().copied().zip(results.iter()))
+    };
+    let serial = jsonl_at(1);
+    assert_eq!(serial.lines().count(), names.len());
+    for jobs in JOB_COUNTS {
+        assert_eq!(jsonl_at(jobs), serial, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn sweep_plan_of_jobs_is_deterministic() {
+    let trace = random_trace(11, 20_000, 4_096);
+    let mut plan = SweepPlan::new();
+    for kb in [1u32, 2, 4, 8, 16] {
+        let config = CacheConfig::direct_mapped(kb * 1024, 4).unwrap();
+        for policy in [
+            Policy::DirectMapped,
+            Policy::DynamicExclusion,
+            Policy::OptimalDm,
+        ] {
+            plan.push(Job::new(config, policy));
+        }
+    }
+    let serial: Vec<CacheStats> = plan.run(1, |job| job.run(&trace));
+    for jobs in JOB_COUNTS {
+        assert_eq!(plan.run(jobs, |job| job.run(&trace)), serial, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn section3_loop_patterns_shard_exactly() {
+    // The paper's Section 3 conflict patterns, at a size where the two
+    // blocks collide; sharding must not change a single count.
+    let size = 1024u32;
+    let config = CacheConfig::direct_mapped(size, 4).unwrap();
+    let (a, b) = patterns::conflicting_pair(size);
+    let traces = [
+        patterns::conflict_between_loops(a, b, 10, 10),
+        patterns::conflict_between_loop_levels(a, b, 10, 10),
+        patterns::conflict_within_loop(a, b, 50),
+        patterns::three_way_loop(a, b, b + size, 25),
+    ];
+    for (i, trace) in traces.iter().enumerate() {
+        let addrs: Vec<u32> = trace.iter().map(|x| x.addr()).collect();
+        for policy in [
+            Policy::DirectMapped,
+            Policy::DynamicExclusion,
+            Policy::OptimalDm,
+        ] {
+            let serial = policy.simulate(config, &addrs);
+            for shards in [2usize, 4, 8] {
+                for jobs in JOB_COUNTS {
+                    assert_eq!(
+                        sharded_policy_stats(config, policy, &addrs, shards, jobs),
+                        serial,
+                        "pattern {i}, {} with {shards} shards, {jobs} jobs",
+                        policy.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_traces_shard_exactly() {
+    let config = CacheConfig::direct_mapped(4 * 1024, 4).unwrap();
+    for seed in [1u64, 2, 3] {
+        let addrs = random_trace(seed, 30_000, 8 * 1024);
+        for policy in [
+            Policy::DirectMapped,
+            Policy::DynamicExclusion,
+            Policy::OptimalDm,
+        ] {
+            let serial = policy.simulate(config, &addrs);
+            for shards in [2usize, 7, 32] {
+                assert_eq!(
+                    sharded_policy_stats(config, policy, &addrs, shards, 4),
+                    serial,
+                    "seed {seed}, {} with {shards} shards",
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shards_partition_the_trace() {
+    let config = CacheConfig::direct_mapped(1024, 4).unwrap();
+    let addrs = random_trace(9, 10_000, 2_048);
+    for shards in [1usize, 3, 16] {
+        let parts = shard_by_set(config.geometry(), &addrs, shards);
+        assert_eq!(parts.len(), shards);
+        assert_eq!(
+            parts.iter().map(Vec::len).sum::<usize>(),
+            addrs.len(),
+            "{shards} shards"
+        );
+    }
+}

@@ -2,20 +2,38 @@
 //! produces a structurally sane table (the full-budget numbers are recorded
 //! in EXPERIMENTS.md).
 
+use std::sync::OnceLock;
+
 use dynex_experiments::{figures, Workloads};
 
-fn workloads() -> Workloads {
+fn workloads() -> &'static Workloads {
     // Small but non-trivial: enough for warm loops on the small benchmarks.
-    Workloads::generate(30_000)
+    // Generated once per process — every test reads the same bundle.
+    static BUNDLE: OnceLock<Workloads> = OnceLock::new();
+    BUNDLE.get_or_init(|| Workloads::generate(30_000))
 }
 
 #[test]
 fn every_experiment_produces_a_table() {
     let w = workloads();
     for id in figures::ALL_IDS {
-        let table = figures::run(id, &w).unwrap_or_else(|| panic!("{id} missing"));
+        let table = figures::run(id, w).unwrap_or_else(|| panic!("{id} missing"));
         assert!(table.n_rows() > 0, "{id}: empty table");
         assert!(!table.title().is_empty(), "{id}: missing title");
+        // For the figures whose non-key columns are all numeric, every cell
+        // must parse (done here rather than in a second test so each
+        // experiment runs once per suite).
+        if ["fig4", "fig11", "fig14"].contains(&id) {
+            for row in 0..table.n_rows() {
+                for col in 1..table.headers().len() {
+                    let cell = table.cell(row, col).unwrap();
+                    assert!(
+                        cell.parse::<f64>().is_ok(),
+                        "{id} cell ({row},{col}) not numeric: {cell:?}"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -24,7 +42,7 @@ fn csv_files_are_written() {
     let w = workloads();
     let dir = std::env::temp_dir().join("dynex_smoke_csv");
     std::fs::create_dir_all(&dir).unwrap();
-    let table = figures::run("fig3", &w).unwrap();
+    let table = figures::run("fig3", w).unwrap();
     let path = dir.join("fig3.csv");
     table.save_csv(&path).unwrap();
     let text = std::fs::read_to_string(&path).unwrap();
@@ -38,25 +56,8 @@ fn section3_table_is_budget_independent() {
     // The pattern experiment uses exact sequences, not the workload bundle:
     // identical at any budget.
     let a = figures::patterns();
-    let b = figures::run("patterns", &workloads()).unwrap();
+    let b = figures::run("patterns", workloads()).unwrap();
     assert_eq!(a, b);
-}
-
-#[test]
-fn numeric_cells_parse() {
-    let w = workloads();
-    for id in ["fig4", "fig11", "fig14"] {
-        let table = figures::run(id, &w).unwrap();
-        for row in 0..table.n_rows() {
-            for col in 1..table.headers().len() {
-                let cell = table.cell(row, col).unwrap();
-                assert!(
-                    cell.parse::<f64>().is_ok(),
-                    "{id} cell ({row},{col}) not numeric: {cell:?}"
-                );
-            }
-        }
-    }
 }
 
 #[test]
