@@ -29,6 +29,19 @@ impl CacheStats {
         CacheStats::default()
     }
 
+    /// Reconstructs counters recorded elsewhere (sweep-journal replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `misses > accesses`.
+    pub fn from_counts(accesses: u64, misses: u64) -> CacheStats {
+        assert!(
+            misses <= accesses,
+            "misses ({misses}) cannot exceed accesses ({accesses})"
+        );
+        CacheStats { accesses, misses }
+    }
+
     /// Records one access outcome.
     pub fn record(&mut self, outcome: AccessOutcome) {
         self.accesses += 1;
@@ -148,6 +161,18 @@ mod tests {
     #[test]
     fn empty_run_has_zero_miss_rate() {
         assert_eq!(CacheStats::new().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn from_counts_round_trips() {
+        let s = stats(3, 2);
+        assert_eq!(CacheStats::from_counts(s.accesses(), s.misses()), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn from_counts_rejects_impossible_counters() {
+        let _ = CacheStats::from_counts(1, 2);
     }
 
     #[test]

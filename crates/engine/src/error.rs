@@ -1,0 +1,83 @@
+//! The engine's unified error taxonomy.
+//!
+//! Everything fallible in the sweep layer converges on [`EngineError`] so
+//! drivers can hold one error type: job failures from the resilient pool
+//! ([`crate::JobError`]), journal I/O ([`crate::JournalError`]), and
+//! invalid driver configuration. Hand-rolled `Display`/`Error`/`From`
+//! impls keep the workspace dependency-free (no `thiserror`).
+
+use std::fmt;
+
+use crate::journal::JournalError;
+use crate::resilience::JobError;
+
+/// Any failure the sweep engine can surface to a driver.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A sweep job failed (panicked or timed out) and was not recovered.
+    Job(JobError),
+    /// The checkpoint journal could not be opened, read, or appended to.
+    Journal(JournalError),
+    /// Invalid driver configuration (malformed CLI argument or environment
+    /// variable).
+    Config(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Job(e) => write!(f, "sweep job failed: {e}"),
+            EngineError::Journal(e) => write!(f, "sweep journal failed: {e}"),
+            EngineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Job(e) => Some(e),
+            EngineError::Journal(e) => Some(e),
+            EngineError::Config(_) => None,
+        }
+    }
+}
+
+impl From<JobError> for EngineError {
+    fn from(e: JobError) -> EngineError {
+        EngineError::Job(e)
+    }
+}
+
+impl From<JournalError> for EngineError {
+    fn from(e: JournalError) -> EngineError {
+        EngineError::Journal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::JobFailure;
+    use std::error::Error as _;
+    use std::time::Duration;
+
+    #[test]
+    fn display_and_source_chain() {
+        let job: EngineError = JobError {
+            plan_index: 2,
+            attempts: 1,
+            elapsed: Duration::from_millis(5),
+            failure: JobFailure::Panicked {
+                payload: "boom".to_owned(),
+            },
+        }
+        .into();
+        assert!(job.to_string().contains("sweep job failed"));
+        assert!(job.source().unwrap().to_string().contains("boom"));
+
+        let cfg = EngineError::Config("--refs must be positive".to_owned());
+        assert!(cfg.to_string().contains("--refs"));
+        assert!(cfg.source().is_none());
+    }
+}

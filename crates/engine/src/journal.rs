@@ -1,0 +1,395 @@
+//! Append-only sweep journal: checkpoint/resume for long sweeps.
+//!
+//! A journal is a JSONL file of completed job results, one object per line:
+//!
+//! ```text
+//! {"key":"<16-hex-digit content hash>","value":{...job-specific...}}
+//! ```
+//!
+//! Keys are content hashes of everything that determines a job's result
+//! (policy tag, cache configuration, trace digest — see [`job_key`] and
+//! [`trace_digest`]), so a journal is safe to reuse across runs: a changed
+//! input changes the key and simply misses. Records are appended and flushed
+//! as each job finishes; loading is *lenient* — a corrupt or partial
+//! trailing line (the signature of `kill -9` mid-append) is dropped, not
+//! fatal — so an interrupted sweep resumes from every record that made it to
+//! disk.
+//!
+//! Drivers install a process-wide journal once after argument parsing
+//! ([`set_global_journal`]); deep call sites consult it through
+//! [`with_global_journal`] without any plumbing, mirroring how
+//! [`crate::set_default_jobs`] distributes the worker count.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use dynex_obs::json::{self, Json};
+
+/// 64-bit FNV-1a hash — the workspace's dependency-free content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content digest of a reference stream (length-prefixed FNV-1a over the
+/// little-endian words), used inside journal keys so a record can never be
+/// replayed against a different trace.
+pub fn trace_digest(addrs: &[u32]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u8| {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in (addrs.len() as u64).to_le_bytes() {
+        step(b);
+    }
+    for &a in addrs {
+        for b in a.to_le_bytes() {
+            step(b);
+        }
+    }
+    hash
+}
+
+/// Builds a journal key from the parts that determine a job's result.
+///
+/// Parts are hashed with a separator so `["ab", "c"]` and `["a", "bc"]`
+/// produce different keys. The key is the hash in fixed-width hex.
+pub fn job_key(parts: &[&str]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in part.as_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= 0x1f; // unit separator: keeps part boundaries in the hash
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// A journal operation failure.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The journal file could not be opened, read, or appended to.
+    Io {
+        /// The journal path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A value passed to [`Journal::record`] was not a valid JSON document.
+    BadValue {
+        /// The parse failure, with offset.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, source } => {
+                write!(f, "journal {}: {source}", path.display())
+            }
+            JournalError::BadValue { message } => {
+                write!(f, "journal record is not valid JSON: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            JournalError::BadValue { .. } => None,
+        }
+    }
+}
+
+/// An append-only JSONL checkpoint of completed job results.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dynex_engine::{job_key, Journal};
+///
+/// let mut journal = Journal::open("sweep.journal")?;
+/// let key = job_key(&["fig5/de", "config...", "trace:abc"]);
+/// if journal.lookup(&key).is_none() {
+///     // ...run the job...
+///     journal.record(&key, r#"{"misses":42}"#)?;
+/// }
+/// # Ok::<(), dynex_engine::JournalError>(())
+/// ```
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    entries: HashMap<String, Json>,
+    dropped_lines: u64,
+    replayed: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, loading every intact
+    /// record. Corrupt or partial lines — e.g. the torn tail left by a kill
+    /// mid-append — are dropped and counted in
+    /// [`Journal::dropped_lines`], never fatal.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Journal, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let io_err = |source| JournalError::Io {
+            path: path.clone(),
+            source,
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err)?;
+
+        let data = std::fs::read(&path).map_err(io_err)?;
+        // Heal a torn tail: if the last append was cut off before its
+        // newline, start the next record on a fresh line instead of
+        // concatenating onto (and thereby corrupting) a new record.
+        if data.last().is_some_and(|&b| b != b'\n') {
+            file.write_all(b"\n").map_err(io_err)?;
+        }
+
+        let mut entries = HashMap::new();
+        let mut dropped_lines = 0u64;
+        for line in String::from_utf8_lossy(&data).lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Lenient load: anything that is not a well-formed record is a
+            // torn write — skip it so resume still works.
+            let record = match json::parse(line) {
+                Ok(v) => v,
+                Err(_) => {
+                    dropped_lines += 1;
+                    continue;
+                }
+            };
+            match (
+                record.get("key").and_then(Json::as_str),
+                record.get("value"),
+            ) {
+                (Some(key), Some(value)) => {
+                    entries.insert(key.to_owned(), value.clone());
+                }
+                _ => dropped_lines += 1,
+            }
+        }
+
+        Ok(Journal {
+            path,
+            file,
+            entries,
+            dropped_lines,
+            replayed: 0,
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records currently held (loaded at open + recorded since).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Corrupt/partial lines dropped while loading.
+    pub fn dropped_lines(&self) -> u64 {
+        self.dropped_lines
+    }
+
+    /// Lookups served from the journal since it was opened.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Returns the recorded value for `key`, if any, counting the hit in
+    /// [`Journal::replayed`].
+    pub fn lookup(&mut self, key: &str) -> Option<Json> {
+        let hit = self.entries.get(key).cloned();
+        if hit.is_some() {
+            self.replayed += 1;
+        }
+        hit
+    }
+
+    /// Appends a record and flushes it to disk before returning, so a crash
+    /// after `record` never loses the result. `value_json` must be one
+    /// complete JSON document.
+    pub fn record(&mut self, key: &str, value_json: &str) -> Result<(), JournalError> {
+        let value = json::parse(value_json).map_err(|e| JournalError::BadValue {
+            message: e.to_string(),
+        })?;
+        let line = format!(
+            "{{\"key\":\"{}\",\"value\":{}}}\n",
+            json::escape(key),
+            value_json
+        );
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|source| JournalError::Io {
+                path: self.path.clone(),
+                source,
+            })?;
+        self.file.flush().map_err(|source| JournalError::Io {
+            path: self.path.clone(),
+            source,
+        })?;
+        self.entries.insert(key.to_owned(), value);
+        Ok(())
+    }
+}
+
+/// Process-wide journal installed by the driver; `None` when resume is off.
+static GLOBAL_JOURNAL: Mutex<Option<Journal>> = Mutex::new(None);
+
+/// Installs (or clears, with `None`) the process-wide journal consulted by
+/// [`with_global_journal`]. Drivers call this once after parsing
+/// `--resume <path>`.
+pub fn set_global_journal(journal: Option<Journal>) {
+    *GLOBAL_JOURNAL.lock().expect("journal lock") = journal;
+}
+
+/// Runs `f` against the process-wide journal, returning `None` when no
+/// journal is installed. Deep call sites (figure sweeps) use this to consult
+/// the checkpoint without threading a handle through every signature.
+pub fn with_global_journal<R>(f: impl FnOnce(&mut Journal) -> R) -> Option<R> {
+    GLOBAL_JOURNAL.lock().expect("journal lock").as_mut().map(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "dynex-journal-{}-{tag}-{seq}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn trace_digest_separates_length_and_content() {
+        assert_ne!(trace_digest(&[]), trace_digest(&[0]));
+        assert_ne!(trace_digest(&[1, 2]), trace_digest(&[2, 1]));
+        assert_eq!(trace_digest(&[1, 2, 3]), trace_digest(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn job_key_respects_part_boundaries() {
+        assert_ne!(job_key(&["ab", "c"]), job_key(&["a", "bc"]));
+        assert_ne!(job_key(&["a"]), job_key(&["a", ""]));
+        assert_eq!(job_key(&["x", "y"]), job_key(&["x", "y"]));
+        assert_eq!(job_key(&["x"]).len(), 16);
+    }
+
+    #[test]
+    fn record_then_reopen_round_trips() {
+        let path = temp_path("roundtrip");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            assert!(j.is_empty());
+            j.record("k1", r#"{"misses":42,"accesses":100}"#).unwrap();
+            j.record("k2", r#"[1,2]"#).unwrap();
+            assert_eq!(j.len(), 2);
+        }
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped_lines(), 0);
+        let v = j.lookup("k1").unwrap();
+        assert_eq!(v.get("misses").and_then(Json::as_u64), Some(42));
+        assert_eq!(j.lookup("missing"), None);
+        assert_eq!(j.replayed(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_not_fatal() {
+        let path = temp_path("torn");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record("good", r#"{"v":1}"#).unwrap();
+        }
+        // Simulate a kill mid-append: a partial record with no closing brace.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"key\":\"half\",\"val").unwrap();
+        }
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.dropped_lines(), 1);
+        assert!(j.lookup("good").is_some());
+        assert!(j.lookup("half").is_none());
+        // Appending after recovery still works and lands on its own line.
+        j.record("later", r#"{"v":2}"#).unwrap();
+        drop(j);
+        let mut j = Journal::open(&path).unwrap();
+        assert!(j.lookup("later").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_rejects_malformed_values() {
+        let path = temp_path("badvalue");
+        let mut j = Journal::open(&path).unwrap();
+        let err = j.record("k", "{not json").unwrap_err();
+        assert!(matches!(err, JournalError::BadValue { .. }));
+        assert!(j.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_keys_last_write_wins_on_reload() {
+        let path = temp_path("dup");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record("k", r#"{"v":1}"#).unwrap();
+            j.record("k", r#"{"v":2}"#).unwrap();
+        }
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        let v = j.lookup("k").unwrap();
+        assert_eq!(v.get("v").and_then(Json::as_u64), Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_error_names_the_path() {
+        let bogus = Path::new("/nonexistent-dir-dynex/j.jsonl");
+        let err = Journal::open(bogus).unwrap_err();
+        assert!(err.to_string().contains("nonexistent-dir-dynex"));
+    }
+}

@@ -18,6 +18,15 @@
 //!   is independent (DM, DE, OPT) the trace is split by set index, shards
 //!   are simulated concurrently, and their [`CacheStats`] merged exactly
 //!   (debug builds assert equality with the serial run).
+//! * [`execute_resilient`] — the fault-isolated sibling of [`execute`]:
+//!   panics are contained to their slot ([`JobError`]), panicked jobs get a
+//!   bounded retry budget, and a soft per-job deadline marks hung jobs
+//!   [`JobFailure::TimedOut`] while the rest of the sweep completes.
+//! * [`Journal`] — an append-only JSONL checkpoint of completed job
+//!   results, keyed by content hash ([`job_key`] / [`trace_digest`]), so an
+//!   interrupted sweep resumed with `--resume` replays finished points and
+//!   produces byte-identical output.
+//! * [`EngineError`] — the unified error taxonomy drivers report through.
 //!
 //! Like the rest of the workspace the crate has no third-party
 //! dependencies: the pool is `std::thread::scope` + `std::sync::mpsc`, so
@@ -44,11 +53,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
+mod journal;
 mod pool;
+mod resilience;
 mod shard;
 mod sweep;
 
 pub use dynex_cache::CacheStats;
-pub use pool::{available_jobs, default_jobs, execute, set_default_jobs};
+pub use error::EngineError;
+pub use journal::{
+    fnv1a, job_key, set_global_journal, trace_digest, with_global_journal, Journal, JournalError,
+};
+pub use pool::{available_jobs, default_jobs, env_jobs, execute, set_default_jobs};
+pub use resilience::{
+    execute_resilient, JobError, JobFailure, Resilience, SweepCounts, SweepOutcome,
+};
 pub use shard::{shard_by_set, sharded_policy_stats, simulate_sharded};
 pub use sweep::{Job, Policy, SweepPlan};

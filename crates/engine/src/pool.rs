@@ -27,6 +27,28 @@ pub fn set_default_jobs(jobs: usize) {
     DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
 }
 
+/// Validates the `DYNEX_JOBS` environment variable: `Ok(None)` when unset,
+/// `Ok(Some(n))` for a positive integer, and `Err(message)` for anything
+/// else (including `0`).
+///
+/// [`default_jobs`] stays infallible and silently falls back on a bad value
+/// (deep call sites cannot surface errors); drivers should call this once
+/// at startup and abort on `Err` so a typo'd `DYNEX_JOBS=eight` fails loudly
+/// instead of quietly running with auto-detected parallelism.
+pub fn env_jobs() -> Result<Option<usize>, String> {
+    match std::env::var("DYNEX_JOBS") {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err("DYNEX_JOBS is not valid unicode".to_owned()),
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(0) => Err("DYNEX_JOBS must be a positive integer, got 0".to_owned()),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!(
+                "DYNEX_JOBS must be a positive integer, got {raw:?}"
+            )),
+        },
+    }
+}
+
 /// The worker count used when a caller does not specify one: the
 /// [`set_default_jobs`] override if set, else the `DYNEX_JOBS` environment
 /// variable if parseable and nonzero, else [`available_jobs`].

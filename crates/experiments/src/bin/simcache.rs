@@ -3,13 +3,25 @@
 //! ```text
 //! simcache <trace.dxt|trace.txt> --size 32K --line 4 \
 //!          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
-//!          [--jobs N] [--shard-sets] \
+//!          [--jobs N] [--shard-sets] [--job-retries N] [--job-timeout-ms N] \
+//!          [--lenient N] [--resume journal.jsonl] \
 //!          [--events-out e.jsonl] [--metrics-out m.json] \
 //!          [--intervals-out i.csv] [--interval N]
 //! ```
 //!
 //! Reads a `dynex-trace` file (binary `.dxt` or the text format, detected by
 //! the magic), simulates, and prints hit/miss statistics.
+//!
+//! `--lenient N` tolerates up to `N` corrupt records in the trace: bad
+//! packed words / malformed text lines are skipped and counted (reported via
+//! trace statistics and the observability `trace-skip` event) instead of
+//! aborting the run; the read still fails fast once the budget is exceeded.
+//!
+//! `--resume journal.jsonl` checkpoints the run's final statistics into an
+//! append-only journal keyed by a content hash of the organization,
+//! configuration, and trace; re-running with the same journal replays the
+//! result without simulating, byte-identical. Plain runs only (it combines
+//! with neither `--shard-sets` nor the observability outputs).
 //!
 //! `--shard-sets` splits the trace by cache-set index and simulates the
 //! shards concurrently on `--jobs` workers (default: `DYNEX_JOBS` or all
@@ -21,6 +33,12 @@
 //! the concatenation of the shard logs in shard order (not interleaved by
 //! global access order).
 //!
+//! Uninstrumented sharded runs are *fault-isolated*: each shard job runs
+//! under panic containment with a bounded retry budget (`--job-retries`) and
+//! an optional soft deadline (`--job-timeout-ms`). A panicking or hung shard
+//! fails alone — the remaining shards complete, a per-cell summary table is
+//! printed, and the exit status is nonzero only when failures remain.
+//!
 //! Any of the `--*-out` flags attaches a probe to the simulated cache:
 //! `--events-out` streams every [`dynex_obs::Event`] as JSONL,
 //! `--metrics-out` writes the aggregated counter/histogram registry (plus
@@ -30,41 +48,54 @@
 //! uninstrumented — the probe type monomorphizes to a no-op.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
+use dynex::DeStats;
 use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped, PerfectStore};
 use dynex_cache::{
     run, run_addrs, CacheConfig, CacheSim, CacheStats, DirectMapped, Replacement, SetAssociative,
     StreamBuffer, VictimCache,
 };
-use dynex_engine::{execute, shard_by_set, sharded_policy_stats, Policy};
-use dynex_obs::{export, Collector, Event, EventLog};
-use dynex_trace::{io as trace_io, Trace};
+use dynex_engine::{
+    execute, execute_resilient, job_key, shard_by_set, trace_digest, Journal, Policy, Resilience,
+};
+use dynex_obs::json::Json;
+use dynex_obs::{export, Collector, CountingProbe, Event, EventLog};
+use dynex_trace::{io as trace_io, ReadPolicy, Trace, TraceStats};
 
 fn parse_size(text: &str) -> Option<u32> {
     let text = text.trim();
-    if let Some(kb) = text.strip_suffix(['K', 'k']) {
+    let value = if let Some(kb) = text.strip_suffix(['K', 'k']) {
         kb.parse::<u32>().ok().map(|v| v * 1024)
     } else if let Some(mb) = text.strip_suffix(['M', 'm']) {
         mb.parse::<u32>().ok().map(|v| v * 1024 * 1024)
     } else {
         text.parse().ok()
-    }
+    };
+    value.filter(|&v| v > 0)
 }
 
-fn load_trace(path: &str) -> Result<Trace, String> {
+/// Loads a trace under the given read policy, returning the number of
+/// corrupt records skipped (always 0 under [`ReadPolicy::Strict`]).
+fn load_trace(path: &str, policy: ReadPolicy) -> Result<(Trace, u64), String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if bytes.starts_with(&trace_io::BINARY_MAGIC) {
-        trace_io::read_binary(&bytes[..]).map_err(|e| e.to_string())
+    let probe = CountingProbe::new();
+    let result = if bytes.starts_with(&trace_io::BINARY_MAGIC) {
+        trace_io::read_binary_with(&bytes[..], policy, probe)
     } else {
-        trace_io::read_text(&bytes[..]).map_err(|e| e.to_string())
-    }
+        trace_io::read_text_with(&bytes[..], policy, probe)
+    };
+    let (trace, report) = result.map_err(|e| format!("{path}: {e}"))?;
+    Ok((trace, report.skipped))
 }
 
 fn usage() {
     eprintln!(
         "usage: simcache <trace-file> --size <bytes|NK|NM> [--line N] \
          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
-         [--jobs N] [--shard-sets] \
+         [--jobs N] [--shard-sets] [--job-retries N] [--job-timeout-ms N] \
+         [--lenient <max-skipped>] [--resume <journal.jsonl>] \
          [--events-out <file.jsonl>] [--metrics-out <file.json>] \
          [--intervals-out <file.csv>] [--interval <N>]"
     );
@@ -124,6 +155,14 @@ fn report_sharded(policy: Policy, config: CacheConfig, n_shards: usize, stats: C
     );
 }
 
+/// Fault-injection hooks for the resilient sharded path, driven by the
+/// `DYNEX_INJECT_PANIC_SHARD` / `DYNEX_INJECT_HANG_SHARD` environment
+/// variables (shard index each). Test-only: they exist so the CLI-level
+/// resilience tests can exercise real panics and hangs end to end.
+fn injected_fault(env: &str) -> Option<usize> {
+    std::env::var(env).ok().and_then(|v| v.parse().ok())
+}
+
 /// `--shard-sets`: split the trace by set index, simulate the shards on the
 /// engine's worker pool, and merge statistics (and probes) exactly.
 ///
@@ -135,6 +174,7 @@ fn run_sharded(
     addrs: &[u32],
     jobs: usize,
     obs: &ObsConfig,
+    resilience: Resilience,
 ) -> ExitCode {
     let policy = match org {
         "dm" => Policy::DirectMapped,
@@ -152,34 +192,15 @@ fn run_sharded(
     eprintln!("set-sharded run: {n_shards} shard(s) on {jobs} worker(s)");
 
     // OPT is a two-pass oracle without a probed hot path (same as serially).
-    if policy == Policy::OptimalDm {
-        if obs.active() {
-            eprintln!(
-                "note: --org opt is a two-pass oracle without a probed hot path; \
-                 observability outputs are not written"
-            );
-        }
-        let stats = sharded_policy_stats(config, policy, addrs, n_shards, jobs);
-        report_sharded(policy, config, n_shards, stats);
-        return ExitCode::SUCCESS;
+    if policy == Policy::OptimalDm && obs.active() {
+        eprintln!(
+            "note: --org opt is a two-pass oracle without a probed hot path; \
+             observability outputs are not written"
+        );
     }
 
-    if !obs.active() {
-        let stats = sharded_policy_stats(config, policy, addrs, n_shards, jobs);
-        report_sharded(policy, config, n_shards, stats);
-        if policy == Policy::DynamicExclusion {
-            let shards = shard_by_set(config.geometry(), addrs, n_shards);
-            let per_shard = execute(&shards, jobs, |shard| {
-                let mut cache = DeCache::new(config);
-                run_addrs(&mut cache, shard.iter().copied());
-                cache.de_stats()
-            });
-            let (loads, bypasses) = per_shard
-                .iter()
-                .fold((0, 0), |(l, b), s| (l + s.loads, b + s.bypasses));
-            println!("  loads {loads} bypasses {bypasses}");
-        }
-        return ExitCode::SUCCESS;
+    if !obs.active() || policy == Policy::OptimalDm {
+        return run_sharded_resilient(policy, config, addrs, n_shards, jobs, resilience);
     }
 
     // Probed shards: one collector + event log per shard, merged in shard
@@ -203,8 +224,16 @@ fn run_sharded(
     });
 
     let mut outputs = outputs.into_iter();
-    let (mut stats, mut de_stats, mut collector, first_log) =
-        outputs.next().expect("at least one shard");
+    let Some((mut stats, mut de_stats, mut collector, first_log)) = outputs.next() else {
+        // shard_by_set always returns n_shards >= 1 shards; reaching this
+        // means the sharding layer broke its contract — fail cleanly rather
+        // than panicking in a release binary.
+        eprintln!(
+            "error: set-sharded run produced no shard outputs \
+             (internal error: n_shards={n_shards})"
+        );
+        return ExitCode::FAILURE;
+    };
     let mut events: Vec<Event> = first_log.into_events();
     for (s, d, c, log) in outputs {
         stats.merge(&s);
@@ -232,7 +261,248 @@ fn run_sharded(
     ExitCode::SUCCESS
 }
 
+/// The fault-isolated sharded path (uninstrumented runs): shards execute
+/// under panic containment / retry / soft deadline; a failing shard fails
+/// alone and the run reports partial statistics plus a per-cell table.
+fn run_sharded_resilient(
+    policy: Policy,
+    config: CacheConfig,
+    addrs: &[u32],
+    n_shards: usize,
+    jobs: usize,
+    resilience: Resilience,
+) -> ExitCode {
+    let inject_panic = injected_fault("DYNEX_INJECT_PANIC_SHARD");
+    let inject_hang = injected_fault("DYNEX_INJECT_HANG_SHARD");
+    let items: Arc<Vec<(usize, Vec<u32>)>> = Arc::new(
+        shard_by_set(config.geometry(), addrs, n_shards)
+            .into_iter()
+            .enumerate()
+            .collect(),
+    );
+    let outcome = execute_resilient(items, jobs, resilience, move |(index, shard)| {
+        if Some(*index) == inject_panic {
+            panic!("injected fault: panic in shard {index}");
+        }
+        if Some(*index) == inject_hang {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+        match policy {
+            Policy::DynamicExclusion => {
+                let mut cache = DeCache::new(config);
+                let stats = run_addrs(&mut cache, shard.iter().copied());
+                (stats, Some(cache.de_stats()))
+            }
+            _ => (policy.simulate(config, shard), None),
+        }
+    });
+
+    let mut merged = CacheStats::new();
+    let mut de_merged: Option<DeStats> = None;
+    for (stats, de) in outcome.results().iter().flatten() {
+        merged.merge(stats);
+        if let Some(de) = de {
+            let acc = de_merged.get_or_insert_with(DeStats::default);
+            acc.loads += de.loads;
+            acc.bypasses += de.bypasses;
+        }
+    }
+
+    if !outcome.has_failures() {
+        debug_assert_eq!(
+            merged,
+            policy.simulate(config, addrs),
+            "set-sharded statistics diverged from the serial run"
+        );
+        report_sharded(policy, config, n_shards, merged);
+        if let Some(de) = de_merged {
+            println!("  loads {} bypasses {}", de.loads, de.bypasses);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Partial results: the merged statistics cover only the surviving
+    // shards, so they are labelled as such rather than passed off as the
+    // full-trace numbers.
+    let counts = outcome.counts();
+    eprintln!("sweep summary: {}", outcome.summary());
+    if let Some(table) = outcome.failure_table(|i| format!("shard {i}")) {
+        eprint!("{table}");
+    }
+    println!(
+        "{} [set-sharded, PARTIAL {}/{} shards] {config}: {} accesses, {} misses, \
+         miss rate {:.4}%",
+        policy.name(),
+        counts.ok,
+        n_shards,
+        merged.accesses(),
+        merged.misses(),
+        merged.miss_rate_percent()
+    );
+    if let Some(de) = de_merged {
+        println!("  loads {} bypasses {} (partial)", de.loads, de.bypasses);
+    }
+    ExitCode::FAILURE
+}
+
+/// Simulates one uninstrumented run, returning its label, statistics, and
+/// (for `de`) the exclusion counters. This is the unit `--resume`
+/// checkpoints.
+fn plain_stats(
+    org: &str,
+    size: u32,
+    line: u32,
+    accesses: &[dynex_trace::Access],
+) -> Result<(String, CacheStats, Option<DeStats>), String> {
+    let dm_config = CacheConfig::direct_mapped(size, line).map_err(|e| e.to_string())?;
+    match org {
+        "dm" => {
+            let mut cache = DirectMapped::new(dm_config);
+            let stats = run(&mut cache, accesses.iter().copied());
+            Ok((cache.label(), stats, None))
+        }
+        "de" => {
+            let mut cache = DeCache::new(dm_config);
+            let stats = run(&mut cache, accesses.iter().copied());
+            let de = cache.de_stats();
+            Ok((cache.label(), stats, Some(de)))
+        }
+        "de-lastline" => {
+            let mut cache = LastLineDeCache::new(dm_config);
+            let stats = run(&mut cache, accesses.iter().copied());
+            Ok((cache.label(), stats, None))
+        }
+        "opt" => {
+            let stats = OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()));
+            Ok(("optimal direct-mapped".to_owned(), stats, None))
+        }
+        "2way" | "4way" => {
+            let ways = if org == "2way" { 2 } else { 4 };
+            let config = CacheConfig::new(size, line, ways).map_err(|e| e.to_string())?;
+            let mut cache = SetAssociative::new(config, Replacement::Lru);
+            let stats = run(&mut cache, accesses.iter().copied());
+            Ok((cache.label(), stats, None))
+        }
+        "victim" => {
+            let mut cache = VictimCache::new(dm_config, 4);
+            let stats = run(&mut cache, accesses.iter().copied());
+            Ok((cache.label(), stats, None))
+        }
+        "stream" => {
+            let mut cache = StreamBuffer::new(dm_config, 4);
+            let stats = run(&mut cache, accesses.iter().copied());
+            Ok((cache.label(), stats, None))
+        }
+        other => Err(format!("unknown --org {other:?}")),
+    }
+}
+
+fn print_plain(label: &str, stats: CacheStats, de: Option<DeStats>) {
+    println!(
+        "{label}: {} accesses, {} misses, miss rate {:.4}%",
+        stats.accesses(),
+        stats.misses(),
+        stats.miss_rate_percent()
+    );
+    if let Some(de) = de {
+        println!("  loads {} bypasses {}", de.loads, de.bypasses);
+    }
+}
+
+/// Journal value for one plain run (label + raw counters; every derived
+/// number is a pure function of these).
+fn plain_to_journal(label: &str, stats: CacheStats, de: Option<DeStats>) -> String {
+    let mut out = format!(
+        r#"{{"label":"{}","accesses":{},"misses":{}"#,
+        dynex_obs::json::escape(label),
+        stats.accesses(),
+        stats.misses(),
+    );
+    if let Some(de) = de {
+        out.push_str(&format!(
+            r#","loads":{},"bypasses":{}"#,
+            de.loads, de.bypasses
+        ));
+    }
+    out.push('}');
+    out
+}
+
+/// Decodes [`plain_to_journal`]; `None` re-simulates (stale/foreign record).
+fn plain_from_journal(v: &Json) -> Option<(String, CacheStats, Option<DeStats>)> {
+    let label = v.get("label")?.as_str()?.to_owned();
+    let accesses = v.get("accesses")?.as_u64()?;
+    let misses = v.get("misses")?.as_u64()?;
+    if misses > accesses {
+        return None;
+    }
+    let de = match (v.get("loads"), v.get("bypasses")) {
+        (Some(l), Some(b)) => Some(DeStats {
+            loads: l.as_u64()?,
+            bypasses: b.as_u64()?,
+        }),
+        _ => None,
+    };
+    Some((label, CacheStats::from_counts(accesses, misses), de))
+}
+
+/// The `--resume` path for plain runs: replay the checkpointed result if
+/// present, otherwise simulate and record it.
+fn run_resumable(
+    journal_path: &str,
+    org: &str,
+    kinds: &str,
+    size: u32,
+    line: u32,
+    accesses: &[dynex_trace::Access],
+) -> ExitCode {
+    let mut journal = match Journal::open(journal_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addrs: Vec<u32> = accesses.iter().map(|a| a.addr()).collect();
+    let key = job_key(&[
+        "simcache/v1",
+        org,
+        kinds,
+        &format!("size={size} line={line}"),
+        &format!("{:016x}", trace_digest(&addrs)),
+    ]);
+
+    if let Some(value) = journal.lookup(&key) {
+        if let Some((label, stats, de)) = plain_from_journal(&value) {
+            eprintln!("replayed from journal {journal_path} (1 point)");
+            print_plain(&label, stats, de);
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("warning: journal record for this run is malformed; re-simulating");
+    }
+
+    let (label, stats, de) = match plain_stats(org, size, line, accesses) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_plain(&label, stats, de);
+    if let Err(e) = journal.record(&key, &plain_to_journal(&label, stats, de)) {
+        eprintln!("warning: {e}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    // Fail loudly on a malformed DYNEX_JOBS before anything else runs
+    // (default_jobs() reads it later but cannot surface errors).
+    if let Err(e) = dynex_engine::env_jobs() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
     let mut path = None;
     let mut size = None;
     let mut line = 4u32;
@@ -240,6 +510,9 @@ fn main() -> ExitCode {
     let mut kinds = "all".to_owned();
     let mut jobs = 0usize; // 0 = auto (DYNEX_JOBS or available cores)
     let mut shard_sets = false;
+    let mut read_policy = ReadPolicy::Strict;
+    let mut resume: Option<String> = None;
+    let mut resilience = Resilience::default();
     let mut obs = ObsConfig {
         events_out: None,
         metrics_out: None,
@@ -250,7 +523,19 @@ fn main() -> ExitCode {
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--size" => size = it.next().as_deref().and_then(parse_size),
+            "--size" => {
+                let Some(value) = it.next() else {
+                    eprintln!("error: --size needs a value (e.g. --size 32K)");
+                    return ExitCode::FAILURE;
+                };
+                size = match parse_size(&value) {
+                    Some(v) => Some(v),
+                    None => {
+                        eprintln!("error: bad --size value {value:?} (positive bytes, NK, or NM)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--line" => {
                 line = match it.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
@@ -272,6 +557,42 @@ fn main() -> ExitCode {
                 }
             }
             "--shard-sets" => shard_sets = true,
+            "--job-retries" => {
+                resilience.max_retries = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("error: --job-retries needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--job-timeout-ms" => {
+                resilience.deadline = match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) if v > 0 => Some(Duration::from_millis(v)),
+                    _ => {
+                        eprintln!("error: --job-timeout-ms needs a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--lenient" => {
+                read_policy = match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(max_skipped) => ReadPolicy::Lenient { max_skipped },
+                    None => {
+                        eprintln!("error: --lenient needs a max-skipped count");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--resume" => {
+                resume = match it.next() {
+                    Some(v) => Some(v),
+                    None => {
+                        eprintln!("error: --resume needs a journal file");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--events-out" | "--metrics-out" | "--intervals-out" => {
                 let Some(value) = it.next() else {
                     eprintln!("error: {arg} needs a file path");
@@ -311,8 +632,15 @@ fn main() -> ExitCode {
         eprintln!("error: --size is required (e.g. --size 32K)");
         return ExitCode::FAILURE;
     };
+    if resume.is_some() && (shard_sets || obs.active()) {
+        eprintln!(
+            "error: --resume checkpoints plain runs only; it combines with \
+             neither --shard-sets nor the observability outputs"
+        );
+        return ExitCode::FAILURE;
+    }
 
-    let trace = match load_trace(&path) {
+    let (trace, skipped) = match load_trace(&path, read_policy) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
@@ -328,9 +656,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if skipped > 0 {
+        let mut stats = TraceStats::from_accesses(trace.iter());
+        stats.record_skipped(skipped);
+        eprintln!("lenient read: {skipped} corrupt record(s) skipped");
+        eprintln!("trace: {stats}");
+    }
     eprintln!("{} references selected from {}", accesses.len(), path);
 
-    let report = |label: String, stats: dynex_cache::CacheStats| {
+    if let Some(journal_path) = &resume {
+        return run_resumable(journal_path, &org, &kinds, size, line, &accesses);
+    }
+
+    let report = |label: String, stats: CacheStats| {
         println!(
             "{label}: {} accesses, {} misses, miss rate {:.4}%",
             stats.accesses(),
@@ -354,7 +692,20 @@ fn main() -> ExitCode {
     };
     if shard_sets {
         let addrs: Vec<u32> = accesses.iter().map(|a| a.addr()).collect();
-        return run_sharded(&org, dm_config, &addrs, jobs, &obs);
+        return run_sharded(&org, dm_config, &addrs, jobs, &obs, resilience);
+    }
+
+    if !obs.active() {
+        // The uninstrumented single run shares its driver with --resume.
+        let (label, stats, de) = match plain_stats(&org, size, line, &accesses) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print_plain(&label, stats, de);
+        return ExitCode::SUCCESS;
     }
 
     // Runs a probed cache, reports its stats, then extracts the
@@ -375,54 +726,32 @@ fn main() -> ExitCode {
 
     match org.as_str() {
         "dm" => {
-            if obs.active() {
-                simulate_observed!(DirectMapped::with_probe(dm_config, obs.probe()));
-            } else {
-                let mut cache = DirectMapped::new(dm_config);
-                let stats = run(&mut cache, accesses.iter().copied());
-                report(cache.label(), stats);
-            }
+            simulate_observed!(DirectMapped::with_probe(dm_config, obs.probe()));
         }
         "de" => {
-            let de_stats = if obs.active() {
-                let mut cache = DeCache::with_probe(dm_config, obs.probe());
-                let stats = run(&mut cache, accesses.iter().copied());
-                report(cache.label(), stats);
-                let de_stats = cache.de_stats();
-                let (collector, log) = cache.into_probe();
-                if let Err(e) = obs.write(&collector, log.events()) {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-                de_stats
-            } else {
-                let mut cache = DeCache::new(dm_config);
-                let stats = run(&mut cache, accesses.iter().copied());
-                report(cache.label(), stats);
-                cache.de_stats()
-            };
+            let mut cache = DeCache::with_probe(dm_config, obs.probe());
+            let stats = run(&mut cache, accesses.iter().copied());
+            report(cache.label(), stats);
+            let de_stats = cache.de_stats();
+            let (collector, log) = cache.into_probe();
+            if let Err(e) = obs.write(&collector, log.events()) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
             println!("  loads {} bypasses {}", de_stats.loads, de_stats.bypasses);
         }
         "de-lastline" => {
-            if obs.active() {
-                simulate_observed!(LastLineDeCache::with_store_and_probe(
-                    dm_config,
-                    PerfectStore::new(),
-                    obs.probe()
-                ));
-            } else {
-                let mut cache = LastLineDeCache::new(dm_config);
-                let stats = run(&mut cache, accesses.iter().copied());
-                report(cache.label(), stats);
-            }
+            simulate_observed!(LastLineDeCache::with_store_and_probe(
+                dm_config,
+                PerfectStore::new(),
+                obs.probe()
+            ));
         }
         "opt" => {
-            if obs.active() {
-                eprintln!(
-                    "note: --org opt is a two-pass oracle without a probed hot path; \
-                     observability outputs are not written"
-                );
-            }
+            eprintln!(
+                "note: --org opt is a two-pass oracle without a probed hot path; \
+                 observability outputs are not written"
+            );
             let stats = OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()));
             report("optimal direct-mapped".to_owned(), stats);
         }
@@ -435,35 +764,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if obs.active() {
-                simulate_observed!(SetAssociative::with_probe(
-                    config,
-                    Replacement::Lru,
-                    obs.probe()
-                ));
-            } else {
-                let mut cache = SetAssociative::new(config, Replacement::Lru);
-                let stats = run(&mut cache, accesses.iter().copied());
-                report(cache.label(), stats);
-            }
+            simulate_observed!(SetAssociative::with_probe(
+                config,
+                Replacement::Lru,
+                obs.probe()
+            ));
         }
         "victim" => {
-            if obs.active() {
-                simulate_observed!(VictimCache::with_probe(dm_config, 4, obs.probe()));
-            } else {
-                let mut cache = VictimCache::new(dm_config, 4);
-                let stats = run(&mut cache, accesses.iter().copied());
-                report(cache.label(), stats);
-            }
+            simulate_observed!(VictimCache::with_probe(dm_config, 4, obs.probe()));
         }
         "stream" => {
-            if obs.active() {
-                simulate_observed!(StreamBuffer::with_probe(dm_config, 4, obs.probe()));
-            } else {
-                let mut cache = StreamBuffer::new(dm_config, 4);
-                let stats = run(&mut cache, accesses.iter().copied());
-                report(cache.label(), stats);
-            }
+            simulate_observed!(StreamBuffer::with_probe(dm_config, 4, obs.probe()));
         }
         other => {
             eprintln!("error: unknown --org {other:?}");

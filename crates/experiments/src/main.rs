@@ -2,36 +2,63 @@
 //! dynamic-exclusion paper.
 //!
 //! ```text
-//! experiments [--refs N] [--jobs N] [--out DIR] <id>... | all | list
+//! experiments [--refs N] [--jobs N] [--out DIR] [--resume FILE] <id>... | all | list
 //! ```
 //!
 //! `--refs` sets the per-benchmark reference budget (default 4,000,000, or
 //! the `DYNEX_REFS` environment variable); `--jobs` sets the worker count
 //! for the sweep engine (default: the `DYNEX_JOBS` environment variable, or
 //! all available cores — results are bit-identical for any value); `--out`
-//! writes one CSV per experiment into the directory. Ids: see
-//! `experiments list`.
+//! writes one CSV per experiment into the directory; `--resume` checkpoints
+//! every completed sweep point into an append-only journal and replays it on
+//! the next run, so an interrupted sweep picks up where it left off and
+//! produces byte-identical output. Ids: see `experiments list`.
+//!
+//! Experiments are fault-isolated: a panic inside one id fails that id only;
+//! the remaining ids still run and the exit status is nonzero only when
+//! failures remain.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use dynex_engine::Journal;
 use dynex_experiments::{figures, Workloads};
 
 struct Options {
     refs: usize,
     jobs: usize,
     out: Option<PathBuf>,
+    resume: Option<PathBuf>,
     ids: Vec<String>,
 }
 
+/// Parses `DYNEX_REFS`: `Ok(None)` when unset, `Err` on anything that is not
+/// a positive integer — a typo'd budget must fail loudly, not silently run
+/// the default.
+fn env_refs() -> Result<Option<usize>, String> {
+    match std::env::var("DYNEX_REFS") {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err("DYNEX_REFS is not valid unicode".to_owned()),
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(0) => Err("DYNEX_REFS must be a positive integer, got 0".to_owned()),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!(
+                "DYNEX_REFS must be a positive integer, got {raw:?}"
+            )),
+        },
+    }
+}
+
 fn parse_args() -> Result<Options, String> {
-    let mut refs = std::env::var("DYNEX_REFS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4_000_000usize);
-    let mut jobs = 0; // 0 = auto (DYNEX_JOBS or available cores)
+    let mut refs = env_refs()?.unwrap_or(4_000_000usize);
+    // Validate DYNEX_JOBS up front (default_jobs() reads it later but cannot
+    // surface errors); 0 = auto.
+    dynex_engine::env_jobs()?;
+    let mut jobs = 0;
     let mut out = None;
+    let mut resume = None;
     let mut ids = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,7 +67,9 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--refs needs a value")?;
                 refs = value
                     .parse()
-                    .map_err(|_| format!("bad --refs value {value:?}"))?;
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or(format!("bad --refs value {value:?} (positive integer)"))?;
             }
             "--jobs" => {
                 let value = args.next().ok_or("--jobs needs a value")?;
@@ -53,6 +82,10 @@ fn parse_args() -> Result<Options, String> {
             "--out" => {
                 let value = args.next().ok_or("--out needs a directory")?;
                 out = Some(PathBuf::from(value));
+            }
+            "--resume" => {
+                let value = args.next().ok_or("--resume needs a journal file")?;
+                resume = Some(PathBuf::from(value));
             }
             "--help" | "-h" => {
                 ids.push("help".to_owned());
@@ -67,12 +100,18 @@ fn parse_args() -> Result<Options, String> {
         refs,
         jobs,
         out,
+        resume,
         ids,
     })
 }
 
 fn print_help() {
-    println!("usage: experiments [--refs N] [--jobs N] [--out DIR] <id>... | all | list");
+    println!(
+        "usage: experiments [--refs N] [--jobs N] [--out DIR] [--resume FILE] <id>... | all | list"
+    );
+    println!();
+    println!("  --resume FILE  checkpoint completed sweep points into FILE (JSONL)");
+    println!("                 and replay them on the next run with the same FILE");
     println!();
     println!("experiment ids:");
     for id in figures::ALL_IDS {
@@ -120,6 +159,28 @@ fn main() -> ExitCode {
     dynex_engine::set_default_jobs(options.jobs);
     eprintln!("sweep engine: {} worker(s)", dynex_engine::default_jobs());
 
+    if let Some(path) = &options.resume {
+        match Journal::open(path) {
+            Ok(journal) => {
+                eprintln!(
+                    "resume journal {}: {} checkpointed point(s) loaded{}",
+                    path.display(),
+                    journal.len(),
+                    if journal.dropped_lines() > 0 {
+                        format!(" ({} torn line(s) dropped)", journal.dropped_lines())
+                    } else {
+                        String::new()
+                    }
+                );
+                dynex_engine::set_global_journal(Some(journal));
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     eprintln!("generating {} references per benchmark...", options.refs);
     let started = Instant::now();
     let workloads = Workloads::generate(options.refs);
@@ -135,18 +196,56 @@ fn main() -> ExitCode {
         }
     }
 
+    // Fault isolation: one experiment panicking must not take down the ids
+    // after it. Failures are collected and summarized; partial results
+    // (every id that did complete) are still printed and saved.
+    let mut failed: Vec<(String, String)> = Vec::new();
+    let mut completed = 0usize;
     for id in &ids {
         let started = Instant::now();
-        let table = figures::run(id, &workloads).expect("ids validated above");
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            figures::run(id, &workloads).expect("ids validated above")
+        }));
+        let table = match outcome {
+            Ok(table) => table,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+                eprintln!("[{id} FAILED: {message}]\n");
+                failed.push((id.clone(), message));
+                continue;
+            }
+        };
         println!("{table}");
         eprintln!("[{id} in {:.1}s]\n", started.elapsed().as_secs_f64());
+        completed += 1;
         if let Some(dir) = &options.out {
             let path = dir.join(format!("{id}.csv"));
             if let Err(e) = table.save_csv(&path) {
                 eprintln!("error: cannot write {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                failed.push((id.clone(), format!("save_csv: {e}")));
             }
         }
     }
-    ExitCode::SUCCESS
+
+    if options.resume.is_some() {
+        let replayed = dynex_engine::with_global_journal(|j| (j.replayed(), j.len()));
+        if let Some((replayed, total)) = replayed {
+            eprintln!("resume journal: {replayed} point(s) replayed, {total} checkpointed");
+        }
+        dynex_engine::set_global_journal(None); // close before exit
+    }
+
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("summary: {} ok | {} failed", completed, failed.len());
+        for (id, message) in &failed {
+            eprintln!("  {id}: {message}");
+        }
+        ExitCode::FAILURE
+    }
 }

@@ -10,7 +10,8 @@
 
 use dynex::{DeCache, OptimalDirectMapped};
 use dynex_cache::{run_addrs, CacheConfig, CacheStats};
-use dynex_engine::{default_jobs, execute, Policy};
+use dynex_engine::{default_jobs, execute, job_key, trace_digest, with_global_journal, Policy};
+use dynex_obs::json::Json;
 use dynex_obs::{CountingProbe, EventCounts};
 
 /// Results of one workload under the three caches the paper compares
@@ -51,17 +52,105 @@ pub fn triple(config: CacheConfig, addrs: &[u32]) -> Triple {
 /// worker pool ([`dynex_engine::default_jobs`] workers).
 ///
 /// Results are in point order and bit-identical for every worker count.
+/// When a sweep journal is installed ([`dynex_engine::set_global_journal`],
+/// the drivers' `--resume`), previously completed points are replayed from
+/// the checkpoint instead of re-simulated; replay never changes a point's
+/// value (keys content-hash the policy tag, configuration, and trace).
 pub fn triples(points: &[(CacheConfig, &[u32])]) -> Vec<Triple> {
-    execute(points, default_jobs(), |&(config, addrs)| {
-        triple(config, addrs)
-    })
+    journaled_triples(points, "triple/v1", triple)
 }
 
 /// Runs [`triple_lastline`] over many `(config, trace)` sweep points on the
-/// engine's worker pool, like [`triples`].
+/// engine's worker pool, like [`triples`] (journal-aware in the same way).
 pub fn triples_lastline(points: &[(CacheConfig, &[u32])]) -> Vec<Triple> {
-    execute(points, default_jobs(), |&(config, addrs)| {
-        triple_lastline(config, addrs)
+    journaled_triples(points, "triple-lastline/v1", triple_lastline)
+}
+
+/// The journal-aware sweep shared by [`triples`] and [`triples_lastline`]:
+/// replay checkpointed points, run only the missing ones on the pool, and
+/// append the fresh results.
+fn journaled_triples(
+    points: &[(CacheConfig, &[u32])],
+    tag: &str,
+    f: fn(CacheConfig, &[u32]) -> Triple,
+) -> Vec<Triple> {
+    let keys: Vec<String> = points
+        .iter()
+        .map(|(config, addrs)| {
+            // Exact fields, not the Display label (which rounds the size to
+            // whole KB and would collide sub-KB configurations).
+            job_key(&[
+                tag,
+                &format!(
+                    "size={} line={} ways={}",
+                    config.size_bytes(),
+                    config.line_bytes(),
+                    config.associativity()
+                ),
+                &format!("{:016x}", trace_digest(addrs)),
+            ])
+        })
+        .collect();
+    let mut slots: Vec<Option<Triple>> = with_global_journal(|journal| {
+        keys.iter()
+            .map(|k| journal.lookup(k).and_then(|v| triple_from_journal(&v)))
+            .collect()
+    })
+    .unwrap_or_else(|| vec![None; points.len()]);
+
+    let missing: Vec<usize> = (0..points.len()).filter(|&i| slots[i].is_none()).collect();
+    let todo: Vec<(CacheConfig, &[u32])> = missing.iter().map(|&i| points[i]).collect();
+    let fresh = execute(&todo, default_jobs(), |&(config, addrs)| f(config, addrs));
+
+    with_global_journal(|journal| {
+        for (&i, t) in missing.iter().zip(&fresh) {
+            if let Err(e) = journal.record(&keys[i], &triple_to_journal(t)) {
+                // A checkpoint append failure must not abort the sweep; the
+                // point simply will not be resumable.
+                eprintln!("warning: {e}");
+            }
+        }
+    });
+    for (i, t) in missing.into_iter().zip(fresh) {
+        slots[i] = Some(t);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot replayed or simulated"))
+        .collect()
+}
+
+/// Journal value for one [`Triple`]: `{"dm":[acc,miss],...}` — counters
+/// only, since every derived rate is a pure function of them.
+fn triple_to_journal(t: &Triple) -> String {
+    format!(
+        r#"{{"dm":[{},{}],"de":[{},{}],"opt":[{},{}]}}"#,
+        t.dm.accesses(),
+        t.dm.misses(),
+        t.de.accesses(),
+        t.de.misses(),
+        t.opt.accesses(),
+        t.opt.misses(),
+    )
+}
+
+/// Decodes [`triple_to_journal`]; `None` on any shape mismatch (the caller
+/// then re-simulates the point, so a stale or foreign record is harmless).
+fn triple_from_journal(v: &Json) -> Option<Triple> {
+    let pair = |field: &str| {
+        let arr = v.get(field)?.as_array()?;
+        match arr {
+            [a, m] => {
+                let (accesses, misses) = (a.as_u64()?, m.as_u64()?);
+                (misses <= accesses).then(|| CacheStats::from_counts(accesses, misses))
+            }
+            _ => None,
+        }
+    };
+    Some(Triple {
+        dm: pair("dm")?,
+        de: pair("de")?,
+        opt: pair("opt")?,
     })
 }
 
@@ -278,6 +367,41 @@ mod tests {
         assert!(lines[1].starts_with(r#"{"label":"with \"quotes\"","#));
         assert!(lines[0].contains(r#""de_reduction":"#));
         assert_eq!(jsonl, format!("{}\n{}\n", lines[0], lines[1]));
+    }
+
+    #[test]
+    fn journal_encoding_round_trips() {
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let t = triple(config, &thrash());
+        let v = dynex_obs::json::parse(&triple_to_journal(&t)).unwrap();
+        assert_eq!(triple_from_journal(&v), Some(t));
+        // Shape mismatches decode to None (point gets re-simulated).
+        assert_eq!(triple_from_journal(&Json::Null), None);
+        let truncated = dynex_obs::json::parse(r#"{"dm":[1,0],"de":[1,0]}"#).unwrap();
+        assert_eq!(triple_from_journal(&truncated), None);
+        let impossible = dynex_obs::json::parse(r#"{"dm":[1,2],"de":[1,0],"opt":[1,0]}"#).unwrap();
+        assert_eq!(triple_from_journal(&impossible), None);
+    }
+
+    #[test]
+    fn journaled_sweep_replays_bit_identically() {
+        let path =
+            std::env::temp_dir().join(format!("dynex-runner-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let small = CacheConfig::direct_mapped(64, 4).unwrap();
+        let large = CacheConfig::direct_mapped(256, 4).unwrap();
+        let addrs = thrash();
+        let points: Vec<(CacheConfig, &[u32])> = vec![(small, &addrs), (large, &addrs)];
+        let bare = triples(&points); // no journal installed
+        dynex_engine::set_global_journal(Some(dynex_engine::Journal::open(&path).unwrap()));
+        let recorded = triples(&points); // cold journal: simulates + records
+        let replayed_triples = triples(&points); // warm journal: pure replay
+        let replayed = dynex_engine::with_global_journal(|j| j.replayed()).unwrap();
+        dynex_engine::set_global_journal(None);
+        assert_eq!(recorded, bare);
+        assert_eq!(replayed_triples, bare);
+        assert!(replayed >= points.len() as u64);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub struct Collector {
     hit_last_updates: u64,
     exclusion_loads: u64,
     exclusion_bypasses: u64,
+    trace_skips: u64,
     reuse: Histogram,
     last_touch: HashMap<u32, u64>,
     conflicts_by_set: Vec<u64>,
@@ -62,6 +63,7 @@ impl Collector {
             hit_last_updates: 0,
             exclusion_loads: 0,
             exclusion_bypasses: 0,
+            trace_skips: 0,
             reuse: Histogram::pow2(REUSE_MAX_EXP),
             last_touch: HashMap::new(),
             conflicts_by_set: Vec::new(),
@@ -90,6 +92,7 @@ impl Collector {
         self.hit_last_updates += other.hit_last_updates;
         self.exclusion_loads += other.exclusion_loads;
         self.exclusion_bypasses += other.exclusion_bypasses;
+        self.trace_skips += other.trace_skips;
         self.reuse.merge(&other.reuse);
         if other.conflicts_by_set.len() > self.conflicts_by_set.len() {
             self.conflicts_by_set
@@ -132,6 +135,9 @@ impl Collector {
         m.set("hit-last-updates", self.hit_last_updates);
         m.set("exclusion-loads", self.exclusion_loads);
         m.set("exclusion-bypasses", self.exclusion_bypasses);
+        if self.trace_skips > 0 {
+            m.set("trace-skips", self.trace_skips);
+        }
         m.put_histogram("reuse-distance", self.reuse.clone());
         if !self.conflicts_by_set.is_empty() {
             m.put_histogram("set-conflicts", self.set_conflicts_histogram());
@@ -192,6 +198,7 @@ impl Probe for Collector {
                     self.exclusion_bypasses += 1;
                 }
             }
+            Event::TraceSkip { .. } => self.trace_skips += 1,
         }
     }
 }

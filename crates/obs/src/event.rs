@@ -120,11 +120,19 @@ pub enum Event {
         /// `true` if the block was loaded, `false` if it was bypassed.
         loaded: bool,
     },
+    /// A corrupt record was skipped during lenient trace ingestion
+    /// (`dynex_trace::io::ReadPolicy::Lenient`).
+    TraceSkip {
+        /// Reference index (binary format) or 1-based line number (text
+        /// format) of the skipped record.
+        offset: u64,
+    },
 }
 
 impl Event {
     /// Stable lowercase kind tag used by the exporters (`"access"`,
-    /// `"eviction"`, `"sticky-flip"`, `"hit-last"`, `"exclusion"`).
+    /// `"eviction"`, `"sticky-flip"`, `"hit-last"`, `"exclusion"`,
+    /// `"trace-skip"`).
     pub fn kind(&self) -> &'static str {
         match self {
             Event::Access { .. } => "access",
@@ -132,6 +140,7 @@ impl Event {
             Event::StickyFlip { .. } => "sticky-flip",
             Event::HitLastUpdate { .. } => "hit-last",
             Event::ExclusionDecision { .. } => "exclusion",
+            Event::TraceSkip { .. } => "trace-skip",
         }
     }
 
@@ -164,6 +173,9 @@ impl Event {
             }
             Event::ExclusionDecision { set, line, loaded } => {
                 format!(r#"{{"type":"exclusion","set":{set},"line":{line},"loaded":{loaded}}}"#)
+            }
+            Event::TraceSkip { offset } => {
+                format!(r#"{{"type":"trace-skip","offset":{offset}}}"#)
             }
         }
     }
@@ -209,5 +221,8 @@ mod tests {
         );
         assert_eq!(e.kind(), "sticky-flip");
         assert_eq!(e.to_string(), e.to_json());
+        let e = Event::TraceSkip { offset: 17 };
+        assert_eq!(e.to_json(), r#"{"type":"trace-skip","offset":17}"#);
+        assert_eq!(e.kind(), "trace-skip");
     }
 }

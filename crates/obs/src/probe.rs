@@ -68,6 +68,9 @@ pub struct EventCounts {
     pub exclusion_loads: u64,
     /// `Event::ExclusionDecision` with `loaded == false` (bypasses).
     pub exclusion_bypasses: u64,
+    /// `Event::TraceSkip` count (corrupt records skipped by lenient trace
+    /// ingestion).
+    pub trace_skips: u64,
 }
 
 impl EventCounts {
@@ -93,6 +96,7 @@ impl Add for EventCounts {
             hit_last_updates: self.hit_last_updates + rhs.hit_last_updates,
             exclusion_loads: self.exclusion_loads + rhs.exclusion_loads,
             exclusion_bypasses: self.exclusion_bypasses + rhs.exclusion_bypasses,
+            trace_skips: self.trace_skips + rhs.trace_skips,
         }
     }
 }
@@ -143,6 +147,7 @@ impl Probe for CountingProbe {
                     self.counts.exclusion_bypasses += 1;
                 }
             }
+            Event::TraceSkip { .. } => self.counts.trace_skips += 1,
         }
     }
 }
@@ -252,6 +257,7 @@ mod tests {
             line: 0,
             loaded: false,
         });
+        p.emit(Event::TraceSkip { offset: 3 });
         let c = p.counts();
         assert_eq!(c.accesses, 2);
         assert_eq!(c.hits, 1);
@@ -261,6 +267,7 @@ mod tests {
         assert_eq!(c.hit_last_updates, 1);
         assert_eq!(c.exclusion_loads, 1);
         assert_eq!(c.exclusion_bypasses, 1);
+        assert_eq!(c.trace_skips, 1);
     }
 
     #[test]
@@ -274,6 +281,7 @@ mod tests {
             hit_last_updates: 3,
             exclusion_loads: 1,
             exclusion_bypasses: 0,
+            trace_skips: 2,
         };
         let b = EventCounts {
             accesses: 5,
@@ -284,6 +292,7 @@ mod tests {
             hit_last_updates: 1,
             exclusion_loads: 2,
             exclusion_bypasses: 6,
+            trace_skips: 1,
         };
         let sum = a + b;
         a.merge(&b);
@@ -296,6 +305,7 @@ mod tests {
         assert_eq!(a.hit_last_updates, 4);
         assert_eq!(a.exclusion_loads, 3);
         assert_eq!(a.exclusion_bypasses, 6);
+        assert_eq!(a.trace_skips, 3);
         // Zero is the identity.
         a += EventCounts::default();
         assert_eq!(a, sum);

@@ -11,12 +11,78 @@
 //!
 //! Readers and writers are generic over [`std::io::Read`] / [`std::io::Write`]
 //! by value; pass `&mut reader` to keep using the underlying stream afterward.
+//!
+//! # Lenient ingestion
+//!
+//! Production traces are imperfect: a flipped bit in a packed word or a
+//! mangled text line should not make a multi-gigabyte trace unreadable. The
+//! `*_with` readers take a [`ReadPolicy`]: [`ReadPolicy::Strict`] (the
+//! default, what [`read_binary`] / [`read_text`] use) fails on the first
+//! corrupt record, while [`ReadPolicy::Lenient`] skips corrupt words/lines,
+//! counts them in a [`ReadReport`], emits a [`dynex_obs::Event::TraceSkip`]
+//! per skip through the supplied probe, and still fails fast with
+//! [`TraceIoError::SkipBudgetExceeded`] once the skip count passes
+//! `max_skipped`.
 
 use std::error::Error;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
+use dynex_obs::{Event, NoopProbe, Probe};
+
 use crate::{Access, AccessKind, PackedAccess, Trace};
+
+/// How a reader treats corrupt records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReadPolicy {
+    /// Fail on the first corrupt word / unparsable line (the historical
+    /// behaviour of [`read_binary`] / [`read_text`]).
+    #[default]
+    Strict,
+    /// Skip corrupt records, counting them in the [`ReadReport`] and
+    /// emitting one [`Event::TraceSkip`] per skip, until more than
+    /// `max_skipped` records have been dropped — then fail with
+    /// [`TraceIoError::SkipBudgetExceeded`].
+    Lenient {
+        /// Largest tolerated number of skipped records.
+        max_skipped: u64,
+    },
+}
+
+/// What a lenient read skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadReport {
+    /// Records dropped (corrupt packed words, unparsable lines, and — for
+    /// binary traces — references lost to mid-stream truncation).
+    pub skipped: u64,
+    /// Offset of the first skip (reference index for binary traces, 1-based
+    /// line number for text), if anything was skipped.
+    pub first_skip: Option<u64>,
+}
+
+impl ReadReport {
+    fn note<P: Probe>(
+        &mut self,
+        policy: ReadPolicy,
+        offset: u64,
+        count: u64,
+        probe: &mut P,
+    ) -> Result<(), TraceIoError> {
+        self.skipped += count;
+        self.first_skip.get_or_insert(offset);
+        probe.emit(Event::TraceSkip { offset });
+        match policy {
+            ReadPolicy::Lenient { max_skipped } if self.skipped > max_skipped => {
+                Err(TraceIoError::SkipBudgetExceeded {
+                    skipped: self.skipped,
+                    max_skipped,
+                    offset,
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+}
 
 /// Magic bytes identifying the binary trace format, version 1.
 pub const BINARY_MAGIC: [u8; 4] = *b"DXT1";
@@ -47,13 +113,32 @@ pub enum TraceIoError {
         /// The offending line content.
         content: String,
     },
+    /// A lenient read skipped more records than its budget allows.
+    SkipBudgetExceeded {
+        /// Records skipped so far (including the one that broke the budget).
+        skipped: u64,
+        /// The configured [`ReadPolicy::Lenient`] budget.
+        max_skipped: u64,
+        /// Offset of the skip that broke the budget (reference index for
+        /// binary traces, 1-based line number for text).
+        offset: u64,
+    },
 }
 
 impl fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceIoError::Io(e) => write!(f, "trace io failure: {e}"),
-            TraceIoError::BadMagic(m) => write!(f, "bad trace magic {m:?}, expected \"DXT1\""),
+            TraceIoError::BadMagic(m) => {
+                let printable: String = m
+                    .iter()
+                    .map(|&b| if b.is_ascii_graphic() { b as char } else { '.' })
+                    .collect();
+                write!(
+                    f,
+                    "bad trace magic {m:?} ({printable:?}), expected \"DXT1\""
+                )
+            }
             TraceIoError::Truncated { expected, actual } => {
                 write!(
                     f,
@@ -65,6 +150,17 @@ impl fmt::Display for TraceIoError {
             }
             TraceIoError::BadLine { line, content } => {
                 write!(f, "unparsable trace line {line}: {content:?}")
+            }
+            TraceIoError::SkipBudgetExceeded {
+                skipped,
+                max_skipped,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "lenient read gave up at offset {offset}: {skipped} records \
+                     skipped, budget {max_skipped}"
+                )
             }
         }
     }
@@ -128,7 +224,46 @@ pub fn write_binary<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceI
 /// [`TraceIoError::Truncated`] if the stream ends early,
 /// [`TraceIoError::CorruptAccess`] for reserved kind bits, and
 /// [`TraceIoError::Io`] for underlying failures.
-pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+pub fn read_binary<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
+    read_binary_with(reader, ReadPolicy::Strict, NoopProbe).map(|(trace, _)| trace)
+}
+
+/// Reads a binary trace under a [`ReadPolicy`], emitting one
+/// [`Event::TraceSkip`] per skipped record through `probe`.
+///
+/// The magic and the 12-byte header are always strict — a wrong magic or a
+/// header the stream cannot even supply is a format error, not noise. Under
+/// [`ReadPolicy::Lenient`], corrupt packed words are skipped one by one and
+/// a mid-stream truncation ends the read with the missing tail counted as
+/// skipped (one `TraceSkip` event at the truncation point).
+///
+/// # Errors
+///
+/// As [`read_binary`], plus [`TraceIoError::SkipBudgetExceeded`] when a
+/// lenient read drops more than `max_skipped` records.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_obs::NoopProbe;
+/// use dynex_trace::io::{read_binary_with, write_binary, ReadPolicy};
+/// use dynex_trace::{Access, Trace};
+///
+/// let trace: Trace = [Access::fetch(0x40), Access::read(0x80)].into_iter().collect();
+/// let mut buf = Vec::new();
+/// write_binary(&mut buf, &trace).unwrap();
+/// buf[12..16].copy_from_slice(&(3u32 << 30).to_le_bytes()); // corrupt word 0
+/// let (back, report) =
+///     read_binary_with(&buf[..], ReadPolicy::Lenient { max_skipped: 4 }, NoopProbe).unwrap();
+/// assert_eq!(back.len(), 1);
+/// assert_eq!(report.skipped, 1);
+/// assert_eq!(report.first_skip, Some(0));
+/// ```
+pub fn read_binary_with<R: Read, P: Probe>(
+    mut reader: R,
+    policy: ReadPolicy,
+    mut probe: P,
+) -> Result<(Trace, ReadReport), TraceIoError> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if magic != BINARY_MAGIC {
@@ -139,10 +274,18 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
     let expected = u64::from_le_bytes(count_bytes);
 
     let mut trace = Trace::with_capacity(expected.min(1 << 28) as usize);
+    let mut report = ReadReport::default();
     let mut word = [0u8; 4];
     for index in 0..expected {
         if let Err(e) = reader.read_exact(&mut word) {
             if e.kind() == io::ErrorKind::UnexpectedEof {
+                if let ReadPolicy::Lenient { .. } = policy {
+                    // The rest of the trace is gone; count the missing tail
+                    // as one truncation skip and stop cleanly if the budget
+                    // still covers it.
+                    report.note(policy, index, expected - index, &mut probe)?;
+                    break;
+                }
                 return Err(TraceIoError::Truncated {
                     expected,
                     actual: index,
@@ -151,10 +294,15 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
             return Err(e.into());
         }
         let raw = u32::from_le_bytes(word);
-        let packed = PackedAccess::from_raw(raw).ok_or(TraceIoError::CorruptAccess { index })?;
-        trace.push(packed.unpack());
+        match PackedAccess::from_raw(raw) {
+            Some(packed) => trace.push(packed.unpack()),
+            None => match policy {
+                ReadPolicy::Strict => return Err(TraceIoError::CorruptAccess { index }),
+                ReadPolicy::Lenient { .. } => report.note(policy, index, 1, &mut probe)?,
+            },
+        }
     }
-    Ok(trace)
+    Ok((trace, report))
 }
 
 /// Writes `trace` in the one-reference-per-line text format.
@@ -183,7 +331,26 @@ pub fn write_text<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoE
 /// line that is not `<F|R|W> <address>` (address decimal or `0x`-hex), and
 /// [`TraceIoError::Io`] for underlying failures.
 pub fn read_text<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
+    read_text_with(reader, ReadPolicy::Strict, NoopProbe).map(|(trace, _)| trace)
+}
+
+/// Reads a text trace under a [`ReadPolicy`], emitting one
+/// [`Event::TraceSkip`] per skipped line through `probe`.
+///
+/// Under [`ReadPolicy::Lenient`], unparsable lines are skipped (blank and
+/// `#` comment lines are never counted as skips).
+///
+/// # Errors
+///
+/// As [`read_text`], plus [`TraceIoError::SkipBudgetExceeded`] when a
+/// lenient read drops more than `max_skipped` lines.
+pub fn read_text_with<R: Read, P: Probe>(
+    reader: R,
+    policy: ReadPolicy,
+    mut probe: P,
+) -> Result<(Trace, ReadReport), TraceIoError> {
     let mut trace = Trace::new();
+    let mut report = ReadReport::default();
     let buffered = BufReader::new(reader);
     for (i, line) in buffered.lines().enumerate() {
         let line = line?;
@@ -192,13 +359,20 @@ pub fn read_text<R: Read>(reader: R) -> Result<Trace, TraceIoError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let access = parse_text_line(trimmed).ok_or_else(|| TraceIoError::BadLine {
-            line: lineno,
-            content: trimmed.to_owned(),
-        })?;
-        trace.push(access);
+        match parse_text_line(trimmed) {
+            Some(access) => trace.push(access),
+            None => match policy {
+                ReadPolicy::Strict => {
+                    return Err(TraceIoError::BadLine {
+                        line: lineno,
+                        content: trimmed.to_owned(),
+                    })
+                }
+                ReadPolicy::Lenient { .. } => report.note(policy, lineno, 1, &mut probe)?,
+            },
+        }
     }
-    Ok(trace)
+    Ok((trace, report))
 }
 
 fn parse_text_line(line: &str) -> Option<Access> {
@@ -319,6 +493,93 @@ mod tests {
         assert!(read_text("F 0x100 extra\n".as_bytes()).is_err());
         assert!(read_text("Q 0x100\n".as_bytes()).is_err());
         assert!(read_text("FF 0x100\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn lenient_binary_skips_corrupt_words_and_counts_them() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        // Corrupt words 1 and 3 (reserved kind bits).
+        for index in [1usize, 3] {
+            buf[12 + 4 * index..16 + 4 * index].copy_from_slice(&(3u32 << 30).to_le_bytes());
+        }
+        let mut log = dynex_obs::EventLog::new();
+        let (trace, report) =
+            read_binary_with(&buf[..], ReadPolicy::Lenient { max_skipped: 2 }, &mut log).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.first_skip, Some(1));
+        let offsets: Vec<u64> = log
+            .events()
+            .iter()
+            .map(|e| match e {
+                dynex_obs::Event::TraceSkip { offset } => *offset,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(offsets, vec![1, 3]);
+    }
+
+    #[test]
+    fn lenient_budget_is_a_hard_ceiling() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        for index in [0usize, 1] {
+            buf[12 + 4 * index..16 + 4 * index].copy_from_slice(&(3u32 << 30).to_le_bytes());
+        }
+        let err = read_binary_with(&buf[..], ReadPolicy::Lenient { max_skipped: 1 }, NoopProbe)
+            .unwrap_err();
+        match err {
+            TraceIoError::SkipBudgetExceeded {
+                skipped: 2,
+                max_skipped: 1,
+                offset: 1,
+            } => {}
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn lenient_binary_tolerates_truncation_within_budget() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf.truncate(buf.len() - 6); // loses the last two references
+        let (trace, report) =
+            read_binary_with(&buf[..], ReadPolicy::Lenient { max_skipped: 2 }, NoopProbe).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.first_skip, Some(2));
+        // A strict read of the same bytes still fails.
+        assert!(matches!(
+            read_binary(&buf[..]).unwrap_err(),
+            TraceIoError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn lenient_text_skips_bad_lines_by_line_number() {
+        let src = "F 0x100\nnot a line\nR 256\nQ 1\n";
+        let mut counting = dynex_obs::CountingProbe::new();
+        let (trace, report) = read_text_with(
+            src.as_bytes(),
+            ReadPolicy::Lenient { max_skipped: 5 },
+            &mut counting,
+        )
+        .unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.first_skip, Some(2));
+        assert_eq!(counting.counts().trace_skips, 2);
+    }
+
+    #[test]
+    fn strict_policy_matches_plain_readers() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        let (trace, report) = read_binary_with(&buf[..], ReadPolicy::default(), NoopProbe).unwrap();
+        assert_eq!(trace, t);
+        assert_eq!(report, ReadReport::default());
     }
 
     #[test]

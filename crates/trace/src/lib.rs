@@ -35,6 +35,7 @@ mod stats;
 mod trace;
 
 pub use access::{Access, AccessKind};
+pub use io::{ReadPolicy, ReadReport};
 pub use packed::{AddressRangeError, PackedAccess, MAX_ADDR};
 pub use stats::TraceStats;
 pub use trace::Trace;

@@ -32,6 +32,7 @@ pub struct TraceStats {
     data_words: u64,
     min_addr: Option<u32>,
     max_addr: Option<u32>,
+    skipped: u64,
 }
 
 impl TraceStats {
@@ -68,6 +69,19 @@ impl TraceStats {
     /// Total number of references.
     pub fn total(&self) -> u64 {
         self.fetches + self.reads + self.writes
+    }
+
+    /// Adds `n` skipped records to the tally (corrupt words/lines dropped by
+    /// a lenient read — see [`crate::io::ReadPolicy::Lenient`]). Skips are
+    /// not references: they never contribute to [`TraceStats::total`] or the
+    /// footprints.
+    pub fn record_skipped(&mut self, n: u64) {
+        self.skipped += n;
+    }
+
+    /// Records skipped during ingestion (0 unless fed by a lenient read).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Number of instruction fetches.
@@ -151,7 +165,11 @@ impl fmt::Display for TraceStats {
             self.writes,
             self.instruction_footprint_bytes() / 1024,
             self.data_footprint_bytes() / 1024,
-        )
+        )?;
+        if self.skipped > 0 {
+            write!(f, ", {} skipped", self.skipped)?;
+        }
+        Ok(())
     }
 }
 
@@ -212,5 +230,17 @@ mod tests {
     fn display_is_nonempty() {
         let s = TraceStats::from_accesses([Access::fetch(0)]);
         assert!(s.to_string().contains("1 refs"));
+        assert!(!s.to_string().contains("skipped"));
+    }
+
+    #[test]
+    fn skipped_records_are_counted_but_are_not_references() {
+        let mut s = TraceStats::from_accesses([Access::fetch(0), Access::read(8)]);
+        assert_eq!(s.skipped(), 0);
+        s.record_skipped(3);
+        s.record_skipped(1);
+        assert_eq!(s.skipped(), 4);
+        assert_eq!(s.total(), 2);
+        assert!(s.to_string().contains("4 skipped"));
     }
 }

@@ -1,0 +1,232 @@
+//! Error-surface corpus for trace ingestion: every `TraceIoError` variant is
+//! provoked from realistic corrupt inputs, and the error must pinpoint the
+//! damage exactly (byte-level cause, reference index, or line number) —
+//! "something went wrong somewhere" errors are useless on multi-gigabyte
+//! traces.
+
+use std::error::Error as _;
+use std::io::ErrorKind;
+
+use dynex_obs::NoopProbe;
+use dynex_trace::io::{
+    read_binary, read_binary_with, read_text, read_text_with, write_binary, TraceIoError,
+};
+use dynex_trace::{Access, ReadPolicy, Trace};
+
+fn sample() -> Trace {
+    (0..8)
+        .map(|i| match i % 3 {
+            0 => Access::fetch(0x1000 + i * 4),
+            1 => Access::read(0x8000 + i * 4),
+            _ => Access::write(0x8000 + i * 4),
+        })
+        .collect()
+}
+
+fn sample_bytes() -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_binary(&mut buf, &sample()).unwrap();
+    buf
+}
+
+const RESERVED_KIND: u32 = 3u32 << 30;
+
+#[test]
+fn corrupt_magic_reports_the_bytes_it_saw() {
+    let mut buf = sample_bytes();
+    buf[..4].copy_from_slice(b"DXT2"); // wrong version
+    match read_binary(&buf[..]).unwrap_err() {
+        TraceIoError::BadMagic(m) => assert_eq!(&m, b"DXT2"),
+        other => panic!("unexpected error: {other}"),
+    }
+    // Foreign file formats are bad magic too, not a parse attempt.
+    match read_binary(&b"\x7fELF\x02\x01\x01\x00\x00\x00\x00\x00"[..]).unwrap_err() {
+        TraceIoError::BadMagic(m) => assert_eq!(&m, b"\x7fELF"),
+        other => panic!("unexpected error: {other}"),
+    }
+    // The magic is strict even under the most lenient policy: a wrong magic
+    // is a format error, not a corrupt record.
+    let err = read_binary_with(
+        &b"NOPE\0\0\0\0\0\0\0\0"[..],
+        ReadPolicy::Lenient {
+            max_skipped: u64::MAX,
+        },
+        NoopProbe,
+    )
+    .unwrap_err();
+    assert!(matches!(err, TraceIoError::BadMagic(_)));
+}
+
+#[test]
+fn empty_and_partial_magic_surface_as_eof_io_errors() {
+    for input in [&b""[..], &b"DX"[..], &b"DXT"[..]] {
+        match read_binary(input).unwrap_err() {
+            TraceIoError::Io(e) => assert_eq!(e.kind(), ErrorKind::UnexpectedEof),
+            other => panic!("unexpected error for {input:?}: {other}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_header_is_an_eof_io_error_even_leniently() {
+    // Magic intact, but the 8-byte reference count is cut short.
+    for keep in 4..12 {
+        let buf = &sample_bytes()[..keep];
+        match read_binary(buf).unwrap_err() {
+            TraceIoError::Io(e) => assert_eq!(e.kind(), ErrorKind::UnexpectedEof, "keep={keep}"),
+            other => panic!("unexpected error at keep={keep}: {other}"),
+        }
+        // The header is strict under every policy: without a trustworthy
+        // count there is nothing to read leniently.
+        let err = read_binary_with(
+            buf,
+            ReadPolicy::Lenient {
+                max_skipped: u64::MAX,
+            },
+            NoopProbe,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)), "keep={keep}");
+    }
+}
+
+#[test]
+fn truncated_body_reports_expected_and_actual_counts() {
+    let n = sample().len() as u64;
+    let full = sample_bytes();
+    // Cut at every word boundary and mid-word.
+    for lost in 1..=3u64 {
+        let buf = &full[..full.len() - (4 * lost) as usize];
+        match read_binary(buf).unwrap_err() {
+            TraceIoError::Truncated { expected, actual } => {
+                assert_eq!(expected, n);
+                assert_eq!(actual, n - lost);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+    let buf = &full[..full.len() - 2]; // torn final word
+    match read_binary(buf).unwrap_err() {
+        TraceIoError::Truncated { expected, actual } => {
+            assert_eq!(expected, n);
+            assert_eq!(actual, n - 1);
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn reserved_kind_word_reports_its_exact_reference_index() {
+    let n = sample().len();
+    for corrupt in [0usize, 3, n - 1] {
+        let mut buf = sample_bytes();
+        let at = 12 + 4 * corrupt;
+        buf[at..at + 4].copy_from_slice(&RESERVED_KIND.to_le_bytes());
+        match read_binary(&buf[..]).unwrap_err() {
+            TraceIoError::CorruptAccess { index } => assert_eq!(index, corrupt as u64),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+}
+
+#[test]
+fn strict_read_fails_on_the_first_of_several_corruptions() {
+    let mut buf = sample_bytes();
+    for corrupt in [2usize, 5] {
+        let at = 12 + 4 * corrupt;
+        buf[at..at + 4].copy_from_slice(&RESERVED_KIND.to_le_bytes());
+    }
+    match read_binary(&buf[..]).unwrap_err() {
+        TraceIoError::CorruptAccess { index } => assert_eq!(index, 2),
+        other => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn malformed_text_lines_report_exact_line_number_and_content() {
+    // Line numbers are 1-based and count blanks/comments, so the reported
+    // number matches what an editor shows.
+    let corpus = [
+        ("F 0x100\nR\n", 2, "R"),                                // missing address
+        ("# header\n\nF 0x100\nZ 0x10\n", 4, "Z 0x10"),          // unknown mnemonic
+        ("F 0x100 trailing\n", 1, "F 0x100 trailing"),           // extra token
+        ("W 0xZZZ\n", 1, "W 0xZZZ"),                             // unparsable hex
+        ("FR 0x100\n", 1, "FR 0x100"),                           // two-char mnemonic
+        ("F 0x100\nR 256\nW 99999999999\n", 3, "W 99999999999"), // overflow
+    ];
+    for (src, want_line, want_content) in corpus {
+        match read_text(src.as_bytes()).unwrap_err() {
+            TraceIoError::BadLine { line, content } => {
+                assert_eq!(line, want_line, "src={src:?}");
+                assert_eq!(content, want_content, "src={src:?}");
+            }
+            other => panic!("unexpected error for {src:?}: {other}"),
+        }
+    }
+}
+
+#[test]
+fn lenient_text_budget_reports_the_breaking_line() {
+    let src = "F 0x100\nbad one\nR 256\nbad two\nbad three\n";
+    let err = read_text_with(
+        src.as_bytes(),
+        ReadPolicy::Lenient { max_skipped: 2 },
+        NoopProbe,
+    )
+    .unwrap_err();
+    match err {
+        TraceIoError::SkipBudgetExceeded {
+            skipped,
+            max_skipped,
+            offset,
+        } => {
+            assert_eq!(skipped, 3);
+            assert_eq!(max_skipped, 2);
+            assert_eq!(offset, 5); // "bad three" is line 5
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn every_variant_renders_its_location() {
+    // Display output is what a failed CLI run shows; each variant must name
+    // where the damage is.
+    let cases: Vec<(TraceIoError, &str)> = vec![
+        (
+            read_binary(&b"NOPE\0\0\0\0\0\0\0\0"[..]).unwrap_err(),
+            "NOPE",
+        ),
+        (
+            TraceIoError::Truncated {
+                expected: 10,
+                actual: 7,
+            },
+            "10",
+        ),
+        (TraceIoError::CorruptAccess { index: 42 }, "42"),
+        (
+            TraceIoError::BadLine {
+                line: 7,
+                content: "junk".to_owned(),
+            },
+            "7",
+        ),
+        (
+            TraceIoError::SkipBudgetExceeded {
+                skipped: 3,
+                max_skipped: 2,
+                offset: 9,
+            },
+            "9",
+        ),
+    ];
+    for (err, needle) in cases {
+        let text = err.to_string();
+        assert!(text.contains(needle), "{text:?} should contain {needle:?}");
+    }
+    // Only Io carries a source.
+    let io_err: TraceIoError = std::io::Error::other("disk fell off").into();
+    assert!(io_err.source().is_some());
+    assert!(TraceIoError::CorruptAccess { index: 0 }.source().is_none());
+}

@@ -26,4 +26,9 @@ fi
 echo "==> cargo test"
 cargo test --workspace -q
 
+# The fault-injection suite is part of the workspace run above; name it
+# explicitly so a resilience regression is impossible to miss in the log.
+echo "==> cargo test --test resilience (fault isolation, resume, lenient ingest)"
+cargo test -q -p dynex-experiments --test resilience
+
 echo "verify: OK"
