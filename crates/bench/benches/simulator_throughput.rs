@@ -5,7 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dynex::{DeCache, HashedStore, LastLineDeCache, MultiStickyDeCache, OptimalDirectMapped};
 use dynex_bench::instr_fixture;
 use dynex_cache::{
-    run_addrs, CacheConfig, DirectMapped, Replacement, SetAssociative, StreamBuffer, VictimCache,
+    batch_de, batch_dm, batch_opt, batch_triple, run_addrs, CacheConfig, DirectMapped, Replacement,
+    SetAssociative, StreamBuffer, VictimCache,
 };
 
 const REFS: usize = 100_000;
@@ -69,6 +70,15 @@ fn throughput(c: &mut Criterion) {
             let mut cache = StreamBuffer::new(config, 4);
             run_addrs(&mut cache, addrs.iter().copied())
         })
+    });
+    // Batch-kernel counterparts of the dm/de/opt rows above (bit-identical
+    // results; see tests/kernel_differential.rs). The fused triple is one
+    // pass over the decoded stream vs three separate reference runs.
+    group.bench_function("batch_kernel_dm", |b| b.iter(|| batch_dm(config, &addrs)));
+    group.bench_function("batch_kernel_de", |b| b.iter(|| batch_de(config, &addrs)));
+    group.bench_function("batch_kernel_opt", |b| b.iter(|| batch_opt(config, &addrs)));
+    group.bench_function("batch_kernel_fused_triple", |b| {
+        b.iter(|| batch_triple(config, &addrs))
     });
     group.finish();
 }

@@ -1,0 +1,776 @@
+//! Batch simulation kernels: the fast path behind `--kernel batch`.
+//!
+//! The reference simulators ([`crate::DirectMapped`], the DE cache in
+//! `dynex-core`, and its optimal oracle) are written for clarity: one
+//! `access()` call per reference, a branchy FSM, and a `HashMap`-backed
+//! hit-last store. Every figure in the paper compares dm/de/opt on the *same*
+//! reference stream, so the sweeps pay that per-reference overhead three
+//! times per point. The kernels in this module trade none of the semantics
+//! for throughput:
+//!
+//! * **table-driven FSM** — the eight-entry Figure 1 transition table is
+//!   precomputed into [`DE_FSM_TABLE`]; one load replaces the FSM's branch
+//!   chain. The table is an *independent* re-derivation of the paper's
+//!   Figure 1; the `dynex-core` test suite drives it in lockstep against the
+//!   spec `fsm::step` over all eight `(hit, sticky, hit_last)` inputs.
+//! * **precomputed decode masks** — the offset shift and index mask are
+//!   hoisted out of the loop instead of re-derived per access.
+//! * **flat hit-last arena** — [`HitLastArena`] replaces the perfect store's
+//!   `HashMap<u32, bool>` with a bitmap over the trace's line-address range
+//!   (identical semantics: both start all-false and are written only on
+//!   displacement).
+//! * **chunked decode** — addresses are decoded into a reusable line-address
+//!   buffer one chunk at a time (see [`crate::batch`]) instead of per
+//!   reference.
+//! * **fused single pass** — [`batch_triple`] simulates dm + de + opt over
+//!   one decoded chunk stream, sharing the decode and the opt oracle's
+//!   next-use precomputation.
+//!
+//! Every kernel is **bit-identical** to its reference simulator: same
+//! statistics, same probe event stream (the probed variants emit exactly the
+//! events the reference path emits, in the same order), same exclusion
+//! counters. `tests/kernel_differential.rs` at the repository root enforces
+//! this across workload profiles, cache geometries, and worker counts. With
+//! the default [`NoopProbe`] the probed code monomorphizes down to the bare
+//! counting loop, exactly as in the reference simulators.
+//!
+//! [`NoopProbe`]: dynex_obs::NoopProbe
+
+use dynex_obs::{Cause, Event, NoopProbe, Outcome, Probe};
+
+use crate::batch::CHUNK_LEN;
+use crate::direct::INVALID_LINE;
+use crate::{CacheConfig, CacheStats};
+
+/// One row of the precomputed dynamic-exclusion transition table
+/// (Figure 1 of the paper), indexed by [`de_fsm_index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeFsmRow {
+    /// The reference misses (the block is loaded or bypassed).
+    pub is_miss: bool,
+    /// The referenced block is installed, displacing the resident block.
+    pub installs: bool,
+    /// New value of the line's sticky bit.
+    pub sticky_after: bool,
+    /// Whether the referenced block's hit-last bit is written.
+    pub writes_hit_last: bool,
+    /// The value written when `writes_hit_last` is set.
+    pub hit_last_value: bool,
+}
+
+/// Table index for one `(hit, sticky, hit_last)` input combination.
+pub const fn de_fsm_index(hit: bool, sticky: bool, hit_last: bool) -> usize {
+    ((hit as usize) << 2) | ((sticky as usize) << 1) | (hit_last as usize)
+}
+
+/// One transition of Figure 1, re-derived independently of
+/// `dynex::fsm::step` (the lockstep tests in `dynex-core` prove the two
+/// implementations identical):
+///
+/// * hit → serve, re-arm sticky, set the block's hit-last bit;
+/// * miss on a non-sticky line → load unconditionally (the paper's anomaly
+///   row: the incoming block's hit-last bit is set although it did not hit);
+/// * miss on a sticky line with the block's hit-last bit set → load, and
+///   consume the bit (one residency to prove itself);
+/// * miss on a sticky line without the bit → bypass and spend the line's
+///   inertia (clear sticky).
+const fn de_fsm_row(hit: bool, sticky: bool, hit_last: bool) -> DeFsmRow {
+    if hit {
+        DeFsmRow {
+            is_miss: false,
+            installs: false,
+            sticky_after: true,
+            writes_hit_last: true,
+            hit_last_value: true,
+        }
+    } else if !sticky {
+        DeFsmRow {
+            is_miss: true,
+            installs: true,
+            sticky_after: true,
+            writes_hit_last: true,
+            hit_last_value: true,
+        }
+    } else if hit_last {
+        DeFsmRow {
+            is_miss: true,
+            installs: true,
+            sticky_after: true,
+            writes_hit_last: true,
+            hit_last_value: false,
+        }
+    } else {
+        DeFsmRow {
+            is_miss: true,
+            installs: false,
+            sticky_after: false,
+            writes_hit_last: false,
+            hit_last_value: false,
+        }
+    }
+}
+
+/// The eight-entry Figure 1 transition table, precomputed at compile time.
+///
+/// Index with [`de_fsm_index`]`(hit, sticky, hit_last)`.
+pub const DE_FSM_TABLE: [DeFsmRow; 8] = {
+    let mut table = [de_fsm_row(false, false, false); 8];
+    let mut i = 0;
+    while i < 8 {
+        table[i] = de_fsm_row((i >> 2) & 1 == 1, (i >> 1) & 1 == 1, i & 1 == 1);
+        i += 1;
+    }
+    table
+};
+
+/// Flat arena for the hit-last bits of non-resident blocks: a bitmap over
+/// `[0, max_line]`, semantically identical to the perfect store's
+/// `HashMap<u32, bool>` (all bits start false; bits are written only when a
+/// block is displaced, so absent and false are indistinguishable).
+///
+/// The arena is sized from a prescan of the trace. Worst case (a reference
+/// near the top of the 30-bit line space) it occupies 128 MiB; for the
+/// bounded footprints of the paper's workloads it is a few KiB and every
+/// lookup is one shift-and-mask instead of a hash probe.
+#[derive(Debug, Clone)]
+struct HitLastArena {
+    words: Vec<u64>,
+}
+
+impl HitLastArena {
+    fn new(max_line: u32) -> HitLastArena {
+        HitLastArena {
+            words: vec![0u64; (max_line as usize >> 6) + 1],
+        }
+    }
+
+    #[inline]
+    fn get(&self, line: u32) -> bool {
+        (self.words[line as usize >> 6] >> (line & 63)) & 1 == 1
+    }
+
+    #[inline]
+    fn set(&mut self, line: u32, value: bool) {
+        let word = &mut self.words[line as usize >> 6];
+        let bit = line & 63;
+        *word = (*word & !(1u64 << bit)) | ((value as u64) << bit);
+    }
+}
+
+/// Dynamic-exclusion counters produced by the batch DE kernel, mirroring
+/// `dynex::DeStats` (which lives upstream of this crate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchDeResult {
+    /// Hit/miss accounting.
+    pub stats: CacheStats,
+    /// Misses that installed the referenced block.
+    pub loads: u64,
+    /// Misses that bypassed the cache.
+    pub bypasses: u64,
+}
+
+/// The three-way dm/de/opt comparison produced by the fused kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchTriple {
+    /// Conventional direct-mapped.
+    pub dm: CacheStats,
+    /// Dynamic exclusion (perfect hit-last store semantics).
+    pub de: BatchDeResult,
+    /// Optimal direct-mapped with bypass.
+    pub opt: CacheStats,
+}
+
+/// Per-set state of the batch direct-mapped loop.
+struct DmState {
+    lines: Vec<u32>,
+    misses: u64,
+}
+
+impl DmState {
+    fn new(n_sets: usize) -> DmState {
+        DmState {
+            lines: vec![INVALID_LINE; n_sets],
+            misses: 0,
+        }
+    }
+
+    /// One conventional direct-mapped access, emitting exactly the events of
+    /// [`crate::DirectMapped`].
+    #[inline]
+    fn step<P: Probe>(&mut self, addr: u32, line: u32, index_mask: u32, probe: &mut P) {
+        let set = (line & index_mask) as usize;
+        let resident = self.lines[set];
+        if resident == line {
+            probe.emit(Event::Access {
+                addr,
+                set: set as u32,
+                outcome: Outcome::Hit,
+                cause: Cause::Resident,
+            });
+        } else {
+            let cause = if resident == INVALID_LINE {
+                Cause::Cold
+            } else {
+                probe.emit(Event::Eviction {
+                    set: set as u32,
+                    victim: resident,
+                    replacement: line,
+                });
+                Cause::Replace
+            };
+            self.lines[set] = line;
+            self.misses += 1;
+            probe.emit(Event::Access {
+                addr,
+                set: set as u32,
+                outcome: Outcome::Miss,
+                cause,
+            });
+        }
+    }
+}
+
+/// Per-set state of the batch dynamic-exclusion loop.
+struct DeState {
+    lines: Vec<u32>,
+    sticky: Vec<bool>,
+    h_copy: Vec<bool>,
+    arena: HitLastArena,
+    misses: u64,
+    loads: u64,
+}
+
+impl DeState {
+    fn new(n_sets: usize, max_line: u32) -> DeState {
+        DeState {
+            lines: vec![INVALID_LINE; n_sets],
+            sticky: vec![false; n_sets],
+            h_copy: vec![false; n_sets],
+            arena: HitLastArena::new(max_line),
+            misses: 0,
+            loads: 0,
+        }
+    }
+
+    /// One dynamic-exclusion access through the precomputed table, emitting
+    /// exactly the events (and in the order) of the reference
+    /// `DeCache`/`DeLines`/`fsm::step_probed` stack.
+    #[inline]
+    fn step<P: Probe>(&mut self, addr: u32, line: u32, index_mask: u32, probe: &mut P) {
+        let set = (line & index_mask) as usize;
+        let resident = self.lines[set];
+        let hit = resident == line;
+        let sticky = self.sticky[set];
+        let h_pred = self.arena.get(line);
+        let row = DE_FSM_TABLE[de_fsm_index(hit, sticky, h_pred)];
+
+        if row.is_miss {
+            probe.emit(Event::ExclusionDecision {
+                set: set as u32,
+                line,
+                loaded: row.installs,
+            });
+        }
+        if row.sticky_after != sticky {
+            probe.emit(Event::StickyFlip {
+                set: set as u32,
+                sticky: row.sticky_after,
+            });
+        }
+        if row.writes_hit_last {
+            probe.emit(Event::HitLastUpdate {
+                line,
+                hit_last: row.hit_last_value,
+            });
+        }
+        self.sticky[set] = row.sticky_after;
+        self.misses += row.is_miss as u64;
+
+        let cause = if hit {
+            // The resident block's in-line hit-last copy is re-armed.
+            self.h_copy[set] = true;
+            Cause::Resident
+        } else if row.installs {
+            self.loads += 1;
+            let cause = if resident == INVALID_LINE {
+                Cause::Cold
+            } else {
+                // Figure 6 "transfer on replacement": the victim's in-line
+                // copy goes back to the arena.
+                self.arena.set(resident, self.h_copy[set]);
+                probe.emit(Event::Eviction {
+                    set: set as u32,
+                    victim: resident,
+                    replacement: line,
+                });
+                Cause::Replace
+            };
+            self.lines[set] = line;
+            self.h_copy[set] = row.hit_last_value;
+            cause
+        } else {
+            Cause::Bypass
+        };
+        probe.emit(Event::Access {
+            addr,
+            set: set as u32,
+            outcome: if row.is_miss {
+                Outcome::Miss
+            } else {
+                Outcome::Hit
+            },
+            cause,
+        });
+    }
+
+    fn result(&self, accesses: u64) -> BatchDeResult {
+        BatchDeResult {
+            stats: CacheStats::from_counts(accesses, self.misses),
+            loads: self.loads,
+            bypasses: self.misses - self.loads,
+        }
+    }
+}
+
+/// Decodes one chunk of byte addresses into the reusable line-address
+/// buffer (the shift is the whole "decode": line = addr >> offset_bits).
+#[inline]
+fn decode_chunk(chunk: &[u32], offset_bits: u32, line_buf: &mut [u32; CHUNK_LEN]) {
+    for (dst, &addr) in line_buf.iter_mut().zip(chunk) {
+        *dst = addr >> offset_bits;
+    }
+}
+
+/// Largest line address in the trace (0 for an empty trace); sizes the
+/// hit-last arena and the opt kernel's next-use map.
+fn max_line(addrs: &[u32], offset_bits: u32) -> u32 {
+    addrs.iter().map(|&a| a >> offset_bits).max().unwrap_or(0)
+}
+
+/// Batch kernel for the conventional direct-mapped cache.
+///
+/// Bit-identical to running [`crate::DirectMapped`] over the same stream.
+///
+/// # Panics
+///
+/// Panics if `config.associativity() != 1`, like the reference simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{batch_dm, CacheConfig};
+///
+/// let config = CacheConfig::direct_mapped(64, 4)?;
+/// let stats = batch_dm(config, &[0, 0, 64, 0]);
+/// assert_eq!(stats.misses(), 3); // cold, hit, conflict, conflict
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+pub fn batch_dm(config: CacheConfig, addrs: &[u32]) -> CacheStats {
+    batch_dm_probed(config, addrs, &mut NoopProbe)
+}
+
+/// [`batch_dm`] with event emission (same events as the reference path).
+pub fn batch_dm_probed<P: Probe>(config: CacheConfig, addrs: &[u32], probe: &mut P) -> CacheStats {
+    assert_eq!(
+        config.associativity(),
+        1,
+        "DirectMapped requires associativity 1"
+    );
+    let geometry = config.geometry();
+    let offset_bits = geometry.offset_bits();
+    let index_mask = (1u32 << geometry.index_bits()) - 1;
+    let mut dm = DmState::new(config.n_sets() as usize);
+    let mut line_buf = [0u32; CHUNK_LEN];
+    for chunk in addrs.chunks(CHUNK_LEN) {
+        decode_chunk(chunk, offset_bits, &mut line_buf);
+        for (&addr, &line) in chunk.iter().zip(&line_buf) {
+            dm.step(addr, line, index_mask, probe);
+        }
+    }
+    CacheStats::from_counts(addrs.len() as u64, dm.misses)
+}
+
+/// Batch kernel for the dynamic-exclusion cache (perfect hit-last store
+/// semantics).
+///
+/// Bit-identical to the reference `DeCache` in `dynex-core`: same hit/miss
+/// statistics and the same load/bypass split.
+///
+/// # Panics
+///
+/// Panics if `config.associativity() != 1` — dynamic exclusion is a
+/// direct-mapped technique, as in the reference simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{batch_de, CacheConfig};
+///
+/// // (a b)^10 on one line: a settles in, b bypasses.
+/// let config = CacheConfig::direct_mapped(64, 4)?;
+/// let addrs: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect();
+/// let de = batch_de(config, &addrs);
+/// assert_eq!(de.stats.misses(), 11);
+/// assert_eq!(de.bypasses, 10);
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+pub fn batch_de(config: CacheConfig, addrs: &[u32]) -> BatchDeResult {
+    batch_de_probed(config, addrs, &mut NoopProbe)
+}
+
+/// [`batch_de`] with event emission (same events as the reference path).
+pub fn batch_de_probed<P: Probe>(
+    config: CacheConfig,
+    addrs: &[u32],
+    probe: &mut P,
+) -> BatchDeResult {
+    assert_eq!(
+        config.associativity(),
+        1,
+        "dynamic exclusion applies to direct-mapped caches"
+    );
+    let geometry = config.geometry();
+    let offset_bits = geometry.offset_bits();
+    let index_mask = (1u32 << geometry.index_bits()) - 1;
+    let mut de = DeState::new(config.n_sets() as usize, max_line(addrs, offset_bits));
+    let mut line_buf = [0u32; CHUNK_LEN];
+    for chunk in addrs.chunks(CHUNK_LEN) {
+        decode_chunk(chunk, offset_bits, &mut line_buf);
+        for (&addr, &line) in chunk.iter().zip(&line_buf) {
+            de.step(addr, line, index_mask, probe);
+        }
+    }
+    de.result(addrs.len() as u64)
+}
+
+/// Batch kernel for the optimal direct-mapped cache (Belady's MIN with
+/// bypass, specialized to one line per set).
+///
+/// Bit-identical to the reference `OptimalDirectMapped::simulate`. Like the
+/// reference it is a two-pass oracle: pass one chains each reference to its
+/// block's next use, pass two applies the greedy keep-whichever-is-used-
+/// sooner rule. The next-use chain is built on a flat array over the line
+/// space when the trace's footprint allows, falling back to the reference's
+/// hash map for pathologically sparse address ranges.
+pub fn batch_opt(config: CacheConfig, addrs: &[u32]) -> CacheStats {
+    let geometry = config.geometry();
+    let offset_bits = geometry.offset_bits();
+    let index_mask = (1u32 << geometry.index_bits()) - 1;
+
+    let mut lines: Vec<u32> = Vec::with_capacity(addrs.len());
+    let mut line_buf = [0u32; CHUNK_LEN];
+    for chunk in addrs.chunks(CHUNK_LEN) {
+        decode_chunk(chunk, offset_bits, &mut line_buf);
+        lines.extend_from_slice(&line_buf[..chunk.len()]);
+    }
+    let max_line = lines.iter().copied().max().unwrap_or(0);
+    let next = next_use(&lines, max_line);
+
+    let mut state = OptState::new(config.n_sets() as usize);
+    for (i, &line) in lines.iter().enumerate() {
+        state.step(line, next[i], index_mask);
+    }
+    CacheStats::from_counts(lines.len() as u64, state.misses)
+}
+
+/// `next[i]` = position of the next reference to `lines[i]` (`NEVER` if
+/// none). Flat-array variant of the reference oracle's reverse-scan map.
+const NEVER: u32 = u32::MAX;
+
+/// Above this line-space footprint the flat next-use array (4 bytes per
+/// possible line) would cost more than the hash map it replaces.
+const MAX_FLAT_LINES: usize = 1 << 26;
+
+fn next_use(lines: &[u32], max_line: u32) -> Vec<u32> {
+    let mut next = vec![NEVER; lines.len()];
+    if (max_line as usize) < MAX_FLAT_LINES {
+        let mut upcoming = vec![NEVER; max_line as usize + 1];
+        for (i, &line) in lines.iter().enumerate().rev() {
+            next[i] = upcoming[line as usize];
+            upcoming[line as usize] = i as u32;
+        }
+    } else {
+        let mut upcoming: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (i, &line) in lines.iter().enumerate().rev() {
+            if let Some(&j) = upcoming.get(&line) {
+                next[i] = j;
+            }
+            upcoming.insert(line, i as u32);
+        }
+    }
+    next
+}
+
+/// Per-set state of the batch optimal loop.
+struct OptState {
+    resident: Vec<u32>,
+    resident_next: Vec<u32>,
+    misses: u64,
+}
+
+impl OptState {
+    fn new(n_sets: usize) -> OptState {
+        OptState {
+            resident: vec![INVALID_LINE; n_sets],
+            // An invalid resident is "never used again", so any incoming
+            // block wins the greedy comparison.
+            resident_next: vec![NEVER; n_sets],
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn step(&mut self, line: u32, next: u32, index_mask: u32) {
+        let set = (line & index_mask) as usize;
+        if self.resident[set] == line {
+            self.resident_next[set] = next;
+        } else {
+            self.misses += 1;
+            // Keep whichever of {resident, incoming} is referenced sooner.
+            if next < self.resident_next[set] {
+                self.resident[set] = line;
+                self.resident_next[set] = next;
+            }
+        }
+    }
+}
+
+/// The fused single-pass kernel: dm + de + opt over one decoded chunk
+/// stream.
+///
+/// The three policies keep independent per-set state, so interleaving their
+/// updates in one loop changes nothing about any of them — the outputs are
+/// bit-identical to three separate runs (reference or batch). What fusion
+/// buys is doing the address decode and the trace walk once instead of three
+/// times, which is the shape of every figure sweep in the paper.
+///
+/// # Panics
+///
+/// Panics if `config.associativity() != 1`.
+///
+/// # Examples
+///
+/// ```
+/// use dynex_cache::{batch_triple, CacheConfig};
+///
+/// let config = CacheConfig::direct_mapped(64, 4)?;
+/// let addrs: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect();
+/// let t = batch_triple(config, &addrs);
+/// assert_eq!(t.dm.misses(), 20); // DM thrashes
+/// assert_eq!(t.de.stats.misses(), 11);
+/// assert_eq!(t.opt.misses(), 11);
+/// # Ok::<(), dynex_cache::ConfigError>(())
+/// ```
+pub fn batch_triple(config: CacheConfig, addrs: &[u32]) -> BatchTriple {
+    assert_eq!(
+        config.associativity(),
+        1,
+        "the dm/de/opt triple is a direct-mapped comparison"
+    );
+    let geometry = config.geometry();
+    let offset_bits = geometry.offset_bits();
+    let index_mask = (1u32 << geometry.index_bits()) - 1;
+
+    // Shared decode: one pass materializes the line addresses (the opt
+    // oracle needs the whole stream for its next-use chain anyway) and finds
+    // the footprint that sizes the DE arena.
+    let mut lines: Vec<u32> = Vec::with_capacity(addrs.len());
+    let mut line_buf = [0u32; CHUNK_LEN];
+    let mut max_line = 0u32;
+    for chunk in addrs.chunks(CHUNK_LEN) {
+        decode_chunk(chunk, offset_bits, &mut line_buf);
+        for &line in &line_buf[..chunk.len()] {
+            max_line = max_line.max(line);
+        }
+        lines.extend_from_slice(&line_buf[..chunk.len()]);
+    }
+    let next = next_use(&lines, max_line);
+
+    let n_sets = config.n_sets() as usize;
+    let mut dm = DmState::new(n_sets);
+    let mut de = DeState::new(n_sets, max_line);
+    let mut opt = OptState::new(n_sets);
+    for (i, &line) in lines.iter().enumerate() {
+        // The fused pass never needs the byte address back: probes are not
+        // attached here (sweeps are uninstrumented), so the addr argument is
+        // dead and compiles away.
+        dm.step(0, line, index_mask, &mut NoopProbe);
+        de.step(0, line, index_mask, &mut NoopProbe);
+        opt.step(line, next[i], index_mask);
+    }
+
+    let accesses = lines.len() as u64;
+    BatchTriple {
+        dm: CacheStats::from_counts(accesses, dm.misses),
+        de: de.result(accesses),
+        opt: CacheStats::from_counts(accesses, opt.misses),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_addrs, DirectMapped, SplitMix64};
+
+    fn config(size: u32, line: u32) -> CacheConfig {
+        CacheConfig::direct_mapped(size, line).unwrap()
+    }
+
+    fn random_addrs(seed: u64, len: usize, span: u64) -> Vec<u32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..len).map(|_| (rng.below(span) as u32) * 4).collect()
+    }
+
+    #[test]
+    fn table_has_expected_shape() {
+        // Hits never miss or install and always re-arm sticky.
+        for hit_last in [false, true] {
+            for sticky in [false, true] {
+                let row = DE_FSM_TABLE[de_fsm_index(true, sticky, hit_last)];
+                assert!(!row.is_miss && !row.installs && row.sticky_after);
+                assert!(row.writes_hit_last && row.hit_last_value);
+            }
+        }
+        // The anomaly row: unsticky miss loads and sets the bit.
+        for hit_last in [false, true] {
+            let row = DE_FSM_TABLE[de_fsm_index(false, false, hit_last)];
+            assert!(row.is_miss && row.installs && row.sticky_after);
+            assert!(row.writes_hit_last && row.hit_last_value);
+        }
+        // Sticky miss: arbitrated by hit-last.
+        let load = DE_FSM_TABLE[de_fsm_index(false, true, true)];
+        assert!(load.installs && load.sticky_after && load.writes_hit_last);
+        assert!(!load.hit_last_value, "consumed on load");
+        let bypass = DE_FSM_TABLE[de_fsm_index(false, true, false)];
+        assert!(bypass.is_miss && !bypass.installs);
+        assert!(!bypass.sticky_after && !bypass.writes_hit_last);
+    }
+
+    #[test]
+    fn arena_is_a_bitmap_with_store_semantics() {
+        let mut arena = HitLastArena::new(200);
+        assert!(!arena.get(0) && !arena.get(200), "initially false");
+        arena.set(63, true);
+        arena.set(64, true);
+        arena.set(200, true);
+        assert!(arena.get(63) && arena.get(64) && arena.get(200));
+        assert!(!arena.get(62) && !arena.get(65));
+        arena.set(64, false);
+        assert!(!arena.get(64), "clearable");
+        assert!(arena.get(63), "neighbours untouched");
+    }
+
+    #[test]
+    fn dm_kernel_matches_reference_on_random_trace() {
+        for (seed, span) in [(1u64, 64), (2, 1024), (3, 100_000)] {
+            let addrs = random_addrs(seed, 20_000, span);
+            for cfg in [config(64, 4), config(1024, 16), config(32 * 1024, 4)] {
+                let mut reference = DirectMapped::new(cfg);
+                let expected = run_addrs(&mut reference, addrs.iter().copied());
+                assert_eq!(batch_dm(cfg, &addrs), expected, "seed {seed} cfg {cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn de_kernel_invariants_on_random_trace() {
+        // The cross-crate reference comparison lives in dynex-core and
+        // tests/kernel_differential.rs; here the kernel's own invariants.
+        let addrs = random_addrs(7, 30_000, 256);
+        let cfg = config(256, 4);
+        let de = batch_de(cfg, &addrs);
+        assert_eq!(de.stats.accesses(), 30_000);
+        assert_eq!(de.loads + de.bypasses, de.stats.misses());
+        let dm = batch_dm(cfg, &addrs);
+        let opt = batch_opt(cfg, &addrs);
+        assert!(opt.misses() <= de.stats.misses());
+        assert!(
+            de.stats.misses() <= dm.misses() + 2 * 64,
+            "near DM or better"
+        );
+    }
+
+    #[test]
+    fn de_kernel_learns_the_within_loop_pattern() {
+        let cfg = config(64, 4);
+        let addrs: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect();
+        let de = batch_de(cfg, &addrs);
+        assert_eq!(de.stats.misses(), 11);
+        assert_eq!(de.loads, 1);
+        assert_eq!(de.bypasses, 10);
+    }
+
+    #[test]
+    fn opt_kernel_matches_reference_greedy_counts() {
+        // (a^10 b)^10: 11 misses / 110 refs (see the reference oracle tests).
+        let mut addrs = Vec::new();
+        for _ in 0..10 {
+            addrs.extend(std::iter::repeat_n(0u32, 10));
+            addrs.push(64);
+        }
+        let stats = batch_opt(config(64, 4), &addrs);
+        assert_eq!(stats.misses(), 11);
+        assert_eq!(stats.accesses(), 110);
+    }
+
+    #[test]
+    fn next_use_flat_and_hashed_agree() {
+        let lines = [5u32, 7, 5, 5, 7, 2];
+        let flat = next_use(&lines, 7);
+        assert_eq!(flat, vec![2, 4, 3, NEVER, NEVER, NEVER]);
+        // Force the hash fallback by lying about the footprint ceiling: use
+        // a line beyond MAX_FLAT_LINES.
+        let sparse = [(MAX_FLAT_LINES as u32) + 5, 0, (MAX_FLAT_LINES as u32) + 5];
+        let next = next_use(&sparse, (MAX_FLAT_LINES as u32) + 5);
+        assert_eq!(next, vec![2, NEVER, NEVER]);
+    }
+
+    #[test]
+    fn fused_triple_matches_individual_kernels() {
+        for seed in [11u64, 12, 13] {
+            let addrs = random_addrs(seed, 10_000, 2_048);
+            for cfg in [config(64, 4), config(1024, 4), config(4096, 16)] {
+                let fused = batch_triple(cfg, &addrs);
+                assert_eq!(fused.dm, batch_dm(cfg, &addrs));
+                assert_eq!(fused.de, batch_de(cfg, &addrs));
+                assert_eq!(fused.opt, batch_opt(cfg, &addrs));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let cfg = config(64, 4);
+        assert_eq!(batch_dm(cfg, &[]).accesses(), 0);
+        assert_eq!(batch_de(cfg, &[]).stats.accesses(), 0);
+        assert_eq!(batch_opt(cfg, &[]).accesses(), 0);
+        let t = batch_triple(cfg, &[]);
+        assert_eq!(t.dm.accesses(), 0);
+    }
+
+    #[test]
+    fn probed_and_bare_kernels_agree() {
+        use dynex_obs::CountingProbe;
+        let addrs = random_addrs(21, 5_000, 512);
+        let cfg = config(256, 4);
+        let mut probe = CountingProbe::new();
+        let probed = batch_de_probed(cfg, &addrs, &mut probe);
+        assert_eq!(probed, batch_de(cfg, &addrs));
+        let counts = probe.counts();
+        assert_eq!(counts.accesses, probed.stats.accesses());
+        assert_eq!(counts.misses, probed.stats.misses());
+        assert_eq!(counts.exclusion_loads, probed.loads);
+        assert_eq!(counts.exclusion_bypasses, probed.bypasses);
+        let mut dm_probe = CountingProbe::new();
+        let dm = batch_dm_probed(cfg, &addrs, &mut dm_probe);
+        assert_eq!(dm, batch_dm(cfg, &addrs));
+        assert_eq!(dm_probe.counts().misses, dm.misses());
+        assert!(dm_probe.counts().evictions <= dm.misses());
+    }
+
+    #[test]
+    #[should_panic(expected = "direct-mapped")]
+    fn de_kernel_rejects_associative_config() {
+        batch_de(CacheConfig::new(64, 4, 2).unwrap(), &[0]);
+    }
+}

@@ -15,7 +15,10 @@
 //!   events; the simulators above also accept a probe directly (see each
 //!   type's `with_probe` constructor) for cause-attributed events,
 //! * the [`CacheSim`] trait and [`run`] driver shared by every simulator in
-//!   the workspace (including the dynamic-exclusion caches in `dynex-core`).
+//!   the workspace (including the dynamic-exclusion caches in `dynex-core`),
+//! * batch kernels ([`batch_dm`], [`batch_de`], [`batch_opt`], fused
+//!   [`batch_triple`]) and the [`Kernel`]/[`ChunkedDecoder`] selection and
+//!   decode machinery — a bit-identical fast path behind `--kernel batch`.
 //!
 //! All simulators are miss-rate models: they track contents and replacement
 //! state, not timing, exactly like the paper's trace-driven evaluation.
@@ -37,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod classify;
 mod config;
 mod direct;
 mod fully;
 mod hierarchy;
 mod instrument;
+mod kernel;
 mod min;
 mod rng;
 mod setassoc;
@@ -52,12 +57,17 @@ mod stream_buffer;
 mod victim;
 mod write;
 
+pub use batch::{decode_addrs, ChunkedDecoder, Kernel, KindFilter, CHUNK_LEN};
 pub use classify::{classify_direct_mapped, classify_direct_mapped_optimal, MissClassification};
 pub use config::{CacheConfig, ConfigError, Geometry};
 pub use direct::DirectMapped;
 pub use fully::FullyAssociative;
 pub use hierarchy::{HierarchyStats, TwoLevel};
 pub use instrument::Instrumented;
+pub use kernel::{
+    batch_de, batch_de_probed, batch_dm, batch_dm_probed, batch_opt, batch_triple, de_fsm_index,
+    BatchDeResult, BatchTriple, DeFsmRow, DE_FSM_TABLE,
+};
 pub use min::OptimalFullyAssociative;
 pub use rng::SplitMix64;
 pub use setassoc::{Replacement, SetAssociative};

@@ -344,6 +344,33 @@ mod tests {
         assert_eq!(bypassed, 1);
     }
 
+    /// The batch DE kernel must replicate this cache bit-for-bit: same
+    /// statistics, same load/bypass split, and the same event stream in the
+    /// same order. This is the unit-level anchor of the differential wall in
+    /// `tests/kernel_differential.rs`.
+    #[test]
+    fn batch_kernel_matches_reference_events_and_stats() {
+        use dynex_cache::{batch_de_probed, run_addrs, SplitMix64};
+        use dynex_obs::EventLog;
+        for (seed, span, size) in [(17u64, 64u64, 64u32), (18, 512, 256), (19, 4096, 1024)] {
+            let cfg = CacheConfig::direct_mapped(size, 4).unwrap();
+            let mut rng = SplitMix64::new(seed);
+            let addrs: Vec<u32> = (0..5000).map(|_| (rng.below(span) as u32) * 4).collect();
+
+            let mut reference = DeCache::with_probe(cfg, EventLog::new());
+            let ref_stats = run_addrs(&mut reference, addrs.iter().copied());
+            let ref_de = reference.de_stats();
+            let ref_events = reference.into_probe().into_events();
+
+            let mut log = EventLog::new();
+            let batch = batch_de_probed(cfg, &addrs, &mut log);
+            assert_eq!(batch.stats, ref_stats, "seed {seed}");
+            assert_eq!(batch.loads, ref_de.loads, "seed {seed}");
+            assert_eq!(batch.bypasses, ref_de.bypasses, "seed {seed}");
+            assert_eq!(log.into_events(), ref_events, "seed {seed}");
+        }
+    }
+
     #[test]
     fn probed_and_bare_runs_are_identical() {
         use dynex_obs::CountingProbe;

@@ -369,6 +369,30 @@ mod tests {
         }
     }
 
+    /// The precomputed batch-kernel table (`dynex_cache::DE_FSM_TABLE`) is an
+    /// independent re-derivation of Figure 1; drive it in lockstep with the
+    /// spec `step` over all eight inputs. `tests/kernel_differential.rs` and
+    /// the proptest suite extend this to whole reference sequences.
+    #[test]
+    fn batch_kernel_table_matches_spec_step() {
+        use dynex_cache::{de_fsm_index, DE_FSM_TABLE};
+        for hit in [false, true] {
+            for sticky in [false, true] {
+                for hit_last in [false, true] {
+                    let spec = step(hit, sticky, hit_last);
+                    let row = DE_FSM_TABLE[de_fsm_index(hit, sticky, hit_last)];
+                    assert_eq!(row.is_miss, spec.action.is_miss());
+                    assert_eq!(row.installs, spec.action.installs());
+                    assert_eq!(row.sticky_after, spec.sticky_after);
+                    assert_eq!(row.writes_hit_last, spec.hit_last_after.is_some());
+                    if let Some(value) = spec.hit_last_after {
+                        assert_eq!(row.hit_last_value, value);
+                    }
+                }
+            }
+        }
+    }
+
     /// Bypass never installs; load always installs; hit never changes the
     /// resident. (Guards the `installs` helper contract.)
     #[test]

@@ -18,6 +18,9 @@
 //!   is independent (DM, DE, OPT) the trace is split by set index, shards
 //!   are simulated concurrently, and their [`CacheStats`] merged exactly
 //!   (debug builds assert equality with the serial run).
+//! * [`default_kernel`] / [`set_default_kernel`] — session-wide selection
+//!   between the reference simulators and the bit-identical batch kernels
+//!   from `dynex-cache` (the `--kernel` flag; batch is the default).
 //! * [`execute_resilient`] — the fault-isolated sibling of [`execute`]:
 //!   panics are contained to their slot ([`JobError`]), panicked jobs get a
 //!   bounded retry budget, and a soft per-job deadline marks hung jobs
@@ -55,16 +58,18 @@
 
 mod error;
 mod journal;
+mod kernel;
 mod pool;
 mod resilience;
 mod shard;
 mod sweep;
 
-pub use dynex_cache::CacheStats;
+pub use dynex_cache::{CacheStats, Kernel};
 pub use error::EngineError;
 pub use journal::{
     fnv1a, job_key, set_global_journal, trace_digest, with_global_journal, Journal, JournalError,
 };
+pub use kernel::{default_kernel, set_default_kernel};
 pub use pool::{available_jobs, default_jobs, env_jobs, execute, set_default_jobs};
 pub use resilience::{
     execute_resilient, JobError, JobFailure, Resilience, SweepCounts, SweepOutcome,

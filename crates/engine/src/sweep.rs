@@ -1,8 +1,11 @@
 //! Sweep plans: (cache config × trace × policy) points executed on the pool.
 
 use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped};
-use dynex_cache::{run_addrs, CacheConfig, CacheStats, DirectMapped};
+use dynex_cache::{
+    batch_de, batch_dm, batch_opt, run_addrs, CacheConfig, CacheStats, DirectMapped, Kernel,
+};
 
+use crate::kernel::default_kernel;
 use crate::pool::execute;
 
 /// The replacement/bypass policy a [`Job`] simulates.
@@ -49,23 +52,39 @@ impl Policy {
         )
     }
 
-    /// Simulates this policy over a byte-address trace.
+    /// Simulates this policy over a byte-address trace with the session's
+    /// [`default_kernel`].
     pub fn simulate(self, config: CacheConfig, addrs: &[u32]) -> CacheStats {
-        match self {
-            Policy::DirectMapped => {
+        self.simulate_kernel(default_kernel(), config, addrs)
+    }
+
+    /// Simulates this policy over a byte-address trace with an explicit
+    /// kernel.
+    ///
+    /// Both kernels are bit-identical in output (the differential wall in
+    /// `tests/kernel_differential.rs` enforces it); the batch kernel is the
+    /// fast path. The last-line policies have no batch specialization — their
+    /// single global buffer defeats the chunked per-set loop, just as it
+    /// defeats set sharding — so they always run the reference simulators.
+    pub fn simulate_kernel(self, kernel: Kernel, config: CacheConfig, addrs: &[u32]) -> CacheStats {
+        match (kernel, self) {
+            (Kernel::Batch, Policy::DirectMapped) => batch_dm(config, addrs),
+            (Kernel::Batch, Policy::DynamicExclusion) => batch_de(config, addrs).stats,
+            (Kernel::Batch, Policy::OptimalDm) => batch_opt(config, addrs),
+            (_, Policy::DirectMapped) => {
                 let mut sim = DirectMapped::new(config);
                 run_addrs(&mut sim, addrs.iter().copied())
             }
-            Policy::DynamicExclusion => {
+            (_, Policy::DynamicExclusion) => {
                 let mut sim = DeCache::new(config);
                 run_addrs(&mut sim, addrs.iter().copied())
             }
-            Policy::DeLastLine => {
+            (_, Policy::DeLastLine) => {
                 let mut sim = LastLineDeCache::new(config);
                 run_addrs(&mut sim, addrs.iter().copied())
             }
-            Policy::OptimalDm => OptimalDirectMapped::simulate(config, addrs.iter().copied()),
-            Policy::OptimalDmLastLine => {
+            (_, Policy::OptimalDm) => OptimalDirectMapped::simulate(config, addrs.iter().copied()),
+            (_, Policy::OptimalDmLastLine) => {
                 OptimalDirectMapped::simulate_with_lastline(config, addrs.iter().copied())
             }
         }
@@ -220,6 +239,31 @@ mod tests {
         // The familiar ordering: OPT <= DE < DM on a thrash trace.
         assert!(serial[2].misses() <= serial[1].misses());
         assert!(serial[1].misses() < serial[0].misses());
+    }
+
+    #[test]
+    fn kernels_agree_for_every_policy() {
+        let mut rng = dynex_cache::SplitMix64::new(41);
+        let addrs: Vec<u32> = (0..8000).map(|_| (rng.below(2048) as u32) * 4).collect();
+        for policy in [
+            Policy::DirectMapped,
+            Policy::DynamicExclusion,
+            Policy::DeLastLine,
+            Policy::OptimalDm,
+            Policy::OptimalDmLastLine,
+        ] {
+            for config in [
+                CacheConfig::direct_mapped(256, 4).unwrap(),
+                CacheConfig::direct_mapped(1024, 16).unwrap(),
+            ] {
+                assert_eq!(
+                    policy.simulate_kernel(Kernel::Batch, config, &addrs),
+                    policy.simulate_kernel(Kernel::Reference, config, &addrs),
+                    "{} @ {config}",
+                    policy.name()
+                );
+            }
+        }
     }
 
     #[test]

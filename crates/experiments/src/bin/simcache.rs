@@ -3,6 +3,7 @@
 //! ```text
 //! simcache <trace.dxt|trace.txt> --size 32K --line 4 \
 //!          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
+//!          [--kernel reference|batch] \
 //!          [--jobs N] [--shard-sets] [--job-retries N] [--job-timeout-ms N] \
 //!          [--lenient N] [--resume journal.jsonl] \
 //!          [--events-out e.jsonl] [--metrics-out m.json] \
@@ -11,6 +12,14 @@
 //!
 //! Reads a `dynex-trace` file (binary `.dxt` or the text format, detected by
 //! the magic), simulates, and prints hit/miss statistics.
+//!
+//! `--kernel` selects between the reference simulators and the batch kernels
+//! for the `dm`, `de`, and `opt` organizations (default `batch`; every other
+//! organization always runs its reference simulator). The two kernels
+//! produce bit-identical statistics, exclusion counters, and observability
+//! output — including under `--shard-sets` and `--resume` (journal keys do
+//! not encode the kernel, so a run checkpointed under one kernel replays
+//! under the other).
 //!
 //! `--lenient N` tolerates up to `N` corrupt records in the trace: bad
 //! packed words / malformed text lines are skipped and counted (reported via
@@ -54,11 +63,13 @@ use std::time::Duration;
 use dynex::DeStats;
 use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped, PerfectStore};
 use dynex_cache::{
-    run, run_addrs, CacheConfig, CacheSim, CacheStats, DirectMapped, Replacement, SetAssociative,
-    StreamBuffer, VictimCache,
+    batch_de, batch_de_probed, batch_dm, batch_dm_probed, batch_opt, decode_addrs, run, run_addrs,
+    CacheConfig, CacheSim, CacheStats, DirectMapped, Kernel, KindFilter, Replacement,
+    SetAssociative, StreamBuffer, VictimCache,
 };
 use dynex_engine::{
-    execute, execute_resilient, job_key, shard_by_set, trace_digest, Journal, Policy, Resilience,
+    default_kernel, execute, execute_resilient, job_key, shard_by_set, trace_digest, Journal,
+    Policy, Resilience,
 };
 use dynex_obs::json::Json;
 use dynex_obs::{export, Collector, CountingProbe, Event, EventLog};
@@ -94,6 +105,7 @@ fn usage() {
     eprintln!(
         "usage: simcache <trace-file> --size <bytes|NK|NM> [--line N] \
          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
+         [--kernel reference|batch] \
          [--jobs N] [--shard-sets] [--job-retries N] [--job-timeout-ms N] \
          [--lenient <max-skipped>] [--resume <journal.jsonl>] \
          [--events-out <file.jsonl>] [--metrics-out <file.json>] \
@@ -207,14 +219,30 @@ fn run_sharded(
     // order (counters and histograms sum; the event stream is the
     // concatenation of the shard logs, not a global-order interleave).
     let shards = shard_by_set(config.geometry(), addrs, n_shards);
-    let outputs = execute(&shards, jobs, |shard| match policy {
-        Policy::DirectMapped => {
+    let outputs = execute(&shards, jobs, |shard| match (default_kernel(), policy) {
+        (Kernel::Batch, Policy::DirectMapped) => {
+            let mut probe = obs.probe();
+            let stats = batch_dm_probed(config, shard, &mut probe);
+            let (collector, log) = probe;
+            (stats, None, collector, log)
+        }
+        (Kernel::Batch, _) => {
+            let mut probe = obs.probe();
+            let result = batch_de_probed(config, shard, &mut probe);
+            let (collector, log) = probe;
+            let de_stats = DeStats {
+                loads: result.loads,
+                bypasses: result.bypasses,
+            };
+            (result.stats, Some(de_stats), collector, log)
+        }
+        (Kernel::Reference, Policy::DirectMapped) => {
             let mut cache = DirectMapped::with_probe(config, obs.probe());
             let stats = run_addrs(&mut cache, shard.iter().copied());
             let (collector, log) = cache.into_probe();
             (stats, None, collector, log)
         }
-        _ => {
+        (Kernel::Reference, _) => {
             let mut cache = DeCache::with_probe(config, obs.probe());
             let stats = run_addrs(&mut cache, shard.iter().copied());
             let de_stats = cache.de_stats();
@@ -287,12 +315,21 @@ fn run_sharded_resilient(
         if Some(*index) == inject_hang {
             std::thread::sleep(Duration::from_secs(3600));
         }
-        match policy {
-            Policy::DynamicExclusion => {
+        match (default_kernel(), policy) {
+            (Kernel::Batch, Policy::DynamicExclusion) => {
+                let result = batch_de(config, shard);
+                let de_stats = DeStats {
+                    loads: result.loads,
+                    bypasses: result.bypasses,
+                };
+                (result.stats, Some(de_stats))
+            }
+            (Kernel::Reference, Policy::DynamicExclusion) => {
                 let mut cache = DeCache::new(config);
                 let stats = run_addrs(&mut cache, shard.iter().copied());
                 (stats, Some(cache.de_stats()))
             }
+            // Policy::simulate is itself kernel-aware for dm and opt.
             _ => (policy.simulate(config, shard), None),
         }
     });
@@ -348,23 +385,47 @@ fn run_sharded_resilient(
 /// Simulates one uninstrumented run, returning its label, statistics, and
 /// (for `de`) the exclusion counters. This is the unit `--resume`
 /// checkpoints.
+///
+/// `addrs` is the decoded byte-address stream of `accesses` (the batch
+/// kernels for `dm`, `de`, and `opt` consume it; the other organizations
+/// replay `accesses` through their reference simulators). Both kernels
+/// return identical results, so the journal needs no kernel field.
 fn plain_stats(
     org: &str,
     size: u32,
     line: u32,
     accesses: &[dynex_trace::Access],
+    addrs: &[u32],
 ) -> Result<(String, CacheStats, Option<DeStats>), String> {
     let dm_config = CacheConfig::direct_mapped(size, line).map_err(|e| e.to_string())?;
+    let kernel = default_kernel();
     match org {
         "dm" => {
             let mut cache = DirectMapped::new(dm_config);
-            let stats = run(&mut cache, accesses.iter().copied());
+            let stats = match kernel {
+                Kernel::Batch => batch_dm(dm_config, addrs),
+                Kernel::Reference => run(&mut cache, accesses.iter().copied()),
+            };
             Ok((cache.label(), stats, None))
         }
         "de" => {
             let mut cache = DeCache::new(dm_config);
-            let stats = run(&mut cache, accesses.iter().copied());
-            let de = cache.de_stats();
+            let (stats, de) = match kernel {
+                Kernel::Batch => {
+                    let result = batch_de(dm_config, addrs);
+                    (
+                        result.stats,
+                        DeStats {
+                            loads: result.loads,
+                            bypasses: result.bypasses,
+                        },
+                    )
+                }
+                Kernel::Reference => {
+                    let stats = run(&mut cache, accesses.iter().copied());
+                    (stats, cache.de_stats())
+                }
+            };
             Ok((cache.label(), stats, Some(de)))
         }
         "de-lastline" => {
@@ -373,7 +434,12 @@ fn plain_stats(
             Ok((cache.label(), stats, None))
         }
         "opt" => {
-            let stats = OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()));
+            let stats = match kernel {
+                Kernel::Batch => batch_opt(dm_config, addrs),
+                Kernel::Reference => {
+                    OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()))
+                }
+            };
             Ok(("optimal direct-mapped".to_owned(), stats, None))
         }
         "2way" | "4way" => {
@@ -455,6 +521,7 @@ fn run_resumable(
     size: u32,
     line: u32,
     accesses: &[dynex_trace::Access],
+    addrs: &[u32],
 ) -> ExitCode {
     let mut journal = match Journal::open(journal_path) {
         Ok(j) => j,
@@ -463,13 +530,12 @@ fn run_resumable(
             return ExitCode::FAILURE;
         }
     };
-    let addrs: Vec<u32> = accesses.iter().map(|a| a.addr()).collect();
     let key = job_key(&[
         "simcache/v1",
         org,
         kinds,
         &format!("size={size} line={line}"),
-        &format!("{:016x}", trace_digest(&addrs)),
+        &format!("{:016x}", trace_digest(addrs)),
     ]);
 
     if let Some(value) = journal.lookup(&key) {
@@ -481,7 +547,7 @@ fn run_resumable(
         eprintln!("warning: journal record for this run is malformed; re-simulating");
     }
 
-    let (label, stats, de) = match plain_stats(org, size, line, accesses) {
+    let (label, stats, de) = match plain_stats(org, size, line, accesses, addrs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -547,6 +613,16 @@ fn main() -> ExitCode {
             }
             "--org" => org = it.next().unwrap_or_default(),
             "--kinds" => kinds = it.next().unwrap_or_default(),
+            "--kernel" => {
+                let value = it.next().unwrap_or_default();
+                match Kernel::parse(&value) {
+                    Some(k) => dynex_engine::set_default_kernel(k),
+                    None => {
+                        eprintln!("error: bad --kernel value {value:?} (reference|batch)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--jobs" => {
                 jobs = match it.next().and_then(|v| v.parse().ok()) {
                     Some(v) if v > 0 => v,
@@ -647,15 +723,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let accesses: Vec<dynex_trace::Access> = match kinds.as_str() {
-        "all" => trace.iter().collect(),
-        "instr" => dynex_trace::filter::instructions(trace.iter()).collect(),
-        "data" => dynex_trace::filter::data(trace.iter()).collect(),
+    let (accesses, filter): (Vec<dynex_trace::Access>, KindFilter) = match kinds.as_str() {
+        "all" => (trace.iter().collect(), KindFilter::All),
+        "instr" => (
+            dynex_trace::filter::instructions(trace.iter()).collect(),
+            KindFilter::Instructions,
+        ),
+        "data" => (
+            dynex_trace::filter::data(trace.iter()).collect(),
+            KindFilter::Data,
+        ),
         other => {
             eprintln!("error: bad --kinds {other:?}");
             return ExitCode::FAILURE;
         }
     };
+    // The decoded byte-address stream, shared by the batch kernels, the
+    // set-sharded paths, and the resume digest (chunked decode straight from
+    // the packed words — no per-reference Access round trip).
+    let addrs: Vec<u32> = decode_addrs(trace.as_packed(), filter);
+    debug_assert_eq!(addrs.len(), accesses.len());
     if skipped > 0 {
         let mut stats = TraceStats::from_accesses(trace.iter());
         stats.record_skipped(skipped);
@@ -665,7 +752,7 @@ fn main() -> ExitCode {
     eprintln!("{} references selected from {}", accesses.len(), path);
 
     if let Some(journal_path) = &resume {
-        return run_resumable(journal_path, &org, &kinds, size, line, &accesses);
+        return run_resumable(journal_path, &org, &kinds, size, line, &accesses, &addrs);
     }
 
     let report = |label: String, stats: CacheStats| {
@@ -691,19 +778,28 @@ fn main() -> ExitCode {
         dynex_engine::default_jobs()
     };
     if shard_sets {
-        let addrs: Vec<u32> = accesses.iter().map(|a| a.addr()).collect();
         return run_sharded(&org, dm_config, &addrs, jobs, &obs, resilience);
     }
 
     if !obs.active() {
         // The uninstrumented single run shares its driver with --resume.
-        let (label, stats, de) = match plain_stats(&org, size, line, &accesses) {
+        let started = std::time::Instant::now();
+        let (label, stats, de) = match plain_stats(&org, size, line, &accesses, &addrs) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         };
+        // Simulation-only throughput (trace load/decode excluded), on stderr
+        // so stdout stays byte-identical across kernels and machines;
+        // scripts/bench.sh parses this line.
+        let seconds = started.elapsed().as_secs_f64();
+        eprintln!(
+            "sim: {} references in {seconds:.3}s ({:.0} refs/s)",
+            stats.accesses(),
+            stats.accesses() as f64 / seconds.max(1e-9)
+        );
         print_plain(&label, stats, de);
         return ExitCode::SUCCESS;
     }
@@ -725,15 +821,44 @@ fn main() -> ExitCode {
     }
 
     match org.as_str() {
-        "dm" => {
-            simulate_observed!(DirectMapped::with_probe(dm_config, obs.probe()));
-        }
+        "dm" => match default_kernel() {
+            Kernel::Batch => {
+                let mut probe = obs.probe();
+                let stats = batch_dm_probed(dm_config, &addrs, &mut probe);
+                report(DirectMapped::new(dm_config).label(), stats);
+                let (collector, log) = probe;
+                if let Err(e) = obs.write(&collector, log.events()) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Kernel::Reference => {
+                simulate_observed!(DirectMapped::with_probe(dm_config, obs.probe()));
+            }
+        },
         "de" => {
-            let mut cache = DeCache::with_probe(dm_config, obs.probe());
-            let stats = run(&mut cache, accesses.iter().copied());
-            report(cache.label(), stats);
-            let de_stats = cache.de_stats();
-            let (collector, log) = cache.into_probe();
+            let (label, stats, de_stats, collector, log) = match default_kernel() {
+                Kernel::Batch => {
+                    let mut probe = obs.probe();
+                    let result = batch_de_probed(dm_config, &addrs, &mut probe);
+                    let (collector, log) = probe;
+                    let de_stats = DeStats {
+                        loads: result.loads,
+                        bypasses: result.bypasses,
+                    };
+                    let label = DeCache::new(dm_config).label();
+                    (label, result.stats, de_stats, collector, log)
+                }
+                Kernel::Reference => {
+                    let mut cache = DeCache::with_probe(dm_config, obs.probe());
+                    let stats = run(&mut cache, accesses.iter().copied());
+                    let label = cache.label();
+                    let de_stats = cache.de_stats();
+                    let (collector, log) = cache.into_probe();
+                    (label, stats, de_stats, collector, log)
+                }
+            };
+            report(label, stats);
             if let Err(e) = obs.write(&collector, log.events()) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
@@ -752,7 +877,12 @@ fn main() -> ExitCode {
                 "note: --org opt is a two-pass oracle without a probed hot path; \
                  observability outputs are not written"
             );
-            let stats = OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()));
+            let stats = match default_kernel() {
+                Kernel::Batch => batch_opt(dm_config, &addrs),
+                Kernel::Reference => {
+                    OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()))
+                }
+            };
             report("optimal direct-mapped".to_owned(), stats);
         }
         "2way" | "4way" => {

@@ -28,8 +28,8 @@ mod table;
 mod workloads;
 
 pub use runner::{
-    triple, triple_lastline, triple_observed, triple_to_json, triples, triples_lastline,
-    triples_to_jsonl, ObservedTriple, Triple,
+    triple, triple_kernel, triple_lastline, triple_observed, triple_to_json, triples,
+    triples_lastline, triples_to_jsonl, ObservedTriple, Triple,
 };
 pub use table::Table;
 pub use workloads::Workloads;

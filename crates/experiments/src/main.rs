@@ -2,13 +2,16 @@
 //! dynamic-exclusion paper.
 //!
 //! ```text
-//! experiments [--refs N] [--jobs N] [--out DIR] [--resume FILE] <id>... | all | list
+//! experiments [--refs N] [--jobs N] [--kernel reference|batch] [--out DIR]
+//!             [--resume FILE] <id>... | all | list
 //! ```
 //!
 //! `--refs` sets the per-benchmark reference budget (default 4,000,000, or
 //! the `DYNEX_REFS` environment variable); `--jobs` sets the worker count
 //! for the sweep engine (default: the `DYNEX_JOBS` environment variable, or
-//! all available cores — results are bit-identical for any value); `--out`
+//! all available cores — results are bit-identical for any value);
+//! `--kernel` selects the reference simulators or the fused batch kernel
+//! (default `batch`; output is bit-identical either way); `--out`
 //! writes one CSV per experiment into the directory; `--resume` checkpoints
 //! every completed sweep point into an append-only journal and replays it on
 //! the next run, so an interrupted sweep picks up where it left off and
@@ -29,6 +32,7 @@ use dynex_experiments::{figures, Workloads};
 struct Options {
     refs: usize,
     jobs: usize,
+    kernel: dynex_engine::Kernel,
     out: Option<PathBuf>,
     resume: Option<PathBuf>,
     ids: Vec<String>,
@@ -57,6 +61,7 @@ fn parse_args() -> Result<Options, String> {
     // surface errors); 0 = auto.
     dynex_engine::env_jobs()?;
     let mut jobs = 0;
+    let mut kernel = dynex_engine::Kernel::default();
     let mut out = None;
     let mut resume = None;
     let mut ids = Vec::new();
@@ -79,6 +84,11 @@ fn parse_args() -> Result<Options, String> {
                     .filter(|&v| v > 0)
                     .ok_or(format!("bad --jobs value {value:?}"))?;
             }
+            "--kernel" => {
+                let value = args.next().ok_or("--kernel needs a value")?;
+                kernel = dynex_engine::Kernel::parse(&value)
+                    .ok_or(format!("bad --kernel value {value:?} (reference|batch)"))?;
+            }
             "--out" => {
                 let value = args.next().ok_or("--out needs a directory")?;
                 out = Some(PathBuf::from(value));
@@ -99,6 +109,7 @@ fn parse_args() -> Result<Options, String> {
     Ok(Options {
         refs,
         jobs,
+        kernel,
         out,
         resume,
         ids,
@@ -107,9 +118,12 @@ fn parse_args() -> Result<Options, String> {
 
 fn print_help() {
     println!(
-        "usage: experiments [--refs N] [--jobs N] [--out DIR] [--resume FILE] <id>... | all | list"
+        "usage: experiments [--refs N] [--jobs N] [--kernel reference|batch] [--out DIR] \
+         [--resume FILE] <id>... | all | list"
     );
     println!();
+    println!("  --kernel K     simulation kernel (default batch); both kernels produce");
+    println!("                 bit-identical results, batch is the fast fused path");
     println!("  --resume FILE  checkpoint completed sweep points into FILE (JSONL)");
     println!("                 and replay them on the next run with the same FILE");
     println!();
@@ -157,7 +171,12 @@ fn main() -> ExitCode {
     // 0 keeps auto-detection (DYNEX_JOBS or available cores); the sweep
     // engine's results are bit-identical for every worker count.
     dynex_engine::set_default_jobs(options.jobs);
-    eprintln!("sweep engine: {} worker(s)", dynex_engine::default_jobs());
+    dynex_engine::set_default_kernel(options.kernel);
+    eprintln!(
+        "sweep engine: {} worker(s), {} kernel",
+        dynex_engine::default_jobs(),
+        dynex_engine::default_kernel()
+    );
 
     if let Some(path) = &options.resume {
         match Journal::open(path) {

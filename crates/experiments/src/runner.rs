@@ -9,8 +9,10 @@
 //! count, so figures built on these functions never depend on `--jobs`.
 
 use dynex::{DeCache, OptimalDirectMapped};
-use dynex_cache::{run_addrs, CacheConfig, CacheStats};
-use dynex_engine::{default_jobs, execute, job_key, trace_digest, with_global_journal, Policy};
+use dynex_cache::{batch_triple, run_addrs, CacheConfig, CacheStats, Kernel};
+use dynex_engine::{
+    default_jobs, default_kernel, execute, job_key, trace_digest, with_global_journal, Policy,
+};
 use dynex_obs::json::Json;
 use dynex_obs::{CountingProbe, EventCounts};
 
@@ -39,12 +41,36 @@ impl Triple {
     }
 }
 
-/// Runs the three-way comparison at word-line granularity (`b = 4`).
+/// Runs the three-way comparison at word-line granularity (`b = 4`) with
+/// the session's [`dynex_engine::default_kernel`].
 pub fn triple(config: CacheConfig, addrs: &[u32]) -> Triple {
-    Triple {
-        dm: Policy::DirectMapped.simulate(config, addrs),
-        de: Policy::DynamicExclusion.simulate(config, addrs),
-        opt: Policy::OptimalDm.simulate(config, addrs),
+    triple_kernel(default_kernel(), config, addrs)
+}
+
+/// Runs the three-way comparison with an explicit kernel.
+///
+/// Under [`Kernel::Batch`] the three policies run through
+/// [`dynex_cache::batch_triple`]: one fused pass over one decoded stream,
+/// sharing the address decode and the optimal oracle's next-use chain. Under
+/// [`Kernel::Reference`] each policy runs its spec simulator separately.
+/// Both produce bit-identical [`Triple`]s (the differential wall in
+/// `tests/kernel_differential.rs` holds this), so journal keys and resumed
+/// sweeps are kernel-agnostic.
+pub fn triple_kernel(kernel: Kernel, config: CacheConfig, addrs: &[u32]) -> Triple {
+    match kernel {
+        Kernel::Batch => {
+            let fused = batch_triple(config, addrs);
+            Triple {
+                dm: fused.dm,
+                de: fused.de.stats,
+                opt: fused.opt,
+            }
+        }
+        Kernel::Reference => Triple {
+            dm: Policy::DirectMapped.simulate_kernel(kernel, config, addrs),
+            de: Policy::DynamicExclusion.simulate_kernel(kernel, config, addrs),
+            opt: Policy::OptimalDm.simulate_kernel(kernel, config, addrs),
+        },
     }
 }
 
@@ -286,6 +312,23 @@ mod tests {
         assert!(t.de.misses() < t.dm.misses());
         assert!(t.de_reduction() > 0.0);
         assert!(t.opt_reduction() >= t.de_reduction());
+    }
+
+    #[test]
+    fn fused_and_reference_triples_agree() {
+        let mut rng = dynex_cache::SplitMix64::new(57);
+        let addrs: Vec<u32> = (0..10_000).map(|_| (rng.below(4096) as u32) * 4).collect();
+        for config in [
+            CacheConfig::direct_mapped(64, 4).unwrap(),
+            CacheConfig::direct_mapped(1024, 4).unwrap(),
+            CacheConfig::direct_mapped(8192, 16).unwrap(),
+        ] {
+            assert_eq!(
+                triple_kernel(Kernel::Batch, config, &addrs),
+                triple_kernel(Kernel::Reference, config, &addrs),
+                "{config}"
+            );
+        }
     }
 
     #[test]

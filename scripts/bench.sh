@@ -1,18 +1,35 @@
 #!/usr/bin/env bash
-# Engine scaling benchmark: times the two parallel paths dynex-engine adds
-# (sweep-level fan-out and set-sharded single-trace simulation) at jobs=1 vs
-# jobs=N and writes accesses/second to results/BENCH_PR2.json.
+# Repository benchmarks, one JSON artifact per PR's performance claim:
 #
-#   scripts/bench.sh            # N = all cores (or 4 on a 1-core machine,
-#                               #     to still exercise the parallel path)
-#   DYNEX_BENCH_JOBS=8 scripts/bench.sh
+#   scripts/bench.sh            # all sections
+#   scripts/bench.sh pr2        # engine scaling only  -> results/BENCH_PR2.json
+#   scripts/bench.sh pr4        # batch kernel only    -> results/BENCH_PR4.json
 #
-# Both paths are exact — results are bit-identical at any worker count — so
-# this script measures wall clock only. Numbers are recorded honestly: on a
-# single-core machine expect ~1x (threading overhead included), not a
-# speedup. See EXPERIMENTS.md "Engine scaling".
+# Environment knobs:
+#   DYNEX_BENCH_JOBS=8          worker count for the parallel runs
+#   DYNEX_BENCH_SWEEP_REFS=N    per-benchmark budget for the figure sweeps
+#   DYNEX_BENCH_TRACE_REFS=N    single-trace length
+#   DYNEX_BENCH_OUT_DIR=DIR     where the JSON lands (default results/)
+#
+# Sections:
+#   pr2  engine scaling: sweep fan-out and set-sharded single-trace runs at
+#        jobs=1 vs jobs=N (see EXPERIMENTS.md "Engine scaling")
+#   pr4  batch kernel: reference vs batch refs-per-second on dm/de/opt single
+#        traces and on a full figure sweep (fused triple), both at jobs=1 so
+#        the kernel, not the pool, is the measured variable
+#
+# Every timed pair also diffs its outputs: the benchmarks double as
+# determinism/bit-identity checks, so a silent divergence fails the script.
+# Numbers are recorded honestly: on a single-core machine the pr2 speedups
+# are ~1x (threading overhead included).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+SECTION=${1:-all}
+case "$SECTION" in
+    pr2|pr4|all) ;;
+    *) echo "usage: scripts/bench.sh [pr2|pr4|all]" >&2; exit 2 ;;
+esac
 
 CORES=$(nproc 2>/dev/null || echo 1)
 JOBS_N=${DYNEX_BENCH_JOBS:-$CORES}
@@ -22,7 +39,7 @@ JOBS_N=${DYNEX_BENCH_JOBS:-$CORES}
 
 SWEEP_REFS=${DYNEX_BENCH_SWEEP_REFS:-2000000}
 TRACE_REFS=${DYNEX_BENCH_TRACE_REFS:-10000000}
-OUT=results/BENCH_PR2.json
+OUT_DIR=${DYNEX_BENCH_OUT_DIR:-results}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -35,52 +52,148 @@ SIMCACHE=target/release/simcache
 
 now() { date +%s.%N; }
 elapsed() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", b - a }'; }
-
-# --- 1. figure sweep (fig5: size sweep x 10 benchmarks x 3 policies) -------
-echo "==> figure sweep (fig5, $SWEEP_REFS refs) at jobs=1 vs jobs=$JOBS_N"
-t0=$(now); "$EXPERIMENTS" --jobs 1 --refs "$SWEEP_REFS" fig5 >"$TMP/sweep1.txt"; t1=$(now)
-SWEEP_S1=$(elapsed "$t0" "$t1")
-t0=$(now); "$EXPERIMENTS" --jobs "$JOBS_N" --refs "$SWEEP_REFS" fig5 >"$TMP/sweepN.txt"; t1=$(now)
-SWEEP_SN=$(elapsed "$t0" "$t1")
-# Determinism spot check: the table must be identical at any worker count.
-diff "$TMP/sweep1.txt" "$TMP/sweepN.txt" >/dev/null \
-    || { echo "bench: sweep output differs between jobs=1 and jobs=$JOBS_N" >&2; exit 1; }
-
-# --- 2. single trace, set-sharded (10M-access gcc trace, 32KB DE) ----------
-echo "==> single trace ($TRACE_REFS refs, 32K de) serial vs --shard-sets --jobs $JOBS_N"
-"$TRACEGEN" gcc --refs "$TRACE_REFS" "$TMP/gcc.dxt" >/dev/null
-t0=$(now); "$SIMCACHE" "$TMP/gcc.dxt" --size 32K --org de --jobs 1 >"$TMP/trace1.txt"; t1=$(now)
-TRACE_S1=$(elapsed "$t0" "$t1")
-t0=$(now); "$SIMCACHE" "$TMP/gcc.dxt" --size 32K --org de --shard-sets --jobs "$JOBS_N" >"$TMP/traceN.txt"; t1=$(now)
-TRACE_SN=$(elapsed "$t0" "$t1")
-
 rate() { awk -v refs="$1" -v s="$2" 'BEGIN { printf "%.0f", refs / s }'; }
 ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
 
-mkdir -p results
-cat >"$OUT" <<EOF
+mkdir -p "$OUT_DIR"
+
+# The gcc trace is shared by both sections; generated once on demand.
+GCC_TRACE=""
+gcc_trace() {
+    if [ -z "$GCC_TRACE" ]; then
+        GCC_TRACE="$TMP/gcc.dxt"
+        "$TRACEGEN" gcc --refs "$TRACE_REFS" "$GCC_TRACE" >/dev/null
+    fi
+}
+
+# ---------------------------------------------------------------------------
+# pr2: engine scaling (sweep fan-out, set-sharded single trace)
+# ---------------------------------------------------------------------------
+bench_pr2() {
+    local out="$OUT_DIR/BENCH_PR2.json"
+
+    echo "==> [pr2] figure sweep (fig5, $SWEEP_REFS refs) at jobs=1 vs jobs=$JOBS_N"
+    t0=$(now); "$EXPERIMENTS" --jobs 1 --refs "$SWEEP_REFS" fig5 >"$TMP/sweep1.txt"; t1=$(now)
+    local sweep_s1; sweep_s1=$(elapsed "$t0" "$t1")
+    t0=$(now); "$EXPERIMENTS" --jobs "$JOBS_N" --refs "$SWEEP_REFS" fig5 >"$TMP/sweepN.txt"; t1=$(now)
+    local sweep_sn; sweep_sn=$(elapsed "$t0" "$t1")
+    # Determinism spot check: the table must be identical at any worker count.
+    diff "$TMP/sweep1.txt" "$TMP/sweepN.txt" >/dev/null \
+        || { echo "bench: sweep output differs between jobs=1 and jobs=$JOBS_N" >&2; exit 1; }
+
+    echo "==> [pr2] single trace ($TRACE_REFS refs, 32K de) serial vs --shard-sets --jobs $JOBS_N"
+    gcc_trace
+    t0=$(now); "$SIMCACHE" "$GCC_TRACE" --size 32K --org de --jobs 1 >"$TMP/trace1.txt"; t1=$(now)
+    local trace_s1; trace_s1=$(elapsed "$t0" "$t1")
+    t0=$(now); "$SIMCACHE" "$GCC_TRACE" --size 32K --org de --shard-sets --jobs "$JOBS_N" >"$TMP/traceN.txt"; t1=$(now)
+    local trace_sn; trace_sn=$(elapsed "$t0" "$t1")
+
+    cat >"$out" <<EOF
 {
   "bench": "dynex-engine scaling (PR 2)",
   "machine": { "cores": $CORES, "jobs_n": $JOBS_N },
   "figure_sweep": {
     "experiment": "fig5",
     "refs_per_benchmark": $SWEEP_REFS,
-    "seconds_jobs_1": $SWEEP_S1,
-    "seconds_jobs_n": $SWEEP_SN,
-    "speedup": $(ratio "$SWEEP_S1" "$SWEEP_SN")
+    "seconds_jobs_1": $sweep_s1,
+    "seconds_jobs_n": $sweep_sn,
+    "speedup": $(ratio "$sweep_s1" "$sweep_sn")
   },
   "single_trace_set_sharded": {
     "trace": "gcc",
     "accesses": $TRACE_REFS,
     "config": "32K de",
-    "seconds_serial": $TRACE_S1,
-    "seconds_sharded_jobs_n": $TRACE_SN,
-    "accesses_per_second_serial": $(rate "$TRACE_REFS" "$TRACE_S1"),
-    "accesses_per_second_sharded": $(rate "$TRACE_REFS" "$TRACE_SN"),
-    "speedup": $(ratio "$TRACE_S1" "$TRACE_SN")
+    "seconds_serial": $trace_s1,
+    "seconds_sharded_jobs_n": $trace_sn,
+    "accesses_per_second_serial": $(rate "$TRACE_REFS" "$trace_s1"),
+    "accesses_per_second_sharded": $(rate "$TRACE_REFS" "$trace_sn"),
+    "speedup": $(ratio "$trace_s1" "$trace_sn")
   }
 }
 EOF
+    echo "bench: wrote $out"
+    cat "$out"
+}
 
-echo "bench: wrote $OUT"
-cat "$OUT"
+# ---------------------------------------------------------------------------
+# pr4: batch kernel vs reference simulators (refs per second)
+# ---------------------------------------------------------------------------
+
+# run_kernel ORG KERNEL TAG: one simcache run at jobs=1 (the kernel swap is
+# the only variable on the measured path). Sets KERNEL_SECS to the total
+# wall seconds and KERNEL_RATE to the simulation-only refs/s that simcache
+# reports on stderr ("sim: N references in S (R refs/s)") — the rate is the
+# kernel comparison, the wall seconds record the end-to-end cost honestly
+# (trace load/decode included, identical for both kernels).
+run_kernel() {
+    local org="$1" kernel="$2" tag="$3" t0 t1
+    t0=$(now)
+    "$SIMCACHE" "$GCC_TRACE" --size 32K --org "$org" --kernel "$kernel" --jobs 1 \
+        >"$TMP/$tag.txt" 2>"$TMP/$tag.err"
+    t1=$(now)
+    KERNEL_SECS=$(elapsed "$t0" "$t1")
+    KERNEL_RATE=$(awk '/^sim:/ { gsub(/[()]/, ""); print $(NF-1) }' "$TMP/$tag.err")
+    [ -n "$KERNEL_RATE" ] || { echo "bench: no sim: line in $tag stderr" >&2; exit 1; }
+}
+
+bench_pr4() {
+    local out="$OUT_DIR/BENCH_PR4.json"
+    gcc_trace
+
+    local orgs_json=""
+    local org sr sb rr rb
+    for org in dm de opt; do
+        echo "==> [pr4] single trace ($TRACE_REFS refs, 32K $org): reference vs batch kernel"
+        run_kernel "$org" reference "$org-ref"; sr=$KERNEL_SECS; rr=$KERNEL_RATE
+        run_kernel "$org" batch "$org-batch"; sb=$KERNEL_SECS; rb=$KERNEL_RATE
+        # Bit-identity check: the kernels must print the same statistics.
+        diff "$TMP/$org-ref.txt" "$TMP/$org-batch.txt" >/dev/null \
+            || { echo "bench: $org output differs between kernels" >&2; exit 1; }
+        [ -n "$orgs_json" ] && orgs_json="$orgs_json,"
+        orgs_json="$orgs_json
+    \"$org\": {
+      \"seconds_total_reference\": $sr,
+      \"seconds_total_batch\": $sb,
+      \"refs_per_second_reference\": $rr,
+      \"refs_per_second_batch\": $rb,
+      \"speedup\": $(ratio "$rb" "$rr")
+    }"
+    done
+
+    echo "==> [pr4] figure sweep (fig5, $SWEEP_REFS refs, jobs=1): reference vs fused batch triple"
+    t0=$(now); "$EXPERIMENTS" --jobs 1 --kernel reference --refs "$SWEEP_REFS" fig5 >"$TMP/fig5-ref.txt"; t1=$(now)
+    local sweep_sr; sweep_sr=$(elapsed "$t0" "$t1")
+    t0=$(now); "$EXPERIMENTS" --jobs 1 --kernel batch --refs "$SWEEP_REFS" fig5 >"$TMP/fig5-batch.txt"; t1=$(now)
+    local sweep_sb; sweep_sb=$(elapsed "$t0" "$t1")
+    diff "$TMP/fig5-ref.txt" "$TMP/fig5-batch.txt" >/dev/null \
+        || { echo "bench: fig5 output differs between kernels" >&2; exit 1; }
+
+    cat >"$out" <<EOF
+{
+  "bench": "dynex batch kernel (PR 4)",
+  "machine": { "cores": $CORES },
+  "single_trace": {
+    "trace": "gcc",
+    "accesses": $TRACE_REFS,
+    "config": "32K, jobs=1",
+    "orgs": {$orgs_json
+    }
+  },
+  "figure_sweep_fused_triple": {
+    "experiment": "fig5",
+    "refs_per_benchmark": $SWEEP_REFS,
+    "seconds_reference": $sweep_sr,
+    "seconds_batch": $sweep_sb,
+    "speedup": $(ratio "$sweep_sr" "$sweep_sb")
+  }
+}
+EOF
+    echo "bench: wrote $out"
+    cat "$out"
+}
+
+case "$SECTION" in
+    pr2) bench_pr2 ;;
+    pr4) bench_pr4 ;;
+    all) bench_pr2; bench_pr4 ;;
+esac

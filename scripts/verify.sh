@@ -31,4 +31,19 @@ cargo test --workspace -q
 echo "==> cargo test --test resilience (fault isolation, resume, lenient ingest)"
 cargo test -q -p dynex-experiments --test resilience
 
+# Bench smoke: scripts/bench.sh at tiny budgets into a throwaway directory.
+# This is a does-it-run gate, not a performance gate — it fails on a panic,
+# a kernel-output divergence, or a broken JSON pipeline, never on timing.
+# (Skipped under --quick: it needs the release binaries.)
+if [ "$quick" -eq 0 ]; then
+    echo "==> bench smoke (tiny budgets)"
+    smoke_dir=$(mktemp -d)
+    trap 'rm -rf "$smoke_dir"' EXIT
+    DYNEX_BENCH_SWEEP_REFS=20000 DYNEX_BENCH_TRACE_REFS=100000 \
+        DYNEX_BENCH_OUT_DIR="$smoke_dir" scripts/bench.sh all >/dev/null
+    for f in BENCH_PR2.json BENCH_PR4.json; do
+        [ -s "$smoke_dir/$f" ] || { echo "verify: bench smoke produced no $f" >&2; exit 1; }
+    done
+fi
+
 echo "verify: OK"

@@ -1,0 +1,241 @@
+//! The differential-testing wall for the batch simulation kernel.
+//!
+//! The `--kernel batch` fast path is only admissible because it is
+//! **bit-identical** to the reference simulators. This suite holds that line
+//! along every axis the drivers expose:
+//!
+//! * `CacheStats` (and DE load/bypass counters) for every built-in workload
+//!   profile across a grid of cache sizes and line sizes,
+//! * the fused dm+de+opt triple against three separate reference runs,
+//! * probe event streams and interval-series CSV bytes,
+//! * figure CSV output with the kernel and worker count flipped through the
+//!   session globals, at `--jobs 1` and `--jobs 4`.
+//!
+//! Tests that flip the session-wide kernel/jobs globals serialize behind
+//! [`GLOBALS`] and restore the defaults before releasing it, so the rest of
+//! the binary never observes a half-flipped session (this is also why the
+//! suite is safe under `cargo test`'s default parallel threading).
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use dynex::DeCache;
+use dynex_cache::{
+    batch_de, batch_de_probed, batch_triple, run_addrs, CacheConfig, Kernel, SplitMix64,
+};
+use dynex_engine::{execute, set_default_jobs, set_default_kernel, sharded_policy_stats, Policy};
+use dynex_experiments::{figures, triple_kernel, Workloads};
+use dynex_obs::{export, Collector, EventLog};
+
+/// Shared reduced-budget workloads (every built-in profile).
+fn workloads() -> &'static Workloads {
+    static WORKLOADS: OnceLock<Workloads> = OnceLock::new();
+    WORKLOADS.get_or_init(|| Workloads::generate(6_000))
+}
+
+/// Serializes tests that mutate the session globals (default kernel, default
+/// jobs); the guard restores the defaults on drop via the explicit calls at
+/// the end of each test body.
+fn lock_globals() -> MutexGuard<'static, ()> {
+    static GLOBALS: Mutex<()> = Mutex::new(());
+    // A poisoned lock only means another test failed while holding it; the
+    // globals are self-restoring (every path below resets them), so continue.
+    GLOBALS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const SIZES: [u32; 3] = [1024, 8 * 1024, 32 * 1024];
+const LINES: [u32; 2] = [4, 16];
+
+/// Every workload profile × size × line × policy: batch == reference, and
+/// the fused triple == three reference runs. This is the acceptance-criteria
+/// grid.
+#[test]
+fn every_profile_and_geometry_is_bit_identical_across_kernels() {
+    let workloads = workloads();
+    let names: Vec<String> = workloads.iter().map(|(n, _)| n.to_owned()).collect();
+    for name in &names {
+        let addrs = workloads.instr_addrs(name);
+        for size in SIZES {
+            for line in LINES {
+                let config = CacheConfig::direct_mapped(size, line).unwrap();
+                for policy in [
+                    Policy::DirectMapped,
+                    Policy::DynamicExclusion,
+                    Policy::OptimalDm,
+                ] {
+                    assert_eq!(
+                        policy.simulate_kernel(Kernel::Batch, config, &addrs),
+                        policy.simulate_kernel(Kernel::Reference, config, &addrs),
+                        "{name}: {} @ {config}",
+                        policy.name()
+                    );
+                }
+                assert_eq!(
+                    triple_kernel(Kernel::Batch, config, &addrs),
+                    triple_kernel(Kernel::Reference, config, &addrs),
+                    "{name}: fused triple @ {config}"
+                );
+            }
+        }
+    }
+}
+
+/// DE's exclusion counters (loads/bypasses) agree between kernels on every
+/// profile — `CacheStats` alone could mask a load/bypass mislabel that
+/// happens to produce the same miss count.
+#[test]
+fn de_exclusion_counters_agree_across_kernels() {
+    let workloads = workloads();
+    let names: Vec<String> = workloads.iter().map(|(n, _)| n.to_owned()).collect();
+    let config = CacheConfig::direct_mapped(4 * 1024, 4).unwrap();
+    for name in &names {
+        let addrs = workloads.instr_addrs(name);
+        let mut reference = DeCache::new(config);
+        let ref_stats = run_addrs(&mut reference, addrs.iter().copied());
+        let batch = batch_de(config, &addrs);
+        assert_eq!(batch.stats, ref_stats, "{name}");
+        assert_eq!(batch.loads, reference.de_stats().loads, "{name}");
+        assert_eq!(batch.bypasses, reference.de_stats().bypasses, "{name}");
+    }
+}
+
+/// Probe parity: the batch DE kernel must emit the reference cache's exact
+/// event stream, and the interval series built from it must serialize to the
+/// same CSV bytes.
+#[test]
+fn probe_events_and_interval_csv_are_byte_identical() {
+    let workloads = workloads();
+    let (name, _) = workloads.iter().next().expect("built-in profiles exist");
+    let addrs = workloads.instr_addrs(name);
+    let config = CacheConfig::direct_mapped(2 * 1024, 4).unwrap();
+    const WINDOW: u64 = 500;
+
+    let mut reference = DeCache::with_probe(config, (Collector::new(WINDOW), EventLog::new()));
+    let ref_stats = run_addrs(&mut reference, addrs.iter().copied());
+    let (ref_collector, ref_log) = reference.into_probe();
+
+    let mut probe = (Collector::new(WINDOW), EventLog::new());
+    let batch = batch_de_probed(config, &addrs, &mut probe);
+    let (batch_collector, batch_log) = probe;
+
+    assert_eq!(batch.stats, ref_stats);
+    let ref_events = ref_log.into_events();
+    let batch_events = batch_log.into_events();
+    assert_eq!(batch_events.len(), ref_events.len());
+    assert_eq!(batch_events, ref_events);
+
+    let csv = |collector: &Collector| {
+        let mut bytes = Vec::new();
+        export::write_intervals_csv(&mut bytes, collector.intervals()).unwrap();
+        bytes
+    };
+    assert_eq!(csv(&batch_collector), csv(&ref_collector));
+}
+
+/// Set-sharded runs agree across kernels at 1 and 4 workers: the sharded
+/// path goes through `Policy::simulate`, so this exercises the engine-level
+/// kernel dispatch end to end.
+#[test]
+fn sharded_stats_agree_across_kernels_at_jobs_1_and_4() {
+    let _guard = lock_globals();
+    let mut rng = SplitMix64::new(77);
+    let addrs: Vec<u32> = (0..30_000).map(|_| (rng.below(8_192) as u32) * 4).collect();
+    let config = CacheConfig::direct_mapped(4 * 1024, 4).unwrap();
+    for policy in [
+        Policy::DirectMapped,
+        Policy::DynamicExclusion,
+        Policy::OptimalDm,
+    ] {
+        let mut per_kernel = Vec::new();
+        for kernel in [Kernel::Reference, Kernel::Batch] {
+            set_default_kernel(kernel);
+            let serial = policy.simulate(config, &addrs);
+            for jobs in [1usize, 4] {
+                assert_eq!(
+                    sharded_policy_stats(config, policy, &addrs, 4, jobs),
+                    serial,
+                    "{} kernel={kernel} jobs={jobs}",
+                    policy.name()
+                );
+            }
+            per_kernel.push(serial);
+        }
+        set_default_kernel(Kernel::default());
+        assert_eq!(per_kernel[0], per_kernel[1], "{}", policy.name());
+    }
+}
+
+/// Figure CSVs are byte-identical across kernel × worker-count: the full
+/// driver stack (workloads → triples → table → CSV) cannot tell the kernels
+/// apart at `--jobs 1` or `--jobs 4`.
+#[test]
+fn figure_csv_bytes_identical_across_kernels_and_jobs() {
+    let _guard = lock_globals();
+    let workloads = workloads();
+    for id in ["fig3", "fig5"] {
+        let mut renders = Vec::new();
+        for kernel in [Kernel::Reference, Kernel::Batch] {
+            for jobs in [1usize, 4] {
+                set_default_kernel(kernel);
+                set_default_jobs(jobs);
+                let table = figures::run(id, workloads).expect("known id");
+                let mut bytes = Vec::new();
+                table.write_csv(&mut bytes).unwrap();
+                renders.push((kernel, jobs, bytes));
+            }
+        }
+        set_default_kernel(Kernel::default());
+        set_default_jobs(0);
+        let (_, _, first) = &renders[0];
+        for (kernel, jobs, bytes) in &renders[1..] {
+            assert_eq!(bytes, first, "{id}: kernel={kernel} jobs={jobs}");
+        }
+    }
+}
+
+/// Engine fan-out parity: a plan of points executed on the pool yields the
+/// same triples under both kernels at 1 and 4 workers.
+#[test]
+fn pooled_triples_identical_across_kernels_at_jobs_1_and_4() {
+    let workloads = workloads();
+    let traces: Vec<Vec<u32>> = workloads
+        .iter()
+        .map(|(n, _)| workloads.instr_addrs(n))
+        .collect();
+    let mut points: Vec<(CacheConfig, &[u32])> = Vec::new();
+    for size in SIZES {
+        let config = CacheConfig::direct_mapped(size, 4).unwrap();
+        points.extend(traces.iter().map(|t| (config, t.as_slice())));
+    }
+    let run =
+        |kernel: Kernel, jobs: usize| execute(&points, jobs, |&(c, a)| triple_kernel(kernel, c, a));
+    let baseline = run(Kernel::Reference, 1);
+    for (kernel, jobs) in [
+        (Kernel::Reference, 4),
+        (Kernel::Batch, 1),
+        (Kernel::Batch, 4),
+    ] {
+        assert_eq!(run(kernel, jobs), baseline, "kernel={kernel} jobs={jobs}");
+    }
+}
+
+/// The fused triple agrees with three independent batch runs on data
+/// streams too (the instruction/data split is a different reference mix).
+#[test]
+fn fused_triple_matches_on_data_streams() {
+    let workloads = workloads();
+    let names: Vec<String> = workloads.iter().map(|(n, _)| n.to_owned()).collect();
+    let config = CacheConfig::direct_mapped(8 * 1024, 4).unwrap();
+    for name in &names {
+        let addrs = workloads.data_addrs(name);
+        let fused = batch_triple(config, &addrs);
+        assert_eq!(
+            triple_kernel(Kernel::Reference, config, &addrs),
+            dynex_experiments::Triple {
+                dm: fused.dm,
+                de: fused.de.stats,
+                opt: fused.opt,
+            },
+            "{name}"
+        );
+    }
+}

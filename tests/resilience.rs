@@ -7,8 +7,14 @@
 //! * `experiments --resume`: a journaled sweep interrupted mid-flight (by
 //!   truncating its journal, and by killing the process) reproduces
 //!   byte-identical CSV output when resumed;
-//! * the `simcache` CLI: `--resume` replay, `--lenient` trace ingestion,
-//!   injected shard faults, and the malformed-flag/environment hardening.
+//! * the `simcache` CLI: `--resume` replay (including across `--kernel`
+//!   values — journal keys are kernel-agnostic), `--lenient` trace
+//!   ingestion, injected shard faults, and the malformed-flag/environment
+//!   hardening.
+//!
+//! Spawned CLIs run with every `DYNEX_*` variable scrubbed and fault
+//! injection is passed via `Command::env`, so the suite is hermetic under
+//! any `--test-threads` value and any runner environment.
 
 use std::process::{Command, Stdio};
 use std::sync::Arc;
@@ -27,19 +33,35 @@ fn scratch(tag: &str) -> std::path::PathBuf {
     dir
 }
 
+/// Every environment variable any dynex binary reads. Spawned CLIs get all
+/// of them scrubbed so a stray variable in the *test runner's* environment
+/// (or one set by a concurrently-running test via `Command::env`, which is
+/// per-child and cannot leak — fault injection relies on that) can never
+/// change a subprocess's behaviour. Keeping one authoritative list means a
+/// newly added knob only needs to be registered here once.
+const DYNEX_ENV_VARS: [&str; 5] = [
+    "DYNEX_JOBS",
+    "DYNEX_REFS",
+    "DYNEX_BLESS",
+    "DYNEX_INJECT_PANIC_SHARD",
+    "DYNEX_INJECT_HANG_SHARD",
+];
+
 /// `experiments` invocation with a hermetic environment (no stray DYNEX_*).
 fn experiments_cmd() -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_experiments"));
-    cmd.env_remove("DYNEX_JOBS").env_remove("DYNEX_REFS");
+    for var in DYNEX_ENV_VARS {
+        cmd.env_remove(var);
+    }
     cmd
 }
 
 /// `simcache` invocation with a hermetic environment.
 fn simcache_cmd() -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_simcache"));
-    cmd.env_remove("DYNEX_JOBS")
-        .env_remove("DYNEX_INJECT_PANIC_SHARD")
-        .env_remove("DYNEX_INJECT_HANG_SHARD");
+    for var in DYNEX_ENV_VARS {
+        cmd.env_remove(var);
+    }
     cmd
 }
 
@@ -277,6 +299,64 @@ fn simcache_resume_replays_byte_identical_output() {
     assert_eq!(
         stdout_first, stdout_second,
         "replayed output must be byte-identical"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The resume journal's keys deliberately do not encode the kernel: both
+/// kernels are bit-identical, so a journal written under `--kernel batch`
+/// must replay under `--kernel reference` (and vice versa) with
+/// byte-identical output. This is also the regression guard for the journal
+/// format itself — if a kernel ever stopped being bit-identical, the fresh
+/// reference run below would diverge from the replayed one.
+#[test]
+fn simcache_resume_is_kernel_agnostic() {
+    let dir = scratch("kernel-resume");
+    let trace = write_text_trace(&dir);
+    let journal = dir.join("run.journal");
+
+    let run = |kernel: &str, resume: bool| {
+        let mut cmd = simcache_cmd();
+        cmd.arg(&trace).args([
+            "--size", "1K", "--line", "4", "--org", "de", "--kernel", kernel,
+        ]);
+        if resume {
+            cmd.arg("--resume").arg(&journal);
+        }
+        let output = cmd.output().expect("simcache runs");
+        assert!(
+            output.status.success(),
+            "simcache --kernel {kernel} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        (
+            output.stdout,
+            String::from_utf8_lossy(&output.stderr).into_owned(),
+        )
+    };
+
+    // Journal written by the batch kernel...
+    let (stdout_batch, stderr_batch) = run("batch", true);
+    assert!(!stderr_batch.contains("replayed from journal"));
+
+    // ...replays under the reference kernel without re-simulating.
+    let (stdout_replayed, stderr_replayed) = run("reference", true);
+    assert!(
+        stderr_replayed.contains("replayed from journal"),
+        "cross-kernel resume should replay, not re-simulate:\n{stderr_replayed}"
+    );
+    assert_eq!(
+        stdout_batch, stdout_replayed,
+        "cross-kernel replay must be byte-identical"
+    );
+
+    // And a fresh reference-kernel run (no journal) agrees byte for byte,
+    // so the replayed numbers are the numbers reference would have produced.
+    let (stdout_fresh, _) = run("reference", false);
+    assert_eq!(
+        stdout_batch, stdout_fresh,
+        "kernels must produce byte-identical simcache output"
     );
 
     std::fs::remove_dir_all(&dir).ok();
