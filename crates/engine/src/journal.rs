@@ -225,6 +225,14 @@ impl Journal {
         self.replayed
     }
 
+    /// Iterates over every `(key, value)` record currently held, in
+    /// unspecified order. Unlike [`Journal::lookup`] this does not count
+    /// toward [`Journal::replayed`] — it exists for bulk consumers (e.g.
+    /// warm-starting a result cache from a journal at service boot).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Json)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Returns the recorded value for `key`, if any, counting the hit in
     /// [`Journal::replayed`].
     pub fn lookup(&mut self, key: &str) -> Option<Json> {

@@ -63,29 +63,13 @@ use std::time::Duration;
 use dynex::DeStats;
 use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped, PerfectStore};
 use dynex_cache::{
-    batch_de, batch_de_probed, batch_dm, batch_dm_probed, batch_opt, decode_addrs, run, run_addrs,
-    CacheConfig, CacheSim, CacheStats, DirectMapped, Kernel, KindFilter, Replacement,
-    SetAssociative, StreamBuffer, VictimCache,
+    batch_de, batch_de_probed, batch_dm_probed, batch_opt, run, run_addrs, CacheConfig, CacheSim,
+    CacheStats, DirectMapped, Kernel, Replacement, SetAssociative, StreamBuffer, VictimCache,
 };
-use dynex_engine::{
-    default_kernel, execute, execute_resilient, job_key, shard_by_set, trace_digest, Journal,
-    Policy, Resilience,
-};
-use dynex_obs::json::Json;
+use dynex_engine::{default_kernel, execute, execute_resilient, shard_by_set, Policy, Resilience};
+use dynex_experiments::api::{self, Org, SimulationRequest};
 use dynex_obs::{export, Collector, CountingProbe, Event, EventLog};
 use dynex_trace::{io as trace_io, ReadPolicy, Trace, TraceStats};
-
-fn parse_size(text: &str) -> Option<u32> {
-    let text = text.trim();
-    let value = if let Some(kb) = text.strip_suffix(['K', 'k']) {
-        kb.parse::<u32>().ok().map(|v| v * 1024)
-    } else if let Some(mb) = text.strip_suffix(['M', 'm']) {
-        mb.parse::<u32>().ok().map(|v| v * 1024 * 1024)
-    } else {
-        text.parse().ok()
-    };
-    value.filter(|&v| v > 0)
-}
 
 /// Loads a trace under the given read policy, returning the number of
 /// corrupt records skipped (always 0 under [`ReadPolicy::Strict`]).
@@ -382,202 +366,15 @@ fn run_sharded_resilient(
     ExitCode::FAILURE
 }
 
-/// Simulates one uninstrumented run, returning its label, statistics, and
-/// (for `de`) the exclusion counters. This is the unit `--resume`
-/// checkpoints.
-///
-/// `addrs` is the decoded byte-address stream of `accesses` (the batch
-/// kernels for `dm`, `de`, and `opt` consume it; the other organizations
-/// replay `accesses` through their reference simulators). Both kernels
-/// return identical results, so the journal needs no kernel field.
-fn plain_stats(
-    org: &str,
-    size: u32,
-    line: u32,
-    accesses: &[dynex_trace::Access],
-    addrs: &[u32],
-) -> Result<(String, CacheStats, Option<DeStats>), String> {
-    let dm_config = CacheConfig::direct_mapped(size, line).map_err(|e| e.to_string())?;
-    let kernel = default_kernel();
-    match org {
-        "dm" => {
-            let mut cache = DirectMapped::new(dm_config);
-            let stats = match kernel {
-                Kernel::Batch => batch_dm(dm_config, addrs),
-                Kernel::Reference => run(&mut cache, accesses.iter().copied()),
-            };
-            Ok((cache.label(), stats, None))
-        }
-        "de" => {
-            let mut cache = DeCache::new(dm_config);
-            let (stats, de) = match kernel {
-                Kernel::Batch => {
-                    let result = batch_de(dm_config, addrs);
-                    (
-                        result.stats,
-                        DeStats {
-                            loads: result.loads,
-                            bypasses: result.bypasses,
-                        },
-                    )
-                }
-                Kernel::Reference => {
-                    let stats = run(&mut cache, accesses.iter().copied());
-                    (stats, cache.de_stats())
-                }
-            };
-            Ok((cache.label(), stats, Some(de)))
-        }
-        "de-lastline" => {
-            let mut cache = LastLineDeCache::new(dm_config);
-            let stats = run(&mut cache, accesses.iter().copied());
-            Ok((cache.label(), stats, None))
-        }
-        "opt" => {
-            let stats = match kernel {
-                Kernel::Batch => batch_opt(dm_config, addrs),
-                Kernel::Reference => {
-                    OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()))
-                }
-            };
-            Ok(("optimal direct-mapped".to_owned(), stats, None))
-        }
-        "2way" | "4way" => {
-            let ways = if org == "2way" { 2 } else { 4 };
-            let config = CacheConfig::new(size, line, ways).map_err(|e| e.to_string())?;
-            let mut cache = SetAssociative::new(config, Replacement::Lru);
-            let stats = run(&mut cache, accesses.iter().copied());
-            Ok((cache.label(), stats, None))
-        }
-        "victim" => {
-            let mut cache = VictimCache::new(dm_config, 4);
-            let stats = run(&mut cache, accesses.iter().copied());
-            Ok((cache.label(), stats, None))
-        }
-        "stream" => {
-            let mut cache = StreamBuffer::new(dm_config, 4);
-            let stats = run(&mut cache, accesses.iter().copied());
-            Ok((cache.label(), stats, None))
-        }
-        other => Err(format!("unknown --org {other:?}")),
-    }
-}
-
-fn print_plain(label: &str, stats: CacheStats, de: Option<DeStats>) {
-    println!(
-        "{label}: {} accesses, {} misses, miss rate {:.4}%",
-        stats.accesses(),
-        stats.misses(),
-        stats.miss_rate_percent()
-    );
-    if let Some(de) = de {
-        println!("  loads {} bypasses {}", de.loads, de.bypasses);
-    }
-}
-
-/// Journal value for one plain run (label + raw counters; every derived
-/// number is a pure function of these).
-fn plain_to_journal(label: &str, stats: CacheStats, de: Option<DeStats>) -> String {
-    let mut out = format!(
-        r#"{{"label":"{}","accesses":{},"misses":{}"#,
-        dynex_obs::json::escape(label),
-        stats.accesses(),
-        stats.misses(),
-    );
-    if let Some(de) = de {
-        out.push_str(&format!(
-            r#","loads":{},"bypasses":{}"#,
-            de.loads, de.bypasses
-        ));
-    }
-    out.push('}');
-    out
-}
-
-/// Decodes [`plain_to_journal`]; `None` re-simulates (stale/foreign record).
-fn plain_from_journal(v: &Json) -> Option<(String, CacheStats, Option<DeStats>)> {
-    let label = v.get("label")?.as_str()?.to_owned();
-    let accesses = v.get("accesses")?.as_u64()?;
-    let misses = v.get("misses")?.as_u64()?;
-    if misses > accesses {
-        return None;
-    }
-    let de = match (v.get("loads"), v.get("bypasses")) {
-        (Some(l), Some(b)) => Some(DeStats {
-            loads: l.as_u64()?,
-            bypasses: b.as_u64()?,
-        }),
-        _ => None,
-    };
-    Some((label, CacheStats::from_counts(accesses, misses), de))
-}
-
-/// The `--resume` path for plain runs: replay the checkpointed result if
-/// present, otherwise simulate and record it.
-fn run_resumable(
-    journal_path: &str,
-    org: &str,
-    kinds: &str,
-    size: u32,
-    line: u32,
-    accesses: &[dynex_trace::Access],
-    addrs: &[u32],
-) -> ExitCode {
-    let mut journal = match Journal::open(journal_path) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let key = job_key(&[
-        "simcache/v1",
-        org,
-        kinds,
-        &format!("size={size} line={line}"),
-        &format!("{:016x}", trace_digest(addrs)),
-    ]);
-
-    if let Some(value) = journal.lookup(&key) {
-        if let Some((label, stats, de)) = plain_from_journal(&value) {
-            eprintln!("replayed from journal {journal_path} (1 point)");
-            print_plain(&label, stats, de);
-            return ExitCode::SUCCESS;
-        }
-        eprintln!("warning: journal record for this run is malformed; re-simulating");
-    }
-
-    let (label, stats, de) = match plain_stats(org, size, line, accesses, addrs) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    print_plain(&label, stats, de);
-    if let Err(e) = journal.record(&key, &plain_to_journal(&label, stats, de)) {
-        eprintln!("warning: {e}");
-    }
-    ExitCode::SUCCESS
-}
-
 fn main() -> ExitCode {
-    // Fail loudly on a malformed DYNEX_JOBS before anything else runs
-    // (default_jobs() reads it later but cannot surface errors).
-    if let Err(e) = dynex_engine::env_jobs() {
-        eprintln!("error: {e}");
-        return ExitCode::FAILURE;
-    }
-
+    // Every session flag funnels into one SimulationRequest: validation and
+    // the DYNEX_JOBS/DYNEX_REFS environment overrides live in the request
+    // builder, not here. Mode flags (sharding, resilience, observability)
+    // stay local — they select *how* the request runs, not *what* it means.
+    let mut builder = SimulationRequest::builder();
     let mut path = None;
-    let mut size = None;
-    let mut line = 4u32;
-    let mut org = "dm".to_owned();
-    let mut kinds = "all".to_owned();
-    let mut jobs = 0usize; // 0 = auto (DYNEX_JOBS or available cores)
+    let mut saw_size = false;
     let mut shard_sets = false;
-    let mut read_policy = ReadPolicy::Strict;
-    let mut resume: Option<String> = None;
     let mut resilience = Resilience::default();
     let mut obs = ObsConfig {
         events_out: None,
@@ -594,43 +391,37 @@ fn main() -> ExitCode {
                     eprintln!("error: --size needs a value (e.g. --size 32K)");
                     return ExitCode::FAILURE;
                 };
-                size = match parse_size(&value) {
-                    Some(v) => Some(v),
-                    None => {
-                        eprintln!("error: bad --size value {value:?} (positive bytes, NK, or NM)");
-                        return ExitCode::FAILURE;
-                    }
-                };
+                builder.size(&value);
+                saw_size = true;
             }
             "--line" => {
-                line = match it.next().and_then(|v| v.parse().ok()) {
+                let line: u32 = match it.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
                     None => {
                         eprintln!("error: --line needs a number");
                         return ExitCode::FAILURE;
                     }
-                }
+                };
+                builder.line(line);
             }
-            "--org" => org = it.next().unwrap_or_default(),
-            "--kinds" => kinds = it.next().unwrap_or_default(),
+            "--org" => {
+                builder.org(&it.next().unwrap_or_default());
+            }
+            "--kinds" => {
+                builder.kinds(&it.next().unwrap_or_default());
+            }
             "--kernel" => {
-                let value = it.next().unwrap_or_default();
-                match Kernel::parse(&value) {
-                    Some(k) => dynex_engine::set_default_kernel(k),
-                    None => {
-                        eprintln!("error: bad --kernel value {value:?} (reference|batch)");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                builder.kernel(&it.next().unwrap_or_default());
             }
             "--jobs" => {
-                jobs = match it.next().and_then(|v| v.parse().ok()) {
+                let jobs: usize = match it.next().and_then(|v| v.parse().ok()) {
                     Some(v) if v > 0 => v,
                     _ => {
                         eprintln!("error: --jobs needs a positive number");
                         return ExitCode::FAILURE;
                     }
-                }
+                };
+                builder.jobs(jobs);
             }
             "--shard-sets" => shard_sets = true,
             "--job-retries" => {
@@ -652,22 +443,21 @@ fn main() -> ExitCode {
                 }
             }
             "--lenient" => {
-                read_policy = match it.next().and_then(|v| v.parse::<u64>().ok()) {
-                    Some(max_skipped) => ReadPolicy::Lenient { max_skipped },
+                let max_skipped: u64 = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
                     None => {
                         eprintln!("error: --lenient needs a max-skipped count");
                         return ExitCode::FAILURE;
                     }
-                }
+                };
+                builder.lenient(max_skipped);
             }
             "--resume" => {
-                resume = match it.next() {
-                    Some(v) => Some(v),
-                    None => {
-                        eprintln!("error: --resume needs a journal file");
-                        return ExitCode::FAILURE;
-                    }
-                }
+                let Some(value) = it.next() else {
+                    eprintln!("error: --resume needs a journal file");
+                    return ExitCode::FAILURE;
+                };
+                builder.resume(value);
             }
             "--events-out" | "--metrics-out" | "--intervals-out" => {
                 let Some(value) = it.next() else {
@@ -704,11 +494,19 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    let Some(size) = size else {
+    if !saw_size {
         eprintln!("error: --size is required (e.g. --size 32K)");
         return ExitCode::FAILURE;
+    }
+    builder.trace_path(&path);
+    let request = match builder.build() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    if resume.is_some() && (shard_sets || obs.active()) {
+    if request.resume.is_some() && (shard_sets || obs.active()) {
         eprintln!(
             "error: --resume checkpoints plain runs only; it combines with \
              neither --shard-sets nor the observability outputs"
@@ -716,6 +514,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let read_policy = match request.max_skipped {
+        Some(max_skipped) => ReadPolicy::Lenient { max_skipped },
+        None => ReadPolicy::Strict,
+    };
     let (trace, skipped) = match load_trace(&path, read_policy) {
         Ok(t) => t,
         Err(e) => {
@@ -723,68 +525,69 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (accesses, filter): (Vec<dynex_trace::Access>, KindFilter) = match kinds.as_str() {
-        "all" => (trace.iter().collect(), KindFilter::All),
-        "instr" => (
-            dynex_trace::filter::instructions(trace.iter()).collect(),
-            KindFilter::Instructions,
-        ),
-        "data" => (
-            dynex_trace::filter::data(trace.iter()).collect(),
-            KindFilter::Data,
-        ),
-        other => {
-            eprintln!("error: bad --kinds {other:?}");
-            return ExitCode::FAILURE;
-        }
-    };
-    // The decoded byte-address stream, shared by the batch kernels, the
-    // set-sharded paths, and the resume digest (chunked decode straight from
-    // the packed words — no per-reference Access round trip).
-    let addrs: Vec<u32> = decode_addrs(trace.as_packed(), filter);
-    debug_assert_eq!(addrs.len(), accesses.len());
+    let loaded = api::filter_trace(&trace, request.kinds, skipped);
     if skipped > 0 {
         let mut stats = TraceStats::from_accesses(trace.iter());
         stats.record_skipped(skipped);
         eprintln!("lenient read: {skipped} corrupt record(s) skipped");
         eprintln!("trace: {stats}");
     }
-    eprintln!("{} references selected from {}", accesses.len(), path);
+    eprintln!(
+        "{} references selected from {}",
+        loaded.accesses.len(),
+        path
+    );
 
-    if let Some(journal_path) = &resume {
-        return run_resumable(journal_path, &org, &kinds, size, line, &accesses, &addrs);
+    // Apply the session knobs (worker count, kernel, resume journal) from
+    // the request in one place.
+    if let Err(e) = api::install_session(&request) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
 
-    let report = |label: String, stats: CacheStats| {
-        println!(
-            "{label}: {} accesses, {} misses, miss rate {:.4}%",
-            stats.accesses(),
-            stats.misses(),
-            stats.miss_rate_percent()
-        );
-    };
+    if let Some(journal_path) = &request.resume {
+        // The --resume path: replay the checkpointed result if present,
+        // otherwise simulate and record it (all inside api::run_loaded).
+        let response = match api::run_loaded(&request, &loaded) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                dynex_engine::set_global_journal(None);
+                return ExitCode::FAILURE;
+            }
+        };
+        if response.cached {
+            eprintln!("replayed from journal {} (1 point)", journal_path.display());
+        }
+        print!("{}", response.render_text());
+        dynex_engine::set_global_journal(None); // close before exit
+        return ExitCode::SUCCESS;
+    }
 
-    let dm_config = match CacheConfig::direct_mapped(size, line) {
+    let dm_config = match CacheConfig::direct_mapped(request.size_bytes, request.line_bytes) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-
-    let jobs = if jobs > 0 {
-        jobs
-    } else {
-        dynex_engine::default_jobs()
-    };
     if shard_sets {
-        return run_sharded(&org, dm_config, &addrs, jobs, &obs, resilience);
+        // --jobs (or the resolved session default) doubles as the shard count.
+        return run_sharded(
+            request.org.name(),
+            dm_config,
+            &loaded.addrs,
+            request.jobs,
+            &obs,
+            resilience,
+        );
     }
 
     if !obs.active() {
-        // The uninstrumented single run shares its driver with --resume.
+        // The uninstrumented single run shares api::execute with --resume
+        // and the dynex-serve service.
         let started = std::time::Instant::now();
-        let (label, stats, de) = match plain_stats(&org, size, line, &accesses, &addrs) {
+        let response = match api::execute(&request, &loaded) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -797,12 +600,23 @@ fn main() -> ExitCode {
         let seconds = started.elapsed().as_secs_f64();
         eprintln!(
             "sim: {} references in {seconds:.3}s ({:.0} refs/s)",
-            stats.accesses(),
-            stats.accesses() as f64 / seconds.max(1e-9)
+            response.stats.accesses(),
+            response.stats.accesses() as f64 / seconds.max(1e-9)
         );
-        print_plain(&label, stats, de);
+        print!("{}", response.render_text());
         return ExitCode::SUCCESS;
     }
+
+    let accesses = &loaded.accesses;
+    let addrs = &loaded.addrs;
+    let report = |label: String, stats: CacheStats| {
+        println!(
+            "{label}: {} accesses, {} misses, miss rate {:.4}%",
+            stats.accesses(),
+            stats.misses(),
+            stats.miss_rate_percent()
+        );
+    };
 
     // Runs a probed cache, reports its stats, then extracts the
     // `(Collector, EventLog)` probe via `into_probe` and writes the
@@ -820,11 +634,11 @@ fn main() -> ExitCode {
         }};
     }
 
-    match org.as_str() {
-        "dm" => match default_kernel() {
+    match request.org {
+        Org::Dm => match default_kernel() {
             Kernel::Batch => {
                 let mut probe = obs.probe();
-                let stats = batch_dm_probed(dm_config, &addrs, &mut probe);
+                let stats = batch_dm_probed(dm_config, addrs, &mut probe);
                 report(DirectMapped::new(dm_config).label(), stats);
                 let (collector, log) = probe;
                 if let Err(e) = obs.write(&collector, log.events()) {
@@ -836,11 +650,11 @@ fn main() -> ExitCode {
                 simulate_observed!(DirectMapped::with_probe(dm_config, obs.probe()));
             }
         },
-        "de" => {
+        Org::De => {
             let (label, stats, de_stats, collector, log) = match default_kernel() {
                 Kernel::Batch => {
                     let mut probe = obs.probe();
-                    let result = batch_de_probed(dm_config, &addrs, &mut probe);
+                    let result = batch_de_probed(dm_config, addrs, &mut probe);
                     let (collector, log) = probe;
                     let de_stats = DeStats {
                         loads: result.loads,
@@ -865,29 +679,28 @@ fn main() -> ExitCode {
             }
             println!("  loads {} bypasses {}", de_stats.loads, de_stats.bypasses);
         }
-        "de-lastline" => {
+        Org::DeLastLine => {
             simulate_observed!(LastLineDeCache::with_store_and_probe(
                 dm_config,
                 PerfectStore::new(),
                 obs.probe()
             ));
         }
-        "opt" => {
+        Org::Opt => {
             eprintln!(
                 "note: --org opt is a two-pass oracle without a probed hot path; \
                  observability outputs are not written"
             );
             let stats = match default_kernel() {
-                Kernel::Batch => batch_opt(dm_config, &addrs),
+                Kernel::Batch => batch_opt(dm_config, addrs),
                 Kernel::Reference => {
                     OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()))
                 }
             };
             report("optimal direct-mapped".to_owned(), stats);
         }
-        "2way" | "4way" => {
-            let ways = if org == "2way" { 2 } else { 4 };
-            let config = match CacheConfig::new(size, line, ways) {
+        Org::TwoWay | Org::FourWay => {
+            let config = match request.cache_config() {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -900,15 +713,11 @@ fn main() -> ExitCode {
                 obs.probe()
             ));
         }
-        "victim" => {
+        Org::Victim => {
             simulate_observed!(VictimCache::with_probe(dm_config, 4, obs.probe()));
         }
-        "stream" => {
+        Org::Stream => {
             simulate_observed!(StreamBuffer::with_probe(dm_config, 4, obs.probe()));
-        }
-        other => {
-            eprintln!("error: unknown --org {other:?}");
-            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -2,7 +2,8 @@
 
 use dynex_cache::CacheConfig;
 
-use crate::runner::{average_rates, reduction, triples};
+use crate::api::sweep_triples;
+use crate::runner::{average_rates, reduction};
 use crate::{Table, Workloads, SIZE_SWEEP_KB};
 
 fn sweep(
@@ -20,7 +21,7 @@ fn sweep(
         let config = CacheConfig::direct_mapped(kb * 1024, 4).expect("valid config");
         points.extend(traces.iter().map(|t| (config, t.as_slice())));
     }
-    let results = triples(&points);
+    let results = sweep_triples(&points);
     SIZE_SWEEP_KB
         .iter()
         .zip(results.chunks(traces.len()))

@@ -2,7 +2,8 @@
 
 use dynex_cache::CacheConfig;
 
-use crate::runner::{average_rates, reduction, triples};
+use crate::api::sweep_triples;
+use crate::runner::{average_rates, reduction};
 use crate::{Table, Workloads, HEADLINE_SIZE, SIZE_SWEEP_KB};
 
 fn pct(v: f64) -> String {
@@ -31,7 +32,7 @@ pub fn fig3(workloads: &Workloads) -> Table {
     let traces: Vec<Vec<u32>> = names.iter().map(|n| workloads.instr_addrs(n)).collect();
     let points: Vec<(CacheConfig, &[u32])> =
         traces.iter().map(|t| (config, t.as_slice())).collect();
-    for (name, t) in names.iter().zip(triples(&points)) {
+    for (name, t) in names.iter().zip(sweep_triples(&points)) {
         table.push_row(vec![
             (*name).to_owned(),
             pct(t.dm.miss_rate_percent()),
@@ -57,7 +58,7 @@ pub fn size_sweep(workloads: &Workloads) -> Vec<(u32, f64, f64, f64)> {
         let config = CacheConfig::direct_mapped(kb * 1024, 4).expect("valid config");
         points.extend(traces.iter().map(|t| (config, t.as_slice())));
     }
-    let results = triples(&points);
+    let results = sweep_triples(&points);
     SIZE_SWEEP_KB
         .iter()
         .zip(results.chunks(traces.len()))

@@ -4,7 +4,8 @@ use dynex::{HashedStore, LastLineDeCache};
 use dynex_cache::{run_addrs, CacheConfig, DirectMapped};
 use dynex_engine::{default_jobs, execute};
 
-use crate::runner::{average_rates, reduction, triples_lastline};
+use crate::api::sweep_triples_lastline;
+use crate::runner::{average_rates, reduction};
 use crate::{Table, Workloads, HEADLINE_SIZE, LINE_SWEEP_BYTES, SIZE_SWEEP_KB};
 
 /// The lastline sweep shared by Figures 11 and 12: every (config, benchmark)
@@ -18,7 +19,7 @@ fn lastline_sweep(workloads: &Workloads, configs: &[CacheConfig]) -> Vec<(f64, f
     for &config in configs {
         points.extend(traces.iter().map(|t| (config, t.as_slice())));
     }
-    let results = triples_lastline(&points);
+    let results = sweep_triples_lastline(&points);
     results.chunks(traces.len()).map(average_rates).collect()
 }
 

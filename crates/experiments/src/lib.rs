@@ -22,11 +22,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod figures;
 mod runner;
 mod table;
 mod workloads;
 
+#[allow(deprecated)]
 pub use runner::{
     triple, triple_kernel, triple_lastline, triple_observed, triple_to_json, triples,
     triples_lastline, triples_to_jsonl, ObservedTriple, Triple,

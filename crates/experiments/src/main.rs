@@ -17,6 +17,10 @@
 //! the next run, so an interrupted sweep picks up where it left off and
 //! produces byte-identical output. Ids: see `experiments list`.
 //!
+//! All session flags build one [`dynex_experiments::api::SimulationRequest`]
+//! — validation, environment overrides, and journal installation live in
+//! the request API, not here.
+//!
 //! Experiments are fault-isolated: a panic inside one id fails that id only;
 //! the remaining ids still run and the exit status is nonzero only when
 //! failures remain.
@@ -26,68 +30,43 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use dynex_engine::Journal;
+use dynex_experiments::api::{self, SimulationRequest};
 use dynex_experiments::{figures, Workloads};
 
 struct Options {
-    refs: usize,
-    jobs: usize,
-    kernel: dynex_engine::Kernel,
+    request: SimulationRequest,
     out: Option<PathBuf>,
-    resume: Option<PathBuf>,
     ids: Vec<String>,
 }
 
-/// Parses `DYNEX_REFS`: `Ok(None)` when unset, `Err` on anything that is not
-/// a positive integer — a typo'd budget must fail loudly, not silently run
-/// the default.
-fn env_refs() -> Result<Option<usize>, String> {
-    match std::env::var("DYNEX_REFS") {
-        Err(std::env::VarError::NotPresent) => Ok(None),
-        Err(std::env::VarError::NotUnicode(_)) => Err("DYNEX_REFS is not valid unicode".to_owned()),
-        Ok(raw) => match raw.parse::<usize>() {
-            Ok(0) => Err("DYNEX_REFS must be a positive integer, got 0".to_owned()),
-            Ok(n) => Ok(Some(n)),
-            Err(_) => Err(format!(
-                "DYNEX_REFS must be a positive integer, got {raw:?}"
-            )),
-        },
-    }
-}
-
 fn parse_args() -> Result<Options, String> {
-    let mut refs = env_refs()?.unwrap_or(4_000_000usize);
-    // Validate DYNEX_JOBS up front (default_jobs() reads it later but cannot
-    // surface errors); 0 = auto.
-    dynex_engine::env_jobs()?;
-    let mut jobs = 0;
-    let mut kernel = dynex_engine::Kernel::default();
+    let mut builder = SimulationRequest::builder();
     let mut out = None;
-    let mut resume = None;
     let mut ids = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--refs" => {
                 let value = args.next().ok_or("--refs needs a value")?;
-                refs = value
+                let refs: usize = value
                     .parse()
                     .ok()
                     .filter(|&v| v > 0)
                     .ok_or(format!("bad --refs value {value:?} (positive integer)"))?;
+                builder.refs(refs);
             }
             "--jobs" => {
                 let value = args.next().ok_or("--jobs needs a value")?;
-                jobs = value
+                let jobs: usize = value
                     .parse()
                     .ok()
                     .filter(|&v| v > 0)
                     .ok_or(format!("bad --jobs value {value:?}"))?;
+                builder.jobs(jobs);
             }
             "--kernel" => {
                 let value = args.next().ok_or("--kernel needs a value")?;
-                kernel = dynex_engine::Kernel::parse(&value)
-                    .ok_or(format!("bad --kernel value {value:?} (reference|batch)"))?;
+                builder.kernel(&value);
             }
             "--out" => {
                 let value = args.next().ok_or("--out needs a directory")?;
@@ -95,7 +74,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--resume" => {
                 let value = args.next().ok_or("--resume needs a journal file")?;
-                resume = Some(PathBuf::from(value));
+                builder.resume(value);
             }
             "--help" | "-h" => {
                 ids.push("help".to_owned());
@@ -106,14 +85,11 @@ fn parse_args() -> Result<Options, String> {
     if ids.is_empty() {
         ids.push("help".to_owned());
     }
-    Ok(Options {
-        refs,
-        jobs,
-        kernel,
-        out,
-        resume,
-        ids,
-    })
+    // One validation pass for everything, including DYNEX_JOBS/DYNEX_REFS —
+    // the builder is the workspace's single env-override path, and a typo'd
+    // variable fails loudly even for `list`.
+    let request = builder.build().map_err(|e| e.to_string())?;
+    Ok(Options { request, out, ids })
 }
 
 fn print_help() {
@@ -168,41 +144,38 @@ fn main() -> ExitCode {
         }
     }
 
-    // 0 keeps auto-detection (DYNEX_JOBS or available cores); the sweep
-    // engine's results are bit-identical for every worker count.
-    dynex_engine::set_default_jobs(options.jobs);
-    dynex_engine::set_default_kernel(options.kernel);
+    // Install the session-wide knobs (worker count, kernel, resume journal)
+    // from the request in one place.
+    let session = match api::install_session(&options.request) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!(
         "sweep engine: {} worker(s), {} kernel",
-        dynex_engine::default_jobs(),
-        dynex_engine::default_kernel()
+        session.jobs, session.kernel
     );
-
-    if let Some(path) = &options.resume {
-        match Journal::open(path) {
-            Ok(journal) => {
-                eprintln!(
-                    "resume journal {}: {} checkpointed point(s) loaded{}",
-                    path.display(),
-                    journal.len(),
-                    if journal.dropped_lines() > 0 {
-                        format!(" ({} torn line(s) dropped)", journal.dropped_lines())
-                    } else {
-                        String::new()
-                    }
-                );
-                dynex_engine::set_global_journal(Some(journal));
+    if let Some(journal) = &session.journal {
+        eprintln!(
+            "resume journal {}: {} checkpointed point(s) loaded{}",
+            journal.path.display(),
+            journal.len,
+            if journal.dropped_lines > 0 {
+                format!(" ({} torn line(s) dropped)", journal.dropped_lines)
+            } else {
+                String::new()
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        );
     }
 
-    eprintln!("generating {} references per benchmark...", options.refs);
+    eprintln!(
+        "generating {} references per benchmark...",
+        options.request.refs
+    );
     let started = Instant::now();
-    let workloads = Workloads::generate(options.refs);
+    let workloads = Workloads::generate(options.request.refs);
     eprintln!(
         "workloads ready in {:.1}s\n",
         started.elapsed().as_secs_f64()
@@ -250,7 +223,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if options.resume.is_some() {
+    if options.request.resume.is_some() {
         let replayed = dynex_engine::with_global_journal(|j| (j.replayed(), j.len()));
         if let Some((replayed, total)) = replayed {
             eprintln!("resume journal: {replayed} point(s) replayed, {total} checkpointed");

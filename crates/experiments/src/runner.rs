@@ -3,17 +3,19 @@
 //!
 //! Since PR 2 the drivers sit on `dynex-engine`: the single-point entry
 //! points ([`triple`], [`triple_lastline`]) dispatch through
-//! [`dynex_engine::Policy`], and the sweep entry points ([`triples`],
-//! [`triples_lastline`]) fan the points out over the engine's deterministic
-//! worker pool. Results are in plan order and bit-identical for every worker
-//! count, so figures built on these functions never depend on `--jobs`.
+//! [`dynex_engine::Policy`], and the sweep entry points fan the points out
+//! over the engine's deterministic worker pool. Results are in plan order
+//! and bit-identical for every worker count, so figures built on these
+//! functions never depend on `--jobs`.
+//!
+//! Since PR 5 the ad-hoc sweep entry points (`triples`, `triples_lastline`,
+//! `triple_kernel`) are deprecated shims over [`crate::api`] — the typed
+//! request API that every driver, example, and the `dynex-serve` service
+//! construct requests through.
 
 use dynex::{DeCache, OptimalDirectMapped};
-use dynex_cache::{batch_triple, run_addrs, CacheConfig, CacheStats, Kernel};
-use dynex_engine::{
-    default_jobs, default_kernel, execute, job_key, trace_digest, with_global_journal, Policy,
-};
-use dynex_obs::json::Json;
+use dynex_cache::{run_addrs, CacheConfig, CacheStats, Kernel};
+use dynex_engine::{default_kernel, Policy};
 use dynex_obs::{CountingProbe, EventCounts};
 
 /// Results of one workload under the three caches the paper compares
@@ -44,140 +46,39 @@ impl Triple {
 /// Runs the three-way comparison at word-line granularity (`b = 4`) with
 /// the session's [`dynex_engine::default_kernel`].
 pub fn triple(config: CacheConfig, addrs: &[u32]) -> Triple {
-    triple_kernel(default_kernel(), config, addrs)
+    crate::api::run_triple(default_kernel(), config, addrs)
 }
 
 /// Runs the three-way comparison with an explicit kernel.
-///
-/// Under [`Kernel::Batch`] the three policies run through
-/// [`dynex_cache::batch_triple`]: one fused pass over one decoded stream,
-/// sharing the address decode and the optimal oracle's next-use chain. Under
-/// [`Kernel::Reference`] each policy runs its spec simulator separately.
-/// Both produce bit-identical [`Triple`]s (the differential wall in
-/// `tests/kernel_differential.rs` holds this), so journal keys and resumed
-/// sweeps are kernel-agnostic.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dynex_experiments::api::run_triple` — the request API \
+            replaces the loose free-function entry points"
+)]
 pub fn triple_kernel(kernel: Kernel, config: CacheConfig, addrs: &[u32]) -> Triple {
-    match kernel {
-        Kernel::Batch => {
-            let fused = batch_triple(config, addrs);
-            Triple {
-                dm: fused.dm,
-                de: fused.de.stats,
-                opt: fused.opt,
-            }
-        }
-        Kernel::Reference => Triple {
-            dm: Policy::DirectMapped.simulate_kernel(kernel, config, addrs),
-            de: Policy::DynamicExclusion.simulate_kernel(kernel, config, addrs),
-            opt: Policy::OptimalDm.simulate_kernel(kernel, config, addrs),
-        },
-    }
+    crate::api::run_triple(kernel, config, addrs)
 }
 
 /// Runs [`triple`] over many `(config, trace)` sweep points on the engine's
-/// worker pool ([`dynex_engine::default_jobs`] workers).
-///
-/// Results are in point order and bit-identical for every worker count.
-/// When a sweep journal is installed ([`dynex_engine::set_global_journal`],
-/// the drivers' `--resume`), previously completed points are replayed from
-/// the checkpoint instead of re-simulated; replay never changes a point's
-/// value (keys content-hash the policy tag, configuration, and trace).
+/// worker pool.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dynex_experiments::api::sweep_triples` — the request API \
+            replaces the loose free-function entry points"
+)]
 pub fn triples(points: &[(CacheConfig, &[u32])]) -> Vec<Triple> {
-    journaled_triples(points, "triple/v1", triple)
+    crate::api::sweep_triples(points)
 }
 
 /// Runs [`triple_lastline`] over many `(config, trace)` sweep points on the
-/// engine's worker pool, like [`triples`] (journal-aware in the same way).
+/// engine's worker pool.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `dynex_experiments::api::sweep_triples_lastline` — the \
+            request API replaces the loose free-function entry points"
+)]
 pub fn triples_lastline(points: &[(CacheConfig, &[u32])]) -> Vec<Triple> {
-    journaled_triples(points, "triple-lastline/v1", triple_lastline)
-}
-
-/// The journal-aware sweep shared by [`triples`] and [`triples_lastline`]:
-/// replay checkpointed points, run only the missing ones on the pool, and
-/// append the fresh results.
-fn journaled_triples(
-    points: &[(CacheConfig, &[u32])],
-    tag: &str,
-    f: fn(CacheConfig, &[u32]) -> Triple,
-) -> Vec<Triple> {
-    let keys: Vec<String> = points
-        .iter()
-        .map(|(config, addrs)| {
-            // Exact fields, not the Display label (which rounds the size to
-            // whole KB and would collide sub-KB configurations).
-            job_key(&[
-                tag,
-                &format!(
-                    "size={} line={} ways={}",
-                    config.size_bytes(),
-                    config.line_bytes(),
-                    config.associativity()
-                ),
-                &format!("{:016x}", trace_digest(addrs)),
-            ])
-        })
-        .collect();
-    let mut slots: Vec<Option<Triple>> = with_global_journal(|journal| {
-        keys.iter()
-            .map(|k| journal.lookup(k).and_then(|v| triple_from_journal(&v)))
-            .collect()
-    })
-    .unwrap_or_else(|| vec![None; points.len()]);
-
-    let missing: Vec<usize> = (0..points.len()).filter(|&i| slots[i].is_none()).collect();
-    let todo: Vec<(CacheConfig, &[u32])> = missing.iter().map(|&i| points[i]).collect();
-    let fresh = execute(&todo, default_jobs(), |&(config, addrs)| f(config, addrs));
-
-    with_global_journal(|journal| {
-        for (&i, t) in missing.iter().zip(&fresh) {
-            if let Err(e) = journal.record(&keys[i], &triple_to_journal(t)) {
-                // A checkpoint append failure must not abort the sweep; the
-                // point simply will not be resumable.
-                eprintln!("warning: {e}");
-            }
-        }
-    });
-    for (i, t) in missing.into_iter().zip(fresh) {
-        slots[i] = Some(t);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot replayed or simulated"))
-        .collect()
-}
-
-/// Journal value for one [`Triple`]: `{"dm":[acc,miss],...}` — counters
-/// only, since every derived rate is a pure function of them.
-fn triple_to_journal(t: &Triple) -> String {
-    format!(
-        r#"{{"dm":[{},{}],"de":[{},{}],"opt":[{},{}]}}"#,
-        t.dm.accesses(),
-        t.dm.misses(),
-        t.de.accesses(),
-        t.de.misses(),
-        t.opt.accesses(),
-        t.opt.misses(),
-    )
-}
-
-/// Decodes [`triple_to_journal`]; `None` on any shape mismatch (the caller
-/// then re-simulates the point, so a stale or foreign record is harmless).
-fn triple_from_journal(v: &Json) -> Option<Triple> {
-    let pair = |field: &str| {
-        let arr = v.get(field)?.as_array()?;
-        match arr {
-            [a, m] => {
-                let (accesses, misses) = (a.as_u64()?, m.as_u64()?);
-                (misses <= accesses).then(|| CacheStats::from_counts(accesses, misses))
-            }
-            _ => None,
-        }
-    };
-    Some(Triple {
-        dm: pair("dm")?,
-        de: pair("de")?,
-        opt: pair("opt")?,
-    })
+    crate::api::sweep_triples_lastline(points)
 }
 
 /// One labelled triple as a JSON object (a JSONL line, without the newline).
@@ -315,20 +216,20 @@ mod tests {
     }
 
     #[test]
-    fn fused_and_reference_triples_agree() {
-        let mut rng = dynex_cache::SplitMix64::new(57);
-        let addrs: Vec<u32> = (0..10_000).map(|_| (rng.below(4096) as u32) * 4).collect();
-        for config in [
-            CacheConfig::direct_mapped(64, 4).unwrap(),
-            CacheConfig::direct_mapped(1024, 4).unwrap(),
-            CacheConfig::direct_mapped(8192, 16).unwrap(),
-        ] {
-            assert_eq!(
-                triple_kernel(Kernel::Batch, config, &addrs),
-                triple_kernel(Kernel::Reference, config, &addrs),
-                "{config}"
-            );
-        }
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_the_request_api() {
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let addrs = thrash();
+        assert_eq!(
+            triple_kernel(Kernel::Batch, config, &addrs),
+            crate::api::run_triple(Kernel::Batch, config, &addrs)
+        );
+        let points: Vec<(CacheConfig, &[u32])> = vec![(config, &addrs)];
+        assert_eq!(triples(&points), crate::api::sweep_triples(&points));
+        assert_eq!(
+            triples_lastline(&points),
+            crate::api::sweep_triples_lastline(&points)
+        );
     }
 
     #[test]
@@ -384,21 +285,6 @@ mod tests {
     }
 
     #[test]
-    fn parallel_triples_match_pointwise_runs() {
-        let small = CacheConfig::direct_mapped(64, 4).unwrap();
-        let large = CacheConfig::direct_mapped(256, 4).unwrap();
-        let addrs = thrash();
-        let points: Vec<(CacheConfig, &[u32])> = vec![(small, &addrs), (large, &addrs)];
-        let parallel = triples(&points);
-        assert_eq!(parallel.len(), 2);
-        assert_eq!(parallel[0], triple(small, &addrs));
-        assert_eq!(parallel[1], triple(large, &addrs));
-        let lastline = triples_lastline(&points);
-        assert_eq!(lastline[0], triple_lastline(small, &addrs));
-        assert_eq!(lastline[1], triple_lastline(large, &addrs));
-    }
-
-    #[test]
     fn jsonl_is_one_object_per_row_in_order() {
         let config = CacheConfig::direct_mapped(64, 4).unwrap();
         let addrs = thrash();
@@ -410,41 +296,6 @@ mod tests {
         assert!(lines[1].starts_with(r#"{"label":"with \"quotes\"","#));
         assert!(lines[0].contains(r#""de_reduction":"#));
         assert_eq!(jsonl, format!("{}\n{}\n", lines[0], lines[1]));
-    }
-
-    #[test]
-    fn journal_encoding_round_trips() {
-        let config = CacheConfig::direct_mapped(64, 4).unwrap();
-        let t = triple(config, &thrash());
-        let v = dynex_obs::json::parse(&triple_to_journal(&t)).unwrap();
-        assert_eq!(triple_from_journal(&v), Some(t));
-        // Shape mismatches decode to None (point gets re-simulated).
-        assert_eq!(triple_from_journal(&Json::Null), None);
-        let truncated = dynex_obs::json::parse(r#"{"dm":[1,0],"de":[1,0]}"#).unwrap();
-        assert_eq!(triple_from_journal(&truncated), None);
-        let impossible = dynex_obs::json::parse(r#"{"dm":[1,2],"de":[1,0],"opt":[1,0]}"#).unwrap();
-        assert_eq!(triple_from_journal(&impossible), None);
-    }
-
-    #[test]
-    fn journaled_sweep_replays_bit_identically() {
-        let path =
-            std::env::temp_dir().join(format!("dynex-runner-journal-{}.jsonl", std::process::id()));
-        let _ = std::fs::remove_file(&path);
-        let small = CacheConfig::direct_mapped(64, 4).unwrap();
-        let large = CacheConfig::direct_mapped(256, 4).unwrap();
-        let addrs = thrash();
-        let points: Vec<(CacheConfig, &[u32])> = vec![(small, &addrs), (large, &addrs)];
-        let bare = triples(&points); // no journal installed
-        dynex_engine::set_global_journal(Some(dynex_engine::Journal::open(&path).unwrap()));
-        let recorded = triples(&points); // cold journal: simulates + records
-        let replayed_triples = triples(&points); // warm journal: pure replay
-        let replayed = dynex_engine::with_global_journal(|j| j.replayed()).unwrap();
-        dynex_engine::set_global_journal(None);
-        assert_eq!(recorded, bare);
-        assert_eq!(replayed_triples, bare);
-        assert!(replayed >= points.len() as u64);
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! `dynex-serve` — serve cache simulations over HTTP.
+//!
+//! ```text
+//! dynex-serve [--host ADDR] [--port N] [--jobs N] [--queue N] [--cache N]
+//!             [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE]
+//! ```
+//!
+//! Binds (default `127.0.0.1:0` — an ephemeral port, printed on stdout),
+//! then serves until `POST /shutdown` drains it:
+//!
+//! * `POST /simulate` — a [`dynex_experiments::api::SimulationRequest`] as
+//!   JSON; responds with the simulation result JSON.
+//! * `GET /metrics` — service counters as JSON.
+//! * `GET /healthz` — liveness/drain state.
+//! * `POST /shutdown` — graceful drain: stop accepting, finish queued work.
+//!
+//! `--warm-journal` points at a `simcache --resume` / `experiments
+//! --resume` journal: checkpointed results pre-populate the result cache
+//! and fresh results are appended, so service restarts never recompute.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dynex_serve::{ServeConfig, Server};
+
+fn usage() {
+    eprintln!(
+        "usage: dynex-serve [--host ADDR] [--port N] [--jobs N] [--queue N] [--cache N] \
+         [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE]"
+    );
+    eprintln!();
+    eprintln!("  --host ADDR           interface to bind (default 127.0.0.1)");
+    eprintln!("  --port N              port to bind; 0 picks one (default 0, printed on stdout)");
+    eprintln!("  --jobs N              simulation worker threads (default: all cores)");
+    eprintln!("  --queue N             bounded queue depth; full queue answers 429 (default 64)");
+    eprintln!("  --cache N             LRU result-cache entries; 0 disables (default 1024)");
+    eprintln!("  --batch-window-ms N   how long to gather requests per plan (default 2)");
+    eprintln!("  --deadline-ms N       default per-request deadline (default: none)");
+    eprintln!(
+        "  --warm-journal FILE   warm the cache from a --resume journal; append fresh results"
+    );
+}
+
+fn parse_args() -> Result<Option<ServeConfig>, String> {
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--host" => config.host = value_of("--host")?,
+            "--port" => {
+                let value = value_of("--port")?;
+                config.port = value
+                    .parse()
+                    .map_err(|_| format!("bad --port value {value:?}"))?;
+            }
+            "--jobs" => {
+                let value = value_of("--jobs")?;
+                config.jobs = value
+                    .parse()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or(format!("bad --jobs value {value:?}"))?;
+            }
+            "--queue" => {
+                let value = value_of("--queue")?;
+                config.queue_capacity = value
+                    .parse()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or(format!("bad --queue value {value:?} (positive integer)"))?;
+            }
+            "--cache" => {
+                let value = value_of("--cache")?;
+                config.cache_capacity = value
+                    .parse()
+                    .map_err(|_| format!("bad --cache value {value:?}"))?;
+            }
+            "--batch-window-ms" => {
+                let value = value_of("--batch-window-ms")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad --batch-window-ms value {value:?}"))?;
+                config.batch_window = Duration::from_millis(ms);
+            }
+            "--deadline-ms" => {
+                let value = value_of("--deadline-ms")?;
+                let ms: u64 = value
+                    .parse()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or(format!("bad --deadline-ms value {value:?}"))?;
+                config.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--warm-journal" => {
+                config.warm_journal = Some(value_of("--warm-journal")?.into());
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Some(config))
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(Some(config)) => config,
+        Ok(None) => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warmed = server.counter("warm-start-entries");
+    if warmed > 0 {
+        eprintln!("warm start: {warmed} cached result(s) loaded from the journal");
+    }
+    // The line scripts and tests wait for; stdout and flushed.
+    println!("dynex-serve listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    server.join();
+    eprintln!("dynex-serve drained, exiting");
+    ExitCode::SUCCESS
+}

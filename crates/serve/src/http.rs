@@ -1,0 +1,200 @@
+//! A minimal, hand-rolled HTTP/1.1 subset — just enough to serve JSON over
+//! `Connection: close` request/response pairs.
+//!
+//! The workspace is hermetic (no third-party crates), so this module speaks
+//! exactly the dialect the service needs: one request per connection, a
+//! request line, headers terminated by a blank line, and an optional
+//! `Content-Length`-framed body. Chunked transfer encoding, keep-alive, and
+//! multi-line headers are out of scope and rejected loudly.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// The request target (path), as sent; query strings are not split off.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` header was present).
+    pub body: String,
+}
+
+/// Reads one line of an HTTP request head, rejecting oversized lines.
+fn read_head_line(reader: &mut impl BufRead) -> Result<String, String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => return Err("connection closed mid-request".to_owned()),
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(format!("header line exceeds {MAX_LINE} bytes"));
+                }
+            }
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| "header line is not UTF-8".to_owned())
+}
+
+/// Reads and parses one request from the stream.
+///
+/// Fails with a human-readable message on any framing violation; the caller
+/// turns that into a `400 Bad Request`.
+pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_head_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| "empty request line".to_owned())?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| format!("request line {request_line:?} has no path"))?
+        .to_owned();
+    match parts.next() {
+        Some(version) if version.starts_with("HTTP/1.") => {}
+        Some(version) => return Err(format!("unsupported protocol version {version:?}")),
+        None => return Err(format!("request line {request_line:?} has no version")),
+    }
+
+    let mut content_length = 0usize;
+    for _ in 0..=MAX_HEADERS {
+        let line = read_head_line(&mut reader)?;
+        if line.is_empty() {
+            let mut body = vec![0u8; content_length];
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| format!("short body (wanted {content_length} bytes): {e}"))?;
+            let body =
+                String::from_utf8(body).map_err(|_| "request body is not UTF-8".to_owned())?;
+            return Ok(HttpRequest { method, path, body });
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header line {line:?}"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .ok()
+                .filter(|&n| n <= MAX_BODY)
+                .ok_or_else(|| {
+                    format!("bad content-length {value:?} (integer up to {MAX_BODY})")
+                })?;
+        } else if name == "transfer-encoding" {
+            return Err("chunked transfer encoding is not supported".to_owned());
+        }
+    }
+    Err(format!("more than {MAX_HEADERS} headers"))
+}
+
+/// The reason phrase for the handful of status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response and flushes; the connection is then closed.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips raw bytes through a real socket pair into `read_request`.
+    fn parse(raw: &str) -> Result<HttpRequest, String> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw.as_bytes()).unwrap();
+        client.flush().unwrap();
+        // Half-close so a parser waiting for more body bytes sees EOF
+        // instead of blocking on the open socket.
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_a_post_with_a_body() {
+        let request =
+            parse("POST /simulate HTTP/1.1\r\nContent-Length: 4\r\nHost: x\r\n\r\nbody").unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/simulate");
+        assert_eq!(request.body, "body");
+    }
+
+    #[test]
+    fn parses_a_bare_get() {
+        let request = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/healthz");
+        assert_eq!(request.body, "");
+    }
+
+    #[test]
+    fn rejects_bad_framing() {
+        assert!(parse("GET /x\r\n\r\n").unwrap_err().contains("no version"));
+        assert!(parse("GET /x SPDY/3\r\n\r\n")
+            .unwrap_err()
+            .contains("unsupported protocol"));
+        assert!(parse("POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+            .unwrap_err()
+            .contains("bad content-length"));
+        assert!(
+            parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .contains("chunked")
+        );
+        assert!(parse("POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nshort")
+            .unwrap_err()
+            .contains("short body"));
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_statuses() {
+        for status in [200, 400, 404, 405, 429, 500, 503, 504] {
+            assert_ne!(reason(status), "Unknown");
+        }
+        assert_eq!(reason(418), "Unknown");
+    }
+}

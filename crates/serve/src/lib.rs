@@ -1,0 +1,45 @@
+//! `dynex-serve` — a batching, result-caching sweep service over the
+//! [`dynex_experiments::api::SimulationRequest`] API.
+//!
+//! The service turns the workspace's offline sweep machinery into a
+//! long-running process: clients `POST` request JSON to `/simulate` and get
+//! the same bytes an offline `simcache` run would print (modulo framing) —
+//! same content keys, same journal records, same statistics, for every
+//! worker count. On top of plain execution it adds what only a resident
+//! process can:
+//!
+//! * **single-flight coalescing** — concurrent identical requests run one
+//!   simulation and share the result;
+//! * **batching** — distinct requests arriving close together are folded
+//!   into one [`dynex_engine::execute_resilient`] plan, inheriting the
+//!   PR 3 panic containment and watchdog;
+//! * **result caching** — an exact LRU keyed by the journal content key,
+//!   warm-startable from any `--resume` journal at boot;
+//! * **explicit backpressure** — a bounded queue that answers `429` instead
+//!   of buffering without bound;
+//! * **observability** — `/metrics` serves a `dynex-obs` registry snapshot,
+//!   `/healthz` the drain state, and `POST /shutdown` drains gracefully.
+//!
+//! The HTTP layer is a deliberate minimum (hermetic workspace, no
+//! third-party crates): HTTP/1.1, `Connection: close`, JSON bodies.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dynex_serve::{ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! server.join(); // parks until POST /shutdown
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod http;
+mod lru;
+mod server;
+
+pub use http::HttpRequest;
+pub use lru::LruCache;
+pub use server::{ServeConfig, ServeError, Server};

@@ -1,0 +1,108 @@
+//! A small, exact LRU map for simulation results.
+//!
+//! Recency is tracked with a monotonically increasing stamp per entry and a
+//! `BTreeMap<stamp, key>` ordered index: `get` bumps the stamp, `insert`
+//! evicts the smallest stamp once the capacity is exceeded. Every operation
+//! is `O(log n)`; there are no background threads and no clocks, so cache
+//! behaviour is a pure function of the operation sequence (which keeps the
+//! service's responses deterministic under test).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An exact least-recently-used map from `String` keys to values.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    next_stamp: u64,
+    entries: HashMap<String, (u64, V)>,
+    recency: BTreeMap<u64, String>,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity of 0
+    /// is a cache that never retains anything (every insert immediately
+    /// evicts), which the service uses to disable result caching.
+    pub fn new(capacity: usize) -> LruCache<V> {
+        LruCache {
+            capacity,
+            next_stamp: 0,
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        let stamp = self.next_stamp;
+        let entry = self.entries.get_mut(key)?;
+        self.recency.remove(&entry.0);
+        entry.0 = stamp;
+        self.recency.insert(stamp, key.to_owned());
+        self.next_stamp += 1;
+        Some(&entry.1)
+    }
+
+    /// Inserts `key`, evicting the least recently used entry when the cache
+    /// is over capacity. An existing key is overwritten and bumped.
+    pub fn insert(&mut self, key: &str, value: V) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some((old_stamp, _)) = self.entries.insert(key.to_owned(), (stamp, value)) {
+            self.recency.remove(&old_stamp);
+        }
+        self.recency.insert(stamp, key.to_owned());
+        while self.entries.len() > self.capacity {
+            let (&oldest, _) = self.recency.iter().next().expect("recency tracks entries");
+            let victim = self.recency.remove(&oldest).expect("stamp just observed");
+            self.entries.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get("a"), Some(&1)); // bump a over b
+        lru.insert("c", 3); // evicts b
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get("b"), None);
+        assert_eq!(lru.get("a"), Some(&1));
+        assert_eq!(lru.get("c"), Some(&3));
+    }
+
+    #[test]
+    fn overwrite_replaces_and_bumps() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("a", 10); // overwrite: a is now most recent
+        lru.insert("c", 3); // evicts b, not a
+        assert_eq!(lru.get("a"), Some(&10));
+        assert_eq!(lru.get("b"), None);
+        assert_eq!(lru.get("c"), Some(&3));
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let mut lru = LruCache::new(0);
+        lru.insert("a", 1);
+        assert!(lru.is_empty());
+        assert_eq!(lru.get("a"), None);
+    }
+}

@@ -1,0 +1,677 @@
+//! The sweep service: accepts [`SimulationRequest`] JSON over HTTP, batches
+//! distinct requests onto the engine's resilient worker pool, coalesces
+//! concurrent duplicates into one simulation, and serves repeats from an
+//! LRU result cache keyed by the journal content key.
+//!
+//! # Concurrency architecture
+//!
+//! One acceptor thread spawns a short-lived handler thread per connection.
+//! Handlers never simulate: they resolve the request to its content key,
+//! then either answer from the result cache, join an in-flight computation
+//! (single-flight), or enqueue a job on a *bounded* queue and wait. A single
+//! dispatcher thread drains the queue, groups what has arrived inside the
+//! batch window into one plan, and executes the plan with
+//! [`dynex_engine::execute_resilient`] — so the worker count, watchdog
+//! deadline, and panic containment are exactly the PR 3 sweep machinery.
+//! A full queue is reported to the client as `429 Too Many Requests`
+//! immediately (backpressure is explicit, never an unbounded buffer).
+//!
+//! Determinism carries through from the engine: for a given request body
+//! the response JSON is byte-identical for every `jobs` setting, every
+//! batch composition, and whether the result came from the simulator, the
+//! cache, or a journal warm start.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dynex_engine::{default_jobs, execute_resilient, JobFailure, Journal, Resilience};
+use dynex_experiments::api::{self, LoadedTrace, SimulationRequest, SimulationResponse};
+use dynex_obs::json;
+use dynex_obs::MetricsRegistry;
+
+use crate::http::{read_request, write_response, HttpRequest};
+use crate::lru::LruCache;
+
+/// Largest number of queued requests folded into one engine plan.
+const MAX_BATCH: usize = 64;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind (default loopback).
+    pub host: String,
+    /// TCP port to bind; 0 picks an ephemeral port (see [`Server::addr`]).
+    pub port: u16,
+    /// Worker threads for the simulation pool; 0 means
+    /// [`dynex_engine::default_jobs`]. Responses are bit-identical for
+    /// every value.
+    pub jobs: usize,
+    /// Bounded depth of the simulation queue; a full queue rejects with
+    /// `429`. Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// LRU result-cache capacity in entries; 0 disables result caching.
+    pub cache_capacity: usize,
+    /// How long the dispatcher waits for more requests to share a plan
+    /// with. Zero batches only what is already queued.
+    pub batch_window: Duration,
+    /// Deadline applied to requests that carry no `deadline_ms` of their
+    /// own; `None` waits forever.
+    pub default_deadline: Option<Duration>,
+    /// A `simcache --resume` / `experiments --resume` journal to warm the
+    /// result cache from at boot; fresh results are appended to it.
+    pub warm_journal: Option<PathBuf>,
+    /// Test hook: artificial delay inside every simulation job. Keeps
+    /// backpressure and coalescing tests deterministic without relying on
+    /// workload size. Zero (the default) for production.
+    pub inject_sim_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            host: "127.0.0.1".to_owned(),
+            port: 0,
+            jobs: 0,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            batch_window: Duration::from_millis(2),
+            default_deadline: None,
+            warm_journal: None,
+            inject_sim_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Startup failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen socket could not be bound.
+    Bind(std::io::Error),
+    /// The warm-start journal could not be opened.
+    Journal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "cannot bind listen socket: {e}"),
+            ServeError::Journal(e) => write!(f, "cannot open warm-start journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How one simulation attempt ended, as seen by the clients awaiting it.
+#[derive(Debug, Clone)]
+enum FlightError {
+    /// The engine watchdog marked the job overdue (`504`).
+    TimedOut(String),
+    /// The job panicked or failed internally (`500`).
+    Failed(String),
+}
+
+type FlightResult = Result<SimulationResponse, FlightError>;
+
+/// One in-flight computation that any number of handler threads can await.
+struct Flight {
+    slot: Mutex<Option<FlightResult>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Publishes the result and wakes every waiter.
+    fn fill(&self, result: FlightResult) {
+        *self.slot.lock().expect("flight lock") = Some(result);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the flight completes or `deadline` passes.
+    fn wait(&self, deadline: Option<Duration>) -> Result<FlightResult, Duration> {
+        let start = Instant::now();
+        let mut slot = self.slot.lock().expect("flight lock");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Ok(result.clone());
+            }
+            match deadline {
+                None => slot = self.ready.wait(slot).expect("flight lock"),
+                Some(limit) => {
+                    let Some(remaining) = limit.checked_sub(start.elapsed()) else {
+                        return Err(limit);
+                    };
+                    slot = self
+                        .ready
+                        .wait_timeout(slot, remaining)
+                        .expect("flight lock")
+                        .0;
+                }
+            }
+        }
+    }
+}
+
+/// One queued unit of work for the dispatcher.
+struct SimJob {
+    key: String,
+    request: SimulationRequest,
+    trace: LoadedTrace,
+    flight: Arc<Flight>,
+    deadline: Option<Duration>,
+}
+
+/// State shared between the acceptor, handlers, and the dispatcher.
+struct State {
+    cache: Mutex<LruCache<SimulationResponse>>,
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+    queue: Mutex<Option<SyncSender<SimJob>>>,
+    metrics: Mutex<MetricsRegistry>,
+    journal: Mutex<Option<Journal>>,
+    draining: AtomicBool,
+    /// Live handler-thread count; `join` waits for it to reach zero.
+    handlers: (Mutex<usize>, Condvar),
+    default_deadline: Option<Duration>,
+    /// The bound listen address, for the drain self-poke.
+    listen_addr: SocketAddr,
+}
+
+impl State {
+    fn count(&self, name: &str) {
+        self.metrics.lock().expect("metrics lock").add(name, 1);
+    }
+}
+
+/// Decrements the live-handler count when a handler thread exits (however
+/// it exits — panics included, so a poisoned handler can never wedge
+/// [`Server::join`]).
+struct HandlerGuard(Arc<State>);
+
+impl Drop for HandlerGuard {
+    fn drop(&mut self) {
+        let (count, woken) = &self.0.handlers;
+        let mut count = count.lock().expect("handler count lock");
+        *count -= 1;
+        if *count == 0 {
+            woken.notify_all();
+        }
+    }
+}
+
+/// A running sweep service.
+///
+/// Dropping the handle does *not* stop the service; call
+/// [`Server::shutdown`] then [`Server::join`] (or hit `POST /shutdown`).
+pub struct Server {
+    state: Arc<State>,
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    dispatcher: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds the socket, warms the cache, and spawns the service threads.
+    pub fn start(config: ServeConfig) -> Result<Server, ServeError> {
+        let listener =
+            TcpListener::bind((config.host.as_str(), config.port)).map_err(ServeError::Bind)?;
+        let addr = listener.local_addr().map_err(ServeError::Bind)?;
+        let jobs = if config.jobs == 0 {
+            default_jobs()
+        } else {
+            config.jobs
+        };
+
+        let mut cache = LruCache::new(config.cache_capacity);
+        let mut metrics = MetricsRegistry::new();
+        for name in [
+            "requests-total",
+            "sims-started",
+            "sims-executed",
+            "cache-hits",
+            "coalesced-hits",
+            "queued",
+            "rejected-429",
+            "sim-failures",
+            "sim-timeouts",
+            "warm-start-entries",
+        ] {
+            metrics.add(name, 0);
+        }
+        let journal = match &config.warm_journal {
+            Some(path) => {
+                let journal =
+                    Journal::open(path).map_err(|e| ServeError::Journal(e.to_string()))?;
+                // Deterministic warm-start order: journal iteration order is
+                // unspecified, and with more entries than cache capacity the
+                // insertion order decides who survives.
+                let mut warm: Vec<(String, SimulationResponse)> = journal
+                    .entries()
+                    .filter_map(|(key, value)| {
+                        let (label, stats, de) = api::result_from_journal(value)?;
+                        let response = SimulationResponse {
+                            label,
+                            stats,
+                            de,
+                            key: key.to_owned(),
+                            cached: true,
+                        };
+                        Some((key.to_owned(), response))
+                    })
+                    .collect();
+                warm.sort_by(|a, b| a.0.cmp(&b.0));
+                for (key, response) in &warm {
+                    cache.insert(key, response.clone());
+                }
+                metrics.add("warm-start-entries", warm.len() as u64);
+                Some(journal)
+            }
+            None => None,
+        };
+
+        let (sender, receiver) = std::sync::mpsc::sync_channel(config.queue_capacity.max(1));
+        let state = Arc::new(State {
+            cache: Mutex::new(cache),
+            flights: Mutex::new(HashMap::new()),
+            queue: Mutex::new(Some(sender)),
+            metrics: Mutex::new(metrics),
+            journal: Mutex::new(journal),
+            draining: AtomicBool::new(false),
+            handlers: (Mutex::new(0), Condvar::new()),
+            default_deadline: config.default_deadline,
+            listen_addr: addr,
+        });
+
+        let dispatcher = {
+            let state = Arc::clone(&state);
+            let batch_window = config.batch_window;
+            let sim_delay = config.inject_sim_delay;
+            std::thread::spawn(move || dispatcher(state, receiver, jobs, batch_window, sim_delay))
+        };
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || acceptor(state, listener))
+        };
+
+        Ok(Server {
+            state,
+            addr,
+            acceptor,
+            dispatcher,
+        })
+    }
+
+    /// The bound address (the real port when `port: 0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Reads one metrics counter (e.g. `"sims-executed"`).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.state
+            .metrics
+            .lock()
+            .expect("metrics lock")
+            .counter(name)
+    }
+
+    /// Starts a graceful drain: stop accepting, finish queued and in-flight
+    /// work. Equivalent to `POST /shutdown`. Idempotent.
+    pub fn shutdown(&self) {
+        initiate_drain(&self.state, self.addr);
+    }
+
+    /// Blocks until the service has drained (a shutdown must have been
+    /// requested via [`Server::shutdown`] or `POST /shutdown`), then joins
+    /// every service thread and closes the journal.
+    pub fn join(self) {
+        // The acceptor exits once draining is set and its blocking accept
+        // is poked; until then this parks exactly like a foreground server
+        // process should.
+        self.acceptor.join().expect("acceptor thread");
+        // Wait for in-flight handler threads (they may still be enqueueing
+        // or awaiting flights).
+        let (count, woken) = &self.state.handlers;
+        let mut count = count.lock().expect("handler count lock");
+        while *count > 0 {
+            count = woken.wait(count).expect("handler count lock");
+        }
+        drop(count);
+        // Hang up the queue: the dispatcher drains what is left and exits.
+        self.state.queue.lock().expect("queue lock").take();
+        self.dispatcher.join().expect("dispatcher thread");
+        // Close (flush) the journal.
+        self.state.journal.lock().expect("journal lock").take();
+    }
+}
+
+/// Flips the draining flag and unblocks the acceptor's blocking `accept`
+/// with a throwaway self-connection.
+fn initiate_drain(state: &State, addr: SocketAddr) {
+    state.draining.store(true, Ordering::SeqCst);
+    // Poke: the connect either reaches the acceptor (which sees the flag
+    // and exits) or fails because the listener is already gone. Both fine.
+    let _ = TcpStream::connect(addr);
+}
+
+/// Accept loop: one short-lived handler thread per connection.
+fn acceptor(state: Arc<State>, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.draining.load(Ordering::SeqCst) {
+            // The drain poke (or a late client) — refuse and exit.
+            return;
+        }
+        let (count, _) = &state.handlers;
+        *count.lock().expect("handler count lock") += 1;
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let _guard = HandlerGuard(Arc::clone(&state));
+            handle_connection(&state, stream);
+        });
+    }
+}
+
+/// Serves one connection: parse, route, respond, close.
+fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
+    // A stalled client must not wedge graceful drain forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(message) => {
+            let body = format!(r#"{{"error":"{}"}}"#, json::escape(&message));
+            let _ = write_response(&mut stream, 400, &body);
+            return;
+        }
+    };
+    state.count("requests-total");
+    let (status, body) = route(state, &request);
+    let _ = write_response(&mut stream, status, &body);
+}
+
+/// Maps a parsed request to `(status, JSON body)`.
+fn route(state: &Arc<State>, request: &HttpRequest) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let status = if state.draining.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            };
+            (200, format!(r#"{{"status":"{status}"}}"#))
+        }
+        ("GET", "/metrics") => {
+            let mut snapshot = MetricsRegistry::new();
+            snapshot.merge(&state.metrics.lock().expect("metrics lock"));
+            (200, dynex_obs::export::metrics_json(&snapshot, None))
+        }
+        ("POST", "/shutdown") => {
+            initiate_drain(state, state.listen_addr);
+            (200, r#"{"status":"draining"}"#.to_owned())
+        }
+        ("POST", "/simulate") => handle_simulate(state, &request.body),
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/simulate") => (
+            405,
+            format!(
+                r#"{{"error":"method {} not allowed on {}"}}"#,
+                json::escape(&request.method),
+                json::escape(&request.path)
+            ),
+        ),
+        (_, path) => (
+            404,
+            format!(r#"{{"error":"no route for {}"}}"#, json::escape(path)),
+        ),
+    }
+}
+
+/// What a simulate handler decided to do under the single-flight lock.
+enum Claim {
+    /// Result cache hit — answer immediately.
+    Hit(SimulationResponse),
+    /// An identical request is already in flight — await it.
+    Join(Arc<Flight>),
+    /// First requester for this key — enqueue and await.
+    Lead(Arc<Flight>),
+}
+
+/// The `/simulate` endpoint.
+fn handle_simulate(state: &Arc<State>, body: &str) -> (u16, String) {
+    let request = match SimulationRequest::from_json(body) {
+        Ok(request) => request,
+        Err(e) => {
+            return (
+                400,
+                format!(r#"{{"error":"{}"}}"#, json::escape(&e.to_string())),
+            )
+        }
+    };
+    let trace = match api::load(&request) {
+        Ok(trace) => trace,
+        Err(e) => {
+            return (
+                400,
+                format!(r#"{{"error":"{}"}}"#, json::escape(&e.to_string())),
+            )
+        }
+    };
+    let key = match request.content_key(&trace.addrs) {
+        Ok(key) => key,
+        Err(e) => {
+            return (
+                500,
+                format!(r#"{{"error":"{}"}}"#, json::escape(&e.to_string())),
+            )
+        }
+    };
+    let deadline = request
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(state.default_deadline);
+
+    // Single-flight claim. The flights lock is held across the cache probe
+    // so the dispatcher's completion order (cache insert, then flight
+    // removal) leaves no window where a finished key is in neither place.
+    let claim = {
+        let mut flights = state.flights.lock().expect("flights lock");
+        let mut cache = state.cache.lock().expect("cache lock");
+        if let Some(found) = cache.get(&key) {
+            let mut response = found.clone();
+            response.cached = true;
+            Claim::Hit(response)
+        } else if let Some(flight) = flights.get(&key) {
+            Claim::Join(Arc::clone(flight))
+        } else {
+            let flight = Arc::new(Flight::new());
+            flights.insert(key.clone(), Arc::clone(&flight));
+            Claim::Lead(flight)
+        }
+    };
+
+    let flight = match claim {
+        Claim::Hit(response) => {
+            state.count("cache-hits");
+            return (200, response.to_json());
+        }
+        Claim::Join(flight) => {
+            state.count("coalesced-hits");
+            flight
+        }
+        Claim::Lead(flight) => {
+            let sender = state.queue.lock().expect("queue lock").clone();
+            let job = SimJob {
+                key: key.clone(),
+                request,
+                trace,
+                flight: Arc::clone(&flight),
+                deadline,
+            };
+            let enqueue = match sender {
+                Some(sender) => sender.try_send(job).map_err(|e| match e {
+                    TrySendError::Full(_) => (
+                        429,
+                        r#"{"error":"simulation queue is full, retry later"}"#.to_owned(),
+                    ),
+                    TrySendError::Disconnected(_) => {
+                        (503, r#"{"error":"service is draining"}"#.to_owned())
+                    }
+                }),
+                None => Err((503, r#"{"error":"service is draining"}"#.to_owned())),
+            };
+            if let Err((status, body)) = enqueue {
+                // Withdraw the claim so a later identical request is not
+                // stuck joining a flight nobody will fly.
+                state.flights.lock().expect("flights lock").remove(&key);
+                if status == 429 {
+                    state.count("rejected-429");
+                }
+                return (status, body);
+            }
+            // Post-enqueue marker: tests poll this to know a job is
+            // *waiting* in the queue (vs started, vs merely requested).
+            state.count("queued");
+            flight
+        }
+    };
+
+    match flight.wait(deadline) {
+        Ok(Ok(response)) => (200, response.to_json()),
+        Ok(Err(FlightError::TimedOut(message))) => {
+            (504, format!(r#"{{"error":"{}"}}"#, json::escape(&message)))
+        }
+        Ok(Err(FlightError::Failed(message))) => {
+            (500, format!(r#"{{"error":"{}"}}"#, json::escape(&message)))
+        }
+        Err(limit) => (
+            504,
+            format!(
+                r#"{{"error":"deadline of {}ms exceeded awaiting the result"}}"#,
+                limit.as_millis()
+            ),
+        ),
+    }
+}
+
+/// The dispatcher: drain the queue, batch, execute on the engine, publish.
+fn dispatcher(
+    state: Arc<State>,
+    receiver: Receiver<SimJob>,
+    jobs: usize,
+    batch_window: Duration,
+    sim_delay: Duration,
+) {
+    loop {
+        let first = match receiver.recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed and empty: drained
+        };
+        let mut batch = vec![first];
+        if batch_window.is_zero() {
+            // Fold in only what has already arrived.
+            while batch.len() < MAX_BATCH {
+                match receiver.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                }
+            }
+        } else {
+            let window_end = Instant::now() + batch_window;
+            while batch.len() < MAX_BATCH {
+                let Some(remaining) = window_end.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                match receiver.recv_timeout(remaining) {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        execute_batch(&state, batch, jobs, sim_delay);
+    }
+}
+
+/// Runs one batch on the resilient pool and publishes every slot.
+fn execute_batch(state: &Arc<State>, batch: Vec<SimJob>, jobs: usize, sim_delay: Duration) {
+    state
+        .metrics
+        .lock()
+        .expect("metrics lock")
+        .add("sims-executed", batch.len() as u64);
+
+    // The engine watchdog is per-job but configured per-plan: use the
+    // longest deadline in the batch so no job is reaped earlier than its
+    // own budget allows. (Each waiter additionally enforces its own,
+    // possibly shorter, deadline on the response path.) A single job
+    // without a deadline disables the watchdog for the plan.
+    let watchdog = batch
+        .iter()
+        .map(|job| job.deadline)
+        .try_fold(Duration::ZERO, |acc, d| d.map(|d| acc.max(d)));
+    let resilience = Resilience {
+        max_retries: 0,
+        deadline: watchdog,
+        ..Resilience::default()
+    };
+
+    let items = Arc::new(batch);
+    let sim_state = Arc::clone(state);
+    let outcome = execute_resilient(Arc::clone(&items), jobs, resilience, move |job: &SimJob| {
+        sim_state.count("sims-started");
+        if !sim_delay.is_zero() {
+            std::thread::sleep(sim_delay);
+        }
+        api::execute(&job.request, &job.trace).map_err(|e| e.to_string())
+    });
+
+    for (job, slot) in items.iter().zip(outcome.results()) {
+        let result: FlightResult = match slot {
+            Ok(Ok(response)) => Ok(response.clone()),
+            Ok(Err(message)) => Err(FlightError::Failed(message.clone())),
+            Err(job_error) => match &job_error.failure {
+                JobFailure::TimedOut { .. } => Err(FlightError::TimedOut(job_error.to_string())),
+                JobFailure::Panicked { .. } => Err(FlightError::Failed(job_error.to_string())),
+            },
+        };
+        match &result {
+            Ok(response) => {
+                // Publish order matters: cache first, then drop the flight
+                // (see the claim logic in `handle_simulate`).
+                state
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(&job.key, response.clone());
+                if let Some(journal) = state.journal.lock().expect("journal lock").as_mut() {
+                    let value =
+                        api::result_to_journal(&response.label, response.stats, response.de);
+                    if let Err(e) = journal.record(&job.key, &value) {
+                        eprintln!("warning: journal: {e}");
+                    }
+                }
+            }
+            Err(FlightError::TimedOut(_)) => state.count("sim-timeouts"),
+            Err(FlightError::Failed(_)) => state.count("sim-failures"),
+        }
+        state.flights.lock().expect("flights lock").remove(&job.key);
+        job.flight.fill(result);
+    }
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Serve smoke: boot the release dynex-serve on an ephemeral port, round-trip
+# a simulation over raw /dev/tcp (no curl dependency), check the repeat is a
+# cache hit, drain gracefully, and require the process to actually exit —
+# a leaked handler or dispatcher thread would wedge the drain join and trip
+# the exit timeout. A does-it-serve gate, not a performance gate.
+#
+#   scripts/serve_smoke.sh [path-to-dynex-serve]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="${1:-target/release/dynex-serve}"
+[ -x "$bin" ] || { echo "serve smoke: $bin not built" >&2; exit 1; }
+
+log=$(mktemp)
+cleanup() {
+    rm -f "$log"
+    [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+"$bin" --port 0 --batch-window-ms 0 >"$log" 2>/dev/null &
+serve_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^dynex-serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || { echo "serve smoke: no listening line in: $(cat "$log")" >&2; exit 1; }
+
+# One Connection: close request over /dev/tcp; prints the full response.
+roundtrip() { # method path body
+    local method=$1 path=$2 body=$3
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf '%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %s\r\n\r\n%s' \
+        "$method" "$path" "${#body}" "$body" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+request='{"org":"de","size":"8K","line":4,"trace":{"source":"profile","profile":"espresso"},"refs":100000}'
+
+first=$(roundtrip POST /simulate "$request")
+echo "$first" | grep -q '"cached":false' \
+    || { echo "serve smoke: first response not a fresh simulation: $first" >&2; exit 1; }
+
+second=$(roundtrip POST /simulate "$request")
+echo "$second" | grep -q '"cached":true' \
+    || { echo "serve smoke: repeat was not a cache hit: $second" >&2; exit 1; }
+
+metrics=$(roundtrip GET /metrics "")
+echo "$metrics" | grep -q '"sims-executed":1' \
+    || { echo "serve smoke: expected exactly one simulation: $metrics" >&2; exit 1; }
+
+drain=$(roundtrip POST /shutdown "")
+echo "$drain" | grep -q '"status":"draining"' \
+    || { echo "serve smoke: shutdown did not drain: $drain" >&2; exit 1; }
+
+# Graceful exit within 10s; a leaked thread would hang the drain join.
+for _ in $(seq 1 100); do
+    kill -0 "$serve_pid" 2>/dev/null || { serve_pid=""; break; }
+    sleep 0.1
+done
+[ -z "$serve_pid" ] || { echo "serve smoke: server did not exit after drain" >&2; exit 1; }
+
+echo "serve smoke: OK"

@@ -35,6 +35,14 @@ cargo test -q -p dynex-experiments --test resilience
 # This is a does-it-run gate, not a performance gate — it fails on a panic,
 # a kernel-output divergence, or a broken JSON pipeline, never on timing.
 # (Skipped under --quick: it needs the release binaries.)
+# Serve smoke: boot dynex-serve, round-trip a request twice (fresh + cache
+# hit) over /dev/tcp, drain gracefully, and require a clean process exit.
+# (Skipped under --quick: it needs the release binary.)
+if [ "$quick" -eq 0 ]; then
+    echo "==> serve smoke (round-trip + graceful drain)"
+    scripts/serve_smoke.sh
+fi
+
 if [ "$quick" -eq 0 ]; then
     echo "==> bench smoke (tiny budgets)"
     smoke_dir=$(mktemp -d)

@@ -23,7 +23,8 @@ use dynex_cache::{
     batch_de, batch_de_probed, batch_triple, run_addrs, CacheConfig, Kernel, SplitMix64,
 };
 use dynex_engine::{execute, set_default_jobs, set_default_kernel, sharded_policy_stats, Policy};
-use dynex_experiments::{figures, triple_kernel, Workloads};
+use dynex_experiments::api::run_triple;
+use dynex_experiments::{figures, Workloads};
 use dynex_obs::{export, Collector, EventLog};
 
 /// Shared reduced-budget workloads (every built-in profile).
@@ -70,8 +71,8 @@ fn every_profile_and_geometry_is_bit_identical_across_kernels() {
                     );
                 }
                 assert_eq!(
-                    triple_kernel(Kernel::Batch, config, &addrs),
-                    triple_kernel(Kernel::Reference, config, &addrs),
+                    run_triple(Kernel::Batch, config, &addrs),
+                    run_triple(Kernel::Reference, config, &addrs),
                     "{name}: fused triple @ {config}"
                 );
             }
@@ -207,7 +208,7 @@ fn pooled_triples_identical_across_kernels_at_jobs_1_and_4() {
         points.extend(traces.iter().map(|t| (config, t.as_slice())));
     }
     let run =
-        |kernel: Kernel, jobs: usize| execute(&points, jobs, |&(c, a)| triple_kernel(kernel, c, a));
+        |kernel: Kernel, jobs: usize| execute(&points, jobs, |&(c, a)| run_triple(kernel, c, a));
     let baseline = run(Kernel::Reference, 1);
     for (kernel, jobs) in [
         (Kernel::Reference, 4),
@@ -229,7 +230,7 @@ fn fused_triple_matches_on_data_streams() {
         let addrs = workloads.data_addrs(name);
         let fused = batch_triple(config, &addrs);
         assert_eq!(
-            triple_kernel(Kernel::Reference, config, &addrs),
+            run_triple(Kernel::Reference, config, &addrs),
             dynex_experiments::Triple {
                 dm: fused.dm,
                 de: fused.de.stats,

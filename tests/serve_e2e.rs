@@ -1,0 +1,358 @@
+//! End-to-end tests for `dynex-serve`: real sockets, real threads, an
+//! in-process [`Server`] per test (ephemeral ports, so the suite is green
+//! at any `--test-threads`).
+//!
+//! Determinism policy: nothing here sleeps and hopes. Tests that depend on
+//! service phase (a job *running*, a job *waiting in the queue*) observe
+//! the probe counters (`sims-started`, `queued`) before acting, and use
+//! [`ServeConfig::inject_sim_delay`] to hold a phase open long enough to
+//! act in it.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use dynex_experiments::api::{SimulationRequest, SimulationResponse};
+use dynex_serve::{ServeConfig, Server};
+
+/// Sends one `Connection: close` HTTP request, returns `(status, body)`.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post_simulate(addr: SocketAddr, body: &str) -> (u16, String) {
+    http(addr, "POST", "/simulate", body)
+}
+
+/// A small profile-trace request; `size` distinguishes content keys.
+fn request_body(size: &str) -> String {
+    format!(
+        r#"{{"org":"de","size":"{size}","line":4,"trace":{{"source":"profile","profile":"espresso"}},"refs":50000}}"#
+    )
+}
+
+/// Polls a server counter until it reaches `at_least` (10s budget).
+fn await_counter(server: &Server, name: &str, at_least: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.counter(name) < at_least {
+        assert!(
+            Instant::now() < deadline,
+            "counter {name} stuck at {} (wanted >= {at_least})",
+            server.counter(name)
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn start(config: ServeConfig) -> Server {
+    Server::start(config).expect("server starts")
+}
+
+#[test]
+fn health_metrics_and_routing() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, r#"{"status":"ok"}"#));
+
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(r#""sims-executed":0"#),
+        "fresh metrics: {body}"
+    );
+
+    assert_eq!(http(addr, "GET", "/nope", "").0, 404);
+    assert_eq!(http(addr, "GET", "/simulate", "").0, 405);
+    assert_eq!(post_simulate(addr, "{not json").0, 400);
+    assert_eq!(post_simulate(addr, r#"{"org":"alien"}"#).0, 400);
+    // A request that validates but names no loadable stream is a 400 too.
+    assert_eq!(post_simulate(addr, r#"{"org":"dm"}"#).0, 400);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn concurrent_identical_requests_run_one_simulation() {
+    let server = start(ServeConfig {
+        batch_window: Duration::ZERO,
+        inject_sim_delay: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let body = request_body("8K");
+
+    // Leader in a thread; wait until its simulation is *running* so the
+    // followers demonstrably arrive mid-flight.
+    let leader = {
+        let body = body.clone();
+        std::thread::spawn(move || post_simulate(addr, &body))
+    };
+    await_counter(&server, "sims-started", 1);
+    let followers: Vec<_> = (0..3)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || post_simulate(addr, &body))
+        })
+        .collect();
+
+    let (status, leader_body) = leader.join().expect("leader thread");
+    assert_eq!(status, 200);
+    for follower in followers {
+        let (status, follower_body) = follower.join().expect("follower thread");
+        assert_eq!(status, 200);
+        assert_eq!(follower_body, leader_body, "coalesced answers are shared");
+    }
+    assert_eq!(server.counter("sims-executed"), 1, "single-flight");
+    assert_eq!(server.counter("coalesced-hits"), 3);
+    assert_eq!(server.counter("cache-hits"), 0);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn repeats_hit_the_result_cache() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let body = request_body("4K");
+
+    let (status, first) = post_simulate(addr, &body);
+    assert_eq!(status, 200);
+    let first = SimulationResponse::from_json(&first).expect("response JSON");
+    assert!(!first.cached);
+
+    let (status, second) = post_simulate(addr, &body);
+    assert_eq!(status, 200);
+    let second = SimulationResponse::from_json(&second).expect("response JSON");
+    assert!(second.cached, "second identical request is a cache hit");
+    assert_eq!(first.stats, second.stats);
+    assert_eq!(first.key, second.key);
+    assert_eq!(server.counter("sims-executed"), 1);
+    assert_eq!(server.counter("cache-hits"), 1);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn full_queue_rejects_with_429() {
+    let server = start(ServeConfig {
+        queue_capacity: 1,
+        batch_window: Duration::ZERO,
+        inject_sim_delay: Duration::from_millis(500),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // A occupies the simulator; B occupies the single queue slot; C must
+    // then bounce. Distinct sizes keep the three keys distinct (identical
+    // keys would coalesce instead of queueing).
+    let a = std::thread::spawn(move || post_simulate(addr, &request_body("1K")));
+    await_counter(&server, "sims-started", 1); // A popped: queue is empty
+    let b = std::thread::spawn(move || post_simulate(addr, &request_body("2K")));
+    await_counter(&server, "queued", 2); // B is waiting in the queue
+    let (status, body) = post_simulate(addr, &request_body("4K"));
+    assert_eq!(status, 429, "third distinct request bounces: {body}");
+    assert!(body.contains("queue is full"));
+    assert_eq!(server.counter("rejected-429"), 1);
+
+    // Backpressure is per-moment, not a ban: A and B complete fine, and
+    // once the queue drains the rejected request succeeds on retry.
+    assert_eq!(a.join().expect("request A").0, 200);
+    assert_eq!(b.join().expect("request B").0, 200);
+    let (status, _) = post_simulate(addr, &request_body("4K"));
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn responses_are_byte_identical_for_every_worker_count() {
+    let sizes = ["1K", "2K", "4K", "8K", "16K", "32K"];
+    let mut transcripts: Vec<Vec<String>> = Vec::new();
+    for jobs in [1usize, 4] {
+        let server = start(ServeConfig {
+            jobs,
+            // A real window so the concurrent posts actually share a plan.
+            batch_window: Duration::from_millis(20),
+            ..ServeConfig::default()
+        });
+        let addr = server.addr();
+        let handles: Vec<_> = sizes
+            .iter()
+            .map(|size| {
+                let body = request_body(size);
+                std::thread::spawn(move || post_simulate(addr, &body))
+            })
+            .collect();
+        let mut bodies = Vec::new();
+        for handle in handles {
+            let (status, body) = handle.join().expect("request thread");
+            assert_eq!(status, 200);
+            bodies.push(body);
+        }
+        bodies.sort();
+        assert_eq!(server.counter("sims-executed"), sizes.len() as u64);
+        transcripts.push(bodies);
+        server.shutdown();
+        server.join();
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "jobs=1 and jobs=4 serve identical bytes"
+    );
+}
+
+#[test]
+fn per_request_deadline_times_out_with_504() {
+    let server = start(ServeConfig {
+        batch_window: Duration::ZERO,
+        inject_sim_delay: Duration::from_millis(800),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let body = r#"{"org":"dm","size":"1K","line":4,"deadline_ms":40,"trace":{"source":"profile","profile":"espresso"},"refs":50000}"#;
+    let started = Instant::now();
+    let (status, response) = post_simulate(addr, body);
+    assert_eq!(status, 504, "deadline overrun: {response}");
+    assert!(response.contains("deadline"));
+    assert!(
+        started.elapsed() < Duration::from_millis(700),
+        "the 504 must not wait for the simulation to finish"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn offline_simcache_run_warm_starts_the_service() {
+    let dir = std::env::temp_dir().join(format!("dynex-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("warm.txt");
+    let journal_path = dir.join("warm.jsonl");
+    let _ = std::fs::remove_file(&journal_path);
+
+    // A tiny thrash trace in the text format.
+    let mut text = String::new();
+    for i in 0..400u32 {
+        let addr = if i % 2 == 0 { 0 } else { 2048 };
+        text.push_str(&format!("F 0x{addr:x}\n"));
+    }
+    std::fs::write(&trace_path, text).expect("write trace");
+
+    // Offline run: simcache simulates and checkpoints into the journal.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_simcache"))
+        .args([
+            trace_path.to_str().unwrap(),
+            "--size",
+            "1K",
+            "--line",
+            "4",
+            "--org",
+            "de",
+            "--kernel",
+            "batch",
+            "--resume",
+            journal_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run simcache");
+    assert!(output.status.success(), "{output:?}");
+    let offline_stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+
+    // Boot the service from that journal: the result is cached before the
+    // first request ever arrives, and the response's text rendering is
+    // byte-identical to what the offline CLI printed.
+    let server = start(ServeConfig {
+        warm_journal: Some(journal_path.clone()),
+        ..ServeConfig::default()
+    });
+    assert_eq!(server.counter("warm-start-entries"), 1);
+    let body = format!(
+        r#"{{"org":"de","size":"1K","line":4,"kernel":"batch","trace":{{"source":"path","path":"{}"}}}}"#,
+        trace_path.display()
+    );
+    let (status, response) = post_simulate(server.addr(), &body);
+    assert_eq!(status, 200);
+    let response = SimulationResponse::from_json(&response).expect("response JSON");
+    assert!(response.cached, "served from the warm-started cache");
+    assert_eq!(server.counter("sims-executed"), 0, "no re-simulation");
+    assert_eq!(response.render_text(), offline_stdout);
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let server = start(ServeConfig {
+        batch_window: Duration::ZERO,
+        inject_sim_delay: Duration::from_millis(300),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let in_flight = {
+        let body = request_body("2K");
+        std::thread::spawn(move || post_simulate(addr, &body))
+    };
+    await_counter(&server, "sims-started", 1);
+
+    let (status, body) = http(addr, "POST", "/shutdown", "");
+    assert_eq!((status, body.as_str()), (200, r#"{"status":"draining"}"#));
+
+    // Drain completes: join returns, and the in-flight request was served,
+    // not dropped.
+    server.join();
+    let (status, _) = in_flight.join().expect("in-flight request");
+    assert_eq!(status, 200);
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "the listener is gone after drain"
+    );
+}
+
+#[test]
+fn request_round_trips_through_the_wire_format() {
+    // The service accepts exactly what `SimulationRequest::to_json` emits —
+    // an API client can parrot a canonicalized request back.
+    let mut builder = SimulationRequest::builder();
+    builder
+        .org("de")
+        .size("8K")
+        .line(4)
+        .profile("espresso")
+        .refs(50_000);
+    let request = builder.build().expect("valid request");
+
+    let server = start(ServeConfig::default());
+    let (status, body) = post_simulate(server.addr(), &request.to_json());
+    assert_eq!(status, 200);
+    let response = SimulationResponse::from_json(&body).expect("response JSON");
+    assert_eq!(response.stats.accesses(), 50_000);
+    server.shutdown();
+    server.join();
+}
