@@ -441,7 +441,11 @@ impl SimulationRequest {
             }
         }
         if let Some(line) = u64_field("line")?.or(u64_field("line_bytes")?) {
-            builder.line(line as u32);
+            let line = u32::try_from(line).map_err(|_| ApiError::Invalid {
+                field: "line",
+                message: format!("{line} does not fit in 32 bits"),
+            })?;
+            builder.line(line);
         }
         if let Some(kinds) = str_field("kinds")? {
             builder.kinds(&kinds);
@@ -450,10 +454,18 @@ impl SimulationRequest {
             builder.kernel(&kernel);
         }
         if let Some(jobs) = u64_field("jobs")? {
-            builder.jobs(jobs as usize);
+            let jobs = usize::try_from(jobs).map_err(|_| ApiError::Invalid {
+                field: "jobs",
+                message: format!("{jobs} does not fit in usize"),
+            })?;
+            builder.jobs(jobs);
         }
         if let Some(refs) = u64_field("refs")? {
-            builder.refs(refs as usize);
+            let refs = usize::try_from(refs).map_err(|_| ApiError::Invalid {
+                field: "refs",
+                message: format!("{refs} does not fit in usize"),
+            })?;
+            builder.refs(refs);
         }
         match value.get("trace") {
             None | Some(Json::Null) => {}
@@ -1376,6 +1388,19 @@ mod tests {
         let a = SimulationRequest::from_json(r#"{"size":"32K"}"#).unwrap();
         let b = SimulationRequest::from_json(r#"{"size_bytes":32768}"#).unwrap();
         assert_eq!(a.size_bytes, b.size_bytes);
+    }
+
+    #[test]
+    fn from_json_rejects_integer_overflow_instead_of_truncating() {
+        // 2^32 + 4 would truncate to line=4 with a bare `as u32` cast and
+        // silently simulate the wrong geometry.
+        let err = SimulationRequest::from_json(r#"{"line":4294967300}"#).unwrap_err();
+        assert!(err.to_string().contains("4294967300"), "{err}");
+        let err = SimulationRequest::from_json(r#"{"line_bytes":4294967300}"#).unwrap_err();
+        assert!(err.to_string().contains("4294967300"), "{err}");
+        // In-range values still parse.
+        let ok = SimulationRequest::from_json(r#"{"line":64}"#).unwrap();
+        assert_eq!(ok.line_bytes, 64);
     }
 
     #[test]

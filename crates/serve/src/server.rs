@@ -115,6 +115,9 @@ enum FlightError {
     TimedOut(String),
     /// The job panicked or failed internally (`500`).
     Failed(String),
+    /// The leader could not enqueue the job (queue full or draining);
+    /// the status (`429`/`503`) is relayed to every joiner.
+    Rejected(u16, String),
 }
 
 type FlightResult = Result<SimulationResponse, FlightError>;
@@ -378,7 +381,15 @@ fn acceptor(state: Arc<State>, listener: TcpListener) {
             }
         };
         if state.draining.load(Ordering::SeqCst) {
-            // The drain poke (or a late client) — refuse and exit.
+            // The drain poke (or a late client): answer with an explicit
+            // 503 rather than a connection reset (harmless on the poke's
+            // throwaway connection), then flush whatever the listen
+            // backlog still holds the same way before the listener drops.
+            refuse(stream);
+            let _ = listener.set_nonblocking(true);
+            while let Ok((stream, _)) = listener.accept() {
+                refuse(stream);
+            }
             return;
         }
         let (count, _) = &state.handlers;
@@ -389,6 +400,11 @@ fn acceptor(state: Arc<State>, listener: TcpListener) {
             handle_connection(&state, stream);
         });
     }
+}
+
+/// Answers a connection caught by the drain with an explicit `503`.
+fn refuse(mut stream: TcpStream) {
+    let _ = write_response(&mut stream, 503, r#"{"error":"service is draining"}"#);
 }
 
 /// Serves one connection: parse, route, respond, close.
@@ -527,24 +543,24 @@ fn handle_simulate(state: &Arc<State>, body: &str) -> (u16, String) {
             };
             let enqueue = match sender {
                 Some(sender) => sender.try_send(job).map_err(|e| match e {
-                    TrySendError::Full(_) => (
-                        429,
-                        r#"{"error":"simulation queue is full, retry later"}"#.to_owned(),
-                    ),
-                    TrySendError::Disconnected(_) => {
-                        (503, r#"{"error":"service is draining"}"#.to_owned())
-                    }
+                    TrySendError::Full(_) => (429, "simulation queue is full, retry later"),
+                    TrySendError::Disconnected(_) => (503, "service is draining"),
                 }),
-                None => Err((503, r#"{"error":"service is draining"}"#.to_owned())),
+                None => Err((503, "service is draining")),
             };
-            if let Err((status, body)) = enqueue {
-                // Withdraw the claim so a later identical request is not
-                // stuck joining a flight nobody will fly.
+            if let Err((status, message)) = enqueue {
+                // Wake any joiners that raced onto this flight before
+                // withdrawing it — an unfilled flight with no deadline
+                // would park them forever.
+                flight.fill(Err(FlightError::Rejected(status, message.to_owned())));
                 state.flights.lock().expect("flights lock").remove(&key);
                 if status == 429 {
                     state.count("rejected-429");
                 }
-                return (status, body);
+                return (
+                    status,
+                    format!(r#"{{"error":"{}"}}"#, json::escape(message)),
+                );
             }
             // Post-enqueue marker: tests poll this to know a job is
             // *waiting* in the queue (vs started, vs merely requested).
@@ -561,6 +577,10 @@ fn handle_simulate(state: &Arc<State>, body: &str) -> (u16, String) {
         Ok(Err(FlightError::Failed(message))) => {
             (500, format!(r#"{{"error":"{}"}}"#, json::escape(&message)))
         }
+        Ok(Err(FlightError::Rejected(status, message))) => (
+            status,
+            format!(r#"{{"error":"{}"}}"#, json::escape(&message)),
+        ),
         Err(limit) => (
             504,
             format!(
@@ -670,6 +690,9 @@ fn execute_batch(state: &Arc<State>, batch: Vec<SimJob>, jobs: usize, sim_delay:
             }
             Err(FlightError::TimedOut(_)) => state.count("sim-timeouts"),
             Err(FlightError::Failed(_)) => state.count("sim-failures"),
+            // Rejections are filled by handlers before enqueueing; a job
+            // that reached the dispatcher was never rejected.
+            Err(FlightError::Rejected(..)) => unreachable!("rejected jobs are never dispatched"),
         }
         state.flights.lock().expect("flights lock").remove(&job.key);
         job.flight.fill(result);

@@ -189,6 +189,52 @@ fn full_queue_rejects_with_429() {
 }
 
 #[test]
+fn rejected_leader_wakes_concurrent_duplicates() {
+    // When a leader's enqueue bounces off a full queue, duplicates that
+    // joined its flight in the claim window must be answered with the
+    // relayed 429 — never parked forever on a flight nobody will fly
+    // (which would also wedge graceful drain below).
+    let server = start(ServeConfig {
+        queue_capacity: 1,
+        batch_window: Duration::ZERO,
+        inject_sim_delay: Duration::from_millis(400),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // A occupies the simulator, B the single queue slot.
+    let a = std::thread::spawn(move || post_simulate(addr, &request_body("1K")));
+    await_counter(&server, "sims-started", 1);
+    let b = std::thread::spawn(move || post_simulate(addr, &request_body("2K")));
+    await_counter(&server, "queued", 2);
+
+    // A storm of *identical* further requests: one leads and is rejected;
+    // the rest either lead a fresh (also doomed) claim or join a doomed
+    // flight and must be woken. Every thread has to come back.
+    let stormers: Vec<_> = (0..8)
+        .map(|_| std::thread::spawn(move || post_simulate(addr, &request_body("4K"))))
+        .collect();
+    for stormer in stormers {
+        let (status, body) = stormer.join().expect("storm request answered");
+        // 429 while the queue is full; 200 is possible for a late storm
+        // thread that enqueues after A completes and frees the slot.
+        assert!(
+            status == 429 || status == 200,
+            "unexpected answer: {status} {body}"
+        );
+        if status == 429 {
+            assert!(body.contains("queue is full"), "{body}");
+        }
+    }
+    assert_eq!(a.join().expect("request A").0, 200);
+    assert_eq!(b.join().expect("request B").0, 200);
+
+    // No leaked handler threads: drain completes.
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn responses_are_byte_identical_for_every_worker_count() {
     let sizes = ["1K", "2K", "4K", "8K", "16K", "32K"];
     let mut transcripts: Vec<Vec<String>> = Vec::new();
