@@ -36,6 +36,7 @@
 //!
 //! [`NoopProbe`]: dynex_obs::NoopProbe
 
+use dynex_obs::span;
 use dynex_obs::{Cause, Event, NoopProbe, Outcome, Probe};
 
 use crate::batch::CHUNK_LEN;
@@ -381,8 +382,14 @@ pub fn batch_dm_probed<P: Probe>(config: CacheConfig, addrs: &[u32], probe: &mut
     let index_mask = (1u32 << geometry.index_bits()) - 1;
     let mut dm = DmState::new(config.n_sets() as usize);
     let mut line_buf = [0u32; CHUNK_LEN];
+    // Spans open at chunk boundaries only (two relaxed atomic loads per
+    // 4096 references when tracing is off); the inner loop stays branchless.
     for chunk in addrs.chunks(CHUNK_LEN) {
-        decode_chunk(chunk, offset_bits, &mut line_buf);
+        {
+            let _decode = span::span("kernel.decode");
+            decode_chunk(chunk, offset_bits, &mut line_buf);
+        }
+        let _simulate = span::span("kernel.simulate");
         for (&addr, &line) in chunk.iter().zip(&line_buf) {
             dm.step(addr, line, index_mask, probe);
         }
@@ -435,7 +442,11 @@ pub fn batch_de_probed<P: Probe>(
     let mut de = DeState::new(config.n_sets() as usize, max_line(addrs, offset_bits));
     let mut line_buf = [0u32; CHUNK_LEN];
     for chunk in addrs.chunks(CHUNK_LEN) {
-        decode_chunk(chunk, offset_bits, &mut line_buf);
+        {
+            let _decode = span::span("kernel.decode");
+            decode_chunk(chunk, offset_bits, &mut line_buf);
+        }
+        let _simulate = span::span("kernel.simulate");
         for (&addr, &line) in chunk.iter().zip(&line_buf) {
             de.step(addr, line, index_mask, probe);
         }
@@ -460,15 +471,22 @@ pub fn batch_opt(config: CacheConfig, addrs: &[u32]) -> CacheStats {
     let mut lines: Vec<u32> = Vec::with_capacity(addrs.len());
     let mut line_buf = [0u32; CHUNK_LEN];
     for chunk in addrs.chunks(CHUNK_LEN) {
+        let _decode = span::span("kernel.decode");
         decode_chunk(chunk, offset_bits, &mut line_buf);
         lines.extend_from_slice(&line_buf[..chunk.len()]);
     }
     let max_line = lines.iter().copied().max().unwrap_or(0);
-    let next = next_use(&lines, max_line);
+    let next = {
+        let _next_use = span::span("kernel.next-use");
+        next_use(&lines, max_line)
+    };
 
     let mut state = OptState::new(config.n_sets() as usize);
-    for (i, &line) in lines.iter().enumerate() {
-        state.step(line, next[i], index_mask);
+    for (lines_chunk, next_chunk) in lines.chunks(CHUNK_LEN).zip(next.chunks(CHUNK_LEN)) {
+        let _simulate = span::span("kernel.simulate");
+        for (&line, &next) in lines_chunk.iter().zip(next_chunk) {
+            state.step(line, next, index_mask);
+        }
     }
     CacheStats::from_counts(lines.len() as u64, state.misses)
 }
@@ -578,25 +596,34 @@ pub fn batch_triple(config: CacheConfig, addrs: &[u32]) -> BatchTriple {
     let mut line_buf = [0u32; CHUNK_LEN];
     let mut max_line = 0u32;
     for chunk in addrs.chunks(CHUNK_LEN) {
+        let _decode = span::span("kernel.decode");
         decode_chunk(chunk, offset_bits, &mut line_buf);
         for &line in &line_buf[..chunk.len()] {
             max_line = max_line.max(line);
         }
         lines.extend_from_slice(&line_buf[..chunk.len()]);
     }
-    let next = next_use(&lines, max_line);
+    let next = {
+        let _next_use = span::span("kernel.next-use");
+        next_use(&lines, max_line)
+    };
 
     let n_sets = config.n_sets() as usize;
     let mut dm = DmState::new(n_sets);
     let mut de = DeState::new(n_sets, max_line);
     let mut opt = OptState::new(n_sets);
-    for (i, &line) in lines.iter().enumerate() {
-        // The fused pass never needs the byte address back: probes are not
-        // attached here (sweeps are uninstrumented), so the addr argument is
-        // dead and compiles away.
-        dm.step(0, line, index_mask, &mut NoopProbe);
-        de.step(0, line, index_mask, &mut NoopProbe);
-        opt.step(line, next[i], index_mask);
+    // Chunked like the decode pass so the simulate span opens at chunk
+    // boundaries only; the fused inner loop stays branchless.
+    for (lines_chunk, next_chunk) in lines.chunks(CHUNK_LEN).zip(next.chunks(CHUNK_LEN)) {
+        let _simulate = span::span("kernel.simulate");
+        for (&line, &next) in lines_chunk.iter().zip(next_chunk) {
+            // The fused pass never needs the byte address back: probes are
+            // not attached here (sweeps are uninstrumented), so the addr
+            // argument is dead and compiles away.
+            dm.step(0, line, index_mask, &mut NoopProbe);
+            de.step(0, line, index_mask, &mut NoopProbe);
+            opt.step(line, next, index_mask);
+        }
     }
 
     let accesses = lines.len() as u64;

@@ -293,6 +293,10 @@ where
         let outcome = catch_unwind(AssertUnwindSafe(|| (shared.f)(&shared.items[index])));
         let elapsed = begun.elapsed();
         *shared.starts[index].lock().expect("start slot") = None;
+        // One latency sample per attempt (retries count separately): the
+        // p99 of `engine.attempt` is the job-level tail a sweep operator
+        // tunes the watchdog deadline against.
+        dynex_obs::span::record_stage("engine.attempt", elapsed);
         let done = Done {
             index,
             attempt,
@@ -396,6 +400,7 @@ where
                     Err(payload) => {
                         if done.attempt <= resilience.max_retries {
                             retries += 1;
+                            dynex_obs::span::record_stage("engine.retry", done.elapsed);
                             task_tx
                                 .send((done.index, done.attempt + 1))
                                 .expect("queue receiver alive");
@@ -427,6 +432,7 @@ where
                     };
                     let elapsed = begun.elapsed();
                     if elapsed > limit {
+                        dynex_obs::span::record_stage("engine.watchdog-timeout", elapsed);
                         *slot = Some(Err(JobError {
                             plan_index: index,
                             attempts: attempt,

@@ -93,7 +93,7 @@ fn usage() {
          [--jobs N] [--shard-sets] [--job-retries N] [--job-timeout-ms N] \
          [--lenient <max-skipped>] [--resume <journal.jsonl>] \
          [--events-out <file.jsonl>] [--metrics-out <file.json>] \
-         [--intervals-out <file.csv>] [--interval <N>]"
+         [--intervals-out <file.csv>] [--interval <N>] [--trace-out <file.jsonl>]"
     );
 }
 
@@ -203,35 +203,38 @@ fn run_sharded(
     // order (counters and histograms sum; the event stream is the
     // concatenation of the shard logs, not a global-order interleave).
     let shards = shard_by_set(config.geometry(), addrs, n_shards);
-    let outputs = execute(&shards, jobs, |shard| match (default_kernel(), policy) {
-        (Kernel::Batch, Policy::DirectMapped) => {
-            let mut probe = obs.probe();
-            let stats = batch_dm_probed(config, shard, &mut probe);
-            let (collector, log) = probe;
-            (stats, None, collector, log)
-        }
-        (Kernel::Batch, _) => {
-            let mut probe = obs.probe();
-            let result = batch_de_probed(config, shard, &mut probe);
-            let (collector, log) = probe;
-            let de_stats = DeStats {
-                loads: result.loads,
-                bypasses: result.bypasses,
-            };
-            (result.stats, Some(de_stats), collector, log)
-        }
-        (Kernel::Reference, Policy::DirectMapped) => {
-            let mut cache = DirectMapped::with_probe(config, obs.probe());
-            let stats = run_addrs(&mut cache, shard.iter().copied());
-            let (collector, log) = cache.into_probe();
-            (stats, None, collector, log)
-        }
-        (Kernel::Reference, _) => {
-            let mut cache = DeCache::with_probe(config, obs.probe());
-            let stats = run_addrs(&mut cache, shard.iter().copied());
-            let de_stats = cache.de_stats();
-            let (collector, log) = cache.into_probe();
-            (stats, Some(de_stats), collector, log)
+    let outputs = execute(&shards, jobs, |shard| {
+        let _shard_span = dynex_obs::span::span("engine.shard-simulate");
+        match (default_kernel(), policy) {
+            (Kernel::Batch, Policy::DirectMapped) => {
+                let mut probe = obs.probe();
+                let stats = batch_dm_probed(config, shard, &mut probe);
+                let (collector, log) = probe;
+                (stats, None, collector, log)
+            }
+            (Kernel::Batch, _) => {
+                let mut probe = obs.probe();
+                let result = batch_de_probed(config, shard, &mut probe);
+                let (collector, log) = probe;
+                let de_stats = DeStats {
+                    loads: result.loads,
+                    bypasses: result.bypasses,
+                };
+                (result.stats, Some(de_stats), collector, log)
+            }
+            (Kernel::Reference, Policy::DirectMapped) => {
+                let mut cache = DirectMapped::with_probe(config, obs.probe());
+                let stats = run_addrs(&mut cache, shard.iter().copied());
+                let (collector, log) = cache.into_probe();
+                (stats, None, collector, log)
+            }
+            (Kernel::Reference, _) => {
+                let mut cache = DeCache::with_probe(config, obs.probe());
+                let stats = run_addrs(&mut cache, shard.iter().copied());
+                let de_stats = cache.de_stats();
+                let (collector, log) = cache.into_probe();
+                (stats, Some(de_stats), collector, log)
+            }
         }
     });
 
@@ -246,6 +249,7 @@ fn run_sharded(
         );
         return ExitCode::FAILURE;
     };
+    let merge_span = dynex_obs::span::span("engine.merge");
     let mut events: Vec<Event> = first_log.into_events();
     for (s, d, c, log) in outputs {
         stats.merge(&s);
@@ -256,6 +260,7 @@ fn run_sharded(
         collector.merge(&c);
         events.extend(log.into_events());
     }
+    drop(merge_span);
     debug_assert_eq!(
         stats,
         policy.simulate(config, addrs),
@@ -293,6 +298,7 @@ fn run_sharded_resilient(
             .collect(),
     );
     let outcome = execute_resilient(items, jobs, resilience, move |(index, shard)| {
+        let _shard_span = dynex_obs::span::span("engine.shard-simulate");
         if Some(*index) == inject_panic {
             panic!("injected fault: panic in shard {index}");
         }
@@ -320,12 +326,15 @@ fn run_sharded_resilient(
 
     let mut merged = CacheStats::new();
     let mut de_merged: Option<DeStats> = None;
-    for (stats, de) in outcome.results().iter().flatten() {
-        merged.merge(stats);
-        if let Some(de) = de {
-            let acc = de_merged.get_or_insert_with(DeStats::default);
-            acc.loads += de.loads;
-            acc.bypasses += de.bypasses;
+    {
+        let _merge_span = dynex_obs::span::span("engine.merge");
+        for (stats, de) in outcome.results().iter().flatten() {
+            merged.merge(stats);
+            if let Some(de) = de {
+                let acc = de_merged.get_or_insert_with(DeStats::default);
+                acc.loads += de.loads;
+                acc.bypasses += de.bypasses;
+            }
         }
     }
 
@@ -477,6 +486,16 @@ fn main() -> ExitCode {
                         eprintln!("error: --interval needs a positive number");
                         return ExitCode::FAILURE;
                     }
+                }
+            }
+            "--trace-out" => {
+                let Some(value) = it.next() else {
+                    eprintln!("error: --trace-out needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = dynex_obs::span::install_jsonl_path(&value) {
+                    eprintln!("error: cannot open --trace-out {value:?}: {e}");
+                    return ExitCode::FAILURE;
                 }
             }
             "--help" | "-h" => {

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! experiments [--refs N] [--jobs N] [--kernel reference|batch] [--out DIR]
-//!             [--resume FILE] <id>... | all | list
+//!             [--resume FILE] [--trace-out FILE] <id>... | all | list
 //! ```
 //!
 //! `--refs` sets the per-benchmark reference budget (default 4,000,000, or
@@ -76,6 +76,11 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--resume needs a journal file")?;
                 builder.resume(value);
             }
+            "--trace-out" => {
+                let value = args.next().ok_or("--trace-out needs a file path")?;
+                dynex_obs::span::install_jsonl_path(&value)
+                    .map_err(|e| format!("cannot open --trace-out {value:?}: {e}"))?;
+            }
             "--help" | "-h" => {
                 ids.push("help".to_owned());
             }
@@ -95,13 +100,14 @@ fn parse_args() -> Result<Options, String> {
 fn print_help() {
     println!(
         "usage: experiments [--refs N] [--jobs N] [--kernel reference|batch] [--out DIR] \
-         [--resume FILE] <id>... | all | list"
+         [--resume FILE] [--trace-out FILE] <id>... | all | list"
     );
     println!();
     println!("  --kernel K     simulation kernel (default batch); both kernels produce");
     println!("                 bit-identical results, batch is the fast fused path");
     println!("  --resume FILE  checkpoint completed sweep points into FILE (JSONL)");
     println!("                 and replay them on the next run with the same FILE");
+    println!("  --trace-out FILE  stream closed tracing spans into FILE (JSONL)");
     println!();
     println!("experiment ids:");
     for id in figures::ALL_IDS {

@@ -15,6 +15,11 @@
 //!   [`Histogram`]s (reuse distance, per-set conflict heatmaps).
 //! * [`IntervalSeries`] — miss rate per N-access window, for phase-behaviour
 //!   plots.
+//! * [`span`] — structured tracing: monotonic-clock [`span::SpanGuard`]s
+//!   with ids, parents, and stage labels; a lock-sharded
+//!   [`span::LatencyRecorder`] (log2 buckets, p50/p90/p99/p999 summaries);
+//!   and an optional JSONL span stream. Off by default at the same
+//!   zero-cost standard as [`NoopProbe`].
 //! * [`export`] — hand-rolled JSONL/JSON/CSV writers (this crate is
 //!   dependency-free by design: hermetic builds cannot reach a registry) and
 //!   a matching minimal [`json`] parser used by round-trip tests.
@@ -45,9 +50,11 @@ mod interval;
 pub mod json;
 mod probe;
 mod registry;
+pub mod span;
 
 pub use collector::Collector;
 pub use event::{Cause, Event, Outcome};
 pub use interval::{IntervalPoint, IntervalSeries};
 pub use probe::{CountingProbe, EventCounts, EventLog, NoopProbe, Probe};
-pub use registry::{Histogram, MetricsRegistry};
+pub use registry::{Histogram, HistogramError, MetricsRegistry};
+pub use span::{LatencyRecorder, SpanCtx, SpanGuard, TraceLevel};

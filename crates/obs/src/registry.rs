@@ -1,7 +1,59 @@
 //! Named counters and fixed-bucket histograms.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::ops::AddAssign;
+
+/// Why a histogram could not be built — returned by the fallible
+/// constructors so callers on untrusted-input paths (JSON import) can turn
+/// a bad bucketing into a structured error instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistogramError {
+    /// No bucket bounds were supplied.
+    EmptyBounds,
+    /// `bounds[index - 1] >= bounds[index]`: unsorted or duplicate bounds.
+    NotStrictlyIncreasing {
+        /// Index of the offending bound.
+        index: usize,
+        /// The preceding bound.
+        prev: u64,
+        /// The bound that failed to exceed it.
+        next: u64,
+    },
+    /// `counts.len() != bounds.len() + 1` in [`Histogram::try_from_parts`].
+    CountsLength {
+        /// `bounds.len() + 1`.
+        expected: usize,
+        /// What was supplied.
+        got: usize,
+    },
+    /// A JSON document handed to [`Histogram::from_json`] did not have the
+    /// `{"bounds":[…],"counts":[…]}` shape.
+    Malformed(String),
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::EmptyBounds => {
+                write!(f, "histogram needs at least one bucket bound")
+            }
+            HistogramError::NotStrictlyIncreasing { index, prev, next } => write!(
+                f,
+                "bounds must be strictly increasing \
+                 (bounds[{}]={prev} >= bounds[{index}]={next})",
+                index - 1
+            ),
+            HistogramError::CountsLength { expected, got } => write!(
+                f,
+                "need bounds.len() + 1 counts (expected {expected}, got {got})"
+            ),
+            HistogramError::Malformed(what) => write!(f, "malformed histogram JSON: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
 
 /// A histogram over fixed, caller-chosen bucket upper bounds.
 ///
@@ -34,16 +86,28 @@ impl Histogram {
     ///
     /// Panics if `bounds` is empty or not strictly increasing.
     pub fn new(bounds: Vec<u64>) -> Histogram {
-        assert!(
-            !bounds.is_empty(),
-            "histogram needs at least one bucket bound"
-        );
-        assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
-            "bounds must be strictly increasing"
-        );
+        match Histogram::try_new(bounds) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Histogram::new`]: validates the bounds and names exactly
+    /// what is wrong instead of panicking — the constructor for bounds that
+    /// arrive from outside the process (JSON import, config files).
+    pub fn try_new(bounds: Vec<u64>) -> Result<Histogram, HistogramError> {
+        if bounds.is_empty() {
+            return Err(HistogramError::EmptyBounds);
+        }
+        if let Some(index) = (1..bounds.len()).find(|&i| bounds[i - 1] >= bounds[i]) {
+            return Err(HistogramError::NotStrictlyIncreasing {
+                index,
+                prev: bounds[index - 1],
+                next: bounds[index],
+            });
+        }
         let counts = vec![0; bounds.len() + 1];
-        Histogram { bounds, counts }
+        Ok(Histogram { bounds, counts })
     }
 
     /// Power-of-two bounds `1, 2, 4, … , 2^max_exp` — the shape used for
@@ -59,10 +123,45 @@ impl Histogram {
     /// Panics on the same bound conditions as [`Histogram::new`] or if
     /// `counts.len() != bounds.len() + 1`.
     pub fn from_parts(bounds: Vec<u64>, counts: Vec<u64>) -> Histogram {
-        let mut h = Histogram::new(bounds);
-        assert_eq!(counts.len(), h.counts.len(), "need bounds.len() + 1 counts");
+        match Histogram::try_from_parts(bounds, counts) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Histogram::from_parts`] (see [`Histogram::try_new`]).
+    pub fn try_from_parts(bounds: Vec<u64>, counts: Vec<u64>) -> Result<Histogram, HistogramError> {
+        let mut h = Histogram::try_new(bounds)?;
+        if counts.len() != h.counts.len() {
+            return Err(HistogramError::CountsLength {
+                expected: h.counts.len(),
+                got: counts.len(),
+            });
+        }
         h.counts = counts;
-        h
+        Ok(h)
+    }
+
+    /// Rebuilds a histogram from its [`Histogram::to_json`] form (a parsed
+    /// `{"bounds":[…],"counts":[…]}` object), validating shape and bounds.
+    pub fn from_json(value: &crate::json::Json) -> Result<Histogram, HistogramError> {
+        let array_of_u64 = |key: &str| -> Result<Vec<u64>, HistogramError> {
+            let array = value
+                .get(key)
+                .and_then(crate::json::Json::as_array)
+                .ok_or_else(|| HistogramError::Malformed(format!("{key:?} must be an array")))?;
+            array
+                .iter()
+                .map(|v| {
+                    v.as_u64().ok_or_else(|| {
+                        HistogramError::Malformed(format!(
+                            "{key:?} entries must be non-negative integers"
+                        ))
+                    })
+                })
+                .collect()
+        };
+        Histogram::try_from_parts(array_of_u64("bounds")?, array_of_u64("counts")?)
     }
 
     /// Records one value.
@@ -84,6 +183,31 @@ impl Histogram {
     /// Total recorded values.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the inclusive upper bound of the
+    /// bucket holding the `ceil(q * total)`-th smallest sample.
+    ///
+    /// Returns `None` for an empty histogram, and `u64::MAX` when the
+    /// quantile falls in the overflow bucket (the sample exceeded every
+    /// bound, so only "bigger than the last bound" is known). The result is
+    /// an upper bound on the true quantile — exact to the bucket
+    /// resolution, which for the log2 presets means within 2x.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        // counts sum to total and rank <= total, so the loop always returns.
+        unreachable!("quantile rank exceeds recorded total")
     }
 
     /// Folds another histogram's buckets into this one (shard/job merging).
@@ -305,6 +429,115 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_bounds_rejected() {
         Histogram::new(Vec::new());
+    }
+
+    #[test]
+    fn try_new_reports_structured_errors() {
+        assert_eq!(
+            Histogram::try_new(Vec::new()),
+            Err(HistogramError::EmptyBounds)
+        );
+        // Unsorted and duplicate bounds name the offending pair.
+        assert_eq!(
+            Histogram::try_new(vec![1, 4, 2]),
+            Err(HistogramError::NotStrictlyIncreasing {
+                index: 2,
+                prev: 4,
+                next: 2
+            })
+        );
+        assert_eq!(
+            Histogram::try_new(vec![3, 3]),
+            Err(HistogramError::NotStrictlyIncreasing {
+                index: 1,
+                prev: 3,
+                next: 3
+            })
+        );
+        assert_eq!(
+            Histogram::try_from_parts(vec![1, 2], vec![0, 0]),
+            Err(HistogramError::CountsLength {
+                expected: 3,
+                got: 2
+            })
+        );
+        let message = Histogram::try_new(vec![4, 2]).unwrap_err().to_string();
+        assert!(message.contains("strictly increasing"), "{message}");
+        assert!(message.contains("bounds[0]=4"), "{message}");
+    }
+
+    #[test]
+    fn histogram_json_round_trip_validates_on_import() {
+        let mut h = Histogram::new(vec![2, 8]);
+        for v in [1, 5, 100] {
+            h.record(v);
+        }
+        let parsed = crate::json::parse(&h.to_json()).unwrap();
+        assert_eq!(Histogram::from_json(&parsed).unwrap(), h);
+
+        // Structured errors, not panics, on bad wire data.
+        let bad_bounds = crate::json::parse(r#"{"bounds":[8,2],"counts":[0,0,0]}"#).unwrap();
+        assert!(matches!(
+            Histogram::from_json(&bad_bounds),
+            Err(HistogramError::NotStrictlyIncreasing { .. })
+        ));
+        let bad_shape = crate::json::parse(r#"{"bounds":[1]}"#).unwrap();
+        assert!(matches!(
+            Histogram::from_json(&bad_shape),
+            Err(HistogramError::Malformed(_))
+        ));
+        let bad_counts = crate::json::parse(r#"{"bounds":[1],"counts":[0]}"#).unwrap();
+        assert!(matches!(
+            Histogram::from_json(&bad_counts),
+            Err(HistogramError::CountsLength { .. })
+        ));
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        let h = Histogram::new(vec![1, 2, 4]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.999), None);
+    }
+
+    #[test]
+    fn quantile_single_bucket() {
+        // Every sample in one bucket: every quantile is that bucket's bound.
+        let mut h = Histogram::new(vec![10]);
+        for v in [1, 2, 3] {
+            h.record(v);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(10), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_counts() {
+        let mut h = Histogram::new(vec![1, 2, 4, 8]);
+        for v in [1u64, 1, 2, 2, 2, 4, 4, 4, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1)); // rank clamps to the 1st sample
+        assert_eq!(h.quantile(0.2), Some(1));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.9), Some(4));
+        assert_eq!(h.quantile(1.0), Some(8));
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_is_u64_max() {
+        // A u64::MAX sample exceeds every bound; quantiles landing on it can
+        // only honestly report "bigger than the last bound".
+        let mut h = Histogram::pow2(4);
+        h.record(3);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.5), Some(4));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        // All-overflow histogram: every quantile is the overflow marker.
+        let mut all_over = Histogram::new(vec![1]);
+        all_over.record(u64::MAX);
+        assert_eq!(all_over.quantile(0.5), Some(u64::MAX));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! dynex-serve [--host ADDR] [--port N] [--jobs N] [--queue N] [--cache N]
 //!             [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE]
+//!             [--trace-out FILE]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0` — an ephemeral port, printed on stdout),
@@ -17,6 +18,11 @@
 //! `--warm-journal` points at a `simcache --resume` / `experiments
 //! --resume` journal: checkpointed results pre-populate the result cache
 //! and fresh results are appended, so service restarts never recompute.
+//!
+//! `--trace-out FILE` streams every span the service closes as JSONL —
+//! one `{"trace":…,"span":…,"parent":…,"stage":…,"start_us":…,"dur_us":…}`
+//! line per span. The trace id echoed in each response's `X-Dynex-Trace`
+//! header (and in JSON error bodies) keys into this stream.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -26,7 +32,7 @@ use dynex_serve::{ServeConfig, Server};
 fn usage() {
     eprintln!(
         "usage: dynex-serve [--host ADDR] [--port N] [--jobs N] [--queue N] [--cache N] \
-         [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE]"
+         [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE] [--trace-out FILE]"
     );
     eprintln!();
     eprintln!("  --host ADDR           interface to bind (default 127.0.0.1)");
@@ -39,10 +45,12 @@ fn usage() {
     eprintln!(
         "  --warm-journal FILE   warm the cache from a --resume journal; append fresh results"
     );
+    eprintln!("  --trace-out FILE      stream closed spans as JSONL (request → kernel chunk)");
 }
 
-fn parse_args() -> Result<Option<ServeConfig>, String> {
+fn parse_args() -> Result<Option<(ServeConfig, Option<String>)>, String> {
     let mut config = ServeConfig::default();
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -95,16 +103,27 @@ fn parse_args() -> Result<Option<ServeConfig>, String> {
             "--warm-journal" => {
                 config.warm_journal = Some(value_of("--warm-journal")?.into());
             }
+            "--trace-out" => trace_out = Some(value_of("--trace-out")?),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(Some(config))
+    Ok(Some((config, trace_out)))
 }
 
 fn main() -> ExitCode {
     let config = match parse_args() {
-        Ok(Some(config)) => config,
+        Ok(Some((config, trace_out))) => {
+            if let Some(path) = trace_out {
+                // Installed before the server boots so even startup-adjacent
+                // spans land in the stream.
+                if let Err(e) = dynex_obs::span::install_jsonl_path(&path) {
+                    eprintln!("error: cannot open --trace-out {path:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            config
+        }
         Ok(None) => {
             usage();
             return ExitCode::SUCCESS;
@@ -133,6 +152,8 @@ fn main() -> ExitCode {
     let _ = std::io::stdout().flush();
 
     server.join();
+    // Drop (and flush) any --trace-out stream before exiting.
+    dynex_obs::span::take_jsonl_writer();
     eprintln!("dynex-serve drained, exiting");
     ExitCode::SUCCESS
 }

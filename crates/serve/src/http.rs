@@ -124,11 +124,37 @@ pub fn reason(status: u16) -> &'static str {
 
 /// Writes one JSON response and flushes; the connection is then closed.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_headed_response(stream, status, body, None)
+}
+
+/// [`write_response`] stamped with the request's trace id: every routed
+/// response carries `X-Dynex-Trace: <16 hex digits>` so a client can quote
+/// the id when correlating against a `--trace-out` span stream.
+pub fn write_response_traced(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    trace_id: u64,
+) -> std::io::Result<()> {
+    let header = format!(
+        "X-Dynex-Trace: {}\r\n",
+        dynex_obs::span::trace_hex(trace_id)
+    );
+    write_headed_response(stream, status, body, Some(&header))
+}
+
+fn write_headed_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra_header: Option<&str>,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
         status,
         reason(status),
-        body.len()
+        body.len(),
+        extra_header.unwrap_or("")
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;

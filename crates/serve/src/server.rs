@@ -26,17 +26,30 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dynex_engine::{default_jobs, execute_resilient, JobFailure, Journal, Resilience};
 use dynex_experiments::api::{self, LoadedTrace, SimulationRequest, SimulationResponse};
 use dynex_obs::json;
+use dynex_obs::span::{self, SpanCtx};
 use dynex_obs::MetricsRegistry;
 
-use crate::http::{read_request, write_response, HttpRequest};
+use crate::http::{read_request, write_response, write_response_traced, HttpRequest};
 use crate::lru::LruCache;
+
+/// Locks `mutex`, recovering the guard when a previous holder panicked.
+///
+/// Every structure behind the service's shared locks survives a panicking
+/// holder intact — counters, the LRU map, the flight map, and the journal
+/// handle are each updated with operations that either complete or leave
+/// the value untouched — so recovering from poison is strictly better than
+/// letting one panicked connection handler wedge `/metrics`, the result
+/// cache, and graceful drain for the whole process.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Largest number of queued requests folded into one engine plan.
 const MAX_BATCH: usize = 64;
@@ -174,6 +187,10 @@ struct SimJob {
     trace: LoadedTrace,
     flight: Arc<Flight>,
     deadline: Option<Duration>,
+    /// The leader's request span, so the simulate span executed on a pool
+    /// worker thread still parents into the originating trace. `None` below
+    /// [`dynex_obs::TraceLevel::Full`].
+    ctx: Option<SpanCtx>,
 }
 
 /// State shared between the acceptor, handlers, and the dispatcher.
@@ -193,8 +210,18 @@ struct State {
 
 impl State {
     fn count(&self, name: &str) {
-        self.metrics.lock().expect("metrics lock").add(name, 1);
+        lock_or_recover(&self.metrics).add(name, 1);
     }
+}
+
+/// One `{"error":…}` body, stamped with the request's trace id so a client
+/// can correlate a failure against a `--trace-out` span stream.
+fn error_body(message: &str, trace_id: u64) -> String {
+    format!(
+        r#"{{"error":"{}","trace_id":"{}"}}"#,
+        json::escape(message),
+        span::trace_hex(trace_id)
+    )
 }
 
 /// Decrements the live-handler count when a handler thread exits (however
@@ -205,7 +232,7 @@ struct HandlerGuard(Arc<State>);
 impl Drop for HandlerGuard {
     fn drop(&mut self) {
         let (count, woken) = &self.0.handlers;
-        let mut count = count.lock().expect("handler count lock");
+        let mut count = lock_or_recover(count);
         *count -= 1;
         if *count == 0 {
             woken.notify_all();
@@ -227,6 +254,11 @@ pub struct Server {
 impl Server {
     /// Binds the socket, warms the cache, and spawns the service threads.
     pub fn start(config: ServeConfig) -> Result<Server, ServeError> {
+        // Per-stage latency histograms are part of the service's metrics
+        // contract, so the tracing layer runs at least at Latency level for
+        // the life of the process. A pre-installed JSONL sink (the binary's
+        // `--trace-out`) keeps the level at Full.
+        span::enable_latency();
         let listener =
             TcpListener::bind((config.host.as_str(), config.port)).map_err(ServeError::Bind)?;
         let addr = listener.local_addr().map_err(ServeError::Bind)?;
@@ -322,11 +354,7 @@ impl Server {
 
     /// Reads one metrics counter (e.g. `"sims-executed"`).
     pub fn counter(&self, name: &str) -> u64 {
-        self.state
-            .metrics
-            .lock()
-            .expect("metrics lock")
-            .counter(name)
+        lock_or_recover(&self.state.metrics).counter(name)
     }
 
     /// Starts a graceful drain: stop accepting, finish queued and in-flight
@@ -346,16 +374,16 @@ impl Server {
         // Wait for in-flight handler threads (they may still be enqueueing
         // or awaiting flights).
         let (count, woken) = &self.state.handlers;
-        let mut count = count.lock().expect("handler count lock");
+        let mut count = lock_or_recover(count);
         while *count > 0 {
-            count = woken.wait(count).expect("handler count lock");
+            count = woken.wait(count).unwrap_or_else(PoisonError::into_inner);
         }
         drop(count);
         // Hang up the queue: the dispatcher drains what is left and exits.
-        self.state.queue.lock().expect("queue lock").take();
+        lock_or_recover(&self.state.queue).take();
         self.dispatcher.join().expect("dispatcher thread");
         // Close (flush) the journal.
-        self.state.journal.lock().expect("journal lock").take();
+        lock_or_recover(&self.state.journal).take();
     }
 }
 
@@ -392,12 +420,13 @@ fn acceptor(state: Arc<State>, listener: TcpListener) {
             }
             return;
         }
+        let accepted = Instant::now();
         let (count, _) = &state.handlers;
-        *count.lock().expect("handler count lock") += 1;
+        *lock_or_recover(count) += 1;
         let state = Arc::clone(&state);
         std::thread::spawn(move || {
             let _guard = HandlerGuard(Arc::clone(&state));
-            handle_connection(&state, stream);
+            handle_connection(&state, stream, accepted);
         });
     }
 }
@@ -408,24 +437,35 @@ fn refuse(mut stream: TcpStream) {
 }
 
 /// Serves one connection: parse, route, respond, close.
-fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
+///
+/// `accepted` is when the acceptor pulled the connection off the listen
+/// socket; the gap to here (thread spawn + scheduling) is the `accept`
+/// stage. Every routed response carries the request's trace id in an
+/// `X-Dynex-Trace` header; error bodies repeat it as a `"trace_id"` field.
+/// Success bodies do *not* — they stay byte-identical to the engine's
+/// deterministic output regardless of tracing.
+fn handle_connection(state: &Arc<State>, mut stream: TcpStream, accepted: Instant) {
+    let trace_id = span::fresh_trace_id();
+    let _request = span::root_span("request", trace_id);
+    span::record_stage("accept", accepted.elapsed());
     // A stalled client must not wedge graceful drain forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let request = match read_request(&mut stream) {
         Ok(request) => request,
         Err(message) => {
-            let body = format!(r#"{{"error":"{}"}}"#, json::escape(&message));
-            let _ = write_response(&mut stream, 400, &body);
+            let _ =
+                write_response_traced(&mut stream, 400, &error_body(&message, trace_id), trace_id);
             return;
         }
     };
     state.count("requests-total");
-    let (status, body) = route(state, &request);
-    let _ = write_response(&mut stream, status, &body);
+    let (status, body) = route(state, &request, trace_id);
+    let _respond = span::span("respond");
+    let _ = write_response_traced(&mut stream, status, &body, trace_id);
 }
 
 /// Maps a parsed request to `(status, JSON body)`.
-fn route(state: &Arc<State>, request: &HttpRequest) -> (u16, String) {
+fn route(state: &Arc<State>, request: &HttpRequest, trace_id: u64) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             let status = if state.draining.load(Ordering::SeqCst) {
@@ -435,29 +475,41 @@ fn route(state: &Arc<State>, request: &HttpRequest) -> (u16, String) {
             };
             (200, format!(r#"{{"status":"{status}"}}"#))
         }
-        ("GET", "/metrics") => {
-            let mut snapshot = MetricsRegistry::new();
-            snapshot.merge(&state.metrics.lock().expect("metrics lock"));
-            (200, dynex_obs::export::metrics_json(&snapshot, None))
-        }
+        ("GET", "/metrics") => (200, metrics_body(state)),
         ("POST", "/shutdown") => {
             initiate_drain(state, state.listen_addr);
             (200, r#"{"status":"draining"}"#.to_owned())
         }
-        ("POST", "/simulate") => handle_simulate(state, &request.body),
+        ("POST", "/simulate") => handle_simulate(state, &request.body, trace_id),
         (_, "/healthz" | "/metrics" | "/shutdown" | "/simulate") => (
             405,
-            format!(
-                r#"{{"error":"method {} not allowed on {}"}}"#,
-                json::escape(&request.method),
-                json::escape(&request.path)
+            error_body(
+                &format!("method {} not allowed on {}", request.method, request.path),
+                trace_id,
             ),
         ),
-        (_, path) => (
-            404,
-            format!(r#"{{"error":"no route for {}"}}"#, json::escape(path)),
-        ),
+        (_, path) => (404, error_body(&format!("no route for {path}"), trace_id)),
     }
+}
+
+/// Builds the `/metrics` body: service counters, plus the tracing layer's
+/// per-stage latency histograms (as `latency-us/<stage>`) and a
+/// `latency_summary` block with p50/p90/p99/p999 per stage.
+fn metrics_body(state: &Arc<State>) -> String {
+    let mut snapshot = MetricsRegistry::new();
+    snapshot.merge(&lock_or_recover(&state.metrics));
+    let latency = span::latency_snapshot();
+    for (stage, stats) in &latency {
+        snapshot.put_histogram(&format!("latency-us/{stage}"), stats.histogram.clone());
+    }
+    let mut body = dynex_obs::export::metrics_json(&snapshot, None);
+    // Splice the summary block in before the closing brace, the same way
+    // `metrics_json` itself splices the interval series.
+    body.pop();
+    body.push_str(",\"latency_summary\":");
+    body.push_str(&span::summary_json(&latency));
+    body.push('}');
+    body
 }
 
 /// What a simulate handler decided to do under the single-flight lock.
@@ -471,34 +523,24 @@ enum Claim {
 }
 
 /// The `/simulate` endpoint.
-fn handle_simulate(state: &Arc<State>, body: &str) -> (u16, String) {
+fn handle_simulate(state: &Arc<State>, body: &str, trace_id: u64) -> (u16, String) {
+    // Captured before any child span opens, so the dispatcher-side simulate
+    // span parents directly into this request's root span.
+    let root_ctx = span::current();
+    let parse = span::span("parse");
     let request = match SimulationRequest::from_json(body) {
         Ok(request) => request,
-        Err(e) => {
-            return (
-                400,
-                format!(r#"{{"error":"{}"}}"#, json::escape(&e.to_string())),
-            )
-        }
+        Err(e) => return (400, error_body(&e.to_string(), trace_id)),
     };
     let trace = match api::load(&request) {
         Ok(trace) => trace,
-        Err(e) => {
-            return (
-                400,
-                format!(r#"{{"error":"{}"}}"#, json::escape(&e.to_string())),
-            )
-        }
+        Err(e) => return (400, error_body(&e.to_string(), trace_id)),
     };
     let key = match request.content_key(&trace.addrs) {
         Ok(key) => key,
-        Err(e) => {
-            return (
-                500,
-                format!(r#"{{"error":"{}"}}"#, json::escape(&e.to_string())),
-            )
-        }
+        Err(e) => return (500, error_body(&e.to_string(), trace_id)),
     };
+    drop(parse);
     let deadline = request
         .deadline_ms
         .map(Duration::from_millis)
@@ -508,8 +550,9 @@ fn handle_simulate(state: &Arc<State>, body: &str) -> (u16, String) {
     // so the dispatcher's completion order (cache insert, then flight
     // removal) leaves no window where a finished key is in neither place.
     let claim = {
-        let mut flights = state.flights.lock().expect("flights lock");
-        let mut cache = state.cache.lock().expect("cache lock");
+        let _lookup = span::span("cache-lookup");
+        let mut flights = lock_or_recover(&state.flights);
+        let mut cache = lock_or_recover(&state.cache);
         if let Some(found) = cache.get(&key) {
             let mut response = found.clone();
             response.cached = true;
@@ -533,13 +576,14 @@ fn handle_simulate(state: &Arc<State>, body: &str) -> (u16, String) {
             flight
         }
         Claim::Lead(flight) => {
-            let sender = state.queue.lock().expect("queue lock").clone();
+            let sender = lock_or_recover(&state.queue).clone();
             let job = SimJob {
                 key: key.clone(),
                 request,
                 trace,
                 flight: Arc::clone(&flight),
                 deadline,
+                ctx: root_ctx,
             };
             let enqueue = match sender {
                 Some(sender) => sender.try_send(job).map_err(|e| match e {
@@ -553,14 +597,11 @@ fn handle_simulate(state: &Arc<State>, body: &str) -> (u16, String) {
                 // withdrawing it — an unfilled flight with no deadline
                 // would park them forever.
                 flight.fill(Err(FlightError::Rejected(status, message.to_owned())));
-                state.flights.lock().expect("flights lock").remove(&key);
+                lock_or_recover(&state.flights).remove(&key);
                 if status == 429 {
                     state.count("rejected-429");
                 }
-                return (
-                    status,
-                    format!(r#"{{"error":"{}"}}"#, json::escape(message)),
-                );
+                return (status, error_body(message, trace_id));
             }
             // Post-enqueue marker: tests poll this to know a job is
             // *waiting* in the queue (vs started, vs merely requested).
@@ -569,23 +610,23 @@ fn handle_simulate(state: &Arc<State>, body: &str) -> (u16, String) {
         }
     };
 
-    match flight.wait(deadline) {
+    let waited = {
+        let _wait = span::span("queue-wait");
+        flight.wait(deadline)
+    };
+    match waited {
         Ok(Ok(response)) => (200, response.to_json()),
-        Ok(Err(FlightError::TimedOut(message))) => {
-            (504, format!(r#"{{"error":"{}"}}"#, json::escape(&message)))
-        }
-        Ok(Err(FlightError::Failed(message))) => {
-            (500, format!(r#"{{"error":"{}"}}"#, json::escape(&message)))
-        }
-        Ok(Err(FlightError::Rejected(status, message))) => (
-            status,
-            format!(r#"{{"error":"{}"}}"#, json::escape(&message)),
-        ),
+        Ok(Err(FlightError::TimedOut(message))) => (504, error_body(&message, trace_id)),
+        Ok(Err(FlightError::Failed(message))) => (500, error_body(&message, trace_id)),
+        Ok(Err(FlightError::Rejected(status, message))) => (status, error_body(&message, trace_id)),
         Err(limit) => (
             504,
-            format!(
-                r#"{{"error":"deadline of {}ms exceeded awaiting the result"}}"#,
-                limit.as_millis()
+            error_body(
+                &format!(
+                    "deadline of {}ms exceeded awaiting the result",
+                    limit.as_millis()
+                ),
+                trace_id,
             ),
         ),
     }
@@ -625,17 +666,16 @@ fn dispatcher(
                 }
             }
         }
+        // The dispatch span is its own root: one batch can carry jobs from
+        // several request traces, so it cannot parent into any one of them.
+        let _dispatch = span::span("dispatch");
         execute_batch(&state, batch, jobs, sim_delay);
     }
 }
 
 /// Runs one batch on the resilient pool and publishes every slot.
 fn execute_batch(state: &Arc<State>, batch: Vec<SimJob>, jobs: usize, sim_delay: Duration) {
-    state
-        .metrics
-        .lock()
-        .expect("metrics lock")
-        .add("sims-executed", batch.len() as u64);
+    lock_or_recover(&state.metrics).add("sims-executed", batch.len() as u64);
 
     // The engine watchdog is per-job but configured per-plan: use the
     // longest deadline in the batch so no job is reaped earlier than its
@@ -655,6 +695,11 @@ fn execute_batch(state: &Arc<State>, batch: Vec<SimJob>, jobs: usize, sim_delay:
     let items = Arc::new(batch);
     let sim_state = Arc::clone(state);
     let outcome = execute_resilient(Arc::clone(&items), jobs, resilience, move |job: &SimJob| {
+        // Re-enter the leader's request trace on this pool thread so the
+        // simulate span (and the kernel chunk spans beneath it) parent into
+        // the originating request, not into the dispatch root.
+        let _ctx = job.ctx.map(span::enter);
+        let _simulate = span::span("simulate");
         sim_state.count("sims-started");
         if !sim_delay.is_zero() {
             std::thread::sleep(sim_delay);
@@ -675,12 +720,8 @@ fn execute_batch(state: &Arc<State>, batch: Vec<SimJob>, jobs: usize, sim_delay:
             Ok(response) => {
                 // Publish order matters: cache first, then drop the flight
                 // (see the claim logic in `handle_simulate`).
-                state
-                    .cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(&job.key, response.clone());
-                if let Some(journal) = state.journal.lock().expect("journal lock").as_mut() {
+                lock_or_recover(&state.cache).insert(&job.key, response.clone());
+                if let Some(journal) = lock_or_recover(&state.journal).as_mut() {
                     let value =
                         api::result_to_journal(&response.label, response.stats, response.de);
                     if let Err(e) = journal.record(&job.key, &value) {
@@ -694,7 +735,7 @@ fn execute_batch(state: &Arc<State>, batch: Vec<SimJob>, jobs: usize, sim_delay:
             // that reached the dispatcher was never rejected.
             Err(FlightError::Rejected(..)) => unreachable!("rejected jobs are never dispatched"),
         }
-        state.flights.lock().expect("flights lock").remove(&job.key);
+        lock_or_recover(&state.flights).remove(&job.key);
         job.flight.fill(result);
     }
 }

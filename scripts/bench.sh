@@ -4,6 +4,7 @@
 #   scripts/bench.sh            # all sections
 #   scripts/bench.sh pr2        # engine scaling only  -> results/BENCH_PR2.json
 #   scripts/bench.sh pr4        # batch kernel only    -> results/BENCH_PR4.json
+#   scripts/bench.sh pr6        # tracing overhead     -> results/BENCH_PR6.json
 #
 # Environment knobs:
 #   DYNEX_BENCH_JOBS=8          worker count for the parallel runs
@@ -17,6 +18,9 @@
 #   pr4  batch kernel: reference vs batch refs-per-second on dm/de/opt single
 #        traces and on a full figure sweep (fused triple), both at jobs=1 so
 #        the kernel, not the pool, is the measured variable
+#   pr6  tracing overhead: the fused batch kernel with tracing off vs a full
+#        --trace-out span stream on the same trace (outputs diffed for
+#        bit-identity), plus the span_report.sh self-profile of the stream
 #
 # Every timed pair also diffs its outputs: the benchmarks double as
 # determinism/bit-identity checks, so a silent divergence fails the script.
@@ -27,8 +31,8 @@ cd "$(dirname "$0")/.."
 
 SECTION=${1:-all}
 case "$SECTION" in
-    pr2|pr4|all) ;;
-    *) echo "usage: scripts/bench.sh [pr2|pr4|all]" >&2; exit 2 ;;
+    pr2|pr4|pr6|all) ;;
+    *) echo "usage: scripts/bench.sh [pr2|pr4|pr6|all]" >&2; exit 2 ;;
 esac
 
 CORES=$(nproc 2>/dev/null || echo 1)
@@ -192,8 +196,73 @@ EOF
     cat "$out"
 }
 
+# ---------------------------------------------------------------------------
+# pr6: tracing overhead (fused batch kernel, tracing off vs --trace-out)
+# ---------------------------------------------------------------------------
+bench_pr6() {
+    local out="$OUT_DIR/BENCH_PR6.json"
+    gcc_trace
+
+    echo "==> [pr6] single trace ($TRACE_REFS refs, 32K de batch): untraced vs --trace-out"
+    # Untimed warmup: the first reader of the freshly written trace pays the
+    # page-cache fill (~seconds for the 10M-ref file), which would otherwise
+    # land entirely on the untraced side of the timed pair.
+    "$SIMCACHE" "$GCC_TRACE" --size 32K --org de --kernel batch --jobs 1 >/dev/null 2>&1
+    run_kernel de batch "de-untraced"
+    local s_off=$KERNEL_SECS r_off=$KERNEL_RATE
+
+    local spans="$TMP/pr6-spans.jsonl" t0 t1
+    t0=$(now)
+    "$SIMCACHE" "$GCC_TRACE" --size 32K --org de --kernel batch --jobs 1 \
+        --trace-out "$spans" >"$TMP/de-traced.txt" 2>"$TMP/de-traced.err"
+    t1=$(now)
+    local s_on; s_on=$(elapsed "$t0" "$t1")
+    local r_on; r_on=$(awk '/^sim:/ { gsub(/[()]/, ""); print $(NF-1) }' "$TMP/de-traced.err")
+    [ -n "$r_on" ] || { echo "bench: no sim: line in traced stderr" >&2; exit 1; }
+
+    # Bit-identity: tracing must not change a single output byte.
+    diff "$TMP/de-untraced.txt" "$TMP/de-traced.txt" >/dev/null \
+        || { echo "bench: output differs between untraced and traced runs" >&2; exit 1; }
+    [ -s "$spans" ] || { echo "bench: --trace-out produced no spans" >&2; exit 1; }
+    grep -q '"stage":"kernel.simulate"' "$spans" \
+        || { echo "bench: span stream has no kernel.simulate spans" >&2; exit 1; }
+
+    # Overhead of the *fully traced* run in percent (negative = traced run
+    # measured faster; noise on short runs). The <2% acceptance bound applies
+    # to the untraced path vs PR 4, which this same r_off number records.
+    local overhead_pct
+    overhead_pct=$(awk -v off="$r_off" -v on="$r_on" \
+        'BEGIN { printf "%.2f", (off - on) * 100.0 / off }')
+
+    echo "==> [pr6] span_report.sh self-profile"
+    scripts/span_report.sh "$spans"
+    local profile_json
+    profile_json=$(scripts/span_report.sh --json "$spans")
+
+    cat >"$out" <<EOF
+{
+  "bench": "dynex tracing overhead (PR 6)",
+  "machine": { "cores": $CORES },
+  "single_trace": {
+    "trace": "gcc",
+    "accesses": $TRACE_REFS,
+    "config": "32K de, batch kernel, jobs=1",
+    "seconds_untraced": $s_off,
+    "seconds_traced": $s_on,
+    "refs_per_second_untraced": $r_off,
+    "refs_per_second_traced": $r_on,
+    "traced_overhead_percent": $overhead_pct
+  },
+  "span_profile": $profile_json
+}
+EOF
+    echo "bench: wrote $out"
+    cat "$out"
+}
+
 case "$SECTION" in
     pr2) bench_pr2 ;;
     pr4) bench_pr4 ;;
-    all) bench_pr2; bench_pr4 ;;
+    pr6) bench_pr6 ;;
+    all) bench_pr2; bench_pr4; bench_pr6 ;;
 esac

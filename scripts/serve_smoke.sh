@@ -5,6 +5,11 @@
 # a leaked handler or dispatcher thread would wedge the drain join and trip
 # the exit timeout. A does-it-serve gate, not a performance gate.
 #
+# Also exercises the PR 6 tracing surfaces: /metrics must report a non-empty
+# simulate latency histogram, and the --trace-out span stream must contain
+# the request and kernel stages. Set SMOKE_TRACE_OUT to keep the span JSONL
+# (CI uploads it as an artifact); default is a temp file.
+#
 #   scripts/serve_smoke.sh [path-to-dynex-serve]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,13 +18,15 @@ bin="${1:-target/release/dynex-serve}"
 [ -x "$bin" ] || { echo "serve smoke: $bin not built" >&2; exit 1; }
 
 log=$(mktemp)
+trace_out="${SMOKE_TRACE_OUT:-$(mktemp)}"
 cleanup() {
     rm -f "$log"
+    [ -z "${SMOKE_TRACE_OUT:-}" ] && rm -f "$trace_out"
     [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true
 }
 trap cleanup EXIT
 
-"$bin" --port 0 --batch-window-ms 0 >"$log" 2>/dev/null &
+"$bin" --port 0 --batch-window-ms 0 --trace-out "$trace_out" >"$log" 2>/dev/null &
 serve_pid=$!
 
 port=""
@@ -53,6 +60,18 @@ echo "$second" | grep -q '"cached":true' \
 metrics=$(roundtrip GET /metrics "")
 echo "$metrics" | grep -q '"sims-executed":1' \
     || { echo "serve smoke: expected exactly one simulation: $metrics" >&2; exit 1; }
+# PR 6: per-stage latency histograms and percentile summaries. The simulate
+# stage must have recorded at least one sample by now.
+echo "$metrics" | grep -q '"latency-us/simulate"' \
+    || { echo "serve smoke: /metrics has no simulate latency histogram: $metrics" >&2; exit 1; }
+echo "$metrics" | grep -q '"latency_summary"' \
+    || { echo "serve smoke: /metrics has no latency_summary block: $metrics" >&2; exit 1; }
+echo "$metrics" | sed -n 's/.*"latency_summary":{\(.*\)/\1/p' | grep -q '"simulate":{"count":[1-9]' \
+    || { echo "serve smoke: latency_summary has no simulate samples: $metrics" >&2; exit 1; }
+# Every routed response must echo its trace id.
+header_check=$(roundtrip GET /healthz "")
+echo "$header_check" | grep -qi 'X-Dynex-Trace: [0-9a-f]\{16\}' \
+    || { echo "serve smoke: response is missing the X-Dynex-Trace header" >&2; exit 1; }
 
 drain=$(roundtrip POST /shutdown "")
 echo "$drain" | grep -q '"status":"draining"' \
@@ -64,5 +83,12 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [ -z "$serve_pid" ] || { echo "serve smoke: server did not exit after drain" >&2; exit 1; }
+
+# The span stream must contain the request root and reach the kernel.
+[ -s "$trace_out" ] || { echo "serve smoke: --trace-out wrote no spans" >&2; exit 1; }
+grep -q '"stage":"request"' "$trace_out" \
+    || { echo "serve smoke: span stream has no request spans" >&2; exit 1; }
+grep -q '"stage":"kernel.simulate"' "$trace_out" \
+    || { echo "serve smoke: span stream has no kernel.simulate spans" >&2; exit 1; }
 
 echo "serve smoke: OK"

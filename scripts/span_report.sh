@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# span_report.sh — self-profile table from a --trace-out span stream.
+#
+#   scripts/span_report.sh spans.jsonl           # human-readable table
+#   scripts/span_report.sh --json spans.jsonl    # JSON object for embedding
+#
+# Reads the JSONL span lines dynex-serve / simcache / experiments write via
+# --trace-out ({"trace":…,"span":…,"parent":…,"stage":…,"start_us":…,
+# "dur_us":…}) and aggregates per stage: count, total time, and p99
+# (nearest-rank over the recorded durations). Pure sed/sort/awk — no
+# dependencies beyond POSIX userland, matching the repo's hermetic rule.
+set -euo pipefail
+
+mode=table
+if [ "${1:-}" = "--json" ]; then
+  mode=json
+  shift
+fi
+file="${1:-}"
+if [ -z "$file" ] || [ ! -f "$file" ]; then
+  echo "usage: $0 [--json] <spans.jsonl>" >&2
+  exit 2
+fi
+
+# One "stage dur_us" pair per span line; lines without both fields are
+# skipped (defensive: the stream may be mid-write on a live service).
+sed -n 's/.*"stage":"\([^"]*\)".*"dur_us":\([0-9][0-9]*\).*/\1 \2/p' "$file" |
+  sort -k1,1 -k2,2n |
+  awk -v mode="$mode" '
+    function flush() {
+      if (count == 0) return
+      p99 = durs[int((count * 99 + 99) / 100)]  # nearest-rank ceil(0.99 n)
+      if (mode == "json") {
+        printf "%s\"%s\":{\"count\":%d,\"total_us\":%d,\"p99_us\":%d}", \
+               sep, stage, count, total, p99
+        sep = ","
+      } else {
+        printf "%-24s %10d %14d %10d\n", stage, count, total, p99
+      }
+    }
+    BEGIN {
+      if (mode == "json") printf "{"
+      else printf "%-24s %10s %14s %10s\n", "stage", "count", "total_us", "p99_us"
+      sep = ""
+    }
+    {
+      if ($1 != stage) { flush(); stage = $1; count = 0; total = 0 }
+      durs[++count] = $2
+      total += $2
+    }
+    END { flush(); if (mode == "json") printf "}\n" }
+  '

@@ -382,6 +382,123 @@ fn graceful_shutdown_drains_in_flight_work() {
 }
 
 #[test]
+fn trace_out_reconstructs_the_request_span_tree() {
+    use std::sync::{Arc, Mutex};
+
+    /// Captures the JSONL span stream in memory (the writer installed into
+    /// the tracing layer is a clone sharing this buffer).
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    dynex_obs::span::install_jsonl_writer(Box::new(buf.clone()));
+
+    let server = start(ServeConfig {
+        batch_window: Duration::ZERO,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // Raw round-trip: the X-Dynex-Trace header is the key into the stream.
+    let body = request_body("64K");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /simulate HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    let trace_hex = raw
+        .lines()
+        .find_map(|line| line.strip_prefix("X-Dynex-Trace: "))
+        .expect("response carries the trace header")
+        .trim()
+        .to_owned();
+    assert_eq!(trace_hex.len(), 16, "16 hex digits: {trace_hex}");
+
+    server.shutdown();
+    server.join();
+    dynex_obs::span::take_jsonl_writer();
+
+    // Reconstruct this request's tree from the stream. Other tests in this
+    // process may interleave their own spans; the trace id isolates ours.
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("UTF-8 stream");
+    let needle = format!(r#""trace":"{trace_hex}""#);
+    let mut spans: Vec<(u64, u64, String)> = Vec::new(); // (id, parent, stage) in close order
+    for line in text.lines().filter(|l| l.contains(&needle)) {
+        let parsed = dynex_obs::json::parse(line).expect("span line parses");
+        let id = parsed
+            .get("span")
+            .and_then(|v| v.as_u64())
+            .expect("span id");
+        let parent = parsed
+            .get("parent")
+            .and_then(|v| v.as_u64())
+            .expect("parent id");
+        let stage = parsed
+            .get("stage")
+            .and_then(|v| v.as_str())
+            .expect("stage")
+            .to_owned();
+        spans.push((id, parent, stage));
+    }
+
+    // One root, and it is the request span.
+    let roots: Vec<_> = spans.iter().filter(|(_, parent, _)| *parent == 0).collect();
+    assert_eq!(roots.len(), 1, "one root span: {spans:?}");
+    assert_eq!(roots[0].2, "request");
+
+    // The tree reaches from the HTTP accept all the way into the kernel.
+    for stage in [
+        "accept",
+        "parse",
+        "cache-lookup",
+        "queue-wait",
+        "simulate",
+        "kernel.decode",
+        "kernel.simulate",
+        "respond",
+    ] {
+        assert!(
+            spans.iter().any(|(_, _, s)| s == stage),
+            "stage {stage} missing from the trace: {spans:?}"
+        );
+    }
+
+    // Ids are unique; every parent exists and closes after its children
+    // (so one forward pass over the stream reconstructs the tree).
+    let mut seen = std::collections::HashSet::new();
+    for (id, _, _) in &spans {
+        assert!(seen.insert(*id), "duplicate span id {id}");
+    }
+    for (index, (_, parent, stage)) in spans.iter().enumerate() {
+        if *parent == 0 {
+            continue;
+        }
+        let parent_index = spans
+            .iter()
+            .position(|(id, _, _)| id == parent)
+            .unwrap_or_else(|| panic!("span {stage} has unknown parent {parent}: {spans:?}"));
+        assert!(
+            parent_index > index,
+            "parent of {stage} closed before its child: {spans:?}"
+        );
+    }
+}
+
+#[test]
 fn request_round_trips_through_the_wire_format() {
     // The service accepts exactly what `SimulationRequest::to_json` emits —
     // an API client can parrot a canonicalized request back.
