@@ -136,6 +136,7 @@ pub struct Journal {
     file: File,
     entries: HashMap<String, Json>,
     dropped_lines: u64,
+    duplicate_keys: u64,
     replayed: u64,
 }
 
@@ -167,6 +168,7 @@ impl Journal {
 
         let mut entries = HashMap::new();
         let mut dropped_lines = 0u64;
+        let mut duplicate_keys = 0u64;
         for line in String::from_utf8_lossy(&data).lines() {
             if line.trim().is_empty() {
                 continue;
@@ -185,7 +187,16 @@ impl Journal {
                 record.get("value"),
             ) {
                 (Some(key), Some(value)) => {
-                    entries.insert(key.to_owned(), value.clone());
+                    // Dedup-on-replay guard: an append-only file legitimately
+                    // accumulates repeated keys (re-recorded results, two
+                    // runs racing on one journal before per-shard fan-out
+                    // existed). Replay keeps the *last* record per key — the
+                    // newest write — and counts the shadowed ones so bulk
+                    // consumers ([`Journal::entries`]) can never observe a
+                    // key twice.
+                    if entries.insert(key.to_owned(), value.clone()).is_some() {
+                        duplicate_keys += 1;
+                    }
                 }
                 _ => dropped_lines += 1,
             }
@@ -196,6 +207,7 @@ impl Journal {
             file,
             entries,
             dropped_lines,
+            duplicate_keys,
             replayed: 0,
         })
     }
@@ -220,14 +232,24 @@ impl Journal {
         self.dropped_lines
     }
 
+    /// Well-formed records that were shadowed by a later record with the
+    /// same key while loading (see the dedup-on-replay guard in
+    /// [`Journal::open`]). Zero on a journal that never re-recorded a key.
+    pub fn duplicate_keys(&self) -> u64 {
+        self.duplicate_keys
+    }
+
     /// Lookups served from the journal since it was opened.
     pub fn replayed(&self) -> u64 {
         self.replayed
     }
 
     /// Iterates over every `(key, value)` record currently held, in
-    /// unspecified order. Unlike [`Journal::lookup`] this does not count
-    /// toward [`Journal::replayed`] — it exists for bulk consumers (e.g.
+    /// unspecified order. Each key appears exactly once even when the
+    /// on-disk file holds repeated appends for it — replay keeps the last
+    /// record per key ([`Journal::duplicate_keys`] counts the shadowed
+    /// ones). Unlike [`Journal::lookup`] this does not count toward
+    /// [`Journal::replayed`] — it exists for bulk consumers (e.g.
     /// warm-starting a result cache from a journal at service boot).
     pub fn entries(&self) -> impl Iterator<Item = (&str, &Json)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v))
@@ -389,8 +411,41 @@ mod tests {
         }
         let mut j = Journal::open(&path).unwrap();
         assert_eq!(j.len(), 1);
+        assert_eq!(j.duplicate_keys(), 1);
         let v = j.lookup("k").unwrap();
         assert_eq!(v.get("v").and_then(Json::as_u64), Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn entries_never_yields_a_key_twice_even_with_raw_duplicate_lines() {
+        // Regression test for the dedup-on-replay guard: hand-write the
+        // JSONL (bypassing record()) the way an older run, a crashed
+        // re-record, or two processes appending to one file would leave it.
+        let path = temp_path("rawdup");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"key\":\"a\",\"value\":{\"v\":1}}\n",
+                "{\"key\":\"b\",\"value\":{\"v\":10}}\n",
+                "{\"key\":\"a\",\"value\":{\"v\":2}}\n",
+                "{\"key\":\"a\",\"value\":{\"v\":3}}\n",
+            ),
+        )
+        .unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.duplicate_keys(), 2);
+        assert_eq!(j.dropped_lines(), 0);
+        // entries() is the warm-boot path: each key exactly once, the last
+        // on-disk record winning.
+        let mut seen = std::collections::HashMap::new();
+        for (key, value) in j.entries() {
+            let prior = seen.insert(key.to_owned(), value.clone());
+            assert!(prior.is_none(), "entries() yielded key {key:?} twice");
+        }
+        assert_eq!(seen["a"].get("v").and_then(Json::as_u64), Some(3));
+        assert_eq!(seen["b"].get("v").and_then(Json::as_u64), Some(10));
         std::fs::remove_file(&path).ok();
     }
 

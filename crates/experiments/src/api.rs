@@ -53,6 +53,8 @@ use dynex_trace::{io as trace_io, Access, ReadPolicy, Trace};
 
 use crate::runner::{triple_lastline, Triple};
 
+pub mod mix;
+
 /// Version of the content-key schema. Bump this (and re-classify the
 /// fields) whenever a field moves between the covered and excluded sets —
 /// the old journal records then simply miss instead of colliding.
@@ -296,6 +298,60 @@ impl SimulationRequest {
             kinds_name(self.kinds),
             &format!("size={} line={}", self.size_bytes, self.line_bytes),
             &format!("{:016x}", trace_digest(addrs)),
+        ]))
+    }
+
+    /// A cheap shard-routing key over the request *description*, for
+    /// placing requests onto serve shards without decoding the trace.
+    ///
+    /// [`SimulationRequest::content_key`] is exact but needs the decoded
+    /// reference stream (the expensive part of a request); a router that
+    /// computed it would have to load every trace itself. The routing key
+    /// instead hashes the request fields that *determine* the content key —
+    /// the KEY_COVERED fields plus the inputs to the trace digest (trace
+    /// source, and refs / max_skipped where they can change the decoded
+    /// stream) — so two requests that are field-identical always share a
+    /// routing key and land on the same shard's result cache. Two requests
+    /// that *describe* the same content differently (say, a profile trace
+    /// and a file containing the identical stream) may route to different
+    /// shards; that costs one duplicate cache entry, never correctness.
+    ///
+    /// Fails loudly ([`ApiError::KeySchema`]) on an unclassified field,
+    /// exactly like [`SimulationRequest::content_key`], so a field added to
+    /// the request can never silently split or collide routing.
+    pub fn routing_key(&self) -> Result<String, ApiError> {
+        verify_key_schema(self)?;
+        // Normalize the digest-determining fields per trace source: refs is
+        // ignored when the stream comes from a file, and a lenient-read
+        // budget can only change the decoded stream of a file trace.
+        let (trace_part, refs_part, skipped_part) = match &self.trace {
+            TraceSource::Workloads => (
+                "trace=workloads".to_owned(),
+                format!("refs={}", self.refs),
+                "max_skipped=-".to_owned(),
+            ),
+            TraceSource::Profile(name) => (
+                format!("trace=profile:{name}"),
+                format!("refs={}", self.refs),
+                "max_skipped=-".to_owned(),
+            ),
+            TraceSource::Path(path) => (
+                format!("trace=path:{}", path.display()),
+                "refs=file".to_owned(),
+                match self.max_skipped {
+                    Some(n) => format!("max_skipped={n}"),
+                    None => "max_skipped=-".to_owned(),
+                },
+            ),
+        };
+        Ok(job_key(&[
+            "route/v1",
+            self.org.name(),
+            kinds_name(self.kinds),
+            &format!("size={} line={}", self.size_bytes, self.line_bytes),
+            &trace_part,
+            &refs_part,
+            &skipped_part,
         ]))
     }
 
@@ -1413,6 +1469,94 @@ mod tests {
             panic!("request serializes as an object");
         };
         assert_eq!(map.len(), n, "every field classified exactly once");
+    }
+
+    #[test]
+    fn routing_key_tracks_content_determinants_only() {
+        let build = |f: &dyn Fn(&mut RequestBuilder)| {
+            let mut b = SimulationRequest::builder();
+            b.org("de")
+                .size("64")
+                .line(4)
+                .jobs(1)
+                .profile("gcc")
+                .refs(50_000);
+            f(&mut b);
+            b.build().unwrap().routing_key().unwrap()
+        };
+        let base = build(&|_| {});
+        // Deterministic, and insensitive to every key-excluded field: the
+        // same content always routes to the same shard regardless of
+        // kernel choice, worker count, or deadline.
+        assert_eq!(base, build(&|_| {}));
+        assert_eq!(
+            base,
+            build(&|b| {
+                b.kernel("reference").jobs(4).deadline_ms(99);
+            })
+        );
+        // Sensitive to every content determinant.
+        assert_ne!(
+            base,
+            build(&|b| {
+                b.size("128");
+            })
+        );
+        assert_ne!(
+            base,
+            build(&|b| {
+                b.org("dm");
+            })
+        );
+        assert_ne!(
+            base,
+            build(&|b| {
+                b.kinds("instr");
+            })
+        );
+        assert_ne!(
+            base,
+            build(&|b| {
+                b.line(16);
+            })
+        );
+        assert_ne!(
+            base,
+            build(&|b| {
+                b.profile("li");
+            })
+        );
+        assert_ne!(
+            base,
+            build(&|b| {
+                b.refs(60_000);
+            })
+        );
+        // File traces: refs is ignored (the file fixes the stream) but the
+        // lenient-read budget is not (skips change the decoded stream).
+        let file = |f: &dyn Fn(&mut RequestBuilder)| {
+            let mut b = SimulationRequest::builder();
+            b.org("de")
+                .size("64")
+                .line(4)
+                .jobs(1)
+                .trace_path("/tmp/t.dxt");
+            f(&mut b);
+            b.build().unwrap().routing_key().unwrap()
+        };
+        let file_base = file(&|_| {});
+        assert_eq!(
+            file_base,
+            file(&|b| {
+                b.refs(123);
+            })
+        );
+        assert_ne!(
+            file_base,
+            file(&|b| {
+                b.lenient(5);
+            })
+        );
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! `dynex-load` — drive open-loop load at a dynex-serve target.
+//!
+//! ```text
+//! dynex-load --target ADDR [--rate R] [--duration-s S] [--senders K]
+//!            [--timeout-s T] [--seed N] [--duplicate-ratio F] [--pool N]
+//!            [--refs N] [--deadline-ms N] [--deadline-fraction F]
+//!            [--no-server-metrics] [--out FILE]
+//! ```
+//!
+//! Generates a seeded request mix, fires it at the target on a fixed
+//! open-loop schedule, prints a human summary on stderr, and writes the
+//! full `dynex-load/v1` JSON report to `--out` (stdout when omitted).
+//! Exits non-zero when the run could not execute, when no request
+//! completed, or when the client-vs-server cross-check fails — so scripts
+//! can trust a zero exit as "the numbers are real".
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dynex_load::{run, LoadConfig};
+
+fn usage() {
+    eprintln!(
+        "usage: dynex-load --target ADDR [--rate R] [--duration-s S] [--senders K] \
+         [--timeout-s T] [--seed N] [--duplicate-ratio F] [--pool N] [--refs N] \
+         [--deadline-ms N] [--deadline-fraction F] [--no-server-metrics] [--out FILE]"
+    );
+    eprintln!();
+    eprintln!("  --target ADDR         host:port of the dynex-serve server or router (required)");
+    eprintln!("  --rate R              open-loop arrival rate, req/s (default 50)");
+    eprintln!("  --duration-s S        schedule length in seconds (default 5)");
+    eprintln!("  --senders K           sender threads (default 4)");
+    eprintln!("  --timeout-s T         per-request timeout in seconds (default 30)");
+    eprintln!("  --seed N              request-mix seed (default 42)");
+    eprintln!(
+        "  --duplicate-ratio F   fraction of requests repeating an earlier one (default 0.5)"
+    );
+    eprintln!("  --pool N              distinct configurations in the mix (default 64)");
+    eprintln!("  --refs N              simulated references per request (default 100000)");
+    eprintln!("  --deadline-ms N       deadline carried by the deadline fraction (default 2000)");
+    eprintln!("  --deadline-fraction F fraction of requests carrying a deadline (default 0)");
+    eprintln!("  --no-server-metrics   skip the post-run /metrics fetch and cross-check");
+    eprintln!("  --out FILE            write the JSON report here (default: stdout)");
+}
+
+fn parse_args() -> Result<Option<(LoadConfig, Option<String>)>, String> {
+    let mut target: Option<SocketAddr> = None;
+    let mut out = None;
+    // Placeholder target; replaced below once --target is parsed.
+    let mut config = LoadConfig::new("127.0.0.1:0".parse().expect("literal addr"));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        // One parser shape per value kind, each naming the flag on failure.
+        let parse_f64 = |flag: &str, value: String| -> Result<f64, String> {
+            value
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or(format!("bad {flag} value {value:?}"))
+        };
+        match arg.as_str() {
+            "--target" => {
+                let value = value_of("--target")?;
+                target = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad --target value {value:?} (want host:port)"))?,
+                );
+            }
+            "--rate" => config.rate = parse_f64("--rate", value_of("--rate")?)?,
+            "--duration-s" => {
+                let secs = parse_f64("--duration-s", value_of("--duration-s")?)?;
+                if secs <= 0.0 {
+                    return Err(format!("bad --duration-s value {secs} (must be positive)"));
+                }
+                config.duration = Duration::from_secs_f64(secs);
+            }
+            "--senders" => {
+                let value = value_of("--senders")?;
+                config.senders = value
+                    .parse()
+                    .ok()
+                    .filter(|&v| v > 0)
+                    .ok_or(format!("bad --senders value {value:?}"))?;
+            }
+            "--timeout-s" => {
+                let secs = parse_f64("--timeout-s", value_of("--timeout-s")?)?;
+                if secs <= 0.0 {
+                    return Err(format!("bad --timeout-s value {secs} (must be positive)"));
+                }
+                config.timeout = Duration::from_secs_f64(secs);
+            }
+            "--seed" => {
+                let value = value_of("--seed")?;
+                config.mix.seed = value
+                    .parse()
+                    .map_err(|_| format!("bad --seed value {value:?}"))?;
+            }
+            "--duplicate-ratio" => {
+                config.mix.duplicate_ratio =
+                    parse_f64("--duplicate-ratio", value_of("--duplicate-ratio")?)?;
+            }
+            "--pool" => {
+                let value = value_of("--pool")?;
+                config.mix.pool = value
+                    .parse()
+                    .map_err(|_| format!("bad --pool value {value:?}"))?;
+            }
+            "--refs" => {
+                let value = value_of("--refs")?;
+                config.mix.refs = value
+                    .parse()
+                    .map_err(|_| format!("bad --refs value {value:?}"))?;
+            }
+            "--deadline-ms" => {
+                let value = value_of("--deadline-ms")?;
+                config.mix.deadline_ms = value
+                    .parse()
+                    .map_err(|_| format!("bad --deadline-ms value {value:?}"))?;
+            }
+            "--deadline-fraction" => {
+                config.mix.deadline_fraction =
+                    parse_f64("--deadline-fraction", value_of("--deadline-fraction")?)?;
+            }
+            "--no-server-metrics" => config.fetch_server_metrics = false,
+            "--out" => out = Some(value_of("--out")?),
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let target = target.ok_or("--target is required".to_owned())?;
+    config.target = target;
+    Ok(Some((config, out)))
+}
+
+fn main() -> ExitCode {
+    let (config, out) = match parse_args() {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match run(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprint!("{}", report.render_text());
+
+    let document = report.to_json();
+    match &out {
+        Some(path) => {
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        eprintln!("error: cannot create {}: {e}", parent.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Err(e) = std::fs::write(path, format!("{document}\n")) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("report written to {path}");
+        }
+        None => println!("{document}"),
+    }
+
+    // A zero exit means the numbers are real: something completed, and the
+    // client's view reconciles with the server's (when it was fetched).
+    if report.completed == 0 {
+        eprintln!("error: no request completed");
+        return ExitCode::FAILURE;
+    }
+    if let Some(check) = report.cross_check() {
+        if !check.consistent {
+            eprintln!("error: client/server cross-check failed (see notes above)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,35 @@
+//! `dynex-load` — an open-loop load harness for the `dynex-serve` tier.
+//!
+//! The harness models "heavy traffic from many users", which a closed loop
+//! (send, wait, send again) cannot: a closed loop slows its own arrival
+//! rate down exactly when the server struggles, hiding the queueing delay
+//! real users would see (coordinated omission). Here the arrival schedule
+//! is fixed up front — request `i` is *due* at `i / rate` seconds — and
+//! split across K sender threads; when the server falls behind, requests
+//! go out late and the lateness is *charged to the measurement*, because
+//! the end-to-end latency clock for request `i` starts at its scheduled
+//! arrival time, not at the moment a sender thread got around to it.
+//!
+//! Two latency distributions are recorded per run:
+//!
+//! * **e2e** — from scheduled arrival to response read. The open-loop
+//!   number; includes sender-side backlog. What a user would feel.
+//! * **service** — from the moment the request was written to the socket.
+//!   What the server alone did. The cross-check compares this against the
+//!   server's own PR 6 `latency_summary` stages.
+//!
+//! The request stream comes from the seeded
+//! [`dynex_experiments::api::mix::RequestMix`], so a run is reproducible:
+//! same seed, same duplicate ratio, same geometry spread, same requests in
+//! the same order. Results serialize as a versioned `dynex-load/v1` JSON
+//! document (see [`report::LoadReport::to_json`]) written under
+//! `results/LOAD_*.json` by the driver scripts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+
+pub use report::{CrossCheck, LatencyStats, LoadReport};
+pub use runner::{run, LoadConfig};

@@ -1,0 +1,611 @@
+//! Load-run reporting: percentile summaries, the versioned
+//! `dynex-load/v1` JSON document, and the client-vs-server cross-check.
+//!
+//! The cross-check is the harness auditing itself: a load generator that
+//! mis-measures (dropped responses, a latency clock started in the wrong
+//! place) produces numbers that *cannot* be reconciled with what the
+//! server recorded about the same run. Two invariants are machine-checked
+//! against the server's `/metrics` document (single-process or the
+//! router's merged fleet view — same format either way):
+//!
+//! 1. **Percentile ordering** — the client's *service* latency for a
+//!    request is a superset of the server's `request` stage (it adds
+//!    connect, kernel queues, and response read). Client and server bucket
+//!    microseconds identically (`pow2(30)`), so sorted-order domination
+//!    survives bucketing: the client's service p50 can never sit *below*
+//!    the server's request p50.
+//! 2. **Conservation** — the server cannot have executed more simulations
+//!    than the client sent requests (caching and coalescing only ever
+//!    reduce the count).
+//!
+//! Both checks assume the server was dedicated to the run (fresh counters,
+//! no other traffic), which the driver scripts guarantee. Router health
+//! probes do land in the server-side histograms, but probes are cheap:
+//! extra fast samples can only *lower* the server percentile, which
+//! tightens check 1 rather than masking a violation.
+
+use std::collections::BTreeMap;
+
+use dynex_obs::json::Json;
+use dynex_obs::Histogram;
+
+/// Percentiles and mean for one client-side latency histogram.
+///
+/// Percentile values are inclusive bucket upper bounds (exact to the log2
+/// bucket resolution, i.e. within 2x — same convention as the server's
+/// `latency_summary`); a percentile landing in the overflow bucket reports
+/// `u64::MAX`. The mean is exact: it is computed from the running sum of
+/// raw microsecond samples, not from the buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Median, as a bucket upper bound in microseconds.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Exact arithmetic mean in microseconds (0.0 when empty).
+    pub mean_us: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a histogram plus the exact sample sum backing it.
+    pub fn from_histogram(histogram: &Histogram, total_us: u64) -> LatencyStats {
+        let count = histogram.total();
+        let q = |p: f64| histogram.quantile(p).unwrap_or(0);
+        LatencyStats {
+            count,
+            p50_us: q(0.50),
+            p90_us: q(0.90),
+            p99_us: q(0.99),
+            p999_us: q(0.999),
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                total_us as f64 / count as f64
+            },
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            r#"{{"count":{},"p50_us":{},"p90_us":{},"p99_us":{},"p999_us":{},"mean_us":{}}}"#,
+            self.count,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.p999_us,
+            fmt_f64(self.mean_us),
+        )
+    }
+}
+
+/// The client-vs-server reconciliation (module docs explain the checks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossCheck {
+    /// Client-side service-latency p50 (bucket upper bound, µs).
+    pub client_service_p50_us: u64,
+    /// The server's `request`-stage p50 from `latency_summary`, when the
+    /// server reported one.
+    pub server_request_p50_us: Option<u64>,
+    /// The server's `sims-executed` counter, when present.
+    pub server_sims_executed: Option<u64>,
+    /// Requests the client actually sent.
+    pub client_sent: u64,
+    /// Human-readable reasons for any failed or unevaluable check.
+    pub notes: Vec<String>,
+    /// True only when every check was evaluable and passed.
+    pub consistent: bool,
+}
+
+impl CrossCheck {
+    /// Reconciles client-side measurements against a parsed server
+    /// `/metrics` document. Missing expected fields make the result
+    /// inconsistent (loudly, via `notes`) rather than silently passing —
+    /// a server that stopped reporting is itself a finding.
+    pub fn evaluate(service: &Histogram, sent: u64, server_metrics: &Json) -> CrossCheck {
+        let mut notes = Vec::new();
+        let client_service_p50_us = service.quantile(0.50).unwrap_or(0);
+
+        let server_request_p50_us = server_metrics
+            .get("latency_summary")
+            .and_then(|summary| summary.get("request"))
+            .and_then(|stage| stage.get("p50_us"))
+            .and_then(Json::as_u64);
+        match server_request_p50_us {
+            Some(server_p50) => {
+                if client_service_p50_us < server_p50 {
+                    notes.push(format!(
+                        "client service p50 {client_service_p50_us}us sits below the \
+                         server's request-stage p50 {server_p50}us — the client \
+                         cannot be faster than the server it waited on"
+                    ));
+                }
+            }
+            None => notes.push(
+                "server /metrics has no latency_summary.request.p50_us to check against".to_owned(),
+            ),
+        }
+
+        let server_sims_executed = server_metrics
+            .get("counters")
+            .and_then(|counters| counters.get("sims-executed"))
+            .and_then(Json::as_u64);
+        match server_sims_executed {
+            Some(sims) => {
+                if sims > sent {
+                    notes.push(format!(
+                        "server executed {sims} simulations but the client only \
+                         sent {sent} requests"
+                    ));
+                }
+            }
+            None => notes
+                .push("server /metrics has no counters.sims-executed to check against".to_owned()),
+        }
+
+        CrossCheck {
+            client_service_p50_us,
+            server_request_p50_us,
+            server_sims_executed,
+            client_sent: sent,
+            consistent: notes.is_empty(),
+            notes,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let opt = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |v| v.to_string());
+        let mut notes = String::from("[");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                notes.push(',');
+            }
+            notes.push('"');
+            notes.push_str(&dynex_obs::json::escape(note));
+            notes.push('"');
+        }
+        notes.push(']');
+        format!(
+            r#"{{"client_service_p50_us":{},"server_request_p50_us":{},"server_sims_executed":{},"client_sent":{},"consistent":{},"notes":{}}}"#,
+            self.client_service_p50_us,
+            opt(self.server_request_p50_us),
+            opt(self.server_sims_executed),
+            self.client_sent,
+            self.consistent,
+            notes,
+        )
+    }
+}
+
+/// Everything one load run measured, serializable as `dynex-load/v1`.
+///
+/// Built by [`crate::runner::run`]; the field groups mirror the JSON
+/// document (see [`LoadReport::to_json`]).
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The `host:port` the load was aimed at.
+    pub target: String,
+    /// Configured open-loop arrival rate, requests per second.
+    pub rate: f64,
+    /// Configured run duration, seconds.
+    pub duration_s: f64,
+    /// Sender thread count.
+    pub senders: usize,
+    /// Per-request timeout, seconds.
+    pub timeout_s: f64,
+    /// The seeded mix the request stream was drawn from.
+    pub mix: dynex_experiments::api::mix::MixConfig,
+    /// Requests on the arrival schedule (`ceil(rate × duration)`).
+    pub scheduled: usize,
+    /// Requests actually sent (== scheduled unless the run was cut short).
+    pub sent: u64,
+    /// Requests that got *any* HTTP response.
+    pub completed: u64,
+    /// Responses with status 200.
+    pub ok: u64,
+    /// 200s served from the result cache (`"cached":true` in the body).
+    pub cached_hits: u64,
+    /// Non-200 and transport outcomes, bucketed by kind (`http-429`,
+    /// `transport-timeout`, …).
+    pub errors: BTreeMap<String, u64>,
+    /// Worst sender-side lag between a request's scheduled arrival and the
+    /// moment a sender thread actually started it, in microseconds. Large
+    /// values mean the harness itself (not the server) was the bottleneck
+    /// and the e2e numbers include generator backlog — an honesty signal,
+    /// reported rather than hidden.
+    pub max_send_lag_us: u64,
+    /// Wall-clock from the first scheduled arrival to the last completion.
+    pub wall_s: f64,
+    /// Simulated cache references summed over all 200 responses (the
+    /// response's `accesses` field — work the service delivered, whether
+    /// freshly simulated or served from cache).
+    pub refs_total: u64,
+    /// End-to-end latency: scheduled arrival → response read (log2 µs).
+    pub e2e: Histogram,
+    /// Exact sum behind [`LoadReport::e2e`], microseconds.
+    pub e2e_total_us: u64,
+    /// Service latency: request written → response read (log2 µs).
+    pub service: Histogram,
+    /// Exact sum behind [`LoadReport::service`], microseconds.
+    pub service_total_us: u64,
+    /// The server's `/metrics` document fetched after the run — raw body
+    /// plus its parsed form — when the runner was asked to collect it.
+    pub server_metrics: Option<(String, Json)>,
+}
+
+impl LoadReport {
+    /// Completed responses per wall-clock second.
+    pub fn reqs_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.completed as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated references delivered per wall-clock second.
+    pub fn refs_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.refs_total as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Percentile summary of the end-to-end (open-loop) latency.
+    pub fn e2e_stats(&self) -> LatencyStats {
+        LatencyStats::from_histogram(&self.e2e, self.e2e_total_us)
+    }
+
+    /// Percentile summary of the service latency.
+    pub fn service_stats(&self) -> LatencyStats {
+        LatencyStats::from_histogram(&self.service, self.service_total_us)
+    }
+
+    /// Runs the client-vs-server reconciliation; `None` when the runner
+    /// did not fetch server metrics.
+    pub fn cross_check(&self) -> Option<CrossCheck> {
+        self.server_metrics
+            .as_ref()
+            .map(|(_, parsed)| CrossCheck::evaluate(&self.service, self.sent, parsed))
+    }
+
+    /// Serializes the full run as one `dynex-load/v1` JSON document:
+    ///
+    /// ```json
+    /// {"schema":"dynex-load/v1",
+    ///  "config":{"target":…,"rate":…,"duration_s":…,"senders":…,"timeout_s":…,
+    ///            "mix":{"seed":…,"duplicate_ratio":…,"pool":…,"refs":…,
+    ///                   "deadline_fraction":…,"deadline_ms":…}},
+    ///  "outcome":{"scheduled":…,"sent":…,"completed":…,"ok":…,"cached_hits":…,
+    ///             "errors":{…},"max_send_lag_us":…},
+    ///  "throughput":{"wall_s":…,"reqs_per_s":…,"refs_total":…,"refs_per_s":…},
+    ///  "latency_us":{"e2e":{…},"service":{…}},
+    ///  "histograms_us":{"e2e":{"bounds":…,"counts":…},"service":{…}},
+    ///  "server":{…}|null,
+    ///  "crosscheck":{…}|null}
+    /// ```
+    ///
+    /// `server` embeds the fetched `/metrics` body verbatim (it is already
+    /// one JSON object), so a recorded run carries the server's view of
+    /// itself alongside the client's.
+    pub fn to_json(&self) -> String {
+        let mut errors = String::from("{");
+        for (i, (kind, count)) in self.errors.iter().enumerate() {
+            if i > 0 {
+                errors.push(',');
+            }
+            errors.push_str(&format!(r#""{}":{}"#, dynex_obs::json::escape(kind), count));
+        }
+        errors.push('}');
+
+        let mut out = format!(
+            concat!(
+                r#"{{"schema":"dynex-load/v1","#,
+                r#""config":{{"target":"{target}","rate":{rate},"duration_s":{duration},"#,
+                r#""senders":{senders},"timeout_s":{timeout},"#,
+                r#""mix":{{"seed":{seed},"duplicate_ratio":{dup},"pool":{pool},"refs":{refs},"#,
+                r#""deadline_fraction":{dfrac},"deadline_ms":{dms}}}}},"#,
+                r#""outcome":{{"scheduled":{scheduled},"sent":{sent},"completed":{completed},"#,
+                r#""ok":{ok},"cached_hits":{cached},"errors":{errors},"#,
+                r#""max_send_lag_us":{lag}}},"#,
+                r#""throughput":{{"wall_s":{wall},"reqs_per_s":{rps},"#,
+                r#""refs_total":{refs_total},"refs_per_s":{refps}}},"#,
+                r#""latency_us":{{"e2e":{e2e},"service":{service}}},"#,
+                r#""histograms_us":{{"e2e":{e2e_h},"service":{service_h}}}"#,
+            ),
+            target = dynex_obs::json::escape(&self.target),
+            rate = fmt_f64(self.rate),
+            duration = fmt_f64(self.duration_s),
+            senders = self.senders,
+            timeout = fmt_f64(self.timeout_s),
+            seed = self.mix.seed,
+            dup = fmt_f64(self.mix.duplicate_ratio),
+            pool = self.mix.pool,
+            refs = self.mix.refs,
+            dfrac = fmt_f64(self.mix.deadline_fraction),
+            dms = self.mix.deadline_ms,
+            scheduled = self.scheduled,
+            sent = self.sent,
+            completed = self.completed,
+            ok = self.ok,
+            cached = self.cached_hits,
+            errors = errors,
+            lag = self.max_send_lag_us,
+            wall = fmt_f64(self.wall_s),
+            rps = fmt_f64(self.reqs_per_s()),
+            refs_total = self.refs_total,
+            refps = fmt_f64(self.refs_per_s()),
+            e2e = self.e2e_stats().to_json(),
+            service = self.service_stats().to_json(),
+            e2e_h = self.e2e.to_json(),
+            service_h = self.service.to_json(),
+        );
+        out.push_str(",\"server\":");
+        match &self.server_metrics {
+            Some((raw, _)) => out.push_str(raw),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"crosscheck\":");
+        match self.cross_check() {
+            Some(check) => out.push_str(&check.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// A short human-readable summary (one run, a few lines) for CLI
+    /// output. All percentiles are bucket upper bounds.
+    pub fn render_text(&self) -> String {
+        let e2e = self.e2e_stats();
+        let service = self.service_stats();
+        let mut out = format!(
+            "load: {} scheduled @ {}/s x {} sender(s) against {}\n\
+             outcome: {} sent, {} ok, {} cached hit(s), {} error(s)\n\
+             throughput: {:.1} req/s, {:.0} refs/s ({} refs total) over {:.2}s\n\
+             e2e latency (us): p50<={} p90<={} p99<={} p999<={} mean {:.0}\n\
+             service latency (us): p50<={} p90<={} p99<={} p999<={} mean {:.0}\n",
+            self.scheduled,
+            self.rate,
+            self.senders,
+            self.target,
+            self.sent,
+            self.ok,
+            self.cached_hits,
+            self.errors.values().sum::<u64>(),
+            self.reqs_per_s(),
+            self.refs_per_s(),
+            self.refs_total,
+            self.wall_s,
+            e2e.p50_us,
+            e2e.p90_us,
+            e2e.p99_us,
+            e2e.p999_us,
+            e2e.mean_us,
+            service.p50_us,
+            service.p90_us,
+            service.p99_us,
+            service.p999_us,
+            service.mean_us,
+        );
+        for (kind, count) in &self.errors {
+            out.push_str(&format!("  error {kind}: {count}\n"));
+        }
+        match self.cross_check() {
+            Some(check) if check.consistent => {
+                out.push_str("crosscheck: consistent with server latency_summary\n");
+            }
+            Some(check) => {
+                out.push_str("crosscheck: INCONSISTENT\n");
+                for note in &check.notes {
+                    out.push_str(&format!("  {note}\n"));
+                }
+            }
+            None => out.push_str("crosscheck: skipped (no server metrics)\n"),
+        }
+        out
+    }
+}
+
+/// Renders an `f64` as a JSON number: finite values with enough precision
+/// to round-trip run parameters, non-finite values (which would be invalid
+/// JSON) as 0 — they can only arise from a degenerate zero-length run.
+fn fmt_f64(value: f64) -> String {
+    if !value.is_finite() {
+        return "0".to_owned();
+    }
+    let formatted = format!("{value:.3}");
+    // Trim trailing zeros but keep at least one decimal ("5.0", not "5."
+    // and not "5" — a stable marker that the field is a float).
+    let trimmed = formatted.trim_end_matches('0');
+    if trimmed.ends_with('.') {
+        format!("{trimmed}0")
+    } else {
+        trimmed.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynex_experiments::api::mix::MixConfig;
+    use dynex_obs::json;
+    use dynex_obs::span::LATENCY_BUCKETS_MAX_EXP;
+
+    fn sample_report(server: Option<&str>) -> LoadReport {
+        let mut e2e = Histogram::pow2(LATENCY_BUCKETS_MAX_EXP);
+        let mut service = Histogram::pow2(LATENCY_BUCKETS_MAX_EXP);
+        let mut e2e_total = 0u64;
+        let mut service_total = 0u64;
+        for us in [100u64, 200, 400, 800, 10_000] {
+            e2e.record(us * 2);
+            e2e_total += us * 2;
+            service.record(us);
+            service_total += us;
+        }
+        let mut errors = BTreeMap::new();
+        errors.insert("http-429".to_owned(), 2);
+        LoadReport {
+            target: "127.0.0.1:9999".to_owned(),
+            rate: 50.0,
+            duration_s: 5.0,
+            senders: 4,
+            timeout_s: 30.0,
+            mix: MixConfig::default(),
+            scheduled: 250,
+            sent: 250,
+            completed: 248,
+            ok: 246,
+            cached_hits: 120,
+            errors,
+            max_send_lag_us: 1234,
+            wall_s: 5.2,
+            refs_total: 24_600_000,
+            e2e,
+            e2e_total_us: e2e_total,
+            service,
+            service_total_us: service_total,
+            server_metrics: server.map(|raw| (raw.to_owned(), json::parse(raw).unwrap())),
+        }
+    }
+
+    #[test]
+    fn latency_stats_quantiles_and_exact_mean() {
+        let mut h = Histogram::pow2(LATENCY_BUCKETS_MAX_EXP);
+        let mut total = 0u64;
+        for us in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 9_000] {
+            h.record(us);
+            total += us;
+        }
+        let stats = LatencyStats::from_histogram(&h, total);
+        assert_eq!(stats.count, 10);
+        assert_eq!(stats.p50_us, 128); // bucket bound covering 100
+        assert_eq!(stats.p90_us, 128);
+        assert_eq!(stats.p99_us, 16_384); // the 9ms outlier's bucket
+        assert_eq!(stats.p999_us, 16_384);
+        assert!((stats.mean_us - 990.0).abs() < 1e-9); // exact, not bucketed
+        let empty = LatencyStats::from_histogram(&Histogram::pow2(4), 0);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean_us, 0.0);
+    }
+
+    #[test]
+    fn report_json_is_valid_and_carries_the_schema() {
+        let report = sample_report(None);
+        let doc = json::parse(&report.to_json()).expect("report must be valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("dynex-load/v1")
+        );
+        let outcome = doc.get("outcome").unwrap();
+        assert_eq!(outcome.get("ok").and_then(Json::as_u64), Some(246));
+        assert_eq!(
+            outcome
+                .get("errors")
+                .and_then(|e| e.get("http-429"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("throughput")
+                .and_then(|t| t.get("refs_total"))
+                .and_then(Json::as_u64),
+            Some(24_600_000)
+        );
+        // Latency stats survive the round trip.
+        assert_eq!(
+            doc.get("latency_us")
+                .and_then(|l| l.get("service"))
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+        // No server metrics: server and crosscheck are null.
+        assert!(matches!(doc.get("server"), Some(Json::Null)));
+        assert!(matches!(doc.get("crosscheck"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn crosscheck_passes_when_server_view_is_reconcilable() {
+        // Server request p50 (256us) below client service p50 (512-bucket
+        // holds the 400us median sample... client p50 here is 512), and
+        // sims-executed below sent.
+        let server = r#"{"counters":{"sims-executed":126},
+            "histograms":{},
+            "latency_summary":{"request":{"count":250,"total_us":100000,
+                "p50_us":256,"p90_us":512,"p99_us":1024,"p999_us":2048}}}"#;
+        let report = sample_report(Some(server));
+        let check = report.cross_check().expect("server metrics present");
+        assert!(check.consistent, "{:?}", check.notes);
+        assert_eq!(check.server_request_p50_us, Some(256));
+        assert_eq!(check.server_sims_executed, Some(126));
+        let doc = json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            doc.get("crosscheck")
+                .and_then(|c| c.get("consistent"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        // The server document is embedded verbatim.
+        assert_eq!(
+            doc.get("server")
+                .and_then(|s| s.get("counters"))
+                .and_then(|c| c.get("sims-executed"))
+                .and_then(Json::as_u64),
+            Some(126)
+        );
+    }
+
+    #[test]
+    fn crosscheck_fails_on_impossible_server_views() {
+        // Client faster than the server it waited on: impossible.
+        let faster_than_server = r#"{"counters":{"sims-executed":10},
+            "latency_summary":{"request":{"count":5,"total_us":1,
+                "p50_us":1048576,"p90_us":1048576,"p99_us":1048576,"p999_us":1048576}}}"#;
+        let check = sample_report(Some(faster_than_server))
+            .cross_check()
+            .unwrap();
+        assert!(!check.consistent);
+        assert!(
+            check.notes[0].contains("cannot be faster"),
+            "{:?}",
+            check.notes
+        );
+
+        // More simulations executed than requests sent: impossible.
+        let over_executed = r#"{"counters":{"sims-executed":9999},
+            "latency_summary":{"request":{"count":5,"total_us":1,
+                "p50_us":1,"p90_us":1,"p99_us":1,"p999_us":1}}}"#;
+        let check = sample_report(Some(over_executed)).cross_check().unwrap();
+        assert!(!check.consistent);
+        assert!(check.notes[0].contains("only"), "{:?}", check.notes);
+
+        // A server that stopped reporting is a loud finding, not a pass.
+        let check = sample_report(Some("{}")).cross_check().unwrap();
+        assert!(!check.consistent);
+        assert_eq!(check.notes.len(), 2, "{:?}", check.notes);
+    }
+
+    #[test]
+    fn f64_rendering_is_json_safe() {
+        assert_eq!(fmt_f64(50.0), "50.0");
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(49.987654), "49.988");
+        assert_eq!(fmt_f64(0.0), "0.0");
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn text_summary_names_errors_and_crosscheck_state() {
+        let text = sample_report(None).render_text();
+        assert!(text.contains("error http-429: 2"), "{text}");
+        assert!(text.contains("crosscheck: skipped"), "{text}");
+    }
+}

@@ -1,0 +1,355 @@
+//! The open-loop runner: a fixed arrival schedule, K sender threads, and
+//! per-request accounting (crate docs explain why open-loop).
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use dynex_experiments::api::mix::{MixConfig, RequestMix};
+use dynex_obs::span::LATENCY_BUCKETS_MAX_EXP;
+use dynex_obs::{json, Histogram};
+use dynex_serve::client;
+
+use crate::report::LoadReport;
+
+/// Configuration for one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// The server (or router) to drive.
+    pub target: SocketAddr,
+    /// Open-loop arrival rate in requests per second; request `i` is due
+    /// at `i / rate` seconds after the run starts, regardless of how the
+    /// server is coping.
+    pub rate: f64,
+    /// How long the arrival schedule runs (`ceil(rate × duration)`
+    /// requests total).
+    pub duration: Duration,
+    /// Sender threads draining the schedule (request `i` belongs to
+    /// thread `i % senders`).
+    pub senders: usize,
+    /// Per-request connect/read/write timeout.
+    pub timeout: Duration,
+    /// Fetch the target's `/metrics` after the run for the cross-check.
+    pub fetch_server_metrics: bool,
+    /// The seeded request mix to draw the stream from.
+    pub mix: MixConfig,
+}
+
+impl LoadConfig {
+    /// A short default run against `target`: 50 req/s for 5 seconds from
+    /// 4 senders, the default duplicate-heavy mix, metrics cross-check on.
+    pub fn new(target: SocketAddr) -> LoadConfig {
+        LoadConfig {
+            target,
+            rate: 50.0,
+            duration: Duration::from_secs(5),
+            senders: 4,
+            timeout: Duration::from_secs(30),
+            fetch_server_metrics: true,
+            mix: MixConfig::default(),
+        }
+    }
+}
+
+/// What one sender thread accumulates; merged across threads afterwards.
+struct SenderStats {
+    sent: u64,
+    completed: u64,
+    ok: u64,
+    cached_hits: u64,
+    refs_total: u64,
+    max_send_lag_us: u64,
+    errors: BTreeMap<String, u64>,
+    e2e: Histogram,
+    e2e_total_us: u64,
+    service: Histogram,
+    service_total_us: u64,
+}
+
+impl SenderStats {
+    fn new() -> SenderStats {
+        SenderStats {
+            sent: 0,
+            completed: 0,
+            ok: 0,
+            cached_hits: 0,
+            refs_total: 0,
+            max_send_lag_us: 0,
+            errors: BTreeMap::new(),
+            e2e: Histogram::pow2(LATENCY_BUCKETS_MAX_EXP),
+            e2e_total_us: 0,
+            service: Histogram::pow2(LATENCY_BUCKETS_MAX_EXP),
+            service_total_us: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &SenderStats) {
+        self.sent += other.sent;
+        self.completed += other.completed;
+        self.ok += other.ok;
+        self.cached_hits += other.cached_hits;
+        self.refs_total += other.refs_total;
+        self.max_send_lag_us = self.max_send_lag_us.max(other.max_send_lag_us);
+        for (kind, count) in &other.errors {
+            *self.errors.entry(kind.clone()).or_insert(0) += count;
+        }
+        self.e2e.merge(&other.e2e);
+        self.e2e_total_us += other.e2e_total_us;
+        self.service.merge(&other.service);
+        self.service_total_us += other.service_total_us;
+    }
+}
+
+/// Buckets a transport-layer error string for the taxonomy. The client's
+/// errors are human-readable prose; three coarse kinds are enough to tell
+/// "server gone" from "server wedged" from everything else.
+fn transport_kind(error: &str) -> &'static str {
+    if error.starts_with("connect") {
+        "transport-connect"
+    } else if error.contains("timed out") || error.contains("unavailable") {
+        // Unix read/write timeouts surface as WouldBlock ("Resource
+        // temporarily unavailable"); connect timeouts as "timed out".
+        "transport-timeout"
+    } else {
+        "transport-other"
+    }
+}
+
+/// Extracts the `"accesses":N` field from a `/simulate` response body —
+/// the number of simulated cache references this response represents.
+fn parse_accesses(body: &str) -> Option<u64> {
+    let start = body.find("\"accesses\":")? + "\"accesses\":".len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Converts a duration to whole microseconds, saturating (the histograms
+/// cap out at ~18 minutes anyway).
+fn as_us(duration: Duration) -> u64 {
+    duration.as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Drives one open-loop run and returns the measured [`LoadReport`].
+///
+/// The whole request stream is generated up front on the calling thread —
+/// mix determinism is independent of sender interleaving — then the
+/// schedule is split across `senders` threads. A sender sleeps until a
+/// request's scheduled arrival but **never** waits for the previous
+/// response: when the server is slower than the schedule, requests go out
+/// late and the lateness lands in the e2e histogram (that is the point of
+/// an open loop). Latencies are recorded for every completed HTTP
+/// exchange, any status; transport failures are counted in the error
+/// taxonomy but contribute no latency sample (a timeout's "latency" is
+/// the timeout setting, which would only restate configuration).
+pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
+    if !(config.rate.is_finite() && config.rate > 0.0) {
+        return Err(format!(
+            "rate must be a positive number, got {}",
+            config.rate
+        ));
+    }
+    if config.duration.is_zero() {
+        return Err("duration must be positive".to_owned());
+    }
+    if config.senders == 0 {
+        return Err("need at least one sender thread".to_owned());
+    }
+
+    let scheduled = (config.rate * config.duration.as_secs_f64())
+        .ceil()
+        .max(1.0) as usize;
+    let mut mix = RequestMix::new(config.mix.clone()).map_err(|e| format!("request mix: {e}"))?;
+    let bodies: Vec<String> = (0..scheduled)
+        .map(|_| mix.next_request().to_json())
+        .collect();
+
+    // A small grace offset so request 0 is not already late before the
+    // sender threads have even spawned.
+    let start = Instant::now() + Duration::from_millis(50);
+    let mut totals = SenderStats::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.senders)
+            .map(|sender| {
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    let mut stats = SenderStats::new();
+                    let mut index = sender;
+                    while index < bodies.len() {
+                        let due = start + Duration::from_secs_f64(index as f64 / config.rate);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let send_at = Instant::now();
+                        stats.max_send_lag_us = stats
+                            .max_send_lag_us
+                            .max(as_us(send_at.duration_since(due)));
+                        let outcome = client::call(
+                            config.target,
+                            "POST",
+                            "/simulate",
+                            &bodies[index],
+                            config.timeout,
+                        );
+                        let done = Instant::now();
+                        stats.sent += 1;
+                        match outcome {
+                            Ok(response) => {
+                                stats.completed += 1;
+                                let e2e_us = as_us(done.duration_since(due));
+                                let service_us = as_us(done.duration_since(send_at));
+                                stats.e2e.record(e2e_us);
+                                stats.e2e_total_us += e2e_us;
+                                stats.service.record(service_us);
+                                stats.service_total_us += service_us;
+                                if response.status == 200 {
+                                    stats.ok += 1;
+                                    if response.body.contains("\"cached\":true") {
+                                        stats.cached_hits += 1;
+                                    }
+                                    stats.refs_total += parse_accesses(&response.body).unwrap_or(0);
+                                } else {
+                                    *stats
+                                        .errors
+                                        .entry(format!("http-{}", response.status))
+                                        .or_insert(0) += 1;
+                                }
+                            }
+                            Err(e) => {
+                                *stats
+                                    .errors
+                                    .entry(transport_kind(&e).to_owned())
+                                    .or_insert(0) += 1;
+                            }
+                        }
+                        index += config.senders;
+                    }
+                    stats
+                })
+            })
+            .collect();
+        for handle in handles {
+            // A sender panicking is a harness bug; propagate it loudly.
+            totals.merge(&handle.join().expect("sender thread panicked"));
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let server_metrics = if config.fetch_server_metrics {
+        let response = client::call(config.target, "GET", "/metrics", "", config.timeout)
+            .map_err(|e| format!("post-run /metrics fetch: {e}"))?;
+        if response.status != 200 {
+            return Err(format!(
+                "post-run /metrics fetch returned {}",
+                response.status
+            ));
+        }
+        let parsed = json::parse(&response.body)
+            .map_err(|e| format!("post-run /metrics is not valid JSON: {e}"))?;
+        Some((response.body, parsed))
+    } else {
+        None
+    };
+
+    Ok(LoadReport {
+        target: config.target.to_string(),
+        rate: config.rate,
+        duration_s: config.duration.as_secs_f64(),
+        senders: config.senders,
+        timeout_s: config.timeout.as_secs_f64(),
+        mix: config.mix.clone(),
+        scheduled,
+        sent: totals.sent,
+        completed: totals.completed,
+        ok: totals.ok,
+        cached_hits: totals.cached_hits,
+        errors: totals.errors,
+        max_send_lag_us: totals.max_send_lag_us,
+        wall_s,
+        refs_total: totals.refs_total,
+        e2e: totals.e2e,
+        e2e_total_us: totals.e2e_total_us,
+        service: totals.service,
+        service_total_us: totals.service_total_us,
+        server_metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_configs_fail_loudly() {
+        let target: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut config = LoadConfig::new(target);
+        config.rate = 0.0;
+        assert!(run(&config).unwrap_err().contains("rate"));
+        config.rate = f64::NAN;
+        assert!(run(&config).unwrap_err().contains("rate"));
+        let mut config = LoadConfig::new(target);
+        config.duration = Duration::ZERO;
+        assert!(run(&config).unwrap_err().contains("duration"));
+        let mut config = LoadConfig::new(target);
+        config.senders = 0;
+        assert!(run(&config).unwrap_err().contains("sender"));
+        let mut config = LoadConfig::new(target);
+        config.mix.duplicate_ratio = 7.0;
+        assert!(run(&config).unwrap_err().contains("request mix"));
+    }
+
+    #[test]
+    fn accesses_extraction() {
+        assert_eq!(
+            parse_accesses(r#"{"label":"x","accesses":100000,"misses":42}"#),
+            Some(100_000)
+        );
+        assert_eq!(parse_accesses(r#"{"error":"nope"}"#), None);
+        assert_eq!(parse_accesses(r#"{"accesses":"ten"}"#), None);
+    }
+
+    #[test]
+    fn transport_taxonomy_buckets() {
+        assert_eq!(
+            transport_kind("connect to 127.0.0.1:1: Connection refused"),
+            "transport-connect"
+        );
+        assert_eq!(
+            transport_kind("read error: Resource temporarily unavailable (os error 11)"),
+            "transport-timeout"
+        );
+        assert_eq!(
+            transport_kind("write to 127.0.0.1:9: connection timed out"),
+            "transport-timeout"
+        );
+        assert_eq!(
+            transport_kind("response body is not UTF-8"),
+            "transport-other"
+        );
+    }
+
+    #[test]
+    fn unreachable_target_yields_connect_errors_not_latency_samples() {
+        // Bind-then-drop: a port that refuses connections immediately.
+        let addr = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let mut config = LoadConfig::new(addr);
+        config.rate = 200.0;
+        config.duration = Duration::from_millis(50);
+        config.senders = 2;
+        config.timeout = Duration::from_millis(500);
+        config.fetch_server_metrics = false;
+        config.mix.refs = 100; // keep pool construction cheap
+        let report = run(&config).unwrap();
+        assert_eq!(report.scheduled, 10);
+        assert_eq!(report.sent, 10);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.errors.get("transport-connect"), Some(&10));
+        assert_eq!(report.e2e_stats().count, 0);
+        assert!(report.cross_check().is_none());
+    }
+}

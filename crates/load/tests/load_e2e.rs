@@ -1,0 +1,149 @@
+//! End-to-end: the open-loop harness against a live in-process serve tier.
+//!
+//! Boots real [`dynex_serve::Server`]s (and, for the sharded case, a real
+//! [`dynex_serve::Router`] in front of them), drives a short seeded load
+//! through the actual TCP stack, and checks the whole measurement chain:
+//! non-zero throughput, zero 5xx, duplicate-driven cache hits, a valid
+//! `dynex-load/v1` document, and a passing client-vs-server cross-check.
+//!
+//! Rates and reference counts are sized for a single-core CI box: the
+//! simulations are trivial (a few thousand references) so the schedule
+//! stays comfortably ahead of the server.
+
+use std::time::Duration;
+
+use dynex_load::{run, LoadConfig};
+use dynex_obs::json::{self, Json};
+use dynex_serve::{client, Router, RouterConfig, ServeConfig, Server};
+
+/// A small single-process server suitable for a 1-core test box.
+fn test_server() -> Server {
+    Server::start(ServeConfig {
+        jobs: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server boots")
+}
+
+/// A quick load config: ~1.2 seconds, trivial simulations, duplicate-heavy.
+fn quick_load(target: std::net::SocketAddr) -> LoadConfig {
+    let mut config = LoadConfig::new(target);
+    config.rate = 50.0;
+    config.duration = Duration::from_millis(1_200);
+    config.senders = 4;
+    config.timeout = Duration::from_secs(30);
+    config.mix.refs = 2_000;
+    config.mix.pool = 8;
+    config.mix.duplicate_ratio = 0.8;
+    config
+}
+
+/// Asserts the invariants every healthy run must satisfy and returns the
+/// parsed `dynex-load/v1` document.
+fn assert_healthy_report(report: &dynex_load::LoadReport) -> Json {
+    assert_eq!(report.sent, report.scheduled as u64);
+    assert_eq!(report.completed, report.sent, "errors: {:?}", report.errors);
+    assert_eq!(report.ok, report.completed);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    // A 0.8 duplicate ratio over an 8-entry pool must hit the cache.
+    assert!(
+        report.cached_hits > 0,
+        "no cache hits from a duplicate-heavy mix"
+    );
+    assert!(report.refs_total >= report.ok * 2_000);
+    assert!(report.reqs_per_s() > 0.0);
+    assert_eq!(report.e2e_stats().count, report.completed);
+    assert_eq!(report.service_stats().count, report.completed);
+    // Open loop: e2e includes scheduling lag, so it can never undercut the
+    // service-only view.
+    assert!(report.e2e_total_us >= report.service_total_us);
+
+    let check = report.cross_check().expect("metrics were fetched");
+    assert!(
+        check.consistent,
+        "client/server cross-check failed: {:?}",
+        check.notes
+    );
+
+    let doc = json::parse(&report.to_json()).expect("report is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("dynex-load/v1")
+    );
+    assert_eq!(
+        doc.get("crosscheck")
+            .and_then(|c| c.get("consistent"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    doc
+}
+
+#[test]
+fn load_against_a_single_server_measures_and_reconciles() {
+    let server = test_server();
+    let report = run(&quick_load(server.addr())).expect("load run");
+    let doc = assert_healthy_report(&report);
+    // The embedded server document is the server's own registry: the
+    // request count it saw covers everything the client completed.
+    let served = doc
+        .get("server")
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get("requests-total"))
+        .and_then(Json::as_u64)
+        .expect("server counters embedded");
+    assert!(served >= report.completed);
+
+    client::call(
+        server.addr(),
+        "POST",
+        "/shutdown",
+        "",
+        Duration::from_secs(10),
+    )
+    .expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn load_against_a_two_shard_router_measures_and_reconciles() {
+    let shard_a = test_server();
+    let shard_b = test_server();
+    let router = Router::start(RouterConfig {
+        shards: vec![shard_a.addr(), shard_b.addr()],
+        ..RouterConfig::default()
+    })
+    .expect("router boots");
+
+    let report = run(&quick_load(router.addr())).expect("load run");
+    let doc = assert_healthy_report(&report);
+    // The router's merged /metrics carries the per-shard breakdown; an
+    // 8-configuration pool must land work on both shards for this seed.
+    let shards = doc
+        .get("server")
+        .and_then(|s| s.get("shards"))
+        .and_then(Json::as_array)
+        .expect("merged metrics lists shards");
+    assert_eq!(shards.len(), 2);
+    let routed_total: u64 = (0..2)
+        .map(|i| router.counter(&format!("router-routed-shard-{i}")))
+        .sum();
+    assert_eq!(routed_total, report.completed);
+    assert!(
+        (0..2).all(|i| router.counter(&format!("router-routed-shard-{i}")) > 0),
+        "an 8-entry pool spread over rendezvous hashing left a shard idle"
+    );
+
+    // POST /shutdown at the router relays the drain to both shards.
+    client::call(
+        router.addr(),
+        "POST",
+        "/shutdown",
+        "",
+        Duration::from_secs(10),
+    )
+    .expect("shutdown");
+    router.join();
+    shard_a.join();
+    shard_b.join();
+}

@@ -3,6 +3,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::AddAssign;
+use std::sync::OnceLock;
+
+/// Shared empty map so [`MetricsRegistry::from_json`] can treat an absent
+/// section as an empty one without allocating per call.
+static EMPTY_OBJECT: OnceLock<BTreeMap<String, crate::json::Json>> = OnceLock::new();
 
 /// Why a histogram could not be built — returned by the fallible
 /// constructors so callers on untrusted-input paths (JSON import) can turn
@@ -349,6 +354,41 @@ impl MetricsRegistry {
         }
     }
 
+    /// Rebuilds a registry from its [`MetricsRegistry::to_json`] form (a
+    /// parsed `{"counters":{…},"histograms":{…}}` object).
+    ///
+    /// The inverse of the `/metrics` wire format, used by the dynex-serve
+    /// router to merge per-shard registries and by dynex-load to cross-check
+    /// client percentiles against the server. Extra top-level keys (such as
+    /// the server's `latency_summary` splice) are ignored; malformed
+    /// counters or histograms are structured errors, not panics.
+    pub fn from_json(value: &crate::json::Json) -> Result<MetricsRegistry, HistogramError> {
+        let mut registry = MetricsRegistry::new();
+        let object = |key: &str| -> Result<&BTreeMap<String, crate::json::Json>, HistogramError> {
+            match value.get(key) {
+                Some(crate::json::Json::Obj(map)) => Ok(map),
+                Some(_) => Err(HistogramError::Malformed(format!(
+                    "{key:?} must be an object"
+                ))),
+                // Absent sections are fine: an empty registry serializes
+                // them as {}, and foreign producers may omit one entirely.
+                None => Ok(EMPTY_OBJECT.get_or_init(BTreeMap::new)),
+            }
+        };
+        for (name, counter) in object("counters")? {
+            let v = counter.as_u64().ok_or_else(|| {
+                HistogramError::Malformed(format!(
+                    "counter {name:?} must be a non-negative integer"
+                ))
+            })?;
+            registry.set(name, v);
+        }
+        for (name, histogram) in object("histograms")? {
+            registry.put_histogram(name, Histogram::from_json(histogram)?);
+        }
+        Ok(registry)
+    }
+
     /// Serializes the registry as one JSON object:
     /// `{"counters":{…},"histograms":{…}}`.
     pub fn to_json(&self) -> String {
@@ -603,6 +643,62 @@ mod tests {
         c.add("accesses", 3);
         c += &b;
         assert_eq!(c.counter("accesses"), 8);
+    }
+
+    #[test]
+    fn registry_json_round_trip() {
+        let mut m = MetricsRegistry::new();
+        m.add("requests-total", 7);
+        m.add("cache-hits", 3);
+        let mut h = Histogram::pow2(4);
+        h.record(3);
+        h.record(1000);
+        m.put_histogram("latency-us/simulate", h);
+
+        let parsed = crate::json::parse(&m.to_json()).unwrap();
+        let back = MetricsRegistry::from_json(&parsed).unwrap();
+        assert_eq!(back, m);
+        // Round-tripped registries merge like the originals.
+        let mut merged = back.clone();
+        merged.merge(&m);
+        assert_eq!(merged.counter("requests-total"), 14);
+        assert_eq!(merged.histogram("latency-us/simulate").unwrap().total(), 4);
+    }
+
+    #[test]
+    fn registry_from_json_ignores_extra_keys_and_tolerates_absent_sections() {
+        // The serve /metrics body splices latency_summary after histograms;
+        // the parser must skip keys it does not own.
+        let doc = crate::json::parse(
+            r#"{"counters":{"a":1},"histograms":{},"latency_summary":{"simulate":{"count":1}}}"#,
+        )
+        .unwrap();
+        let m = MetricsRegistry::from_json(&doc).unwrap();
+        assert_eq!(m.counter("a"), 1);
+        assert_eq!(m.histograms().count(), 0);
+        // Entirely absent sections parse as empty.
+        let empty = crate::json::parse("{}").unwrap();
+        assert_eq!(
+            MetricsRegistry::from_json(&empty).unwrap(),
+            MetricsRegistry::new()
+        );
+    }
+
+    #[test]
+    fn registry_from_json_rejects_malformed_documents() {
+        for (doc, what) in [
+            (r#"{"counters":[]}"#, "object"),
+            (r#"{"counters":{"a":-1}}"#, "non-negative"),
+            (r#"{"counters":{"a":1.5}}"#, "non-negative"),
+            (
+                r#"{"histograms":{"h":{"bounds":[2,1],"counts":[0,0,0]}}}"#,
+                "",
+            ),
+        ] {
+            let parsed = crate::json::parse(doc).unwrap();
+            let err = MetricsRegistry::from_json(&parsed).unwrap_err();
+            assert!(err.to_string().contains(what), "{doc} -> {err}");
+        }
     }
 
     #[test]

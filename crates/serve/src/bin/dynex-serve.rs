@@ -3,7 +3,7 @@
 //! ```text
 //! dynex-serve [--host ADDR] [--port N] [--jobs N] [--queue N] [--cache N]
 //!             [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE]
-//!             [--trace-out FILE]
+//!             [--trace-out FILE] [--shards N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0` — an ephemeral port, printed on stdout),
@@ -23,16 +23,29 @@
 //! one `{"trace":…,"span":…,"parent":…,"stage":…,"start_us":…,"dur_us":…}`
 //! line per span. The trace id echoed in each response's `X-Dynex-Trace`
 //! header (and in JSON error bodies) keys into this stream.
+//!
+//! `--shards N` switches to the scale-out topology: N worker *processes*
+//! (each this same binary, each a full single-process server with its own
+//! LRU, queue, and simulation pool) are spawned on ephemeral ports behind
+//! a router bound to `--host`/`--port`. The router speaks the same four
+//! endpoints, places `/simulate` requests with rendezvous hashing over the
+//! request's routing key, relays shard responses byte-identically, merges
+//! `/metrics` across the fleet, and fails loudly (`503` naming the shard)
+//! when a worker dies. `--warm-journal FILE` becomes the *base* path:
+//! shard `i` warms from and appends to `FILE.shard-i`, so concurrent
+//! workers never interleave writes in one journal. `--trace-out` applies
+//! to the router process only.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dynex_serve::{ServeConfig, Server};
+use dynex_serve::{Router, RouterConfig, ServeConfig, Server, ShardFleet};
 
 fn usage() {
     eprintln!(
         "usage: dynex-serve [--host ADDR] [--port N] [--jobs N] [--queue N] [--cache N] \
-         [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE] [--trace-out FILE]"
+         [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE] [--trace-out FILE] \
+         [--shards N]"
     );
     eprintln!();
     eprintln!("  --host ADDR           interface to bind (default 127.0.0.1)");
@@ -46,11 +59,16 @@ fn usage() {
         "  --warm-journal FILE   warm the cache from a --resume journal; append fresh results"
     );
     eprintln!("  --trace-out FILE      stream closed spans as JSONL (request → kernel chunk)");
+    eprintln!(
+        "  --shards N            spawn N worker processes behind a router (default 0: \
+         single-process mode)"
+    );
 }
 
-fn parse_args() -> Result<Option<(ServeConfig, Option<String>)>, String> {
+fn parse_args() -> Result<Option<(ServeConfig, Option<String>, usize)>, String> {
     let mut config = ServeConfig::default();
     let mut trace_out = None;
+    let mut shards = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
@@ -104,16 +122,104 @@ fn parse_args() -> Result<Option<(ServeConfig, Option<String>)>, String> {
                 config.warm_journal = Some(value_of("--warm-journal")?.into());
             }
             "--trace-out" => trace_out = Some(value_of("--trace-out")?),
+            "--shards" => {
+                let value = value_of("--shards")?;
+                shards = value
+                    .parse()
+                    .map_err(|_| format!("bad --shards value {value:?}"))?;
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(Some((config, trace_out)))
+    Ok(Some((config, trace_out, shards)))
+}
+
+/// The worker-process argument vector for shard `shard` — the parsed
+/// config re-serialized, minus the listen port (the supervisor appends
+/// `--port 0`) and with the warm journal fanned out per shard.
+fn worker_args(config: &ServeConfig, shard: usize) -> Vec<String> {
+    let mut args = vec!["--host".to_owned(), config.host.clone()];
+    if config.jobs > 0 {
+        args.extend(["--jobs".to_owned(), config.jobs.to_string()]);
+    }
+    args.extend(["--queue".to_owned(), config.queue_capacity.to_string()]);
+    args.extend(["--cache".to_owned(), config.cache_capacity.to_string()]);
+    args.extend([
+        "--batch-window-ms".to_owned(),
+        config.batch_window.as_millis().to_string(),
+    ]);
+    if let Some(deadline) = config.default_deadline {
+        args.extend(["--deadline-ms".to_owned(), deadline.as_millis().to_string()]);
+    }
+    if let Some(base) = &config.warm_journal {
+        // Per-shard journals: N processes appending to one file would
+        // interleave records; each shard owns `<base>.shard-<i>` instead.
+        let mut path = base.as_os_str().to_owned();
+        path.push(format!(".shard-{shard}"));
+        args.extend([
+            "--warm-journal".to_owned(),
+            path.to_string_lossy().into_owned(),
+        ]);
+    }
+    args
+}
+
+/// Runs the `--shards N` topology: spawn the fleet, front it with a
+/// router, serve until drained, then reap every worker.
+fn run_sharded(config: ServeConfig, shards: usize) -> ExitCode {
+    let binary = match std::env::current_exe() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: cannot locate own binary for worker spawn: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fleet = match ShardFleet::spawn(
+        &binary,
+        shards,
+        |shard| worker_args(&config, shard),
+        Duration::from_secs(30),
+    ) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let router = match Router::start(RouterConfig {
+        host: config.host.clone(),
+        port: config.port,
+        shards: fleet.addrs().to_vec(),
+        ..RouterConfig::default()
+    }) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE; // fleet drop kills the workers
+        }
+    };
+    for (shard, addr) in fleet.addrs().iter().enumerate() {
+        eprintln!("shard {shard} listening on {addr}");
+    }
+    // The same line scripts and tests wait for in single-process mode.
+    println!("dynex-serve listening on {}", router.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    router.join(); // POST /shutdown relays the drain to every shard first
+    dynex_obs::span::take_jsonl_writer();
+    if let Err(e) = fleet.wait(Duration::from_secs(15)) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("dynex-serve router and {shards} shard(s) drained, exiting");
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
-    let config = match parse_args() {
-        Ok(Some((config, trace_out))) => {
+    let (config, shards) = match parse_args() {
+        Ok(Some((config, trace_out, shards))) => {
             if let Some(path) = trace_out {
                 // Installed before the server boots so even startup-adjacent
                 // spans land in the stream.
@@ -122,7 +228,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            config
+            (config, shards)
         }
         Ok(None) => {
             usage();
@@ -134,6 +240,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if shards > 0 {
+        return run_sharded(config, shards);
+    }
 
     let server = match Server::start(config) {
         Ok(server) => server,

@@ -143,6 +143,21 @@ pub fn write_response_traced(
     write_headed_response(stream, status, body, Some(&header))
 }
 
+/// Relays a response the router received from a shard, byte-identically:
+/// same status, same body, and the shard's own `X-Dynex-Trace` value (the
+/// router must not re-stamp a relayed response with its own trace id).
+/// Header order matches [`write_response_traced`], so the bytes a client
+/// sees through the router equal the bytes the shard wrote.
+pub fn write_response_relayed(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    trace: Option<&str>,
+) -> std::io::Result<()> {
+    let header = trace.map(|value| format!("X-Dynex-Trace: {value}\r\n"));
+    write_headed_response(stream, status, body, header.as_deref())
+}
+
 fn write_headed_response(
     stream: &mut TcpStream,
     status: u16,

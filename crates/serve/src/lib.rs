@@ -23,6 +23,16 @@
 //! The HTTP layer is a deliberate minimum (hermetic workspace, no
 //! third-party crates): HTTP/1.1, `Connection: close`, JSON bodies.
 //!
+//! # Scale-out
+//!
+//! For more cores than one process should own, the crate also provides the
+//! sharded tier behind `dynex-serve --shards N`: a [`Router`] that places
+//! requests onto N single-process servers with rendezvous hashing over
+//! [`shard_for_key`] and relays shard responses byte-identically (see the
+//! `router` module docs), and a [`ShardFleet`] supervisor that launches
+//! and reaps the N worker processes. The [`client`] module is the matching
+//! minimal HTTP client, shared with the `dynex-load` harness.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -36,10 +46,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 mod http;
 mod lru;
+mod router;
 mod server;
+mod supervisor;
 
+pub use client::HttpResponse;
 pub use http::HttpRequest;
 pub use lru::LruCache;
+pub use router::{shard_for_key, Router, RouterConfig};
 pub use server::{ServeConfig, ServeError, Server};
+pub use supervisor::ShardFleet;

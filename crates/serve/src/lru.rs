@@ -105,4 +105,111 @@ mod tests {
         assert!(lru.is_empty());
         assert_eq!(lru.get("a"), None);
     }
+
+    #[test]
+    fn capacity_one_holds_exactly_the_latest_insert() {
+        let mut lru = LruCache::new(1);
+        lru.insert("a", 1);
+        assert_eq!(lru.get("a"), Some(&1));
+        lru.insert("b", 2); // evicts a
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get("a"), None);
+        assert_eq!(lru.get("b"), Some(&2));
+        // A get cannot save the sole entry from the next insert...
+        assert_eq!(lru.get("b"), Some(&2));
+        lru.insert("c", 3);
+        assert_eq!(lru.get("b"), None);
+        // ...but re-inserting the same key replaces in place.
+        lru.insert("c", 30);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get("c"), Some(&30));
+    }
+
+    #[test]
+    fn reinsert_moves_to_front_of_recency_order() {
+        let mut lru = LruCache::new(3);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.insert("c", 3);
+        lru.insert("a", 10); // a becomes most recent; b is now oldest
+        lru.insert("d", 4); // evicts b
+        assert_eq!(lru.get("b"), None);
+        lru.insert("e", 5); // evicts c (a was re-inserted after c)
+        assert_eq!(lru.get("c"), None);
+        assert_eq!(lru.get("a"), Some(&10));
+        assert_eq!(lru.get("d"), Some(&4));
+        assert_eq!(lru.get("e"), Some(&5));
+    }
+
+    /// A trivially-correct LRU model: a `HashMap` for contents and a
+    /// `VecDeque` holding keys from least to most recently used.
+    struct ModelLru {
+        capacity: usize,
+        map: HashMap<String, i64>,
+        order: std::collections::VecDeque<String>,
+    }
+
+    impl ModelLru {
+        fn new(capacity: usize) -> ModelLru {
+            ModelLru {
+                capacity,
+                map: HashMap::new(),
+                order: std::collections::VecDeque::new(),
+            }
+        }
+
+        fn touch(&mut self, key: &str) {
+            self.order.retain(|k| k != key);
+            self.order.push_back(key.to_owned());
+        }
+
+        fn get(&mut self, key: &str) -> Option<i64> {
+            let value = self.map.get(key).copied()?;
+            self.touch(key);
+            Some(value)
+        }
+
+        fn insert(&mut self, key: &str, value: i64) {
+            self.map.insert(key.to_owned(), value);
+            self.touch(key);
+            while self.map.len() > self.capacity {
+                let victim = self.order.pop_front().expect("order tracks map");
+                self.map.remove(&victim);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_model_under_interleaved_get_put() {
+        // Property test against the model, with the workspace's own PRNG
+        // (hermetic builds cannot reach proptest): thousands of randomized
+        // get/insert interleavings over a small key space at several
+        // capacities, checking every get result — which pins down the
+        // whole eviction order, since a wrongly evicted (or wrongly
+        // retained) key surfaces as a mismatched get within a few steps.
+        let mut rng = dynex_cache::SplitMix64::new(0x1ab_cafe);
+        for capacity in [1usize, 2, 3, 7] {
+            for round in 0..8 {
+                let mut real = LruCache::new(capacity);
+                let mut model = ModelLru::new(capacity);
+                for step in 0..2_000 {
+                    // Key space a bit larger than capacity so evictions
+                    // and re-inserts both happen constantly.
+                    let key = format!("k{}", rng.below(capacity as u64 * 2 + 2));
+                    if rng.chance(0.5) {
+                        let value = rng.next_u64() as i64;
+                        real.insert(&key, value);
+                        model.insert(&key, value);
+                    } else {
+                        assert_eq!(
+                            real.get(&key).copied(),
+                            model.get(&key),
+                            "capacity {capacity} round {round} step {step} key {key}"
+                        );
+                    }
+                    assert_eq!(real.len(), model.map.len());
+                }
+            }
+        }
+    }
 }

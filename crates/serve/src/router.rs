@@ -1,0 +1,641 @@
+//! The shard router: a thin front tier that places requests onto N
+//! single-process [`crate::Server`] shards and relays their responses
+//! byte-identically.
+//!
+//! # Placement
+//!
+//! Each request is hashed to a shard with **rendezvous (highest-random-
+//! weight) hashing** over [`SimulationRequest::routing_key`] — the cheap
+//! FNV-1a key over the request fields that determine the PR 3 content key,
+//! computable without decoding the trace. Rendezvous hashing gives the two
+//! properties the satellite tests pin down: placement is balanced (each
+//! shard wins ≈ 1/N of the key space), and growing the fleet from N to N+1
+//! shards remaps only the ≈ 1/(N+1) of keys whose new maximum weight is the
+//! new shard — every other key keeps its shard, and its shard's warm LRU.
+//!
+//! # Relay contract
+//!
+//! The router never rewrites a shard response: status, body bytes, and the
+//! shard's `X-Dynex-Trace` header are forwarded verbatim, so a client
+//! cannot distinguish a routed response from a direct one. The router
+//! answers from its own trace id only for requests that never reached a
+//! shard: parse failures (`400`) and dead shards (`503`, with the shard id
+//! in the JSON body — loud, attributable failure instead of a silent
+//! retry-elsewhere that would split the cache).
+//!
+//! # Aggregation
+//!
+//! `GET /metrics` fans out to every shard, merges the per-shard registries
+//! ([`MetricsRegistry::merge`]: counters summed, latency histograms
+//! bucket-merged), rebuilds the cross-fleet `latency_summary` from the
+//! merged histograms, and appends the router's own `router-*` counters and
+//! a per-shard reachability table. `GET /healthz` reports the background
+//! health-probe view of the fleet without blocking on it.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dynex_engine::fnv1a;
+use dynex_experiments::api::SimulationRequest;
+use dynex_obs::json::{self, Json};
+use dynex_obs::span::{self, StageStats};
+use dynex_obs::MetricsRegistry;
+
+use crate::client::{self, HttpResponse};
+use crate::http::{
+    read_request, write_response, write_response_relayed, write_response_traced, HttpRequest,
+};
+
+/// Locks `mutex`, recovering the guard when a previous holder panicked
+/// (see the sibling in `server.rs` for why recovery is safe here: every
+/// value behind a router lock is updated atomically-or-not-at-all).
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Finalizing bit mixer (the splitmix64/murmur3 finalizer). FNV-1a alone
+/// avalanches poorly in its low bits for short inputs; rendezvous hashing
+/// compares per-shard weights, so weak mixing would skew placement.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// Rendezvous (highest-random-weight) shard placement for a routing key.
+///
+/// Deterministic: every router instance (and every test) agrees on the
+/// placement of a key for a given shard count.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero — a router with no shards is a configuration
+/// error, caught at [`Router::start`].
+pub fn shard_for_key(key: &str, shards: usize) -> usize {
+    assert!(shards > 0, "shard_for_key needs at least one shard");
+    let key_hash = fnv1a(key.as_bytes());
+    (0..shards)
+        .max_by_key(|&shard| mix64(key_hash ^ mix64(shard as u64 + 1)))
+        .expect("non-empty shard range")
+}
+
+/// Tuning knobs for [`Router::start`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Interface to bind (default loopback).
+    pub host: String,
+    /// TCP port to bind; 0 picks an ephemeral port (see [`Router::addr`]).
+    pub port: u16,
+    /// The shard servers to front, in shard-id order. Must be non-empty.
+    pub shards: Vec<SocketAddr>,
+    /// Transport timeout for relaying one `/simulate` to a shard (connect,
+    /// and each read/write). Generous: a shard enforces its own request
+    /// deadlines; this bound only catches a dead or wedged shard.
+    pub relay_timeout: Duration,
+    /// Transport timeout for health probes and metrics fan-out.
+    pub probe_timeout: Duration,
+    /// How often the background health thread probes each shard.
+    pub health_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            host: "127.0.0.1".to_owned(),
+            port: 0,
+            shards: Vec::new(),
+            relay_timeout: Duration::from_secs(60),
+            probe_timeout: Duration::from_secs(2),
+            health_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// State shared between the acceptor, handlers, and the health thread.
+struct RouterState {
+    shards: Vec<SocketAddr>,
+    /// Last known reachability per shard: updated by the background probe
+    /// and, immediately, by every failed relay.
+    healthy: Vec<AtomicBool>,
+    metrics: Mutex<MetricsRegistry>,
+    draining: AtomicBool,
+    /// Wakes the health thread early on drain.
+    drain_signal: (Mutex<bool>, Condvar),
+    /// Live handler-thread count; `join` waits for it to reach zero.
+    handlers: (Mutex<usize>, Condvar),
+    listen_addr: SocketAddr,
+    relay_timeout: Duration,
+    probe_timeout: Duration,
+}
+
+impl RouterState {
+    fn count(&self, name: &str) {
+        lock_or_recover(&self.metrics).add(name, 1);
+    }
+}
+
+/// Decrements the live-handler count when a handler thread exits, panics
+/// included (see `server.rs`).
+struct HandlerGuard(Arc<RouterState>);
+
+impl Drop for HandlerGuard {
+    fn drop(&mut self) {
+        let (count, woken) = &self.0.handlers;
+        let mut count = lock_or_recover(count);
+        *count -= 1;
+        if *count == 0 {
+            woken.notify_all();
+        }
+    }
+}
+
+/// One `{"error":…}` body from the router itself (the request never
+/// reached a shard), stamped with the router-side trace id.
+fn error_body(message: &str, trace_id: u64) -> String {
+    format!(
+        r#"{{"error":"{}","trace_id":"{}"}}"#,
+        json::escape(message),
+        span::trace_hex(trace_id)
+    )
+}
+
+/// A running shard router.
+///
+/// Dropping the handle does *not* stop the router; call
+/// [`Router::shutdown`] then [`Router::join`] (or hit `POST /shutdown`,
+/// which also drains every shard).
+pub struct Router {
+    state: Arc<RouterState>,
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    health: JoinHandle<()>,
+}
+
+impl Router {
+    /// Binds the socket, seeds the shard-health table, and spawns the
+    /// acceptor and health-probe threads.
+    pub fn start(config: RouterConfig) -> Result<Router, crate::ServeError> {
+        if config.shards.is_empty() {
+            return Err(crate::ServeError::Bind(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one shard",
+            )));
+        }
+        span::enable_latency();
+        let listener = TcpListener::bind((config.host.as_str(), config.port))
+            .map_err(crate::ServeError::Bind)?;
+        let addr = listener.local_addr().map_err(crate::ServeError::Bind)?;
+
+        let mut metrics = MetricsRegistry::new();
+        for name in [
+            "router-requests-total",
+            "router-routed",
+            "router-shard-errors",
+            "router-health-probes",
+        ] {
+            metrics.add(name, 0);
+        }
+        for shard in 0..config.shards.len() {
+            metrics.add(&format!("router-routed-shard-{shard}"), 0);
+        }
+
+        let state = Arc::new(RouterState {
+            healthy: config
+                .shards
+                .iter()
+                .map(|_| AtomicBool::new(true))
+                .collect(),
+            shards: config.shards,
+            metrics: Mutex::new(metrics),
+            draining: AtomicBool::new(false),
+            drain_signal: (Mutex::new(false), Condvar::new()),
+            handlers: (Mutex::new(0), Condvar::new()),
+            listen_addr: addr,
+            relay_timeout: config.relay_timeout,
+            probe_timeout: config.probe_timeout,
+        });
+
+        let health = {
+            let state = Arc::clone(&state);
+            let interval = config.health_interval;
+            std::thread::spawn(move || health_loop(state, interval))
+        };
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || acceptor(state, listener))
+        };
+
+        Ok(Router {
+            state,
+            addr,
+            acceptor,
+            health,
+        })
+    }
+
+    /// The bound address (the real port when `port: 0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Reads one router counter (e.g. `"router-routed"`).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock_or_recover(&self.state.metrics).counter(name)
+    }
+
+    /// The health-probe view of one shard (`true` until a probe or relay
+    /// fails).
+    pub fn shard_healthy(&self, shard: usize) -> bool {
+        self.state.healthy[shard].load(Ordering::SeqCst)
+    }
+
+    /// Starts a graceful drain of the *router* (stop accepting, finish
+    /// in-flight relays). Does not touch the shards — that is `POST
+    /// /shutdown`'s job, so an embedder can drain the front tier while
+    /// keeping the fleet up.
+    pub fn shutdown(&self) {
+        initiate_drain(&self.state);
+    }
+
+    /// Blocks until the router has drained, then joins its threads.
+    pub fn join(self) {
+        self.acceptor.join().expect("router acceptor thread");
+        let (count, woken) = &self.state.handlers;
+        let mut count = lock_or_recover(count);
+        while *count > 0 {
+            count = woken.wait(count).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(count);
+        self.health.join().expect("router health thread");
+    }
+}
+
+/// Flips the draining flag, wakes the health thread, and unblocks the
+/// acceptor's blocking `accept` with a throwaway self-connection.
+fn initiate_drain(state: &RouterState) {
+    state.draining.store(true, Ordering::SeqCst);
+    let (flag, signal) = &state.drain_signal;
+    *lock_or_recover(flag) = true;
+    signal.notify_all();
+    let _ = TcpStream::connect(state.listen_addr);
+}
+
+/// Background shard health probe: `GET /healthz` on every shard, each
+/// `interval`, until drain.
+fn health_loop(state: Arc<RouterState>, interval: Duration) {
+    let (flag, signal) = &state.drain_signal;
+    loop {
+        for (shard, &addr) in state.shards.iter().enumerate() {
+            let alive = client::call(addr, "GET", "/healthz", "", state.probe_timeout)
+                .map(|response| response.status == 200)
+                .unwrap_or(false);
+            state.healthy[shard].store(alive, Ordering::SeqCst);
+        }
+        state.count("router-health-probes");
+        let mut draining = lock_or_recover(flag);
+        while !*draining {
+            let (guard, timed_out) = signal
+                .wait_timeout(draining, interval)
+                .unwrap_or_else(PoisonError::into_inner);
+            draining = guard;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        if *draining {
+            return;
+        }
+    }
+}
+
+/// Accept loop: one short-lived handler thread per connection.
+fn acceptor(state: Arc<RouterState>, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.draining.load(Ordering::SeqCst) {
+            refuse(stream);
+            let _ = listener.set_nonblocking(true);
+            while let Ok((stream, _)) = listener.accept() {
+                refuse(stream);
+            }
+            return;
+        }
+        let (count, _) = &state.handlers;
+        *lock_or_recover(count) += 1;
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let _guard = HandlerGuard(Arc::clone(&state));
+            handle_connection(&state, stream);
+        });
+    }
+}
+
+/// Answers a connection caught by the drain with an explicit `503`.
+fn refuse(mut stream: TcpStream) {
+    let _ = write_response(&mut stream, 503, r#"{"error":"router is draining"}"#);
+}
+
+/// How a routed request gets answered on the wire.
+enum Reply {
+    /// The router speaks for itself (health, metrics, errors): status,
+    /// body, and the router's own trace id.
+    Own(u16, String),
+    /// A shard response to forward byte-identically.
+    Relay(HttpResponse),
+}
+
+/// Serves one connection: parse, route or relay, respond, close.
+fn handle_connection(state: &Arc<RouterState>, mut stream: TcpStream) {
+    let trace_id = span::fresh_trace_id();
+    let _request = span::root_span("router.request", trace_id);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(message) => {
+            let _ =
+                write_response_traced(&mut stream, 400, &error_body(&message, trace_id), trace_id);
+            return;
+        }
+    };
+    state.count("router-requests-total");
+    let _respond = span::span("router.respond");
+    match route(state, &request, trace_id) {
+        Reply::Own(status, body) => {
+            let _ = write_response_traced(&mut stream, status, &body, trace_id);
+        }
+        Reply::Relay(response) => {
+            let _ = write_response_relayed(
+                &mut stream,
+                response.status,
+                &response.body,
+                response.trace.as_deref(),
+            );
+        }
+    }
+}
+
+/// Maps a parsed request to a [`Reply`].
+fn route(state: &Arc<RouterState>, request: &HttpRequest, trace_id: u64) -> Reply {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Reply::Own(200, healthz_body(state)),
+        ("GET", "/metrics") => Reply::Own(200, metrics_body(state)),
+        ("POST", "/shutdown") => {
+            // Drain the whole deployment: every shard first (best effort —
+            // a dead shard cannot block the drain), then the router.
+            for &addr in &state.shards {
+                let _ = client::call(addr, "POST", "/shutdown", "", state.probe_timeout);
+            }
+            initiate_drain(state);
+            Reply::Own(200, r#"{"status":"draining"}"#.to_owned())
+        }
+        ("POST", "/simulate") => handle_simulate(state, &request.body, trace_id),
+        (_, "/healthz" | "/metrics" | "/shutdown" | "/simulate") => Reply::Own(
+            405,
+            error_body(
+                &format!("method {} not allowed on {}", request.method, request.path),
+                trace_id,
+            ),
+        ),
+        (_, path) => Reply::Own(404, error_body(&format!("no route for {path}"), trace_id)),
+    }
+}
+
+/// The router `/healthz` body: drain state plus the probed fleet view.
+/// Reads the cached health table — never blocks on a shard.
+fn healthz_body(state: &Arc<RouterState>) -> String {
+    let mut down = 0usize;
+    let mut shards = String::new();
+    for (shard, addr) in state.shards.iter().enumerate() {
+        let healthy = state.healthy[shard].load(Ordering::SeqCst);
+        if !healthy {
+            down += 1;
+        }
+        if shard > 0 {
+            shards.push(',');
+        }
+        shards.push_str(&format!(
+            r#"{{"id":{shard},"addr":"{addr}","healthy":{healthy}}}"#
+        ));
+    }
+    let status = if state.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else if down > 0 {
+        "degraded"
+    } else {
+        "ok"
+    };
+    format!(r#"{{"status":"{status}","shards":[{shards}]}}"#)
+}
+
+/// The aggregate `/metrics` body: every reachable shard's registry merged
+/// (counters summed, histograms bucket-merged), a `latency_summary`
+/// rebuilt from the merged per-stage histograms, the router's own
+/// `router-*` counters, and a per-shard merge status table.
+fn metrics_body(state: &Arc<RouterState>) -> String {
+    let mut merged = MetricsRegistry::new();
+    merged.merge(&lock_or_recover(&state.metrics));
+    let mut stage_totals: BTreeMap<String, u64> = BTreeMap::new();
+    let mut shard_rows = String::new();
+    for (shard, &addr) in state.shards.iter().enumerate() {
+        let fetched = client::call(addr, "GET", "/metrics", "", state.probe_timeout)
+            .ok()
+            .filter(|response| response.status == 200)
+            .and_then(|response| json::parse(&response.body).ok())
+            .and_then(|doc| {
+                let registry = MetricsRegistry::from_json(&doc).ok()?;
+                // The summary block carries the per-stage totals the
+                // histograms alone cannot reconstruct.
+                if let Some(Json::Obj(summary)) = doc.get("latency_summary") {
+                    for (stage, stats) in summary {
+                        let total = stats.get("total_us").and_then(Json::as_u64).unwrap_or(0);
+                        *stage_totals.entry(stage.clone()).or_insert(0) += total;
+                    }
+                }
+                Some(registry)
+            });
+        let ok = match fetched {
+            Some(registry) => {
+                merged.merge(&registry);
+                true
+            }
+            None => {
+                state.count("router-shard-errors");
+                false
+            }
+        };
+        if shard > 0 {
+            shard_rows.push(',');
+        }
+        shard_rows.push_str(&format!(
+            r#"{{"id":{shard},"addr":"{addr}","merged":{ok}}}"#
+        ));
+    }
+
+    // Rebuild the fleet-wide latency summary from the merged histograms.
+    let mut stages: BTreeMap<String, StageStats> = BTreeMap::new();
+    for (name, histogram) in merged.histograms() {
+        if let Some(stage) = name.strip_prefix("latency-us/") {
+            stages.insert(
+                stage.to_owned(),
+                StageStats {
+                    histogram: histogram.clone(),
+                    total_us: stage_totals.get(stage).copied().unwrap_or(0),
+                },
+            );
+        }
+    }
+    let mut body = dynex_obs::export::metrics_json(&merged, None);
+    body.pop();
+    body.push_str(",\"latency_summary\":");
+    body.push_str(&span::summary_json(&stages));
+    body.push_str(&format!(",\"shards\":[{shard_rows}]}}"));
+    body
+}
+
+/// The `/simulate` relay: validate, place, forward, fail loudly.
+fn handle_simulate(state: &Arc<RouterState>, body: &str, trace_id: u64) -> Reply {
+    let request = match SimulationRequest::from_json(body) {
+        Ok(request) => request,
+        Err(e) => return Reply::Own(400, error_body(&e.to_string(), trace_id)),
+    };
+    let key = match request.routing_key() {
+        Ok(key) => key,
+        Err(e) => return Reply::Own(500, error_body(&e.to_string(), trace_id)),
+    };
+    let shard = shard_for_key(&key, state.shards.len());
+    state.count("router-routed");
+    state.count(&format!("router-routed-shard-{shard}"));
+    // The original body is forwarded, not a re-serialization: the shard
+    // parses and validates exactly what the client sent.
+    match client::call(
+        state.shards[shard],
+        "POST",
+        "/simulate",
+        body,
+        state.relay_timeout,
+    ) {
+        Ok(response) => {
+            state.healthy[shard].store(true, Ordering::SeqCst);
+            Reply::Relay(response)
+        }
+        Err(message) => {
+            // Loud, attributable failure: the shard id lands in the error
+            // body so an operator (or the load harness's error taxonomy)
+            // sees *which* shard died, and the health table flips without
+            // waiting for the next probe.
+            state.healthy[shard].store(false, Ordering::SeqCst);
+            state.count("router-shard-errors");
+            Reply::Own(
+                503,
+                format!(
+                    r#"{{"error":"shard {shard} unavailable: {}","shard":{shard},"trace_id":"{}"}}"#,
+                    json::escape(&message),
+                    span::trace_hex(trace_id)
+                ),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynex_engine::job_key;
+
+    /// 10k synthetic content keys shaped like the real ones (16-hex
+    /// `job_key` digests).
+    fn synthetic_keys() -> Vec<String> {
+        (0..10_000)
+            .map(|i| job_key(&["simcache/v1", "de", "all", &format!("key {i}")]))
+            .collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let key = "0123456789abcdef";
+        assert_eq!(shard_for_key(key, 1), 0);
+        for shards in 1..8 {
+            let place = shard_for_key(key, shards);
+            assert!(place < shards);
+            assert_eq!(place, shard_for_key(key, shards), "deterministic");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_a_loud_error() {
+        shard_for_key("k", 0);
+    }
+
+    #[test]
+    fn placement_balances_within_1_5x_of_mean() {
+        // Satellite: over 10k synthetic content keys, no shard may hold
+        // more than 1.5x the mean — rendezvous over a well-mixed hash
+        // keeps the spread far tighter, but 1.5x is the contract.
+        for shards in [2usize, 3, 4, 8] {
+            let mut counts = vec![0u64; shards];
+            for key in synthetic_keys() {
+                counts[shard_for_key(&key, shards)] += 1;
+            }
+            let mean = 10_000.0 / shards as f64;
+            for (shard, &count) in counts.iter().enumerate() {
+                assert!(
+                    (count as f64) <= 1.5 * mean,
+                    "shard {shard}/{shards} holds {count} keys (mean {mean})"
+                );
+                assert!(count > 0, "shard {shard}/{shards} is empty");
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_remaps_only_one_over_n_keys() {
+        // Satellite: growing N -> N+1 must remap ~1/(N+1) of keys, and
+        // rendezvous gives the strong form — a remapped key can only move
+        // TO the new shard (its old weights are unchanged).
+        for old in [2usize, 4] {
+            let new = old + 1;
+            let mut moved = 0u64;
+            for key in synthetic_keys() {
+                let before = shard_for_key(&key, old);
+                let after = shard_for_key(&key, new);
+                if before != after {
+                    moved += 1;
+                    assert_eq!(
+                        after,
+                        new - 1,
+                        "key {key} moved between surviving shards ({before} -> {after})"
+                    );
+                }
+            }
+            // Binomial(10k, 1/new): a +-30% band is ~20 sigma.
+            let expected = 10_000.0 / new as f64;
+            assert!(
+                (moved as f64) > 0.7 * expected && (moved as f64) < 1.3 * expected,
+                "{old}->{new} shards moved {moved} keys (expected ~{expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn router_refuses_to_start_with_no_shards() {
+        let Err(err) = Router::start(RouterConfig::default()) else {
+            panic!("router started with an empty shard list");
+        };
+        assert!(err.to_string().contains("at least one shard"), "{err}");
+    }
+}

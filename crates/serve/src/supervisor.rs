@@ -1,0 +1,284 @@
+//! Shard process supervision for `dynex-serve --shards N`.
+//!
+//! The router fronts N *processes*, not threads: each shard is a full
+//! single-process server (its own LRU, its own warm journal, its own
+//! simulation pool) launched from the same binary, so a shard panic or OOM
+//! kill never takes the fleet down — the router answers `503` for that
+//! shard's keys and everything else keeps serving.
+//!
+//! Boot protocol: each worker is spawned with `--port 0` and a piped
+//! stdout; the supervisor reads the worker's `dynex-serve listening on
+//! <addr>` line (the same line the smoke scripts wait for) to learn the
+//! ephemeral port, then keeps draining the pipe on a background thread so
+//! a chatty child can never block on a full pipe.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// The stdout line prefix every worker prints once it is serving.
+const LISTENING_PREFIX: &str = "dynex-serve listening on ";
+
+/// One supervised shard worker process.
+#[derive(Debug)]
+struct ShardChild {
+    id: usize,
+    child: Child,
+}
+
+/// A fleet of shard worker processes behind one router.
+///
+/// Dropping the fleet kills any children that have not been waited on —
+/// an error path that leaks N background servers would otherwise poison
+/// every later test or CI job on the machine.
+#[derive(Debug)]
+pub struct ShardFleet {
+    children: Vec<ShardChild>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl ShardFleet {
+    /// Spawns `count` workers from `binary`, passing each the arguments
+    /// `worker_args(shard_id)` produces (the supervisor appends
+    /// `--port 0` itself), and waits up to `boot_timeout` for each
+    /// worker's listening line.
+    ///
+    /// Fails loudly — with the shard id — if any worker dies or stays
+    /// silent before announcing its port; already-started workers are
+    /// killed by the fleet's drop.
+    pub fn spawn(
+        binary: &Path,
+        count: usize,
+        worker_args: impl Fn(usize) -> Vec<String>,
+        boot_timeout: Duration,
+    ) -> Result<ShardFleet, String> {
+        if count == 0 {
+            return Err("--shards needs at least one shard".to_owned());
+        }
+        let mut fleet = ShardFleet {
+            children: Vec::with_capacity(count),
+            addrs: Vec::with_capacity(count),
+        };
+        for id in 0..count {
+            let mut child = Command::new(binary)
+                .args(worker_args(id))
+                .args(["--port", "0"])
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| format!("shard {id}: cannot spawn {}: {e}", binary.display()))?;
+            let stdout = child
+                .stdout
+                .take()
+                .ok_or_else(|| format!("shard {id}: no stdout pipe"))?;
+            fleet.children.push(ShardChild { id, child });
+
+            // The pipe read has no native timeout: a reader thread sends the
+            // listening line back, then keeps draining stdout until EOF.
+            let (sender, receiver) = mpsc::channel::<Result<SocketAddr, String>>();
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stdout);
+                let mut line = String::new();
+                let mut announced = false;
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) => {
+                            if !announced {
+                                let _ = sender
+                                    .send(Err("exited before announcing its port".to_owned()));
+                            }
+                            return;
+                        }
+                        Ok(_) => {
+                            if announced {
+                                continue; // drain, so the child never blocks
+                            }
+                            if let Some(rest) = line.trim_end().strip_prefix(LISTENING_PREFIX) {
+                                announced = true;
+                                let _ = sender.send(
+                                    rest.parse::<SocketAddr>()
+                                        .map_err(|e| format!("bad listen address {rest:?}: {e}")),
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            if !announced {
+                                let _ = sender.send(Err(format!("stdout read error: {e}")));
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+
+            let addr = receiver
+                .recv_timeout(boot_timeout)
+                .map_err(|_| {
+                    format!(
+                        "shard {id}: no listening line within {}ms",
+                        boot_timeout.as_millis()
+                    )
+                })?
+                .map_err(|e| format!("shard {id}: {e}"))?;
+            fleet.addrs.push(addr);
+        }
+        Ok(fleet)
+    }
+
+    /// The listen address of every shard, in shard-id order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Waits up to `timeout` for every worker to exit on its own (after a
+    /// relayed `POST /shutdown` drain), then kills and reaps stragglers.
+    ///
+    /// Returns an error naming each shard that had to be killed or exited
+    /// unsuccessfully — a drained worker that cannot exit is a leaked
+    /// thread somewhere, exactly what the smoke scripts exist to catch.
+    pub fn wait(mut self, timeout: Duration) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        let mut failures = Vec::new();
+        for shard in &mut self.children {
+            loop {
+                match shard.child.try_wait() {
+                    Ok(Some(status)) => {
+                        if !status.success() {
+                            failures.push(format!("shard {} exited with {status}", shard.id));
+                        }
+                        break;
+                    }
+                    Ok(None) => {
+                        if Instant::now() >= deadline {
+                            let _ = shard.child.kill();
+                            let _ = shard.child.wait();
+                            failures.push(format!("shard {} did not exit after drain", shard.id));
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => {
+                        failures.push(format!("shard {}: wait failed: {e}", shard.id));
+                        break;
+                    }
+                }
+            }
+        }
+        self.children.clear();
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("; "))
+        }
+    }
+}
+
+impl Drop for ShardFleet {
+    fn drop(&mut self) {
+        for shard in &mut self.children {
+            // Only reached on error paths (normal exit goes through
+            // `wait`, which clears the list): make sure no background
+            // server outlives the supervisor.
+            let _ = shard.child.kill();
+            let _ = shard.child.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shards_is_a_loud_error() {
+        let err = ShardFleet::spawn(
+            Path::new("/nonexistent"),
+            0,
+            |_| Vec::new(),
+            Duration::from_secs(1),
+        )
+        .unwrap_err();
+        assert!(err.contains("at least one shard"), "{err}");
+    }
+
+    #[test]
+    fn unspawnable_binary_names_the_shard() {
+        let err = ShardFleet::spawn(
+            Path::new("/nonexistent-dynex-serve"),
+            2,
+            |_| Vec::new(),
+            Duration::from_secs(1),
+        )
+        .unwrap_err();
+        assert!(err.contains("shard 0"), "{err}");
+        assert!(err.contains("cannot spawn"), "{err}");
+    }
+
+    // The supervisor appends `--port 0`, so the fake workers below run
+    // through `sh -c SCRIPT`, which swallows the extra operands as $0/$1.
+
+    #[test]
+    fn silent_worker_times_out_with_shard_id() {
+        // Sleeps without ever printing a listening line; the boot must
+        // fail fast and kill the child on drop.
+        let err = ShardFleet::spawn(
+            Path::new("/bin/sh"),
+            1,
+            |_| vec!["-c".to_owned(), "sleep 30".to_owned()],
+            Duration::from_millis(300),
+        )
+        .unwrap_err();
+        assert!(err.contains("shard 0"), "{err}");
+        assert!(err.contains("no listening line"), "{err}");
+    }
+
+    #[test]
+    fn immediately_exiting_worker_is_reported() {
+        let err = ShardFleet::spawn(
+            Path::new("/bin/sh"),
+            1,
+            |_| vec!["-c".to_owned(), "exit 0".to_owned()],
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        assert!(err.contains("exited before announcing"), "{err}");
+    }
+
+    #[test]
+    fn listening_line_is_parsed_and_garbage_addresses_fail_loudly() {
+        let fleet = ShardFleet::spawn(
+            Path::new("/bin/sh"),
+            1,
+            |_| {
+                vec![
+                    "-c".to_owned(),
+                    // Announce, then stay alive briefly like a server would.
+                    "echo 'dynex-serve listening on 127.0.0.1:12345'; sleep 30".to_owned(),
+                ]
+            },
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(fleet.addrs(), &["127.0.0.1:12345".parse().unwrap()]);
+        drop(fleet); // kills the sleeping child
+
+        let err = ShardFleet::spawn(
+            Path::new("/bin/sh"),
+            1,
+            |_| {
+                vec![
+                    "-c".to_owned(),
+                    "echo 'dynex-serve listening on not-an-addr'; sleep 30".to_owned(),
+                ]
+            },
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+        assert!(err.contains("bad listen address"), "{err}");
+    }
+}

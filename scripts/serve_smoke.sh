@@ -10,9 +10,14 @@
 # the request and kernel stages. Set SMOKE_TRACE_OUT to keep the span JSONL
 # (CI uploads it as an artifact); default is a temp file.
 #
+# Boot/HTTP plumbing lives in smoke_lib.sh (shared with load_smoke.sh);
+# boot_serve fails fast if the server process dies before it listens.
+#
 #   scripts/serve_smoke.sh [path-to-dynex-serve]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/smoke_lib.sh
+. scripts/smoke_lib.sh
 
 bin="${1:-target/release/dynex-serve}"
 [ -x "$bin" ] || { echo "serve smoke: $bin not built" >&2; exit 1; }
@@ -26,26 +31,8 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$bin" --port 0 --batch-window-ms 0 --trace-out "$trace_out" >"$log" 2>/dev/null &
-serve_pid=$!
-
-port=""
-for _ in $(seq 1 100); do
-    port=$(sed -n 's/^dynex-serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")
-    [ -n "$port" ] && break
-    sleep 0.1
-done
-[ -n "$port" ] || { echo "serve smoke: no listening line in: $(cat "$log")" >&2; exit 1; }
-
-# One Connection: close request over /dev/tcp; prints the full response.
-roundtrip() { # method path body
-    local method=$1 path=$2 body=$3
-    exec 3<>"/dev/tcp/127.0.0.1/$port"
-    printf '%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %s\r\n\r\n%s' \
-        "$method" "$path" "${#body}" "$body" >&3
-    cat <&3
-    exec 3<&- 3>&-
-}
+boot_serve "$bin" "$log" --port 0 --batch-window-ms 0 --trace-out "$trace_out" \
+    || { echo "serve smoke: boot failed" >&2; exit 1; }
 
 request='{"org":"de","size":"8K","line":4,"trace":{"source":"profile","profile":"espresso"},"refs":100000}'
 
@@ -78,11 +65,9 @@ echo "$drain" | grep -q '"status":"draining"' \
     || { echo "serve smoke: shutdown did not drain: $drain" >&2; exit 1; }
 
 # Graceful exit within 10s; a leaked thread would hang the drain join.
-for _ in $(seq 1 100); do
-    kill -0 "$serve_pid" 2>/dev/null || { serve_pid=""; break; }
-    sleep 0.1
-done
-[ -z "$serve_pid" ] || { echo "serve smoke: server did not exit after drain" >&2; exit 1; }
+await_exit "$serve_pid" 10 \
+    || { echo "serve smoke: server did not exit after drain" >&2; exit 1; }
+serve_pid=""
 
 # The span stream must contain the request root and reach the kernel.
 [ -s "$trace_out" ] || { echo "serve smoke: --trace-out wrote no spans" >&2; exit 1; }

@@ -1,0 +1,58 @@
+# Shared helpers for the smoke scripts (serve_smoke.sh, load_smoke.sh).
+# Source this file; it defines functions and sets no options itself.
+#
+# shellcheck shell=bash
+
+# boot_serve BIN LOG ARGS...
+#
+# Starts BIN with ARGS in the background, stdout to LOG, and waits (10s)
+# for the "dynex-serve listening on 127.0.0.1:PORT" line. Sets $serve_pid
+# and $serve_port. Fails fast — within one poll tick, not the whole wait
+# budget — when the process dies before it ever listens, echoing its log
+# so the failure names the actual boot error instead of a timeout.
+boot_serve() {
+    local bin=$1 log=$2
+    shift 2
+    "$bin" "$@" >"$log" 2>/dev/null &
+    serve_pid=$!
+    serve_port=""
+    for _ in $(seq 1 100); do
+        serve_port=$(sed -n 's/^dynex-serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")
+        [ -n "$serve_port" ] && break
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "smoke: server exited before listening; log: $(cat "$log")" >&2
+            serve_pid=""
+            return 1
+        fi
+        sleep 0.1
+    done
+    [ -n "$serve_port" ] || {
+        echo "smoke: no listening line within 10s; log: $(cat "$log")" >&2
+        return 1
+    }
+}
+
+# roundtrip METHOD PATH BODY
+#
+# One Connection: close HTTP exchange against 127.0.0.1:$serve_port over
+# raw /dev/tcp (no curl dependency); prints the full response.
+roundtrip() {
+    local method=$1 path=$2 body=$3
+    exec 3<>"/dev/tcp/127.0.0.1/$serve_port"
+    printf '%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %s\r\n\r\n%s' \
+        "$method" "$path" "${#body}" "$body" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+# await_exit PID [SECONDS]
+#
+# Polls until PID exits (default budget 10s). Non-zero when still alive.
+await_exit() {
+    local pid=$1 ticks=$(( ${2:-10} * 10 ))
+    for _ in $(seq 1 "$ticks"); do
+        kill -0 "$pid" 2>/dev/null || return 0
+        sleep 0.1
+    done
+    return 1
+}

@@ -43,6 +43,15 @@ if [ "$quick" -eq 0 ]; then
     scripts/serve_smoke.sh
 fi
 
+# Load smoke: boot a 2-shard fleet (router + worker processes), drive 5s of
+# open-loop traffic through dynex-load, and gate on zero errors plus a
+# passing client/server cross-check. A does-the-tier-serve-under-load gate,
+# not a performance gate. (Skipped under --quick: needs release binaries.)
+if [ "$quick" -eq 0 ]; then
+    echo "==> load smoke (2-shard fleet, open-loop traffic, cross-check)"
+    scripts/load_smoke.sh
+fi
+
 if [ "$quick" -eq 0 ]; then
     echo "==> bench smoke (tiny budgets)"
     smoke_dir=$(mktemp -d)

@@ -1,0 +1,237 @@
+//! End-to-end tests for the sharded serve tier: a real [`Router`] over real
+//! in-process [`Server`] shards, exercised through the actual TCP stack.
+//!
+//! The load-bearing guarantee is the first test: for the same request, the
+//! *routed* response body is byte-for-byte the response the owning shard
+//! serves *directly*. Everything a client can key on — the label, the
+//! statistics, the content key, the cache flag — is relayed unmodified.
+//! (Trace ids are per-request randomness, so the comparison runs with the
+//! result cache disabled and checks bodies, not the trace header value;
+//! the relayed header's presence and shape are asserted separately.)
+
+use std::time::Duration;
+
+use dynex_experiments::api::SimulationRequest;
+use dynex_serve::{client, shard_for_key, Router, RouterConfig, ServeConfig, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A shard with the result cache off: every request re-simulates, so the
+/// same body always produces the same response bytes (`"cached":false`)
+/// whether it arrives directly or through the router.
+fn uncached_shard() -> Server {
+    Server::start(ServeConfig {
+        jobs: 1,
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    })
+    .expect("shard boots")
+}
+
+/// A small profile-trace request; `size` distinguishes routing keys.
+fn body(size: &str) -> String {
+    format!(
+        r#"{{"org":"de","size":"{size}","line":4,"trace":{{"source":"profile","profile":"espresso"}},"refs":30000}}"#
+    )
+}
+
+/// The shard index the router will place this request body on.
+fn owning_shard(body: &str, shards: usize) -> usize {
+    let request = SimulationRequest::from_json(body).expect("valid request body");
+    shard_for_key(&request.routing_key().expect("routing key"), shards)
+}
+
+#[test]
+fn routed_responses_are_byte_identical_to_direct_shard_responses() {
+    let shards = [uncached_shard(), uncached_shard()];
+    let addrs = vec![shards[0].addr(), shards[1].addr()];
+    let router = Router::start(RouterConfig {
+        shards: addrs.clone(),
+        ..RouterConfig::default()
+    })
+    .expect("router boots");
+
+    let mut placements = [0usize; 2];
+    for size in ["1K", "2K", "4K", "8K", "16K"] {
+        let body = body(size);
+        let shard = owning_shard(&body, 2);
+        placements[shard] += 1;
+
+        let direct =
+            client::call(addrs[shard], "POST", "/simulate", &body, TIMEOUT).expect("direct call");
+        let routed =
+            client::call(router.addr(), "POST", "/simulate", &body, TIMEOUT).expect("routed call");
+
+        assert_eq!(direct.status, 200, "direct: {}", direct.body);
+        assert_eq!(routed.status, direct.status);
+        assert_eq!(
+            routed.body, direct.body,
+            "size {size}: routed bytes differ from the owning shard's"
+        );
+        // The relay forwards the shard's trace header (fresh id per
+        // request, so shape is what is checkable).
+        let trace = routed.trace.expect("routed response carries a trace id");
+        assert_eq!(trace.len(), 16, "trace id {trace:?}");
+        assert!(trace.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+    // The five sizes must not all land on one shard, or this test would
+    // silently stop covering the relay path for half the fleet.
+    assert!(
+        placements.iter().all(|&n| n > 0),
+        "placements {placements:?}: rendezvous hashing degenerated"
+    );
+
+    client::call(router.addr(), "POST", "/shutdown", "", TIMEOUT).expect("drain");
+    router.join();
+    for shard in shards {
+        shard.join();
+    }
+}
+
+#[test]
+fn merged_metrics_sum_shard_counters_and_rebuild_latency() {
+    use dynex_obs::json::{self, Json};
+
+    let shards = [uncached_shard(), uncached_shard()];
+    let router = Router::start(RouterConfig {
+        shards: vec![shards[0].addr(), shards[1].addr()],
+        ..RouterConfig::default()
+    })
+    .expect("router boots");
+
+    let sizes = ["1K", "2K", "4K", "8K"];
+    for size in &sizes {
+        let response = client::call(router.addr(), "POST", "/simulate", &body(size), TIMEOUT)
+            .expect("routed call");
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+
+    let merged = client::call(router.addr(), "GET", "/metrics", "", TIMEOUT).expect("metrics");
+    assert_eq!(merged.status, 200);
+    let doc = json::parse(&merged.body).expect("merged metrics JSON");
+    let counter = |name: &str| {
+        doc.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("counter {name} missing: {}", merged.body))
+    };
+    // Shard counters merged across the fleet: every routed simulation
+    // executed exactly once somewhere.
+    assert_eq!(counter("sims-executed"), sizes.len() as u64);
+    // Router's own counters ride in the same registry.
+    assert_eq!(counter("router-routed"), sizes.len() as u64);
+    assert_eq!(
+        counter("router-routed-shard-0") + counter("router-routed-shard-1"),
+        sizes.len() as u64
+    );
+    // The latency summary is rebuilt from the merged per-stage histograms
+    // and must carry at least every executed simulation. (At least, not
+    // exactly: in-process shards share the process-global span recorder,
+    // so each shard's /metrics reports the whole process's samples and the
+    // merge double-counts them. The real topology — worker *processes*,
+    // exercised by scripts/load_smoke.sh — has disjoint recorders.)
+    let simulate_count = doc
+        .get("latency_summary")
+        .and_then(|s| s.get("simulate"))
+        .and_then(|s| s.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("no simulate latency in: {}", merged.body));
+    assert!(simulate_count >= sizes.len() as u64, "{simulate_count}");
+    // Per-shard breakdown: both shards merged cleanly.
+    let rows = doc
+        .get("shards")
+        .and_then(Json::as_array)
+        .expect("shards table");
+    assert_eq!(rows.len(), 2);
+    assert!(rows
+        .iter()
+        .all(|row| row.get("merged").and_then(Json::as_bool) == Some(true)));
+
+    client::call(router.addr(), "POST", "/shutdown", "", TIMEOUT).expect("drain");
+    router.join();
+    for shard in shards {
+        shard.join();
+    }
+}
+
+#[test]
+fn dead_shard_fails_loudly_with_the_shard_id() {
+    let survivor = uncached_shard();
+    let casualty = uncached_shard();
+    let router = Router::start(RouterConfig {
+        shards: vec![survivor.addr(), casualty.addr()],
+        // Long probe interval: the test drives the health transition via
+        // the failed relay, not the background probe.
+        health_interval: Duration::from_secs(30),
+        relay_timeout: Duration::from_secs(5),
+        ..RouterConfig::default()
+    })
+    .expect("router boots");
+
+    // Find one request per shard.
+    let mut per_shard = [None, None];
+    for size in ["1K", "2K", "4K", "8K", "16K", "32K"] {
+        let body = body(size);
+        per_shard[owning_shard(&body, 2)].get_or_insert(body);
+    }
+    let to_survivor = per_shard[0].clone().expect("a request for shard 0");
+    let to_casualty = per_shard[1].clone().expect("a request for shard 1");
+
+    // Kill shard 1 outright.
+    casualty.shutdown();
+    casualty.join();
+
+    // Its traffic fails loudly, naming the shard in the JSON body...
+    let response = client::call(router.addr(), "POST", "/simulate", &to_casualty, TIMEOUT)
+        .expect("router still answers");
+    assert_eq!(response.status, 503, "{}", response.body);
+    assert!(
+        response.body.contains(r#""shard":1"#),
+        "503 must name the dead shard: {}",
+        response.body
+    );
+    assert!(response.body.contains("unavailable"), "{}", response.body);
+
+    // ...the health view degrades immediately (relay failure, no probe)...
+    assert!(!router.shard_healthy(1));
+    let health = client::call(router.addr(), "GET", "/healthz", "", TIMEOUT).expect("healthz");
+    assert!(
+        health.body.contains(r#""status":"degraded""#),
+        "{}",
+        health.body
+    );
+    assert!(
+        health.body.contains(r#""healthy":false"#),
+        "{}",
+        health.body
+    );
+
+    // ...and the surviving shard keeps serving through the router.
+    let response = client::call(router.addr(), "POST", "/simulate", &to_survivor, TIMEOUT)
+        .expect("routed call");
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(router.counter("router-shard-errors"), 1);
+
+    client::call(router.addr(), "POST", "/shutdown", "", TIMEOUT).expect("drain");
+    router.join();
+    survivor.join();
+}
+
+#[test]
+fn router_shutdown_relays_the_drain_to_every_shard() {
+    let shards = [uncached_shard(), uncached_shard()];
+    let router = Router::start(RouterConfig {
+        shards: vec![shards[0].addr(), shards[1].addr()],
+        ..RouterConfig::default()
+    })
+    .expect("router boots");
+
+    let drain = client::call(router.addr(), "POST", "/shutdown", "", TIMEOUT).expect("drain");
+    assert_eq!(drain.status, 200);
+    // Both Server::join calls return only because the relayed shutdown
+    // drained each shard; a missed relay would hang this test.
+    router.join();
+    for shard in shards {
+        shard.join();
+    }
+}

@@ -353,6 +353,56 @@ fn offline_simcache_run_warm_starts_the_service() {
 }
 
 #[test]
+fn warm_start_dedups_repeated_journal_keys() {
+    // Regression test for the dedup-on-replay guard: an append-only journal
+    // can legitimately hold the same key several times (a result re-recorded
+    // across runs, or two pre-fan-out processes appending to one file). The
+    // warm boot must load each key exactly once.
+    let dir = std::env::temp_dir().join(format!("dynex-serve-dup-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal_path = dir.join("dup.jsonl");
+    let _ = std::fs::remove_file(&journal_path);
+
+    // First boot records one real result into the journal.
+    let server = start(ServeConfig {
+        warm_journal: Some(journal_path.clone()),
+        ..ServeConfig::default()
+    });
+    let (status, _) = post_simulate(server.addr(), &request_body("2K"));
+    assert_eq!(status, 200);
+    server.shutdown();
+    server.join();
+
+    // Duplicate the record on disk, twice, the way repeated re-records
+    // would: three lines, one key.
+    let line = std::fs::read_to_string(&journal_path)
+        .expect("journal")
+        .lines()
+        .next()
+        .expect("one record")
+        .to_owned();
+    let mut contents = format!("{line}\n");
+    contents.push_str(&format!("{line}\n{line}\n"));
+    std::fs::write(&journal_path, contents).expect("rewrite journal");
+
+    // Reboot: one warm entry, not three, and it still serves from cache.
+    let server = start(ServeConfig {
+        warm_journal: Some(journal_path.clone()),
+        ..ServeConfig::default()
+    });
+    assert_eq!(server.counter("warm-start-entries"), 1);
+    let (status, response) = post_simulate(server.addr(), &request_body("2K"));
+    assert_eq!(status, 200);
+    let response = SimulationResponse::from_json(&response).expect("response JSON");
+    assert!(response.cached, "served from the deduped warm start");
+    assert_eq!(server.counter("sims-executed"), 0);
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_work() {
     let server = start(ServeConfig {
         batch_window: Duration::ZERO,
