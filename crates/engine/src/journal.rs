@@ -15,6 +15,23 @@
 //! fatal — so an interrupted sweep resumes from every record that made it to
 //! disk.
 //!
+//! # Durability
+//!
+//! Every record carries a trailing `"sum"` field: the FNV-1a hash of the
+//! exact bytes that precede it on the line. Replay validates the checksum,
+//! so a record corrupted *in place* (a flipped bit that still parses as
+//! JSON — the one failure mode a torn-tail heuristic cannot see) is dropped
+//! and counted in [`Journal::checksum_mismatches`] instead of silently
+//! warm-booting a wrong result. Records written before checksums existed
+//! have no `"sum"` field; they are accepted and counted in
+//! [`Journal::unchecksummed`] for back-compat.
+//!
+//! How far a record travels toward the platter before `record` returns is
+//! the [`SyncPolicy`]: [`SyncPolicy::Flush`] (the default) drains the
+//! user-space buffer to the OS — surviving a process `kill -9` but not a
+//! power loss — while [`SyncPolicy::Fsync`] adds `fdatasync`, surviving
+//! both at the cost of one disk round-trip per record.
+//!
 //! Drivers install a process-wide journal once after argument parsing
 //! ([`set_global_journal`]); deep call sites consult it through
 //! [`with_global_journal`] without any plumbing, mirroring how
@@ -115,6 +132,51 @@ impl std::error::Error for JournalError {
     }
 }
 
+/// How far [`Journal::record`] pushes a record toward stable storage
+/// before returning (module docs weigh the trade-off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Drain the user-space buffer to the OS (`flush`). A `kill -9` after
+    /// `record` returns cannot lose the record; an OS crash or power loss
+    /// can. The default.
+    #[default]
+    Flush,
+    /// Additionally `fdatasync` the file per record: the record survives
+    /// power loss, at one storage round-trip per append.
+    Fsync,
+}
+
+impl SyncPolicy {
+    /// Parses a `--journal-sync` flag value.
+    pub fn parse(value: &str) -> Result<SyncPolicy, String> {
+        match value {
+            "flush" => Ok(SyncPolicy::Flush),
+            "fsync" => Ok(SyncPolicy::Fsync),
+            other => Err(format!(
+                "bad journal sync policy {other:?} (want flush or fsync)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncPolicy::Flush => write!(f, "flush"),
+            SyncPolicy::Fsync => write!(f, "fsync"),
+        }
+    }
+}
+
+/// The record suffix that carries the line checksum: `…,"sum":"<16hex>"}`.
+const SUM_MARKER: &str = ",\"sum\":\"";
+
+/// The checksum written into a record line: FNV-1a over every byte of the
+/// line before its `,"sum":"…"}` suffix, in fixed-width hex.
+fn line_checksum(prefix: &str) -> String {
+    format!("{:016x}", fnv1a(prefix.as_bytes()))
+}
+
 /// An append-only JSONL checkpoint of completed job results.
 ///
 /// # Examples
@@ -134,18 +196,29 @@ impl std::error::Error for JournalError {
 pub struct Journal {
     path: PathBuf,
     file: File,
+    sync: SyncPolicy,
     entries: HashMap<String, Json>,
     dropped_lines: u64,
     duplicate_keys: u64,
+    checksum_mismatches: u64,
+    unchecksummed: u64,
     replayed: u64,
 }
 
 impl Journal {
+    /// Opens (or creates) the journal at `path` with the default
+    /// [`SyncPolicy::Flush`]; see [`Journal::open_with`].
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Journal, JournalError> {
+        Journal::open_with(path, SyncPolicy::Flush)
+    }
+
     /// Opens (or creates) the journal at `path`, loading every intact
     /// record. Corrupt or partial lines — e.g. the torn tail left by a kill
     /// mid-append — are dropped and counted in
-    /// [`Journal::dropped_lines`], never fatal.
-    pub fn open<P: AsRef<Path>>(path: P) -> Result<Journal, JournalError> {
+    /// [`Journal::dropped_lines`], never fatal; a parseable record whose
+    /// `"sum"` checksum does not match its bytes is dropped and counted in
+    /// [`Journal::checksum_mismatches`].
+    pub fn open_with<P: AsRef<Path>>(path: P, sync: SyncPolicy) -> Result<Journal, JournalError> {
         let path = path.as_ref().to_path_buf();
         let io_err = |source| JournalError::Io {
             path: path.clone(),
@@ -169,10 +242,28 @@ impl Journal {
         let mut entries = HashMap::new();
         let mut dropped_lines = 0u64;
         let mut duplicate_keys = 0u64;
+        let mut checksum_mismatches = 0u64;
+        let mut unchecksummed = 0u64;
         for line in String::from_utf8_lossy(&data).lines() {
             if line.trim().is_empty() {
                 continue;
             }
+            // Checksum validation runs on the raw bytes, before parsing:
+            // the writer always puts `"sum"` last, so the final marker on
+            // the line splits the covered prefix from the checksum. A line
+            // without the marker predates checksums — tolerated (and, when
+            // it holds an accepted record, counted below).
+            let has_sum = match line.rfind(SUM_MARKER) {
+                Some(at) => {
+                    let expected = line[at + SUM_MARKER.len()..].trim_end_matches("\"}");
+                    if line_checksum(&line[..at]) != expected {
+                        checksum_mismatches += 1;
+                        continue;
+                    }
+                    true
+                }
+                None => false,
+            };
             // Lenient load: anything that is not a well-formed record is a
             // torn write — skip it so resume still works.
             let record = match json::parse(line) {
@@ -197,6 +288,9 @@ impl Journal {
                     if entries.insert(key.to_owned(), value.clone()).is_some() {
                         duplicate_keys += 1;
                     }
+                    if !has_sum {
+                        unchecksummed += 1;
+                    }
                 }
                 _ => dropped_lines += 1,
             }
@@ -205,9 +299,12 @@ impl Journal {
         Ok(Journal {
             path,
             file,
+            sync,
             entries,
             dropped_lines,
             duplicate_keys,
+            checksum_mismatches,
+            unchecksummed,
             replayed: 0,
         })
     }
@@ -239,6 +336,30 @@ impl Journal {
         self.duplicate_keys
     }
 
+    /// Records dropped at load because their `"sum"` checksum did not match
+    /// their bytes — in-place corruption, not a torn tail.
+    pub fn checksum_mismatches(&self) -> u64 {
+        self.checksum_mismatches
+    }
+
+    /// Accepted records that carried no `"sum"` field (written before
+    /// checksums existed). Tolerated for back-compat, surfaced so an
+    /// operator can see how much of a warm boot is unverifiable.
+    pub fn unchecksummed(&self) -> u64 {
+        self.unchecksummed
+    }
+
+    /// The journal's [`SyncPolicy`].
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync
+    }
+
+    /// Changes how far [`Journal::record`] pushes records toward stable
+    /// storage from now on.
+    pub fn set_sync_policy(&mut self, sync: SyncPolicy) {
+        self.sync = sync;
+    }
+
     /// Lookups served from the journal since it was opened.
     pub fn replayed(&self) -> u64 {
         self.replayed
@@ -265,28 +386,29 @@ impl Journal {
         hit
     }
 
-    /// Appends a record and flushes it to disk before returning, so a crash
-    /// after `record` never loses the result. `value_json` must be one
-    /// complete JSON document.
+    /// Appends a record — with its `"sum"` line checksum — and pushes it
+    /// toward disk per the journal's [`SyncPolicy`] before returning, so a
+    /// crash after `record` never loses the result. `value_json` must be
+    /// one complete JSON document.
     pub fn record(&mut self, key: &str, value_json: &str) -> Result<(), JournalError> {
         let value = json::parse(value_json).map_err(|e| JournalError::BadValue {
             message: e.to_string(),
         })?;
-        let line = format!(
-            "{{\"key\":\"{}\",\"value\":{}}}\n",
+        let prefix = format!(
+            "{{\"key\":\"{}\",\"value\":{}",
             json::escape(key),
             value_json
         );
-        self.file
-            .write_all(line.as_bytes())
-            .map_err(|source| JournalError::Io {
-                path: self.path.clone(),
-                source,
-            })?;
-        self.file.flush().map_err(|source| JournalError::Io {
+        let line = format!("{prefix}{SUM_MARKER}{}\"}}\n", line_checksum(&prefix));
+        let io_err = |source| JournalError::Io {
             path: self.path.clone(),
             source,
-        })?;
+        };
+        self.file.write_all(line.as_bytes()).map_err(io_err)?;
+        self.file.flush().map_err(io_err)?;
+        if self.sync == SyncPolicy::Fsync {
+            self.file.sync_data().map_err(io_err)?;
+        }
         self.entries.insert(key.to_owned(), value);
         Ok(())
     }
@@ -454,5 +576,93 @@ mod tests {
         let bogus = Path::new("/nonexistent-dir-dynex/j.jsonl");
         let err = Journal::open(bogus).unwrap_err();
         assert!(err.to_string().contains("nonexistent-dir-dynex"));
+    }
+
+    #[test]
+    fn records_carry_a_validating_checksum() {
+        let path = temp_path("sum");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record("k", r#"{"v":7}"#).unwrap();
+        }
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let line = raw.trim_end();
+        let at = line.rfind(SUM_MARKER).expect("record carries a sum field");
+        assert_eq!(
+            &line[at + SUM_MARKER.len()..line.len() - 2],
+            line_checksum(&line[..at]),
+            "sum must hash the exact prefix bytes: {line}"
+        );
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.checksum_mismatches(), 0);
+        assert_eq!(j.unchecksummed(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_record_is_dropped_and_counted_not_warm_booted() {
+        let path = temp_path("corrupt");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record("good", r#"{"v":1}"#).unwrap();
+            j.record("victim", r#"{"misses":100}"#).unwrap();
+        }
+        // Flip one digit inside the victim's *value* — the line still
+        // parses as JSON, so only the checksum can catch it.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let flipped = raw.replace(r#"{"misses":100}"#, r#"{"misses":900}"#);
+        assert_ne!(raw, flipped, "corruption must actually land");
+        std::fs::write(&path, flipped).unwrap();
+
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.checksum_mismatches(), 1);
+        assert_eq!(j.len(), 1, "the corrupt record must not load");
+        assert!(j.lookup("victim").is_none());
+        assert!(j.lookup("good").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_records_without_sum_are_accepted_and_counted() {
+        let path = temp_path("legacy");
+        std::fs::write(&path, "{\"key\":\"old\",\"value\":{\"v\":5}}\n").unwrap();
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.unchecksummed(), 1);
+        assert_eq!(j.checksum_mismatches(), 0);
+        assert_eq!(
+            j.lookup("old").unwrap().get("v").and_then(Json::as_u64),
+            Some(5)
+        );
+        // New appends onto a legacy journal are checksummed.
+        j.record("new", r#"{"v":6}"#).unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.unchecksummed(), 1, "only the legacy record is unverified");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_policy_parses_and_fsync_round_trips() {
+        assert_eq!(SyncPolicy::parse("flush").unwrap(), SyncPolicy::Flush);
+        assert_eq!(SyncPolicy::parse("fsync").unwrap(), SyncPolicy::Fsync);
+        let err = SyncPolicy::parse("paranoid").unwrap_err();
+        assert!(err.contains("paranoid"), "{err}");
+        assert_eq!(SyncPolicy::Flush.to_string(), "flush");
+        assert_eq!(SyncPolicy::Fsync.to_string(), "fsync");
+
+        let path = temp_path("fsync");
+        {
+            let mut j = Journal::open_with(&path, SyncPolicy::Fsync).unwrap();
+            assert_eq!(j.sync_policy(), SyncPolicy::Fsync);
+            j.record("k", r#"{"v":1}"#).unwrap();
+            j.set_sync_policy(SyncPolicy::Flush);
+            assert_eq!(j.sync_policy(), SyncPolicy::Flush);
+        }
+        let mut j = Journal::open(&path).unwrap();
+        assert!(j.lookup("k").is_some());
+        std::fs::remove_file(&path).ok();
     }
 }

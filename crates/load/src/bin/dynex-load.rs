@@ -4,27 +4,36 @@
 //! dynex-load --target ADDR [--rate R] [--duration-s S] [--senders K]
 //!            [--timeout-s T] [--seed N] [--duplicate-ratio F] [--pool N]
 //!            [--refs N] [--deadline-ms N] [--deadline-fraction F]
-//!            [--no-server-metrics] [--out FILE]
+//!            [--no-server-metrics] [--chaos SPEC] [--out FILE]
 //! ```
 //!
 //! Generates a seeded request mix, fires it at the target on a fixed
 //! open-loop schedule, prints a human summary on stderr, and writes the
 //! full `dynex-load/v1` JSON report to `--out` (stdout when omitted).
 //! Exits non-zero when the run could not execute, when no request
-//! completed, or when the client-vs-server cross-check fails — so scripts
-//! can trust a zero exit as "the numbers are real".
+//! completed, when the client-vs-server cross-check fails, or when a
+//! `--chaos` audit comes back inconsistent — so scripts can trust a zero
+//! exit as "the numbers are real".
+//!
+//! `--chaos "kill:<shard>@<sec>[,…]"` turns the run into a fault drill
+//! against a sharded target: the named shard workers are `SIGKILL`ed at
+//! the given offsets (pids learned from the router's `/healthz`), and the
+//! report gains a `"chaos"` block recording recovery time per kill,
+//! per-shard respawn counts, and whether any response diverged or any
+//! never-killed shard erred.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dynex_load::{run, LoadConfig};
+use dynex_load::{run, ChaosConfig, LoadConfig};
 
 fn usage() {
     eprintln!(
         "usage: dynex-load --target ADDR [--rate R] [--duration-s S] [--senders K] \
          [--timeout-s T] [--seed N] [--duplicate-ratio F] [--pool N] [--refs N] \
-         [--deadline-ms N] [--deadline-fraction F] [--no-server-metrics] [--out FILE]"
+         [--deadline-ms N] [--deadline-fraction F] [--no-server-metrics] [--chaos SPEC] \
+         [--out FILE]"
     );
     eprintln!();
     eprintln!("  --target ADDR         host:port of the dynex-serve server or router (required)");
@@ -41,6 +50,10 @@ fn usage() {
     eprintln!("  --deadline-ms N       deadline carried by the deadline fraction (default 2000)");
     eprintln!("  --deadline-fraction F fraction of requests carrying a deadline (default 0)");
     eprintln!("  --no-server-metrics   skip the post-run /metrics fetch and cross-check");
+    eprintln!(
+        "  --chaos SPEC          kill shard workers mid-run and audit recovery; SPEC is \
+         kill:<shard>@<sec>[,kill:<shard>@<sec>...] (sharded target required)"
+    );
     eprintln!("  --out FILE            write the JSON report here (default: stdout)");
 }
 
@@ -125,6 +138,9 @@ fn parse_args() -> Result<Option<(LoadConfig, Option<String>)>, String> {
                     parse_f64("--deadline-fraction", value_of("--deadline-fraction")?)?;
             }
             "--no-server-metrics" => config.fetch_server_metrics = false,
+            "--chaos" => {
+                config.chaos = Some(ChaosConfig::parse(&value_of("--chaos")?)?);
+            }
             "--out" => out = Some(value_of("--out")?),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown flag {other:?}")),
@@ -187,6 +203,12 @@ fn main() -> ExitCode {
     if let Some(check) = report.cross_check() {
         if !check.consistent {
             eprintln!("error: client/server cross-check failed (see notes above)");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(chaos) = &report.chaos {
+        if !chaos.consistent {
+            eprintln!("error: chaos audit failed (see notes above)");
             return ExitCode::FAILURE;
         }
     }

@@ -1,0 +1,550 @@
+//! Chaos injection for load runs against a sharded `dynex-serve` fleet:
+//! a `--chaos "kill:<shard>@<sec>[,…]"` schedule that `SIGKILL`s shard
+//! worker processes mid-run and audits the recovery.
+//!
+//! The harness learns worker pids from the router's `/healthz` shard table
+//! (re-fetched immediately before each kill, so a second kill of the same
+//! slot hits the *respawned* worker), kills with the system `kill` binary
+//! (hermetic workspace: no libc crate to call `kill(2)` through), and then
+//! watches its own request stream for the three properties a self-healing
+//! fleet must keep:
+//!
+//! 1. **Recovery** — after a kill, the killed shard's keys start answering
+//!    `200` again; time from the kill to that first success is the
+//!    per-kill `recovery_us`.
+//! 2. **Consistency** — repeated requests (the mix's duplicate stream)
+//!    always get byte-identical `200` bodies, modulo the `"cached"` flag
+//!    (a respawned worker answers from its warm journal, so `cached:true`
+//!    where the first answer was `cached:false` — same result, different
+//!    provenance). A divergence means a respawn came back with *wrong*
+//!    state: the one failure chaos testing exists to catch.
+//! 3. **Containment** — shards that were never killed keep serving: any
+//!    non-`200` owned by a survivor counts against the run.
+//!
+//! The audit lands in the `dynex-load/v1` report as the `"chaos"` block,
+//! with `consistent:true` only when every kill executed, every killed
+//! shard recovered, and nothing diverged or spilled over.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dynex_obs::json::{self, Json};
+use dynex_serve::client;
+
+/// One scheduled kill: which shard slot, and when (offset from the first
+/// scheduled request arrival).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KillSpec {
+    /// The shard slot whose current worker dies.
+    pub shard: usize,
+    /// Offset from the start of the arrival schedule.
+    pub at: Duration,
+}
+
+/// A parsed `--chaos` schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosConfig {
+    /// The kills, in the order given (executed in time order).
+    pub kills: Vec<KillSpec>,
+    /// The original spec string, echoed into the report.
+    pub spec: String,
+}
+
+impl ChaosConfig {
+    /// Parses `kill:<shard>@<sec>[,kill:<shard>@<sec>…]`.
+    pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut kills = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            let body = part
+                .strip_prefix("kill:")
+                .ok_or_else(|| format!("bad chaos action {part:?} (want kill:<shard>@<sec>)"))?;
+            let (shard, at) = body
+                .split_once('@')
+                .ok_or_else(|| format!("bad chaos action {part:?} (missing @<sec>)"))?;
+            let shard = shard
+                .parse::<usize>()
+                .map_err(|_| format!("bad chaos shard {shard:?} in {part:?}"))?;
+            let secs = at
+                .parse::<f64>()
+                .ok()
+                .filter(|s| s.is_finite() && *s >= 0.0)
+                .ok_or_else(|| format!("bad chaos time {at:?} in {part:?}"))?;
+            kills.push(KillSpec {
+                shard,
+                at: Duration::from_secs_f64(secs),
+            });
+        }
+        if kills.is_empty() {
+            return Err("empty chaos spec".to_owned());
+        }
+        Ok(ChaosConfig {
+            kills,
+            spec: spec.to_owned(),
+        })
+    }
+}
+
+/// One row of the router's `/healthz` shard table.
+#[derive(Debug, Clone)]
+pub struct ShardRow {
+    /// Shard slot id.
+    pub id: usize,
+    /// Current worker pid (0 when the target is not a supervised fleet).
+    pub pid: u32,
+    /// Completed respawns for the slot.
+    pub respawns: u64,
+    /// Breaker state string (`closed` / `open` / `half-open`).
+    pub breaker: String,
+}
+
+/// Fetches and parses the router's `/healthz` shard table. Errors when the
+/// target has no shard table — chaos needs a sharded fleet to maim.
+pub fn fetch_shards(target: SocketAddr, timeout: Duration) -> Result<Vec<ShardRow>, String> {
+    let response = client::call(target, "GET", "/healthz", "", timeout)
+        .map_err(|e| format!("healthz fetch: {e}"))?;
+    let doc = json::parse(&response.body).map_err(|e| format!("healthz is not JSON: {e}"))?;
+    let rows = doc
+        .get("shards")
+        .and_then(Json::as_array)
+        .ok_or("target /healthz has no shard table — chaos needs a sharded fleet")?;
+    let mut shards = Vec::with_capacity(rows.len());
+    for row in rows {
+        shards.push(ShardRow {
+            id: row
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or("healthz shard row has no id")? as usize,
+            pid: row.get("pid").and_then(Json::as_u64).unwrap_or(0) as u32,
+            respawns: row.get("respawns").and_then(Json::as_u64).unwrap_or(0),
+            breaker: row
+                .get("breaker")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_owned(),
+        });
+    }
+    if shards.is_empty() {
+        return Err("target /healthz shard table is empty".to_owned());
+    }
+    Ok(shards)
+}
+
+/// What actually happened to one scheduled kill.
+#[derive(Debug, Clone)]
+pub struct KillOutcome {
+    /// The schedule entry.
+    pub spec: KillSpec,
+    /// The pid that was killed (0 when the kill could not run).
+    pub pid: u32,
+    /// Whether the `SIGKILL` was delivered.
+    pub killed: bool,
+    /// Time from the kill to the shard's first `200` afterwards; `None`
+    /// when the shard never came back within the run.
+    pub recovery_us: Option<u64>,
+}
+
+/// FNV-1a over a byte string — local copy (the load crate does not depend
+/// on `dynex-engine`), used for body/response identity only.
+fn hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A `200` body with its cache-provenance flag normalized away, hashed:
+/// two responses to the same request must agree on everything else.
+fn normalized_response_hash(body: &str) -> u64 {
+    hash(
+        body.replace("\"cached\":true", "\"cached\":false")
+            .as_bytes(),
+    )
+}
+
+/// Divergence bookkeeping plus kill/recovery state, shared across sender
+/// threads and the killer thread behind one mutex (the critical sections
+/// are a map probe and a few field writes — far cheaper than the network
+/// round-trip each sample rides in on).
+#[derive(Debug)]
+struct MonitorState {
+    kills: Vec<KillOutcome>,
+    /// When each kill was delivered (indexes `kills`).
+    killed_at: Vec<Option<Instant>>,
+    /// First-seen normalized response hash per request-body hash.
+    expected: BTreeMap<u64, u64>,
+    divergences: u64,
+    /// Example divergence notes (bounded).
+    notes: Vec<String>,
+    survivor_errors: u64,
+}
+
+/// The shared chaos monitor: sender threads feed it every completed
+/// response, the killer thread feeds it delivered kills.
+#[derive(Debug)]
+pub struct ChaosMonitor {
+    state: Mutex<MonitorState>,
+    /// Shard slots scheduled to die at least once (everything else is a
+    /// survivor and must never error).
+    victims: Vec<usize>,
+}
+
+impl ChaosMonitor {
+    /// A monitor for `config`'s schedule.
+    pub fn new(config: &ChaosConfig) -> ChaosMonitor {
+        let mut victims: Vec<usize> = config.kills.iter().map(|k| k.shard).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        ChaosMonitor {
+            state: Mutex::new(MonitorState {
+                kills: config
+                    .kills
+                    .iter()
+                    .map(|&spec| KillOutcome {
+                        spec,
+                        pid: 0,
+                        killed: false,
+                        recovery_us: None,
+                    })
+                    .collect(),
+                killed_at: vec![None; config.kills.len()],
+                expected: BTreeMap::new(),
+                divergences: 0,
+                notes: Vec::new(),
+                survivor_errors: 0,
+            }),
+            victims,
+        }
+    }
+
+    /// Records a delivered kill (killer thread).
+    pub fn record_kill(&self, index: usize, pid: u32) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.kills[index].pid = pid;
+        state.kills[index].killed = true;
+        state.killed_at[index] = Some(Instant::now());
+    }
+
+    /// Feeds one completed HTTP exchange (sender thread): the owning shard
+    /// slot, the response status and body, and when the response was read.
+    pub fn observe(&self, owner: usize, status: u16, body: &str, body_hash: u64, done: Instant) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if status != 200 {
+            if !self.victims.contains(&owner) {
+                state.survivor_errors += 1;
+                if state.notes.len() < 8 {
+                    state
+                        .notes
+                        .push(format!("survivor shard {owner} answered {status}: {body}"));
+                }
+            }
+            return;
+        }
+        // Recovery: the first 200 owned by a killed shard resolves the
+        // earliest unresolved kill of that shard.
+        for index in 0..state.kills.len() {
+            let resolved = state.kills[index].recovery_us.is_some();
+            if state.kills[index].spec.shard == owner && !resolved {
+                if let Some(at) = state.killed_at[index] {
+                    if done > at {
+                        state.kills[index].recovery_us =
+                            Some(done.duration_since(at).as_micros().min(u64::MAX as u128) as u64);
+                        break;
+                    }
+                }
+            }
+        }
+        // Consistency: same request body, same normalized response bytes.
+        let response_hash = normalized_response_hash(body);
+        match state.expected.get(&body_hash) {
+            Some(&first) if first != response_hash => {
+                state.divergences += 1;
+                if state.notes.len() < 8 {
+                    state.notes.push(format!(
+                        "shard {owner} answered a repeated request with different bytes: {body}"
+                    ));
+                }
+            }
+            Some(_) => {}
+            None => {
+                state.expected.insert(body_hash, response_hash);
+            }
+        }
+    }
+
+    /// Closes the books: merges the post-run `/healthz` view and returns
+    /// the report block.
+    pub fn finish(self, config: &ChaosConfig, shards_after: &[ShardRow]) -> ChaosReport {
+        let state = self.state.into_inner().unwrap_or_else(|e| e.into_inner());
+        let respawns: BTreeMap<usize, u64> = shards_after
+            .iter()
+            .map(|row| (row.id, row.respawns))
+            .collect();
+        let breakers: BTreeMap<usize, String> = shards_after
+            .iter()
+            .map(|row| (row.id, row.breaker.clone()))
+            .collect();
+        let all_killed = state.kills.iter().all(|k| k.killed);
+        let all_recovered = state.kills.iter().all(|k| k.recovery_us.is_some());
+        let mut notes = state.notes;
+        if !all_killed {
+            notes.push("not every scheduled kill was delivered".to_owned());
+        }
+        if !all_recovered {
+            notes.push("a killed shard never served a 200 again within the run".to_owned());
+        }
+        ChaosReport {
+            spec: config.spec.clone(),
+            shards: shards_after.len(),
+            kills: state.kills,
+            respawns,
+            breakers,
+            divergences: state.divergences,
+            survivor_errors: state.survivor_errors,
+            consistent: all_killed
+                && all_recovered
+                && state.divergences == 0
+                && state.survivor_errors == 0,
+            notes,
+        }
+    }
+}
+
+/// The `"chaos"` block of a `dynex-load/v1` report.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The schedule as given on the command line.
+    pub spec: String,
+    /// Fleet size seen at `/healthz`.
+    pub shards: usize,
+    /// Per-kill outcome, in schedule order.
+    pub kills: Vec<KillOutcome>,
+    /// Post-run respawn count per shard slot.
+    pub respawns: BTreeMap<usize, u64>,
+    /// Post-run breaker state per shard slot.
+    pub breakers: BTreeMap<usize, String>,
+    /// Repeated requests that got different (normalized) bytes.
+    pub divergences: u64,
+    /// Non-`200` responses owned by never-killed shards.
+    pub survivor_errors: u64,
+    /// True when every kill landed, every victim recovered, and nothing
+    /// diverged or spilled over.
+    pub consistent: bool,
+    /// Human-readable details behind any failure.
+    pub notes: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Serializes the block as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut kills = String::from("[");
+        for (i, kill) in self.kills.iter().enumerate() {
+            if i > 0 {
+                kills.push(',');
+            }
+            kills.push_str(&format!(
+                r#"{{"shard":{},"at_s":{},"pid":{},"killed":{},"recovery_us":{}}}"#,
+                kill.spec.shard,
+                crate::report::fmt_f64(kill.spec.at.as_secs_f64()),
+                kill.pid,
+                kill.killed,
+                kill.recovery_us
+                    .map_or_else(|| "null".to_owned(), |us| us.to_string()),
+            ));
+        }
+        kills.push(']');
+        let map_json = |pairs: &BTreeMap<usize, u64>| {
+            let mut out = String::from("{");
+            for (i, (id, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(r#""{id}":{v}"#));
+            }
+            out.push('}');
+            out
+        };
+        let mut breakers = String::from("{");
+        for (i, (id, state)) in self.breakers.iter().enumerate() {
+            if i > 0 {
+                breakers.push(',');
+            }
+            breakers.push_str(&format!(r#""{id}":"{}""#, json::escape(state)));
+        }
+        breakers.push('}');
+        let mut notes = String::from("[");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                notes.push(',');
+            }
+            notes.push_str(&format!("\"{}\"", json::escape(note)));
+        }
+        notes.push(']');
+        format!(
+            concat!(
+                r#"{{"spec":"{spec}","shards":{shards},"kills":{kills},"#,
+                r#""respawns":{respawns},"breakers":{breakers},"#,
+                r#""divergences":{div},"survivor_errors":{surv},"#,
+                r#""consistent":{consistent},"notes":{notes}}}"#,
+            ),
+            spec = json::escape(&self.spec),
+            shards = self.shards,
+            kills = kills,
+            respawns = map_json(&self.respawns),
+            breakers = breakers,
+            div = self.divergences,
+            surv = self.survivor_errors,
+            consistent = self.consistent,
+            notes = notes,
+        )
+    }
+}
+
+/// Delivers `SIGKILL` to `pid` via the system `kill` binary (see module
+/// docs for why not a syscall).
+pub fn kill_pid(pid: u32) -> Result<(), String> {
+    let status = std::process::Command::new("kill")
+        .args(["-KILL", &pid.to_string()])
+        .status()
+        .map_err(|e| format!("cannot run kill: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("kill -KILL {pid} exited with {status}"))
+    }
+}
+
+/// Hash of a request body — the identity under which repeated requests
+/// are compared for divergence.
+pub fn body_hash(body: &str) -> u64 {
+    hash(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_accepts_schedules_and_rejects_garbage() {
+        let config = ChaosConfig::parse("kill:0@2").unwrap();
+        assert_eq!(
+            config.kills,
+            vec![KillSpec {
+                shard: 0,
+                at: Duration::from_secs(2)
+            }]
+        );
+        let config = ChaosConfig::parse("kill:1@0.5, kill:0@3").unwrap();
+        assert_eq!(config.kills.len(), 2);
+        assert_eq!(config.kills[0].shard, 1);
+        assert_eq!(config.kills[0].at, Duration::from_millis(500));
+
+        assert!(ChaosConfig::parse("").unwrap_err().contains("bad chaos"));
+        assert!(ChaosConfig::parse("stab:0@2")
+            .unwrap_err()
+            .contains("kill:<shard>@<sec>"));
+        assert!(ChaosConfig::parse("kill:0").unwrap_err().contains("@<sec>"));
+        assert!(ChaosConfig::parse("kill:x@2")
+            .unwrap_err()
+            .contains("shard"));
+        assert!(ChaosConfig::parse("kill:0@-1")
+            .unwrap_err()
+            .contains("time"));
+    }
+
+    #[test]
+    fn cached_flag_is_normalized_out_of_response_identity() {
+        let fresh = r#"{"label":"x","misses":42,"cached":false}"#;
+        let warm = r#"{"label":"x","misses":42,"cached":true}"#;
+        let wrong = r#"{"label":"x","misses":43,"cached":true}"#;
+        assert_eq!(
+            normalized_response_hash(fresh),
+            normalized_response_hash(warm)
+        );
+        assert_ne!(
+            normalized_response_hash(fresh),
+            normalized_response_hash(wrong)
+        );
+    }
+
+    #[test]
+    fn monitor_tracks_recovery_and_divergence() {
+        let config = ChaosConfig::parse("kill:1@0").unwrap();
+        let monitor = ChaosMonitor::new(&config);
+        let body = r#"{"label":"a","misses":7,"cached":false}"#;
+        let key = body_hash("request-a");
+
+        // Before the kill: a 200 from shard 1 resolves nothing.
+        monitor.observe(1, 200, body, key, Instant::now());
+        monitor.record_kill(0, 4242);
+        std::thread::sleep(Duration::from_millis(5));
+        // Survivor error: shard 0 was never scheduled to die.
+        monitor.observe(0, 503, r#"{"error":"x"}"#, body_hash("b"), Instant::now());
+        // Recovery: first 200 after the kill; warm (cached:true) bytes do
+        // not count as divergence.
+        let warm = r#"{"label":"a","misses":7,"cached":true}"#;
+        monitor.observe(1, 200, warm, key, Instant::now());
+        // Divergence: same request, different result.
+        monitor.observe(
+            1,
+            200,
+            r#"{"label":"a","misses":9,"cached":true}"#,
+            key,
+            Instant::now(),
+        );
+
+        let after = vec![
+            ShardRow {
+                id: 0,
+                pid: 10,
+                respawns: 0,
+                breaker: "closed".to_owned(),
+            },
+            ShardRow {
+                id: 1,
+                pid: 99,
+                respawns: 1,
+                breaker: "closed".to_owned(),
+            },
+        ];
+        let report = monitor.finish(&config, &after);
+        assert!(report.kills[0].killed);
+        assert_eq!(report.kills[0].pid, 4242);
+        let recovery = report.kills[0].recovery_us.expect("recovered");
+        assert!(recovery >= 5_000, "{recovery}");
+        assert_eq!(report.divergences, 1);
+        assert_eq!(report.survivor_errors, 1);
+        assert_eq!(report.respawns[&1], 1);
+        assert!(!report.consistent);
+        let doc = json::parse(&report.to_json()).expect("chaos block is JSON");
+        assert_eq!(doc.get("consistent").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("divergences").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn monitor_is_consistent_when_everything_heals() {
+        let config = ChaosConfig::parse("kill:0@1").unwrap();
+        let monitor = ChaosMonitor::new(&config);
+        monitor.record_kill(0, 7);
+        monitor.observe(
+            0,
+            200,
+            r#"{"v":1,"cached":false}"#,
+            body_hash("a"),
+            Instant::now(),
+        );
+        let after = vec![ShardRow {
+            id: 0,
+            pid: 8,
+            respawns: 1,
+            breaker: "closed".to_owned(),
+        }];
+        let report = monitor.finish(&config, &after);
+        assert!(report.consistent, "{:?}", report.notes);
+        assert!(report.notes.is_empty());
+    }
+}

@@ -24,12 +24,19 @@
 //! the same order. Results serialize as a versioned `dynex-load/v1` JSON
 //! document (see [`report::LoadReport::to_json`]) written under
 //! `results/LOAD_*.json` by the driver scripts.
+//!
+//! Against a sharded fleet the harness can also play executioner: a
+//! `--chaos "kill:<shard>@<sec>"` schedule `SIGKILL`s shard workers
+//! mid-run and audits the self-healing story — recovery time, respawn
+//! counts, response consistency across the respawn (see [`chaos`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod report;
 pub mod runner;
 
+pub use chaos::{ChaosConfig, ChaosReport};
 pub use report::{CrossCheck, LatencyStats, LoadReport};
 pub use runner::{run, LoadConfig};

@@ -236,6 +236,8 @@ pub struct LoadReport {
     /// The server's `/metrics` document fetched after the run — raw body
     /// plus its parsed form — when the runner was asked to collect it.
     pub server_metrics: Option<(String, Json)>,
+    /// The chaos audit, when the run injected kills (see [`crate::chaos`]).
+    pub chaos: Option<crate::chaos::ChaosReport>,
 }
 
 impl LoadReport {
@@ -288,7 +290,11 @@ impl LoadReport {
     ///  "latency_us":{"e2e":{…},"service":{…}},
     ///  "histograms_us":{"e2e":{"bounds":…,"counts":…},"service":{…}},
     ///  "server":{…}|null,
-    ///  "crosscheck":{…}|null}
+    ///  "crosscheck":{…}|null,
+    ///  "chaos":{"spec":…,"shards":…,"kills":[{"shard":…,"at_s":…,"pid":…,
+    ///           "killed":…,"recovery_us":…}],"respawns":{…},"breakers":{…},
+    ///           "divergences":…,"survivor_errors":…,"consistent":…,
+    ///           "notes":[…]}|null}
     /// ```
     ///
     /// `server` embeds the fetched `/metrics` body verbatim (it is already
@@ -356,6 +362,11 @@ impl LoadReport {
             Some(check) => out.push_str(&check.to_json()),
             None => out.push_str("null"),
         }
+        out.push_str(",\"chaos\":");
+        match &self.chaos {
+            Some(chaos) => out.push_str(&chaos.to_json()),
+            None => out.push_str("null"),
+        }
         out.push('}');
         out
     }
@@ -409,6 +420,43 @@ impl LoadReport {
             }
             None => out.push_str("crosscheck: skipped (no server metrics)\n"),
         }
+        if let Some(chaos) = &self.chaos {
+            let delivered = chaos.kills.iter().filter(|k| k.killed).count();
+            out.push_str(&format!(
+                "chaos: {} — {} of {} kill(s) delivered, {} divergence(s), \
+                 {} survivor error(s)\n",
+                if chaos.consistent {
+                    "consistent"
+                } else {
+                    "INCONSISTENT"
+                },
+                delivered,
+                chaos.kills.len(),
+                chaos.divergences,
+                chaos.survivor_errors,
+            ));
+            for kill in &chaos.kills {
+                match kill.recovery_us {
+                    Some(us) => out.push_str(&format!(
+                        "  shard {} (pid {}): recovered in {:.3}s\n",
+                        kill.spec.shard,
+                        kill.pid,
+                        us as f64 / 1e6
+                    )),
+                    None if kill.killed => out.push_str(&format!(
+                        "  shard {} (pid {}): NEVER RECOVERED\n",
+                        kill.spec.shard, kill.pid
+                    )),
+                    None => out.push_str(&format!(
+                        "  shard {}: kill was not delivered\n",
+                        kill.spec.shard
+                    )),
+                }
+            }
+            for note in &chaos.notes {
+                out.push_str(&format!("  {note}\n"));
+            }
+        }
         out
     }
 }
@@ -416,7 +464,7 @@ impl LoadReport {
 /// Renders an `f64` as a JSON number: finite values with enough precision
 /// to round-trip run parameters, non-finite values (which would be invalid
 /// JSON) as 0 — they can only arise from a degenerate zero-length run.
-fn fmt_f64(value: f64) -> String {
+pub(crate) fn fmt_f64(value: f64) -> String {
     if !value.is_finite() {
         return "0".to_owned();
     }
@@ -472,6 +520,7 @@ mod tests {
             service,
             service_total_us: service_total,
             server_metrics: server.map(|raw| (raw.to_owned(), json::parse(raw).unwrap())),
+            chaos: None,
         }
     }
 

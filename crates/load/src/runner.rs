@@ -8,8 +8,9 @@ use std::time::{Duration, Instant};
 use dynex_experiments::api::mix::{MixConfig, RequestMix};
 use dynex_obs::span::LATENCY_BUCKETS_MAX_EXP;
 use dynex_obs::{json, Histogram};
-use dynex_serve::client;
+use dynex_serve::{client, shard_for_key};
 
+use crate::chaos::{self, ChaosConfig, ChaosMonitor};
 use crate::report::LoadReport;
 
 /// Configuration for one load run.
@@ -33,6 +34,9 @@ pub struct LoadConfig {
     pub fetch_server_metrics: bool,
     /// The seeded request mix to draw the stream from.
     pub mix: MixConfig,
+    /// Kill shard workers mid-run and audit the recovery (requires a
+    /// sharded target — see [`crate::chaos`]).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl LoadConfig {
@@ -47,6 +51,7 @@ impl LoadConfig {
             timeout: Duration::from_secs(30),
             fetch_server_metrics: true,
             mix: MixConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -161,16 +166,88 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
     let scheduled = (config.rate * config.duration.as_secs_f64())
         .ceil()
         .max(1.0) as usize;
+
+    // Chaos pre-flight: learn the fleet shape (and that there *is* a
+    // fleet), validate the schedule against it, and stand up the monitor.
+    let chaos_setup = match &config.chaos {
+        Some(chaos_config) => {
+            let shards = chaos::fetch_shards(config.target, config.timeout)
+                .map_err(|e| format!("chaos pre-flight: {e}"))?;
+            for kill in &chaos_config.kills {
+                if kill.shard >= shards.len() {
+                    return Err(format!(
+                        "chaos kills shard {} but the fleet has {} shard(s)",
+                        kill.shard,
+                        shards.len()
+                    ));
+                }
+            }
+            Some((chaos_config, shards.len(), ChaosMonitor::new(chaos_config)))
+        }
+        None => None,
+    };
+    let n_shards = chaos_setup.as_ref().map(|(_, n, _)| *n);
+
     let mut mix = RequestMix::new(config.mix.clone()).map_err(|e| format!("request mix: {e}"))?;
-    let bodies: Vec<String> = (0..scheduled)
-        .map(|_| mix.next_request().to_json())
-        .collect();
+    // Each entry is (serialized body, owning shard slot); the owner is
+    // the router's own placement function over the request's routing key,
+    // so chaos accounting attributes every response to the worker that
+    // computed it. 0 when no chaos (unused).
+    let bodies: Vec<(String, usize)> = (0..scheduled)
+        .map(|_| {
+            let request = mix.next_request();
+            let owner = match n_shards {
+                Some(n) => {
+                    let key = request
+                        .routing_key()
+                        .map_err(|e| format!("routing key: {e}"))?;
+                    shard_for_key(&key, n)
+                }
+                None => 0,
+            };
+            Ok((request.to_json(), owner))
+        })
+        .collect::<Result<_, String>>()?;
 
     // A small grace offset so request 0 is not already late before the
     // sender threads have even spawned.
     let start = Instant::now() + Duration::from_millis(50);
     let mut totals = SenderStats::new();
     std::thread::scope(|scope| {
+        // The killer thread shares the senders' schedule clock: a kill at
+        // `@2` lands 2 seconds into the arrival schedule. The victim's pid
+        // is re-read from /healthz right before each kill, so a second
+        // kill of the same slot hits the respawned worker.
+        if let Some((chaos_config, _, monitor)) = &chaos_setup {
+            scope.spawn(move || {
+                let mut order: Vec<usize> = (0..chaos_config.kills.len()).collect();
+                order.sort_by_key(|&i| chaos_config.kills[i].at);
+                for index in order {
+                    let kill = chaos_config.kills[index];
+                    let due = start + kill.at;
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    match chaos::fetch_shards(config.target, config.timeout) {
+                        Ok(rows) => match rows.iter().find(|r| r.id == kill.shard) {
+                            Some(row) if row.pid != 0 => match chaos::kill_pid(row.pid) {
+                                Ok(()) => {
+                                    monitor.record_kill(index, row.pid);
+                                    eprintln!(
+                                        "chaos: killed shard {} worker (pid {})",
+                                        kill.shard, row.pid
+                                    );
+                                }
+                                Err(e) => eprintln!("chaos: {e}"),
+                            },
+                            _ => eprintln!("chaos: shard {} has no live pid to kill", kill.shard),
+                        },
+                        Err(e) => eprintln!("chaos: healthz before kill: {e}"),
+                    }
+                }
+            });
+        }
+        let monitor = chaos_setup.as_ref().map(|(_, _, monitor)| monitor);
         let handles: Vec<_> = (0..config.senders)
             .map(|sender| {
                 let bodies = &bodies;
@@ -186,13 +263,9 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
                         stats.max_send_lag_us = stats
                             .max_send_lag_us
                             .max(as_us(send_at.duration_since(due)));
-                        let outcome = client::call(
-                            config.target,
-                            "POST",
-                            "/simulate",
-                            &bodies[index],
-                            config.timeout,
-                        );
+                        let (body, owner) = &bodies[index];
+                        let outcome =
+                            client::call(config.target, "POST", "/simulate", body, config.timeout);
                         let done = Instant::now();
                         stats.sent += 1;
                         match outcome {
@@ -202,8 +275,27 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
                                 let service_us = as_us(done.duration_since(send_at));
                                 stats.e2e.record(e2e_us);
                                 stats.e2e_total_us += e2e_us;
-                                stats.service.record(service_us);
-                                stats.service_total_us += service_us;
+                                // A router-origin 503 (breaker open / relay
+                                // failure — the body names the shard) never
+                                // reached a worker, so it contributes no
+                                // *service* sample: the service histogram is
+                                // cross-checked against server-side request
+                                // latencies, which these never had.
+                                let router_503 =
+                                    response.status == 503 && response.body.contains("\"shard\":");
+                                if !router_503 {
+                                    stats.service.record(service_us);
+                                    stats.service_total_us += service_us;
+                                }
+                                if let Some(monitor) = monitor {
+                                    monitor.observe(
+                                        *owner,
+                                        response.status,
+                                        &response.body,
+                                        chaos::body_hash(body),
+                                        done,
+                                    );
+                                }
                                 if response.status == 200 {
                                     stats.ok += 1;
                                     if response.body.contains("\"cached\":true") {
@@ -253,6 +345,17 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         None
     };
 
+    // Close the chaos books with the post-run fleet view: respawn counts
+    // and breaker states land in the report next to what the monitor saw.
+    let chaos_report = match chaos_setup {
+        Some((chaos_config, _, monitor)) => {
+            let rows = chaos::fetch_shards(config.target, config.timeout)
+                .map_err(|e| format!("chaos post-run: {e}"))?;
+            Some(monitor.finish(chaos_config, &rows))
+        }
+        None => None,
+    };
+
     Ok(LoadReport {
         target: config.target.to_string(),
         rate: config.rate,
@@ -274,6 +377,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         service: totals.service,
         service_total_us: totals.service_total_us,
         server_metrics,
+        chaos: chaos_report,
     })
 }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! dynex-serve [--host ADDR] [--port N] [--jobs N] [--queue N] [--cache N]
 //!             [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE]
-//!             [--trace-out FILE] [--shards N]
+//!             [--journal-sync flush|fsync] [--trace-out FILE] [--shards N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0` — an ephemeral port, printed on stdout),
@@ -18,6 +18,10 @@
 //! `--warm-journal` points at a `simcache --resume` / `experiments
 //! --resume` journal: checkpointed results pre-populate the result cache
 //! and fresh results are appended, so service restarts never recompute.
+//! `--journal-sync` picks how far each append travels before the response
+//! goes out: `flush` (the default) drains to the OS — a `kill -9` of the
+//! worker cannot lose a recorded result — while `fsync` adds `fdatasync`
+//! per record, surviving power loss at one disk round-trip per append.
 //!
 //! `--trace-out FILE` streams every span the service closes as JSONL —
 //! one `{"trace":…,"span":…,"parent":…,"stage":…,"start_us":…,"dur_us":…}`
@@ -31,21 +35,27 @@
 //! endpoints, places `/simulate` requests with rendezvous hashing over the
 //! request's routing key, relays shard responses byte-identically, merges
 //! `/metrics` across the fleet, and fails loudly (`503` naming the shard)
-//! when a worker dies. `--warm-journal FILE` becomes the *base* path:
-//! shard `i` warms from and appends to `FILE.shard-i`, so concurrent
-//! workers never interleave writes in one journal. `--trace-out` applies
-//! to the router process only.
+//! when a worker dies. The fleet is self-healing: a supervisor thread
+//! detects dead workers and respawns them on the same slot (same shard
+//! id, same per-shard journal — the replacement boots warm) with capped
+//! exponential backoff, while the router's per-shard circuit breaker
+//! fast-fails the slot's keys until the replacement answers a probe.
+//! `--warm-journal FILE` becomes the *base* path: shard `i` warms from
+//! and appends to `FILE.shard-i`, so concurrent workers never interleave
+//! writes in one journal. `--trace-out` applies to the router process
+//! only.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use dynex_engine::SyncPolicy;
 use dynex_serve::{Router, RouterConfig, ServeConfig, Server, ShardFleet};
 
 fn usage() {
     eprintln!(
         "usage: dynex-serve [--host ADDR] [--port N] [--jobs N] [--queue N] [--cache N] \
-         [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE] [--trace-out FILE] \
-         [--shards N]"
+         [--batch-window-ms N] [--deadline-ms N] [--warm-journal FILE] \
+         [--journal-sync flush|fsync] [--trace-out FILE] [--shards N]"
     );
     eprintln!();
     eprintln!("  --host ADDR           interface to bind (default 127.0.0.1)");
@@ -57,6 +67,9 @@ fn usage() {
     eprintln!("  --deadline-ms N       default per-request deadline (default: none)");
     eprintln!(
         "  --warm-journal FILE   warm the cache from a --resume journal; append fresh results"
+    );
+    eprintln!(
+        "  --journal-sync MODE   flush (default: survives kill -9) or fsync (survives power loss)"
     );
     eprintln!("  --trace-out FILE      stream closed spans as JSONL (request → kernel chunk)");
     eprintln!(
@@ -121,6 +134,9 @@ fn parse_args() -> Result<Option<(ServeConfig, Option<String>, usize)>, String> 
             "--warm-journal" => {
                 config.warm_journal = Some(value_of("--warm-journal")?.into());
             }
+            "--journal-sync" => {
+                config.journal_sync = SyncPolicy::parse(&value_of("--journal-sync")?)?;
+            }
             "--trace-out" => trace_out = Some(value_of("--trace-out")?),
             "--shards" => {
                 let value = value_of("--shards")?;
@@ -155,6 +171,8 @@ fn worker_args(config: &ServeConfig, shard: usize) -> Vec<String> {
     if let Some(base) = &config.warm_journal {
         // Per-shard journals: N processes appending to one file would
         // interleave records; each shard owns `<base>.shard-<i>` instead.
+        // A respawned shard re-derives the same suffix, which is what
+        // makes warm recovery work.
         let mut path = base.as_os_str().to_owned();
         path.push(format!(".shard-{shard}"));
         args.extend([
@@ -162,6 +180,7 @@ fn worker_args(config: &ServeConfig, shard: usize) -> Vec<String> {
             path.to_string_lossy().into_owned(),
         ]);
     }
+    args.extend(["--journal-sync".to_owned(), config.journal_sync.to_string()]);
     args
 }
 
@@ -175,10 +194,14 @@ fn run_sharded(config: ServeConfig, shards: usize) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The supervisor re-invokes this closure on every respawn: the same
+    // shard id re-derives the same per-shard journal suffix, so the
+    // replacement worker boots warm.
+    let worker_config = config.clone();
     let fleet = match ShardFleet::spawn(
         &binary,
         shards,
-        |shard| worker_args(&config, shard),
+        move |shard| worker_args(&worker_config, shard),
         Duration::from_secs(30),
     ) {
         Ok(fleet) => fleet,
@@ -187,12 +210,17 @@ fn run_sharded(config: ServeConfig, shards: usize) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let router = match Router::start(RouterConfig {
-        host: config.host.clone(),
-        port: config.port,
-        shards: fleet.addrs().to_vec(),
-        ..RouterConfig::default()
-    }) {
+    // Router and supervisor share the live directory: respawns swap in
+    // new worker addresses under the router, relay failures nudge the
+    // supervisor.
+    let router = match Router::start_with(
+        RouterConfig {
+            host: config.host.clone(),
+            port: config.port,
+            ..RouterConfig::default()
+        },
+        fleet.directory(),
+    ) {
         Ok(router) => router,
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,321 @@
+//! The shard directory: live fleet state shared between the supervisor
+//! (which respawns dead workers) and the router (which places traffic and
+//! trips circuit breakers).
+//!
+//! One slot per shard id, fixed for the life of the deployment — placement
+//! is rendezvous-hashed over the slot *index*, so a slot's address may
+//! change on every respawn but its key range never moves (the PR 7
+//! invariant: a key is never silently re-routed to a different shard).
+//!
+//! Each slot carries:
+//!
+//! - the worker's current listen **address** (swapped atomically under a
+//!   mutex when the supervisor boots a replacement),
+//! - its **pid** (so `/healthz` can expose it and a chaos harness can kill
+//!   it) and a **respawn** count,
+//! - the router's **circuit breaker** for the slot
+//!   ([`BreakerState`]): `Closed` relays normally; a transport failure
+//!   opens it; while `Open` the router fast-fails `503` without touching a
+//!   socket; a background probe success moves it to `HalfOpen`, and the
+//!   next relayed success closes it,
+//! - a **suspect** flag the router raises on relay failure to nudge the
+//!   supervisor ahead of its next poll tick.
+//!
+//! The directory also aggregates fleet-level recovery telemetry
+//! (`recovery-us` histogram, total respawns) that the router folds into
+//! the merged `/metrics`, and the deployment-wide `draining` latch that
+//! stops the supervisor from respawning workers the drain just shut down.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use dynex_obs::span::LATENCY_BUCKETS_MAX_EXP;
+use dynex_obs::Histogram;
+
+/// See the sibling in `server.rs`: every value behind a directory lock is
+/// updated atomically-or-not-at-all, so recovery is safe.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The router's per-shard circuit breaker state (module docs give the
+/// transition rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Relaying normally.
+    Closed = 0,
+    /// Fast-failing without a socket touch until a probe succeeds.
+    Open = 1,
+    /// Probe succeeded; the next relayed request decides.
+    HalfOpen = 2,
+}
+
+impl BreakerState {
+    /// The state as it appears in `/healthz` rows.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    fn from_u8(raw: u8) -> BreakerState {
+        match raw {
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+}
+
+/// One shard slot (see module docs for the field roles).
+#[derive(Debug)]
+struct ShardSlot {
+    addr: Mutex<SocketAddr>,
+    pid: AtomicU32,
+    respawns: AtomicU64,
+    breaker: AtomicU8,
+    suspect: AtomicBool,
+}
+
+/// Live fleet state, one fixed slot per shard id.
+#[derive(Debug)]
+pub struct ShardDirectory {
+    slots: Vec<ShardSlot>,
+    draining: AtomicBool,
+    /// Supervisor wake-up: flipped true by [`ShardDirectory::report_failure`]
+    /// (and on drain/stop) so death detection does not wait out a poll tick.
+    nudge: (Mutex<bool>, Condvar),
+    recovery_us: Mutex<Histogram>,
+}
+
+impl ShardDirectory {
+    /// A directory over `addrs`, one slot per shard in id order, pids
+    /// unknown (0), breakers closed.
+    pub fn new(addrs: &[SocketAddr]) -> ShardDirectory {
+        ShardDirectory {
+            slots: addrs
+                .iter()
+                .map(|&addr| ShardSlot {
+                    addr: Mutex::new(addr),
+                    pid: AtomicU32::new(0),
+                    respawns: AtomicU64::new(0),
+                    breaker: AtomicU8::new(BreakerState::Closed as u8),
+                    suspect: AtomicBool::new(false),
+                })
+                .collect(),
+            draining: AtomicBool::new(false),
+            nudge: (Mutex::new(false), Condvar::new()),
+            recovery_us: Mutex::new(Histogram::pow2(LATENCY_BUCKETS_MAX_EXP)),
+        }
+    }
+
+    /// Number of shard slots (fixed for the deployment's life).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the directory has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot's current worker address.
+    pub fn addr(&self, shard: usize) -> SocketAddr {
+        *lock_or_recover(&self.slots[shard].addr)
+    }
+
+    /// Swaps in a replacement worker's address.
+    pub fn set_addr(&self, shard: usize, addr: SocketAddr) {
+        *lock_or_recover(&self.slots[shard].addr) = addr;
+    }
+
+    /// The slot's current worker pid (0 when unknown — e.g. in-process
+    /// shards).
+    pub fn pid(&self, shard: usize) -> u32 {
+        self.slots[shard].pid.load(Ordering::SeqCst)
+    }
+
+    /// Records the slot's current worker pid.
+    pub fn set_pid(&self, shard: usize, pid: u32) {
+        self.slots[shard].pid.store(pid, Ordering::SeqCst);
+    }
+
+    /// How many times this slot's worker has been respawned.
+    pub fn respawns(&self, shard: usize) -> u64 {
+        self.slots[shard].respawns.load(Ordering::SeqCst)
+    }
+
+    /// Total respawns across the fleet (the `shard-respawns` counter).
+    pub fn total_respawns(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|slot| slot.respawns.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// Counts one completed respawn for the slot and records how long the
+    /// slot was dark (death detected → replacement serving).
+    pub fn record_respawn(&self, shard: usize, recovery: Duration) {
+        self.slots[shard].respawns.fetch_add(1, Ordering::SeqCst);
+        lock_or_recover(&self.recovery_us)
+            .record(recovery.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Snapshot of the fleet `recovery-us` histogram.
+    pub fn recovery_histogram(&self) -> Histogram {
+        lock_or_recover(&self.recovery_us).clone()
+    }
+
+    /// The slot's breaker state.
+    pub fn breaker(&self, shard: usize) -> BreakerState {
+        BreakerState::from_u8(self.slots[shard].breaker.load(Ordering::SeqCst))
+    }
+
+    /// Moves the slot's breaker to `state` unconditionally.
+    pub fn set_breaker(&self, shard: usize, state: BreakerState) {
+        self.slots[shard]
+            .breaker
+            .store(state as u8, Ordering::SeqCst);
+    }
+
+    /// Compare-and-swap breaker transition; `true` when it won (so exactly
+    /// one of many racing handlers counts the `router-breaker-open` event).
+    pub fn breaker_transition(&self, shard: usize, from: BreakerState, to: BreakerState) -> bool {
+        self.slots[shard]
+            .breaker
+            .compare_exchange(from as u8, to as u8, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Router-side failure report: flags the slot suspect and wakes the
+    /// supervisor so it checks the worker now instead of at the next poll.
+    pub fn report_failure(&self, shard: usize) {
+        self.slots[shard].suspect.store(true, Ordering::SeqCst);
+        self.wake_supervisor();
+    }
+
+    /// Clears and returns the slot's suspect flag (supervisor side).
+    pub fn take_suspect(&self, shard: usize) -> bool {
+        self.slots[shard].suspect.swap(false, Ordering::SeqCst)
+    }
+
+    /// Wakes a [`ShardDirectory::wait_for_work`] sleeper immediately.
+    pub fn wake_supervisor(&self) {
+        let (flag, signal) = &self.nudge;
+        *lock_or_recover(flag) = true;
+        signal.notify_all();
+    }
+
+    /// Supervisor poll sleep: blocks up to `timeout`, returning early when
+    /// nudged ([`ShardDirectory::report_failure`], drain, stop).
+    pub fn wait_for_work(&self, timeout: Duration) {
+        let (flag, signal) = &self.nudge;
+        let mut nudged = lock_or_recover(flag);
+        if !*nudged {
+            let (guard, _) = signal
+                .wait_timeout(nudged, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            nudged = guard;
+        }
+        *nudged = false;
+    }
+
+    /// `true` once the deployment-wide drain has started.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Latches the deployment-wide drain: from here on the supervisor
+    /// treats worker exits as intentional and stops respawning.
+    pub fn set_draining(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.wake_supervisor();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn addr(port: u16) -> SocketAddr {
+        SocketAddr::from(([127, 0, 0, 1], port))
+    }
+
+    #[test]
+    fn slots_start_closed_unknown_pid_and_swap_addresses() {
+        let dir = ShardDirectory::new(&[addr(1000), addr(2000)]);
+        assert_eq!(dir.len(), 2);
+        assert_eq!(dir.addr(1), addr(2000));
+        assert_eq!(dir.pid(0), 0);
+        assert_eq!(dir.breaker(0), BreakerState::Closed);
+        dir.set_addr(1, addr(2001));
+        dir.set_pid(1, 42);
+        assert_eq!(dir.addr(1), addr(2001));
+        assert_eq!(dir.pid(1), 42);
+    }
+
+    #[test]
+    fn breaker_cas_lets_exactly_one_opener_win() {
+        let dir = ShardDirectory::new(&[addr(1000)]);
+        assert!(dir.breaker_transition(0, BreakerState::Closed, BreakerState::Open));
+        assert!(
+            !dir.breaker_transition(0, BreakerState::Closed, BreakerState::Open),
+            "second opener must lose the race"
+        );
+        assert_eq!(dir.breaker(0), BreakerState::Open);
+        assert_eq!(dir.breaker(0).as_str(), "open");
+        dir.set_breaker(0, BreakerState::HalfOpen);
+        assert_eq!(dir.breaker(0).as_str(), "half-open");
+        assert!(dir.breaker_transition(0, BreakerState::HalfOpen, BreakerState::Closed));
+        assert_eq!(dir.breaker(0).as_str(), "closed");
+    }
+
+    #[test]
+    fn respawn_accounting_sums_across_slots_and_records_recovery() {
+        let dir = ShardDirectory::new(&[addr(1000), addr(2000)]);
+        dir.record_respawn(0, Duration::from_millis(250));
+        dir.record_respawn(0, Duration::from_millis(500));
+        dir.record_respawn(1, Duration::from_millis(125));
+        assert_eq!(dir.respawns(0), 2);
+        assert_eq!(dir.respawns(1), 1);
+        assert_eq!(dir.total_respawns(), 3);
+        let histogram = dir.recovery_histogram();
+        assert_eq!(histogram.total(), 3);
+        assert!(histogram.quantile(1.0).unwrap() >= 500_000);
+    }
+
+    #[test]
+    fn report_failure_nudges_a_sleeping_supervisor() {
+        let dir = std::sync::Arc::new(ShardDirectory::new(&[addr(1000)]));
+        let sleeper = {
+            let dir = std::sync::Arc::clone(&dir);
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                dir.wait_for_work(Duration::from_secs(30));
+                start.elapsed()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        dir.report_failure(0);
+        let slept = sleeper.join().unwrap();
+        assert!(
+            slept < Duration::from_secs(5),
+            "nudge lost: slept {slept:?}"
+        );
+        assert!(dir.take_suspect(0));
+        assert!(!dir.take_suspect(0), "suspect flag must clear on take");
+    }
+
+    #[test]
+    fn drain_latch_is_sticky() {
+        let dir = ShardDirectory::new(&[addr(1000)]);
+        assert!(!dir.draining());
+        dir.set_draining();
+        assert!(dir.draining());
+    }
+}

@@ -30,8 +30,13 @@
 //! requests onto N single-process servers with rendezvous hashing over
 //! [`shard_for_key`] and relays shard responses byte-identically (see the
 //! `router` module docs), and a [`ShardFleet`] supervisor that launches
-//! and reaps the N worker processes. The [`client`] module is the matching
-//! minimal HTTP client, shared with the `dynex-load` harness.
+//! the N worker processes and keeps them alive — a dead worker is
+//! respawned on its slot with capped exponential backoff and comes back
+//! warm from its per-suffix journal, while the router's per-shard circuit
+//! breakers ([`BreakerState`]) fast-fail its keys in the interim. The two
+//! halves share a [`ShardDirectory`] (live addresses, pids, respawn
+//! counts, breaker states). The [`client`] module is the matching minimal
+//! HTTP client, shared with the `dynex-load` harness.
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod directory;
 mod http;
 mod lru;
 mod router;
@@ -54,8 +60,9 @@ mod server;
 mod supervisor;
 
 pub use client::HttpResponse;
+pub use directory::{BreakerState, ShardDirectory};
 pub use http::HttpRequest;
 pub use lru::LruCache;
 pub use router::{shard_for_key, Router, RouterConfig};
 pub use server::{ServeConfig, ServeError, Server};
-pub use supervisor::ShardFleet;
+pub use supervisor::{backoff_delay, ShardFleet, BACKOFF_RESET_AFTER};

@@ -23,6 +23,21 @@
 //! in the JSON body — loud, attributable failure instead of a silent
 //! retry-elsewhere that would split the cache).
 //!
+//! # Fault handling
+//!
+//! Shard addresses come from a live [`ShardDirectory`] (shared with the
+//! [`crate::ShardFleet`] supervisor when one is running), and each slot
+//! carries a circuit breaker ([`BreakerState`]): a relay transport failure
+//! opens it (counted in `router-breaker-open`) and reports the failure to
+//! the supervisor; while open, the slot's keys fast-fail `503` without a
+//! socket touch; a background-probe success moves it to half-open, and the
+//! next successfully relayed request closes it. A keyed request that hits
+//! a transport error gets **one** bounded retry — against the *same*
+//! shard, after re-reading the slot's address, so a just-respawned worker
+//! picks the request up. Never another shard: simulations are
+//! deterministic and content-keyed, and re-routing would split the warm
+//! cache (the PR 7 invariant).
+//!
 //! # Aggregation
 //!
 //! `GET /metrics` fans out to every shard, merges the per-shard registries
@@ -46,6 +61,7 @@ use dynex_obs::span::{self, StageStats};
 use dynex_obs::MetricsRegistry;
 
 use crate::client::{self, HttpResponse};
+use crate::directory::{BreakerState, ShardDirectory};
 use crate::http::{
     read_request, write_response, write_response_relayed, write_response_traced, HttpRequest,
 };
@@ -119,10 +135,9 @@ impl Default for RouterConfig {
 
 /// State shared between the acceptor, handlers, and the health thread.
 struct RouterState {
-    shards: Vec<SocketAddr>,
-    /// Last known reachability per shard: updated by the background probe
-    /// and, immediately, by every failed relay.
-    healthy: Vec<AtomicBool>,
+    /// Live shard addresses, pids, respawn counts, and breaker states —
+    /// shared with the supervising [`crate::ShardFleet`] when one runs.
+    directory: Arc<ShardDirectory>,
     metrics: Mutex<MetricsRegistry>,
     draining: AtomicBool,
     /// Wakes the health thread early on drain.
@@ -137,6 +152,20 @@ struct RouterState {
 impl RouterState {
     fn count(&self, name: &str) {
         lock_or_recover(&self.metrics).add(name, 1);
+    }
+
+    /// Trips the slot's breaker open (any state), counting the event once
+    /// per actual transition — concurrent failing handlers race on a CAS.
+    fn open_breaker(&self, shard: usize) {
+        for from in [BreakerState::Closed, BreakerState::HalfOpen] {
+            if self
+                .directory
+                .breaker_transition(shard, from, BreakerState::Open)
+            {
+                self.count("router-breaker-open");
+                return;
+            }
+        }
     }
 }
 
@@ -178,10 +207,25 @@ pub struct Router {
 }
 
 impl Router {
-    /// Binds the socket, seeds the shard-health table, and spawns the
-    /// acceptor and health-probe threads.
+    /// Binds the socket over a fixed shard list (a directory nobody
+    /// updates) and spawns the acceptor and health-probe threads. For a
+    /// supervised fleet whose addresses change on respawn, use
+    /// [`Router::start_with`].
     pub fn start(config: RouterConfig) -> Result<Router, crate::ServeError> {
-        if config.shards.is_empty() {
+        let directory = Arc::new(ShardDirectory::new(&config.shards));
+        Router::start_with(config, directory)
+    }
+
+    /// Binds the socket over a live [`ShardDirectory`] (shared with a
+    /// [`crate::ShardFleet`] supervisor, whose respawns swap slot
+    /// addresses under the router) and spawns the acceptor and
+    /// health-probe threads. `config.shards` is ignored — the directory is
+    /// the address authority.
+    pub fn start_with(
+        config: RouterConfig,
+        directory: Arc<ShardDirectory>,
+    ) -> Result<Router, crate::ServeError> {
+        if directory.is_empty() {
             return Err(crate::ServeError::Bind(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 "router needs at least one shard",
@@ -198,20 +242,17 @@ impl Router {
             "router-routed",
             "router-shard-errors",
             "router-health-probes",
+            "router-breaker-open",
+            "router-relay-retries",
         ] {
             metrics.add(name, 0);
         }
-        for shard in 0..config.shards.len() {
+        for shard in 0..directory.len() {
             metrics.add(&format!("router-routed-shard-{shard}"), 0);
         }
 
         let state = Arc::new(RouterState {
-            healthy: config
-                .shards
-                .iter()
-                .map(|_| AtomicBool::new(true))
-                .collect(),
-            shards: config.shards,
+            directory,
             metrics: Mutex::new(metrics),
             draining: AtomicBool::new(false),
             drain_signal: (Mutex::new(false), Condvar::new()),
@@ -249,10 +290,16 @@ impl Router {
         lock_or_recover(&self.state.metrics).counter(name)
     }
 
-    /// The health-probe view of one shard (`true` until a probe or relay
-    /// fails).
+    /// The breaker view of one shard: `true` while its circuit is closed
+    /// (relaying normally), `false` once a probe or relay failure opened
+    /// it and until a relayed request closes it again.
     pub fn shard_healthy(&self, shard: usize) -> bool {
-        self.state.healthy[shard].load(Ordering::SeqCst)
+        self.state.directory.breaker(shard) == BreakerState::Closed
+    }
+
+    /// The live shard directory the router routes over.
+    pub fn directory(&self) -> Arc<ShardDirectory> {
+        Arc::clone(&self.state.directory)
     }
 
     /// Starts a graceful drain of the *router* (stop accepting, finish
@@ -287,15 +334,26 @@ fn initiate_drain(state: &RouterState) {
 }
 
 /// Background shard health probe: `GET /healthz` on every shard, each
-/// `interval`, until drain.
+/// `interval`, until drain. Probe outcomes drive the breakers: a failure
+/// opens the slot's circuit, a success on an open circuit moves it to
+/// half-open (the next relayed request decides whether it closes).
 fn health_loop(state: Arc<RouterState>, interval: Duration) {
     let (flag, signal) = &state.drain_signal;
     loop {
-        for (shard, &addr) in state.shards.iter().enumerate() {
+        for shard in 0..state.directory.len() {
+            let addr = state.directory.addr(shard);
             let alive = client::call(addr, "GET", "/healthz", "", state.probe_timeout)
                 .map(|response| response.status == 200)
                 .unwrap_or(false);
-            state.healthy[shard].store(alive, Ordering::SeqCst);
+            if alive {
+                state.directory.breaker_transition(
+                    shard,
+                    BreakerState::Open,
+                    BreakerState::HalfOpen,
+                );
+            } else {
+                state.open_breaker(shard);
+            }
         }
         state.count("router-health-probes");
         let mut draining = lock_or_recover(flag);
@@ -394,9 +452,14 @@ fn route(state: &Arc<RouterState>, request: &HttpRequest, trace_id: u64) -> Repl
         ("GET", "/healthz") => Reply::Own(200, healthz_body(state)),
         ("GET", "/metrics") => Reply::Own(200, metrics_body(state)),
         ("POST", "/shutdown") => {
-            // Drain the whole deployment: every shard first (best effort —
-            // a dead shard cannot block the drain), then the router.
-            for &addr in &state.shards {
+            // Drain the whole deployment. The directory latch comes first
+            // so a supervising fleet treats the worker exits below as
+            // intentional instead of respawning them mid-drain; then every
+            // shard (best effort — a dead shard cannot block the drain),
+            // then the router.
+            state.directory.set_draining();
+            for shard in 0..state.directory.len() {
+                let addr = state.directory.addr(shard);
                 let _ = client::call(addr, "POST", "/shutdown", "", state.probe_timeout);
             }
             initiate_drain(state);
@@ -414,13 +477,18 @@ fn route(state: &Arc<RouterState>, request: &HttpRequest, trace_id: u64) -> Repl
     }
 }
 
-/// The router `/healthz` body: drain state plus the probed fleet view.
-/// Reads the cached health table — never blocks on a shard.
+/// The router `/healthz` body: drain state plus the breaker view of the
+/// fleet — per shard its address, worker pid (0 when the shards are not
+/// supervised processes), respawn count, and breaker state, so operators
+/// and the chaos harness see fleet health without grepping supervisor
+/// logs. Reads cached directory state — never blocks on a shard.
 fn healthz_body(state: &Arc<RouterState>) -> String {
     let mut down = 0usize;
     let mut shards = String::new();
-    for (shard, addr) in state.shards.iter().enumerate() {
-        let healthy = state.healthy[shard].load(Ordering::SeqCst);
+    for shard in 0..state.directory.len() {
+        let addr = state.directory.addr(shard);
+        let breaker = state.directory.breaker(shard);
+        let healthy = breaker == BreakerState::Closed;
         if !healthy {
             down += 1;
         }
@@ -428,7 +496,10 @@ fn healthz_body(state: &Arc<RouterState>) -> String {
             shards.push(',');
         }
         shards.push_str(&format!(
-            r#"{{"id":{shard},"addr":"{addr}","healthy":{healthy}}}"#
+            r#"{{"id":{shard},"addr":"{addr}","healthy":{healthy},"pid":{},"respawns":{},"breaker":"{}"}}"#,
+            state.directory.pid(shard),
+            state.directory.respawns(shard),
+            breaker.as_str()
         ));
     }
     let status = if state.draining.load(Ordering::SeqCst) {
@@ -448,9 +519,14 @@ fn healthz_body(state: &Arc<RouterState>) -> String {
 fn metrics_body(state: &Arc<RouterState>) -> String {
     let mut merged = MetricsRegistry::new();
     merged.merge(&lock_or_recover(&state.metrics));
+    // Fleet-recovery telemetry lives in the directory (the supervisor
+    // writes it); fold it in so one /metrics scrape sees the whole story.
+    merged.set("shard-respawns", state.directory.total_respawns());
+    merged.put_histogram("recovery-us", state.directory.recovery_histogram());
     let mut stage_totals: BTreeMap<String, u64> = BTreeMap::new();
     let mut shard_rows = String::new();
-    for (shard, &addr) in state.shards.iter().enumerate() {
+    for shard in 0..state.directory.len() {
+        let addr = state.directory.addr(shard);
         let fetched = client::call(addr, "GET", "/metrics", "", state.probe_timeout)
             .ok()
             .filter(|response| response.status == 200)
@@ -506,7 +582,22 @@ fn metrics_body(state: &Arc<RouterState>) -> String {
     body
 }
 
+/// The shard-unavailable `503` body (router-origin: carries the shard id
+/// and the router's trace id, never shard bytes).
+fn unavailable_body(shard: usize, message: &str, trace_id: u64) -> String {
+    format!(
+        r#"{{"error":"shard {shard} unavailable: {}","shard":{shard},"trace_id":"{}"}}"#,
+        json::escape(message),
+        span::trace_hex(trace_id)
+    )
+}
+
 /// The `/simulate` relay: validate, place, forward, fail loudly.
+///
+/// Fault path (module docs): an open breaker fast-fails without a socket
+/// touch; a transport error earns one same-shard retry against the
+/// slot's *current* address (a respawn may have swapped it mid-flight);
+/// two transport errors open the breaker and wake the supervisor.
 fn handle_simulate(state: &Arc<RouterState>, body: &str, trace_id: u64) -> Reply {
     let request = match SimulationRequest::from_json(body) {
         Ok(request) => request,
@@ -516,39 +607,40 @@ fn handle_simulate(state: &Arc<RouterState>, body: &str, trace_id: u64) -> Reply
         Ok(key) => key,
         Err(e) => return Reply::Own(500, error_body(&e.to_string(), trace_id)),
     };
-    let shard = shard_for_key(&key, state.shards.len());
+    let shard = shard_for_key(&key, state.directory.len());
     state.count("router-routed");
     state.count(&format!("router-routed-shard-{shard}"));
+    if state.directory.breaker(shard) == BreakerState::Open {
+        state.count("router-shard-errors");
+        return Reply::Own(503, unavailable_body(shard, "circuit open", trace_id));
+    }
     // The original body is forwarded, not a re-serialization: the shard
     // parses and validates exactly what the client sent.
-    match client::call(
-        state.shards[shard],
-        "POST",
-        "/simulate",
-        body,
-        state.relay_timeout,
-    ) {
-        Ok(response) => {
-            state.healthy[shard].store(true, Ordering::SeqCst);
-            Reply::Relay(response)
+    let mut last_error = String::new();
+    for attempt in 0..2 {
+        if attempt > 0 {
+            state.count("router-relay-retries");
         }
-        Err(message) => {
-            // Loud, attributable failure: the shard id lands in the error
-            // body so an operator (or the load harness's error taxonomy)
-            // sees *which* shard died, and the health table flips without
-            // waiting for the next probe.
-            state.healthy[shard].store(false, Ordering::SeqCst);
-            state.count("router-shard-errors");
-            Reply::Own(
-                503,
-                format!(
-                    r#"{{"error":"shard {shard} unavailable: {}","shard":{shard},"trace_id":"{}"}}"#,
-                    json::escape(&message),
-                    span::trace_hex(trace_id)
-                ),
-            )
+        let addr = state.directory.addr(shard);
+        match client::call(addr, "POST", "/simulate", body, state.relay_timeout) {
+            Ok(response) => {
+                // A relayed response is authoritative evidence the worker
+                // serves: close the breaker (half-open → closed on the
+                // probe-recovery path, and heal any racing open).
+                state.directory.set_breaker(shard, BreakerState::Closed);
+                return Reply::Relay(response);
+            }
+            Err(message) => last_error = message,
         }
     }
+    // Loud, attributable failure: the shard id lands in the error body so
+    // an operator (or the load harness's error taxonomy) sees *which*
+    // shard died, the breaker opens without waiting for the next probe,
+    // and the supervisor is nudged to check the worker now.
+    state.open_breaker(shard);
+    state.directory.report_failure(shard);
+    state.count("router-shard-errors");
+    Reply::Own(503, unavailable_body(shard, &last_error, trace_id))
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dynex_engine::{default_jobs, execute_resilient, JobFailure, Journal, Resilience};
+use dynex_engine::{default_jobs, execute_resilient, JobFailure, Journal, Resilience, SyncPolicy};
 use dynex_experiments::api::{self, LoadedTrace, SimulationRequest, SimulationResponse};
 use dynex_obs::json;
 use dynex_obs::span::{self, SpanCtx};
@@ -79,6 +79,10 @@ pub struct ServeConfig {
     /// A `simcache --resume` / `experiments --resume` journal to warm the
     /// result cache from at boot; fresh results are appended to it.
     pub warm_journal: Option<PathBuf>,
+    /// How far each journal append is pushed toward stable storage before
+    /// the response is sent: [`SyncPolicy::Flush`] (the default) survives
+    /// a process kill, [`SyncPolicy::Fsync`] also survives power loss.
+    pub journal_sync: SyncPolicy,
     /// Test hook: artificial delay inside every simulation job. Keeps
     /// backpressure and coalescing tests deterministic without relying on
     /// workload size. Zero (the default) for production.
@@ -96,6 +100,7 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             default_deadline: None,
             warm_journal: None,
+            journal_sync: SyncPolicy::Flush,
             inject_sim_delay: Duration::ZERO,
         }
     }
@@ -286,8 +291,8 @@ impl Server {
         }
         let journal = match &config.warm_journal {
             Some(path) => {
-                let journal =
-                    Journal::open(path).map_err(|e| ServeError::Journal(e.to_string()))?;
+                let journal = Journal::open_with(path, config.journal_sync)
+                    .map_err(|e| ServeError::Journal(e.to_string()))?;
                 // Deterministic warm-start order: journal iteration order is
                 // unspecified, and with more entries than cache capacity the
                 // insertion order decides who survives.

@@ -3,136 +3,339 @@
 //! The router fronts N *processes*, not threads: each shard is a full
 //! single-process server (its own LRU, its own warm journal, its own
 //! simulation pool) launched from the same binary, so a shard panic or OOM
-//! kill never takes the fleet down — the router answers `503` for that
-//! shard's keys and everything else keeps serving.
+//! kill never takes the fleet down.
+//!
+//! Since PR 8 the fleet is **self-healing**: a supervisor thread polls
+//! every worker with `try_wait` (and is nudged early when the router
+//! reports a relay failure through the shared [`ShardDirectory`]), and
+//! respawns a dead worker on the *same slot* — same shard id, same
+//! `worker_args(id)`, and therefore the same per-suffix warm journal, so
+//! the replacement boots with its predecessor's result cache — on a fresh
+//! ephemeral port that is swapped into the directory for the router to
+//! pick up. Respawns back off exponentially ([`backoff_delay`]: 100ms
+//! base, doubling, capped at 5s) so a crash-looping worker cannot melt the
+//! box; a worker that stays up past [`BACKOFF_RESET_AFTER`] earns its slot
+//! a fresh backoff ladder. Once the deployment drains
+//! ([`ShardDirectory::set_draining`]) worker exits are intentional and the
+//! supervisor stands down.
 //!
 //! Boot protocol: each worker is spawned with `--port 0` and a piped
 //! stdout; the supervisor reads the worker's `dynex-serve listening on
 //! <addr>` line (the same line the smoke scripts wait for) to learn the
 //! ephemeral port, then keeps draining the pipe on a background thread so
-//! a chatty child can never block on a full pipe.
+//! a chatty child can never block on a full pipe. Stderr is piped too:
+//! lines are forwarded to the supervisor's stderr *and* kept in a
+//! per-worker tail ring so a boot failure can say why the worker died.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crate::directory::{BreakerState, ShardDirectory};
 
 /// The stdout line prefix every worker prints once it is serving.
 const LISTENING_PREFIX: &str = "dynex-serve listening on ";
 
+/// How many trailing stderr lines each worker keeps for post-mortems.
+const STDERR_TAIL_LINES: usize = 30;
+
+/// Supervisor poll tick: the worst-case delay between a silent worker
+/// death and its detection (router-reported failures nudge earlier).
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// A worker that survives this long gets its slot's backoff ladder reset.
+pub const BACKOFF_RESET_AFTER: Duration = Duration::from_secs(30);
+
+/// Respawn backoff for the `attempt`-th consecutive failure of one slot:
+/// 100ms, 200ms, 400ms, … capped at 5s.
+pub fn backoff_delay(attempt: u32) -> Duration {
+    const BASE_MS: u64 = 100;
+    const CAP_MS: u64 = 5_000;
+    let factor = 1u64 << attempt.min(10);
+    Duration::from_millis((BASE_MS.saturating_mul(factor)).min(CAP_MS))
+}
+
+/// The last lines a worker wrote to stderr, kept in a bounded ring by the
+/// forwarding reader thread.
+#[derive(Debug, Clone, Default)]
+struct StderrTail(Arc<Mutex<VecDeque<String>>>);
+
+impl StderrTail {
+    fn push(&self, line: String) {
+        let mut tail = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        if tail.len() == STDERR_TAIL_LINES {
+            tail.pop_front();
+        }
+        tail.push_back(line);
+    }
+
+    /// The tail as one `; `-joined string, empty when the worker was quiet.
+    fn render(&self) -> String {
+        let tail = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        tail.iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
 /// One supervised shard worker process.
 #[derive(Debug)]
 struct ShardChild {
-    id: usize,
     child: Child,
+    stderr_tail: StderrTail,
+    /// When this worker booted — drives the backoff-ladder reset.
+    born: Instant,
+    /// Consecutive failed/short-lived spawns on this slot.
+    attempt: u32,
 }
 
-/// A fleet of shard worker processes behind one router.
+/// What `spawn_worker` learned about a freshly booted worker.
+struct BootedWorker {
+    child: Child,
+    addr: SocketAddr,
+    stderr_tail: StderrTail,
+}
+
+/// Spawns one worker and waits for its listening line. On failure the
+/// error includes the worker's last stderr lines — the context `Stdio::
+/// inherit` used to scroll away.
+fn spawn_worker(
+    binary: &Path,
+    id: usize,
+    args: Vec<String>,
+    boot_timeout: Duration,
+) -> Result<BootedWorker, String> {
+    let mut child = Command::new(binary)
+        .args(args)
+        .args(["--port", "0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("shard {id}: cannot spawn {}: {e}", binary.display()))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| format!("shard {id}: no stdout pipe"))?;
+    let stderr = child
+        .stderr
+        .take()
+        .ok_or_else(|| format!("shard {id}: no stderr pipe"))?;
+
+    // Forward stderr lines (operators still see worker logs) while keeping
+    // a bounded tail for post-mortems.
+    let stderr_tail = StderrTail::default();
+    {
+        let tail = stderr_tail.clone();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stderr).lines() {
+                let Ok(line) = line else { return };
+                eprintln!("[shard {id}] {line}");
+                tail.push(line);
+            }
+        });
+    }
+
+    // The pipe read has no native timeout: a reader thread sends the
+    // listening line back, then keeps draining stdout until EOF.
+    let (sender, receiver) = mpsc::channel::<Result<SocketAddr, String>>();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        let mut announced = false;
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    if !announced {
+                        let _ = sender.send(Err("exited before announcing its port".to_owned()));
+                    }
+                    return;
+                }
+                Ok(_) => {
+                    if announced {
+                        continue; // drain, so the child never blocks
+                    }
+                    if let Some(rest) = line.trim_end().strip_prefix(LISTENING_PREFIX) {
+                        announced = true;
+                        let _ = sender.send(
+                            rest.parse::<SocketAddr>()
+                                .map_err(|e| format!("bad listen address {rest:?}: {e}")),
+                        );
+                    }
+                }
+                Err(e) => {
+                    if !announced {
+                        let _ = sender.send(Err(format!("stdout read error: {e}")));
+                    }
+                    return;
+                }
+            }
+        }
+    });
+
+    let with_stderr = |message: String| {
+        // Give the stderr forwarder a beat to drain the pipe of a worker
+        // that just died, so the tail actually holds its last words.
+        std::thread::sleep(Duration::from_millis(30));
+        let tail = stderr_tail.render();
+        let mut full = format!("shard {id}: {message}");
+        if !tail.is_empty() {
+            full.push_str(&format!(" (worker stderr: {tail})"));
+        }
+        full
+    };
+    match receiver.recv_timeout(boot_timeout) {
+        Ok(Ok(addr)) => Ok(BootedWorker {
+            child,
+            addr,
+            stderr_tail,
+        }),
+        Ok(Err(message)) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(with_stderr(message))
+        }
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(with_stderr(format!(
+                "no listening line within {}ms",
+                boot_timeout.as_millis()
+            )))
+        }
+    }
+}
+
+/// Everything the supervisor thread shares with the [`ShardFleet`] handle.
+struct FleetInner {
+    binary: PathBuf,
+    worker_args: Box<dyn Fn(usize) -> Vec<String> + Send + Sync>,
+    boot_timeout: Duration,
+    /// One slot per shard id; `None` transiently while a slot is down and
+    /// its respawn is backing off.
+    children: Mutex<Vec<Option<ShardChild>>>,
+    directory: Arc<ShardDirectory>,
+    stop: AtomicBool,
+}
+
+/// A self-healing fleet of shard worker processes behind one router.
 ///
-/// Dropping the fleet kills any children that have not been waited on —
-/// an error path that leaks N background servers would otherwise poison
-/// every later test or CI job on the machine.
-#[derive(Debug)]
+/// Dropping the fleet stops the supervisor and kills any children that
+/// have not been waited on — an error path that leaks N background
+/// servers would otherwise poison every later test or CI job on the
+/// machine.
 pub struct ShardFleet {
-    children: Vec<ShardChild>,
-    addrs: Vec<SocketAddr>,
+    inner: Arc<FleetInner>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `worker_args` is an opaque closure; show the observable state.
+        f.debug_struct("ShardFleet")
+            .field("binary", &self.inner.binary)
+            .field("directory", &self.inner.directory)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ShardFleet {
     /// Spawns `count` workers from `binary`, passing each the arguments
     /// `worker_args(shard_id)` produces (the supervisor appends
-    /// `--port 0` itself), and waits up to `boot_timeout` for each
-    /// worker's listening line.
+    /// `--port 0` itself), waits up to `boot_timeout` for each worker's
+    /// listening line, then starts the supervisor thread that keeps the
+    /// fleet alive (module docs give the respawn protocol).
     ///
-    /// Fails loudly — with the shard id — if any worker dies or stays
-    /// silent before announcing its port; already-started workers are
-    /// killed by the fleet's drop.
+    /// Fails loudly — with the shard id and the worker's last stderr
+    /// lines — if any worker dies or stays silent before announcing its
+    /// port; already-started workers are killed by the fleet's drop.
     pub fn spawn(
         binary: &Path,
         count: usize,
-        worker_args: impl Fn(usize) -> Vec<String>,
+        worker_args: impl Fn(usize) -> Vec<String> + Send + Sync + 'static,
         boot_timeout: Duration,
     ) -> Result<ShardFleet, String> {
         if count == 0 {
             return Err("--shards needs at least one shard".to_owned());
         }
-        let mut fleet = ShardFleet {
-            children: Vec::with_capacity(count),
-            addrs: Vec::with_capacity(count),
-        };
+        let mut children = Vec::with_capacity(count);
+        let mut addrs = Vec::with_capacity(count);
+        let mut pids = Vec::with_capacity(count);
         for id in 0..count {
-            let mut child = Command::new(binary)
-                .args(worker_args(id))
-                .args(["--port", "0"])
-                .stdin(Stdio::null())
-                .stdout(Stdio::piped())
-                .stderr(Stdio::inherit())
-                .spawn()
-                .map_err(|e| format!("shard {id}: cannot spawn {}: {e}", binary.display()))?;
-            let stdout = child
-                .stdout
-                .take()
-                .ok_or_else(|| format!("shard {id}: no stdout pipe"))?;
-            fleet.children.push(ShardChild { id, child });
-
-            // The pipe read has no native timeout: a reader thread sends the
-            // listening line back, then keeps draining stdout until EOF.
-            let (sender, receiver) = mpsc::channel::<Result<SocketAddr, String>>();
-            std::thread::spawn(move || {
-                let mut reader = BufReader::new(stdout);
-                let mut line = String::new();
-                let mut announced = false;
-                loop {
-                    line.clear();
-                    match reader.read_line(&mut line) {
-                        Ok(0) => {
-                            if !announced {
-                                let _ = sender
-                                    .send(Err("exited before announcing its port".to_owned()));
-                            }
-                            return;
-                        }
-                        Ok(_) => {
-                            if announced {
-                                continue; // drain, so the child never blocks
-                            }
-                            if let Some(rest) = line.trim_end().strip_prefix(LISTENING_PREFIX) {
-                                announced = true;
-                                let _ = sender.send(
-                                    rest.parse::<SocketAddr>()
-                                        .map_err(|e| format!("bad listen address {rest:?}: {e}")),
-                                );
-                            }
-                        }
-                        Err(e) => {
-                            if !announced {
-                                let _ = sender.send(Err(format!("stdout read error: {e}")));
-                            }
-                            return;
-                        }
-                    }
+            match spawn_worker(binary, id, worker_args(id), boot_timeout) {
+                Ok(worker) => {
+                    addrs.push(worker.addr);
+                    pids.push(worker.child.id());
+                    children.push(Some(ShardChild {
+                        child: worker.child,
+                        stderr_tail: worker.stderr_tail,
+                        born: Instant::now(),
+                        attempt: 0,
+                    }));
                 }
-            });
-
-            let addr = receiver
-                .recv_timeout(boot_timeout)
-                .map_err(|_| {
-                    format!(
-                        "shard {id}: no listening line within {}ms",
-                        boot_timeout.as_millis()
-                    )
-                })?
-                .map_err(|e| format!("shard {id}: {e}"))?;
-            fleet.addrs.push(addr);
+                Err(message) => {
+                    // Kill the workers that did boot before surfacing the error.
+                    for slot in children.iter_mut().flatten() {
+                        let _ = slot.child.kill();
+                        let _ = slot.child.wait();
+                    }
+                    return Err(message);
+                }
+            }
         }
-        Ok(fleet)
+        let directory = Arc::new(ShardDirectory::new(&addrs));
+        for (id, pid) in pids.into_iter().enumerate() {
+            directory.set_pid(id, pid);
+        }
+        let inner = Arc::new(FleetInner {
+            binary: binary.to_path_buf(),
+            worker_args: Box::new(worker_args),
+            boot_timeout,
+            children: Mutex::new(children),
+            directory,
+            stop: AtomicBool::new(false),
+        });
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || supervise(&inner))
+        };
+        Ok(ShardFleet {
+            inner,
+            supervisor: Some(supervisor),
+        })
     }
 
-    /// The listen address of every shard, in shard-id order.
-    pub fn addrs(&self) -> &[SocketAddr] {
-        &self.addrs
+    /// The live fleet state (addresses, pids, respawns, breakers) shared
+    /// with the router.
+    pub fn directory(&self) -> Arc<ShardDirectory> {
+        Arc::clone(&self.inner.directory)
+    }
+
+    /// The listen address of every shard, in shard-id order, as currently
+    /// recorded in the directory.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        (0..self.inner.directory.len())
+            .map(|id| self.inner.directory.addr(id))
+            .collect()
+    }
+
+    /// Stops the supervisor thread (idempotent). Called before any
+    /// teardown so a drain-driven worker exit is never "healed".
+    fn stop_supervisor(&mut self) {
+        self.inner.directory.set_draining();
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.directory.wake_supervisor();
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
     }
 
     /// Waits up to `timeout` for every worker to exit on its own (after a
@@ -142,14 +345,21 @@ impl ShardFleet {
     /// unsuccessfully — a drained worker that cannot exit is a leaked
     /// thread somewhere, exactly what the smoke scripts exist to catch.
     pub fn wait(mut self, timeout: Duration) -> Result<(), String> {
+        self.stop_supervisor();
         let deadline = Instant::now() + timeout;
         let mut failures = Vec::new();
-        for shard in &mut self.children {
+        let mut children = self
+            .inner
+            .children
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        for (id, slot) in children.iter_mut().enumerate() {
+            let Some(shard) = slot else { continue };
             loop {
                 match shard.child.try_wait() {
                     Ok(Some(status)) => {
                         if !status.success() {
-                            failures.push(format!("shard {} exited with {status}", shard.id));
+                            failures.push(format!("shard {id} exited with {status}"));
                         }
                         break;
                     }
@@ -157,19 +367,20 @@ impl ShardFleet {
                         if Instant::now() >= deadline {
                             let _ = shard.child.kill();
                             let _ = shard.child.wait();
-                            failures.push(format!("shard {} did not exit after drain", shard.id));
+                            failures.push(format!("shard {id} did not exit after drain"));
                             break;
                         }
                         std::thread::sleep(Duration::from_millis(20));
                     }
                     Err(e) => {
-                        failures.push(format!("shard {}: wait failed: {e}", shard.id));
+                        failures.push(format!("shard {id}: wait failed: {e}"));
                         break;
                     }
                 }
             }
         }
-        self.children.clear();
+        children.clear();
+        drop(children);
         if failures.is_empty() {
             Ok(())
         } else {
@@ -180,12 +391,134 @@ impl ShardFleet {
 
 impl Drop for ShardFleet {
     fn drop(&mut self) {
-        for shard in &mut self.children {
-            // Only reached on error paths (normal exit goes through
-            // `wait`, which clears the list): make sure no background
-            // server outlives the supervisor.
-            let _ = shard.child.kill();
-            let _ = shard.child.wait();
+        self.stop_supervisor();
+        // Only reached on error paths (normal exit goes through `wait`,
+        // which clears the list): make sure no background server outlives
+        // the supervisor.
+        let mut children = self
+            .inner
+            .children
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        for slot in children.iter_mut().flatten() {
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+        }
+        children.clear();
+    }
+}
+
+/// A slot whose worker died: when the death was detected (the recovery
+/// clock), when the next respawn is due, and its backoff-ladder position.
+#[derive(Debug, Clone, Copy)]
+struct DownSlot {
+    detected: Instant,
+    due: Instant,
+    attempt: u32,
+}
+
+/// The supervisor loop: detect dead workers, respawn them on their slot.
+fn supervise(inner: &FleetInner) {
+    let mut down: Vec<Option<DownSlot>> = (0..inner.directory.len()).map(|_| None).collect();
+    loop {
+        if inner.stop.load(Ordering::SeqCst) || inner.directory.draining() {
+            return;
+        }
+        for (id, slot) in down.iter_mut().enumerate() {
+            // A router failure report is only a hint; the authoritative
+            // death check is the try_wait below, which runs every tick
+            // anyway — so the flag is simply consumed.
+            let _ = inner.directory.take_suspect(id);
+            if let Some(dead) = reap_if_exited(inner, id) {
+                *slot = Some(dead);
+            }
+            respawn_if_due(inner, id, slot);
+        }
+        inner.directory.wait_for_work(POLL_INTERVAL);
+    }
+}
+
+/// Reaps slot `id`'s worker if it has exited, returning the down-slot
+/// bookkeeping (detection time, first backoff deadline, ladder position).
+fn reap_if_exited(inner: &FleetInner, id: usize) -> Option<DownSlot> {
+    let mut children = inner.children.lock().unwrap_or_else(|e| e.into_inner());
+    let shard = children[id].as_mut()?;
+    let status = shard.child.try_wait().ok()??;
+    // Long-lived workers earn a fresh backoff ladder; crash-loopers keep
+    // climbing it.
+    let attempt = if shard.born.elapsed() >= BACKOFF_RESET_AFTER {
+        0
+    } else {
+        shard.attempt + 1
+    };
+    let tail = shard.stderr_tail.render();
+    eprintln!(
+        "dynex-serve supervisor: shard {id} (pid {}) exited with {status}{}",
+        shard.child.id(),
+        if tail.is_empty() {
+            String::new()
+        } else {
+            format!("; stderr: {tail}")
+        }
+    );
+    children[id] = None;
+    let detected = Instant::now();
+    Some(DownSlot {
+        detected,
+        due: detected + backoff_delay(attempt),
+        attempt,
+    })
+}
+
+/// Respawns a down slot once its backoff deadline has passed, updating the
+/// directory (address, pid, respawn count, recovery time) on success and
+/// climbing the backoff ladder on failure.
+fn respawn_if_due(inner: &FleetInner, id: usize, down: &mut Option<DownSlot>) {
+    let Some(slot) = *down else { return };
+    if Instant::now() < slot.due || inner.stop.load(Ordering::SeqCst) || inner.directory.draining()
+    {
+        return;
+    }
+    match spawn_worker(
+        &inner.binary,
+        id,
+        (inner.worker_args)(id),
+        inner.boot_timeout,
+    ) {
+        Ok(worker) => {
+            let pid = worker.child.id();
+            {
+                let mut children = inner.children.lock().unwrap_or_else(|e| e.into_inner());
+                children[id] = Some(ShardChild {
+                    child: worker.child,
+                    stderr_tail: worker.stderr_tail,
+                    born: Instant::now(),
+                    attempt: slot.attempt,
+                });
+            }
+            inner.directory.set_addr(id, worker.addr);
+            inner.directory.set_pid(id, pid);
+            inner.directory.record_respawn(id, slot.detected.elapsed());
+            // Let the very next request through: the worker just proved it
+            // boots (listening line). The background probe would get there
+            // too, one health interval later.
+            inner.directory.set_breaker(id, BreakerState::HalfOpen);
+            eprintln!(
+                "dynex-serve supervisor: shard {id} respawned as pid {pid} on {} after {:?} (attempt {})",
+                worker.addr,
+                slot.detected.elapsed(),
+                slot.attempt
+            );
+            *down = None;
+        }
+        Err(message) => {
+            eprintln!("dynex-serve supervisor: shard {id} respawn failed: {message}");
+            let attempt = slot.attempt.saturating_add(1);
+            *down = Some(DownSlot {
+                detected: slot.detected,
+                due: Instant::now() + backoff_delay(attempt),
+                attempt,
+            });
         }
     }
 }
@@ -193,6 +526,21 @@ impl Drop for ShardFleet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backoff_doubles_from_100ms_and_caps_at_5s() {
+        assert_eq!(backoff_delay(0), Duration::from_millis(100));
+        assert_eq!(backoff_delay(1), Duration::from_millis(200));
+        assert_eq!(backoff_delay(2), Duration::from_millis(400));
+        assert_eq!(backoff_delay(5), Duration::from_millis(3200));
+        assert_eq!(backoff_delay(6), Duration::from_secs(5));
+        assert_eq!(backoff_delay(7), Duration::from_secs(5));
+        assert_eq!(
+            backoff_delay(u32::MAX),
+            Duration::from_secs(5),
+            "no overflow"
+        );
+    }
 
     #[test]
     fn zero_shards_is_a_loud_error() {
@@ -238,15 +586,24 @@ mod tests {
     }
 
     #[test]
-    fn immediately_exiting_worker_is_reported() {
+    fn immediately_exiting_worker_is_reported_with_its_stderr() {
         let err = ShardFleet::spawn(
             Path::new("/bin/sh"),
             1,
-            |_| vec!["-c".to_owned(), "exit 0".to_owned()],
+            |_| {
+                vec![
+                    "-c".to_owned(),
+                    "echo 'boot panic: no trace dir' >&2; exit 3".to_owned(),
+                ]
+            },
             Duration::from_secs(5),
         )
         .unwrap_err();
         assert!(err.contains("exited before announcing"), "{err}");
+        assert!(
+            err.contains("boot panic: no trace dir"),
+            "boot error must carry the worker's stderr tail: {err}"
+        );
     }
 
     #[test]
@@ -264,7 +621,7 @@ mod tests {
             Duration::from_secs(5),
         )
         .unwrap();
-        assert_eq!(fleet.addrs(), &["127.0.0.1:12345".parse().unwrap()]);
+        assert_eq!(fleet.addrs(), vec!["127.0.0.1:12345".parse().unwrap()]);
         drop(fleet); // kills the sleeping child
 
         let err = ShardFleet::spawn(
@@ -280,5 +637,68 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("bad listen address"), "{err}");
+    }
+
+    #[test]
+    fn dead_worker_is_respawned_on_its_slot_with_a_fresh_pid() {
+        // A fake worker that announces and dies 200ms later: the supervisor
+        // must detect the exit and respawn the slot (each incarnation
+        // announces the same fake address — the directory swap still runs).
+        let fleet = ShardFleet::spawn(
+            Path::new("/bin/sh"),
+            1,
+            |_| {
+                vec![
+                    "-c".to_owned(),
+                    "echo 'dynex-serve listening on 127.0.0.1:12345'; sleep 0.2".to_owned(),
+                ]
+            },
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let directory = fleet.directory();
+        let first_pid = directory.pid(0);
+        assert_ne!(first_pid, 0);
+
+        // Worker dies at +200ms, detection within one poll tick, backoff
+        // 100ms, boot is instant — well inside 5s.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while directory.respawns(0) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(directory.respawns(0) >= 1, "no respawn within 5s");
+        assert_ne!(
+            directory.pid(0),
+            first_pid,
+            "replacement must be a new process"
+        );
+        assert_eq!(directory.breaker(0), BreakerState::HalfOpen);
+        assert!(
+            directory.recovery_histogram().total() >= 1,
+            "recovery time must be recorded"
+        );
+        drop(fleet);
+    }
+
+    #[test]
+    fn draining_fleet_lets_workers_die_in_peace() {
+        let fleet = ShardFleet::spawn(
+            Path::new("/bin/sh"),
+            1,
+            |_| {
+                vec![
+                    "-c".to_owned(),
+                    "echo 'dynex-serve listening on 127.0.0.1:12345'; sleep 0.15".to_owned(),
+                ]
+            },
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let directory = fleet.directory();
+        directory.set_draining();
+        // The worker exits on its own; wait() must treat that as a clean
+        // drain, not a death to heal.
+        fleet.wait(Duration::from_secs(5)).unwrap();
+        assert_eq!(directory.respawns(0), 0);
     }
 }

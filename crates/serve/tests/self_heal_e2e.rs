@@ -1,0 +1,246 @@
+//! End-to-end self-healing test against the real `dynex-serve` binary:
+//! a 2-shard fleet with warm journals, one worker `SIGKILL`ed mid-flight.
+//!
+//! The contract under test is the PR's tentpole: the surviving shard keeps
+//! answering throughout (no error ever reaches its keys), the supervisor
+//! respawns the dead worker on its own slot, the replacement boots warm
+//! from the per-shard journal, and the first post-respawn response for the
+//! killed shard's key is **byte-identical** to the cached response the old
+//! worker served before dying — a crash is invisible except as latency.
+//!
+//! This drives the spawned process over real TCP with the crate's own
+//! [`dynex_serve::client`]; it deliberately does not link the load harness
+//! (which depends on this crate) to keep the dev-dependency graph acyclic.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use dynex_experiments::api::SimulationRequest;
+use dynex_obs::json::{self, Json};
+use dynex_serve::{client, shard_for_key};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A small profile-trace request; `size` distinguishes routing keys.
+fn body(size: &str) -> String {
+    format!(
+        r#"{{"org":"de","size":"{size}","line":4,"trace":{{"source":"profile","profile":"espresso"}},"refs":30000}}"#
+    )
+}
+
+/// The shard slot the router will place this request body on.
+fn owning_shard(body: &str, shards: usize) -> usize {
+    let request = SimulationRequest::from_json(body).expect("valid request body");
+    shard_for_key(&request.routing_key().expect("routing key"), shards)
+}
+
+/// The spawned fleet process, killed on drop so a failing assertion never
+/// leaks a router and two workers into the test host.
+struct FleetProcess {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl FleetProcess {
+    fn spawn(journal_base: &std::path::Path) -> FleetProcess {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_dynex-serve"))
+            .args([
+                "--shards",
+                "2",
+                "--warm-journal",
+                &journal_base.to_string_lossy(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("dynex-serve spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("fleet exited before announcing its address")
+                .expect("stdout readable");
+            if let Some(rest) = line.strip_prefix("dynex-serve listening on ") {
+                break rest.trim().parse().expect("announced address parses");
+            }
+        };
+        FleetProcess { child, addr }
+    }
+
+    fn shutdown(mut self) {
+        client::call(self.addr, "POST", "/shutdown", "", TIMEOUT).expect("drain accepted");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            match self.child.try_wait().expect("wait on fleet") {
+                Some(status) => {
+                    assert!(status.success(), "fleet exited with {status}");
+                    // Disarm the Drop kill: the process is already gone.
+                    std::mem::forget(self);
+                    return;
+                }
+                None if Instant::now() >= deadline => panic!("fleet did not drain in 20s"),
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+}
+
+impl Drop for FleetProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Fetches `/healthz` and returns `(pid, respawns, breaker)` per shard id.
+fn shard_table(addr: SocketAddr) -> Vec<(u32, u64, String)> {
+    let response = client::call(addr, "GET", "/healthz", "", TIMEOUT).expect("healthz");
+    let doc = json::parse(&response.body).expect("healthz JSON");
+    let rows = doc
+        .get("shards")
+        .and_then(Json::as_array)
+        .expect("healthz shard table");
+    let mut table = vec![(0u32, 0u64, String::new()); rows.len()];
+    for row in rows {
+        let id = row.get("id").and_then(Json::as_u64).expect("shard id") as usize;
+        table[id] = (
+            row.get("pid").and_then(Json::as_u64).expect("shard pid") as u32,
+            row.get("respawns")
+                .and_then(Json::as_u64)
+                .expect("shard respawns"),
+            row.get("breaker")
+                .and_then(Json::as_str)
+                .expect("shard breaker")
+                .to_owned(),
+        );
+    }
+    table
+}
+
+#[test]
+fn killed_worker_respawns_warm_while_survivors_never_miss_a_beat() {
+    let journal_base = std::env::temp_dir().join(format!(
+        "dynex-self-heal-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    // A stale journal from a previous run would change the warm-boot story.
+    for shard in 0..2 {
+        let mut path = journal_base.as_os_str().to_owned();
+        path.push(format!(".shard-{shard}"));
+        let _ = std::fs::remove_file(std::path::PathBuf::from(path));
+    }
+    let fleet = FleetProcess::spawn(&journal_base);
+
+    // Pick one key per shard from a handful of candidate bodies.
+    let mut keys: [Option<String>; 2] = [None, None];
+    for size in ["1K", "2K", "4K", "8K", "16K", "32K"] {
+        let body = body(size);
+        let shard = owning_shard(&body, 2);
+        keys[shard].get_or_insert(body);
+    }
+    let victim_key = keys[0].take().expect("a key landing on shard 0");
+    let survivor_key = keys[1].take().expect("a key landing on shard 1");
+
+    // First request computes and journals; the second is the *cached*
+    // response — the exact bytes a warm respawn must reproduce.
+    let mut cached = Vec::new();
+    for key in [&victim_key, &survivor_key] {
+        let first = client::call(fleet.addr, "POST", "/simulate", key, TIMEOUT).expect("first");
+        assert_eq!(first.status, 200, "{}", first.body);
+        let second = client::call(fleet.addr, "POST", "/simulate", key, TIMEOUT).expect("second");
+        assert_eq!(second.status, 200, "{}", second.body);
+        assert!(
+            second.body.contains("\"cached\":true"),
+            "second response not cached: {}",
+            second.body
+        );
+        cached.push(second.body);
+    }
+
+    let before = shard_table(fleet.addr);
+    assert_eq!(before.len(), 2);
+    assert_eq!(before[0].1, 0, "no respawns yet: {before:?}");
+    let victim_pid = before[0].0;
+    assert_ne!(victim_pid, 0, "healthz reports worker pids");
+
+    let status = Command::new("kill")
+        .args(["-KILL", &victim_pid.to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -KILL {victim_pid}: {status}");
+
+    // Until the victim's key answers again: the survivor must answer every
+    // probe perfectly, and the victim's key may only fail with the
+    // router's own "shard 0 unavailable" 503 — never a wrong answer.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let recovered = loop {
+        let survivor = client::call(fleet.addr, "POST", "/simulate", &survivor_key, TIMEOUT)
+            .expect("survivor reachable");
+        assert_eq!(
+            survivor.status, 200,
+            "survivor shard errored during recovery: {}",
+            survivor.body
+        );
+        assert_eq!(
+            survivor.body, cached[1],
+            "survivor response changed during recovery"
+        );
+
+        let victim = client::call(fleet.addr, "POST", "/simulate", &victim_key, TIMEOUT)
+            .expect("router reachable");
+        match victim.status {
+            200 => break victim,
+            503 => assert!(
+                victim.body.contains("\"shard\":0"),
+                "a non-router 503 during recovery: {}",
+                victim.body
+            ),
+            other => panic!("unexpected status {other} during recovery: {}", victim.body),
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shard 0 did not recover within 20s"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+
+    // Warm recovery: the replacement answers from its journal with the
+    // exact bytes the dead worker served.
+    assert_eq!(
+        recovered.body, cached[0],
+        "post-respawn response is not byte-identical to the pre-kill cached response"
+    );
+
+    let after = shard_table(fleet.addr);
+    assert_eq!(after[0].1, 1, "shard 0 respawned once: {after:?}");
+    assert_eq!(after[1].1, 0, "survivor never respawned: {after:?}");
+    assert_ne!(after[0].0, victim_pid, "replacement has a fresh pid");
+    assert_eq!(
+        after[0].2, "closed",
+        "breaker closed after a relayed success: {after:?}"
+    );
+
+    // The merged /metrics carries the fleet-level respawn counters.
+    let metrics = client::call(fleet.addr, "GET", "/metrics", "", TIMEOUT).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let doc = json::parse(&metrics.body).expect("metrics JSON");
+    assert_eq!(
+        doc.get("counters")
+            .and_then(|c| c.get("shard-respawns"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "shard-respawns counter: {}",
+        metrics.body
+    );
+
+    fleet.shutdown();
+    for shard in 0..2 {
+        let mut path = journal_base.as_os_str().to_owned();
+        path.push(format!(".shard-{shard}"));
+        let _ = std::fs::remove_file(std::path::PathBuf::from(path));
+    }
+}

@@ -52,6 +52,15 @@ if [ "$quick" -eq 0 ]; then
     scripts/load_smoke.sh
 fi
 
+# Chaos smoke: same fleet and traffic shape as the load smoke, but shard
+# 0's worker is SIGKILLed 2 seconds in. Gates on the self-healing story:
+# a respawn, a recorded recovery, zero divergences, zero survivor errors.
+# (Skipped under --quick: needs release binaries.)
+if [ "$quick" -eq 0 ]; then
+    echo "==> chaos smoke (kill a shard mid-run, gate on warm recovery)"
+    scripts/chaos_smoke.sh
+fi
+
 if [ "$quick" -eq 0 ]; then
     echo "==> bench smoke (tiny budgets)"
     smoke_dir=$(mktemp -d)

@@ -9,10 +9,13 @@
 //! result cache disabled and checks bodies, not the trace header value;
 //! the relayed header's presence and shape are asserted separately.)
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dynex_experiments::api::SimulationRequest;
-use dynex_serve::{client, shard_for_key, Router, RouterConfig, ServeConfig, Server};
+use dynex_serve::{
+    client, shard_for_key, BreakerState, Router, RouterConfig, ServeConfig, Server, ShardDirectory,
+};
 
 const TIMEOUT: Duration = Duration::from_secs(30);
 
@@ -215,6 +218,108 @@ fn dead_shard_fails_loudly_with_the_shard_id() {
     client::call(router.addr(), "POST", "/shutdown", "", TIMEOUT).expect("drain");
     router.join();
     survivor.join();
+}
+
+#[test]
+fn breaker_cycles_open_half_open_closed_across_a_shard_replacement() {
+    // The full circuit-breaker life cycle against in-process shards, with
+    // the address swap a ShardFleet respawn would perform done by hand:
+    // probe failures open the breaker (fast-fail 503s), a probe success
+    // against the replacement moves it to half-open, and the next relayed
+    // request closes it with byte-identical service.
+    let survivor = uncached_shard();
+    let casualty = uncached_shard();
+    let directory = Arc::new(ShardDirectory::new(&[survivor.addr(), casualty.addr()]));
+    let router = Router::start_with(
+        RouterConfig {
+            health_interval: Duration::from_millis(50),
+            relay_timeout: Duration::from_secs(5),
+            ..RouterConfig::default()
+        },
+        Arc::clone(&directory),
+    )
+    .expect("router boots");
+
+    let mut per_shard = [None, None];
+    for size in ["1K", "2K", "4K", "8K", "16K", "32K"] {
+        let body = body(size);
+        per_shard[owning_shard(&body, 2)].get_or_insert(body);
+    }
+    let to_casualty = per_shard[1].clone().expect("a request for shard 1");
+
+    casualty.shutdown();
+    casualty.join();
+
+    // The background probe notices and opens the circuit.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while directory.breaker(1) != BreakerState::Open && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        directory.breaker(1),
+        BreakerState::Open,
+        "probe never opened"
+    );
+    assert!(router.counter("router-breaker-open") >= 1);
+    assert!(!router.shard_healthy(1));
+
+    // Open circuit: the slot's keys fast-fail with the shard id, no
+    // socket touch (the dead addr would have said "connect", not
+    // "circuit open").
+    let response = client::call(router.addr(), "POST", "/simulate", &to_casualty, TIMEOUT)
+        .expect("router still answers");
+    assert_eq!(response.status, 503, "{}", response.body);
+    assert!(response.body.contains("circuit open"), "{}", response.body);
+    assert!(response.body.contains(r#""shard":1"#), "{}", response.body);
+    let health = client::call(router.addr(), "GET", "/healthz", "", TIMEOUT).expect("healthz");
+    assert!(
+        health.body.contains(r#""breaker":"open""#),
+        "{}",
+        health.body
+    );
+
+    // "Respawn": a replacement worker on a new address, swapped into the
+    // same slot — exactly what the supervisor does.
+    let replacement = uncached_shard();
+    directory.set_addr(1, replacement.addr());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while directory.breaker(1) != BreakerState::HalfOpen && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        directory.breaker(1),
+        BreakerState::HalfOpen,
+        "probe success must half-open the circuit"
+    );
+
+    // The next relayed request closes the circuit, and its bytes match
+    // the replacement's direct answer (warm-journal replay byte-identity
+    // is the process-level sibling, covered by the self-heal e2e).
+    let direct = client::call(
+        replacement.addr(),
+        "POST",
+        "/simulate",
+        &to_casualty,
+        TIMEOUT,
+    )
+    .expect("direct call");
+    let routed = client::call(router.addr(), "POST", "/simulate", &to_casualty, TIMEOUT)
+        .expect("routed call");
+    assert_eq!(routed.status, 200, "{}", routed.body);
+    assert_eq!(routed.body, direct.body, "replacement bytes differ");
+    assert_eq!(directory.breaker(1), BreakerState::Closed);
+    assert!(router.shard_healthy(1));
+    let health = client::call(router.addr(), "GET", "/healthz", "", TIMEOUT).expect("healthz");
+    assert!(
+        health.body.contains(r#""status":"ok""#),
+        "breaker closed must restore ok: {}",
+        health.body
+    );
+
+    client::call(router.addr(), "POST", "/shutdown", "", TIMEOUT).expect("drain");
+    router.join();
+    survivor.join();
+    replacement.join();
 }
 
 #[test]
