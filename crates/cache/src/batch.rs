@@ -8,8 +8,8 @@
 //! call, and [`decode_addrs`] materializes a whole stream when a kernel
 //! needs it resident (the optimal oracle always does).
 //!
-//! It also defines [`Kernel`], the `--kernel {reference,batch}` selector the
-//! CLIs and the engine share.
+//! It also defines [`Kernel`], the `--kernel {reference,batch,sweep}`
+//! selector the CLIs and the engine share.
 
 use std::fmt;
 
@@ -22,10 +22,13 @@ pub const CHUNK_LEN: usize = 4096;
 
 /// Which simulation implementation to run.
 ///
-/// Both kernels produce bit-identical statistics, event streams, and CSV
-/// output (`tests/kernel_differential.rs` enforces this); the batch kernel
-/// is simply faster. `Reference` remains available as the differential
-/// oracle and for policies the batch path does not specialize.
+/// Every kernel produces bit-identical statistics, event streams, and CSV
+/// output (`tests/kernel_differential.rs` enforces the three-way matrix);
+/// the choice is purely a performance one. `Reference` remains available as
+/// the differential oracle and for policies the fast paths do not
+/// specialize; `Batch` fuses one geometry's dm/de/opt triple into one
+/// traversal; `Sweep` carries a whole multi-geometry plan through a single
+/// traversal (see [`crate::sweep`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// Per-reference `access()` simulators (the spec implementations).
@@ -33,6 +36,10 @@ pub enum Kernel {
     /// Table-driven chunked kernels from [`crate::kernel`] (the default).
     #[default]
     Batch,
+    /// One-pass multi-configuration kernel from [`crate::sweep`]: shares the
+    /// decode, the next-use oracle, and the trace walk across every point of
+    /// a sweep.
+    Sweep,
 }
 
 impl Kernel {
@@ -41,6 +48,7 @@ impl Kernel {
         match self {
             Kernel::Reference => "reference",
             Kernel::Batch => "batch",
+            Kernel::Sweep => "sweep",
         }
     }
 
@@ -53,12 +61,14 @@ impl Kernel {
     ///
     /// assert_eq!(Kernel::parse("batch"), Some(Kernel::Batch));
     /// assert_eq!(Kernel::parse("reference"), Some(Kernel::Reference));
+    /// assert_eq!(Kernel::parse("sweep"), Some(Kernel::Sweep));
     /// assert_eq!(Kernel::parse("fast"), None);
     /// ```
     pub fn parse(s: &str) -> Option<Kernel> {
         match s {
             "reference" => Some(Kernel::Reference),
             "batch" => Some(Kernel::Batch),
+            "sweep" => Some(Kernel::Sweep),
             _ => None,
         }
     }
@@ -196,7 +206,7 @@ mod tests {
 
     #[test]
     fn kernel_parse_roundtrips_names() {
-        for kernel in [Kernel::Reference, Kernel::Batch] {
+        for kernel in [Kernel::Reference, Kernel::Batch, Kernel::Sweep] {
             assert_eq!(Kernel::parse(kernel.name()), Some(kernel));
             assert_eq!(kernel.to_string(), kernel.name());
         }

@@ -129,16 +129,23 @@ pub const DE_FSM_TABLE: [DeFsmRow; 8] = {
 /// `HashMap<u32, bool>` (all bits start false; bits are written only when a
 /// block is displaced, so absent and false are indistinguishable).
 ///
-/// The arena is sized from a prescan of the trace. Worst case (a reference
-/// near the top of the 30-bit line space) it occupies 128 MiB; for the
-/// bounded footprints of the paper's workloads it is a few KiB and every
-/// lookup is one shift-and-mask instead of a hash probe.
+/// The capacity passed to [`HitLastArena::new`] is a *sizing hint* derived
+/// from the caller's prescan of the trace (the largest line index any access
+/// decodes to), never a hard limit: `get` beyond the allocated range reads
+/// the store's all-false default and `set` grows the bitmap, so a
+/// mis-derived capacity degrades to a reallocation instead of a panic.
+/// Worst case (a reference near the top of the 30-bit line space) the arena
+/// occupies 128 MiB; for the bounded footprints of the paper's workloads it
+/// is a few KiB and every lookup is one shift-and-mask instead of a hash
+/// probe.
 #[derive(Debug, Clone)]
 struct HitLastArena {
     words: Vec<u64>,
 }
 
 impl HitLastArena {
+    /// Arena covering line addresses `[0, max_line]`; `max_line` comes from
+    /// the kernel's trace prescan ([`max_line`]), not from a constant.
     fn new(max_line: u32) -> HitLastArena {
         HitLastArena {
             words: vec![0u64; (max_line as usize >> 6) + 1],
@@ -147,12 +154,21 @@ impl HitLastArena {
 
     #[inline]
     fn get(&self, line: u32) -> bool {
-        (self.words[line as usize >> 6] >> (line & 63)) & 1 == 1
+        match self.words.get(line as usize >> 6) {
+            Some(word) => (word >> (line & 63)) & 1 == 1,
+            // Beyond the sized range nothing has ever been displaced, and
+            // the perfect store reads absent as false.
+            None => false,
+        }
     }
 
     #[inline]
     fn set(&mut self, line: u32, value: bool) {
-        let word = &mut self.words[line as usize >> 6];
+        let index = line as usize >> 6;
+        if index >= self.words.len() {
+            self.words.resize(index + 1, 0);
+        }
+        let word = &mut self.words[index];
         let bit = line & 63;
         *word = (*word & !(1u64 << bit)) | ((value as u64) << bit);
     }
@@ -335,8 +351,9 @@ impl DeState {
 
 /// Decodes one chunk of byte addresses into the reusable line-address
 /// buffer (the shift is the whole "decode": line = addr >> offset_bits).
+/// Shared with the multi-configuration sweep kernel in [`crate::sweep`].
 #[inline]
-fn decode_chunk(chunk: &[u32], offset_bits: u32, line_buf: &mut [u32; CHUNK_LEN]) {
+pub(crate) fn decode_chunk(chunk: &[u32], offset_bits: u32, line_buf: &mut [u32; CHUNK_LEN]) {
     for (dst, &addr) in line_buf.iter_mut().zip(chunk) {
         *dst = addr >> offset_bits;
     }
@@ -493,13 +510,13 @@ pub fn batch_opt(config: CacheConfig, addrs: &[u32]) -> CacheStats {
 
 /// `next[i]` = position of the next reference to `lines[i]` (`NEVER` if
 /// none). Flat-array variant of the reference oracle's reverse-scan map.
-const NEVER: u32 = u32::MAX;
+pub(crate) const NEVER: u32 = u32::MAX;
 
 /// Above this line-space footprint the flat next-use array (4 bytes per
 /// possible line) would cost more than the hash map it replaces.
 const MAX_FLAT_LINES: usize = 1 << 26;
 
-fn next_use(lines: &[u32], max_line: u32) -> Vec<u32> {
+pub(crate) fn next_use(lines: &[u32], max_line: u32) -> Vec<u32> {
     let mut next = vec![NEVER; lines.len()];
     if (max_line as usize) < MAX_FLAT_LINES {
         let mut upcoming = vec![NEVER; max_line as usize + 1];
@@ -685,6 +702,44 @@ mod tests {
         arena.set(64, false);
         assert!(!arena.get(64), "clearable");
         assert!(arena.get(63), "neighbours untouched");
+    }
+
+    #[test]
+    fn arena_capacity_is_a_hint_not_a_limit() {
+        // Regression: line indices far beyond the sized capacity must read
+        // as the store's all-false default and be settable (the bitmap
+        // grows), never panic.
+        let mut arena = HitLastArena::new(200);
+        assert!(!arena.get(201) && !arena.get(100_000), "absent reads false");
+        arena.set(100_000, true);
+        assert!(arena.get(100_000));
+        assert!(!arena.get(99_999) && !arena.get(100_001));
+        arena.set(100_000, false);
+        assert!(!arena.get(100_000));
+    }
+
+    #[test]
+    fn de_kernels_handle_line_indices_beyond_200() {
+        // Regression for the arena sizing: an address stream whose line
+        // indices run far past 200 (the capacity the unit tests above size
+        // for) must agree between the single DE kernel, the fused triple,
+        // and the arena-free invariants, with no out-of-range access.
+        let mut addrs = Vec::new();
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..20_000 {
+            // Lines up to ~65_536 at 4-byte lines: well past 200.
+            addrs.push((rng.below(65_536) as u32) * 4);
+        }
+        // And one reference right at the top of the range, so the largest
+        // line index is exercised on both the get and the displacement path.
+        addrs.push(65_535 * 4);
+        addrs.push(65_535 * 4);
+        let cfg = config(256, 4);
+        let de = batch_de(cfg, &addrs);
+        let fused = batch_triple(cfg, &addrs);
+        assert_eq!(de, fused.de);
+        assert_eq!(de.loads + de.bypasses, de.stats.misses());
+        assert_eq!(de.stats.accesses(), addrs.len() as u64);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   the workspace (including the dynamic-exclusion caches in `dynex-core`),
 //! * batch kernels ([`batch_dm`], [`batch_de`], [`batch_opt`], fused
 //!   [`batch_triple`]) and the [`Kernel`]/[`ChunkedDecoder`] selection and
-//!   decode machinery — a bit-identical fast path behind `--kernel batch`.
+//!   decode machinery — a bit-identical fast path behind `--kernel batch`,
+//! * the one-pass multi-configuration sweep kernel ([`batch_sweep`]) behind
+//!   `--kernel sweep` — N geometries through a single trace traversal.
 //!
 //! All simulators are miss-rate models: they track contents and replacement
 //! state, not timing, exactly like the paper's trace-driven evaluation.
@@ -54,6 +56,7 @@ mod setassoc;
 mod sim;
 mod stats;
 mod stream_buffer;
+mod sweep;
 mod victim;
 mod write;
 
@@ -74,5 +77,8 @@ pub use setassoc::{Replacement, SetAssociative};
 pub use sim::{run, run_addrs, AccessOutcome, CacheSim};
 pub use stats::CacheStats;
 pub use stream_buffer::{StreamBuffer, StreamBufferStats};
+pub use sweep::{
+    batch_sweep, batch_sweep_packed, batch_sweep_probed, SweepPoint, SweepPointResult, SweepPolicy,
+};
 pub use victim::VictimCache;
 pub use write::{MemoryTraffic, WriteMode, WritebackCache};

@@ -2,7 +2,8 @@
 
 use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped};
 use dynex_cache::{
-    batch_de, batch_dm, batch_opt, run_addrs, CacheConfig, CacheStats, DirectMapped, Kernel,
+    batch_de, batch_dm, batch_opt, batch_sweep, run_addrs, CacheConfig, CacheStats, DirectMapped,
+    Kernel, SweepPoint, SweepPolicy,
 };
 
 use crate::kernel::default_kernel;
@@ -52,6 +53,20 @@ impl Policy {
         )
     }
 
+    /// The sweep-kernel policy this policy maps to, if the one-pass
+    /// multi-configuration kernel specializes it.
+    ///
+    /// `None` for the last-line variants, whose single global buffer defeats
+    /// the per-set chunked loop exactly as it defeats set sharding.
+    pub fn sweep_policy(self) -> Option<SweepPolicy> {
+        match self {
+            Policy::DirectMapped => Some(SweepPolicy::DirectMapped),
+            Policy::DynamicExclusion => Some(SweepPolicy::DynamicExclusion),
+            Policy::OptimalDm => Some(SweepPolicy::Optimal),
+            Policy::DeLastLine | Policy::OptimalDmLastLine => None,
+        }
+    }
+
     /// Simulates this policy over a byte-address trace with the session's
     /// [`default_kernel`].
     pub fn simulate(self, config: CacheConfig, addrs: &[u32]) -> CacheStats {
@@ -61,16 +76,29 @@ impl Policy {
     /// Simulates this policy over a byte-address trace with an explicit
     /// kernel.
     ///
-    /// Both kernels are bit-identical in output (the differential wall in
-    /// `tests/kernel_differential.rs` enforces it); the batch kernel is the
-    /// fast path. The last-line policies have no batch specialization — their
-    /// single global buffer defeats the chunked per-set loop, just as it
-    /// defeats set sharding — so they always run the reference simulators.
+    /// All kernels are bit-identical in output (the differential wall in
+    /// `tests/kernel_differential.rs` enforces the three-way matrix); batch
+    /// and sweep are the fast paths. A single point handed to the sweep
+    /// kernel runs as a degenerate one-point sweep — the real sharing comes
+    /// from plan-level entry points like [`SweepPlan::run_one_pass`]. The
+    /// last-line policies have no fast-path specialization — their single
+    /// global buffer defeats the chunked per-set loop, just as it defeats
+    /// set sharding — so they always run the reference simulators.
     pub fn simulate_kernel(self, kernel: Kernel, config: CacheConfig, addrs: &[u32]) -> CacheStats {
         match (kernel, self) {
             (Kernel::Batch, Policy::DirectMapped) => batch_dm(config, addrs),
             (Kernel::Batch, Policy::DynamicExclusion) => batch_de(config, addrs).stats,
             (Kernel::Batch, Policy::OptimalDm) => batch_opt(config, addrs),
+            (
+                Kernel::Sweep,
+                Policy::DirectMapped | Policy::DynamicExclusion | Policy::OptimalDm,
+            ) => {
+                let point = SweepPoint::new(
+                    config,
+                    self.sweep_policy().expect("matched sweepable policies"),
+                );
+                batch_sweep(&[point], addrs)[0].stats()
+            }
             (_, Policy::DirectMapped) => {
                 let mut sim = DirectMapped::new(config);
                 run_addrs(&mut sim, addrs.iter().copied())
@@ -193,6 +221,48 @@ impl<T: Sync> SweepPlan<T> {
     }
 }
 
+impl SweepPlan<Job> {
+    /// The one-pass fast path: hands the whole plan to a single
+    /// [`batch_sweep`] traversal of the shared trace.
+    ///
+    /// Returns `None` (caller falls back to per-point execution) if any
+    /// point's policy has no sweep specialization
+    /// ([`Policy::sweep_policy`]). Results are in plan order and
+    /// bit-identical to [`SweepPlan::run`] with any kernel — the whole plan
+    /// simply costs one decode, one next-use oracle per distinct line size,
+    /// and one trace walk.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dynex_cache::CacheConfig;
+    /// use dynex_engine::{Job, Policy, SweepPlan};
+    ///
+    /// let config = CacheConfig::direct_mapped(64, 4)?;
+    /// let trace: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect();
+    /// let plan = SweepPlan::from_points([
+    ///     Job::new(config, Policy::DirectMapped),
+    ///     Job::new(config, Policy::DynamicExclusion),
+    /// ]);
+    /// let stats = plan.run_one_pass(&trace).unwrap();
+    /// assert_eq!(stats, plan.run(1, |job| job.run(&trace)));
+    /// # Ok::<(), dynex_cache::ConfigError>(())
+    /// ```
+    pub fn run_one_pass(&self, addrs: &[u32]) -> Option<Vec<CacheStats>> {
+        let points: Option<Vec<SweepPoint>> = self
+            .points
+            .iter()
+            .map(|job| {
+                job.policy
+                    .sweep_policy()
+                    .map(|policy| SweepPoint::new(job.config, policy))
+            })
+            .collect();
+        let results = batch_sweep(&points?, addrs);
+        Some(results.iter().map(|r| r.stats()).collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,14 +326,49 @@ mod tests {
                 CacheConfig::direct_mapped(256, 4).unwrap(),
                 CacheConfig::direct_mapped(1024, 16).unwrap(),
             ] {
-                assert_eq!(
-                    policy.simulate_kernel(Kernel::Batch, config, &addrs),
-                    policy.simulate_kernel(Kernel::Reference, config, &addrs),
-                    "{} @ {config}",
-                    policy.name()
-                );
+                let reference = policy.simulate_kernel(Kernel::Reference, config, &addrs);
+                for kernel in [Kernel::Batch, Kernel::Sweep] {
+                    assert_eq!(
+                        policy.simulate_kernel(kernel, config, &addrs),
+                        reference,
+                        "{} @ {config} under {kernel}",
+                        policy.name()
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn one_pass_plan_matches_per_point_execution() {
+        let mut rng = dynex_cache::SplitMix64::new(43);
+        let addrs: Vec<u32> = (0..12_000)
+            .map(|_| (rng.below(16_384) as u32) * 4)
+            .collect();
+        let mut plan = SweepPlan::new();
+        for size in [256u32, 1024, 8192] {
+            for line in [4u32, 16] {
+                let config = CacheConfig::direct_mapped(size, line).unwrap();
+                plan.push(Job::new(config, Policy::DirectMapped));
+                plan.push(Job::new(config, Policy::DynamicExclusion));
+                plan.push(Job::new(config, Policy::OptimalDm));
+            }
+        }
+        let one_pass = plan.run_one_pass(&addrs).unwrap();
+        assert_eq!(one_pass, plan.run(1, |job| job.run(&addrs)));
+        assert_eq!(one_pass, plan.run(4, |job| job.run(&addrs)));
+    }
+
+    #[test]
+    fn one_pass_plan_declines_lastline_policies() {
+        let config = CacheConfig::direct_mapped(64, 16).unwrap();
+        let plan = SweepPlan::from_points([
+            Job::new(config, Policy::DirectMapped),
+            Job::new(config, Policy::DeLastLine),
+        ]);
+        assert!(plan.run_one_pass(&[0, 4, 8]).is_none());
+        assert!(Policy::DeLastLine.sweep_policy().is_none());
+        assert!(Policy::OptimalDmLastLine.sweep_policy().is_none());
     }
 
     #[test]

@@ -39,13 +39,13 @@ use std::path::{Path, PathBuf};
 use dynex::DeStats;
 use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped};
 use dynex_cache::{
-    batch_de, batch_dm, batch_opt, batch_triple, decode_addrs, run as sim_run, CacheConfig,
-    CacheSim, CacheStats, DirectMapped, Kernel, KindFilter, Replacement, SetAssociative,
-    StreamBuffer, VictimCache,
+    batch_de, batch_dm, batch_opt, batch_sweep, batch_triple, decode_addrs, run as sim_run,
+    CacheConfig, CacheSim, CacheStats, DirectMapped, Kernel, KindFilter, Replacement,
+    SetAssociative, StreamBuffer, SweepPoint, SweepPolicy, VictimCache,
 };
 use dynex_engine::{
-    default_jobs, execute as pool_execute, job_key, trace_digest, with_global_journal, Journal,
-    Policy,
+    default_jobs, default_kernel, execute as pool_execute, job_key, trace_digest,
+    with_global_journal, Journal, Policy,
 };
 use dynex_obs::json::{self, Json};
 use dynex_obs::NoopProbe;
@@ -132,6 +132,18 @@ pub enum Org {
 }
 
 impl Org {
+    /// The sweep-kernel policy this organization maps to, if the one-pass
+    /// multi-configuration kernel specializes it ([`execute_many`] coalesces
+    /// only these).
+    pub fn sweep_policy(self) -> Option<SweepPolicy> {
+        match self {
+            Org::Dm => Some(SweepPolicy::DirectMapped),
+            Org::De => Some(SweepPolicy::DynamicExclusion),
+            Org::Opt => Some(SweepPolicy::Optimal),
+            _ => None,
+        }
+    }
+
     /// Stable lowercase name, exactly the `--org` argument value.
     pub fn name(self) -> &'static str {
         match self {
@@ -760,7 +772,7 @@ impl RequestBuilder {
             None => Kernel::default(),
             Some(raw) => Kernel::parse(raw).ok_or_else(|| ApiError::Invalid {
                 field: "--kernel",
-                message: format!("{raw:?} (reference|batch)"),
+                message: format!("{raw:?} (reference|batch|sweep)"),
             })?,
         };
         let jobs = match self.jobs {
@@ -1050,6 +1062,10 @@ fn execute_with_key(
             let mut cache = DirectMapped::new(config);
             let stats = match kernel {
                 Kernel::Batch => batch_dm(config, addrs),
+                Kernel::Sweep => {
+                    let point = SweepPoint::new(config, SweepPolicy::DirectMapped);
+                    batch_sweep(&[point], addrs)[0].stats()
+                }
                 Kernel::Reference => sim_run(&mut cache, accesses.iter().copied()),
             };
             (cache.label(), stats, None)
@@ -1057,8 +1073,15 @@ fn execute_with_key(
         Org::De => {
             let mut cache = DeCache::new(config);
             let (stats, de) = match kernel {
-                Kernel::Batch => {
-                    let result = batch_de(config, addrs);
+                Kernel::Batch | Kernel::Sweep => {
+                    let result = if kernel == Kernel::Batch {
+                        batch_de(config, addrs)
+                    } else {
+                        let point = SweepPoint::new(config, SweepPolicy::DynamicExclusion);
+                        batch_sweep(&[point], addrs)[0]
+                            .de()
+                            .expect("a DE sweep point yields DE counters")
+                    };
                     (
                         result.stats,
                         DeStats {
@@ -1082,6 +1105,10 @@ fn execute_with_key(
         Org::Opt => {
             let stats = match kernel {
                 Kernel::Batch => batch_opt(config, addrs),
+                Kernel::Sweep => {
+                    let point = SweepPoint::new(config, SweepPolicy::Optimal);
+                    batch_sweep(&[point], addrs)[0].stats()
+                }
                 Kernel::Reference => {
                     OptimalDirectMapped::simulate(config, accesses.iter().map(|a| a.addr()))
                 }
@@ -1111,6 +1138,70 @@ fn execute_with_key(
         key,
         cached: false,
     })
+}
+
+/// Answers a coalesced batch of same-trace requests from one sweep
+/// traversal: every request's point runs through a single
+/// [`dynex_cache::batch_sweep`] pass over `trace`, and each response is
+/// byte-identical to what [`execute`] would have produced for that request
+/// alone (same label, statistics, DE counters, and content key).
+///
+/// The caller (the `dynex-serve` dispatcher) is responsible for grouping:
+/// every request in the batch must decode to the same reference stream —
+/// `trace` is simulated once for all of them. Requests whose organization
+/// has no sweep specialization ([`Org::sweep_policy`] is `None`) are
+/// rejected with [`ApiError::Invalid`]; the caller falls back to per-request
+/// execution for those.
+pub fn execute_many(
+    requests: &[&SimulationRequest],
+    trace: &LoadedTrace,
+) -> Result<Vec<SimulationResponse>, ApiError> {
+    let mut points = Vec::with_capacity(requests.len());
+    let mut keys = Vec::with_capacity(requests.len());
+    for request in requests {
+        let config = request.cache_config()?;
+        let policy = request
+            .org
+            .sweep_policy()
+            .ok_or_else(|| ApiError::Invalid {
+                field: "--org",
+                message: format!("{:?} has no sweep specialization", request.org.name()),
+            })?;
+        keys.push(request.content_key(&trace.addrs)?);
+        points.push(SweepPoint::new(config, policy));
+    }
+    let results = batch_sweep(&points, &trace.addrs);
+    Ok(requests
+        .iter()
+        .zip(points)
+        .zip(results)
+        .zip(keys)
+        .map(|(((request, point), result), key)| {
+            // Labels come from the same constructors `execute` uses, so the
+            // coalesced and per-request paths stay byte-identical.
+            let (label, de) = match request.org {
+                Org::Dm => (DirectMapped::new(point.config).label(), None),
+                Org::De => {
+                    let counters = result.de().expect("a DE sweep point yields DE counters");
+                    (
+                        DeCache::new(point.config).label(),
+                        Some(DeStats {
+                            loads: counters.loads,
+                            bypasses: counters.bypasses,
+                        }),
+                    )
+                }
+                _ => ("optimal direct-mapped".to_owned(), None),
+            };
+            SimulationResponse {
+                label,
+                stats: result.stats(),
+                de,
+                key,
+                cached: false,
+            }
+        })
+        .collect())
 }
 
 /// Runs the request over an already-loaded trace, consulting the engine's
@@ -1206,9 +1297,10 @@ pub fn install_session(request: &SimulationRequest) -> Result<SessionReport, Api
 ///
 /// Under [`Kernel::Batch`] the three policies run through
 /// [`dynex_cache::batch_triple`]: one fused pass over one decoded stream.
-/// Under [`Kernel::Reference`] each policy runs its spec simulator. Both
-/// produce bit-identical [`Triple`]s, so journal keys and resumed sweeps
-/// are kernel-agnostic.
+/// Under [`Kernel::Sweep`] the point runs as a degenerate one-config sweep
+/// through [`dynex_cache::batch_sweep`]. Under [`Kernel::Reference`] each
+/// policy runs its spec simulator. All produce bit-identical [`Triple`]s,
+/// so journal keys and resumed sweeps are kernel-agnostic.
 pub fn run_triple(kernel: Kernel, config: CacheConfig, addrs: &[u32]) -> Triple {
     match kernel {
         Kernel::Batch => {
@@ -1219,12 +1311,40 @@ pub fn run_triple(kernel: Kernel, config: CacheConfig, addrs: &[u32]) -> Triple 
                 opt: fused.opt,
             }
         }
+        Kernel::Sweep => run_triples_sweep(&[config], addrs)
+            .pop()
+            .expect("one config in, one triple out"),
         Kernel::Reference => Triple {
             dm: Policy::DirectMapped.simulate_kernel(kernel, config, addrs),
             de: Policy::DynamicExclusion.simulate_kernel(kernel, config, addrs),
             opt: Policy::OptimalDm.simulate_kernel(kernel, config, addrs),
         },
     }
+}
+
+/// Runs the DM/DE/OPT triple for *many* configurations over one shared
+/// trace in a single [`dynex_cache::batch_sweep`] traversal: the sweep
+/// kernel's plan-level entry point.
+///
+/// Bit-identical per configuration to [`run_triple`] with any kernel; the
+/// whole vector costs one decode per distinct line size, one next-use
+/// oracle per distinct line size, and one trace walk.
+pub fn run_triples_sweep(configs: &[CacheConfig], addrs: &[u32]) -> Vec<Triple> {
+    let mut points = Vec::with_capacity(configs.len() * 3);
+    for &config in configs {
+        points.push(SweepPoint::new(config, SweepPolicy::DirectMapped));
+        points.push(SweepPoint::new(config, SweepPolicy::DynamicExclusion));
+        points.push(SweepPoint::new(config, SweepPolicy::Optimal));
+    }
+    let results = batch_sweep(&points, addrs);
+    results
+        .chunks_exact(3)
+        .map(|chunk| Triple {
+            dm: chunk[0].stats(),
+            de: chunk[1].stats(),
+            opt: chunk[2].stats(),
+        })
+        .collect()
 }
 
 /// Runs [`crate::triple`] over many `(config, trace)` sweep points on the
@@ -1279,7 +1399,17 @@ fn journaled_triples(
 
     let missing: Vec<usize> = (0..points.len()).filter(|&i| slots[i].is_none()).collect();
     let todo: Vec<(CacheConfig, &[u32])> = missing.iter().map(|&i| points[i]).collect();
-    let fresh = pool_execute(&todo, default_jobs(), |&(config, addrs)| f(config, addrs));
+    // Under `--kernel sweep` the plain-triple sweep takes the one-pass fast
+    // path: every missing point sharing a trace runs in a single
+    // `batch_sweep` traversal. The journal keys above are computed per point
+    // and are kernel-agnostic, so `--resume` replays byte-identically no
+    // matter which kernel recorded a point. (The last-line tag has no sweep
+    // specialization and always runs per point.)
+    let fresh = if tag == "triple/v1" && default_kernel() == Kernel::Sweep {
+        sweep_grouped(&todo)
+    } else {
+        pool_execute(&todo, default_jobs(), |&(config, addrs)| f(config, addrs))
+    };
 
     with_global_journal(|journal| {
         for (&i, t) in missing.iter().zip(&fresh) {
@@ -1296,6 +1426,43 @@ fn journaled_triples(
     slots
         .into_iter()
         .map(|s| s.expect("every slot replayed or simulated"))
+        .collect()
+}
+
+/// One-pass execution of missing sweep points under [`Kernel::Sweep`]:
+/// points sharing a trace are grouped and each group runs as one
+/// [`dynex_cache::batch_sweep`] traversal on the pool. Point order is
+/// preserved, so the output is bit-identical to per-point execution for
+/// every worker count.
+fn sweep_grouped(todo: &[(CacheConfig, &[u32])]) -> Vec<Triple> {
+    // Group by trace slice identity (pointer + length): the figure sweeps
+    // fan one slice per benchmark across many geometries, so identity
+    // captures exactly the sharing available. Equal-content slices at
+    // different addresses merely land in different groups, which costs
+    // speed, never correctness.
+    let mut groups: Vec<(&[u32], Vec<usize>)> = Vec::new();
+    for (i, &(_, addrs)) in todo.iter().enumerate() {
+        match groups
+            .iter_mut()
+            .find(|(t, _)| t.as_ptr() == addrs.as_ptr() && t.len() == addrs.len())
+        {
+            Some((_, members)) => members.push(i),
+            None => groups.push((addrs, vec![i])),
+        }
+    }
+    let per_group = pool_execute(&groups, default_jobs(), |(addrs, members)| {
+        let configs: Vec<CacheConfig> = members.iter().map(|&i| todo[i].0).collect();
+        run_triples_sweep(&configs, addrs)
+    });
+    let mut slots: Vec<Option<Triple>> = vec![None; todo.len()];
+    for ((_, members), triples) in groups.iter().zip(per_group) {
+        for (&i, t) in members.iter().zip(triples) {
+            slots[i] = Some(t);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every point belongs to exactly one group"))
         .collect()
 }
 
@@ -1625,6 +1792,10 @@ mod tests {
         reference_request.kernel = Kernel::Reference;
         let reference = execute(&reference_request, &trace).unwrap();
         assert_eq!(batch, reference, "kernels are bit-identical");
+        let mut sweep_request = request.clone();
+        sweep_request.kernel = Kernel::Sweep;
+        let sweep = execute(&sweep_request, &trace).unwrap();
+        assert_eq!(batch, sweep, "sweep kernel is bit-identical too");
         assert!(batch.de.is_some());
         assert!(!batch.cached);
         assert!(batch.render_text().contains("accesses"));
@@ -1683,7 +1854,84 @@ mod tests {
                 run_triple(Kernel::Reference, config, &addrs),
                 "{config}"
             );
+            assert_eq!(
+                run_triple(Kernel::Batch, config, &addrs),
+                run_triple(Kernel::Sweep, config, &addrs),
+                "{config} (sweep)"
+            );
         }
+    }
+
+    #[test]
+    fn run_triples_sweep_matches_per_point_triples() {
+        let mut rng = dynex_cache::SplitMix64::new(91);
+        let addrs: Vec<u32> = (0..12_000).map(|_| (rng.below(8192) as u32) * 4).collect();
+        let configs = [
+            CacheConfig::direct_mapped(64, 4).unwrap(),
+            CacheConfig::direct_mapped(1024, 4).unwrap(),
+            CacheConfig::direct_mapped(1024, 4).unwrap(), // duplicate point
+            CacheConfig::direct_mapped(8192, 16).unwrap(),
+        ];
+        let swept = run_triples_sweep(&configs, &addrs);
+        assert_eq!(swept.len(), configs.len());
+        for (config, got) in configs.iter().zip(&swept) {
+            assert_eq!(*got, run_triple(Kernel::Batch, *config, &addrs), "{config}");
+        }
+        assert_eq!(run_triples_sweep(&[], &addrs), Vec::new());
+    }
+
+    #[test]
+    fn execute_many_matches_pointwise_execute() {
+        let dir = scratch("execute-many");
+        let (base, _path) = thrash_request(&dir);
+        let trace = load(&base).unwrap();
+
+        let mut requests = Vec::new();
+        for (org, size) in [(Org::Dm, 64), (Org::De, 64), (Org::De, 256), (Org::Opt, 64)] {
+            let mut r = base.clone();
+            r.org = org;
+            r.size_bytes = size;
+            requests.push(r);
+        }
+        let refs: Vec<&SimulationRequest> = requests.iter().collect();
+        let fused = execute_many(&refs, &trace).unwrap();
+        assert_eq!(fused.len(), requests.len());
+        for (request, got) in requests.iter().zip(&fused) {
+            let single = execute(request, &trace).unwrap();
+            assert_eq!(got.stats, single.stats, "{}", request.org.name());
+            assert_eq!(got.label, single.label);
+            assert_eq!(got.de, single.de);
+            assert!(!got.cached);
+        }
+
+        // Unsweepable organizations are rejected up front, not silently run.
+        let mut lastline = base.clone();
+        lastline.org = Org::DeLastLine;
+        let err = execute_many(&[&lastline], &trace).unwrap_err();
+        assert!(matches!(err, ApiError::Invalid { field, .. } if field == "--org"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journaled_sweeps_group_by_trace_under_sweep_kernel() {
+        let _guard = JOURNAL_TEST_LOCK.lock().unwrap();
+        let small = CacheConfig::direct_mapped(64, 4).unwrap();
+        let large = CacheConfig::direct_mapped(256, 4).unwrap();
+        let addrs = thrash();
+        let other: Vec<u32> = (0..60).map(|i| (i % 7) * 64).collect();
+        // Two distinct traces interleaved: the sweep fast path must group by
+        // trace identity and scatter results back in plan order.
+        let points: Vec<(CacheConfig, &[u32])> = vec![
+            (small, &addrs),
+            (small, &other),
+            (large, &addrs),
+            (large, &other),
+        ];
+        let batch = sweep_triples(&points);
+        dynex_engine::set_default_kernel(Kernel::Sweep);
+        let swept = sweep_triples(&points);
+        dynex_engine::set_default_kernel(Kernel::Batch);
+        assert_eq!(swept, batch, "grouped sweep is bit-identical to batch");
     }
 
     #[test]

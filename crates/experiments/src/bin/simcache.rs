@@ -3,7 +3,7 @@
 //! ```text
 //! simcache <trace.dxt|trace.txt> --size 32K --line 4 \
 //!          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
-//!          [--kernel reference|batch] \
+//!          [--kernel reference|batch|sweep] [--sweep 1K,2K,4K,...] \
 //!          [--jobs N] [--shard-sets] [--job-retries N] [--job-timeout-ms N] \
 //!          [--lenient N] [--resume journal.jsonl] \
 //!          [--events-out e.jsonl] [--metrics-out m.json] \
@@ -13,13 +13,24 @@
 //! Reads a `dynex-trace` file (binary `.dxt` or the text format, detected by
 //! the magic), simulates, and prints hit/miss statistics.
 //!
-//! `--kernel` selects between the reference simulators and the batch kernels
-//! for the `dm`, `de`, and `opt` organizations (default `batch`; every other
-//! organization always runs its reference simulator). The two kernels
-//! produce bit-identical statistics, exclusion counters, and observability
-//! output — including under `--shard-sets` and `--resume` (journal keys do
-//! not encode the kernel, so a run checkpointed under one kernel replays
-//! under the other).
+//! `--kernel` selects between the reference simulators, the batch kernels,
+//! and the one-pass multi-configuration sweep kernel for the `dm`, `de`, and
+//! `opt` organizations (default `batch`; every other organization always
+//! runs its reference simulator). All kernels produce bit-identical
+//! statistics, exclusion counters, and observability output — including
+//! under `--shard-sets` and `--resume` (journal keys do not encode the
+//! kernel, so a run checkpointed under one kernel replays under any other).
+//!
+//! `--sweep 1K,2K,4K,...` simulates the full dm/de/opt triple at *every*
+//! listed size in one session (duplicate sizes are allowed and keep
+//! independent state). Under `--kernel sweep` the whole list rides a single
+//! trace traversal via `batch_sweep`; under `reference`/`batch` each size
+//! runs point-by-point. Stdout (one line per size, in list order) is
+//! byte-identical across kernels; stderr reports aggregate throughput where
+//! one "reference" is one trace reference carried through one size's triple
+//! — this is the N-configuration scaling probe `scripts/bench.sh` uses.
+//! Plain runs only: `--sweep` combines with neither `--shard-sets`,
+//! `--resume`, nor the observability outputs.
 //!
 //! `--lenient N` tolerates up to `N` corrupt records in the trace: bad
 //! packed words / malformed text lines are skipped and counted (reported via
@@ -63,11 +74,13 @@ use std::time::Duration;
 use dynex::DeStats;
 use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped, PerfectStore};
 use dynex_cache::{
-    batch_de, batch_de_probed, batch_dm_probed, batch_opt, run, run_addrs, CacheConfig, CacheSim,
-    CacheStats, DirectMapped, Kernel, Replacement, SetAssociative, StreamBuffer, VictimCache,
+    batch_de, batch_de_probed, batch_dm_probed, batch_opt, batch_sweep, batch_sweep_probed, run,
+    run_addrs, CacheConfig, CacheSim, CacheStats, DirectMapped, Kernel, Replacement,
+    SetAssociative, StreamBuffer, SweepPoint, SweepPolicy, VictimCache,
 };
 use dynex_engine::{default_kernel, execute, execute_resilient, shard_by_set, Policy, Resilience};
-use dynex_experiments::api::{self, Org, SimulationRequest};
+use dynex_experiments::api::{self, parse_size, Org, SimulationRequest};
+use dynex_experiments::Triple;
 use dynex_obs::{export, Collector, CountingProbe, Event, EventLog};
 use dynex_trace::{io as trace_io, ReadPolicy, Trace, TraceStats};
 
@@ -89,7 +102,7 @@ fn usage() {
     eprintln!(
         "usage: simcache <trace-file> --size <bytes|NK|NM> [--line N] \
          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
-         [--kernel reference|batch] \
+         [--kernel reference|batch|sweep] [--sweep <size,size,...>] \
          [--jobs N] [--shard-sets] [--job-retries N] [--job-timeout-ms N] \
          [--lenient <max-skipped>] [--resume <journal.jsonl>] \
          [--events-out <file.jsonl>] [--metrics-out <file.json>] \
@@ -222,6 +235,25 @@ fn run_sharded(
                 };
                 (result.stats, Some(de_stats), collector, log)
             }
+            (Kernel::Sweep, Policy::DirectMapped) => {
+                let mut probes = [obs.probe()];
+                let point = SweepPoint::new(config, SweepPolicy::DirectMapped);
+                let results = batch_sweep_probed(&[point], shard, &mut probes);
+                let [(collector, log)] = probes;
+                (results[0].stats(), None, collector, log)
+            }
+            (Kernel::Sweep, _) => {
+                let mut probes = [obs.probe()];
+                let point = SweepPoint::new(config, SweepPolicy::DynamicExclusion);
+                let results = batch_sweep_probed(&[point], shard, &mut probes);
+                let [(collector, log)] = probes;
+                let result = results[0].de().expect("DE sweep point yields DE result");
+                let de_stats = DeStats {
+                    loads: result.loads,
+                    bypasses: result.bypasses,
+                };
+                (result.stats, Some(de_stats), collector, log)
+            }
             (Kernel::Reference, Policy::DirectMapped) => {
                 let mut cache = DirectMapped::with_probe(config, obs.probe());
                 let stats = run_addrs(&mut cache, shard.iter().copied());
@@ -314,6 +346,16 @@ fn run_sharded_resilient(
                 };
                 (result.stats, Some(de_stats))
             }
+            (Kernel::Sweep, Policy::DynamicExclusion) => {
+                let point = SweepPoint::new(config, SweepPolicy::DynamicExclusion);
+                let results = batch_sweep(&[point], shard);
+                let result = results[0].de().expect("DE sweep point yields DE result");
+                let de_stats = DeStats {
+                    loads: result.loads,
+                    bypasses: result.bypasses,
+                };
+                (result.stats, Some(de_stats))
+            }
             (Kernel::Reference, Policy::DynamicExclusion) => {
                 let mut cache = DeCache::new(config);
                 let stats = run_addrs(&mut cache, shard.iter().copied());
@@ -375,6 +417,55 @@ fn run_sharded_resilient(
     ExitCode::FAILURE
 }
 
+/// `--sweep`: simulate the dm/de/opt triple at every listed size in one
+/// session. Under [`Kernel::Sweep`] the whole list shares a single trace
+/// traversal ([`api::run_triples_sweep`]); under the other kernels each size
+/// runs point-by-point. Stdout is byte-identical across kernels; the stderr
+/// `sim:` line counts one reference per trace reference per size, so its
+/// refs/s figure measures N-configuration throughput (`scripts/bench.sh`
+/// parses it).
+fn run_size_sweep(
+    request: &SimulationRequest,
+    loaded: &api::LoadedTrace,
+    sizes: &[u32],
+) -> ExitCode {
+    let mut configs = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        match CacheConfig::direct_mapped(size, request.line_bytes) {
+            Ok(c) => configs.push(c),
+            Err(e) => {
+                eprintln!("error: --sweep size {size}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let started = std::time::Instant::now();
+    let triples: Vec<Triple> = match default_kernel() {
+        Kernel::Sweep => api::run_triples_sweep(&configs, &loaded.addrs),
+        kernel => configs
+            .iter()
+            .map(|&config| api::run_triple(kernel, config, &loaded.addrs))
+            .collect(),
+    };
+    let seconds = started.elapsed().as_secs_f64();
+    let refs = loaded.addrs.len() as u64 * configs.len() as u64;
+    eprintln!(
+        "sim: {refs} references in {seconds:.3}s ({:.0} refs/s)",
+        refs as f64 / seconds.max(1e-9)
+    );
+    for (config, triple) in configs.iter().zip(&triples) {
+        println!(
+            "{config}: {} refs, dm {} de {} opt {} misses, de reduction {:.2}%",
+            triple.dm.accesses(),
+            triple.dm.misses(),
+            triple.de.misses(),
+            triple.opt.misses(),
+            triple.de_reduction()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     // Every session flag funnels into one SimulationRequest: validation and
     // the DYNEX_JOBS/DYNEX_REFS environment overrides live in the request
@@ -384,6 +475,7 @@ fn main() -> ExitCode {
     let mut path = None;
     let mut saw_size = false;
     let mut shard_sets = false;
+    let mut sweep_sizes: Option<Vec<u32>> = None;
     let mut resilience = Resilience::default();
     let mut obs = ObsConfig {
         events_out: None,
@@ -421,6 +513,23 @@ fn main() -> ExitCode {
             }
             "--kernel" => {
                 builder.kernel(&it.next().unwrap_or_default());
+            }
+            "--sweep" => {
+                let Some(value) = it.next() else {
+                    eprintln!("error: --sweep needs a size list (e.g. --sweep 1K,2K,4K)");
+                    return ExitCode::FAILURE;
+                };
+                let mut sizes = Vec::new();
+                for part in value.split(',') {
+                    match parse_size(part) {
+                        Some(size) => sizes.push(size),
+                        None => {
+                            eprintln!("error: --sweep: bad size {part:?} (use bytes, NK, or NM)");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                sweep_sizes = Some(sizes);
             }
             "--jobs" => {
                 let jobs: usize = match it.next().and_then(|v| v.parse().ok()) {
@@ -532,6 +641,13 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if sweep_sizes.is_some() && (shard_sets || obs.active() || request.resume.is_some()) {
+        eprintln!(
+            "error: --sweep runs plain multi-size sweeps only; it combines with \
+             none of --shard-sets, --resume, or the observability outputs"
+        );
+        return ExitCode::FAILURE;
+    }
 
     let read_policy = match request.max_skipped {
         Some(max_skipped) => ReadPolicy::Lenient { max_skipped },
@@ -562,6 +678,10 @@ fn main() -> ExitCode {
     if let Err(e) = api::install_session(&request) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
+    }
+
+    if let Some(sizes) = &sweep_sizes {
+        return run_size_sweep(&request, &loaded, sizes);
     }
 
     if let Some(journal_path) = &request.resume {
@@ -665,6 +785,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            Kernel::Sweep => {
+                let mut probes = [obs.probe()];
+                let point = SweepPoint::new(dm_config, SweepPolicy::DirectMapped);
+                let results = batch_sweep_probed(&[point], addrs, &mut probes);
+                report(DirectMapped::new(dm_config).label(), results[0].stats());
+                let [(collector, log)] = probes;
+                if let Err(e) = obs.write(&collector, log.events()) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             Kernel::Reference => {
                 simulate_observed!(DirectMapped::with_probe(dm_config, obs.probe()));
             }
@@ -675,6 +806,19 @@ fn main() -> ExitCode {
                     let mut probe = obs.probe();
                     let result = batch_de_probed(dm_config, addrs, &mut probe);
                     let (collector, log) = probe;
+                    let de_stats = DeStats {
+                        loads: result.loads,
+                        bypasses: result.bypasses,
+                    };
+                    let label = DeCache::new(dm_config).label();
+                    (label, result.stats, de_stats, collector, log)
+                }
+                Kernel::Sweep => {
+                    let mut probes = [obs.probe()];
+                    let point = SweepPoint::new(dm_config, SweepPolicy::DynamicExclusion);
+                    let results = batch_sweep_probed(&[point], addrs, &mut probes);
+                    let [(collector, log)] = probes;
+                    let result = results[0].de().expect("DE sweep point yields DE result");
                     let de_stats = DeStats {
                         loads: result.loads,
                         bypasses: result.bypasses,
@@ -712,6 +856,10 @@ fn main() -> ExitCode {
             );
             let stats = match default_kernel() {
                 Kernel::Batch => batch_opt(dm_config, addrs),
+                Kernel::Sweep => {
+                    let point = SweepPoint::new(dm_config, SweepPolicy::Optimal);
+                    batch_sweep(&[point], addrs)[0].stats()
+                }
                 Kernel::Reference => {
                     OptimalDirectMapped::simulate(dm_config, accesses.iter().map(|a| a.addr()))
                 }

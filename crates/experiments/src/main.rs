@@ -2,7 +2,7 @@
 //! dynamic-exclusion paper.
 //!
 //! ```text
-//! experiments [--refs N] [--jobs N] [--kernel reference|batch] [--out DIR]
+//! experiments [--refs N] [--jobs N] [--kernel reference|batch|sweep] [--out DIR]
 //!             [--resume FILE] [--trace-out FILE] <id>... | all | list
 //! ```
 //!
@@ -10,8 +10,11 @@
 //! the `DYNEX_REFS` environment variable); `--jobs` sets the worker count
 //! for the sweep engine (default: the `DYNEX_JOBS` environment variable, or
 //! all available cores — results are bit-identical for any value);
-//! `--kernel` selects the reference simulators or the fused batch kernel
-//! (default `batch`; output is bit-identical either way); `--out`
+//! `--kernel` selects the reference simulators, the fused batch kernel, or
+//! the one-pass multi-configuration sweep kernel — under `sweep`, every
+//! journaled figure sweep groups its points by trace and carries each group
+//! through a single traversal (default `batch`; output is bit-identical for
+//! any choice); `--out`
 //! writes one CSV per experiment into the directory; `--resume` checkpoints
 //! every completed sweep point into an append-only journal and replays it on
 //! the next run, so an interrupted sweep picks up where it left off and
@@ -99,7 +102,7 @@ fn parse_args() -> Result<Options, String> {
 
 fn print_help() {
     println!(
-        "usage: experiments [--refs N] [--jobs N] [--kernel reference|batch] [--out DIR] \
+        "usage: experiments [--refs N] [--jobs N] [--kernel reference|batch|sweep] [--out DIR] \
          [--resume FILE] [--trace-out FILE] <id>... | all | list"
     );
     println!();

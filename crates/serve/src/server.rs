@@ -30,7 +30,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dynex_engine::{default_jobs, execute_resilient, JobFailure, Journal, Resilience, SyncPolicy};
+use dynex_engine::{
+    default_jobs, execute_resilient, trace_digest, JobFailure, Journal, Kernel, Resilience,
+    SyncPolicy,
+};
 use dynex_experiments::api::{self, LoadedTrace, SimulationRequest, SimulationResponse};
 use dynex_obs::json;
 use dynex_obs::span::{self, SpanCtx};
@@ -281,6 +284,7 @@ impl Server {
             "sims-executed",
             "cache-hits",
             "coalesced-hits",
+            "fused-jobs",
             "queued",
             "rejected-429",
             "sim-failures",
@@ -678,7 +682,70 @@ fn dispatcher(
     }
 }
 
+/// One schedulable unit of a dispatcher batch: either a single job, or a
+/// group of same-trace jobs fused into one sweep-kernel traversal.
+enum Unit {
+    /// A lone job (batch index), executed exactly as before.
+    Single(usize),
+    /// Batch indices of two or more jobs over the *same* decoded trace,
+    /// answered from one [`api::execute_many`] pass.
+    Fused(Vec<usize>),
+}
+
+impl Unit {
+    fn indices(&self) -> &[usize] {
+        match self {
+            Unit::Single(index) => std::slice::from_ref(index),
+            Unit::Fused(members) => members,
+        }
+    }
+}
+
+/// Plans a dispatcher batch into units: jobs whose organization has a sweep
+/// specialization and whose kernel is not `reference` are grouped by decoded
+/// trace content; a group of two or more becomes one fused unit so the whole
+/// group rides a single `batch_sweep` traversal. Everything else (reference
+/// runs, last-line organizations, singleton groups) stays a per-job unit.
+/// Grouping is by digest *and* a content check, so a digest collision can
+/// never fuse jobs over different traces.
+fn plan_units(batch: &[SimJob]) -> Vec<Unit> {
+    let mut units = Vec::new();
+    // (digest, representative index, members) in first-appearance order.
+    let mut groups: Vec<(u64, usize, Vec<usize>)> = Vec::new();
+    for (index, job) in batch.iter().enumerate() {
+        let sweepable =
+            job.request.org.sweep_policy().is_some() && job.request.kernel != Kernel::Reference;
+        if !sweepable {
+            units.push(Unit::Single(index));
+            continue;
+        }
+        let digest = trace_digest(&job.trace.addrs);
+        match groups
+            .iter_mut()
+            .find(|(d, rep, _)| *d == digest && batch[*rep].trace.addrs == job.trace.addrs)
+        {
+            Some((_, _, members)) => members.push(index),
+            None => groups.push((digest, index, vec![index])),
+        }
+    }
+    for (_, _, members) in groups {
+        if members.len() == 1 {
+            units.push(Unit::Single(members[0]));
+        } else {
+            units.push(Unit::Fused(members));
+        }
+    }
+    units
+}
+
 /// Runs one batch on the resilient pool and publishes every slot.
+///
+/// Same-trace sweepable jobs are coalesced (see [`plan_units`]): the fused
+/// unit answers every member from one trace traversal, byte-identical to the
+/// per-job path because [`api::execute_many`] builds its responses from the
+/// same label constructors and content keys as [`api::execute`]. Fault
+/// isolation becomes per-unit — a panic or watchdog timeout inside a fused
+/// unit fails all of its members together, never the rest of the batch.
 fn execute_batch(state: &Arc<State>, batch: Vec<SimJob>, jobs: usize, sim_delay: Duration) {
     lock_or_recover(&state.metrics).add("sims-executed", batch.len() as u64);
 
@@ -697,30 +764,102 @@ fn execute_batch(state: &Arc<State>, batch: Vec<SimJob>, jobs: usize, sim_delay:
         ..Resilience::default()
     };
 
+    let units = plan_units(&batch);
+    let fused_jobs: usize = units
+        .iter()
+        .filter(|unit| matches!(unit, Unit::Fused(_)))
+        .map(|unit| unit.indices().len())
+        .sum();
+    if fused_jobs > 0 {
+        lock_or_recover(&state.metrics).add("fused-jobs", fused_jobs as u64);
+    }
+
     let items = Arc::new(batch);
+    let units = Arc::new(units);
     let sim_state = Arc::clone(state);
-    let outcome = execute_resilient(Arc::clone(&items), jobs, resilience, move |job: &SimJob| {
-        // Re-enter the leader's request trace on this pool thread so the
-        // simulate span (and the kernel chunk spans beneath it) parent into
-        // the originating request, not into the dispatch root.
-        let _ctx = job.ctx.map(span::enter);
-        let _simulate = span::span("simulate");
-        sim_state.count("sims-started");
-        if !sim_delay.is_zero() {
-            std::thread::sleep(sim_delay);
+    let sim_items = Arc::clone(&items);
+    type UnitResults = Vec<(usize, Result<SimulationResponse, String>)>;
+    let outcome = execute_resilient(Arc::clone(&units), jobs, resilience, move |unit: &Unit| {
+        match unit {
+            Unit::Single(index) => {
+                let job = &sim_items[*index];
+                // Re-enter the leader's request trace on this pool thread so
+                // the simulate span (and the kernel chunk spans beneath it)
+                // parent into the originating request, not into the dispatch
+                // root.
+                let _ctx = job.ctx.map(span::enter);
+                let _simulate = span::span("simulate");
+                sim_state.count("sims-started");
+                if !sim_delay.is_zero() {
+                    std::thread::sleep(sim_delay);
+                }
+                let result: UnitResults = vec![(
+                    *index,
+                    api::execute(&job.request, &job.trace).map_err(|e| e.to_string()),
+                )];
+                result
+            }
+            Unit::Fused(members) => {
+                // The fused traversal parents into the first member's trace;
+                // the other members see it only through their flight result.
+                let lead = &sim_items[members[0]];
+                let _ctx = lead.ctx.map(span::enter);
+                let _simulate = span::span("simulate");
+                lock_or_recover(&sim_state.metrics).add("sims-started", members.len() as u64);
+                if !sim_delay.is_zero() {
+                    std::thread::sleep(sim_delay);
+                }
+                let requests: Vec<&SimulationRequest> =
+                    members.iter().map(|&i| &sim_items[i].request).collect();
+                match api::execute_many(&requests, &lead.trace) {
+                    Ok(responses) => members
+                        .iter()
+                        .copied()
+                        .zip(responses.into_iter().map(Ok))
+                        .collect(),
+                    Err(e) => {
+                        let message = e.to_string();
+                        members.iter().map(|&i| (i, Err(message.clone()))).collect()
+                    }
+                }
+            }
         }
-        api::execute(&job.request, &job.trace).map_err(|e| e.to_string())
     });
 
-    for (job, slot) in items.iter().zip(outcome.results()) {
-        let result: FlightResult = match slot {
-            Ok(Ok(response)) => Ok(response.clone()),
-            Ok(Err(message)) => Err(FlightError::Failed(message.clone())),
-            Err(job_error) => match &job_error.failure {
-                JobFailure::TimedOut { .. } => Err(FlightError::TimedOut(job_error.to_string())),
-                JobFailure::Panicked { .. } => Err(FlightError::Failed(job_error.to_string())),
-            },
-        };
+    // Scatter unit outcomes back to per-job slots (plan order is
+    // deterministic, and every batch index appears in exactly one unit).
+    let mut slots: Vec<Option<FlightResult>> = items.iter().map(|_| None).collect();
+    for (unit, slot) in units.iter().zip(outcome.results()) {
+        match slot {
+            Ok(pairs) => {
+                for (index, result) in pairs {
+                    slots[*index] = Some(match result {
+                        Ok(response) => Ok(response.clone()),
+                        Err(message) => Err(FlightError::Failed(message.clone())),
+                    });
+                }
+            }
+            Err(unit_error) => {
+                let failure = match &unit_error.failure {
+                    JobFailure::TimedOut { .. } => FlightError::TimedOut(unit_error.to_string()),
+                    JobFailure::Panicked { .. } => FlightError::Failed(unit_error.to_string()),
+                };
+                for &index in unit.indices() {
+                    slots[index] = Some(Err(failure.clone()));
+                }
+            }
+        }
+    }
+
+    for (job, slot) in items.iter().zip(slots) {
+        let result: FlightResult = slot.unwrap_or_else(|| {
+            // Every index is planned into a unit; an empty slot would mean
+            // the planner broke its contract. Fail the flight rather than
+            // parking its waiters.
+            Err(FlightError::Failed(
+                "internal error: job missing from batch plan".to_owned(),
+            ))
+        });
         match &result {
             Ok(response) => {
                 // Publish order matters: cache first, then drop the flight
@@ -742,5 +881,88 @@ fn execute_batch(state: &Arc<State>, batch: Vec<SimJob>, jobs: usize, sim_delay:
         }
         lock_or_recover(&state.flights).remove(&job.key);
         job.flight.fill(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynex_experiments::api::SimulationRequest;
+
+    /// A minimal queued job over the given decoded addresses.
+    fn job(org: &str, kernel: &str, addrs: Vec<u32>) -> SimJob {
+        let mut builder = SimulationRequest::builder();
+        builder.org(org).kernel(kernel);
+        SimJob {
+            key: format!("{org}/{kernel}/{}", addrs.len()),
+            request: builder.build().expect("valid request"),
+            trace: LoadedTrace {
+                accesses: Vec::new(),
+                addrs,
+                skipped: 0,
+            },
+            flight: Arc::new(Flight::new()),
+            deadline: None,
+            ctx: None,
+        }
+    }
+
+    fn shape(units: &[Unit]) -> Vec<Vec<usize>> {
+        units.iter().map(|u| u.indices().to_vec()).collect()
+    }
+
+    #[test]
+    fn plan_fuses_same_trace_sweepable_jobs() {
+        let shared: Vec<u32> = (0..64).map(|i| i * 4).collect();
+        let other: Vec<u32> = (0..64).map(|i| i * 8).collect();
+        let batch = vec![
+            job("dm", "batch", shared.clone()),
+            job("de", "sweep", shared.clone()),
+            job("de", "batch", other.clone()),
+            job("opt", "batch", shared.clone()),
+            job("de", "batch", other),
+        ];
+        // Indices 0/1/3 share a trace; 2/4 share the other one.
+        assert_eq!(shape(&plan_units(&batch)), vec![vec![0, 1, 3], vec![2, 4]]);
+    }
+
+    #[test]
+    fn plan_keeps_reference_and_unsweepable_jobs_single() {
+        let shared: Vec<u32> = (0..64).map(|i| i * 4).collect();
+        let batch = vec![
+            job("de", "reference", shared.clone()),
+            job("de-lastline", "batch", shared.clone()),
+            job("dm", "batch", shared.clone()),
+            job("de", "batch", shared),
+        ];
+        // The reference run and the last-line organization stay per-job
+        // units (in batch order, ahead of the groups); only 2/3 fuse.
+        assert_eq!(
+            shape(&plan_units(&batch)),
+            vec![vec![0], vec![1], vec![2, 3]]
+        );
+    }
+
+    #[test]
+    fn plan_leaves_singleton_groups_unfused() {
+        let a: Vec<u32> = vec![0, 4, 8];
+        let b: Vec<u32> = vec![0, 4, 12];
+        let batch = vec![job("de", "batch", a), job("de", "batch", b)];
+        assert_eq!(shape(&plan_units(&batch)), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn plan_never_fuses_across_different_traces() {
+        // Same length, different content: must not fuse even though both
+        // are sweepable (content equality guards the digest grouping).
+        let a: Vec<u32> = (0..1000).map(|i| i * 4).collect();
+        let mut b = a.clone();
+        b[999] = 0;
+        let batch = vec![
+            job("dm", "batch", a.clone()),
+            job("de", "batch", b),
+            job("opt", "batch", a),
+        ];
+        assert_eq!(shape(&plan_units(&batch)), vec![vec![0, 2], vec![1]]);
     }
 }

@@ -5,6 +5,7 @@
 #   scripts/bench.sh pr2        # engine scaling only  -> results/BENCH_PR2.json
 #   scripts/bench.sh pr4        # batch kernel only    -> results/BENCH_PR4.json
 #   scripts/bench.sh pr6        # tracing overhead     -> results/BENCH_PR6.json
+#   scripts/bench.sh pr9        # sweep kernel         -> results/BENCH_PR9.json
 #
 # Environment knobs:
 #   DYNEX_BENCH_JOBS=8          worker count for the parallel runs
@@ -21,6 +22,9 @@
 #   pr6  tracing overhead: the fused batch kernel with tracing off vs a full
 #        --trace-out span stream on the same trace (outputs diffed for
 #        bit-identity), plus the span_report.sh self-profile of the stream
+#   pr9  sweep kernel: the one-pass multi-configuration sweep vs per-point
+#        batch kernels on fig5 and the full figure set, plus refs/s scaling
+#        at N = 1/4/16/64 simultaneous configs via `simcache --sweep`
 #
 # Every timed pair also diffs its outputs: the benchmarks double as
 # determinism/bit-identity checks, so a silent divergence fails the script.
@@ -31,8 +35,8 @@ cd "$(dirname "$0")/.."
 
 SECTION=${1:-all}
 case "$SECTION" in
-    pr2|pr4|pr6|all) ;;
-    *) echo "usage: scripts/bench.sh [pr2|pr4|pr6|all]" >&2; exit 2 ;;
+    pr2|pr4|pr6|pr9|all) ;;
+    *) echo "usage: scripts/bench.sh [pr2|pr4|pr6|pr9|all]" >&2; exit 2 ;;
 esac
 
 CORES=$(nproc 2>/dev/null || echo 1)
@@ -260,9 +264,129 @@ EOF
     cat "$out"
 }
 
+# ---------------------------------------------------------------------------
+# pr9: one-pass sweep kernel vs per-point kernels (fig5, figure set, N scaling)
+# ---------------------------------------------------------------------------
+
+# run_figures KERNEL IDS TAG: one experiments run at jobs=1 under KERNEL.
+# Sets FIG_SECS to the wall seconds; output lands in $TMP/$tag.txt for the
+# bit-identity diffs below.
+run_figures() {
+    local kernel="$1" ids="$2" tag="$3" t0 t1
+    t0=$(now)
+    # shellcheck disable=SC2086 # ids is an intentional word list
+    "$EXPERIMENTS" --jobs 1 --kernel "$kernel" --refs "$SWEEP_REFS" $ids >"$TMP/$tag.txt"
+    t1=$(now)
+    FIG_SECS=$(elapsed "$t0" "$t1")
+}
+
+# run_sweep KERNEL SIZES TAG: one `simcache --sweep` run at jobs=1 — N
+# dm/de/opt triples over SIZES in whatever pass structure KERNEL uses (the
+# sweep kernel rides one traversal; the batch kernel runs per point). Sets
+# SWEEP_SECS and SWEEP_RATE like run_kernel, from the same stderr `sim:` line
+# (refs there = trace length x N configs, so the rate is cross-N comparable).
+run_sweep() {
+    local kernel="$1" sizes="$2" tag="$3" t0 t1
+    t0=$(now)
+    "$SIMCACHE" "$GCC_TRACE" --size 32K --sweep "$sizes" --kernel "$kernel" --jobs 1 \
+        >"$TMP/$tag.txt" 2>"$TMP/$tag.err"
+    t1=$(now)
+    SWEEP_SECS=$(elapsed "$t0" "$t1")
+    SWEEP_RATE=$(awk '/^sim:/ { gsub(/[()]/, ""); print $(NF-1) }' "$TMP/$tag.err")
+    [ -n "$SWEEP_RATE" ] || { echo "bench: no sim: line in $tag stderr" >&2; exit 1; }
+}
+
+bench_pr9() {
+    local out="$OUT_DIR/BENCH_PR9.json"
+    gcc_trace
+
+    echo "==> [pr9] figure sweep (fig5, $SWEEP_REFS refs, jobs=1): reference vs batch triple vs one-pass sweep"
+    run_figures reference fig5 "pr9-fig5-ref";   local fig5_sr=$FIG_SECS
+    run_figures batch     fig5 "pr9-fig5-batch"; local fig5_sb=$FIG_SECS
+    run_figures sweep     fig5 "pr9-fig5-sweep"; local fig5_ss=$FIG_SECS
+    # Bit-identity: all three kernels must render the same table bytes.
+    diff "$TMP/pr9-fig5-ref.txt" "$TMP/pr9-fig5-batch.txt" >/dev/null \
+        || { echo "bench: fig5 output differs between reference and batch kernels" >&2; exit 1; }
+    diff "$TMP/pr9-fig5-batch.txt" "$TMP/pr9-fig5-sweep.txt" >/dev/null \
+        || { echo "bench: fig5 output differs between batch and sweep kernels" >&2; exit 1; }
+
+    echo "==> [pr9] full figure set ($SWEEP_REFS refs, jobs=1): batch triple vs one-pass sweep"
+    run_figures batch all "pr9-all-batch"; local all_sb=$FIG_SECS
+    run_figures sweep all "pr9-all-sweep"; local all_ss=$FIG_SECS
+    diff "$TMP/pr9-all-batch.txt" "$TMP/pr9-all-sweep.txt" >/dev/null \
+        || { echo "bench: figure set output differs between batch and sweep kernels" >&2; exit 1; }
+
+    # Untimed warmup: the first reader of the freshly written trace pays the
+    # page-cache fill (see pr6), which would otherwise land on the N=1 batch
+    # row below and flatter the sweep kernel.
+    "$SIMCACHE" "$GCC_TRACE" --size 32K --org de --kernel batch --jobs 1 >/dev/null 2>&1
+
+    # N-config scaling: dm/de/opt triples at N cache sizes through one trace.
+    # The size list cycles an 8-point ladder; repeats are legitimate sweep
+    # points (independent state) and keep the footprint-per-config constant.
+    local ladder="1K,2K,4K,8K,16K,32K,64K,128K"
+    local scaling_json="" n sizes sb rb ss rs
+    for n in 1 4 16 64; do
+        case "$n" in
+            1)  sizes="32K" ;;
+            4)  sizes="8K,16K,32K,64K" ;;
+            16) sizes="$ladder,$ladder" ;;
+            64) sizes="$ladder,$ladder,$ladder,$ladder,$ladder,$ladder,$ladder,$ladder" ;;
+        esac
+        echo "==> [pr9] N=$n config sweep ($TRACE_REFS refs, jobs=1): batch vs sweep kernel"
+        run_sweep batch "$sizes" "pr9-n$n-batch"; sb=$SWEEP_SECS; rb=$SWEEP_RATE
+        run_sweep sweep "$sizes" "pr9-n$n-sweep"; ss=$SWEEP_SECS; rs=$SWEEP_RATE
+        diff "$TMP/pr9-n$n-batch.txt" "$TMP/pr9-n$n-sweep.txt" >/dev/null \
+            || { echo "bench: N=$n sweep output differs between kernels" >&2; exit 1; }
+        [ -n "$scaling_json" ] && scaling_json="$scaling_json,"
+        scaling_json="$scaling_json
+    {
+      \"configs\": $n,
+      \"sizes\": \"$sizes\",
+      \"seconds_batch\": $sb,
+      \"seconds_sweep\": $ss,
+      \"refs_per_second_batch\": $rb,
+      \"refs_per_second_sweep\": $rs,
+      \"speedup\": $(ratio "$rs" "$rb")
+    }"
+    done
+
+    cat >"$out" <<EOF
+{
+  "bench": "dynex sweep kernel (PR 9)",
+  "machine": { "cores": $CORES },
+  "figure_sweep": {
+    "experiment": "fig5",
+    "refs_per_benchmark": $SWEEP_REFS,
+    "seconds_reference": $fig5_sr,
+    "seconds_batch_triple": $fig5_sb,
+    "seconds_sweep": $fig5_ss,
+    "speedup_vs_reference": $(ratio "$fig5_sr" "$fig5_ss"),
+    "speedup_vs_batch_triple": $(ratio "$fig5_sb" "$fig5_ss")
+  },
+  "figure_set": {
+    "experiment": "all",
+    "refs_per_benchmark": $SWEEP_REFS,
+    "seconds_batch_triple": $all_sb,
+    "seconds_sweep": $all_ss,
+    "speedup_vs_batch_triple": $(ratio "$all_sb" "$all_ss")
+  },
+  "n_config_scaling": {
+    "trace": "gcc",
+    "accesses": $TRACE_REFS,
+    "points": [$scaling_json
+    ]
+  }
+}
+EOF
+    echo "bench: wrote $out"
+    cat "$out"
+}
+
 case "$SECTION" in
     pr2) bench_pr2 ;;
     pr4) bench_pr4 ;;
     pr6) bench_pr6 ;;
-    all) bench_pr2; bench_pr4; bench_pr6 ;;
+    pr9) bench_pr9 ;;
+    all) bench_pr2; bench_pr4; bench_pr6; bench_pr9 ;;
 esac

@@ -67,7 +67,7 @@ if [ "$quick" -eq 0 ]; then
     trap 'rm -rf "$smoke_dir"' EXIT
     DYNEX_BENCH_SWEEP_REFS=20000 DYNEX_BENCH_TRACE_REFS=100000 \
         DYNEX_BENCH_OUT_DIR="$smoke_dir" scripts/bench.sh all >/dev/null
-    for f in BENCH_PR2.json BENCH_PR4.json BENCH_PR6.json; do
+    for f in BENCH_PR2.json BENCH_PR4.json BENCH_PR6.json BENCH_PR9.json; do
         [ -s "$smoke_dir/$f" ] || { echo "verify: bench smoke produced no $f" >&2; exit 1; }
     done
 fi

@@ -1,12 +1,13 @@
 //! Golden-file regression tests: reduced-budget figure sweeps against
 //! committed CSVs in `results/golden/`.
 //!
-//! The batch kernel (PR 4) made the simulation path swappable; these goldens
-//! pin the *numbers* so a kernel change can never silently move the paper's
-//! figures. Each test renders a figure at a fixed small reference budget
-//! under **both** kernels and compares the CSV bytes to the committed
-//! golden — a regression in either kernel, the workload generator, or the
-//! table renderer fails loudly.
+//! The batch kernel (PR 4) made the simulation path swappable, and the
+//! sweep kernel (PR 9) made whole figure plans ride one traversal; these
+//! goldens pin the *numbers* so a kernel change can never silently move the
+//! paper's figures. Each test renders a figure at a fixed small reference
+//! budget under **all three** kernels (reference, batch, sweep) and
+//! compares the CSV bytes to the committed golden — a regression in any
+//! kernel, the workload generator, or the table renderer fails loudly.
 //!
 //! To regenerate after an intentional change:
 //!
@@ -67,6 +68,11 @@ fn check_golden(id: &str) {
         batch, reference,
         "{id}: kernels disagree at the golden budget"
     );
+    let sweep = render(id, Kernel::Sweep);
+    assert_eq!(
+        batch, sweep,
+        "{id}: sweep kernel disagrees at the golden budget"
+    );
 
     if std::env::var_os("DYNEX_BLESS").is_some_and(|v| v == "1") {
         std::fs::create_dir_all(path.parent().expect("golden dir has a parent")).unwrap();
@@ -106,4 +112,15 @@ fn fig7_matches_golden() {
 #[test]
 fn fig12_matches_golden() {
     check_golden("fig12");
+}
+
+#[test]
+fn fig5_matches_golden() {
+    // The headline multi-size sweep — the sweep kernel's primary target.
+    check_golden("fig5");
+}
+
+#[test]
+fn ablate_sticky_matches_golden() {
+    check_golden("ablate-sticky");
 }

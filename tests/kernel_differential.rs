@@ -1,7 +1,8 @@
-//! The differential-testing wall for the batch simulation kernel.
+//! The differential-testing wall for the fast simulation kernels.
 //!
-//! The `--kernel batch` fast path is only admissible because it is
-//! **bit-identical** to the reference simulators. This suite holds that line
+//! The `--kernel batch` and `--kernel sweep` fast paths are only admissible
+//! because they are **bit-identical** to the reference simulators. This
+//! suite holds that line as a three-way Reference × Batch × Sweep matrix
 //! along every axis the drivers expose:
 //!
 //! * `CacheStats` (and DE load/bypass counters) for every built-in workload
@@ -9,7 +10,11 @@
 //! * the fused dm+de+opt triple against three separate reference runs,
 //! * probe event streams and interval-series CSV bytes,
 //! * figure CSV output with the kernel and worker count flipped through the
-//!   session globals, at `--jobs 1` and `--jobs 4`.
+//!   session globals, at `--jobs 1` and `--jobs 4`,
+//! * `--resume` journals recorded under one kernel and replayed under
+//!   another (journal keys are kernel-agnostic),
+//! * decode edge cases — empty traces, shorter-than-a-chunk traces,
+//!   chunk-boundary-straddling loops, all-filtering kind filters.
 //!
 //! Tests that flip the session-wide kernel/jobs globals serialize behind
 //! [`GLOBALS`] and restore the defaults before releasing it, so the rest of
@@ -20,12 +25,14 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use dynex::DeCache;
 use dynex_cache::{
-    batch_de, batch_de_probed, batch_triple, run_addrs, CacheConfig, Kernel, SplitMix64,
+    batch_de, batch_de_probed, batch_triple, decode_addrs, run_addrs, CacheConfig, Kernel,
+    KindFilter, SplitMix64, CHUNK_LEN,
 };
 use dynex_engine::{execute, set_default_jobs, set_default_kernel, sharded_policy_stats, Policy};
-use dynex_experiments::api::run_triple;
+use dynex_experiments::api::{self, run_triple, SimulationRequest};
 use dynex_experiments::{figures, Workloads};
 use dynex_obs::{export, Collector, EventLog};
+use dynex_trace::{Access, PackedAccess};
 
 /// Shared reduced-budget workloads (every built-in profile).
 fn workloads() -> &'static Workloads {
@@ -63,17 +70,30 @@ fn every_profile_and_geometry_is_bit_identical_across_kernels() {
                     Policy::DynamicExclusion,
                     Policy::OptimalDm,
                 ] {
+                    let reference = policy.simulate_kernel(Kernel::Reference, config, &addrs);
                     assert_eq!(
                         policy.simulate_kernel(Kernel::Batch, config, &addrs),
-                        policy.simulate_kernel(Kernel::Reference, config, &addrs),
-                        "{name}: {} @ {config}",
+                        reference,
+                        "{name}: {} @ {config} (batch)",
+                        policy.name()
+                    );
+                    assert_eq!(
+                        policy.simulate_kernel(Kernel::Sweep, config, &addrs),
+                        reference,
+                        "{name}: {} @ {config} (sweep)",
                         policy.name()
                     );
                 }
+                let reference_triple = run_triple(Kernel::Reference, config, &addrs);
                 assert_eq!(
                     run_triple(Kernel::Batch, config, &addrs),
-                    run_triple(Kernel::Reference, config, &addrs),
+                    reference_triple,
                     "{name}: fused triple @ {config}"
+                );
+                assert_eq!(
+                    run_triple(Kernel::Sweep, config, &addrs),
+                    reference_triple,
+                    "{name}: swept triple @ {config}"
                 );
             }
         }
@@ -147,7 +167,7 @@ fn sharded_stats_agree_across_kernels_at_jobs_1_and_4() {
         Policy::OptimalDm,
     ] {
         let mut per_kernel = Vec::new();
-        for kernel in [Kernel::Reference, Kernel::Batch] {
+        for kernel in [Kernel::Reference, Kernel::Batch, Kernel::Sweep] {
             set_default_kernel(kernel);
             let serial = policy.simulate(config, &addrs);
             for jobs in [1usize, 4] {
@@ -162,6 +182,7 @@ fn sharded_stats_agree_across_kernels_at_jobs_1_and_4() {
         }
         set_default_kernel(Kernel::default());
         assert_eq!(per_kernel[0], per_kernel[1], "{}", policy.name());
+        assert_eq!(per_kernel[0], per_kernel[2], "{} (sweep)", policy.name());
     }
 }
 
@@ -174,7 +195,7 @@ fn figure_csv_bytes_identical_across_kernels_and_jobs() {
     let workloads = workloads();
     for id in ["fig3", "fig5"] {
         let mut renders = Vec::new();
-        for kernel in [Kernel::Reference, Kernel::Batch] {
+        for kernel in [Kernel::Reference, Kernel::Batch, Kernel::Sweep] {
             for jobs in [1usize, 4] {
                 set_default_kernel(kernel);
                 set_default_jobs(jobs);
@@ -214,8 +235,158 @@ fn pooled_triples_identical_across_kernels_at_jobs_1_and_4() {
         (Kernel::Reference, 4),
         (Kernel::Batch, 1),
         (Kernel::Batch, 4),
+        (Kernel::Sweep, 1),
+        (Kernel::Sweep, 4),
     ] {
         assert_eq!(run(kernel, jobs), baseline, "kernel={kernel} jobs={jobs}");
+    }
+}
+
+/// A `--resume` journal recorded under one kernel replays byte-identically
+/// under the other two: content keys are kernel-agnostic, so a checkpointed
+/// sweep never re-simulates just because the session kernel changed.
+#[test]
+fn resume_journal_replays_across_kernels() {
+    let _guard = lock_globals();
+    let dir = std::env::temp_dir().join(format!("dynex-xkernel-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.jsonl");
+
+    let build = |kernel: &str| {
+        let mut b = SimulationRequest::builder();
+        b.org("de")
+            .size("2K")
+            .line(4)
+            .profile("espresso")
+            .refs(20_000)
+            .jobs(1)
+            .kernel(kernel)
+            .resume(&journal);
+        b.build().expect("valid request")
+    };
+
+    // Record under batch.
+    let request = build("batch");
+    api::install_session(&request).unwrap();
+    let recorded = api::run(&request).unwrap();
+    dynex_engine::set_global_journal(None);
+    assert!(!recorded.cached, "cold journal simulates");
+
+    // Replay under sweep and reference: pure journal replay, same bytes.
+    for kernel in ["sweep", "reference"] {
+        let request = build(kernel);
+        api::install_session(&request).unwrap();
+        let replayed = api::run(&request).unwrap();
+        dynex_engine::set_global_journal(None);
+        assert!(replayed.cached, "kernel={kernel} replays from the journal");
+        assert_eq!(replayed.stats, recorded.stats, "kernel={kernel}");
+        assert_eq!(replayed.label, recorded.label, "kernel={kernel}");
+        assert_eq!(replayed.de, recorded.de, "kernel={kernel}");
+        assert_eq!(replayed.key, recorded.key, "kernel={kernel}");
+    }
+
+    // And the other direction: a journal recorded under sweep replays under
+    // batch with the same key and payload.
+    let journal2 = dir.join("journal2.jsonl");
+    let mut b = SimulationRequest::builder();
+    b.org("de")
+        .size("2K")
+        .line(4)
+        .profile("espresso")
+        .refs(20_000)
+        .jobs(1)
+        .kernel("sweep")
+        .resume(&journal2);
+    let request = b.build().unwrap();
+    api::install_session(&request).unwrap();
+    let swept = api::run(&request).unwrap();
+    dynex_engine::set_global_journal(None);
+    assert!(!swept.cached);
+    assert_eq!(swept.stats, recorded.stats, "sweep simulates identically");
+    let request = build("batch");
+    // Point the batch request at the sweep-recorded journal.
+    let mut request = request;
+    request.resume = Some(journal2);
+    api::install_session(&request).unwrap();
+    let replayed = api::run(&request).unwrap();
+    dynex_engine::set_global_journal(None);
+    assert!(
+        replayed.cached,
+        "sweep-recorded journal replays under batch"
+    );
+    assert_eq!(replayed.stats, recorded.stats);
+
+    set_default_kernel(Kernel::default());
+    set_default_jobs(0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Decode/chunking edge cases agree across all three kernels: the empty
+/// trace, a trace shorter than one decode chunk, and a loop whose
+/// iterations straddle the chunk boundary.
+#[test]
+fn decode_edge_cases_agree_across_all_kernels() {
+    let empty: Vec<u32> = Vec::new();
+    let short: Vec<u32> = (0..17).map(|i| i * 4).collect();
+    let mut straddle: Vec<u32> = Vec::new();
+    for _ in 0..3 {
+        straddle.extend((0..(CHUNK_LEN as u32 + 37)).map(|i| (i % 600) * 4));
+    }
+    let config = CacheConfig::direct_mapped(1024, 4).unwrap();
+    for (tag, addrs) in [
+        ("empty", &empty),
+        ("short", &short),
+        ("straddle", &straddle),
+    ] {
+        for policy in [
+            Policy::DirectMapped,
+            Policy::DynamicExclusion,
+            Policy::OptimalDm,
+        ] {
+            let reference = policy.simulate_kernel(Kernel::Reference, config, addrs);
+            assert_eq!(reference.accesses(), addrs.len() as u64, "{tag}");
+            for kernel in [Kernel::Batch, Kernel::Sweep] {
+                assert_eq!(
+                    policy.simulate_kernel(kernel, config, addrs),
+                    reference,
+                    "{tag}: {} kernel={kernel}",
+                    policy.name()
+                );
+            }
+        }
+        let reference_triple = run_triple(Kernel::Reference, config, addrs);
+        for kernel in [Kernel::Batch, Kernel::Sweep] {
+            assert_eq!(
+                run_triple(kernel, config, addrs),
+                reference_triple,
+                "{tag}: triple kernel={kernel}"
+            );
+        }
+    }
+}
+
+/// An all-filtering kind filter (instructions-only over a pure-data trace)
+/// leaves zero references, and every kernel agrees on the resulting
+/// all-zero statistics.
+#[test]
+fn all_filtering_kind_filter_agrees_across_kernels() {
+    let packed: Vec<PackedAccess> = (0..100)
+        .map(|i| PackedAccess::pack(Access::read(i * 4)))
+        .collect();
+    let addrs = decode_addrs(&packed, KindFilter::Instructions);
+    assert!(addrs.is_empty(), "the filter drops every reference");
+    let config = CacheConfig::direct_mapped(1024, 4).unwrap();
+    for policy in [
+        Policy::DirectMapped,
+        Policy::DynamicExclusion,
+        Policy::OptimalDm,
+    ] {
+        for kernel in [Kernel::Reference, Kernel::Batch, Kernel::Sweep] {
+            let stats = policy.simulate_kernel(kernel, config, &addrs);
+            assert_eq!(stats.accesses(), 0, "{} kernel={kernel}", policy.name());
+            assert_eq!(stats.misses(), 0, "{} kernel={kernel}", policy.name());
+        }
     }
 }
 

@@ -272,6 +272,82 @@ fn responses_are_byte_identical_for_every_worker_count() {
 }
 
 #[test]
+fn same_trace_batch_coalesces_into_one_sweep_pass() {
+    // Hold the dispatcher busy on a decoy job while the real batch queues
+    // up, so all of it lands in one dispatch (determinism policy: observe
+    // counters, don't sleep and hope).
+    let server = start(ServeConfig {
+        jobs: 4,
+        batch_window: Duration::ZERO,
+        inject_sim_delay: Duration::from_millis(1500),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let decoy = request_body("16K");
+    let decoy_handle = std::thread::spawn(move || post_simulate(addr, &decoy));
+    await_counter(&server, "sims-started", 1);
+
+    // Six same-trace jobs across all three sweepable organizations, plus
+    // one reference-kernel rider that must stay un-fused.
+    let mut posts: Vec<String> = [
+        ("dm", "1K"),
+        ("de", "1K"),
+        ("de", "4K"),
+        ("opt", "2K"),
+        ("de", "8K"),
+        ("dm", "4K"),
+    ]
+    .iter()
+    .map(|(org, size)| {
+        format!(
+            r#"{{"org":"{org}","size":"{size}","line":4,"trace":{{"source":"profile","profile":"espresso"}},"refs":50000}}"#
+        )
+    })
+    .collect();
+    posts.push(
+        r#"{"org":"de","size":"2K","line":4,"kernel":"reference","trace":{"source":"profile","profile":"espresso"},"refs":50000}"#
+            .to_owned(),
+    );
+
+    let handles: Vec<_> = posts
+        .iter()
+        .map(|body| {
+            let body = body.clone();
+            std::thread::spawn(move || post_simulate(addr, &body))
+        })
+        .collect();
+    // All seven enqueued (the decoy's 1.5s budget dwarfs seven loopback
+    // posts), so the next dispatch folds them into one batch.
+    await_counter(&server, "queued", 8);
+
+    let mut served = Vec::new();
+    for handle in handles {
+        let (status, body) = handle.join().expect("request thread");
+        assert_eq!(status, 200, "{body}");
+        served.push(body);
+    }
+    let (decoy_status, _) = decoy_handle.join().expect("decoy thread");
+    assert_eq!(decoy_status, 200);
+
+    // Bit-identity: every served body equals the offline per-request API
+    // result, coalesced or not.
+    for (body, request_json) in served.iter().zip(&posts) {
+        let request = SimulationRequest::from_json(request_json).expect("request parses");
+        let trace = dynex_experiments::api::load(&request).expect("trace loads");
+        let expected = dynex_experiments::api::execute(&request, &trace).expect("offline run");
+        assert_eq!(body, &expected.to_json(), "{request_json}");
+    }
+    assert_eq!(
+        server.counter("fused-jobs"),
+        6,
+        "the six same-trace sweepable jobs rode one traversal"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn per_request_deadline_times_out_with_504() {
     let server = start(ServeConfig {
         batch_window: Duration::ZERO,
