@@ -139,21 +139,21 @@ pub const DE_FSM_TABLE: [DeFsmRow; 8] = {
 /// is a few KiB and every lookup is one shift-and-mask instead of a hash
 /// probe.
 #[derive(Debug, Clone)]
-struct HitLastArena {
+pub(crate) struct HitLastArena {
     words: Vec<u64>,
 }
 
 impl HitLastArena {
     /// Arena covering line addresses `[0, max_line]`; `max_line` comes from
     /// the kernel's trace prescan ([`max_line`]), not from a constant.
-    fn new(max_line: u32) -> HitLastArena {
+    pub(crate) fn new(max_line: u32) -> HitLastArena {
         HitLastArena {
             words: vec![0u64; (max_line as usize >> 6) + 1],
         }
     }
 
     #[inline]
-    fn get(&self, line: u32) -> bool {
+    pub(crate) fn get(&self, line: u32) -> bool {
         match self.words.get(line as usize >> 6) {
             Some(word) => (word >> (line & 63)) & 1 == 1,
             // Beyond the sized range nothing has ever been displaced, and
@@ -163,7 +163,7 @@ impl HitLastArena {
     }
 
     #[inline]
-    fn set(&mut self, line: u32, value: bool) {
+    pub(crate) fn set(&mut self, line: u32, value: bool) {
         let index = line as usize >> 6;
         if index >= self.words.len() {
             self.words.resize(index + 1, 0);
@@ -361,7 +361,7 @@ pub(crate) fn decode_chunk(chunk: &[u32], offset_bits: u32, line_buf: &mut [u32;
 
 /// Largest line address in the trace (0 for an empty trace); sizes the
 /// hit-last arena and the opt kernel's next-use map.
-fn max_line(addrs: &[u32], offset_bits: u32) -> u32 {
+pub(crate) fn max_line(addrs: &[u32], offset_bits: u32) -> u32 {
     addrs.iter().map(|&a| a >> offset_bits).max().unwrap_or(0)
 }
 
@@ -514,7 +514,7 @@ pub(crate) const NEVER: u32 = u32::MAX;
 
 /// Above this line-space footprint the flat next-use array (4 bytes per
 /// possible line) would cost more than the hash map it replaces.
-const MAX_FLAT_LINES: usize = 1 << 26;
+pub(crate) const MAX_FLAT_LINES: usize = 1 << 26;
 
 pub(crate) fn next_use(lines: &[u32], max_line: u32) -> Vec<u32> {
     let mut next = vec![NEVER; lines.len()];

@@ -20,7 +20,12 @@
 //!   [`batch_triple`]) and the [`Kernel`]/[`ChunkedDecoder`] selection and
 //!   decode machinery — a bit-identical fast path behind `--kernel batch`,
 //! * the one-pass multi-configuration sweep kernel ([`batch_sweep`]) behind
-//!   `--kernel sweep` — N geometries through a single trace traversal.
+//!   `--kernel sweep` — N geometries through a single trace traversal,
+//! * the replacement-policy zoo ([`ReplacementPolicy`] + [`simulate_policy`])
+//!   — first-class stateful policies with per-set lookup/victim/fill hooks,
+//!   shipping Expected-Hit-Count ([`EhcPolicy`] / [`batch_ehc`]) and
+//!   bandwidth-aware selective fill ([`BwCostPolicy`] / [`batch_bwcost`])
+//!   next to trait re-expressions of the paper's dm/de/opt.
 //!
 //! All simulators are miss-rate models: they track contents and replacement
 //! state, not timing, exactly like the paper's trace-driven evaluation.
@@ -51,6 +56,7 @@ mod hierarchy;
 mod instrument;
 mod kernel;
 mod min;
+mod policy;
 mod rng;
 mod setassoc;
 mod sim;
@@ -72,6 +78,10 @@ pub use kernel::{
     BatchDeResult, BatchTriple, DeFsmRow, DE_FSM_TABLE,
 };
 pub use min::OptimalFullyAssociative;
+pub use policy::{
+    batch_bwcost, batch_ehc, simulate_policy, BwCostPolicy, DePolicy, DmPolicy, EhcPolicy,
+    OptPolicy, ReplacementPolicy, VictimChoice, EHC_HORIZON_FRAMES, NO_LINE, STARVE_LIMIT,
+};
 pub use rng::SplitMix64;
 pub use setassoc::{Replacement, SetAssociative};
 pub use sim::{run, run_addrs, AccessOutcome, CacheSim};

@@ -10,9 +10,13 @@
 //!   index and reassembled in plan order, so the output is **bit-identical
 //!   regardless of the worker count** — `--jobs 8` and `--jobs 1` produce
 //!   the same bytes.
-//! * [`Job`] / [`Policy`] — the sweep-point vocabulary: a cache
-//!   configuration under one of the paper's policies (direct-mapped,
-//!   dynamic exclusion, optimal, and their last-line variants).
+//! * [`Job`] / [`PolicyKind`] — the sweep-point vocabulary: a cache
+//!   configuration under one member of the replacement-policy zoo (the
+//!   paper's direct-mapped / dynamic-exclusion / optimal policies and
+//!   their last-line variants, plus the Expected-Hit-Count and
+//!   bandwidth-cost additions). Each policy declares per-kernel
+//!   [`KernelSupport`]; unsupported combinations return a structured
+//!   [`PolicyError`] instead of silently falling back.
 //! * [`shard_by_set`] / [`sharded_policy_stats`] — set-partitioned
 //!   parallelism *within* one long trace: for policies whose per-set state
 //!   is independent (DM, DE, OPT) the trace is split by set index, shards
@@ -39,15 +43,15 @@
 //!
 //! ```
 //! use dynex_cache::CacheConfig;
-//! use dynex_engine::{Job, Policy, SweepPlan};
+//! use dynex_engine::{Job, PolicyKind, SweepPlan};
 //!
 //! let trace: Vec<u32> = (0..100).map(|i| (i % 40) * 4).collect();
 //! let mut plan = SweepPlan::new();
 //! for size in [64, 128, 256] {
 //!     let config = CacheConfig::direct_mapped(size, 4)?;
-//!     plan.push(Job::new(config, Policy::DynamicExclusion));
+//!     plan.push(Job::new(config, PolicyKind::DynamicExclusion));
 //! }
-//! let stats = plan.run(4, |job| job.run(&trace));
+//! let stats = plan.run(4, |job| job.run(&trace).expect("de runs on every kernel"));
 //! assert_eq!(stats.len(), 3);
 //! assert!(stats[2].misses() <= stats[0].misses(), "bigger cache, fewer misses");
 //! # Ok::<(), dynex_cache::ConfigError>(())
@@ -76,4 +80,9 @@ pub use resilience::{
     execute_resilient, JobError, JobFailure, Resilience, SweepCounts, SweepOutcome,
 };
 pub use shard::{shard_by_set, sharded_policy_stats, simulate_sharded};
-pub use sweep::{Job, Policy, SweepPlan};
+pub use sweep::{Job, KernelSupport, PolicyError, PolicyKind, SweepPlan};
+
+/// Pre-PR-10 name of [`PolicyKind`], kept so downstream code compiles while
+/// it migrates to the policy-zoo vocabulary.
+#[deprecated(note = "renamed to `PolicyKind`; use the policy-zoo descriptor API")]
+pub type Policy = PolicyKind;

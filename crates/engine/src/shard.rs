@@ -12,15 +12,15 @@
 //! [`CacheStats`] merged exactly — bit-identical to the serial run.
 //!
 //! This does **not** hold for the last-line-buffer variants
-//! ([`Policy::DeLastLine`], [`Policy::OptimalDmLastLine`]): the buffer holds
+//! ([`PolicyKind::DeLastLine`], [`PolicyKind::OptimalDmLastLine`]): the buffer holds
 //! the single most recently referenced line *globally*, so deleting other
 //! sets' references from a shard changes which references the buffer
-//! absorbs. [`Policy::supports_set_sharding`] encodes exactly this.
+//! absorbs. [`PolicyKind::supports_set_sharding`] encodes exactly this.
 
 use dynex_cache::{CacheConfig, CacheStats, Geometry};
 
 use crate::pool::execute;
-use crate::sweep::Policy;
+use crate::sweep::PolicyKind;
 
 /// Splits a byte-address trace into `n_shards` subsequences by set index
 /// (`set % n_shards`), preserving the relative order of references within
@@ -81,10 +81,10 @@ where
 /// # Panics
 ///
 /// Panics if `policy` does not support set sharding
-/// ([`Policy::supports_set_sharding`]).
+/// ([`PolicyKind::supports_set_sharding`]).
 pub fn sharded_policy_stats(
     config: CacheConfig,
-    policy: Policy,
+    policy: PolicyKind,
     addrs: &[u32],
     n_shards: usize,
     jobs: usize,
@@ -95,11 +95,15 @@ pub fn sharded_policy_stats(
         policy.name()
     );
     let merged = simulate_sharded(config.geometry(), addrs, n_shards, jobs, |shard| {
-        policy.simulate(config, shard)
+        policy
+            .simulate(config, shard)
+            .expect("shardable policies run on every kernel")
     });
     debug_assert_eq!(
         merged,
-        policy.simulate(config, addrs),
+        policy
+            .simulate(config, addrs)
+            .expect("shardable policies run on every kernel"),
         "set-sharded statistics diverged from the serial run ({} shards, {})",
         n_shards,
         policy.name()
@@ -160,11 +164,11 @@ mod tests {
         let cfg = config();
         let addrs = random_trace(7, 4_000, 512);
         for policy in [
-            Policy::DirectMapped,
-            Policy::DynamicExclusion,
-            Policy::OptimalDm,
+            PolicyKind::DirectMapped,
+            PolicyKind::DynamicExclusion,
+            PolicyKind::OptimalDm,
         ] {
-            let serial = policy.simulate(cfg, &addrs);
+            let serial = policy.simulate(cfg, &addrs).unwrap();
             for shards in [1, 2, 4, 8, 64] {
                 for jobs in [1, 2, 4] {
                     let sharded = sharded_policy_stats(cfg, policy, &addrs, shards, jobs);
@@ -183,8 +187,8 @@ mod tests {
     fn more_shards_than_sets_is_harmless() {
         let cfg = CacheConfig::direct_mapped(16, 4).unwrap(); // 4 sets
         let addrs = random_trace(3, 300, 64);
-        let serial = Policy::DirectMapped.simulate(cfg, &addrs);
-        let sharded = sharded_policy_stats(cfg, Policy::DirectMapped, &addrs, 16, 4);
+        let serial = PolicyKind::DirectMapped.simulate(cfg, &addrs).unwrap();
+        let sharded = sharded_policy_stats(cfg, PolicyKind::DirectMapped, &addrs, 16, 4);
         assert_eq!(sharded, serial);
     }
 
@@ -192,7 +196,7 @@ mod tests {
     #[should_panic(expected = "cannot be set-sharded")]
     fn lastline_policy_rejected() {
         let cfg = CacheConfig::direct_mapped(64, 16).unwrap();
-        sharded_policy_stats(cfg, Policy::DeLastLine, &[0, 4, 8], 2, 2);
+        sharded_policy_stats(cfg, PolicyKind::DeLastLine, &[0, 4, 8], 2, 2);
     }
 
     #[test]

@@ -1,17 +1,30 @@
 //! Sweep plans: (cache config × trace × policy) points executed on the pool.
+//!
+//! Since PR 10 the policy vocabulary is the open [`PolicyKind`] descriptor
+//! instead of a closed dm/de/opt enum: each kind names a member of the
+//! replacement-policy zoo in `dynex-cache` (the paper's three policies, the
+//! Section 6 last-line variants, and the EHC / bandwidth-cost additions)
+//! and *declares* how each kernel runs it via [`KernelSupport`]. A kernel
+//! either has a specialized fast path, falls back to the reference
+//! simulator by declaration, or is unsupported — in which case simulation
+//! returns a structured [`PolicyError`] naming the supported set, never a
+//! silent gap.
 
 use dynex::{DeCache, LastLineDeCache, OptimalDirectMapped};
 use dynex_cache::{
-    batch_de, batch_dm, batch_opt, batch_sweep, run_addrs, CacheConfig, CacheStats, DirectMapped,
-    Kernel, SweepPoint, SweepPolicy,
+    batch_bwcost, batch_de, batch_dm, batch_ehc, batch_opt, batch_sweep, run_addrs,
+    simulate_policy, BwCostPolicy, CacheConfig, CacheStats, DirectMapped, EhcPolicy, Kernel,
+    SweepPoint, SweepPolicy,
 };
 
 use crate::kernel::default_kernel;
 use crate::pool::execute;
 
-/// The replacement/bypass policy a [`Job`] simulates.
+/// The replacement/bypass policy a [`Job`] simulates: the descriptor half
+/// of the policy zoo (the stateful halves live in `dynex-cache` behind
+/// [`dynex_cache::ReplacementPolicy`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Policy {
+pub enum PolicyKind {
     /// Conventional direct-mapped (the paper's baseline).
     DirectMapped,
     /// Dynamic exclusion with a perfect hit-last store.
@@ -23,18 +36,124 @@ pub enum Policy {
     OptimalDm,
     /// Optimal direct-mapped with a last-line buffer.
     OptimalDmLastLine,
+    /// Expected-Hit-Count replacement (arXiv 1808.05024): rank blocks by
+    /// hit count within a capacity-scaled window instead of
+    /// time-to-next-use.
+    ExpectedHitCount,
+    /// Bandwidth-aware selective fill (arXiv 1907.02167): install only
+    /// blocks that proved reuse; measured in bandwidth transfers.
+    BandwidthCost,
 }
 
-impl Policy {
-    /// Stable lowercase name (used in labels and exported reports).
+/// How a kernel runs one [`PolicyKind`] — the capability a policy declares
+/// per kernel so that gaps are loud contracts instead of silent fallbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelSupport {
+    /// The kernel has a dedicated implementation of this policy
+    /// (bit-identical to the reference simulator; the differential wall
+    /// enforces it).
+    Specialized,
+    /// The kernel has no dedicated implementation and — by declaration —
+    /// runs the reference simulator instead. Output is identical; only
+    /// throughput differs.
+    ReferenceFallback,
+    /// The combination is not available; simulation returns a
+    /// [`PolicyError`] naming the kernels that do support the policy.
+    Unsupported,
+}
+
+/// A structured policy-surface error: an unknown policy name, or a
+/// (policy, kernel) combination without [`KernelSupport`]. Every variant
+/// names the supported set, so CLI and service callers can surface an
+/// actionable message without pattern-matching internals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The name matched no member of the policy zoo.
+    UnknownPolicy {
+        /// The offending name, verbatim.
+        name: String,
+    },
+    /// The policy exists but declares [`KernelSupport::Unsupported`] for
+    /// the requested kernel.
+    UnsupportedKernel {
+        /// The policy's stable name.
+        policy: &'static str,
+        /// The kernel that was requested.
+        kernel: Kernel,
+        /// The kernels that do support the policy.
+        supported: Vec<Kernel>,
+    },
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::UnknownPolicy { name } => {
+                let supported: Vec<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+                write!(
+                    f,
+                    "unknown policy {name:?} (supported: {})",
+                    supported.join("|")
+                )
+            }
+            PolicyError::UnsupportedKernel {
+                policy,
+                kernel,
+                supported,
+            } => {
+                let names: Vec<String> = supported.iter().map(|k| k.to_string()).collect();
+                write!(
+                    f,
+                    "policy {policy:?} has no {kernel} kernel support \
+                     (supported kernels: {})",
+                    names.join("|")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl PolicyKind {
+    /// Every member of the policy zoo, in presentation order.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::DirectMapped,
+        PolicyKind::DynamicExclusion,
+        PolicyKind::DeLastLine,
+        PolicyKind::OptimalDm,
+        PolicyKind::OptimalDmLastLine,
+        PolicyKind::ExpectedHitCount,
+        PolicyKind::BandwidthCost,
+    ];
+
+    /// Stable lowercase name (used in labels, wire requests, journal keys,
+    /// and exported reports).
     pub fn name(self) -> &'static str {
         match self {
-            Policy::DirectMapped => "dm",
-            Policy::DynamicExclusion => "de",
-            Policy::DeLastLine => "de-lastline",
-            Policy::OptimalDm => "opt",
-            Policy::OptimalDmLastLine => "opt-lastline",
+            PolicyKind::DirectMapped => "dm",
+            PolicyKind::DynamicExclusion => "de",
+            PolicyKind::DeLastLine => "de-lastline",
+            PolicyKind::OptimalDm => "opt",
+            PolicyKind::OptimalDmLastLine => "opt-lastline",
+            PolicyKind::ExpectedHitCount => "ehc",
+            PolicyKind::BandwidthCost => "bwcost",
         }
+    }
+
+    /// Parses a stable name back to its kind.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::UnknownPolicy`] (listing the supported set) when the
+    /// name matches no zoo member.
+    pub fn parse(name: &str) -> Result<PolicyKind, PolicyError> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|p| p.name() == name)
+            .ok_or_else(|| PolicyError::UnknownPolicy {
+                name: name.to_owned(),
+            })
     }
 
     /// Whether a single trace under this policy may be split by set index
@@ -42,78 +161,174 @@ impl Policy {
     /// [`crate::shard`]).
     ///
     /// True for the plain direct-mapped, DE, and optimal caches, whose
-    /// per-set state is fully independent. False for the last-line variants:
-    /// their buffer holds the single most recent line *globally*, so
-    /// removing other sets' references from a shard changes which references
-    /// the buffer absorbs.
+    /// per-set state is fully independent. False for the last-line
+    /// variants (their buffer holds the single most recent line
+    /// *globally*) and for the bandwidth-cost policy (its starvation
+    /// counter is global). The EHC oracle is per-set in principle but is
+    /// not wired into the sharded path, so it stays declared unshardable
+    /// rather than silently diverging.
     pub fn supports_set_sharding(self) -> bool {
         matches!(
             self,
-            Policy::DirectMapped | Policy::DynamicExclusion | Policy::OptimalDm
+            PolicyKind::DirectMapped | PolicyKind::DynamicExclusion | PolicyKind::OptimalDm
         )
     }
 
     /// The sweep-kernel policy this policy maps to, if the one-pass
     /// multi-configuration kernel specializes it.
     ///
-    /// `None` for the last-line variants, whose single global buffer defeats
-    /// the per-set chunked loop exactly as it defeats set sharding.
+    /// `None` for the last-line variants (single global buffer) and for
+    /// the EHC / bandwidth-cost members (their oracles and counters are
+    /// not fused into the multi-configuration walk yet — the capability
+    /// matrix declares the gap loudly instead).
     pub fn sweep_policy(self) -> Option<SweepPolicy> {
         match self {
-            Policy::DirectMapped => Some(SweepPolicy::DirectMapped),
-            Policy::DynamicExclusion => Some(SweepPolicy::DynamicExclusion),
-            Policy::OptimalDm => Some(SweepPolicy::Optimal),
-            Policy::DeLastLine | Policy::OptimalDmLastLine => None,
+            PolicyKind::DirectMapped => Some(SweepPolicy::DirectMapped),
+            PolicyKind::DynamicExclusion => Some(SweepPolicy::DynamicExclusion),
+            PolicyKind::OptimalDm => Some(SweepPolicy::Optimal),
+            PolicyKind::DeLastLine
+            | PolicyKind::OptimalDmLastLine
+            | PolicyKind::ExpectedHitCount
+            | PolicyKind::BandwidthCost => None,
         }
+    }
+
+    /// The declared capability of `kernel` for this policy — the whole
+    /// capability matrix in one place.
+    ///
+    /// | policy        | reference   | batch             | sweep             |
+    /// |---------------|-------------|-------------------|-------------------|
+    /// | dm, de, opt   | specialized | specialized       | specialized       |
+    /// | *-lastline    | specialized | reference fallback| reference fallback|
+    /// | ehc, bwcost   | specialized | specialized       | unsupported       |
+    pub fn kernel_support(self, kernel: Kernel) -> KernelSupport {
+        match (self, kernel) {
+            // The reference simulators are the spec: every policy has one.
+            (_, Kernel::Reference) => KernelSupport::Specialized,
+            (
+                PolicyKind::DirectMapped | PolicyKind::DynamicExclusion | PolicyKind::OptimalDm,
+                Kernel::Batch | Kernel::Sweep,
+            ) => KernelSupport::Specialized,
+            // The last-line buffer is global state: the chunked per-set
+            // loops cannot specialize it, so both fast kernels declare the
+            // reference fallback (identical output, reference throughput).
+            (PolicyKind::DeLastLine | PolicyKind::OptimalDmLastLine, _) => {
+                KernelSupport::ReferenceFallback
+            }
+            (
+                PolicyKind::ExpectedHitCount | PolicyKind::BandwidthCost,
+                Kernel::Batch,
+            ) => KernelSupport::Specialized,
+            // The one-pass sweep kernel does not fuse the EHC oracle or
+            // the bandwidth counters; declared unsupported, not silently
+            // approximated.
+            (PolicyKind::ExpectedHitCount | PolicyKind::BandwidthCost, Kernel::Sweep) => {
+                KernelSupport::Unsupported
+            }
+        }
+    }
+
+    /// The kernels that can run this policy (capability not
+    /// [`KernelSupport::Unsupported`]), in the canonical
+    /// reference/batch/sweep order.
+    pub fn supported_kernels(self) -> Vec<Kernel> {
+        [Kernel::Reference, Kernel::Batch, Kernel::Sweep]
+            .into_iter()
+            .filter(|&k| self.kernel_support(k) != KernelSupport::Unsupported)
+            .collect()
     }
 
     /// Simulates this policy over a byte-address trace with the session's
     /// [`default_kernel`].
-    pub fn simulate(self, config: CacheConfig, addrs: &[u32]) -> CacheStats {
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::UnsupportedKernel`] when the session kernel declares
+    /// no support for this policy.
+    pub fn simulate(self, config: CacheConfig, addrs: &[u32]) -> Result<CacheStats, PolicyError> {
         self.simulate_kernel(default_kernel(), config, addrs)
     }
 
     /// Simulates this policy over a byte-address trace with an explicit
     /// kernel.
     ///
-    /// All kernels are bit-identical in output (the differential wall in
-    /// `tests/kernel_differential.rs` enforces the three-way matrix); batch
-    /// and sweep are the fast paths. A single point handed to the sweep
-    /// kernel runs as a degenerate one-point sweep — the real sharing comes
-    /// from plan-level entry points like [`SweepPlan::run_one_pass`]. The
-    /// last-line policies have no fast-path specialization — their single
-    /// global buffer defeats the chunked per-set loop, just as it defeats
-    /// set sharding — so they always run the reference simulators.
-    pub fn simulate_kernel(self, kernel: Kernel, config: CacheConfig, addrs: &[u32]) -> CacheStats {
-        match (kernel, self) {
-            (Kernel::Batch, Policy::DirectMapped) => batch_dm(config, addrs),
-            (Kernel::Batch, Policy::DynamicExclusion) => batch_de(config, addrs).stats,
-            (Kernel::Batch, Policy::OptimalDm) => batch_opt(config, addrs),
-            (
-                Kernel::Sweep,
-                Policy::DirectMapped | Policy::DynamicExclusion | Policy::OptimalDm,
-            ) => {
+    /// All supporting kernels are bit-identical in output (the
+    /// differential wall in `tests/kernel_differential.rs` enforces the
+    /// policy × kernel matrix); batch and sweep are the fast paths. A
+    /// single point handed to the sweep kernel runs as a degenerate
+    /// one-point sweep — the real sharing comes from plan-level entry
+    /// points like [`SweepPlan::run_one_pass`]. Policies declaring
+    /// [`KernelSupport::ReferenceFallback`] run the reference simulator.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::UnsupportedKernel`] when the policy declares
+    /// [`KernelSupport::Unsupported`] for `kernel`; the error lists the
+    /// kernels that do support it.
+    pub fn simulate_kernel(
+        self,
+        kernel: Kernel,
+        config: CacheConfig,
+        addrs: &[u32],
+    ) -> Result<CacheStats, PolicyError> {
+        match self.kernel_support(kernel) {
+            KernelSupport::Unsupported => {
+                return Err(PolicyError::UnsupportedKernel {
+                    policy: self.name(),
+                    kernel,
+                    supported: self.supported_kernels(),
+                })
+            }
+            KernelSupport::ReferenceFallback => return Ok(self.reference_simulate(config, addrs)),
+            KernelSupport::Specialized => {}
+        }
+        Ok(match (kernel, self) {
+            (Kernel::Batch, PolicyKind::DirectMapped) => batch_dm(config, addrs),
+            (Kernel::Batch, PolicyKind::DynamicExclusion) => batch_de(config, addrs).stats,
+            (Kernel::Batch, PolicyKind::OptimalDm) => batch_opt(config, addrs),
+            (Kernel::Batch, PolicyKind::ExpectedHitCount) => batch_ehc(config, addrs),
+            (Kernel::Batch, PolicyKind::BandwidthCost) => batch_bwcost(config, addrs),
+            (Kernel::Sweep, _) => {
                 let point = SweepPoint::new(
                     config,
-                    self.sweep_policy().expect("matched sweepable policies"),
+                    self.sweep_policy()
+                        .expect("sweep is specialized only for sweepable policies"),
                 );
                 batch_sweep(&[point], addrs)[0].stats()
             }
-            (_, Policy::DirectMapped) => {
+            (Kernel::Reference, _) | (Kernel::Batch, _) => self.reference_simulate(config, addrs),
+        })
+    }
+
+    /// The spec simulator for this policy — the bit-exactness baseline
+    /// every specialized kernel is measured against.
+    fn reference_simulate(self, config: CacheConfig, addrs: &[u32]) -> CacheStats {
+        match self {
+            PolicyKind::DirectMapped => {
                 let mut sim = DirectMapped::new(config);
                 run_addrs(&mut sim, addrs.iter().copied())
             }
-            (_, Policy::DynamicExclusion) => {
+            PolicyKind::DynamicExclusion => {
                 let mut sim = DeCache::new(config);
                 run_addrs(&mut sim, addrs.iter().copied())
             }
-            (_, Policy::DeLastLine) => {
+            PolicyKind::DeLastLine => {
                 let mut sim = LastLineDeCache::new(config);
                 run_addrs(&mut sim, addrs.iter().copied())
             }
-            (_, Policy::OptimalDm) => OptimalDirectMapped::simulate(config, addrs.iter().copied()),
-            (_, Policy::OptimalDmLastLine) => {
+            PolicyKind::OptimalDm => {
+                OptimalDirectMapped::simulate(config, addrs.iter().copied())
+            }
+            PolicyKind::OptimalDmLastLine => {
                 OptimalDirectMapped::simulate_with_lastline(config, addrs.iter().copied())
+            }
+            PolicyKind::ExpectedHitCount => {
+                let mut policy = EhcPolicy::new(config, addrs);
+                simulate_policy(config, addrs, &mut policy)
+            }
+            PolicyKind::BandwidthCost => {
+                let mut policy = BwCostPolicy::new(config, addrs);
+                simulate_policy(config, addrs, &mut policy)
             }
         }
     }
@@ -129,17 +344,23 @@ pub struct Job {
     /// The cache geometry to simulate.
     pub config: CacheConfig,
     /// The replacement/bypass policy.
-    pub policy: Policy,
+    pub policy: PolicyKind,
 }
 
 impl Job {
     /// Creates a job.
-    pub fn new(config: CacheConfig, policy: Policy) -> Job {
+    pub fn new(config: CacheConfig, policy: PolicyKind) -> Job {
         Job { config, policy }
     }
 
-    /// Simulates the job over a byte-address trace.
-    pub fn run(&self, addrs: &[u32]) -> CacheStats {
+    /// Simulates the job over a byte-address trace with the session's
+    /// [`default_kernel`].
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::UnsupportedKernel`] when the session kernel declares
+    /// no support for the job's policy.
+    pub fn run(&self, addrs: &[u32]) -> Result<CacheStats, PolicyError> {
         self.policy.simulate(self.config, addrs)
     }
 
@@ -159,15 +380,15 @@ impl Job {
 ///
 /// ```
 /// use dynex_cache::CacheConfig;
-/// use dynex_engine::{Job, Policy, SweepPlan};
+/// use dynex_engine::{Job, PolicyKind, SweepPlan};
 ///
 /// let config = CacheConfig::direct_mapped(64, 4)?;
 /// let trace: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect();
 /// let mut plan = SweepPlan::new();
-/// plan.push(Job::new(config, Policy::DirectMapped));
-/// plan.push(Job::new(config, Policy::DynamicExclusion));
-/// plan.push(Job::new(config, Policy::OptimalDm));
-/// let stats = plan.run(4, |job| job.run(&trace));
+/// plan.push(Job::new(config, PolicyKind::DirectMapped));
+/// plan.push(Job::new(config, PolicyKind::DynamicExclusion));
+/// plan.push(Job::new(config, PolicyKind::OptimalDm));
+/// let stats = plan.run(4, |job| job.run(&trace).expect("supported on every kernel"));
 /// assert_eq!(stats[0].misses(), 20); // DM thrashes
 /// assert!(stats[2].misses() <= stats[1].misses()); // OPT bounds DE
 /// # Ok::<(), dynex_cache::ConfigError>(())
@@ -227,7 +448,7 @@ impl SweepPlan<Job> {
     ///
     /// Returns `None` (caller falls back to per-point execution) if any
     /// point's policy has no sweep specialization
-    /// ([`Policy::sweep_policy`]). Results are in plan order and
+    /// ([`PolicyKind::sweep_policy`]). Results are in plan order and
     /// bit-identical to [`SweepPlan::run`] with any kernel — the whole plan
     /// simply costs one decode, one next-use oracle per distinct line size,
     /// and one trace walk.
@@ -236,16 +457,16 @@ impl SweepPlan<Job> {
     ///
     /// ```
     /// use dynex_cache::CacheConfig;
-    /// use dynex_engine::{Job, Policy, SweepPlan};
+    /// use dynex_engine::{Job, PolicyKind, SweepPlan};
     ///
     /// let config = CacheConfig::direct_mapped(64, 4)?;
     /// let trace: Vec<u32> = (0..20).map(|i| if i % 2 == 0 { 0 } else { 64 }).collect();
     /// let plan = SweepPlan::from_points([
-    ///     Job::new(config, Policy::DirectMapped),
-    ///     Job::new(config, Policy::DynamicExclusion),
+    ///     Job::new(config, PolicyKind::DirectMapped),
+    ///     Job::new(config, PolicyKind::DynamicExclusion),
     /// ]);
     /// let stats = plan.run_one_pass(&trace).unwrap();
-    /// assert_eq!(stats, plan.run(1, |job| job.run(&trace)));
+    /// assert_eq!(stats, plan.run(1, |job| job.run(&trace).unwrap()));
     /// # Ok::<(), dynex_cache::ConfigError>(())
     /// ```
     pub fn run_one_pass(&self, addrs: &[u32]) -> Option<Vec<CacheStats>> {
@@ -273,11 +494,80 @@ mod tests {
 
     #[test]
     fn policy_names_and_sharding_support() {
-        assert_eq!(Policy::DirectMapped.name(), "dm");
-        assert_eq!(Policy::OptimalDmLastLine.name(), "opt-lastline");
-        assert!(Policy::DynamicExclusion.supports_set_sharding());
-        assert!(!Policy::DeLastLine.supports_set_sharding());
-        assert!(!Policy::OptimalDmLastLine.supports_set_sharding());
+        assert_eq!(PolicyKind::DirectMapped.name(), "dm");
+        assert_eq!(PolicyKind::OptimalDmLastLine.name(), "opt-lastline");
+        assert_eq!(PolicyKind::ExpectedHitCount.name(), "ehc");
+        assert_eq!(PolicyKind::BandwidthCost.name(), "bwcost");
+        assert!(PolicyKind::DynamicExclusion.supports_set_sharding());
+        assert!(!PolicyKind::DeLastLine.supports_set_sharding());
+        assert!(!PolicyKind::OptimalDmLastLine.supports_set_sharding());
+        assert!(!PolicyKind::BandwidthCost.supports_set_sharding());
+    }
+
+    #[test]
+    fn names_parse_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn unknown_policy_error_lists_the_supported_set() {
+        let err = PolicyKind::parse("lru").unwrap_err();
+        assert_eq!(
+            err,
+            PolicyError::UnknownPolicy {
+                name: "lru".to_owned()
+            }
+        );
+        let message = err.to_string();
+        assert!(message.contains("\"lru\""), "{message}");
+        for kind in PolicyKind::ALL {
+            assert!(message.contains(kind.name()), "{message} missing {kind:?}");
+        }
+    }
+
+    #[test]
+    fn unsupported_kernel_error_lists_the_supported_kernels() {
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let err = PolicyKind::ExpectedHitCount
+            .simulate_kernel(Kernel::Sweep, config, &[0, 4])
+            .unwrap_err();
+        match &err {
+            PolicyError::UnsupportedKernel {
+                policy,
+                kernel,
+                supported,
+            } => {
+                assert_eq!(*policy, "ehc");
+                assert_eq!(*kernel, Kernel::Sweep);
+                assert_eq!(supported, &[Kernel::Reference, Kernel::Batch]);
+            }
+            other => panic!("wrong error shape: {other:?}"),
+        }
+        let message = err.to_string();
+        assert!(message.contains("ehc"), "{message}");
+        assert!(message.contains("reference"), "{message}");
+        assert!(message.contains("batch"), "{message}");
+    }
+
+    #[test]
+    fn capability_matrix_has_no_silent_gaps() {
+        let config = CacheConfig::direct_mapped(64, 4).unwrap();
+        let addrs = thrash();
+        for kind in PolicyKind::ALL {
+            for kernel in [Kernel::Reference, Kernel::Batch, Kernel::Sweep] {
+                let result = kind.simulate_kernel(kernel, config, &addrs);
+                match kind.kernel_support(kernel) {
+                    KernelSupport::Unsupported => {
+                        assert!(result.is_err(), "{kind:?} under {kernel} must error loudly")
+                    }
+                    _ => assert!(result.is_ok(), "{kind:?} under {kernel} must simulate"),
+                }
+            }
+            // Every policy runs somewhere, and reference is always there.
+            assert!(kind.supported_kernels().contains(&Kernel::Reference));
+        }
     }
 
     #[test]
@@ -286,8 +576,8 @@ mod tests {
         let addrs = thrash();
         let mut dm = DirectMapped::new(config);
         let expected = run_addrs(&mut dm, addrs.iter().copied());
-        let job = Job::new(config, Policy::DirectMapped);
-        assert_eq!(job.run(&addrs), expected);
+        let job = Job::new(config, PolicyKind::DirectMapped);
+        assert_eq!(job.run(&addrs).unwrap(), expected);
         assert!(job.label().starts_with("dm@"));
     }
 
@@ -296,15 +586,15 @@ mod tests {
         let config = CacheConfig::direct_mapped(64, 4).unwrap();
         let addrs = thrash();
         let plan = SweepPlan::from_points([
-            Job::new(config, Policy::DirectMapped),
-            Job::new(config, Policy::DynamicExclusion),
-            Job::new(config, Policy::OptimalDm),
+            Job::new(config, PolicyKind::DirectMapped),
+            Job::new(config, PolicyKind::DynamicExclusion),
+            Job::new(config, PolicyKind::OptimalDm),
         ]);
         assert_eq!(plan.len(), 3);
         assert!(!plan.is_empty());
-        let serial = plan.run(1, |job| job.run(&addrs));
+        let serial = plan.run(1, |job| job.run(&addrs).unwrap());
         for jobs in [2, 4, 8] {
-            assert_eq!(plan.run(jobs, |job| job.run(&addrs)), serial);
+            assert_eq!(plan.run(jobs, |job| job.run(&addrs).unwrap()), serial);
         }
         // The familiar ordering: OPT <= DE < DM on a thrash trace.
         assert!(serial[2].misses() <= serial[1].misses());
@@ -315,21 +605,17 @@ mod tests {
     fn kernels_agree_for_every_policy() {
         let mut rng = dynex_cache::SplitMix64::new(41);
         let addrs: Vec<u32> = (0..8000).map(|_| (rng.below(2048) as u32) * 4).collect();
-        for policy in [
-            Policy::DirectMapped,
-            Policy::DynamicExclusion,
-            Policy::DeLastLine,
-            Policy::OptimalDm,
-            Policy::OptimalDmLastLine,
-        ] {
+        for policy in PolicyKind::ALL {
             for config in [
                 CacheConfig::direct_mapped(256, 4).unwrap(),
                 CacheConfig::direct_mapped(1024, 16).unwrap(),
             ] {
-                let reference = policy.simulate_kernel(Kernel::Reference, config, &addrs);
-                for kernel in [Kernel::Batch, Kernel::Sweep] {
+                let reference = policy
+                    .simulate_kernel(Kernel::Reference, config, &addrs)
+                    .unwrap();
+                for kernel in policy.supported_kernels() {
                     assert_eq!(
-                        policy.simulate_kernel(kernel, config, &addrs),
+                        policy.simulate_kernel(kernel, config, &addrs).unwrap(),
                         reference,
                         "{} @ {config} under {kernel}",
                         policy.name()
@@ -349,34 +635,36 @@ mod tests {
         for size in [256u32, 1024, 8192] {
             for line in [4u32, 16] {
                 let config = CacheConfig::direct_mapped(size, line).unwrap();
-                plan.push(Job::new(config, Policy::DirectMapped));
-                plan.push(Job::new(config, Policy::DynamicExclusion));
-                plan.push(Job::new(config, Policy::OptimalDm));
+                plan.push(Job::new(config, PolicyKind::DirectMapped));
+                plan.push(Job::new(config, PolicyKind::DynamicExclusion));
+                plan.push(Job::new(config, PolicyKind::OptimalDm));
             }
         }
         let one_pass = plan.run_one_pass(&addrs).unwrap();
-        assert_eq!(one_pass, plan.run(1, |job| job.run(&addrs)));
-        assert_eq!(one_pass, plan.run(4, |job| job.run(&addrs)));
+        assert_eq!(one_pass, plan.run(1, |job| job.run(&addrs).unwrap()));
+        assert_eq!(one_pass, plan.run(4, |job| job.run(&addrs).unwrap()));
     }
 
     #[test]
-    fn one_pass_plan_declines_lastline_policies() {
+    fn one_pass_plan_declines_unfused_policies() {
         let config = CacheConfig::direct_mapped(64, 16).unwrap();
         let plan = SweepPlan::from_points([
-            Job::new(config, Policy::DirectMapped),
-            Job::new(config, Policy::DeLastLine),
+            Job::new(config, PolicyKind::DirectMapped),
+            Job::new(config, PolicyKind::DeLastLine),
         ]);
         assert!(plan.run_one_pass(&[0, 4, 8]).is_none());
-        assert!(Policy::DeLastLine.sweep_policy().is_none());
-        assert!(Policy::OptimalDmLastLine.sweep_policy().is_none());
+        assert!(PolicyKind::DeLastLine.sweep_policy().is_none());
+        assert!(PolicyKind::OptimalDmLastLine.sweep_policy().is_none());
+        assert!(PolicyKind::ExpectedHitCount.sweep_policy().is_none());
+        assert!(PolicyKind::BandwidthCost.sweep_policy().is_none());
     }
 
     #[test]
     fn lastline_policies_simulate() {
         let config = CacheConfig::direct_mapped(64, 16).unwrap();
         let addrs: Vec<u32> = (0..200).map(|i| (i % 32) * 4).collect();
-        let de = Policy::DeLastLine.simulate(config, &addrs);
-        let opt = Policy::OptimalDmLastLine.simulate(config, &addrs);
+        let de = PolicyKind::DeLastLine.simulate(config, &addrs).unwrap();
+        let opt = PolicyKind::OptimalDmLastLine.simulate(config, &addrs).unwrap();
         assert_eq!(de.accesses(), 200);
         assert!(opt.misses() <= de.misses());
     }

@@ -45,7 +45,7 @@ use dynex_cache::{
 };
 use dynex_engine::{
     default_jobs, default_kernel, execute as pool_execute, job_key, trace_digest,
-    with_global_journal, Journal, Policy,
+    with_global_journal, Journal, PolicyError, PolicyKind,
 };
 use dynex_obs::json::{self, Json};
 use dynex_obs::NoopProbe;
@@ -58,10 +58,16 @@ pub mod mix;
 /// Version of the content-key schema. Bump this (and re-classify the
 /// fields) whenever a field moves between the covered and excluded sets —
 /// the old journal records then simply miss instead of colliding.
-pub const KEY_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 (PR 10): the wire field `org` became `policy` when the closed
+/// organization enum grew into the policy zoo. The *hash inputs* are
+/// unchanged — the policy name occupies the same key slot the organization
+/// name did — so every v1 journal record still replays under its original
+/// key; only the schema's field classification was renamed.
+pub const KEY_SCHEMA_VERSION: u32 = 2;
 
 /// Fields hashed directly into the content key.
-const KEY_COVERED: &[&str] = &["org", "kinds", "size_bytes", "line_bytes"];
+const KEY_COVERED: &[&str] = &["policy", "kinds", "size_bytes", "line_bytes"];
 
 /// Fields covered *indirectly*: they determine which references are
 /// simulated, so they are captured by the trace digest inside the key.
@@ -93,6 +99,9 @@ pub enum ApiError {
     /// A request field is not covered by the key-derivation schema (see
     /// [`verify_key_schema`]).
     KeySchema(String),
+    /// A policy-surface failure from the engine: an unknown policy name or
+    /// a (policy, kernel) combination without declared kernel support.
+    Policy(PolicyError),
 }
 
 impl std::fmt::Display for ApiError {
@@ -103,13 +112,26 @@ impl std::fmt::Display for ApiError {
             ApiError::Trace(message) => write!(f, "{message}"),
             ApiError::Journal(message) => write!(f, "{message}"),
             ApiError::KeySchema(message) => write!(f, "key schema violation: {message}"),
+            ApiError::Policy(error) => write!(f, "{error}"),
         }
     }
 }
 
 impl std::error::Error for ApiError {}
 
-/// The cache organization a request simulates — the `--org` vocabulary.
+impl From<PolicyError> for ApiError {
+    fn from(error: PolicyError) -> ApiError {
+        ApiError::Policy(error)
+    }
+}
+
+/// The cache policy/organization a request simulates — the `--policy`
+/// vocabulary (`--org` is the legacy alias).
+///
+/// Direct-mapped members delegate to the engine's [`PolicyKind`] zoo (see
+/// [`Org::policy_kind`]); the set-associative and buffered organizations
+/// (`2way`, `4way`, `victim`, `stream`) are request-API comparisons that
+/// run their reference simulators directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Org {
     /// Conventional direct-mapped (the paper's baseline).
@@ -121,6 +143,10 @@ pub enum Org {
     DeLastLine,
     /// Optimal direct-mapped with bypass (the oracle bound).
     Opt,
+    /// Expected-Hit-Count replacement (arXiv 1808.05024).
+    Ehc,
+    /// Bandwidth-aware selective fill (arXiv 1907.02167).
+    BwCost,
     /// Two-way set-associative, LRU.
     TwoWay,
     /// Four-way set-associative, LRU.
@@ -131,26 +157,41 @@ pub enum Org {
     Stream,
 }
 
+/// The supported `--policy` values, for error messages and usage text.
+pub const POLICY_CHOICES: &str = "dm|de|de-lastline|opt|ehc|bwcost|2way|4way|victim|stream";
+
 impl Org {
+    /// The engine [`PolicyKind`] this request policy delegates to, or
+    /// `None` for the set-associative/buffered organizations that live
+    /// only in the request API's reference arms.
+    pub fn policy_kind(self) -> Option<PolicyKind> {
+        match self {
+            Org::Dm => Some(PolicyKind::DirectMapped),
+            Org::De => Some(PolicyKind::DynamicExclusion),
+            Org::DeLastLine => Some(PolicyKind::DeLastLine),
+            Org::Opt => Some(PolicyKind::OptimalDm),
+            Org::Ehc => Some(PolicyKind::ExpectedHitCount),
+            Org::BwCost => Some(PolicyKind::BandwidthCost),
+            Org::TwoWay | Org::FourWay | Org::Victim | Org::Stream => None,
+        }
+    }
+
     /// The sweep-kernel policy this organization maps to, if the one-pass
     /// multi-configuration kernel specializes it ([`execute_many`] coalesces
     /// only these).
     pub fn sweep_policy(self) -> Option<SweepPolicy> {
-        match self {
-            Org::Dm => Some(SweepPolicy::DirectMapped),
-            Org::De => Some(SweepPolicy::DynamicExclusion),
-            Org::Opt => Some(SweepPolicy::Optimal),
-            _ => None,
-        }
+        self.policy_kind().and_then(PolicyKind::sweep_policy)
     }
 
-    /// Stable lowercase name, exactly the `--org` argument value.
+    /// Stable lowercase name, exactly the `--policy` argument value.
     pub fn name(self) -> &'static str {
         match self {
             Org::Dm => "dm",
             Org::De => "de",
             Org::DeLastLine => "de-lastline",
             Org::Opt => "opt",
+            Org::Ehc => "ehc",
+            Org::BwCost => "bwcost",
             Org::TwoWay => "2way",
             Org::FourWay => "4way",
             Org::Victim => "victim",
@@ -158,13 +199,15 @@ impl Org {
         }
     }
 
-    /// Parses an `--org` argument.
+    /// Parses a `--policy` (or legacy `--org`) argument.
     pub fn parse(s: &str) -> Option<Org> {
         Some(match s {
             "dm" => Org::Dm,
             "de" => Org::De,
             "de-lastline" => Org::DeLastLine,
             "opt" => Org::Opt,
+            "ehc" => Org::Ehc,
+            "bwcost" => Org::BwCost,
             "2way" => Org::TwoWay,
             "4way" => Org::FourWay,
             "victim" => Org::Victim,
@@ -411,7 +454,7 @@ impl SimulationRequest {
         };
         format!(
             concat!(
-                r#"{{"org":"{}","size_bytes":{},"line_bytes":{},"kinds":"{}","#,
+                r#"{{"policy":"{}","size_bytes":{},"line_bytes":{},"kinds":"{}","#,
                 r#""kernel":"{}","jobs":{},"refs":{},"trace":{},"#,
                 r#""max_skipped":{},"deadline_ms":{},"resume":{}}}"#
             ),
@@ -443,6 +486,7 @@ impl SimulationRequest {
             });
         };
         const KNOWN: &[&str] = &[
+            "policy",
             "org",
             "size",
             "size_bytes",
@@ -490,8 +534,10 @@ impl SimulationRequest {
             }
         };
 
-        if let Some(org) = str_field("org")? {
-            builder.org(&org);
+        // `policy` is the canonical field to_json emits; `org` is the
+        // pre-PR-10 wire name, still accepted so recorded requests replay.
+        if let Some(policy) = str_field("policy")?.or(str_field("org")?) {
+            builder.policy(&policy);
         }
         // `size` accepts either a number of bytes or a "32K"-style string;
         // `size_bytes` is the canonical numeric form to_json emits.
@@ -644,10 +690,16 @@ pub struct RequestBuilder {
 }
 
 impl RequestBuilder {
-    /// Sets the organization from its `--org` string.
-    pub fn org(&mut self, org: &str) -> &mut Self {
-        self.org = Some(org.to_owned());
+    /// Sets the policy from its `--policy` string.
+    pub fn policy(&mut self, policy: &str) -> &mut Self {
+        self.org = Some(policy.to_owned());
         self
+    }
+
+    /// Sets the organization from its `--org` string (the pre-PR-10 name
+    /// of [`RequestBuilder::policy`], kept for CLI and wire compatibility).
+    pub fn org(&mut self, org: &str) -> &mut Self {
+        self.policy(org)
     }
 
     /// Sets the cache size from a `--size` string (`"32K"`, `"1M"`, bytes).
@@ -737,11 +789,8 @@ impl RequestBuilder {
         let org = match &self.org {
             None => Org::default(),
             Some(raw) => Org::parse(raw).ok_or_else(|| ApiError::Invalid {
-                field: "--org",
-                message: format!(
-                    "unknown organization {raw:?} \
-                     (dm|de|de-lastline|opt|2way|4way|victim|stream)"
-                ),
+                field: "--policy",
+                message: format!("unknown policy {raw:?} ({POLICY_CHOICES})"),
             })?,
         };
         let size_bytes = match &self.size {
@@ -879,6 +928,14 @@ impl SimulationResponse {
         if let Some(de) = self.de {
             out.push_str(&format!("  loads {} bypasses {}\n", de.loads, de.bypasses));
         }
+        if self.stats.probes() != 0 {
+            out.push_str(&format!(
+                "  fills {} writebacks {} bandwidth {:.1} transfers/kiloref\n",
+                self.stats.fills(),
+                self.stats.writebacks(),
+                self.stats.bandwidth_per_kiloref()
+            ));
+        }
         out
     }
 
@@ -896,6 +953,16 @@ impl SimulationResponse {
             out.push_str(&format!(
                 r#","loads":{},"bypasses":{}"#,
                 de.loads, de.bypasses
+            ));
+        }
+        // Traffic counters appear only for traffic-accounting policies, so
+        // legacy responses stay byte-identical to the pre-PR-10 format.
+        if self.stats.probes() != 0 {
+            out.push_str(&format!(
+                r#","fills":{},"writebacks":{},"probes":{}"#,
+                self.stats.fills(),
+                self.stats.writebacks(),
+                self.stats.probes()
             ));
         }
         out.push_str(&format!(
@@ -924,11 +991,28 @@ impl SimulationResponse {
         };
         Some(SimulationResponse {
             label: v.get("label")?.as_str()?.to_owned(),
-            stats: CacheStats::from_counts(accesses, misses),
+            stats: stats_from_json(&v, accesses, misses)?,
             de,
             key: v.get("key")?.as_str()?.to_owned(),
             cached: v.get("cached")?.as_bool()?,
         })
+    }
+}
+
+/// Rebuilds [`CacheStats`] from a JSON object holding the mandatory hit/miss
+/// counters plus the optional traffic counters (absent on legacy records,
+/// which is exactly the all-zero traffic state they were produced with).
+fn stats_from_json(v: &Json, accesses: u64, misses: u64) -> Option<CacheStats> {
+    match (v.get("fills"), v.get("writebacks"), v.get("probes")) {
+        (None, None, None) => Some(CacheStats::from_counts(accesses, misses)),
+        (Some(f), Some(w), Some(p)) => Some(CacheStats::from_traffic_counts(
+            accesses,
+            misses,
+            f.as_u64()?,
+            w.as_u64()?,
+            p.as_u64()?,
+        )),
+        _ => None,
     }
 }
 
@@ -947,6 +1031,14 @@ pub fn result_to_journal(label: &str, stats: CacheStats, de: Option<DeStats>) ->
         out.push_str(&format!(
             r#","loads":{},"bypasses":{}"#,
             de.loads, de.bypasses
+        ));
+    }
+    if stats.probes() != 0 {
+        out.push_str(&format!(
+            r#","fills":{},"writebacks":{},"probes":{}"#,
+            stats.fills(),
+            stats.writebacks(),
+            stats.probes()
         ));
     }
     out.push('}');
@@ -969,7 +1061,7 @@ pub fn result_from_journal(v: &Json) -> Option<(String, CacheStats, Option<DeSta
         }),
         _ => None,
     };
-    Some((label, CacheStats::from_counts(accesses, misses), de))
+    Some((label, stats_from_json(v, accesses, misses)?, de))
 }
 
 /// A loaded, filtered, decoded reference stream.
@@ -1115,6 +1207,14 @@ fn execute_with_key(
             };
             ("optimal direct-mapped".to_owned(), stats, None)
         }
+        Org::Ehc => {
+            let stats = PolicyKind::ExpectedHitCount.simulate_kernel(kernel, config, addrs)?;
+            ("expected-hit-count direct-mapped".to_owned(), stats, None)
+        }
+        Org::BwCost => {
+            let stats = PolicyKind::BandwidthCost.simulate_kernel(kernel, config, addrs)?;
+            ("bandwidth-aware direct-mapped".to_owned(), stats, None)
+        }
         Org::TwoWay | Org::FourWay => {
             let mut cache = SetAssociative::new(config, Replacement::Lru);
             let stats = sim_run(&mut cache, accesses.iter().copied());
@@ -1164,7 +1264,7 @@ pub fn execute_many(
             .org
             .sweep_policy()
             .ok_or_else(|| ApiError::Invalid {
-                field: "--org",
+                field: "--policy",
                 message: format!("{:?} has no sweep specialization", request.org.name()),
             })?;
         keys.push(request.content_key(&trace.addrs)?);
@@ -1314,11 +1414,18 @@ pub fn run_triple(kernel: Kernel, config: CacheConfig, addrs: &[u32]) -> Triple 
         Kernel::Sweep => run_triples_sweep(&[config], addrs)
             .pop()
             .expect("one config in, one triple out"),
-        Kernel::Reference => Triple {
-            dm: Policy::DirectMapped.simulate_kernel(kernel, config, addrs),
-            de: Policy::DynamicExclusion.simulate_kernel(kernel, config, addrs),
-            opt: Policy::OptimalDm.simulate_kernel(kernel, config, addrs),
-        },
+        Kernel::Reference => {
+            let simulate = |policy: PolicyKind| {
+                policy
+                    .simulate_kernel(kernel, config, addrs)
+                    .expect("dm/de/opt run on every kernel")
+            };
+            Triple {
+                dm: simulate(PolicyKind::DirectMapped),
+                de: simulate(PolicyKind::DynamicExclusion),
+                opt: simulate(PolicyKind::OptimalDm),
+            }
+        }
     }
 }
 
@@ -1908,7 +2015,7 @@ mod tests {
         let mut lastline = base.clone();
         lastline.org = Org::DeLastLine;
         let err = execute_many(&[&lastline], &trace).unwrap_err();
-        assert!(matches!(err, ApiError::Invalid { field, .. } if field == "--org"));
+        assert!(matches!(err, ApiError::Invalid { field, .. } if field == "--policy"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

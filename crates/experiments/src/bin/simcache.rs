@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! simcache <trace.dxt|trace.txt> --size 32K --line 4 \
-//!          [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
+//!          [--policy dm|de|de-lastline|opt|ehc|bwcost|2way|4way|victim|stream] \
+//!          [--kinds all|instr|data] \
 //!          [--kernel reference|batch|sweep] [--sweep 1K,2K,4K,...] \
 //!          [--jobs N] [--shard-sets] [--job-retries N] [--job-timeout-ms N] \
 //!          [--lenient N] [--resume journal.jsonl] \
@@ -13,10 +14,14 @@
 //! Reads a `dynex-trace` file (binary `.dxt` or the text format, detected by
 //! the magic), simulates, and prints hit/miss statistics.
 //!
-//! `--kernel` selects between the reference simulators, the batch kernels,
-//! and the one-pass multi-configuration sweep kernel for the `dm`, `de`, and
-//! `opt` organizations (default `batch`; every other organization always
-//! runs its reference simulator). All kernels produce bit-identical
+//! `--policy` selects a member of the replacement-policy zoo (`--org` is
+//! the legacy alias). `--kernel` selects between the reference simulators,
+//! the batch kernels, and the one-pass multi-configuration sweep kernel for
+//! the `dm`, `de`, and `opt` policies (default `batch`). Each policy
+//! declares its per-kernel support: `ehc` and `bwcost` run under
+//! `reference` and `batch` but reject `sweep` with a structured error, and
+//! the last-line variants always run their reference simulators.
+//! All supported combinations produce bit-identical
 //! statistics, exclusion counters, and observability output — including
 //! under `--shard-sets` and `--resume` (journal keys do not encode the
 //! kernel, so a run checkpointed under one kernel replays under any other).
@@ -78,7 +83,9 @@ use dynex_cache::{
     run_addrs, CacheConfig, CacheSim, CacheStats, DirectMapped, Kernel, Replacement,
     SetAssociative, StreamBuffer, SweepPoint, SweepPolicy, VictimCache,
 };
-use dynex_engine::{default_kernel, execute, execute_resilient, shard_by_set, Policy, Resilience};
+use dynex_engine::{
+    default_kernel, execute, execute_resilient, shard_by_set, PolicyKind, Resilience,
+};
 use dynex_experiments::api::{self, parse_size, Org, SimulationRequest};
 use dynex_experiments::Triple;
 use dynex_obs::{export, Collector, CountingProbe, Event, EventLog};
@@ -101,7 +108,8 @@ fn load_trace(path: &str, policy: ReadPolicy) -> Result<(Trace, u64), String> {
 fn usage() {
     eprintln!(
         "usage: simcache <trace-file> --size <bytes|NK|NM> [--line N] \
-         [--org dm|de|de-lastline|opt|2way|4way|victim|stream] [--kinds all|instr|data] \
+         [--policy dm|de|de-lastline|opt|ehc|bwcost|2way|4way|victim|stream] \
+         [--org <policy>  (legacy alias)] [--kinds all|instr|data] \
          [--kernel reference|batch|sweep] [--sweep <size,size,...>] \
          [--jobs N] [--shard-sets] [--job-retries N] [--job-timeout-ms N] \
          [--lenient <max-skipped>] [--resume <journal.jsonl>] \
@@ -154,7 +162,7 @@ impl ObsConfig {
 }
 
 /// Reports merged statistics for a set-sharded run.
-fn report_sharded(policy: Policy, config: CacheConfig, n_shards: usize, stats: CacheStats) {
+fn report_sharded(policy: PolicyKind, config: CacheConfig, n_shards: usize, stats: CacheStats) {
     println!(
         "{} [set-sharded x{n_shards}] {config}: {} accesses, {} misses, miss rate {:.4}%",
         policy.name(),
@@ -186,12 +194,12 @@ fn run_sharded(
     resilience: Resilience,
 ) -> ExitCode {
     let policy = match org {
-        "dm" => Policy::DirectMapped,
-        "de" => Policy::DynamicExclusion,
-        "opt" => Policy::OptimalDm,
+        "dm" => PolicyKind::DirectMapped,
+        "de" => PolicyKind::DynamicExclusion,
+        "opt" => PolicyKind::OptimalDm,
         other => {
             eprintln!(
-                "error: --shard-sets supports --org dm|de|opt only (got {other:?}; \
+                "error: --shard-sets supports --policy dm|de|opt only (got {other:?}; \
                  its cross-set state cannot be partitioned exactly)"
             );
             return ExitCode::FAILURE;
@@ -201,14 +209,14 @@ fn run_sharded(
     eprintln!("set-sharded run: {n_shards} shard(s) on {jobs} worker(s)");
 
     // OPT is a two-pass oracle without a probed hot path (same as serially).
-    if policy == Policy::OptimalDm && obs.active() {
+    if policy == PolicyKind::OptimalDm && obs.active() {
         eprintln!(
-            "note: --org opt is a two-pass oracle without a probed hot path; \
+            "note: --policy opt is a two-pass oracle without a probed hot path; \
              observability outputs are not written"
         );
     }
 
-    if !obs.active() || policy == Policy::OptimalDm {
+    if !obs.active() || policy == PolicyKind::OptimalDm {
         return run_sharded_resilient(policy, config, addrs, n_shards, jobs, resilience);
     }
 
@@ -219,7 +227,7 @@ fn run_sharded(
     let outputs = execute(&shards, jobs, |shard| {
         let _shard_span = dynex_obs::span::span("engine.shard-simulate");
         match (default_kernel(), policy) {
-            (Kernel::Batch, Policy::DirectMapped) => {
+            (Kernel::Batch, PolicyKind::DirectMapped) => {
                 let mut probe = obs.probe();
                 let stats = batch_dm_probed(config, shard, &mut probe);
                 let (collector, log) = probe;
@@ -235,7 +243,7 @@ fn run_sharded(
                 };
                 (result.stats, Some(de_stats), collector, log)
             }
-            (Kernel::Sweep, Policy::DirectMapped) => {
+            (Kernel::Sweep, PolicyKind::DirectMapped) => {
                 let mut probes = [obs.probe()];
                 let point = SweepPoint::new(config, SweepPolicy::DirectMapped);
                 let results = batch_sweep_probed(&[point], shard, &mut probes);
@@ -254,7 +262,7 @@ fn run_sharded(
                 };
                 (result.stats, Some(de_stats), collector, log)
             }
-            (Kernel::Reference, Policy::DirectMapped) => {
+            (Kernel::Reference, PolicyKind::DirectMapped) => {
                 let mut cache = DirectMapped::with_probe(config, obs.probe());
                 let stats = run_addrs(&mut cache, shard.iter().copied());
                 let (collector, log) = cache.into_probe();
@@ -295,7 +303,9 @@ fn run_sharded(
     drop(merge_span);
     debug_assert_eq!(
         stats,
-        policy.simulate(config, addrs),
+        policy
+            .simulate(config, addrs)
+            .expect("dm/de/opt run on every kernel"),
         "set-sharded statistics diverged from the serial run"
     );
 
@@ -314,7 +324,7 @@ fn run_sharded(
 /// under panic containment / retry / soft deadline; a failing shard fails
 /// alone and the run reports partial statistics plus a per-cell table.
 fn run_sharded_resilient(
-    policy: Policy,
+    policy: PolicyKind,
     config: CacheConfig,
     addrs: &[u32],
     n_shards: usize,
@@ -338,7 +348,7 @@ fn run_sharded_resilient(
             std::thread::sleep(Duration::from_secs(3600));
         }
         match (default_kernel(), policy) {
-            (Kernel::Batch, Policy::DynamicExclusion) => {
+            (Kernel::Batch, PolicyKind::DynamicExclusion) => {
                 let result = batch_de(config, shard);
                 let de_stats = DeStats {
                     loads: result.loads,
@@ -346,7 +356,7 @@ fn run_sharded_resilient(
                 };
                 (result.stats, Some(de_stats))
             }
-            (Kernel::Sweep, Policy::DynamicExclusion) => {
+            (Kernel::Sweep, PolicyKind::DynamicExclusion) => {
                 let point = SweepPoint::new(config, SweepPolicy::DynamicExclusion);
                 let results = batch_sweep(&[point], shard);
                 let result = results[0].de().expect("DE sweep point yields DE result");
@@ -356,13 +366,18 @@ fn run_sharded_resilient(
                 };
                 (result.stats, Some(de_stats))
             }
-            (Kernel::Reference, Policy::DynamicExclusion) => {
+            (Kernel::Reference, PolicyKind::DynamicExclusion) => {
                 let mut cache = DeCache::new(config);
                 let stats = run_addrs(&mut cache, shard.iter().copied());
                 (stats, Some(cache.de_stats()))
             }
-            // Policy::simulate is itself kernel-aware for dm and opt.
-            _ => (policy.simulate(config, shard), None),
+            // PolicyKind::simulate is itself kernel-aware for dm and opt.
+            _ => (
+                policy
+                    .simulate(config, shard)
+                    .expect("dm/de/opt run on every kernel"),
+                None,
+            ),
         }
     });
 
@@ -383,7 +398,9 @@ fn run_sharded_resilient(
     if !outcome.has_failures() {
         debug_assert_eq!(
             merged,
-            policy.simulate(config, addrs),
+            policy
+                .simulate(config, addrs)
+                .expect("dm/de/opt run on every kernel"),
             "set-sharded statistics diverged from the serial run"
         );
         report_sharded(policy, config, n_shards, merged);
@@ -505,8 +522,8 @@ fn main() -> ExitCode {
                 };
                 builder.line(line);
             }
-            "--org" => {
-                builder.org(&it.next().unwrap_or_default());
+            "--policy" | "--org" => {
+                builder.policy(&it.next().unwrap_or_default());
             }
             "--kinds" => {
                 builder.kinds(&it.next().unwrap_or_default());
@@ -851,7 +868,7 @@ fn main() -> ExitCode {
         }
         Org::Opt => {
             eprintln!(
-                "note: --org opt is a two-pass oracle without a probed hot path; \
+                "note: --policy opt is a two-pass oracle without a probed hot path; \
                  observability outputs are not written"
             );
             let stats = match default_kernel() {
@@ -865,6 +882,37 @@ fn main() -> ExitCode {
                 }
             };
             report("optimal direct-mapped".to_owned(), stats);
+        }
+        Org::Ehc | Org::BwCost => {
+            eprintln!(
+                "note: --policy {} runs the policy-zoo driver without a probed hot \
+                 path; observability outputs are not written",
+                request.org.name()
+            );
+            let kind = request
+                .org
+                .policy_kind()
+                .expect("ehc/bwcost are zoo policies");
+            let label = if request.org == Org::Ehc {
+                "expected-hit-count direct-mapped"
+            } else {
+                "bandwidth-aware direct-mapped"
+            };
+            match kind.simulate_kernel(default_kernel(), dm_config, addrs) {
+                Ok(stats) => {
+                    report(label.to_owned(), stats);
+                    println!(
+                        "  fills {} writebacks {} bandwidth {:.1} transfers/kiloref",
+                        stats.fills(),
+                        stats.writebacks(),
+                        stats.bandwidth_per_kiloref()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         Org::TwoWay | Org::FourWay => {
             let config = match request.cache_config() {

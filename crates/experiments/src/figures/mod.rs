@@ -21,6 +21,8 @@
 //! | [`streambuf`] | Section 2 stream-buffer complementarity \[Jou90\] |
 //! | [`ablate_linebuf`] | Section 6's three line-buffer structures |
 //! | [`conflicts`] | 3C miss anatomy (extension) |
+//! | [`ehc`] | Expected-Hit-Count headline comparison (arXiv 1808.05024) |
+//! | [`bwcost`] | bandwidth-cost headline comparison (arXiv 1907.02167) |
 //! | [`assoc`] | DE vs set-associativity (extension) |
 //! | [`coldstart`] | DE training-cost split (extension) |
 
@@ -31,6 +33,7 @@ mod hierarchy;
 mod instr;
 mod lines;
 mod patterns;
+mod zoo;
 
 pub use ablations::{ablate_hashwidth, ablate_sticky, streambuf, victim};
 pub use data::{fig14, fig15};
@@ -39,9 +42,10 @@ pub use hierarchy::{fig7, fig8, fig9, l2_sweep};
 pub use instr::{fig3, fig4, fig5, size_sweep};
 pub use lines::{fig11, fig12, fig13};
 pub use patterns::{fig2, patterns};
+pub use zoo::{bwcost, ehc};
 
 /// Every experiment id accepted by the `experiments` binary, in run order.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 23] = [
     "patterns",
     "fig2",
     "fig3",
@@ -63,6 +67,8 @@ pub const ALL_IDS: [&str; 21] = [
     "conflicts",
     "assoc",
     "coldstart",
+    "ehc",
+    "bwcost",
 ];
 
 /// Runs one experiment by id.
@@ -89,6 +95,8 @@ pub fn run(id: &str, workloads: &crate::Workloads) -> Option<crate::Table> {
         "conflicts" => conflicts(workloads),
         "assoc" => assoc(workloads),
         "coldstart" => coldstart(workloads),
+        "ehc" => ehc(workloads),
+        "bwcost" => bwcost(workloads),
         "victim" => victim(workloads),
         "streambuf" => streambuf(workloads),
         _ => return None,

@@ -3,7 +3,7 @@
 //!
 //! Since PR 2 the drivers sit on `dynex-engine`: the single-point entry
 //! points ([`triple`], [`triple_lastline`]) dispatch through
-//! [`dynex_engine::Policy`], and the sweep entry points fan the points out
+//! [`dynex_engine::PolicyKind`], and the sweep entry points fan the points out
 //! over the engine's deterministic worker pool. Results are in plan order
 //! and bit-identical for every worker count, so figures built on these
 //! functions never depend on `--jobs`.
@@ -15,7 +15,7 @@
 
 use dynex::{DeCache, OptimalDirectMapped};
 use dynex_cache::{run_addrs, CacheConfig, CacheStats, Kernel};
-use dynex_engine::{default_kernel, Policy};
+use dynex_engine::{default_kernel, PolicyKind};
 use dynex_obs::{CountingProbe, EventCounts};
 
 /// Results of one workload under the three caches the paper compares
@@ -159,10 +159,15 @@ pub fn triple_observed(config: CacheConfig, addrs: &[u32]) -> ObservedTriple {
 /// Runs the three-way comparison for multi-word lines: DE and OPT both get
 /// the Section 6 last-line buffer; the conventional cache stays bare.
 pub fn triple_lastline(config: CacheConfig, addrs: &[u32]) -> Triple {
+    let simulate = |policy: PolicyKind| {
+        policy
+            .simulate(config, addrs)
+            .expect("dm and the lastline variants run on every kernel")
+    };
     Triple {
-        dm: Policy::DirectMapped.simulate(config, addrs),
-        de: Policy::DeLastLine.simulate(config, addrs),
-        opt: Policy::OptimalDmLastLine.simulate(config, addrs),
+        dm: simulate(PolicyKind::DirectMapped),
+        de: simulate(PolicyKind::DeLastLine),
+        opt: simulate(PolicyKind::OptimalDmLastLine),
     }
 }
 

@@ -32,8 +32,8 @@ fn usage() {
     eprintln!(
         "usage: dynex-load --target ADDR [--rate R] [--duration-s S] [--senders K] \
          [--timeout-s T] [--seed N] [--duplicate-ratio F] [--pool N] [--refs N] \
-         [--deadline-ms N] [--deadline-fraction F] [--no-server-metrics] [--chaos SPEC] \
-         [--out FILE]"
+         [--policies P1,P2,...] [--deadline-ms N] [--deadline-fraction F] \
+         [--no-server-metrics] [--chaos SPEC] [--out FILE]"
     );
     eprintln!();
     eprintln!("  --target ADDR         host:port of the dynex-serve server or router (required)");
@@ -47,6 +47,10 @@ fn usage() {
     );
     eprintln!("  --pool N              distinct configurations in the mix (default 64)");
     eprintln!("  --refs N              simulated references per request (default 100000)");
+    eprintln!(
+        "  --policies P1,P2,...  comma-separated replacement policies to spread the mix \
+         over (default dm,de,opt; zoo members ehc and bwcost welcome)"
+    );
     eprintln!("  --deadline-ms N       deadline carried by the deadline fraction (default 2000)");
     eprintln!("  --deadline-fraction F fraction of requests carrying a deadline (default 0)");
     eprintln!("  --no-server-metrics   skip the post-run /metrics fetch and cross-check");
@@ -126,6 +130,19 @@ fn parse_args() -> Result<Option<(LoadConfig, Option<String>)>, String> {
                 config.mix.refs = value
                     .parse()
                     .map_err(|_| format!("bad --refs value {value:?}"))?;
+            }
+            "--policies" | "--orgs" => {
+                let value = value_of("--policies")?;
+                let policies: Vec<String> = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if policies.is_empty() {
+                    return Err(format!("bad --policies value {value:?} (want P1,P2,...)"));
+                }
+                config.mix.orgs = policies;
             }
             "--deadline-ms" => {
                 let value = value_of("--deadline-ms")?;

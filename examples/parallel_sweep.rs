@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use dynex_cache::CacheConfig;
-use dynex_engine::{available_jobs, sharded_policy_stats, Job, Policy, SweepPlan};
+use dynex_engine::{available_jobs, sharded_policy_stats, Job, PolicyKind, SweepPlan};
 use dynex_workload::spec;
 
 fn main() {
@@ -31,9 +31,9 @@ fn main() {
     for kb in [1u32, 2, 4, 8, 16, 32] {
         let config = CacheConfig::direct_mapped(kb * 1024, 4).expect("valid config");
         for policy in [
-            Policy::DirectMapped,
-            Policy::DynamicExclusion,
-            Policy::OptimalDm,
+            PolicyKind::DirectMapped,
+            PolicyKind::DynamicExclusion,
+            PolicyKind::OptimalDm,
         ] {
             plan.push(Job::new(config, policy));
         }
@@ -41,10 +41,10 @@ fn main() {
 
     let cores = available_jobs();
     let started = Instant::now();
-    let serial = plan.run(1, |job| job.run(&addrs));
+    let serial = plan.run(1, |job| job.run(&addrs).expect("dm/de/opt run everywhere"));
     let serial_time = started.elapsed();
     let started = Instant::now();
-    let parallel = plan.run(cores, |job| job.run(&addrs));
+    let parallel = plan.run(cores, |job| job.run(&addrs).expect("dm/de/opt run everywhere"));
     let parallel_time = started.elapsed();
 
     assert_eq!(serial, parallel, "the engine is deterministic");
@@ -68,8 +68,10 @@ fn main() {
 
     // Set-partitioned parallelism: one trace, many shards, exact merge.
     let config = CacheConfig::direct_mapped(32 * 1024, 4).expect("valid config");
-    let serial = Policy::DynamicExclusion.simulate(config, &addrs);
-    let sharded = sharded_policy_stats(config, Policy::DynamicExclusion, &addrs, cores, cores);
+    let serial = PolicyKind::DynamicExclusion
+        .simulate(config, &addrs)
+        .expect("de runs on every kernel");
+    let sharded = sharded_policy_stats(config, PolicyKind::DynamicExclusion, &addrs, cores, cores);
     assert_eq!(serial, sharded);
     println!(
         "\nset-sharded DE @ 32K across {} shard(s): {} misses — exactly the serial count",

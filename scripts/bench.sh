@@ -6,6 +6,7 @@
 #   scripts/bench.sh pr4        # batch kernel only    -> results/BENCH_PR4.json
 #   scripts/bench.sh pr6        # tracing overhead     -> results/BENCH_PR6.json
 #   scripts/bench.sh pr9        # sweep kernel         -> results/BENCH_PR9.json
+#   scripts/bench.sh pr10       # policy zoo           -> results/BENCH_PR10.json
 #
 # Environment knobs:
 #   DYNEX_BENCH_JOBS=8          worker count for the parallel runs
@@ -25,6 +26,9 @@
 #   pr9  sweep kernel: the one-pass multi-configuration sweep vs per-point
 #        batch kernels on fig5 and the full figure set, plus refs/s scaling
 #        at N = 1/4/16/64 simultaneous configs via `simcache --sweep`
+#   pr10 policy zoo: reference vs batch refs-per-second for every policy the
+#        capability matrix specializes on both kernels (dm/de/opt plus the
+#        ehc and bwcost zoo members), outputs diffed for bit-identity
 #
 # Every timed pair also diffs its outputs: the benchmarks double as
 # determinism/bit-identity checks, so a silent divergence fails the script.
@@ -35,8 +39,8 @@ cd "$(dirname "$0")/.."
 
 SECTION=${1:-all}
 case "$SECTION" in
-    pr2|pr4|pr6|pr9|all) ;;
-    *) echo "usage: scripts/bench.sh [pr2|pr4|pr6|pr9|all]" >&2; exit 2 ;;
+    pr2|pr4|pr6|pr9|pr10|all) ;;
+    *) echo "usage: scripts/bench.sh [pr2|pr4|pr6|pr9|pr10|all]" >&2; exit 2 ;;
 esac
 
 CORES=$(nproc 2>/dev/null || echo 1)
@@ -383,10 +387,79 @@ EOF
     cat "$out"
 }
 
+# ---------------------------------------------------------------------------
+# pr10: policy zoo (reference vs batch refs/s for every batch-specialized
+# policy, bit-identity enforced per policy)
+# ---------------------------------------------------------------------------
+bench_pr10() {
+    local out="$OUT_DIR/BENCH_PR10.json"
+    gcc_trace
+
+    # Untimed warmup (see pr6): the first reader of the freshly written
+    # trace pays the page-cache fill.
+    "$SIMCACHE" "$GCC_TRACE" --size 32K --policy dm --kernel batch --jobs 1 >/dev/null 2>&1
+
+    # Every policy with a batch specialization in the capability matrix; the
+    # sweep kernel deliberately has no ehc/bwcost support, so the zoo rows
+    # compare the two kernels that do.
+    local policies_json=""
+    local policy sr sb rr rb
+    for policy in dm de opt ehc bwcost; do
+        echo "==> [pr10] single trace ($TRACE_REFS refs, 32K $policy): reference vs batch kernel"
+        run_kernel "$policy" reference "pr10-$policy-ref"; sr=$KERNEL_SECS; rr=$KERNEL_RATE
+        run_kernel "$policy" batch "pr10-$policy-batch"; sb=$KERNEL_SECS; rb=$KERNEL_RATE
+        # Bit-identity check: the kernels must print the same statistics
+        # (for ehc/bwcost that includes the fills/writebacks/probes traffic
+        # counters the zoo driver accounts).
+        diff "$TMP/pr10-$policy-ref.txt" "$TMP/pr10-$policy-batch.txt" >/dev/null \
+            || { echo "bench: $policy output differs between kernels" >&2; exit 1; }
+        [ -n "$policies_json" ] && policies_json="$policies_json,"
+        policies_json="$policies_json
+    \"$policy\": {
+      \"seconds_total_reference\": $sr,
+      \"seconds_total_batch\": $sb,
+      \"refs_per_second_reference\": $rr,
+      \"refs_per_second_batch\": $rb,
+      \"speedup\": $(ratio "$rb" "$rr")
+    }"
+    done
+
+    # The declared-unsupported combination must fail loudly, not fall back:
+    # a capability error naming the supported kernels, and a non-zero exit.
+    echo "==> [pr10] capability wall: ehc on the sweep kernel must refuse"
+    if "$SIMCACHE" "$GCC_TRACE" --size 32K --policy ehc --kernel sweep --jobs 1 \
+        >/dev/null 2>"$TMP/pr10-ehc-sweep.err"; then
+        echo "bench: ehc on the sweep kernel should have failed" >&2; exit 1
+    fi
+    grep -q "supported kernels" "$TMP/pr10-ehc-sweep.err" \
+        || { echo "bench: ehc sweep refusal is not the capability error: $(cat "$TMP/pr10-ehc-sweep.err")" >&2; exit 1; }
+
+    cat >"$out" <<JSONEOF
+{
+  "bench": "dynex policy zoo (PR 10)",
+  "machine": { "cores": $CORES },
+  "single_trace": {
+    "trace": "gcc",
+    "accesses": $TRACE_REFS,
+    "config": "32K, jobs=1",
+    "policies": {$policies_json
+    }
+  },
+  "capability_wall": {
+    "combo": "ehc x sweep kernel",
+    "refused_with_capability_error": true
+  }
+}
+JSONEOF
+    echo "bench: wrote $out"
+    cat "$out"
+}
+
 case "$SECTION" in
     pr2) bench_pr2 ;;
     pr4) bench_pr4 ;;
     pr6) bench_pr6 ;;
     pr9) bench_pr9 ;;
-    all) bench_pr2; bench_pr4; bench_pr6; bench_pr9 ;;
+    pr10) bench_pr10 ;;
+    all) bench_pr2; bench_pr4; bench_pr6; bench_pr9; bench_pr10 ;;
 esac

@@ -7,7 +7,7 @@
 //!   Section 3 loop patterns and on random traces, for DM, DE, and OPT.
 
 use dynex_cache::{CacheConfig, CacheStats, SplitMix64};
-use dynex_engine::{execute, shard_by_set, sharded_policy_stats, Job, Policy, SweepPlan};
+use dynex_engine::{execute, shard_by_set, sharded_policy_stats, Job, PolicyKind, SweepPlan};
 use dynex_experiments::{triple, triples_to_jsonl, Triple, Workloads};
 use dynex_workload::patterns;
 
@@ -63,16 +63,20 @@ fn sweep_plan_of_jobs_is_deterministic() {
     for kb in [1u32, 2, 4, 8, 16] {
         let config = CacheConfig::direct_mapped(kb * 1024, 4).unwrap();
         for policy in [
-            Policy::DirectMapped,
-            Policy::DynamicExclusion,
-            Policy::OptimalDm,
+            PolicyKind::DirectMapped,
+            PolicyKind::DynamicExclusion,
+            PolicyKind::OptimalDm,
         ] {
             plan.push(Job::new(config, policy));
         }
     }
-    let serial: Vec<CacheStats> = plan.run(1, |job| job.run(&trace));
+    let serial: Vec<CacheStats> = plan.run(1, |job| job.run(&trace).unwrap());
     for jobs in JOB_COUNTS {
-        assert_eq!(plan.run(jobs, |job| job.run(&trace)), serial, "jobs={jobs}");
+        assert_eq!(
+            plan.run(jobs, |job| job.run(&trace).unwrap()),
+            serial,
+            "jobs={jobs}"
+        );
     }
 }
 
@@ -92,11 +96,11 @@ fn section3_loop_patterns_shard_exactly() {
     for (i, trace) in traces.iter().enumerate() {
         let addrs: Vec<u32> = trace.iter().map(|x| x.addr()).collect();
         for policy in [
-            Policy::DirectMapped,
-            Policy::DynamicExclusion,
-            Policy::OptimalDm,
+            PolicyKind::DirectMapped,
+            PolicyKind::DynamicExclusion,
+            PolicyKind::OptimalDm,
         ] {
-            let serial = policy.simulate(config, &addrs);
+            let serial = policy.simulate(config, &addrs).unwrap();
             for shards in [2usize, 4, 8] {
                 for jobs in JOB_COUNTS {
                     assert_eq!(
@@ -117,11 +121,11 @@ fn random_traces_shard_exactly() {
     for seed in [1u64, 2, 3] {
         let addrs = random_trace(seed, 30_000, 8 * 1024);
         for policy in [
-            Policy::DirectMapped,
-            Policy::DynamicExclusion,
-            Policy::OptimalDm,
+            PolicyKind::DirectMapped,
+            PolicyKind::DynamicExclusion,
+            PolicyKind::OptimalDm,
         ] {
-            let serial = policy.simulate(config, &addrs);
+            let serial = policy.simulate(config, &addrs).unwrap();
             for shards in [2usize, 7, 32] {
                 assert_eq!(
                     sharded_policy_stats(config, policy, &addrs, shards, 4),

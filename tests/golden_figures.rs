@@ -124,3 +124,18 @@ fn fig5_matches_golden() {
 fn ablate_sticky_matches_golden() {
     check_golden("ablate-sticky");
 }
+
+#[test]
+fn ehc_matches_golden() {
+    // PR 10 policy zoo: the Expected-Hit-Count headline comparison. The
+    // sweep kernel has no EHC fast path, so this also pins the declared
+    // reference fallback to the same bytes.
+    check_golden("ehc");
+}
+
+#[test]
+fn bwcost_matches_golden() {
+    // PR 10 policy zoo: the bandwidth-cost comparison, pinning the
+    // fills/writebacks/probes accounting across kernels.
+    check_golden("bwcost");
+}

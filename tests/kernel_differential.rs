@@ -28,7 +28,10 @@ use dynex_cache::{
     batch_de, batch_de_probed, batch_triple, decode_addrs, run_addrs, CacheConfig, Kernel,
     KindFilter, SplitMix64, CHUNK_LEN,
 };
-use dynex_engine::{execute, set_default_jobs, set_default_kernel, sharded_policy_stats, Policy};
+use dynex_engine::{
+    execute, set_default_jobs, set_default_kernel, sharded_policy_stats, KernelSupport,
+    PolicyKind,
+};
 use dynex_experiments::api::{self, run_triple, SimulationRequest};
 use dynex_experiments::{figures, Workloads};
 use dynex_obs::{export, Collector, EventLog};
@@ -66,19 +69,20 @@ fn every_profile_and_geometry_is_bit_identical_across_kernels() {
             for line in LINES {
                 let config = CacheConfig::direct_mapped(size, line).unwrap();
                 for policy in [
-                    Policy::DirectMapped,
-                    Policy::DynamicExclusion,
-                    Policy::OptimalDm,
+                    PolicyKind::DirectMapped,
+                    PolicyKind::DynamicExclusion,
+                    PolicyKind::OptimalDm,
                 ] {
-                    let reference = policy.simulate_kernel(Kernel::Reference, config, &addrs);
+                    let reference =
+                        policy.simulate_kernel(Kernel::Reference, config, &addrs).unwrap();
                     assert_eq!(
-                        policy.simulate_kernel(Kernel::Batch, config, &addrs),
+                        policy.simulate_kernel(Kernel::Batch, config, &addrs).unwrap(),
                         reference,
                         "{name}: {} @ {config} (batch)",
                         policy.name()
                     );
                     assert_eq!(
-                        policy.simulate_kernel(Kernel::Sweep, config, &addrs),
+                        policy.simulate_kernel(Kernel::Sweep, config, &addrs).unwrap(),
                         reference,
                         "{name}: {} @ {config} (sweep)",
                         policy.name()
@@ -153,7 +157,7 @@ fn probe_events_and_interval_csv_are_byte_identical() {
 }
 
 /// Set-sharded runs agree across kernels at 1 and 4 workers: the sharded
-/// path goes through `Policy::simulate`, so this exercises the engine-level
+/// path goes through `PolicyKind::simulate`, so this exercises the engine-level
 /// kernel dispatch end to end.
 #[test]
 fn sharded_stats_agree_across_kernels_at_jobs_1_and_4() {
@@ -162,14 +166,14 @@ fn sharded_stats_agree_across_kernels_at_jobs_1_and_4() {
     let addrs: Vec<u32> = (0..30_000).map(|_| (rng.below(8_192) as u32) * 4).collect();
     let config = CacheConfig::direct_mapped(4 * 1024, 4).unwrap();
     for policy in [
-        Policy::DirectMapped,
-        Policy::DynamicExclusion,
-        Policy::OptimalDm,
+        PolicyKind::DirectMapped,
+        PolicyKind::DynamicExclusion,
+        PolicyKind::OptimalDm,
     ] {
         let mut per_kernel = Vec::new();
         for kernel in [Kernel::Reference, Kernel::Batch, Kernel::Sweep] {
             set_default_kernel(kernel);
-            let serial = policy.simulate(config, &addrs);
+            let serial = policy.simulate(config, &addrs).unwrap();
             for jobs in [1usize, 4] {
                 assert_eq!(
                     sharded_policy_stats(config, policy, &addrs, 4, jobs),
@@ -340,15 +344,17 @@ fn decode_edge_cases_agree_across_all_kernels() {
         ("straddle", &straddle),
     ] {
         for policy in [
-            Policy::DirectMapped,
-            Policy::DynamicExclusion,
-            Policy::OptimalDm,
+            PolicyKind::DirectMapped,
+            PolicyKind::DynamicExclusion,
+            PolicyKind::OptimalDm,
         ] {
-            let reference = policy.simulate_kernel(Kernel::Reference, config, addrs);
+            let reference = policy
+                .simulate_kernel(Kernel::Reference, config, addrs)
+                .unwrap();
             assert_eq!(reference.accesses(), addrs.len() as u64, "{tag}");
             for kernel in [Kernel::Batch, Kernel::Sweep] {
                 assert_eq!(
-                    policy.simulate_kernel(kernel, config, addrs),
+                    policy.simulate_kernel(kernel, config, addrs).unwrap(),
                     reference,
                     "{tag}: {} kernel={kernel}",
                     policy.name()
@@ -378,12 +384,12 @@ fn all_filtering_kind_filter_agrees_across_kernels() {
     assert!(addrs.is_empty(), "the filter drops every reference");
     let config = CacheConfig::direct_mapped(1024, 4).unwrap();
     for policy in [
-        Policy::DirectMapped,
-        Policy::DynamicExclusion,
-        Policy::OptimalDm,
+        PolicyKind::DirectMapped,
+        PolicyKind::DynamicExclusion,
+        PolicyKind::OptimalDm,
     ] {
         for kernel in [Kernel::Reference, Kernel::Batch, Kernel::Sweep] {
-            let stats = policy.simulate_kernel(kernel, config, &addrs);
+            let stats = policy.simulate_kernel(kernel, config, &addrs).unwrap();
             assert_eq!(stats.accesses(), 0, "{} kernel={kernel}", policy.name());
             assert_eq!(stats.misses(), 0, "{} kernel={kernel}", policy.name());
         }
@@ -409,5 +415,72 @@ fn fused_triple_matches_on_data_streams() {
             },
             "{name}"
         );
+    }
+}
+
+/// The policy-matrix leg of the wall: every member of the policy zoo runs
+/// bit-identically on every kernel that declares support for it, and every
+/// declared-unsupported combination fails with the structured capability
+/// error (never a silent fallback). This is the CI policy-matrix job's
+/// anchor test.
+#[test]
+fn policy_matrix_is_bit_identical_on_every_supporting_kernel() {
+    let workloads = workloads();
+    let names: Vec<String> = workloads.iter().map(|(n, _)| n.to_owned()).collect();
+    for name in names.iter().take(4) {
+        let addrs = workloads.instr_addrs(name);
+        for size in [1024u32, 8 * 1024] {
+            let config = CacheConfig::direct_mapped(size, 4).unwrap();
+            for policy in PolicyKind::ALL {
+                let reference = policy
+                    .simulate_kernel(Kernel::Reference, config, &addrs)
+                    .expect("the reference kernel runs every policy");
+                for kernel in [Kernel::Batch, Kernel::Sweep] {
+                    match policy.kernel_support(kernel) {
+                        KernelSupport::Unsupported => {
+                            let err = policy
+                                .simulate_kernel(kernel, config, &addrs)
+                                .expect_err("declared-unsupported combos must error");
+                            let message = err.to_string();
+                            assert!(
+                                message.contains(policy.name()),
+                                "{name}: {message}"
+                            );
+                            assert!(message.contains("reference"), "{name}: {message}");
+                        }
+                        KernelSupport::Specialized | KernelSupport::ReferenceFallback => {
+                            assert_eq!(
+                                policy.simulate_kernel(kernel, config, &addrs).unwrap(),
+                                reference,
+                                "{name}: {} @ {config} kernel={kernel}",
+                                policy.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The traffic-accounting policies agree on their bandwidth counters across
+/// kernels, not just on hit/miss statistics — `CacheStats` equality is
+/// derived over all five counters, so this pins fills/writebacks/probes too.
+#[test]
+fn traffic_counters_are_bit_identical_across_kernels() {
+    let workloads = workloads();
+    let (name, _) = workloads.iter().next().expect("built-in profiles exist");
+    let addrs = workloads.instr_addrs(name);
+    let config = CacheConfig::direct_mapped(2 * 1024, 4).unwrap();
+    for policy in [PolicyKind::ExpectedHitCount, PolicyKind::BandwidthCost] {
+        let reference = policy
+            .simulate_kernel(Kernel::Reference, config, &addrs)
+            .unwrap();
+        let batch = policy
+            .simulate_kernel(Kernel::Batch, config, &addrs)
+            .unwrap();
+        assert_eq!(batch, reference, "{}", policy.name());
+        assert_eq!(batch.probes(), addrs.len() as u64, "{}", policy.name());
+        assert!(batch.fills() <= batch.misses(), "{}", policy.name());
     }
 }

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dynex_cache::CacheConfig;
-use dynex_engine::{execute_resilient, JobFailure, Policy, Resilience};
+use dynex_engine::{execute_resilient, JobFailure, PolicyKind, Resilience};
 use dynex_trace::io::write_binary;
 use dynex_trace::{Access, Trace};
 
@@ -77,7 +77,7 @@ fn resilient_sweep_isolates_panic_and_hang_over_real_simulation_jobs() {
         .iter()
         .map(|&s| {
             let config = CacheConfig::direct_mapped(s, 4).unwrap();
-            Policy::DynamicExclusion.simulate(config, &addrs)
+            PolicyKind::DynamicExclusion.simulate(config, &addrs).unwrap()
         })
         .collect();
 
@@ -90,7 +90,7 @@ fn resilient_sweep_isolates_panic_and_hang_over_real_simulation_jobs() {
             Resilience::default().deadline(Duration::from_millis(250)),
             |(size, addrs)| {
                 let config = CacheConfig::direct_mapped(*size, 4).unwrap();
-                Policy::DynamicExclusion.simulate(config, addrs)
+                PolicyKind::DynamicExclusion.simulate(config, addrs).unwrap()
             },
         );
         // No faults injected here: a clean resilient sweep must equal serial.
@@ -119,7 +119,7 @@ fn resilient_sweep_isolates_panic_and_hang_over_real_simulation_jobs() {
                     std::thread::sleep(Duration::from_secs(600));
                 }
                 let config = CacheConfig::direct_mapped(*size, 4).unwrap();
-                Policy::DynamicExclusion.simulate(config, addrs)
+                PolicyKind::DynamicExclusion.simulate(config, addrs).unwrap()
             },
         );
         let counts = outcome.counts();

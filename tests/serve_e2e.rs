@@ -645,3 +645,47 @@ fn request_round_trips_through_the_wire_format() {
     server.shutdown();
     server.join();
 }
+
+#[test]
+fn policy_zoo_requests_flow_through_the_service() {
+    // PR 10: the two zoo policies reach the kernel through the same
+    // SimulationRequest -> serve -> execute path as the paper's trio, with
+    // the new `policy` wire spelling and the legacy `org` one.
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let (status, body) = post_simulate(
+        addr,
+        r#"{"policy":"ehc","size":"1K","line":4,"trace":{"source":"profile","profile":"espresso"},"refs":50000}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let ehc = SimulationResponse::from_json(&body).expect("response JSON");
+    assert_eq!(ehc.label, "expected-hit-count direct-mapped");
+    assert_eq!(ehc.stats.accesses(), 50_000);
+    assert_eq!(ehc.stats.probes(), 50_000, "zoo policies account traffic");
+
+    let (status, body) = post_simulate(
+        addr,
+        r#"{"org":"bwcost","size":"1K","line":4,"trace":{"source":"profile","profile":"espresso"},"refs":50000}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let bw = SimulationResponse::from_json(&body).expect("response JSON");
+    assert_eq!(bw.label, "bandwidth-aware direct-mapped");
+    assert!(bw.stats.misses() <= ehc.stats.misses() || bw.stats.misses() > 0);
+
+    // A declared-unsupported kernel/policy combo is a loud structured
+    // failure naming the supported kernels — never a silent fallback. (A
+    // fresh geometry: content keys are kernel-independent, so reusing the
+    // 1K point above would legitimately answer from the result cache.)
+    let (status, body) = post_simulate(
+        addr,
+        r#"{"policy":"ehc","kernel":"sweep","size":"2K","line":4,"trace":{"source":"profile","profile":"espresso"},"refs":50000}"#,
+    );
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("ehc"), "{body}");
+    assert!(body.contains("reference"), "{body}");
+    assert!(body.contains("batch"), "{body}");
+
+    server.shutdown();
+    server.join();
+}
